@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"methodpart/internal/analysis"
+)
+
+// writeDot renders the analysed Unit Graph as Graphviz DOT: StopNodes are
+// shaded, PSE edges are bold red with their hand-over sets as labels, and
+// convexity-protected (infinite) edges are dashed grey.
+func writeDot(w io.Writer, res *analysis.Result) {
+	ug := res.UG
+	pses := make(map[analysis.Edge]bool, len(res.PSESet))
+	for _, e := range res.PSESet {
+		pses[e] = true
+	}
+
+	fmt.Fprintf(w, "digraph %q {\n", ug.Prog.Name)
+	fmt.Fprintln(w, "  node [fontname=\"monospace\" shape=box];")
+	fmt.Fprintln(w, "  edge [fontname=\"monospace\"];")
+	for i := 0; i <= ug.Exit; i++ {
+		label := fmt.Sprintf("%d: %s", i, ug.NodeString(i))
+		attrs := ""
+		if res.Stops[i] {
+			attrs = " style=filled fillcolor=lightgrey"
+		}
+		if i == ug.Start {
+			attrs += " penwidth=2"
+		}
+		fmt.Fprintf(w, "  n%d [label=%q%s];\n", i, label, attrs)
+	}
+	for _, e := range ug.Edges() {
+		switch {
+		case pses[e]:
+			fmt.Fprintf(w, "  n%d -> n%d [color=red penwidth=2 label=%q];\n",
+				e.From, e.To, "PSE "+strings.Join(res.Inter[e].Sorted(), ","))
+		case res.Infinite[e]:
+			fmt.Fprintf(w, "  n%d -> n%d [style=dashed color=grey label=\"inf\"];\n", e.From, e.To)
+		default:
+			fmt.Fprintf(w, "  n%d -> n%d;\n", e.From, e.To)
+		}
+	}
+	fmt.Fprintln(w, "}")
+}

@@ -1,0 +1,129 @@
+// Command mpasm assembles and analyses MIR handler source: it prints the
+// Unit Graph, live-variable sets, StopNodes, TargetPaths and the PSE set a
+// cost model selects — the static half of Method Partitioning, as a tool.
+//
+//	mpasm -handler push -model datasize -native displayImage push.mir
+//	mpasm -format push.mir          # parse and pretty-print
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"methodpart/internal/analysis"
+	"methodpart/internal/costmodel"
+	"methodpart/internal/mir/asm"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mpasm:", err)
+		os.Exit(1)
+	}
+}
+
+type nativeSet map[string]bool
+
+func (s nativeSet) IsNative(fn string) bool { return s[fn] }
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("mpasm", flag.ContinueOnError)
+	handler := fs.String("handler", "", "handler to analyse (default: first func)")
+	modelName := fs.String("model", costmodel.DataSizeName, "cost model (datasize|exectime)")
+	natives := fs.String("native", "", "comma-separated native function names")
+	format := fs.Bool("format", false, "only parse and pretty-print the unit")
+	dot := fs.Bool("dot", false, "emit the Unit Graph as Graphviz DOT with PSEs highlighted")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: mpasm [flags] file.mir (or '-' for stdin)")
+	}
+	var (
+		src []byte
+		err error
+	)
+	if fs.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(fs.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+	unit, err := asm.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	if *format {
+		fmt.Fprintln(w, asm.Format(unit))
+		return nil
+	}
+
+	name := *handler
+	if name == "" {
+		name = unit.Programs[0].Name
+	}
+	prog, ok := unit.Program(name)
+	if !ok {
+		return fmt.Errorf("handler %q not found", name)
+	}
+	classes, err := unit.ClassTable()
+	if err != nil {
+		return err
+	}
+	model, err := costmodel.ByName(*modelName)
+	if err != nil {
+		return err
+	}
+	oracle := nativeSet{}
+	for _, n := range strings.Split(*natives, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			oracle[n] = true
+		}
+	}
+
+	ug := analysis.BuildUnitGraph(prog)
+	live := analysis.ComputeLiveness(ug)
+	res, err := analysis.Analyze(ug, oracle, model.StaticCost(prog, classes, live), analysis.Options{})
+	if err != nil {
+		return err
+	}
+	if *dot {
+		writeDot(w, res)
+		return nil
+	}
+
+	fmt.Fprintf(w, "handler %s: %d instructions, exit node %d\n\n", name, len(prog.Instrs), ug.Exit)
+	fmt.Fprintln(w, "Unit Graph (node: instruction | successors | IN/OUT live sets):")
+	for i := range prog.Instrs {
+		marks := ""
+		if res.Stops[i] {
+			marks = "  [StopNode]"
+		}
+		fmt.Fprintf(w, "  %2d: %-40s -> %v%s\n", i, prog.Instrs[i].String(), ug.G.Succ(i), marks)
+		fmt.Fprintf(w, "      in=%v out=%v\n", live.In[i].Sorted(), live.Out[i].Sorted())
+	}
+	fmt.Fprintf(w, "\nTargetPaths (%d):\n", len(res.Paths))
+	for _, p := range res.Paths {
+		fmt.Fprintf(w, "  %v\n", p)
+	}
+	if len(res.Infinite) > 0 {
+		fmt.Fprintf(w, "\nConvexity-protected (infinite-cost) edges:\n")
+		for _, e := range ug.Edges() {
+			if res.Infinite[e] {
+				fmt.Fprintf(w, "  %v\n", e)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\nPSE set under %s (%d edges):\n", model.Name(), len(res.PSESet))
+	for _, e := range res.PSESet {
+		desc := res.Cost[e]
+		fmt.Fprintf(w, "  %v  hand-over=%v  det=%d dynamic=%v\n",
+			e, res.Inter[e].Sorted(), desc.Det, desc.Vars.Sorted())
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const pushSrc = `
+class ImageData {
+  width int
+  height int
+  buff bytes
+}
+
+func push(event) {
+  z0 = instanceof event ImageData
+  ifnot z0 goto done
+  r2 = cast event ImageData
+  r3 = new ImageData
+  call initResize r3 r2
+  r4 = move r3
+  call displayImage r4
+done:
+  return
+}
+`
+
+func writeSrc(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "push.mir")
+	if err := os.WriteFile(path, []byte(pushSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAnalyze(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-native", "displayImage", "-handler", "push", writeSrc(t)}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"handler push: 8 instructions",
+		"[StopNode]",
+		"TargetPaths (2):",
+		"PSE set under datasize (3 edges):",
+		"Edge(1,7)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFormatMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-format", writeSrc(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "func push(event) {") {
+		t.Errorf("format output:\n%s", out.String())
+	}
+}
+
+func TestExecTimeModel(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-native", "displayImage", "-model", "exectime", writeSrc(t)}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "PSE set under exectime") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-native", "displayImage", "-dot", writeSrc(t)}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		`digraph "push"`,
+		"color=red",           // PSE edges highlighted
+		"fillcolor=lightgrey", // StopNodes shaded
+		"n7 -> n8",            // return flows to exit
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("dot output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no file accepted")
+	}
+	if err := run([]string{"-handler", "nope", writeSrc(t)}, &out); err == nil {
+		t.Error("missing handler accepted")
+	}
+	if err := run([]string{"-model", "bogus", writeSrc(t)}, &out); err == nil {
+		t.Error("bogus model accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.mir")
+	if err := os.WriteFile(bad, []byte("gibberish\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &out); err == nil {
+		t.Error("gibberish accepted")
+	}
+}

@@ -1,0 +1,156 @@
+// Command mpbench regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated testbed:
+//
+//	mpbench -experiment all
+//	mpbench -experiment table2 -frames 500
+//	mpbench -experiment figure7 -seeds 5
+//
+// Experiments: table1, table2, table3, table4, figure7, figure8, claims.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"methodpart/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("mpbench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "which experiment to run (table1|table2|table3|table4|figure7|figure8|ablation|models|richimage|claims|all)")
+	frames := fs.Int("frames", 0, "override frames per run (0 = experiment default)")
+	seeds := fs.Int("seeds", 0, "override number of perturbation seeds (0 = default 5)")
+	asCSV := fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	plot := fs.Bool("plot", false, "also render figure experiments as ASCII charts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *asCSV {
+		w = bench.CSVWriter{W: w}
+	}
+
+	imgCfg := bench.DefaultImageConfig()
+	senCfg := bench.DefaultSensorConfig()
+	if *frames > 0 {
+		imgCfg.Frames = *frames
+		senCfg.Frames = *frames
+	}
+	if *seeds > 0 {
+		senCfg.Seeds = senCfg.Seeds[:min(*seeds, len(senCfg.Seeds))]
+	}
+
+	wanted := map[string]bool{}
+	for _, e := range strings.Split(*experiment, ",") {
+		wanted[strings.TrimSpace(e)] = true
+	}
+	all := wanted["all"]
+	ran := false
+
+	if all || wanted["table1"] {
+		ran = true
+		rows, err := bench.Table1()
+		if err != nil {
+			return err
+		}
+		bench.WriteTable1(w, rows)
+	}
+	if all || wanted["table2"] {
+		ran = true
+		rows, err := bench.Table2(imgCfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteTable2(w, rows)
+	}
+	if all || wanted["table3"] {
+		ran = true
+		rows, err := bench.Table3(senCfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteTable3(w, rows)
+	}
+	if all || wanted["table4"] {
+		ran = true
+		rows, err := bench.Table4(senCfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteTable4(w, rows)
+	}
+	if all || wanted["figure7"] {
+		ran = true
+		pts, err := bench.Figure7(senCfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteFigure7(w, pts)
+		if *plot {
+			bench.PlotFigure7(w, pts)
+		}
+	}
+	if all || wanted["figure8"] {
+		ran = true
+		pts, err := bench.Figure8(senCfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteFigure8(w, pts)
+		if *plot {
+			bench.PlotFigure8(w, pts)
+		}
+	}
+	if all || wanted["ablation"] {
+		ran = true
+		rows, err := bench.Ablations(imgCfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteAblations(w, rows)
+	}
+	if all || wanted["richimage"] {
+		ran = true
+		rows, err := bench.RichImage(imgCfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteRichImage(w, rows)
+	}
+	if all || wanted["models"] {
+		ran = true
+		rows, err := bench.CompareModels(imgCfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteModelComparison(w, rows)
+	}
+	if all || wanted["claims"] {
+		ran = true
+		cl, err := bench.ComputeClaims(imgCfg, senCfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteClaims(w, cl)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

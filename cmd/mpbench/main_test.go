@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable2Experiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "table2", "-frames", "60"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Table 2", "Image<Display", "Method Partitioning", "Mixed"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAblationExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "ablation", "-frames", "60"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no-receiver-profiling") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestCombinedExperiments(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "table3,figure8", "-frames", "40", "-seeds", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Table 3") || !strings.Contains(text, "Figure 8") {
+		t.Errorf("output:\n%s", text)
+	}
+	if strings.Contains(text, "Table 4") {
+		t.Error("unrequested experiment ran")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "table2", "-frames", "60", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "# Table 2") {
+		t.Errorf("missing CSV title comment:\n%s", text)
+	}
+	if !strings.Contains(text, "Implementation,Small (80x80),Large (200x200),Mixed") {
+		t.Errorf("missing CSV header:\n%s", text)
+	}
+	if strings.Contains(text, "  ") {
+		t.Errorf("CSV output contains aligned padding:\n%s", text)
+	}
+}
+
+func TestModelsExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "models", "-frames", "60"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "energy") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "bogus"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,142 @@
+// Command mpdemo runs a two-process Method Partitioning demo over real TCP:
+// start the subscriber (receiver) first, then point the publisher at it, or
+// use -mode both to run the full loop in one process.
+//
+//	mpdemo -mode both
+//	mpdemo -mode publish -addr 127.0.0.1:7000 -frames 50
+//	mpdemo -mode subscribe -addr 127.0.0.1:7000
+//
+// In publish/subscribe mode the roles are reversed from the subscription
+// flow: the *publisher* listens and the subscriber dials it, matching the
+// jecho handshake.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"methodpart"
+	"methodpart/internal/imaging"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mpdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mpdemo", flag.ContinueOnError)
+	mode := fs.String("mode", "both", "both | publish | subscribe")
+	addr := fs.String("addr", "127.0.0.1:0", "publisher listen address (publish/both) or target (subscribe)")
+	frames := fs.Int("frames", 40, "frames to publish")
+	display := fs.Int("display", 160, "subscriber display size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *mode {
+	case "both":
+		return runBoth(*addr, *frames, *display)
+	case "publish":
+		return runPublisher(*addr, *frames, true)
+	case "subscribe":
+		return runSubscriber(*addr, *display)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+func newPublisher(addr string) (*methodpart.Publisher, error) {
+	reg, _ := imaging.Builtins()
+	return methodpart.NewPublisher(methodpart.PublisherConfig{
+		Addr:          addr,
+		Builtins:      reg,
+		FeedbackEvery: 2,
+	})
+}
+
+func runPublisher(addr string, frames int, wait bool) error {
+	pub, err := newPublisher(addr)
+	if err != nil {
+		return err
+	}
+	defer pub.Close()
+	fmt.Printf("publisher listening at %s\n", pub.Addr())
+	if wait {
+		fmt.Println("waiting for a subscriber...")
+		for pub.Subscribers() == 0 {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return publishFrames(pub, frames)
+}
+
+func publishFrames(pub *methodpart.Publisher, frames int) error {
+	for i := 0; i < frames; i++ {
+		size := 80
+		if i >= frames/2 {
+			size = 220
+		}
+		if _, err := pub.Publish(imaging.NewFrame(size, size, int64(i))); err != nil {
+			return err
+		}
+		fmt.Printf("published frame %d (%dx%d)\n", i, size, size)
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond)
+	return nil
+}
+
+func runSubscriber(addr string, display int) error {
+	sub, err := subscribe(addr, display)
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+	fmt.Printf("subscribed to %s; waiting for frames (ctrl-c to quit)\n", addr)
+	<-sub.Done()
+	return nil
+}
+
+func subscribe(addr string, display int) (*methodpart.Subscriber, error) {
+	reg, _ := imaging.Builtins()
+	return methodpart.Subscribe(methodpart.SubscriberConfig{
+		Addr:          addr,
+		Name:          "mpdemo",
+		Source:        imaging.HandlerSource(display),
+		Handler:       imaging.HandlerName,
+		CostModel:     "datasize",
+		Natives:       []string{"displayImage"},
+		Builtins:      reg,
+		Environment:   methodpart.DefaultEnvironment(),
+		ReconfigEvery: 2,
+		DiffThreshold: 0.1,
+		OnResult: func(r *methodpart.HandlerResult) {
+			fmt.Printf("  received message (split PSE %d)\n", r.SplitPSE)
+		},
+	})
+}
+
+func runBoth(addr string, frames, display int) error {
+	pub, err := newPublisher(addr)
+	if err != nil {
+		return err
+	}
+	defer pub.Close()
+	sub, err := subscribe(pub.Addr(), display)
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+	for pub.Subscribers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := publishFrames(pub, frames); err != nil {
+		return err
+	}
+	fmt.Printf("done: %d messages processed by the subscriber\n", sub.Processed())
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunBoth(t *testing.T) {
+	if err := run([]string{"-mode", "both", "-frames", "8", "-display", "64"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	if err := run([]string{"-mode", "bogus"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

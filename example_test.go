@@ -1,0 +1,98 @@
+package methodpart_test
+
+import (
+	"fmt"
+
+	"methodpart"
+)
+
+// ExampleCompileHandler compiles the paper's push() handler and prints the
+// potential split edges the static analysis discovers.
+func ExampleCompileHandler() {
+	src := `
+class ImageData {
+  width int
+  height int
+  buff bytes
+}
+
+func push(event) {
+  z0 = instanceof event ImageData
+  ifnot z0 goto done
+  r2 = cast event ImageData
+  r3 = new ImageData
+  call initResize r3 r2
+  r4 = move r3
+  call displayImage r4
+done:
+  return
+}
+`
+	handler, err := methodpart.CompileHandler(src, "push",
+		methodpart.Natives("displayImage", "initResize"))
+	if err != nil {
+		fmt.Println("compile:", err)
+		return
+	}
+	for _, pse := range handler.PSEs {
+		fmt.Printf("PSE %d at %v hands over %v\n", pse.ID, pse.Edge, pse.Vars)
+	}
+	// Output:
+	// PSE 0 at Edge(-1,0) hands over [event]
+	// PSE 1 at Edge(1,7) hands over []
+	// PSE 2 at Edge(2,3) hands over [r2]
+}
+
+// ExampleModulator splits a handler at a chosen PSE and shows the remote
+// continuation crossing to the demodulator.
+func ExampleModulator() {
+	src := `
+func scale(event) {
+  ten = const 10
+  big = mul event ten
+  call report big
+  return
+}
+`
+	handler, err := methodpart.CompileHandler(src, "scale", methodpart.Natives("report"))
+	if err != nil {
+		fmt.Println("compile:", err)
+		return
+	}
+	registry := func() *methodpart.Registry {
+		reg := methodpart.NewRegistry()
+		reg.MustRegister(methodpart.Builtin{
+			Name:   "report",
+			Native: true,
+			Fn: func(env *methodpart.Env, args []methodpart.Value) (methodpart.Value, error) {
+				fmt.Println("receiver reports:", args[0])
+				return methodpart.Null{}, nil
+			},
+		})
+		return reg
+	}
+	mod := methodpart.NewModulator(handler, methodpart.NewEnv(handler, registry()))
+	demod := methodpart.NewDemodulator(handler, methodpart.NewEnv(handler, registry()))
+
+	// Cut at the last PSE: the multiplication runs at the sender.
+	lastPSE := int32(handler.NumPSEs()) - 1
+	plan, err := methodpart.NewPlan(handler, 1, []int32{lastPSE}, nil)
+	if err != nil {
+		fmt.Println("plan:", err)
+		return
+	}
+	mod.SetPlan(plan)
+
+	out, err := mod.Process(methodpart.Int(7))
+	if err != nil {
+		fmt.Println("modulate:", err)
+		return
+	}
+	fmt.Println("continuation resumes at node", out.Cont.ResumeNode)
+	if _, err := demod.Process(out.Cont); err != nil {
+		fmt.Println("demodulate:", err)
+	}
+	// Output:
+	// continuation resumes at node 2
+	// receiver reports: 70
+}

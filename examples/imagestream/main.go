@@ -1,0 +1,102 @@
+// Imagestream: the paper's first application (§5.1) over real TCP. A
+// publisher streams image frames; a subscriber installs the display handler
+// with the data-size cost model. Mid-stream the frame size changes from
+// smaller-than-display to larger-than-display, and the runtime moves the
+// split point from "ship the original" to "resize at the sender", which is
+// visible in the bytes sent per frame.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"methodpart"
+	"methodpart/internal/imaging"
+)
+
+const display = 160
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	pubReg, _ := imaging.Builtins()
+	pub, err := methodpart.NewPublisher(methodpart.PublisherConfig{
+		Addr:          "127.0.0.1:0",
+		Builtins:      pubReg,
+		FeedbackEvery: 2,
+	})
+	if err != nil {
+		return err
+	}
+	defer pub.Close()
+
+	subReg, disp := imaging.Builtins()
+	var (
+		mu     sync.Mutex
+		splits []int32
+	)
+	sub, err := methodpart.Subscribe(methodpart.SubscriberConfig{
+		Addr:          pub.Addr(),
+		Name:          "handheld",
+		Source:        imaging.HandlerSource(display),
+		Handler:       imaging.HandlerName,
+		CostModel:     "datasize",
+		Natives:       []string{"displayImage"},
+		Builtins:      subReg,
+		Environment:   methodpart.DefaultEnvironment(),
+		ReconfigEvery: 2,
+		DiffThreshold: 0.1,
+		OnResult: func(r *methodpart.HandlerResult) {
+			mu.Lock()
+			splits = append(splits, r.SplitPSE)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+
+	for pub.Subscribers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("publisher at %s, handler installed with %d PSEs\n",
+		pub.Addr(), sub.Compiled().NumPSEs())
+
+	stream := func(size, frames int, label string) error {
+		fmt.Printf("\n--- streaming %d %s frames (%dx%d, display %dx%d) ---\n",
+			frames, label, size, size, display, display)
+		for i := 0; i < frames; i++ {
+			if _, err := pub.Publish(imaging.NewFrame(size, size, int64(i))); err != nil {
+				return err
+			}
+			time.Sleep(2 * time.Millisecond) // frame pacing
+		}
+		return nil
+	}
+	if err := stream(80, 20, "small"); err != nil {
+		return err
+	}
+	if err := stream(220, 20, "large"); err != nil {
+		return err
+	}
+	// Let the tail drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for sub.Processed() < 40 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("\nsplit point per frame (0=raw, higher=later in the handler):\n  %v\n", splits)
+	fmt.Printf("frames displayed at receiver: %d (all resized to %dx%d)\n", len(disp.Frames), display, display)
+	last := splits[len(splits)-1]
+	fmt.Printf("final split PSE: %d — the transform now runs at the sender\n", last)
+	return nil
+}

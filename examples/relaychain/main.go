@@ -1,0 +1,125 @@
+// Relaychain: three-way Method Partitioning (the paper's §7 extension of
+// propagating modulators along a data stream). A sensor handler runs in
+// three pieces — sensor node, edge relay, and consumer — with each hop's
+// plan chosen independently. Mid-run the relay is reconfigured to absorb
+// more of the chain, visibly shifting work off the consumer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"methodpart"
+	"methodpart/internal/sensor"
+)
+
+const stages = 12
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	handler, err := methodpart.CompileHandler(sensor.HandlerSource(stages), sensor.HandlerName,
+		methodpart.Natives("deliver"),
+		methodpart.WithModel(methodpart.ExecTimeModel()),
+	)
+	if err != nil {
+		return err
+	}
+
+	mkEnv := func() (*methodpart.Env, *sensor.Sink) {
+		reg, sink := sensor.Builtins(stages)
+		return methodpart.NewEnv(handler, reg), sink
+	}
+	sensorEnv, _ := mkEnv()
+	relayEnv, _ := mkEnv()
+	consumerEnv, sink := mkEnv()
+
+	mod := methodpart.NewModulator(handler, sensorEnv)
+	relay := methodpart.NewRelay(handler, relayEnv)
+	demod := methodpart.NewDemodulator(handler, consumerEnv)
+
+	// Locate the PSE that cuts after stage k (the stage-k call sits at
+	// instruction 3+k).
+	stageCut := func(k int) int32 {
+		for id := int32(1); id < int32(handler.NumPSEs()); id++ {
+			pse := handler.PSEs[id]
+			if pse.Edge.From == 3+k && pse.Edge.To == 4+k && len(pse.Vars) > 0 {
+				return id
+			}
+		}
+		return -1
+	}
+	filter := int32(-1)
+	for id := int32(1); id < int32(handler.NumPSEs()); id++ {
+		if len(handler.PSEs[id].Vars) == 0 {
+			filter = id
+		}
+	}
+
+	setPlans := func(sensorStages, relayStages int, version uint64) error {
+		mp, err := methodpart.NewPlan(handler, version, []int32{stageCut(sensorStages), filter}, nil)
+		if err != nil {
+			return err
+		}
+		mod.SetPlan(mp)
+		rp, err := methodpart.NewPlan(handler, version, []int32{stageCut(sensorStages + relayStages), filter}, nil)
+		if err != nil {
+			return err
+		}
+		relay.SetPlan(rp)
+		return nil
+	}
+
+	// Phase 1: sensor 1..4, relay 5..8, consumer 9..12.
+	if err := setPlans(4, 4, 1); err != nil {
+		return err
+	}
+	fmt.Println("phase 1: sensor does stages 1-4, relay 5-8, consumer 9-12")
+	if err := stream(mod, relay, demod, 5, 0); err != nil {
+		return err
+	}
+
+	// Phase 2: the consumer is struggling — the relay absorbs more.
+	if err := setPlans(4, 7, 2); err != nil {
+		return err
+	}
+	fmt.Println("\nphase 2: consumer overloaded; relay now runs stages 5-11")
+	if err := stream(mod, relay, demod, 5, 5); err != nil {
+		return err
+	}
+
+	fmt.Printf("\ntotal frames delivered at the consumer sink: %d\n", len(sink.Outputs))
+	return nil
+}
+
+func stream(mod *methodpart.Modulator, relay *methodpart.Relay, demod *methodpart.Demodulator, frames int, from int) error {
+	for i := 0; i < frames; i++ {
+		out1, err := mod.Process(sensor.NewFrame(int64(from+i), 2000))
+		if err != nil {
+			return err
+		}
+		out2, err := relay.Process(message(out1))
+		if err != nil {
+			return err
+		}
+		res, err := demod.Process(message(out2))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  frame %d: sensor %6d units -> relay %6d units -> consumer %6d units (resume %d then %d)\n",
+			from+i, out1.ModWork, out2.ModWork, res.DemodWork,
+			out1.Cont.ResumeNode, out2.Cont.ResumeNode)
+	}
+	return nil
+}
+
+func message(out *methodpart.ModulatorOutput) any {
+	if out.Raw != nil {
+		return out.Raw
+	}
+	return out.Cont
+}

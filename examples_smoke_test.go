@@ -1,0 +1,38 @@
+package methodpart_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example main end to end (each prints a
+// deterministic marker on success). Skipped under -short.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are integration runs")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"./examples/quickstart", "Potential Split Edges"},
+		{"./examples/imagestream", "the transform now runs at the sender"},
+		{"./examples/sensornet", "the split moved toward the producer"},
+		{"./examples/filtering", "phase B (converged)"},
+		{"./examples/relaychain", "total frames delivered at the consumer sink: 10"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("%s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

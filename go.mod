@@ -1,0 +1,3 @@
+module methodpart
+
+go 1.22

@@ -1,0 +1,75 @@
+package analysis
+
+import "methodpart/internal/mir"
+
+// ComputeAliases performs the light flow-insensitive points-to analysis the
+// paper relies on to recognise edges whose INTER sets have identical runtime
+// cost under different variable names (§3, §4.1): registers connected by
+// move/cast chains refer to the same value, provided each register has a
+// single static definition (so the flow-insensitive view is sound).
+//
+// The result maps each register to its canonical representative; registers
+// not in move/cast chains map to themselves.
+func ComputeAliases(prog *mir.Program) map[string]string {
+	defCount := make(map[string]int)
+	for _, prm := range prog.Params {
+		defCount[prm]++
+	}
+	for i := range prog.Instrs {
+		for _, d := range prog.Instrs[i].Defs() {
+			defCount[d]++
+		}
+	}
+
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			// Prefer the lexicographically smaller root for determinism.
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		if in.Op != mir.OpMove && in.Op != mir.OpCast {
+			continue
+		}
+		if defCount[in.Dst] == 1 && defCount[in.Src] == 1 {
+			union(in.Dst, in.Src)
+		}
+	}
+
+	out := make(map[string]string)
+	for _, r := range prog.Registers() {
+		out[r] = find(r)
+	}
+	return out
+}
+
+// CanonicalSet rewrites a variable set through the alias map, collapsing
+// aliased registers onto one representative.
+func CanonicalSet(vars VarSet, aliases map[string]string) VarSet {
+	out := make(VarSet, len(vars))
+	for v := range vars {
+		if c, ok := aliases[v]; ok {
+			out[c] = true
+		} else {
+			out[v] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"methodpart/internal/analysis"
+	"methodpart/internal/costmodel"
+	"methodpart/internal/mir/asm"
+	"methodpart/internal/testprog"
+)
+
+// pushAnalysis runs the full pipeline on the paper's push() example under
+// the data-size model.
+func pushAnalysis(t *testing.T) *analysis.Result {
+	t.Helper()
+	u := testprog.PushUnit()
+	prog, _ := u.Program("push")
+	classes, err := u.ClassTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := testprog.PushBuiltins()
+	ug := analysis.BuildUnitGraph(prog)
+	live := analysis.ComputeLiveness(ug)
+	model := costmodel.NewDataSize()
+	res, err := analysis.Analyze(ug, reg, model.StaticCost(prog, classes, live), analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPushUnitGraph(t *testing.T) {
+	res := pushAnalysis(t)
+	ug := res.UG
+	if ug.Exit != 8 {
+		t.Fatalf("exit node = %d, want 8", ug.Exit)
+	}
+	// The branch at node 1 has two successors: fall-through 2 and label 7.
+	succ := ug.G.Succ(1)
+	if len(succ) != 2 {
+		t.Fatalf("succ(1) = %v", succ)
+	}
+	if !ug.G.HasEdge(1, 2) || !ug.G.HasEdge(1, 7) {
+		t.Fatalf("branch edges missing: succ(1)=%v", succ)
+	}
+	if !ug.G.HasEdge(7, 8) {
+		t.Fatal("return must flow to exit")
+	}
+}
+
+func TestPushStopNodes(t *testing.T) {
+	res := pushAnalysis(t)
+	// Node 6 invokes native displayImage (paper node 9); node 7 is the
+	// return (paper node 10); node 8 is the virtual exit.
+	for _, n := range []int{6, 7, 8} {
+		if !res.Stops[n] {
+			t.Errorf("node %d should be a StopNode", n)
+		}
+	}
+	for _, n := range []int{0, 1, 2, 3, 4, 5} {
+		if res.Stops[n] {
+			t.Errorf("node %d should not be a StopNode", n)
+		}
+	}
+}
+
+func TestPushTargetPaths(t *testing.T) {
+	res := pushAnalysis(t)
+	// tp1 = filter path ending at the return; tp2 = transform path ending
+	// at the native display call (paper: tp1={2,3,4,10}, tp2={2,...,9}).
+	if len(res.Paths) != 2 {
+		t.Fatalf("target paths = %v, want 2", res.Paths)
+	}
+	want := [][]int{
+		{0, 1, 2, 3, 4, 5, 6},
+		{0, 1, 7},
+	}
+	for _, w := range want {
+		found := false
+		for _, p := range res.Paths {
+			if equalInts(p, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("target path %v missing from %v", w, res.Paths)
+		}
+	}
+}
+
+func TestPushLivenessInterSets(t *testing.T) {
+	res := pushAnalysis(t)
+	cases := []struct {
+		e    analysis.Edge
+		want []string
+	}{
+		{analysis.Edge{From: 0, To: 1}, []string{"event", "z0"}},
+		{analysis.Edge{From: 1, To: 2}, []string{"event"}},
+		{analysis.Edge{From: 1, To: 7}, nil},
+		{analysis.Edge{From: 2, To: 3}, []string{"r2"}},
+		{analysis.Edge{From: 3, To: 4}, []string{"r2", "r3"}},
+		{analysis.Edge{From: 4, To: 5}, []string{"r3"}},
+		{analysis.Edge{From: 5, To: 6}, []string{"r4"}},
+	}
+	for _, c := range cases {
+		got := res.Live.Inter(c.e).Sorted()
+		if !equalStrs(got, c.want) {
+			t.Errorf("INTER%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestPushAliases(t *testing.T) {
+	res := pushAnalysis(t)
+	// r2 = cast event; r4 = move r3: both single-def chains.
+	if res.Aliases["r2"] != res.Aliases["event"] {
+		t.Errorf("r2 and event should alias: %v", res.Aliases)
+	}
+	if res.Aliases["r4"] != res.Aliases["r3"] {
+		t.Errorf("r4 and r3 should alias: %v", res.Aliases)
+	}
+	if res.Aliases["r3"] == res.Aliases["event"] {
+		t.Errorf("r3 must not alias event: %v", res.Aliases)
+	}
+}
+
+// TestPushPSESet is the paper's worked example (§3): the PSE set must be the
+// structural equivalent of {Edge(4,10), Edge(2,3), Edge(8,9)} — one split
+// before the return on the filter path, one before the transform with only
+// the event in hand (r2 aliases event, and its shorter name gives it a
+// determinably smaller wire cost than Edge(1,2)), and one after the
+// transform (r3/r4 alias class; the earlier edge wins the exact tie).
+func TestPushPSESet(t *testing.T) {
+	res := pushAnalysis(t)
+	want := []analysis.Edge{
+		{From: 1, To: 7}, // paper Edge(4,10): filter path, empty hand-over
+		{From: 2, To: 3}, // paper Edge(2,3) class: before the transform
+		{From: 4, To: 5}, // paper Edge(8,9) class: after the transform
+	}
+	if len(res.PSESet) != len(want) {
+		t.Fatalf("PSESet = %v, want %v", res.PSESet, want)
+	}
+	for i, e := range want {
+		if res.PSESet[i] != e {
+			t.Errorf("PSESet[%d] = %v, want %v", i, res.PSESet[i], e)
+		}
+	}
+}
+
+func TestPushNoInfiniteEdges(t *testing.T) {
+	res := pushAnalysis(t)
+	if len(res.Infinite) != 0 {
+		t.Errorf("loop-free handler has infinite edges: %v", res.Infinite)
+	}
+}
+
+// TestLoopConvexity: loop-carried dependences (the accumulator) must mark
+// every loop-body edge infinite, leaving PSEs only outside the loop.
+func TestLoopConvexity(t *testing.T) {
+	u := testprog.PushUnit() // for class table only
+	classes, _ := u.ClassTable()
+	lu := mustUnit(t, testprog.LoopSource)
+	prog, _ := lu.Program("sum")
+	reg, _ := testprog.LoopBuiltins()
+	ug := analysis.BuildUnitGraph(prog)
+	live := analysis.ComputeLiveness(ug)
+	model := costmodel.NewDataSize()
+	res, err := analysis.Analyze(ug, reg, model.StaticCost(prog, classes, live), analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The backedge and the loop body must be uncuttable.
+	backedge := false
+	for e := range res.Infinite {
+		if e.To < e.From {
+			backedge = true
+		}
+	}
+	if !backedge {
+		t.Errorf("no backedge marked infinite: %v", res.Infinite)
+	}
+	// All selected PSEs must be outside the loop: no PSE may be an edge
+	// between the loop head and the backedge source.
+	for _, e := range res.PSESet {
+		if res.Infinite[e] {
+			t.Errorf("PSE %v is marked infinite", e)
+		}
+	}
+	if len(res.PSESet) == 0 {
+		t.Fatal("loop handler has no PSEs at all (prologue/epilogue edges expected)")
+	}
+}
+
+func TestDDGPush(t *testing.T) {
+	res := pushAnalysis(t)
+	want := map[analysis.DefUse]bool{
+		{Def: 0, Use: 1, Var: "z0"}: true, // instanceof -> ifnot
+		{Def: 2, Use: 4, Var: "r2"}: true, // cast -> initResize
+		{Def: 3, Use: 4, Var: "r3"}: true, // new -> initResize
+		{Def: 3, Use: 5, Var: "r3"}: true, // new -> move
+		{Def: 5, Use: 6, Var: "r4"}: true, // move -> displayImage
+	}
+	got := make(map[analysis.DefUse]bool, len(res.DDG))
+	for _, du := range res.DDG {
+		got[du] = true
+	}
+	for du := range want {
+		if !got[du] {
+			t.Errorf("DDG missing %+v (got %v)", du, res.DDG)
+		}
+	}
+}
+
+func TestAnalyzeMaxPathsLimit(t *testing.T) {
+	u := testprog.PushUnit()
+	prog, _ := u.Program("push")
+	classes, _ := u.ClassTable()
+	reg, _ := testprog.PushBuiltins()
+	ug := analysis.BuildUnitGraph(prog)
+	live := analysis.ComputeLiveness(ug)
+	model := costmodel.NewDataSize()
+	// The push handler has 2 TargetPaths; a budget of 1 must error.
+	_, err := analysis.Analyze(ug, reg, model.StaticCost(prog, classes, live), analysis.Options{MaxPaths: 1})
+	if err == nil {
+		t.Fatal("path budget of 1 accepted for a 2-path handler")
+	}
+	// The degraded analysis still carries StopNodes and liveness.
+	res, err := analysis.AnalyzeWithoutPaths(ug, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PSESet) != 0 {
+		t.Errorf("degenerate analysis has PSEs: %v", res.PSESet)
+	}
+	if !res.Stops[6] || !res.Stops[7] {
+		t.Errorf("degenerate analysis lost StopNodes: %v", res.Stops)
+	}
+	if res.Live == nil || len(res.Live.In) == 0 {
+		t.Error("degenerate analysis lost liveness")
+	}
+}
+
+func TestVarSetOps(t *testing.T) {
+	a := analysis.NewVarSet("x", "y")
+	b := analysis.NewVarSet("y", "z")
+	inter := a.Intersect(b)
+	if !equalStrs(inter.Sorted(), []string{"y"}) {
+		t.Errorf("intersect = %v", inter.Sorted())
+	}
+	if !analysis.NewVarSet("y").SubsetOf(a) {
+		t.Error("subset failed")
+	}
+	if a.SubsetOf(b) {
+		t.Error("non-subset reported subset")
+	}
+	if !a.Clone().Equal(a) {
+		t.Error("clone not equal")
+	}
+}
+
+func mustUnit(t *testing.T, src string) *asm.Unit {
+	t.Helper()
+	u, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

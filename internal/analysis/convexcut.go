@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CostDesc is the static cost estimate of cutting at an edge, as produced by
+// a cost model. Det is the deterministic lower bound; Vars lists the
+// variables whose contribution is only determinable at runtime (they will be
+// profiled). Infinite marks edges that must never be cut.
+type CostDesc struct {
+	// Det is the statically determinable part of the cost (a lower bound
+	// on the true cost).
+	Det int64
+	// Vars are the (canonicalised) variables with runtime-determined cost.
+	Vars VarSet
+	// Infinite marks the edge as uncuttable.
+	Infinite bool
+}
+
+// CostFunc estimates the static cost of splitting at edge e whose hand-over
+// set is inter. Supplied by a cost model (§4).
+type CostFunc func(e Edge, inter VarSet) CostDesc
+
+// Result bundles everything the static analysis derives from one handler
+// under one cost model. It is consumed by the runtime to build the
+// modulator/demodulator pair.
+type Result struct {
+	// UG is the unit graph.
+	UG *UnitGraph
+	// Live is the liveness solution.
+	Live *Liveness
+	// DDG is the data-dependency graph (def-use edges).
+	DDG []DefUse
+	// Stops is the StopNode set (includes the virtual exit).
+	Stops map[int]bool
+	// Paths is the TargetPath list.
+	Paths [][]int
+	// Aliases maps registers to canonical representatives.
+	Aliases map[string]string
+	// Infinite marks convexity-violating edges.
+	Infinite map[Edge]bool
+	// Cost caches the cost descriptor of every TargetPath edge.
+	Cost map[Edge]CostDesc
+	// PSESet is the union of per-path minimal-cost edge sets, sorted.
+	PSESet []Edge
+	// PathPSEs gives, per TargetPath index, the PSEs selected on it.
+	PathPSEs [][]Edge
+	// Inter caches INTER(e) for every PSE.
+	Inter map[Edge]VarSet
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// MaxPaths bounds TargetPath enumeration (0 = DefaultMaxTargetPaths).
+	MaxPaths int
+}
+
+// Analyze runs the complete §3 pipeline: UG, liveness, DDG, StopNodes,
+// TargetPaths, convexity marking and per-path minimal-cost edge selection.
+func Analyze(ug *UnitGraph, oracle NativeOracle, cost CostFunc, opts Options) (*Result, error) {
+	live := ComputeLiveness(ug)
+	ddg := ComputeDDG(ug)
+	stops := MarkStopNodes(ug, oracle)
+	paths, err := TargetPaths(ug, stops, opts.MaxPaths)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", ug.Prog.Name, err)
+	}
+	aliases := ComputeAliases(ug.Prog)
+	infinite := markInfinite(ug, ddg)
+
+	res := &Result{
+		UG:       ug,
+		Live:     live,
+		DDG:      ddg,
+		Stops:    stops,
+		Paths:    paths,
+		Aliases:  aliases,
+		Infinite: infinite,
+		Cost:     make(map[Edge]CostDesc),
+		Inter:    make(map[Edge]VarSet),
+	}
+
+	costOf := func(e Edge) CostDesc {
+		if c, ok := res.Cost[e]; ok {
+			return c
+		}
+		inter := live.Inter(e)
+		c := cost(e, inter)
+		c.Vars = CanonicalSet(c.Vars, aliases)
+		if infinite[e] {
+			c.Infinite = true
+		}
+		res.Cost[e] = c
+		return c
+	}
+
+	pseSet := make(map[Edge]bool)
+	res.PathPSEs = make([][]Edge, len(paths))
+	for pi, p := range paths {
+		sel := minCostEdgeSet(PathEdges(p), costOf)
+		res.PathPSEs[pi] = sel
+		for _, e := range sel {
+			pseSet[e] = true
+		}
+	}
+	for e := range pseSet {
+		res.PSESet = append(res.PSESet, e)
+		res.Inter[e] = live.Inter(e)
+	}
+	sort.Slice(res.PSESet, func(i, j int) bool { return res.PSESet[i].Less(res.PSESet[j]) })
+	return res, nil
+}
+
+// AnalyzeWithoutPaths produces a degenerate analysis result with an empty
+// PSE set for handlers whose TargetPath enumeration explodes: the liveness,
+// DDG and StopNode facts are still computed (the runtime needs StopNodes
+// for its safety checks), but no candidate split edges are offered, so the
+// only available partitioning ships raw events.
+func AnalyzeWithoutPaths(ug *UnitGraph, oracle NativeOracle) (*Result, error) {
+	return &Result{
+		UG:       ug,
+		Live:     ComputeLiveness(ug),
+		DDG:      ComputeDDG(ug),
+		Stops:    MarkStopNodes(ug, oracle),
+		Aliases:  ComputeAliases(ug.Prog),
+		Infinite: make(map[Edge]bool),
+		Cost:     make(map[Edge]CostDesc),
+		Inter:    make(map[Edge]VarSet),
+	}, nil
+}
+
+// markInfinite implements lines 2–6 of the ConvexCut algorithm (Fig. 3):
+// for each DDG edge (def→use), every UG edge lying on a path from the use
+// node back to the def node gets infinite cost, preventing cuts that would
+// make data flow from the demodulator back to the modulator.
+//
+// An edge (a,b) lies on some use→def path iff a is reachable from use and
+// def is reachable from b; this reachability formulation marks a (safe)
+// superset of the per-path marking without enumerating paths.
+func markInfinite(ug *UnitGraph, ddg []DefUse) map[Edge]bool {
+	infinite := make(map[Edge]bool)
+	// Cache reachability per source node.
+	fwd := make(map[int]map[int]bool)
+	reach := func(n int) map[int]bool {
+		if r, ok := fwd[n]; ok {
+			return r
+		}
+		r := ug.G.Reachable(n)
+		fwd[n] = r
+		return r
+	}
+	for _, du := range ddg {
+		fromUse := reach(du.Use)
+		for _, e := range ug.Edges() {
+			if infinite[e] {
+				continue
+			}
+			if fromUse[e.From] && reach(e.To)[du.Def] {
+				infinite[e] = true
+			}
+		}
+	}
+	return infinite
+}
+
+// minCostEdgeSet implements the paper's MinCostEdgeSet(p): the non-dominated
+// edges of the path under comparative cost. Edge A (earlier or not)
+// eliminates edge B when A's cost is determinably no greater than B's —
+// A.Det ≤ B.Det with A.Vars ⊆ B.Vars — and either strictly smaller on one
+// component or exactly equal (in which case the earlier edge is kept,
+// mirroring the paper's "arbitrarily remove one of them").
+func minCostEdgeSet(edges []Edge, costOf func(Edge) CostDesc) []Edge {
+	type cand struct {
+		e    Edge
+		c    CostDesc
+		dead bool
+	}
+	var cands []cand
+	for _, e := range edges {
+		c := costOf(e)
+		if c.Infinite {
+			continue
+		}
+		cands = append(cands, cand{e: e, c: c})
+	}
+	for i := range cands {
+		if cands[i].dead {
+			continue
+		}
+		for j := range cands {
+			if i == j || cands[j].dead {
+				continue
+			}
+			if dominates(cands[i].c, cands[j].c, i < j) {
+				cands[j].dead = true
+			}
+		}
+	}
+	var out []Edge
+	for _, c := range cands {
+		if !c.dead {
+			out = append(out, c.e)
+		}
+	}
+	return out
+}
+
+// dominates reports whether cost a determinably does not exceed cost b, with
+// aFirst breaking exact ties in favour of a.
+func dominates(a, b CostDesc, aFirst bool) bool {
+	if !a.Vars.SubsetOf(b.Vars) || a.Det > b.Det {
+		return false
+	}
+	if a.Det < b.Det || len(a.Vars) < len(b.Vars) {
+		return true
+	}
+	// Exactly equal cost descriptors: keep the earlier edge.
+	return aFirst
+}

@@ -1,0 +1,254 @@
+package analysis
+
+import "sort"
+
+// VarSet is a set of register names.
+type VarSet map[string]bool
+
+// NewVarSet builds a set from names.
+func NewVarSet(names ...string) VarSet {
+	s := make(VarSet, len(names))
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
+}
+
+// Clone copies the set.
+func (s VarSet) Clone() VarSet {
+	out := make(VarSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// Equal reports set equality.
+func (s VarSet) Equal(o VarSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports s ⊆ o.
+func (s VarSet) SubsetOf(o VarSet) bool {
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns s ∩ o.
+func (s VarSet) Intersect(o VarSet) VarSet {
+	out := make(VarSet)
+	for k := range s {
+		if o[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// Sorted returns the members in sorted order.
+func (s VarSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Liveness holds the per-node live-variable IN and OUT sets of a Unit Graph.
+// Index is the node index; the virtual exit node has empty sets.
+type Liveness struct {
+	// In[i] is the set of variables live on entry to node i.
+	In []VarSet
+	// Out[i] is the set of variables live on exit from node i.
+	Out []VarSet
+}
+
+// ComputeLiveness runs the standard backward may-analysis over the UG.
+func ComputeLiveness(ug *UnitGraph) *Liveness {
+	n := ug.Exit + 1
+	lv := &Liveness{
+		In:  make([]VarSet, n),
+		Out: make([]VarSet, n),
+	}
+	for i := 0; i < n; i++ {
+		lv.In[i] = make(VarSet)
+		lv.Out[i] = make(VarSet)
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Iterate in reverse node order for faster convergence.
+		for i := n - 1; i >= 0; i-- {
+			if ug.IsExit(i) {
+				continue
+			}
+			out := make(VarSet)
+			for _, s := range ug.G.Succ(i) {
+				for v := range lv.In[s] {
+					out[v] = true
+				}
+			}
+			in := out.Clone()
+			instr := &ug.Prog.Instrs[i]
+			for _, d := range instr.Defs() {
+				delete(in, d)
+			}
+			for _, u := range instr.Uses() {
+				in[u] = true
+			}
+			if !out.Equal(lv.Out[i]) || !in.Equal(lv.In[i]) {
+				lv.Out[i] = out
+				lv.In[i] = in
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// Inter computes INTER(e) = OUT(e.From) ∩ IN(e.To): the live variables that
+// must be handed over if the handler is split at edge e (§2.4).
+func (lv *Liveness) Inter(e Edge) VarSet {
+	return lv.Out[e.From].Intersect(lv.In[e.To])
+}
+
+// DefUse is one Data Dependency Graph edge: the value defined at Def is used
+// at Use.
+type DefUse struct {
+	// Def is the defining node.
+	Def int
+	// Use is the using node.
+	Use int
+	// Var is the register carrying the dependence.
+	Var string
+}
+
+// ComputeDDG builds the Data Dependency Graph via reaching definitions.
+// Program parameters act as definitions at a virtual entry before node 0.
+func ComputeDDG(ug *UnitGraph) []DefUse {
+	type def struct {
+		node int // -1 for parameters
+		v    string
+	}
+	prog := ug.Prog
+	n := len(prog.Instrs)
+
+	// Collect all definitions.
+	var defs []def
+	for i := 0; i < n; i++ {
+		for _, d := range prog.Instrs[i].Defs() {
+			defs = append(defs, def{node: i, v: d})
+		}
+	}
+	paramDefs := make(map[string]int, len(prog.Params))
+	for _, prm := range prog.Params {
+		paramDefs[prm] = len(defs)
+		defs = append(defs, def{node: -1, v: prm})
+	}
+	defIdxByNodeVar := make(map[[2]interface{}]int)
+	defsOfVar := make(map[string][]int)
+	for i, d := range defs {
+		defIdxByNodeVar[[2]interface{}{d.node, d.v}] = i
+		defsOfVar[d.v] = append(defsOfVar[d.v], i)
+	}
+
+	// Reaching definitions: bitsets as []bool (programs are small).
+	nd := len(defs)
+	in := make([][]bool, n)
+	out := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		in[i] = make([]bool, nd)
+		out[i] = make([]bool, nd)
+	}
+	entry := make([]bool, nd)
+	for _, prm := range prog.Params {
+		entry[paramDefs[prm]] = true
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < n; i++ {
+			newIn := make([]bool, nd)
+			if i == 0 {
+				copy(newIn, entry)
+			}
+			for _, p := range ug.G.Pred(i) {
+				if p == ug.Exit {
+					continue
+				}
+				for b := 0; b < nd; b++ {
+					if out[p][b] {
+						newIn[b] = true
+					}
+				}
+			}
+			newOut := make([]bool, nd)
+			copy(newOut, newIn)
+			for _, d := range prog.Instrs[i].Defs() {
+				// Kill all other defs of d, generate this one.
+				for _, di := range defsOfVar[d] {
+					newOut[di] = false
+				}
+				newOut[defIdxByNodeVar[[2]interface{}{i, d}]] = true
+			}
+			if !boolsEqual(newIn, in[i]) || !boolsEqual(newOut, out[i]) {
+				in[i] = newIn
+				out[i] = newOut
+				changed = true
+			}
+		}
+	}
+
+	// Def-use edges: for each use of v at node i, every reaching def of v.
+	var edges []DefUse
+	seen := make(map[DefUse]bool)
+	for i := 0; i < n; i++ {
+		for _, u := range prog.Instrs[i].Uses() {
+			for _, di := range defsOfVar[u] {
+				if !in[i][di] || defs[di].node < 0 {
+					continue // parameter defs carry no intra-UG dependence
+				}
+				du := DefUse{Def: defs[di].node, Use: i, Var: u}
+				if !seen[du] {
+					seen[du] = true
+					edges = append(edges, du)
+				}
+			}
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].Def != edges[b].Def {
+			return edges[a].Def < edges[b].Def
+		}
+		if edges[a].Use != edges[b].Use {
+			return edges[a].Use < edges[b].Use
+		}
+		return edges[a].Var < edges[b].Var
+	})
+	return edges
+}
+
+func boolsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

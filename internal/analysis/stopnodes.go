@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"sort"
+
+	"methodpart/internal/mir"
+)
+
+// NativeOracle answers whether a callable is host-native. Native calls pin
+// their instruction to the receiver (StopNodes). interp.Registry satisfies
+// this interface.
+type NativeOracle interface {
+	// IsNative reports whether the named function must run at the receiver.
+	IsNative(fn string) bool
+}
+
+// MarkStopNodes identifies the nodes that must reside at the receiver side
+// (§3): return instructions, instructions touching globals (mutable outside
+// the handler), and invocations of native methods. The virtual exit node is
+// also a stop node.
+func MarkStopNodes(ug *UnitGraph, oracle NativeOracle) map[int]bool {
+	stops := make(map[int]bool)
+	for i := range ug.Prog.Instrs {
+		in := &ug.Prog.Instrs[i]
+		switch in.Op {
+		case mir.OpReturn:
+			stops[i] = true
+		case mir.OpGetGlobal, mir.OpSetGlobal:
+			stops[i] = true
+		case mir.OpCall:
+			if oracle == nil || oracle.IsNative(in.Fn) {
+				stops[i] = true
+			}
+		}
+	}
+	stops[ug.Exit] = true
+	return stops
+}
+
+// DefaultMaxTargetPaths bounds TargetPath enumeration for pathological
+// control flow.
+const DefaultMaxTargetPaths = 4096
+
+// TargetPaths enumerates all paths from the StartNode that end at the first
+// StopNode (or the exit) they reach, with no intermediate StopNodes —
+// the paper's TargetPath definition.
+func TargetPaths(ug *UnitGraph, stops map[int]bool, maxPaths int) ([][]int, error) {
+	if maxPaths <= 0 {
+		maxPaths = DefaultMaxTargetPaths
+	}
+	paths, err := ug.G.PathsBetween(ug.Start, stops, maxPaths)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(paths, func(a, b int) bool {
+		pa, pb := paths[a], paths[b]
+		for i := 0; i < len(pa) && i < len(pb); i++ {
+			if pa[i] != pb[i] {
+				return pa[i] < pb[i]
+			}
+		}
+		return len(pa) < len(pb)
+	})
+	return paths, nil
+}
+
+// PathEdges converts a node path into its consecutive edges.
+func PathEdges(path []int) []Edge {
+	if len(path) < 2 {
+		return nil
+	}
+	out := make([]Edge, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		out[i] = Edge{From: path[i], To: path[i+1]}
+	}
+	return out
+}

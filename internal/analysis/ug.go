@@ -1,0 +1,85 @@
+// Package analysis implements the paper's static analysis (§3): Unit Graph
+// construction, live-variable analysis, the Data Dependency Graph, StopNode
+// marking, TargetPath enumeration and the ConvexCut algorithm that produces
+// the Potential Split Edge (PSE) set for a message-handling method under a
+// given cost model.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"methodpart/internal/graph"
+	"methodpart/internal/mir"
+)
+
+// Edge is a control-flow edge of the Unit Graph identified by instruction
+// indices. The virtual exit node has index len(prog.Instrs).
+type Edge struct {
+	// From is the source instruction index.
+	From int
+	// To is the destination instruction index (possibly the exit node).
+	To int
+}
+
+// String renders the edge in the paper's Edge(out,in) notation.
+func (e Edge) String() string { return fmt.Sprintf("Edge(%d,%d)", e.From, e.To) }
+
+// Less orders edges lexicographically.
+func (e Edge) Less(o Edge) bool {
+	if e.From != o.From {
+		return e.From < o.From
+	}
+	return e.To < o.To
+}
+
+// UnitGraph is the per-instruction control-flow graph of a handler, with a
+// single virtual exit node that all return instructions flow into.
+type UnitGraph struct {
+	// Prog is the analysed program.
+	Prog *mir.Program
+	// G is the digraph over nodes 0..Exit.
+	G *graph.Digraph
+	// Start is the entry node (always 0; the paper's StartNode).
+	Start int
+	// Exit is the virtual exit node index (== len(Prog.Instrs)).
+	Exit int
+}
+
+// BuildUnitGraph constructs the Unit Graph of a validated program.
+func BuildUnitGraph(prog *mir.Program) *UnitGraph {
+	n := len(prog.Instrs)
+	g := graph.NewDigraph(n + 1)
+	for i := range prog.Instrs {
+		if prog.Instrs[i].Op == mir.OpReturn {
+			g.AddEdge(i, n)
+			continue
+		}
+		for _, s := range prog.Successors(i) {
+			g.AddEdge(i, s)
+		}
+	}
+	return &UnitGraph{Prog: prog, G: g, Start: 0, Exit: n}
+}
+
+// Edges returns all control-flow edges in deterministic order.
+func (ug *UnitGraph) Edges() []Edge {
+	raw := ug.G.Edges()
+	out := make([]Edge, len(raw))
+	for i, e := range raw {
+		out[i] = Edge{From: e[0], To: e[1]}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// IsExit reports whether node i is the virtual exit.
+func (ug *UnitGraph) IsExit(i int) bool { return i == ug.Exit }
+
+// NodeString renders node i for diagnostics.
+func (ug *UnitGraph) NodeString(i int) string {
+	if ug.IsExit(i) {
+		return "<exit>"
+	}
+	return ug.Prog.Instrs[i].String()
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/simnet"
+)
+
+// AblationRow is one configuration of the Method Partitioning runtime on
+// the mixed image workload (Table 2's dynamic column), quantifying the
+// design choices DESIGN.md calls out.
+type AblationRow struct {
+	// Name labels the configuration.
+	Name string
+	// FPS is the mixed-workload throughput.
+	FPS float64
+	// PlanSwitches counts installed plan changes.
+	PlanSwitches int
+}
+
+// Ablations reruns the mixed image workload under degraded runtime
+// configurations:
+//
+//   - full: the complete system (baseline, = Table 2's MP/Mixed cell);
+//   - no-receiver-profiling: §2.3's demodulator-side instrumentation off —
+//     PSEs beyond the cut go unobserved and plans thrash;
+//   - receiver-reconfig: the reconfiguration unit at the receiver, so plans
+//     pay a link round-trip before taking effect;
+//   - rate-trigger-20: diff-trigger off, slow rate trigger only;
+//   - static-initial: adaptation off entirely after the static initial
+//     plan.
+func Ablations(cfg ImageConfig) ([]AblationRow, error) {
+	type variant struct {
+		name string
+		mut  func(*RunConfig)
+	}
+	variants := []variant{
+		{"full", func(rc *RunConfig) {}},
+		{"no-receiver-profiling", func(rc *RunConfig) { rc.NoReceiverProfiling = true }},
+		{"receiver-reconfig", func(rc *RunConfig) { rc.ReconfigAtSender = false }},
+		{"rate-trigger-20", func(rc *RunConfig) {
+			rc.RateOnlyTrigger = true
+			rc.ReportEvery = 20
+		}},
+		{"static-initial", func(rc *RunConfig) { rc.Adaptive = false }},
+	}
+	f, err := newImageFixture(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, 0, len(variants))
+	for _, v := range variants {
+		server := simnet.NewHost("server", cfg.ServerSpeed)
+		client := simnet.NewHost("client", cfg.ClientSpeed)
+		link := &simnet.Link{BytesPerMS: cfg.LinkBytesPerMS, LatencyMS: cfg.LinkLatencyMS}
+		rc := RunConfig{
+			Compiled:         f.c,
+			SenderEnv:        interp.NewEnv(f.classes, f.builtins()),
+			ReceiverEnv:      interp.NewEnv(f.classes, f.builtins()),
+			Sender:           server,
+			Receiver:         client,
+			Link:             link,
+			Frames:           cfg.Frames,
+			Workload:         imageWorkload(cfg, ScenarioMixed),
+			OverheadBytes:    64,
+			Warmup:           10,
+			Adaptive:         true,
+			ReconfigAtSender: true,
+			Nominal: costmodel.Environment{
+				SenderSpeed:   cfg.ServerSpeed,
+				ReceiverSpeed: cfg.ClientSpeed,
+				Bandwidth:     cfg.LinkBytesPerMS,
+				LatencyMS:     cfg.LinkLatencyMS,
+			},
+		}
+		v.mut(&rc)
+		if !rc.Adaptive {
+			// static-initial: raw plan, never changed.
+			rc.FixedSplit = nil
+		}
+		res, err := Run(rc)
+		if err != nil {
+			return nil, fmt.Errorf("bench: ablation %s: %w", v.name, err)
+		}
+		rows = append(rows, AblationRow{Name: v.name, FPS: res.FPS, PlanSwitches: res.PlanSwitches})
+	}
+	return rows, nil
+}
+
+// WriteAblations renders the ablation table.
+func WriteAblations(w io.Writer, rows []AblationRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name,
+			fmt.Sprintf("%.2f", r.FPS),
+			fmt.Sprintf("%d", r.PlanSwitches),
+		})
+	}
+	writeTable(w, "Ablations: MP runtime variants on the mixed image workload",
+		[]string{"Configuration", "FPS", "Plan switches"}, out)
+}

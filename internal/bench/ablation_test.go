@@ -1,0 +1,34 @@
+package bench
+
+import "testing"
+
+// TestAblationOrdering: the full runtime must beat every degraded
+// configuration on the dynamic workload, and pure-static must be the floor.
+func TestAblationOrdering(t *testing.T) {
+	cfg := DefaultImageConfig()
+	cfg.Frames = 200
+	rows, err := Ablations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		t.Logf("%-22s fps=%6.2f switches=%d", r.Name, r.FPS, r.PlanSwitches)
+	}
+	full := byName["full"].FPS
+	for name, r := range byName {
+		if name == "full" {
+			continue
+		}
+		if r.FPS > full*1.02 {
+			t.Errorf("%s (%.2f fps) beats the full runtime (%.2f)", name, r.FPS, full)
+		}
+	}
+	if s := byName["static-initial"]; s.PlanSwitches != 0 {
+		t.Errorf("static configuration switched plans %d times", s.PlanSwitches)
+	}
+	if full <= byName["static-initial"].FPS {
+		t.Errorf("adaptation worthless: full %.2f vs static %.2f", full, byName["static-initial"].FPS)
+	}
+}

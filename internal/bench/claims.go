@@ -1,0 +1,88 @@
+package bench
+
+import "fmt"
+
+// Claims quantifies the paper's §1 headline results from the rerun tables:
+//
+//   - MP "matches the performance of manually optimized implementations",
+//   - "outperforms other nonoptimized manual implementations by as much as
+//     223%", and
+//   - under dynamics, "provides performance improvements by 22% to 305%
+//     compared to implementations that cannot adapt".
+type Claims struct {
+	// StaticGapPct is MP's worst-case shortfall vs the best manual
+	// version across static scenarios (small is good).
+	StaticGapPct float64
+	// BestOverNonOptimalPct is MP's largest win over a non-optimal manual
+	// version in a static scenario.
+	BestOverNonOptimalPct float64
+	// DynamicMinPct / DynamicMaxPct bound MP's win over non-adaptive
+	// versions across the dynamic (mixed / loaded) configurations.
+	DynamicMinPct, DynamicMaxPct float64
+}
+
+// ComputeClaims reruns Table 2 and Table 4 and derives the claims.
+func ComputeClaims(imgCfg ImageConfig, senCfg SensorConfig) (*Claims, error) {
+	t2, err := Table2(imgCfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: claims: %w", err)
+	}
+	t4, err := Table4(senCfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: claims: %w", err)
+	}
+	cl := &Claims{DynamicMinPct: 1e18}
+
+	var fps = map[ImageVariant][3]float64{}
+	for _, r := range t2 {
+		fps[r.Variant] = r.FPS
+	}
+	mp := fps[VariantMethodPartitioning]
+	manuals := []ImageVariant{VariantImageLtDisplay, VariantImageGtDisplay}
+	// Static scenarios: Small (0) and Large (1). FPS: higher is better.
+	for sc := 0; sc < 2; sc++ {
+		best, worst := 0.0, 1e18
+		for _, v := range manuals {
+			f := fps[v][sc]
+			if f > best {
+				best = f
+			}
+			if f < worst {
+				worst = f
+			}
+		}
+		if gap := (best - mp[sc]) / best * 100; gap > cl.StaticGapPct {
+			cl.StaticGapPct = gap
+		}
+		if win := (mp[sc] - worst) / worst * 100; win > cl.BestOverNonOptimalPct {
+			cl.BestOverNonOptimalPct = win
+		}
+	}
+	// Dynamic: the mixed column, MP vs each manual version.
+	for _, v := range manuals {
+		win := (mp[2] - fps[v][2]) / fps[v][2] * 100
+		cl.observeDynamic(win)
+	}
+	// Dynamic: loaded Table 4 rows (times: lower is better), MP vs the
+	// non-adaptive versions.
+	for _, row := range t4 {
+		if row.Load.Producer == 0 && row.Load.Consumer == 0 {
+			continue
+		}
+		mpMS := row.MS[3]
+		for vi := 0; vi < 3; vi++ {
+			win := (row.MS[vi] - mpMS) / mpMS * 100
+			cl.observeDynamic(win)
+		}
+	}
+	return cl, nil
+}
+
+func (c *Claims) observeDynamic(win float64) {
+	if win < c.DynamicMinPct {
+		c.DynamicMinPct = win
+	}
+	if win > c.DynamicMaxPct {
+		c.DynamicMaxPct = win
+	}
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"testing"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/simnet"
+)
+
+// TestTraceMixedAdaptation prints the per-frame split decisions of the MP
+// variant under the mixed workload — a diagnostic view of adaptation lag.
+func TestTraceMixedAdaptation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic trace")
+	}
+	cfg := DefaultImageConfig()
+	cfg.Frames = 60
+	f, err := newImageFixture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := simnet.NewHost("server", cfg.ServerSpeed)
+	client := simnet.NewHost("client", cfg.ClientSpeed)
+	link := &simnet.Link{BytesPerMS: cfg.LinkBytesPerMS, LatencyMS: cfg.LinkLatencyMS}
+	rc := RunConfig{
+		Compiled:      f.c,
+		SenderEnv:     interp.NewEnv(f.classes, f.builtins()),
+		ReceiverEnv:   interp.NewEnv(f.classes, f.builtins()),
+		Sender:        server,
+		Receiver:      client,
+		Link:          link,
+		Frames:        cfg.Frames,
+		Workload:      imageWorkload(cfg, ScenarioMixed),
+		OverheadBytes: 64,
+		Warmup:        5,
+		Adaptive:      true,
+		Nominal: costmodel.Environment{
+			SenderSpeed:   cfg.ServerSpeed,
+			ReceiverSpeed: cfg.ClientSpeed,
+			Bandwidth:     cfg.LinkBytesPerMS,
+			LatencyMS:     cfg.LinkLatencyMS,
+		},
+		Trace: func(i int, split int32, bytes int64, tm simnet.Timing) {
+			t.Logf("frame %3d split=%2d bytes=%6d done=%8.1f", i, split, bytes, tm.Done)
+		},
+	}
+	res, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fps=%.2f switches=%d final=%s", res.FPS, res.PlanSwitches, res.FinalPlan)
+}

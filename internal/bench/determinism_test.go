@@ -1,0 +1,60 @@
+package bench
+
+import "testing"
+
+// TestExperimentsDeterministic: the simulated testbed is fully seeded, so
+// the same configuration must produce bit-identical results — the paper's
+// "use these same random numbers for all four implementations" taken to its
+// logical end.
+func TestExperimentsDeterministic(t *testing.T) {
+	imgCfg := DefaultImageConfig()
+	imgCfg.Frames = 80
+	a, err := ImageCell(imgCfg, VariantMethodPartitioning, ScenarioMixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ImageCell(imgCfg, VariantMethodPartitioning, ScenarioMixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FPS != b.FPS || a.Bytes != b.Bytes || a.PlanSwitches != b.PlanSwitches {
+		t.Errorf("image experiment not deterministic: %+v vs %+v", a, b)
+	}
+
+	senCfg := DefaultSensorConfig()
+	senCfg.Frames = 50
+	senCfg.Seeds = []int64{11}
+	x, err := SensorCell(senCfg, VariantMP, 0.6, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := SensorCell(senCfg, VariantMP, 0.6, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != y {
+		t.Errorf("sensor experiment not deterministic: %g vs %g", x, y)
+	}
+}
+
+// TestSharedPerturbationAcrossVariants: the four sensor variants see the
+// same perturbation trace for the same seed (the paper's shared
+// pre-generated random numbers), so a load-free variant's result cannot
+// depend on the seed at all.
+func TestSharedPerturbationAcrossVariants(t *testing.T) {
+	cfg := DefaultSensorConfig()
+	cfg.Frames = 50
+	cfg.Seeds = []int64{11}
+	a, err := SensorCell(cfg, VariantConsumer, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seeds = []int64{999}
+	b, err := SensorCell(cfg, VariantConsumer, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("unloaded run depends on the perturbation seed: %g vs %g", a, b)
+	}
+}

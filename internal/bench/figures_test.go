@@ -1,0 +1,130 @@
+package bench
+
+import "testing"
+
+// TestFigure7Shape: consumer-dependent variants climb with AProb, the
+// producer version stays flat, MP stays near the bottom with a shallow
+// slope.
+func TestFigure7Shape(t *testing.T) {
+	cfg := fastSensorConfig()
+	cfg.Frames = 60
+	cfg.Seeds = []int64{11}
+	pts, err := Figure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[SensorVariant]int{}
+	for i, v := range SensorVariants() {
+		idx[v] = i
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	for _, p := range pts {
+		t.Logf("AProb=%.1f consumer=%7.2f producer=%7.2f divided=%7.2f mp=%7.2f",
+			p.AProb, p.MS[0], p.MS[1], p.MS[2], p.MS[3])
+	}
+	// Consumer version degrades substantially.
+	if last.MS[idx[VariantConsumer]] < 1.5*first.MS[idx[VariantConsumer]] {
+		t.Errorf("consumer version did not degrade: %.2f -> %.2f",
+			first.MS[idx[VariantConsumer]], last.MS[idx[VariantConsumer]])
+	}
+	// Producer version is flat (no consumer dependence).
+	if rel := last.MS[idx[VariantProducer]] / first.MS[idx[VariantProducer]]; rel > 1.1 || rel < 0.9 {
+		t.Errorf("producer version not flat: %.2f -> %.2f",
+			first.MS[idx[VariantProducer]], last.MS[idx[VariantProducer]])
+	}
+	// MP stays well below the consumer version at full load and rises
+	// far more slowly.
+	if last.MS[idx[VariantMP]] > 0.5*last.MS[idx[VariantConsumer]] {
+		t.Errorf("MP at AProb=1 (%.2f) not well below consumer version (%.2f)",
+			last.MS[idx[VariantMP]], last.MS[idx[VariantConsumer]])
+	}
+	for _, p := range pts {
+		for vi := 0; vi < 3; vi++ {
+			if p.MS[idx[VariantMP]] > 1.1*p.MS[vi] {
+				t.Errorf("AProb=%.1f: MP %.2f worse than %s %.2f",
+					p.AProb, p.MS[idx[VariantMP]], SensorVariants()[vi], p.MS[vi])
+			}
+		}
+	}
+}
+
+// TestFigure8Stability: MP's time varies only mildly across perturbation
+// period lengths (the paper: "relatively stable against changes in
+// perturbation patterns").
+func TestFigure8Stability(t *testing.T) {
+	cfg := fastSensorConfig()
+	cfg.Frames = 60
+	cfg.Seeds = []int64{11, 22}
+	pts, err := Figure8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := pts[0].MS, pts[0].MS
+	for _, p := range pts {
+		t.Logf("PLen=%5.0f mp=%7.2f", p.PLenMS, p.MS)
+		if p.MS < min {
+			min = p.MS
+		}
+		if p.MS > max {
+			max = p.MS
+		}
+	}
+	if max > 1.35*min {
+		t.Errorf("MP unstable across PLen: min %.2f max %.2f", min, max)
+	}
+}
+
+// TestClaimsComputation: the derived headline numbers are internally
+// consistent (dynamic wins positive, MP within a small static gap).
+func TestClaimsComputation(t *testing.T) {
+	imgCfg := DefaultImageConfig()
+	imgCfg.Frames = 150
+	senCfg := fastSensorConfig()
+	cl, err := ComputeClaims(imgCfg, senCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("claims: static gap %.1f%%, best win %.0f%%, dynamic %0.f%%..%.0f%%",
+		cl.StaticGapPct, cl.BestOverNonOptimalPct, cl.DynamicMinPct, cl.DynamicMaxPct)
+	if cl.StaticGapPct > 10 {
+		t.Errorf("MP misses the best manual version by %.1f%%", cl.StaticGapPct)
+	}
+	if cl.BestOverNonOptimalPct < 50 {
+		t.Errorf("best static win only %.0f%%", cl.BestOverNonOptimalPct)
+	}
+	if cl.DynamicMinPct < 0 {
+		t.Errorf("MP loses to a non-adaptive version under dynamics by %.0f%%", -cl.DynamicMinPct)
+	}
+	if cl.DynamicMaxPct < 80 {
+		t.Errorf("max dynamic win only %.0f%%", cl.DynamicMaxPct)
+	}
+}
+
+// TestTable1Consistency: the three size mechanisms order as the paper
+// reports (serialization slowest, self-describing fastest) and the
+// self-described sizes agree with the reflective walker.
+func TestTable1Consistency(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%-20s ser=%6.0fns calc=%6.0fns self=%6.1fns", r.Name, r.SerializationNS, r.SizeCalcNS, r.SelfSizeNS)
+		if r.SerializationNS <= r.SizeCalcNS {
+			t.Errorf("%s: serialization (%.0fns) not slower than size calc (%.0fns)",
+				r.Name, r.SerializationNS, r.SizeCalcNS)
+		}
+		if r.SelfSizeNS >= 0 {
+			if r.SelfSizeNS >= r.SizeCalcNS {
+				t.Errorf("%s: self-size (%.1fns) not faster than size calc (%.0fns)",
+					r.Name, r.SelfSizeNS, r.SizeCalcNS)
+			}
+			if r.SelfSize != r.ReflectSize {
+				t.Errorf("%s: self size %d != reflect size %d", r.Name, r.SelfSize, r.ReflectSize)
+			}
+		}
+	}
+}

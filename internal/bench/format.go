@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CSVWriter wraps an io.Writer to make every Write* table render as CSV
+// (title as a comment line, then header and data records) instead of the
+// aligned human-readable layout — for piping experiment output into
+// plotting tools.
+type CSVWriter struct {
+	// W receives the CSV bytes.
+	W io.Writer
+}
+
+// Write implements io.Writer (pass-through for non-table output).
+func (c CSVWriter) Write(p []byte) (int, error) { return c.W.Write(p) }
+
+// writeTable renders rows with a header, column-aligned — or as CSV when
+// the writer is a CSVWriter.
+func writeTable(w io.Writer, title string, header []string, rows [][]string) {
+	if cw, ok := w.(CSVWriter); ok {
+		fmt.Fprintf(cw.W, "# %s\n", title)
+		enc := csv.NewWriter(cw.W)
+		_ = enc.Write(header)
+		for _, row := range rows {
+			_ = enc.Write(row)
+		}
+		enc.Flush()
+		fmt.Fprintln(cw.W)
+		return
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// WriteTable1 renders Table 1.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		self := "n/a"
+		if r.SelfSizeNS >= 0 {
+			self = fmt.Sprintf("%.3f", r.SelfSizeNS/1000)
+		}
+		out = append(out, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.SerializedSize),
+			fmt.Sprintf("%.2f", r.SerializationNS/1000),
+			fmt.Sprintf("%.2f", r.SizeCalcNS/1000),
+			self,
+		})
+	}
+	writeTable(w, "Table 1: Object serialization and size calculation costs",
+		[]string{"Class of Objects", "Serialized size (B)", "Serialization (us)", "Size calc (us)", "Self-desc (us)"}, out)
+}
+
+// WriteTable2 renders Table 2.
+func WriteTable2(w io.Writer, rows []Table2Row) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Variant.String(),
+			fmt.Sprintf("%.2f", r.FPS[0]),
+			fmt.Sprintf("%.2f", r.FPS[1]),
+			fmt.Sprintf("%.2f", r.FPS[2]),
+		})
+	}
+	writeTable(w, "Table 2: Runtime adaptation with Method Partitioning (avg frames/s, display 160x160)",
+		[]string{"Implementation", "Small (80x80)", "Large (200x200)", "Mixed"}, out)
+}
+
+// WriteTable3 renders Table 3.
+func WriteTable3(w io.Writer, rows []Table3Row) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Variant.String(),
+			fmt.Sprintf("%.2f", r.PCToSun),
+			fmt.Sprintf("%.2f", r.SunToPC),
+		})
+	}
+	writeTable(w, "Table 3: Heterogeneous platforms (avg message processing time, ms)",
+		[]string{"Implementation", "PC->Sun", "Sun->PC"}, out)
+}
+
+// WriteTable4 renders Table 4.
+func WriteTable4(w io.Writer, rows []Table4Row) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%.1f/%.1f", r.Load.Producer, r.Load.Consumer),
+			fmt.Sprintf("%.2f", r.MS[0]),
+			fmt.Sprintf("%.2f", r.MS[1]),
+			fmt.Sprintf("%.2f", r.MS[2]),
+			fmt.Sprintf("%.2f", r.MS[3]),
+		})
+	}
+	writeTable(w, "Table 4: Reducing program execution time (ms; avg of seeds; PLen=1000ms)",
+		[]string{"ProdL/ConsL", "Consumer", "Producer", "Divided", "Method Partitioning"}, out)
+}
+
+// WriteFigure7 renders the Figure 7 series.
+func WriteFigure7(w io.Writer, pts []Figure7Point) {
+	out := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, []string{
+			fmt.Sprintf("%.1f", p.AProb),
+			fmt.Sprintf("%.2f", p.MS[0]),
+			fmt.Sprintf("%.2f", p.MS[1]),
+			fmt.Sprintf("%.2f", p.MS[2]),
+			fmt.Sprintf("%.2f", p.MS[3]),
+		})
+	}
+	writeTable(w, "Figure 7: Consumer-side active-period probability sweep (ms; LIndex=0.8, PLen=1000ms)",
+		[]string{"AProb", "Consumer", "Producer", "Divided", "Method Partitioning"}, out)
+}
+
+// WriteFigure8 renders the Figure 8 series.
+func WriteFigure8(w io.Writer, pts []Figure8Point) {
+	out := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, []string{
+			fmt.Sprintf("%.0f", p.PLenMS),
+			fmt.Sprintf("%.2f", p.MS),
+		})
+	}
+	writeTable(w, "Figure 8: Consumer-side expected period length sweep, MP version (ms; LIndex=0.8)",
+		[]string{"PLen (ms)", "Method Partitioning"}, out)
+}
+
+// WriteClaims renders the headline claims summary.
+func WriteClaims(w io.Writer, c *Claims) {
+	fmt.Fprintf(w, "Headline claims (paper section 1)\n")
+	fmt.Fprintf(w, "  MP vs manually optimized (static scenarios): within %.1f%% of the best manual version\n", c.StaticGapPct)
+	fmt.Fprintf(w, "  MP vs non-optimal manual version (static):   up to %.0f%% better (paper: up to 223%%)\n", c.BestOverNonOptimalPct)
+	fmt.Fprintf(w, "  MP vs non-adaptive versions (dynamics):      %.0f%% to %.0f%% better (paper: 22%% to 305%%)\n",
+		c.DynamicMinPct, c.DynamicMaxPct)
+	fmt.Fprintln(w)
+}

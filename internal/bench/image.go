@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/imaging"
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/partition"
+	"methodpart/internal/simnet"
+)
+
+// ImageConfig is the §5.1 wireless image-streaming testbed: a fast
+// stationary server, a slow handheld client, and an 802.11b-class link.
+type ImageConfig struct {
+	// Display is the client window size (paper: 160).
+	Display int
+	// SmallSize / LargeSize are the two image scenarios (paper: 80, 200).
+	SmallSize, LargeSize int
+	// Frames per run.
+	Frames int
+	// Seed drives the mixed-scenario schedule.
+	Seed int64
+	// ServerSpeed / ClientSpeed in work units (pixels) per ms.
+	ServerSpeed, ClientSpeed float64
+	// LinkBytesPerMS / LinkLatencyMS describe the wireless link.
+	LinkBytesPerMS, LinkLatencyMS float64
+}
+
+// DefaultImageConfig calibrates the testbed to the paper's hardware
+// ratios: a PII laptop server, an iPAQ client, 802.11b with small-device
+// effective throughput (~2.4 Mbit/s).
+func DefaultImageConfig() ImageConfig {
+	return ImageConfig{
+		Display:        160,
+		SmallSize:      80,
+		LargeSize:      200,
+		Frames:         300,
+		Seed:           1,
+		ServerSpeed:    20000,
+		ClientSpeed:    1600,
+		LinkBytesPerMS: 300,
+		LinkLatencyMS:  5,
+	}
+}
+
+// ImageScenario selects the workload column of Table 2.
+type ImageScenario int
+
+// The three Table 2 workloads.
+const (
+	ScenarioSmall ImageScenario = iota + 1
+	ScenarioLarge
+	ScenarioMixed
+)
+
+// String returns the column label.
+func (s ImageScenario) String() string {
+	switch s {
+	case ScenarioSmall:
+		return "Small Image"
+	case ScenarioLarge:
+		return "Large Image"
+	case ScenarioMixed:
+		return "Mixed"
+	default:
+		return "?"
+	}
+}
+
+// imageFixture compiles the image handler and locates the plan-defining
+// PSEs.
+type imageFixture struct {
+	c        *partition.Compiled
+	classes  *mir.ClassTable
+	pre      int32 // PSE before the resize (ship original)
+	post     int32 // PSE after the resize (ship display-sized)
+	filter   int32 // PSE on the filter path
+	builtins func() *interp.Registry
+}
+
+func newImageFixture(cfg ImageConfig) (*imageFixture, error) {
+	return newImageFixtureWith(cfg, costmodel.NewDataSize())
+}
+
+func newImageFixtureWith(cfg ImageConfig, model costmodel.Model) (*imageFixture, error) {
+	unit := imaging.HandlerUnit(cfg.Display)
+	prog, ok := unit.Program(imaging.HandlerName)
+	if !ok {
+		return nil, fmt.Errorf("bench: image handler missing")
+	}
+	classes, err := unit.ClassTable()
+	if err != nil {
+		return nil, err
+	}
+	reg, _ := imaging.Builtins()
+	c, err := partition.Compile(prog, classes, reg, model)
+	if err != nil {
+		return nil, err
+	}
+	f := &imageFixture{
+		c:       c,
+		classes: classes,
+		builtins: func() *interp.Registry {
+			r, _ := imaging.Builtins()
+			return r
+		},
+	}
+	// Locate the resize call node, then classify PSEs around it.
+	callIdx := -1
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		if in.Op == mir.OpCall && in.Fn == "resizeTo" {
+			callIdx = i
+			break
+		}
+	}
+	if callIdx < 0 {
+		return nil, fmt.Errorf("bench: resizeTo call not found")
+	}
+	f.pre, f.post, f.filter = -1, -1, -1
+	for id := int32(1); id < int32(c.NumPSEs()); id++ {
+		pse, _ := c.PSE(id)
+		e := pse.Edge
+		switch {
+		case len(pse.Vars) == 0:
+			f.filter = id
+		case e.To <= callIdx:
+			if f.pre < 0 || e.To > mustPSE(c, f.pre).Edge.To {
+				f.pre = id
+			}
+		case e.From >= callIdx:
+			if f.post < 0 || e.From < mustPSE(c, f.post).Edge.From {
+				f.post = id
+			}
+		}
+	}
+	if f.pre < 0 || f.post < 0 || f.filter < 0 {
+		return nil, fmt.Errorf("bench: image PSE layout unexpected: %+v", c.PSEs)
+	}
+	return f, nil
+}
+
+func mustPSE(c *partition.Compiled, id int32) *partition.PSE {
+	p, _ := c.PSE(id)
+	return p
+}
+
+// imageWorkload builds the per-frame image generator for a scenario. Mixed
+// alternates small/large scenarios with run lengths uniform on [1,20]
+// (§5.1), pre-generated from the seed.
+func imageWorkload(cfg ImageConfig, sc ImageScenario) func(i int) mir.Value {
+	switch sc {
+	case ScenarioSmall:
+		return func(i int) mir.Value {
+			return imaging.NewFrame(cfg.SmallSize, cfg.SmallSize, int64(i))
+		}
+	case ScenarioLarge:
+		return func(i int) mir.Value {
+			return imaging.NewFrame(cfg.LargeSize, cfg.LargeSize, int64(i))
+		}
+	default:
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		sizes := make([]int, 0, cfg.Frames)
+		small := true
+		for len(sizes) < cfg.Frames {
+			n := 1 + rng.Intn(20)
+			size := cfg.SmallSize
+			if !small {
+				size = cfg.LargeSize
+			}
+			for j := 0; j < n && len(sizes) < cfg.Frames; j++ {
+				sizes = append(sizes, size)
+			}
+			small = !small
+		}
+		return func(i int) mir.Value {
+			return imaging.NewFrame(sizes[i], sizes[i], int64(i))
+		}
+	}
+}
+
+// ImageVariant names a Table 2 row.
+type ImageVariant int
+
+// The three Table 2 implementations.
+const (
+	// VariantImageLtDisplay is the manual version optimized for images
+	// smaller than the display: ship the original, resize at the client.
+	VariantImageLtDisplay ImageVariant = iota + 1
+	// VariantImageGtDisplay is the manual version optimized for images
+	// larger than the display: resize at the server, ship display-sized.
+	VariantImageGtDisplay
+	// VariantMethodPartitioning is the adaptive implementation.
+	VariantMethodPartitioning
+)
+
+// String returns the row label.
+func (v ImageVariant) String() string {
+	switch v {
+	case VariantImageLtDisplay:
+		return "Image<Display"
+	case VariantImageGtDisplay:
+		return "Image>Display"
+	case VariantMethodPartitioning:
+		return "Method Partitioning"
+	default:
+		return "?"
+	}
+}
+
+// ImageCell runs one (variant, scenario) cell of Table 2 and returns the
+// run result (FPS is the table value).
+func ImageCell(cfg ImageConfig, v ImageVariant, sc ImageScenario) (*RunResult, error) {
+	f, err := newImageFixture(cfg)
+	if err != nil {
+		return nil, err
+	}
+	server := simnet.NewHost("server", cfg.ServerSpeed)
+	client := simnet.NewHost("client", cfg.ClientSpeed)
+	link := &simnet.Link{BytesPerMS: cfg.LinkBytesPerMS, LatencyMS: cfg.LinkLatencyMS}
+
+	rc := RunConfig{
+		Compiled:      f.c,
+		SenderEnv:     interp.NewEnv(f.classes, f.builtins()),
+		ReceiverEnv:   interp.NewEnv(f.classes, f.builtins()),
+		Sender:        server,
+		Receiver:      client,
+		Link:          link,
+		Frames:        cfg.Frames,
+		Workload:      imageWorkload(cfg, sc),
+		OverheadBytes: 64,
+		Warmup:        10,
+		Nominal: costmodel.Environment{
+			SenderSpeed:   cfg.ServerSpeed,
+			ReceiverSpeed: cfg.ClientSpeed,
+			Bandwidth:     cfg.LinkBytesPerMS,
+			LatencyMS:     cfg.LinkLatencyMS,
+		},
+	}
+	switch v {
+	case VariantImageLtDisplay:
+		rc.FixedSplit = []int32{f.pre, f.filter}
+	case VariantImageGtDisplay:
+		rc.FixedSplit = []int32{f.post, f.filter}
+	case VariantMethodPartitioning:
+		rc.Adaptive = true
+		// The data-size reconfiguration unit sits with the modulator:
+		// the sender observes continuation sizes directly (§2.5).
+		rc.ReconfigAtSender = true
+	default:
+		return nil, fmt.Errorf("bench: unknown image variant %d", v)
+	}
+	return Run(rc)
+}
+
+// Table2Row holds one Table 2 row: FPS per scenario.
+type Table2Row struct {
+	// Variant is the implementation.
+	Variant ImageVariant
+	// FPS is indexed by scenario (Small, Large, Mixed).
+	FPS [3]float64
+}
+
+// Table2 reruns the complete Table 2.
+func Table2(cfg ImageConfig) ([]Table2Row, error) {
+	variants := []ImageVariant{VariantImageLtDisplay, VariantImageGtDisplay, VariantMethodPartitioning}
+	scenarios := []ImageScenario{ScenarioSmall, ScenarioLarge, ScenarioMixed}
+	rows := make([]Table2Row, 0, len(variants))
+	for _, v := range variants {
+		row := Table2Row{Variant: v}
+		for si, sc := range scenarios {
+			res, err := ImageCell(cfg, v, sc)
+			if err != nil {
+				return nil, fmt.Errorf("bench: table2 %s/%s: %w", v, sc, err)
+			}
+			row.FPS[si] = res.FPS
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

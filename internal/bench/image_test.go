@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+// TestTable2Shape verifies the qualitative structure of Table 2: each
+// manual version wins its own scenario, Method Partitioning tracks the
+// winner in both static scenarios, and beats both manual versions under
+// the mixed workload.
+func TestTable2Shape(t *testing.T) {
+	cfg := DefaultImageConfig()
+	cfg.Frames = 200
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVariant := map[ImageVariant][3]float64{}
+	for _, r := range rows {
+		byVariant[r.Variant] = r.FPS
+		t.Logf("%-22s small=%6.2f large=%6.2f mixed=%6.2f", r.Variant, r.FPS[0], r.FPS[1], r.FPS[2])
+	}
+	lt := byVariant[VariantImageLtDisplay]
+	gt := byVariant[VariantImageGtDisplay]
+	mp := byVariant[VariantMethodPartitioning]
+
+	// Small scenario: ship-original wins; resize-at-server loses.
+	if lt[0] <= gt[0] {
+		t.Errorf("small: Image<Display (%.2f) should beat Image>Display (%.2f)", lt[0], gt[0])
+	}
+	// Large scenario: resize-at-server wins.
+	if gt[1] <= lt[1] {
+		t.Errorf("large: Image>Display (%.2f) should beat Image<Display (%.2f)", gt[1], lt[1])
+	}
+	// MP within 15% of each scenario's winner.
+	if mp[0] < 0.85*lt[0] {
+		t.Errorf("small: MP %.2f too far below winner %.2f", mp[0], lt[0])
+	}
+	if mp[1] < 0.85*gt[1] {
+		t.Errorf("large: MP %.2f too far below winner %.2f", mp[1], gt[1])
+	}
+	// Mixed: MP beats both manual versions.
+	if mp[2] <= lt[2] || mp[2] <= gt[2] {
+		t.Errorf("mixed: MP %.2f should beat both manual versions (%.2f, %.2f)", mp[2], lt[2], gt[2])
+	}
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/simnet"
+)
+
+// ModelRow is one cost model's outcome on the mixed image workload —
+// the extension experiment comparing the deployment-time model choice
+// (§2.2: "different sender/receiver pairs may choose different cost
+// models").
+type ModelRow struct {
+	// Model is the cost model's wire name.
+	Model string
+	// FPS is the throughput.
+	FPS float64
+	// KBPerFrame is the mean payload shipped per frame.
+	KBPerFrame float64
+	// ClientWorkPerFrame is the mean receiver-side work per frame
+	// (work units — the battery-relevant quantity).
+	ClientWorkPerFrame float64
+	// ClientEnergyPerFrame is the receiver energy per frame in microjoule
+	// under the Energy model's coefficients (radio + CPU).
+	ClientEnergyPerFrame float64
+}
+
+// CompareModels runs the adaptive MP implementation under each cost model
+// on the mixed image workload. The data-size model minimizes bytes, the
+// exec-time model minimizes the pipeline bottleneck, and the energy model
+// minimizes receiver battery drain — three different steady states of the
+// same handler and runtime.
+func CompareModels(cfg ImageConfig) ([]ModelRow, error) {
+	energy := costmodel.NewEnergy()
+	models := []costmodel.Model{
+		costmodel.NewDataSize(),
+		costmodel.NewExecTime(),
+		energy,
+	}
+	rows := make([]ModelRow, 0, len(models))
+	for _, model := range models {
+		f, err := newImageFixtureWith(cfg, model)
+		if err != nil {
+			return nil, fmt.Errorf("bench: compare %s: %w", model.Name(), err)
+		}
+		server := simnet.NewHost("server", cfg.ServerSpeed)
+		client := simnet.NewHost("client", cfg.ClientSpeed)
+		link := &simnet.Link{BytesPerMS: cfg.LinkBytesPerMS, LatencyMS: cfg.LinkLatencyMS}
+		rc := RunConfig{
+			Compiled:         f.c,
+			SenderEnv:        interp.NewEnv(f.classes, f.builtins()),
+			ReceiverEnv:      interp.NewEnv(f.classes, f.builtins()),
+			Sender:           server,
+			Receiver:         client,
+			Link:             link,
+			Frames:           cfg.Frames,
+			Workload:         imageWorkload(cfg, ScenarioMixed),
+			OverheadBytes:    64,
+			Warmup:           10,
+			Adaptive:         true,
+			ReconfigAtSender: true,
+			Nominal: costmodel.Environment{
+				SenderSpeed:   cfg.ServerSpeed,
+				ReceiverSpeed: cfg.ClientSpeed,
+				Bandwidth:     cfg.LinkBytesPerMS,
+				LatencyMS:     cfg.LinkLatencyMS,
+			},
+		}
+		res, err := Run(rc)
+		if err != nil {
+			return nil, fmt.Errorf("bench: compare %s: %w", model.Name(), err)
+		}
+		frames := float64(res.Frames)
+		bytesPerFrame := float64(res.Bytes) / frames
+		workPerFrame := float64(res.DemodWork) / frames
+		rows = append(rows, ModelRow{
+			Model:              model.Name(),
+			FPS:                res.FPS,
+			KBPerFrame:         bytesPerFrame / 1024,
+			ClientWorkPerFrame: workPerFrame,
+			ClientEnergyPerFrame: (bytesPerFrame*energy.RxNanojoulePerByte +
+				workPerFrame*energy.CPUNanojoulePerUnit) / 1000,
+		})
+	}
+	return rows, nil
+}
+
+// WriteModelComparison renders the comparison.
+func WriteModelComparison(w io.Writer, rows []ModelRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Model,
+			fmt.Sprintf("%.2f", r.FPS),
+			fmt.Sprintf("%.1f", r.KBPerFrame),
+			fmt.Sprintf("%.0f", r.ClientWorkPerFrame),
+			fmt.Sprintf("%.1f", r.ClientEnergyPerFrame),
+		})
+	}
+	writeTable(w, "Cost-model comparison: adaptive MP on the mixed image workload (extension)",
+		[]string{"Cost model", "FPS", "KB/frame", "Client work/frame", "Client energy (uJ/frame)"}, out)
+}

@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// TestModelComparisonShape: all three models sustain comparable throughput,
+// and the energy model achieves the lowest receiver energy per frame (its
+// optimization target), while the data-size model ships the fewest bytes.
+func TestModelComparisonShape(t *testing.T) {
+	cfg := DefaultImageConfig()
+	cfg.Frames = 200
+	rows, err := CompareModels(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ModelRow{}
+	for _, r := range rows {
+		byName[r.Model] = r
+		t.Logf("%-9s fps=%5.2f kb/frame=%5.1f work/frame=%6.0f energy=%7.1fuJ",
+			r.Model, r.FPS, r.KBPerFrame, r.ClientWorkPerFrame, r.ClientEnergyPerFrame)
+	}
+	ds, et, en := byName["datasize"], byName["exectime"], byName["energy"]
+	if ds.Model == "" || et.Model == "" || en.Model == "" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Each model optimizes its own target.
+	if en.ClientEnergyPerFrame > ds.ClientEnergyPerFrame*1.001 ||
+		en.ClientEnergyPerFrame > et.ClientEnergyPerFrame*1.001 {
+		t.Errorf("energy model not lowest energy: %g vs %g / %g",
+			en.ClientEnergyPerFrame, ds.ClientEnergyPerFrame, et.ClientEnergyPerFrame)
+	}
+	if ds.KBPerFrame > en.KBPerFrame*1.05 {
+		t.Errorf("datasize model ships more bytes (%g) than energy model (%g)",
+			ds.KBPerFrame, en.KBPerFrame)
+	}
+	// No model collapses throughput.
+	for _, r := range rows {
+		if r.FPS < 0.8*ds.FPS {
+			t.Errorf("%s throughput collapsed: %g vs %g", r.Model, r.FPS, ds.FPS)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one line of an ASCII chart.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// Marker is the single character drawn for this series.
+	Marker byte
+	// Y holds the values (same length as the chart's X).
+	Y []float64
+}
+
+// plotChart renders series against xs as a fixed-size ASCII chart — enough
+// to eyeball the shapes of Figures 7 and 8 in a terminal.
+func plotChart(w io.Writer, title, xLabel, yLabel string, xs []float64, series []Series) {
+	const (
+		width  = 64
+		height = 16
+	)
+	if len(xs) == 0 || len(series) == 0 {
+		return
+	}
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			yMin = math.Min(yMin, v)
+			yMax = math.Max(yMax, v)
+		}
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	// A little headroom.
+	span := yMax - yMin
+	yMin -= span * 0.05
+	yMax += span * 0.05
+
+	xMin, xMax := xs[0], xs[len(xs)-1]
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int((x - xMin) / (xMax - xMin) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int((yMax - y) / (yMax - yMin) * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for _, s := range series {
+		// Draw connected segments point to point.
+		for i := 0; i+1 < len(xs) && i+1 < len(s.Y); i++ {
+			c0, r0 := col(xs[i]), row(s.Y[i])
+			c1, r1 := col(xs[i+1]), row(s.Y[i+1])
+			steps := max(abs(c1-c0), abs(r1-r0))
+			if steps == 0 {
+				steps = 1
+			}
+			for t := 0; t <= steps; t++ {
+				c := c0 + (c1-c0)*t/steps
+				r := r0 + (r1-r0)*t/steps
+				grid[r][c] = s.Marker
+			}
+		}
+		if len(xs) == 1 && len(s.Y) == 1 {
+			grid[row(s.Y[0])][col(xs[0])] = s.Marker
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", title)
+	for r, line := range grid {
+		yTick := ""
+		switch r {
+		case 0:
+			yTick = fmt.Sprintf("%8.1f", yMax)
+		case height - 1:
+			yTick = fmt.Sprintf("%8.1f", yMin)
+		default:
+			yTick = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(w, "  %s |%s\n", yTick, string(line))
+	}
+	fmt.Fprintf(w, "  %s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(w, "  %s  %-10.4g%s%10.4g  (%s)\n", strings.Repeat(" ", 8),
+		xMin, strings.Repeat(" ", width-22), xMax, xLabel)
+	// Legend, stable order.
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(w, "  %s in %s\n\n", strings.Join(legend, "  "), yLabel)
+}
+
+// PlotFigure7 renders the Figure 7 sweep as an ASCII chart.
+func PlotFigure7(w io.Writer, pts []Figure7Point) {
+	xs := make([]float64, len(pts))
+	series := make([]Series, 4)
+	markers := []byte{'c', 'p', 'd', '*'}
+	for vi, v := range SensorVariants() {
+		series[vi] = Series{Name: v.String(), Marker: markers[vi], Y: make([]float64, len(pts))}
+	}
+	for i, p := range pts {
+		xs[i] = p.AProb
+		for vi := range series {
+			series[vi].Y[i] = p.MS[vi]
+		}
+	}
+	plotChart(w, "Figure 7 (chart): consumer-side AProb vs avg message time", "AProb", "ms", xs, series)
+}
+
+// PlotFigure8 renders the Figure 8 sweep as an ASCII chart.
+func PlotFigure8(w io.Writer, pts []Figure8Point) {
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.PLenMS
+		ys[i] = p.MS
+	}
+	plotChart(w, "Figure 8 (chart): consumer-side PLen vs MP avg message time", "PLen (ms)", "ms",
+		xs, []Series{{Name: "Method Partitioning", Marker: '*', Y: ys}})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

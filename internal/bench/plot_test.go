@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotFigure7Renders(t *testing.T) {
+	pts := []Figure7Point{
+		{AProb: 0, MS: [4]float64{80, 82, 50, 42}},
+		{AProb: 0.5, MS: [4]float64{140, 82, 70, 50}},
+		{AProb: 1, MS: [4]float64{208, 82, 129, 62}},
+	}
+	var out strings.Builder
+	PlotFigure7(&out, pts)
+	text := out.String()
+	for _, want := range []string{
+		"Figure 7 (chart)",
+		"*=Method Partitioning",
+		"c=Consumer Version",
+		"(AProb)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("plot missing %q:\n%s", want, text)
+		}
+	}
+	// Every series marker must appear in the grid.
+	for _, marker := range []string{"c", "p", "d", "*"} {
+		if strings.Count(text, marker) < 3 {
+			t.Errorf("marker %q barely present:\n%s", marker, text)
+		}
+	}
+}
+
+func TestPlotFigure8Renders(t *testing.T) {
+	pts := []Figure8Point{
+		{PLenMS: 250, MS: 55},
+		{PLenMS: 1000, MS: 54},
+		{PLenMS: 4000, MS: 52},
+	}
+	var out strings.Builder
+	PlotFigure8(&out, pts)
+	if !strings.Contains(out.String(), "Figure 8 (chart)") {
+		t.Errorf("plot:\n%s", out.String())
+	}
+}
+
+func TestPlotDegenerateInputs(t *testing.T) {
+	var out strings.Builder
+	// Empty inputs are a no-op, not a panic.
+	PlotFigure8(&out, nil)
+	if out.Len() != 0 {
+		t.Errorf("empty plot produced output: %q", out.String())
+	}
+	// Single point, flat value.
+	PlotFigure8(&out, []Figure8Point{{PLenMS: 100, MS: 50}})
+	if !strings.Contains(out.String(), "*") {
+		t.Errorf("single-point plot has no marker:\n%s", out.String())
+	}
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/imaging"
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/partition"
+	"methodpart/internal/simnet"
+)
+
+// RichImageRow is one row of the rich-handler extension experiment: the
+// two-transform ("resize and/or downsample", §1) handler under a workload
+// mixing three frame-size classes, where each class has a different optimal
+// split: tiny frames ship raw, mid frames ship after the downsample, large
+// frames ship fully reduced.
+type RichImageRow struct {
+	// Name labels the implementation.
+	Name string
+	// FPS is the throughput on the mixed-size workload.
+	FPS float64
+	// KBPerFrame is the mean payload per frame.
+	KBPerFrame float64
+}
+
+// RichImage compares fixed single-cut versions of the two-transform handler
+// against adaptive Method Partitioning on a workload cycling through three
+// frame-size classes. With three distinct optima, no fixed cut can win
+// everywhere — the experiment that shows why two manual versions (Table 2)
+// were only the beginning.
+func RichImage(cfg ImageConfig) ([]RichImageRow, error) {
+	unit := imaging.RichHandlerUnit(cfg.Display)
+	prog, ok := unit.Program(imaging.RichHandlerName)
+	if !ok {
+		return nil, fmt.Errorf("bench: rich handler missing")
+	}
+	classes, err := unit.ClassTable()
+	if err != nil {
+		return nil, err
+	}
+	oracle, _ := imaging.Builtins()
+	c, err := partition.Compile(prog, classes, oracle, costmodel.NewDataSize())
+	if err != nil {
+		return nil, err
+	}
+
+	// Classify the ladder PSEs around the two transform calls.
+	downIdx, resizeIdx := -1, -1
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		if in.Op == mir.OpCall && in.Fn == "downsample" {
+			downIdx = i
+		}
+		if in.Op == mir.OpCall && in.Fn == "resizeTo" {
+			resizeIdx = i
+		}
+	}
+	var filter, mid, post int32 = -1, -1, -1
+	for id := int32(1); id < int32(c.NumPSEs()); id++ {
+		p, _ := c.PSE(id)
+		switch {
+		case len(p.Vars) == 0:
+			filter = id
+		case p.Edge.To > downIdx && p.Edge.To <= resizeIdx:
+			mid = id
+		case p.Edge.From >= resizeIdx:
+			post = id
+		}
+	}
+	if filter < 0 || mid < 0 || post < 0 {
+		return nil, fmt.Errorf("bench: rich PSE ladder incomplete: %+v", c.PSEs)
+	}
+
+	// Workload: runs of tiny (ship raw), mid (downsample at sender) and
+	// large (full reduction at sender) frames.
+	sizes := []int{64, 150, 400}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	frameSizes := make([]int, 0, cfg.Frames)
+	for len(frameSizes) < cfg.Frames {
+		size := sizes[rng.Intn(len(sizes))]
+		n := 3 + rng.Intn(10)
+		for j := 0; j < n && len(frameSizes) < cfg.Frames; j++ {
+			frameSizes = append(frameSizes, size)
+		}
+	}
+	workload := func(i int) mir.Value {
+		return imaging.NewFrame(frameSizes[i], frameSizes[i], int64(i))
+	}
+
+	type variant struct {
+		name     string
+		split    []int32
+		adaptive bool
+	}
+	variants := []variant{
+		{name: "Ship Raw", split: []int32{partition.RawPSEID}},
+		{name: "Downsample@Sender", split: []int32{mid, filter}},
+		{name: "FullReduce@Sender", split: []int32{post, filter}},
+		{name: "Method Partitioning", adaptive: true},
+	}
+
+	mkEnv := func() *interp.Env {
+		reg, _ := imaging.Builtins()
+		return interp.NewEnv(classes, reg)
+	}
+	rows := make([]RichImageRow, 0, len(variants))
+	for _, v := range variants {
+		server := simnet.NewHost("server", cfg.ServerSpeed)
+		client := simnet.NewHost("client", cfg.ClientSpeed)
+		link := &simnet.Link{BytesPerMS: cfg.LinkBytesPerMS, LatencyMS: cfg.LinkLatencyMS}
+		rc := RunConfig{
+			Compiled:         c,
+			SenderEnv:        mkEnv(),
+			ReceiverEnv:      mkEnv(),
+			Sender:           server,
+			Receiver:         client,
+			Link:             link,
+			Frames:           cfg.Frames,
+			Workload:         workload,
+			OverheadBytes:    64,
+			Warmup:           10,
+			Adaptive:         v.adaptive,
+			FixedSplit:       v.split,
+			ReconfigAtSender: true,
+			Nominal: costmodel.Environment{
+				SenderSpeed:   cfg.ServerSpeed,
+				ReceiverSpeed: cfg.ClientSpeed,
+				Bandwidth:     cfg.LinkBytesPerMS,
+				LatencyMS:     cfg.LinkLatencyMS,
+			},
+		}
+		res, err := Run(rc)
+		if err != nil {
+			return nil, fmt.Errorf("bench: richimage %s: %w", v.name, err)
+		}
+		rows = append(rows, RichImageRow{
+			Name:       v.name,
+			FPS:        res.FPS,
+			KBPerFrame: float64(res.Bytes) / float64(res.Frames) / 1024,
+		})
+	}
+	return rows, nil
+}
+
+// WriteRichImage renders the experiment.
+func WriteRichImage(w io.Writer, rows []RichImageRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name,
+			fmt.Sprintf("%.2f", r.FPS),
+			fmt.Sprintf("%.1f", r.KBPerFrame),
+		})
+	}
+	writeTable(w, "Rich handler (resize and/or downsample) on three frame-size classes (extension)",
+		[]string{"Implementation", "FPS", "KB/frame"}, out)
+}

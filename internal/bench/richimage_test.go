@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+// TestRichImageShape: with three frame-size classes no fixed cut wins; the
+// adaptive implementation must beat every fixed version and ship the fewest
+// bytes per frame.
+func TestRichImageShape(t *testing.T) {
+	cfg := DefaultImageConfig()
+	cfg.Frames = 200
+	rows, err := RichImage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]RichImageRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		t.Logf("%-20s fps=%6.2f kb/frame=%5.1f", r.Name, r.FPS, r.KBPerFrame)
+	}
+	mp := byName["Method Partitioning"]
+	for name, r := range byName {
+		if name == "Method Partitioning" {
+			continue
+		}
+		if mp.FPS <= r.FPS {
+			t.Errorf("MP (%.2f fps) does not beat %s (%.2f fps)", mp.FPS, name, r.FPS)
+		}
+		if mp.KBPerFrame > r.KBPerFrame*1.01 {
+			t.Errorf("MP ships more bytes (%.1f) than %s (%.1f)", mp.KBPerFrame, name, r.KBPerFrame)
+		}
+	}
+	// Shipping raw 400x400 frames must be the clear loser.
+	if byName["Ship Raw"].FPS >= byName["Downsample@Sender"].FPS {
+		t.Error("ship-raw should lose to downsample-at-sender on this link")
+	}
+}

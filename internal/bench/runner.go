@@ -1,0 +1,324 @@
+// Package bench is the experiment harness: it reruns the paper's evaluation
+// (§5) — Table 1 through Table 4 and Figures 7 and 8 — by driving compiled
+// modulator/demodulator pairs over the simnet virtual testbed, with the
+// profiling and reconfiguration units closed-loop for the Method
+// Partitioning variant and fixed split plans for the manual variants.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/partition"
+	"methodpart/internal/profileunit"
+	"methodpart/internal/reconfig"
+	"methodpart/internal/simnet"
+)
+
+// controlBytes is the assumed wire size of feedback/plan control messages.
+const controlBytes = 96
+
+// RunConfig describes one simulated run of one implementation variant.
+type RunConfig struct {
+	// Compiled is the partitioned handler.
+	Compiled *partition.Compiled
+	// SenderEnv and ReceiverEnv are the interpreter environments
+	// (the receiver's registry includes the native sinks).
+	SenderEnv, ReceiverEnv *interp.Env
+	// Sender/Receiver/Link form the simulated testbed.
+	Sender, Receiver *simnet.Host
+	Link             *simnet.Link
+	// Frames is the number of events to push.
+	Frames int
+	// Workload produces the i-th event.
+	Workload func(i int) mir.Value
+	// GenWork is producer-side work per event before handling (capture).
+	GenWork int64
+	// OverheadBytes is the per-message framing overhead.
+	OverheadBytes int64
+	// Window is the flow-control window (max in-flight messages).
+	Window int
+	// Warmup frames are excluded from steady-state metrics.
+	Warmup int
+
+	// Adaptive enables the closed profiling/reconfiguration loop; when
+	// false FixedSplit is installed once and never changed.
+	Adaptive bool
+	// FixedSplit is the manual variant's split set (nil = raw plan).
+	FixedSplit []int32
+	// ReportEvery is the rate trigger period in messages (default 5).
+	ReportEvery uint64
+	// DiffThreshold is the diff trigger sensitivity (default 0.15).
+	DiffThreshold float64
+	// ReconfigAtSender places the reconfiguration unit with the modulator
+	// (§2.5 allows modulator, demodulator or third-party placement):
+	// plan changes then apply without crossing the link.
+	ReconfigAtSender bool
+	// NoReceiverProfiling disables the demodulator-side PSE
+	// instrumentation (ablation: §2.3 inserts profiling on both sides;
+	// without the receiver half, PSEs beyond the current cut go
+	// unobserved and plans thrash on stale static estimates).
+	NoReceiverProfiling bool
+	// RateOnlyTrigger replaces the rate+diff trigger pair with a pure
+	// rate trigger (ablation of the diff-triggered feedback of §2.5).
+	RateOnlyTrigger bool
+	// Nominal is the deployment-time environment estimate.
+	Nominal costmodel.Environment
+	// Trace, if set, observes every frame (for diagnostics).
+	Trace func(frame int, splitPSE int32, wireBytes int64, tm simnet.Timing)
+}
+
+// RunResult aggregates one run's outcome.
+type RunResult struct {
+	// Frames is the number of events pushed.
+	Frames int
+	// Suppressed counts sender-side filtered events.
+	Suppressed int
+	// TotalMS is first-modulation-start to last completion.
+	TotalMS float64
+	// FPS is Frames/TotalMS in frames per second.
+	FPS float64
+	// MeanIntervalMS is the steady-state mean completion interval — the
+	// per-message processing time of a saturated pipeline (eq. 3).
+	MeanIntervalMS float64
+	// MeanSpanMS is the mean end-to-end latency per message.
+	MeanSpanMS float64
+	// Bytes is the total payload shipped sender→receiver.
+	Bytes int64
+	// DemodWork is the total receiver-side work (work units).
+	DemodWork int64
+	// ModWork is the total sender-side work (work units).
+	ModWork int64
+	// PlanSwitches counts installed plan changes after the first.
+	PlanSwitches int
+	// FinalPlan renders the last active plan.
+	FinalPlan string
+}
+
+type pendingPlan struct {
+	plan *partition.Plan
+	at   float64
+}
+
+// Run simulates one variant over the configured testbed.
+func Run(cfg RunConfig) (*RunResult, error) {
+	c := cfg.Compiled
+	mod := partition.NewModulator(c, cfg.SenderEnv)
+	demod := partition.NewDemodulator(c, cfg.ReceiverEnv)
+	coll := profileunit.NewCollector(c.NumPSEs())
+	mod.Probe = coll
+	demod.Probe = coll
+	runit := reconfig.NewUnit(c, cfg.Nominal)
+
+	if cfg.Adaptive {
+		if !cfg.NoReceiverProfiling {
+			demod.CrossProbe = coll
+		}
+		// Fast-moving profile: the paper's adaptation reacts within a
+		// frame or two of a scenario change.
+		coll.SetAlpha(0.5)
+		plan, _, err := runit.InitialPlan()
+		if err != nil {
+			return nil, err
+		}
+		mod.SetPlan(plan)
+		demod.SetProfilePlan(plan)
+	} else {
+		split := cfg.FixedSplit
+		if split == nil {
+			split = []int32{partition.RawPSEID}
+		}
+		if err := c.ValidateSplitSet(split); err != nil {
+			return nil, fmt.Errorf("bench: fixed plan: %w", err)
+		}
+		plan, err := partition.NewPlan(c.NumPSEs(), 1, split, nil)
+		if err != nil {
+			return nil, err
+		}
+		mod.SetPlan(plan)
+	}
+
+	pipe := simnet.NewPipeline(cfg.Sender, cfg.Receiver, cfg.Link)
+	reportEvery := cfg.ReportEvery
+	if reportEvery == 0 {
+		reportEvery = 2
+	}
+	diffTh := cfg.DiffThreshold
+	if diffTh == 0 {
+		diffTh = 0.1
+	}
+	var trigger profileunit.Trigger = &profileunit.EitherTrigger{Children: []profileunit.Trigger{
+		&profileunit.RateTrigger{EveryMessages: reportEvery},
+		&profileunit.DiffTrigger{Threshold: diffTh, MinMessages: 3},
+	}}
+	if cfg.RateOnlyTrigger {
+		trigger = &profileunit.RateTrigger{EveryMessages: reportEvery}
+	}
+
+	// Measured effective speeds refine the nominal environment (the
+	// profiling units observe elapsed time, hence perturbation).
+	senderSpeed := cfg.Nominal.SenderSpeed
+	recvSpeed := cfg.Nominal.ReceiverSpeed
+	const speedAlpha = 0.3
+
+	var (
+		pending      []pendingPlan
+		doneTimes    = make([]float64, 0, cfg.Frames)
+		spans        float64
+		firstStart   = math.Inf(1)
+		lastDone     float64
+		totalBytes   int64
+		demodTotal   int64
+		modTotal     int64
+		suppressed   int
+		planSwitches int
+	)
+	// The default window models TCP backpressure: the sender runs at most
+	// a few frames ahead of the receiver.
+	window := cfg.Window
+	if window <= 0 {
+		window = 3
+	}
+
+	for i := 0; i < cfg.Frames; i++ {
+		ev := cfg.Workload(i)
+		genTime := 0.0
+		if i >= window {
+			genTime = doneTimes[i-window]
+		}
+		startEst := math.Max(genTime, pipe.SenderTime())
+		// Install any plan that has reached the sender by now.
+		remaining := pending[:0]
+		for _, pp := range pending {
+			if pp.at <= startEst {
+				if mod.SetPlan(pp.plan) {
+					planSwitches++
+				}
+			} else {
+				remaining = append(remaining, pp)
+			}
+		}
+		pending = remaining
+
+		out, err := mod.Process(ev)
+		if err != nil {
+			return nil, fmt.Errorf("bench: frame %d: %w", i, err)
+		}
+		var demodWork int64
+		var msgBytes int64
+		if out.Suppressed {
+			suppressed++
+		} else {
+			var msg any
+			if out.Raw != nil {
+				msg = out.Raw
+			} else {
+				msg = out.Cont
+			}
+			res, err := demod.Process(msg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: frame %d demod: %w", i, err)
+			}
+			demodWork = res.DemodWork
+			msgBytes = out.WireBytes + cfg.OverheadBytes
+		}
+		tm := pipe.Deliver(genTime, cfg.GenWork+out.ModWork, msgBytes, demodWork)
+		if cfg.Trace != nil {
+			cfg.Trace(i, out.SplitPSE, msgBytes, tm)
+		}
+		totalBytes += msgBytes
+		demodTotal += demodWork
+		modTotal += out.ModWork
+		doneTimes = append(doneTimes, tm.Done)
+		if tm.ModStart < firstStart {
+			firstStart = tm.ModStart
+		}
+		if tm.Done > lastDone {
+			lastDone = tm.Done
+		}
+		spans += tm.Span()
+
+		if dt := tm.ModDone - tm.ModStart; out.ModWork+cfg.GenWork > 0 && dt > 0 {
+			est := float64(out.ModWork+cfg.GenWork) / dt
+			senderSpeed += speedAlpha * (est - senderSpeed)
+		}
+		if dt := tm.Done - tm.DemodStart; demodWork > 0 && dt > 0 {
+			est := float64(demodWork) / dt
+			recvSpeed += speedAlpha * (est - recvSpeed)
+		}
+
+		if cfg.Adaptive {
+			snap := coll.Snapshot()
+			if trigger.ShouldReport(snap, coll.Messages()) {
+				env := cfg.Nominal
+				env.SenderSpeed = senderSpeed
+				env.ReceiverSpeed = recvSpeed
+				env.Bandwidth = cfg.Link.BytesPerMS
+				env.LatencyMS = cfg.Link.LatencyMS
+				runit.SetEnvironment(env)
+				plan, _, err := runit.SelectPlan(snap)
+				if err != nil {
+					return nil, fmt.Errorf("bench: reconfig: %w", err)
+				}
+				if !samePlan(plan, mod.Plan()) {
+					demod.SetProfilePlan(plan)
+					at := tm.Done + pipe.ControlDelay(controlBytes)
+					if cfg.ReconfigAtSender {
+						// The unit sits with the modulator; the plan
+						// applies as soon as the sender is next free.
+						at = 0
+					}
+					pending = append(pending, pendingPlan{plan: plan, at: at})
+				}
+			}
+		}
+	}
+
+	res := &RunResult{
+		Frames:       cfg.Frames,
+		Suppressed:   suppressed,
+		TotalMS:      lastDone - firstStart,
+		Bytes:        totalBytes,
+		DemodWork:    demodTotal,
+		ModWork:      modTotal,
+		PlanSwitches: planSwitches,
+		FinalPlan:    mod.Plan().String(),
+		MeanSpanMS:   spans / float64(cfg.Frames),
+	}
+	if res.TotalMS > 0 {
+		res.FPS = float64(cfg.Frames) / res.TotalMS * 1000
+	}
+	warm := cfg.Warmup
+	if warm >= len(doneTimes)-1 {
+		warm = 0
+	}
+	var sum float64
+	n := 0
+	for i := warm + 1; i < len(doneTimes); i++ {
+		sum += doneTimes[i] - doneTimes[i-1]
+		n++
+	}
+	if n > 0 {
+		res.MeanIntervalMS = sum / float64(n)
+	}
+	return res, nil
+}
+
+func samePlan(a, b *partition.Plan) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	as, bs := a.SplitIDs(), b.SplitIDs()
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

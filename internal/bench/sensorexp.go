@@ -1,0 +1,360 @@
+package bench
+
+import (
+	"fmt"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/partition"
+	"methodpart/internal/perturb"
+	"methodpart/internal/sensor"
+	"methodpart/internal/simnet"
+)
+
+// SensorConfig is the §5.2 compute-bound testbed: sensor producers pushing
+// sample frames through a long processing chain to consumers, over a fast
+// LAN, with synthetic perturbation load on either side.
+type SensorConfig struct {
+	// Stages is the processing-chain length.
+	Stages int
+	// Samples is the per-frame sample count.
+	Samples int
+	// Frames per run.
+	Frames int
+	// Seeds are averaged (the paper reports averages of 5 measurements).
+	Seeds []int64
+	// ProducerSpeed / ConsumerSpeed in work units per ms.
+	ProducerSpeed, ConsumerSpeed float64
+	// GenWork is the per-frame capture cost at the producer.
+	GenWork int64
+	// LinkBytesPerMS / LinkLatencyMS describe the cluster LAN.
+	LinkBytesPerMS, LinkLatencyMS float64
+	// Perturbation parameters (applied per side via LIndex arguments).
+	PerturbThreads int
+	PLenMS         float64
+	AProb          float64
+	HorizonMS      float64
+}
+
+// Host speed calibration: an Intel cluster node is "PC"; the SUN Ultra-30
+// is ~2.4x slower, preserving the paper's Table 3 speed ratio.
+const (
+	// PCSpeed is the Intel/Linux cluster node speed (work units per ms).
+	PCSpeed = 900
+	// SunSpeed is the SUN Ultra-30 speed.
+	SunSpeed = 375
+)
+
+// DefaultSensorConfig calibrates the compute-bound testbed: ~80 ms of
+// processing per frame on an unloaded PC node, Fast-Ethernet-class LAN.
+func DefaultSensorConfig() SensorConfig {
+	return SensorConfig{
+		Stages:         sensor.DefaultStages,
+		Samples:        4000,
+		Frames:         150,
+		Seeds:          []int64{11, 22, 33, 44, 55},
+		ProducerSpeed:  PCSpeed,
+		ConsumerSpeed:  PCSpeed,
+		GenWork:        2000,
+		LinkBytesPerMS: 12500,
+		LinkLatencyMS:  0.5,
+		PerturbThreads: 2,
+		PLenMS:         1000,
+		AProb:          0.5,
+		HorizonMS:      120000,
+	}
+}
+
+// SensorVariant names a Table 3/4 row.
+type SensorVariant int
+
+// The four §5.2 implementations.
+const (
+	// VariantConsumer performs all processing at the consumer.
+	VariantConsumer SensorVariant = iota + 1
+	// VariantProducer performs all processing at the producer.
+	VariantProducer
+	// VariantDivided splits the chain into two halves by stage count
+	// ("two roughly equal parts").
+	VariantDivided
+	// VariantMP is the adaptive Method Partitioning implementation.
+	VariantMP
+)
+
+// String returns the row label.
+func (v SensorVariant) String() string {
+	switch v {
+	case VariantConsumer:
+		return "Consumer Version"
+	case VariantProducer:
+		return "Producer Version"
+	case VariantDivided:
+		return "Divided Version"
+	case VariantMP:
+		return "Method Partitioning"
+	default:
+		return "?"
+	}
+}
+
+// SensorVariants lists the four rows in paper order.
+func SensorVariants() []SensorVariant {
+	return []SensorVariant{VariantConsumer, VariantProducer, VariantDivided, VariantMP}
+}
+
+// sensorFixture compiles the sensor handler (under the exec-time model) and
+// indexes PSEs by stage boundary.
+type sensorFixture struct {
+	c       *partition.Compiled
+	classes *mir.ClassTable
+	stages  int
+	// stagePSE[k] is the PSE cutting after stage k (0 = before stage 1).
+	stagePSE map[int]int32
+	filter   int32
+}
+
+func newSensorFixture(cfg SensorConfig) (*sensorFixture, error) {
+	unit := sensor.HandlerUnit(cfg.Stages)
+	prog, ok := unit.Program(sensor.HandlerName)
+	if !ok {
+		return nil, fmt.Errorf("bench: sensor handler missing")
+	}
+	classes, err := unit.ClassTable()
+	if err != nil {
+		return nil, err
+	}
+	reg, _ := sensor.Builtins(cfg.Stages)
+	c, err := partition.Compile(prog, classes, reg, costmodel.NewExecTime())
+	if err != nil {
+		return nil, err
+	}
+	f := &sensorFixture{c: c, classes: classes, stages: cfg.Stages, stagePSE: make(map[int]int32), filter: -1}
+	// Stage k's call instruction sits at node 3+k (0: instanceof,
+	// 1: branch, 2: cast, 3: getfield, 4..: stage calls).
+	for id := int32(1); id < int32(c.NumPSEs()); id++ {
+		pse, _ := c.PSE(id)
+		e := pse.Edge
+		if len(pse.Vars) == 0 {
+			f.filter = id
+			continue
+		}
+		// Edge(3+k, 4+k) cuts after stage k.
+		if e.To == e.From+1 && e.From >= 3 && e.From <= 3+cfg.Stages {
+			f.stagePSE[e.From-3] = id
+		}
+	}
+	if f.filter < 0 {
+		return nil, fmt.Errorf("bench: sensor filter PSE missing: %+v", c.PSEs)
+	}
+	for _, k := range []int{0, cfg.Stages / 2, cfg.Stages} {
+		if _, ok := f.stagePSE[k]; !ok {
+			return nil, fmt.Errorf("bench: stage-%d PSE missing (have %v)", k, f.stagePSE)
+		}
+	}
+	return f, nil
+}
+
+// SensorCell runs one variant with the given per-side load indices and
+// returns the per-seed average of the steady-state message processing time
+// (ms).
+func SensorCell(cfg SensorConfig, v SensorVariant, prodLIndex, consLIndex float64) (float64, error) {
+	f, err := newSensorFixture(cfg)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	for _, seed := range seeds {
+		res, err := sensorRun(cfg, f, v, prodLIndex, consLIndex, seed)
+		if err != nil {
+			return 0, err
+		}
+		total += res.MeanIntervalMS
+	}
+	return total / float64(len(seeds)), nil
+}
+
+func sensorRun(cfg SensorConfig, f *sensorFixture, v SensorVariant, prodL, consL float64, seed int64) (*RunResult, error) {
+	producer := simnet.NewHost("producer", cfg.ProducerSpeed)
+	consumer := simnet.NewHost("consumer", cfg.ConsumerSpeed)
+	if prodL > 0 {
+		producer.Load = perturb.MustNew(perturb.Config{
+			Seed: seed, Threads: cfg.PerturbThreads, PLenMS: cfg.PLenMS,
+			AProb: cfg.AProb, LIndex: prodL, HorizonMS: cfg.HorizonMS,
+		})
+	}
+	if consL > 0 {
+		consumer.Load = perturb.MustNew(perturb.Config{
+			Seed: seed + 7919, Threads: cfg.PerturbThreads, PLenMS: cfg.PLenMS,
+			AProb: cfg.AProb, LIndex: consL, HorizonMS: cfg.HorizonMS,
+		})
+	}
+	link := &simnet.Link{BytesPerMS: cfg.LinkBytesPerMS, LatencyMS: cfg.LinkLatencyMS}
+
+	mkEnv := func() *interp.Env {
+		reg, _ := sensor.Builtins(cfg.Stages)
+		return interp.NewEnv(f.classes, reg)
+	}
+	rc := RunConfig{
+		Compiled:      f.c,
+		SenderEnv:     mkEnv(),
+		ReceiverEnv:   mkEnv(),
+		Sender:        producer,
+		Receiver:      consumer,
+		Link:          link,
+		Frames:        cfg.Frames,
+		Workload:      func(i int) mir.Value { return sensor.NewFrame(int64(i), cfg.Samples) },
+		GenWork:       cfg.GenWork,
+		OverheadBytes: 64,
+		Warmup:        cfg.Frames / 10,
+		Nominal: costmodel.Environment{
+			SenderSpeed:   cfg.ProducerSpeed,
+			ReceiverSpeed: cfg.ConsumerSpeed,
+			Bandwidth:     cfg.LinkBytesPerMS,
+			LatencyMS:     cfg.LinkLatencyMS,
+		},
+	}
+	switch v {
+	case VariantConsumer:
+		rc.FixedSplit = []int32{partition.RawPSEID}
+	case VariantProducer:
+		rc.FixedSplit = []int32{f.stagePSE[f.stages], f.filter}
+	case VariantDivided:
+		rc.FixedSplit = []int32{f.stagePSE[f.stages/2], f.filter}
+	case VariantMP:
+		rc.Adaptive = true
+	default:
+		return nil, fmt.Errorf("bench: unknown sensor variant %d", v)
+	}
+	return Run(rc)
+}
+
+// Table3Row is one row of Table 3: average message processing time (ms) for
+// PC→Sun and Sun→PC.
+type Table3Row struct {
+	// Variant is the implementation.
+	Variant SensorVariant
+	// PCToSun and SunToPC are the two columns.
+	PCToSun, SunToPC float64
+}
+
+// Table3 reruns Table 3 (heterogeneous platforms, no perturbation).
+func Table3(cfg SensorConfig) ([]Table3Row, error) {
+	cfg.Seeds = []int64{1} // deterministic without perturbation
+	rows := make([]Table3Row, 0, 4)
+	for _, v := range SensorVariants() {
+		row := Table3Row{Variant: v}
+		pcSun := cfg
+		pcSun.ProducerSpeed, pcSun.ConsumerSpeed = PCSpeed, SunSpeed
+		r1, err := SensorCell(pcSun, v, 0, 0)
+		if err != nil {
+			return nil, fmt.Errorf("bench: table3 %s pc->sun: %w", v, err)
+		}
+		row.PCToSun = r1
+		sunPC := cfg
+		sunPC.ProducerSpeed, sunPC.ConsumerSpeed = SunSpeed, PCSpeed
+		r2, err := SensorCell(sunPC, v, 0, 0)
+		if err != nil {
+			return nil, fmt.Errorf("bench: table3 %s sun->pc: %w", v, err)
+		}
+		row.SunToPC = r2
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table4Load is one load configuration (row) of Table 4.
+type Table4Load struct {
+	// Producer and Consumer are the per-side load indices.
+	Producer, Consumer float64
+}
+
+// Table4Loads returns the paper's six rows.
+func Table4Loads() []Table4Load {
+	return []Table4Load{
+		{0, 0}, {0, 0.6}, {0, 1.0}, {0.6, 0.6}, {0.6, 0}, {1.0, 0},
+	}
+}
+
+// Table4Row is one row of Table 4: times per variant for one load pair.
+type Table4Row struct {
+	// Load is the (producer, consumer) load-index pair.
+	Load Table4Load
+	// MS holds the per-variant times in SensorVariants order.
+	MS [4]float64
+}
+
+// Table4 reruns Table 4 on the homogeneous Intel cluster.
+func Table4(cfg SensorConfig) ([]Table4Row, error) {
+	rows := make([]Table4Row, 0, 6)
+	for _, load := range Table4Loads() {
+		row := Table4Row{Load: load}
+		for vi, v := range SensorVariants() {
+			r, err := SensorCell(cfg, v, load.Producer, load.Consumer)
+			if err != nil {
+				return nil, fmt.Errorf("bench: table4 %s %v: %w", v, load, err)
+			}
+			row.MS[vi] = r
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure7Point is one x-position of Figure 7: consumer-side AProb vs time
+// per variant.
+type Figure7Point struct {
+	// AProb is the consumer-side active-period probability.
+	AProb float64
+	// MS holds per-variant times in SensorVariants order.
+	MS [4]float64
+}
+
+// Figure7 sweeps consumer-side AProb with LIndex 0.8 and a load-free
+// producer (PLen 1000 ms).
+func Figure7(cfg SensorConfig) ([]Figure7Point, error) {
+	var points []Figure7Point
+	for _, ap := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		c := cfg
+		c.AProb = ap
+		pt := Figure7Point{AProb: ap}
+		for vi, v := range SensorVariants() {
+			r, err := SensorCell(c, v, 0, 0.8)
+			if err != nil {
+				return nil, fmt.Errorf("bench: figure7 %s AProb=%g: %w", v, ap, err)
+			}
+			pt.MS[vi] = r
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// Figure8Point is one x-position of Figure 8: consumer-side expected period
+// length vs the Method Partitioning version's time.
+type Figure8Point struct {
+	// PLenMS is the consumer-side expected period length.
+	PLenMS float64
+	// MS is the MP version's steady-state time.
+	MS float64
+}
+
+// Figure8 sweeps consumer-side PLen for the MP version (LIndex 0.8,
+// AProb 0.5), demonstrating stability against perturbation patterns.
+func Figure8(cfg SensorConfig) ([]Figure8Point, error) {
+	var points []Figure8Point
+	for _, plen := range []float64{250, 500, 1000, 2000, 4000} {
+		c := cfg
+		c.PLenMS = plen
+		r, err := SensorCell(c, VariantMP, 0, 0.8)
+		if err != nil {
+			return nil, fmt.Errorf("bench: figure8 PLen=%g: %w", plen, err)
+		}
+		points = append(points, Figure8Point{PLenMS: plen, MS: r})
+	}
+	return points, nil
+}

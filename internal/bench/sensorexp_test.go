@@ -1,0 +1,99 @@
+package bench
+
+import "testing"
+
+func fastSensorConfig() SensorConfig {
+	cfg := DefaultSensorConfig()
+	cfg.Frames = 80
+	cfg.Seeds = []int64{11, 22}
+	return cfg
+}
+
+// TestTable3Shape checks the heterogeneous-platform result: MP beats all
+// three manual versions in both directions, and each manual version suffers
+// when its fixed side is the slow host.
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3(fastSensorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byV := map[SensorVariant]Table3Row{}
+	for _, r := range rows {
+		byV[r.Variant] = r
+		t.Logf("%-20s PC->Sun=%7.2f Sun->PC=%7.2f", r.Variant, r.PCToSun, r.SunToPC)
+	}
+	mp := byV[VariantMP]
+	for _, v := range []SensorVariant{VariantConsumer, VariantProducer, VariantDivided} {
+		if mp.PCToSun >= byV[v].PCToSun {
+			t.Errorf("PC->Sun: MP %.2f not better than %s %.2f", mp.PCToSun, v, byV[v].PCToSun)
+		}
+		if mp.SunToPC >= byV[v].SunToPC {
+			t.Errorf("Sun->PC: MP %.2f not better than %s %.2f", mp.SunToPC, v, byV[v].SunToPC)
+		}
+	}
+	// Consumer version is worst when the consumer is the slow Sun.
+	if byV[VariantConsumer].PCToSun <= byV[VariantProducer].PCToSun {
+		t.Errorf("PC->Sun: consumer version (%.2f) should lose to producer version (%.2f)",
+			byV[VariantConsumer].PCToSun, byV[VariantProducer].PCToSun)
+	}
+	// Producer version is worst when the producer is the slow Sun.
+	if byV[VariantProducer].SunToPC <= byV[VariantConsumer].SunToPC {
+		t.Errorf("Sun->PC: producer version (%.2f) should lose to consumer version (%.2f)",
+			byV[VariantProducer].SunToPC, byV[VariantConsumer].SunToPC)
+	}
+}
+
+// TestTable4Shape checks the load-adaptation result on the homogeneous
+// cluster: MP is best (or ties within 5%) in every load configuration, the
+// consumer version degrades with consumer load, and the producer version
+// degrades with producer load.
+func TestTable4Shape(t *testing.T) {
+	cfg := fastSensorConfig()
+	rows, err := Table4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[SensorVariant]int{}
+	for i, v := range SensorVariants() {
+		idx[v] = i
+	}
+	var byLoad = map[Table4Load][4]float64{}
+	for _, r := range rows {
+		byLoad[r.Load] = r.MS
+		t.Logf("%.1f/%.1f  consumer=%7.2f producer=%7.2f divided=%7.2f mp=%7.2f",
+			r.Load.Producer, r.Load.Consumer, r.MS[0], r.MS[1], r.MS[2], r.MS[3])
+	}
+	for _, r := range rows {
+		mp := r.MS[idx[VariantMP]]
+		for _, v := range []SensorVariant{VariantConsumer, VariantProducer, VariantDivided} {
+			if mp > 1.05*r.MS[idx[v]] {
+				t.Errorf("load %v: MP %.2f worse than %s %.2f", r.Load, mp, v, r.MS[idx[v]])
+			}
+		}
+	}
+	// Consumer version degrades monotonically with consumer load.
+	c0 := byLoad[Table4Load{0, 0}][idx[VariantConsumer]]
+	c6 := byLoad[Table4Load{0, 0.6}][idx[VariantConsumer]]
+	c10 := byLoad[Table4Load{0, 1.0}][idx[VariantConsumer]]
+	if !(c0 < c6 && c6 < c10) {
+		t.Errorf("consumer version not monotone in consumer load: %.2f %.2f %.2f", c0, c6, c10)
+	}
+	// Producer version degrades with producer load.
+	p0 := byLoad[Table4Load{0, 0}][idx[VariantProducer]]
+	p10 := byLoad[Table4Load{1.0, 0}][idx[VariantProducer]]
+	if !(p0 < p10) {
+		t.Errorf("producer version not degraded by producer load: %.2f vs %.2f", p0, p10)
+	}
+	// Producer version is immune to consumer load.
+	pc10 := byLoad[Table4Load{0, 1.0}][idx[VariantProducer]]
+	if pc10 > 1.15*p0 {
+		t.Errorf("producer version degraded by consumer load: %.2f vs %.2f", pc10, p0)
+	}
+	// MP under heavy one-sided load stays within 2x of its unloaded time
+	// (the paper: 48.4 -> 60-65 ms).
+	mp0 := byLoad[Table4Load{0, 0}][idx[VariantMP]]
+	mp10 := byLoad[Table4Load{0, 1.0}][idx[VariantMP]]
+	if mp10 > 2*mp0 {
+		t.Errorf("MP degraded too much under consumer load: %.2f vs %.2f", mp10, mp0)
+	}
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"methodpart/internal/sizeof"
+)
+
+// Table1Row is one row of Table 1: serialization vs size-calculation vs
+// self-describing size costs for one object shape.
+type Table1Row struct {
+	// Name is the object class label.
+	Name string
+	// SerializedSize is the encoded size in bytes.
+	SerializedSize int
+	// SerializationNS is the mean cost of full serialization.
+	SerializationNS float64
+	// SizeCalcNS is the mean cost of reflective size calculation.
+	SizeCalcNS float64
+	// SelfSizeNS is the mean cost of the self-describing method
+	// (negative when unavailable — the paper's "n/a").
+	SelfSizeNS float64
+	// ReflectSize and SelfSize are the computed sizes (consistency
+	// checks; self-describing methods must agree with the walker's
+	// accounting model on the payload they both count).
+	ReflectSize, SelfSize int
+}
+
+// timeOp measures the mean ns of fn over enough iterations to be stable.
+func timeOp(fn func()) float64 {
+	// Warm up.
+	for i := 0; i < 10; i++ {
+		fn()
+	}
+	const minDuration = 20 * time.Millisecond
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minDuration {
+			return float64(elapsed.Nanoseconds()) / float64(iters)
+		}
+		iters *= 4
+	}
+}
+
+// Table1 measures the three size mechanisms for the four Appendix B object
+// shapes.
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, subj := range sizeof.Table1Subjects() {
+		row := Table1Row{Name: subj.Name, SelfSizeNS: -1, SelfSize: -1}
+		n, err := sizeof.SerializedSize(subj.Value)
+		if err != nil {
+			return nil, fmt.Errorf("bench: table1 %s: %w", subj.Name, err)
+		}
+		row.SerializedSize = n
+		row.ReflectSize = sizeof.ReflectSize(subj.Value)
+		row.SerializationNS = timeOp(func() {
+			_, _ = sizeof.SerializedSize(subj.Value)
+		})
+		row.SizeCalcNS = timeOp(func() {
+			_ = sizeof.ReflectSize(subj.Value)
+		})
+		if subj.HasSelfSize {
+			ss := subj.Value.(sizeof.SelfSized)
+			row.SelfSize = ss.SizeOf()
+			row.SelfSizeNS = timeOp(func() {
+				_ = ss.SizeOf()
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

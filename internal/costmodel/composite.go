@@ -1,0 +1,92 @@
+package costmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"methodpart/internal/analysis"
+	"methodpart/internal/mir"
+)
+
+// Composite combines several weighted cost models — the paper's §7 future
+// work ("experiment with composite cost models"), implemented here as a
+// minimal extension. Static descriptors merge deterministic parts by
+// weighted sum and union the non-deterministic variable sets; runtime
+// capacities are the weighted sum of the component capacities.
+type Composite struct {
+	parts   []weighted
+	nameStr string
+}
+
+type weighted struct {
+	m Model
+	w float64
+}
+
+// NewComposite builds a composite from (model, weight) pairs. Weights must
+// be positive.
+func NewComposite(models []Model, weights []float64) (*Composite, error) {
+	if len(models) == 0 || len(models) != len(weights) {
+		return nil, fmt.Errorf("costmodel: composite needs matching models and weights")
+	}
+	c := &Composite{}
+	var names []string
+	for i, m := range models {
+		if weights[i] <= 0 {
+			return nil, fmt.Errorf("costmodel: composite weight %g must be positive", weights[i])
+		}
+		c.parts = append(c.parts, weighted{m: m, w: weights[i]})
+		names = append(names, fmt.Sprintf("%s*%g", m.Name(), weights[i]))
+	}
+	c.nameStr = "composite(" + strings.Join(names, "+") + ")"
+	return c, nil
+}
+
+// Name implements Model.
+func (c *Composite) Name() string { return c.nameStr }
+
+// StaticCost implements Model.
+func (c *Composite) StaticCost(prog *mir.Program, classes *mir.ClassTable, live *analysis.Liveness) analysis.CostFunc {
+	fns := make([]analysis.CostFunc, len(c.parts))
+	for i, p := range c.parts {
+		fns[i] = p.m.StaticCost(prog, classes, live)
+	}
+	return func(e analysis.Edge, inter analysis.VarSet) analysis.CostDesc {
+		out := analysis.CostDesc{Vars: make(analysis.VarSet)}
+		for i, fn := range fns {
+			d := fn(e, inter)
+			if d.Infinite {
+				out.Infinite = true
+			}
+			out.Det += int64(float64(d.Det) * c.parts[i].w)
+			for v := range d.Vars {
+				out.Vars[v] = true
+			}
+		}
+		return out
+	}
+}
+
+// Capacity implements Model.
+func (c *Composite) Capacity(stat Stat, env Environment) int64 {
+	var total float64
+	for _, p := range c.parts {
+		total += float64(p.m.Capacity(stat, env)) * p.w
+	}
+	if total < 1 {
+		return 1
+	}
+	return int64(total)
+}
+
+// StaticCapacity implements Model.
+func (c *Composite) StaticCapacity(d analysis.CostDesc) int64 {
+	var total float64
+	for _, p := range c.parts {
+		total += float64(p.m.StaticCapacity(d)) * p.w
+	}
+	if total < 1 {
+		return 1
+	}
+	return int64(total)
+}

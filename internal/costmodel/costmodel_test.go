@@ -1,0 +1,192 @@
+package costmodel_test
+
+import (
+	"math"
+	"testing"
+
+	"methodpart/internal/analysis"
+	"methodpart/internal/costmodel"
+	"methodpart/internal/mir/asm"
+	"methodpart/internal/testprog"
+)
+
+func analyzeWith(t *testing.T, model costmodel.Model) *analysis.Result {
+	t.Helper()
+	u := testprog.PushUnit()
+	prog, _ := u.Program("push")
+	classes, err := u.ClassTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := testprog.PushBuiltins()
+	ug := analysis.BuildUnitGraph(prog)
+	live := analysis.ComputeLiveness(ug)
+	res, err := analysis.Analyze(ug, reg, model.StaticCost(prog, classes, live), analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDataSizeStaticCostClassifiesVars(t *testing.T) {
+	u := testprog.PushUnit()
+	prog, _ := u.Program("push")
+	classes, _ := u.ClassTable()
+	model := costmodel.NewDataSize()
+	ug := analysis.BuildUnitGraph(prog)
+	live := analysis.ComputeLiveness(ug)
+	costFn := model.StaticCost(prog, classes, live)
+
+	// Edge(0,1) hands over {event, z0}: z0 is a bool (deterministic),
+	// event is dynamic.
+	desc := costFn(analysis.Edge{From: 0, To: 1}, analysis.NewVarSet("event", "z0"))
+	if len(desc.Vars) != 1 || !desc.Vars["event"] {
+		t.Errorf("dynamic vars = %v, want {event}", desc.Vars)
+	}
+	// Deterministic part covers name overheads plus the bool payload.
+	wantDet := int64(4+len("event")) + int64(4+len("z0")) + 2
+	if desc.Det != wantDet {
+		t.Errorf("det = %d, want %d", desc.Det, wantDet)
+	}
+}
+
+func TestDataSizeFieldKindInference(t *testing.T) {
+	src := `
+class P {
+  x int
+  tag string
+}
+
+func f(event) {
+  p = cast event P
+  x = getfield p x
+  s = getfield p tag
+  y = add x x
+  call out y s
+  return
+}
+`
+	u := asm.MustParse(src)
+	prog, _ := u.Program("f")
+	classes, _ := u.ClassTable()
+	model := costmodel.NewDataSize()
+	ug := analysis.BuildUnitGraph(prog)
+	live := analysis.ComputeLiveness(ug)
+	costFn := model.StaticCost(prog, classes, live)
+	// x is an int field: deterministic. s is a string field: dynamic.
+	desc := costFn(analysis.Edge{From: 3, To: 4}, analysis.NewVarSet("x", "s"))
+	if desc.Vars["x"] {
+		t.Errorf("int field treated dynamic: %v", desc.Vars)
+	}
+	if !desc.Vars["s"] {
+		t.Errorf("string field treated static: %v", desc.Vars)
+	}
+}
+
+func TestDataSizeCapacity(t *testing.T) {
+	m := costmodel.NewDataSize()
+	env := costmodel.DefaultEnvironment()
+	st := costmodel.Stat{Count: 10, Prob: 0.5, Bytes: 1000}
+	if got := m.Capacity(st, env); got != 500 {
+		t.Errorf("capacity = %d, want 500", got)
+	}
+	if got := m.Capacity(costmodel.Stat{}, env); got != 1 {
+		t.Errorf("unprofiled capacity = %d, want 1", got)
+	}
+	if got := m.Capacity(costmodel.Stat{Count: 5, Prob: 0, Bytes: 0}, env); got != 1 {
+		t.Errorf("zero capacity floor = %d, want 1", got)
+	}
+}
+
+func TestExecTimeCapacityBottleneck(t *testing.T) {
+	m := costmodel.NewExecTime()
+	env := costmodel.Environment{SenderSpeed: 100, ReceiverSpeed: 100, Bandwidth: 1000, LatencyMS: 1}
+	// mod 1000 units / 100 per ms = 10ms; demod 500/100 = 5ms;
+	// transfer 2000/1000 = 2ms. Bottleneck 10ms -> 10000us.
+	st := costmodel.Stat{Count: 10, Prob: 1, ModWork: 1000, DemodWork: 500, Bytes: 2000}
+	if got := m.Capacity(st, env); got != 10000 {
+		t.Errorf("capacity = %d, want 10000", got)
+	}
+	// Receiver-bound case.
+	st2 := costmodel.Stat{Count: 10, Prob: 1, ModWork: 100, DemodWork: 5000, Bytes: 100}
+	if got := m.Capacity(st2, env); got != 50000 {
+		t.Errorf("capacity = %d, want 50000", got)
+	}
+}
+
+func TestExecTimeKeepsRichPSESet(t *testing.T) {
+	dsRes := analyzeWith(t, costmodel.NewDataSize())
+	etRes := analyzeWith(t, costmodel.NewExecTime())
+	if len(etRes.PSESet) < len(dsRes.PSESet) {
+		t.Errorf("exec-time PSEs (%d) should be >= data-size PSEs (%d)",
+			len(etRes.PSESet), len(dsRes.PSESet))
+	}
+}
+
+func TestEquations(t *testing.T) {
+	// Eq (1).
+	if got := costmodel.SendTime(2, 0.5, 10); got != 7 {
+		t.Errorf("SendTime = %g", got)
+	}
+	// Eq (2): alpha + n*beta < n*max(tp, tc).
+	if !costmodel.NotCommBound(1, 0.1, 100, 1, 2) {
+		t.Error("clearly compute-bound case reported comm-bound")
+	}
+	if costmodel.NotCommBound(1000, 10, 10, 0.1, 0.1) {
+		t.Error("clearly comm-bound case reported compute-bound")
+	}
+	// Eq (3): the dominant term must grow with n.
+	t1 := costmodel.TotalTime(100, 2, 3, 1, 0.1, 10)
+	t2 := costmodel.TotalTime(200, 2, 3, 1, 0.1, 10)
+	if t2-t1 != 100*3 {
+		t.Errorf("TotalTime growth = %g, want 300", t2-t1)
+	}
+	// Eq (4).
+	if got := costmodel.MinSigma(10, 0.5, 2, 3); got != 10.0/2.5 {
+		t.Errorf("MinSigma = %g", got)
+	}
+	if got := costmodel.MinSigma(10, 5, 2, 3); !math.IsInf(got, 1) {
+		t.Errorf("MinSigma in comm-bound regime = %g, want +Inf", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{costmodel.DataSizeName, costmodel.ExecTimeName} {
+		m, err := costmodel.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name() != name {
+			t.Errorf("name = %q, want %q", m.Name(), name)
+		}
+	}
+	if _, err := costmodel.ByName("bogus"); err == nil {
+		t.Error("bogus model accepted")
+	}
+}
+
+func TestComposite(t *testing.T) {
+	ds := costmodel.NewDataSize()
+	et := costmodel.NewExecTime()
+	comp, err := costmodel.NewComposite([]costmodel.Model{ds, et}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := costmodel.DefaultEnvironment()
+	st := costmodel.Stat{Count: 10, Prob: 1, Bytes: 1000, ModWork: 500, DemodWork: 500}
+	want := float64(ds.Capacity(st, env)) + 2*float64(et.Capacity(st, env))
+	if got := comp.Capacity(st, env); got != int64(want) {
+		t.Errorf("composite capacity = %d, want %d", got, int64(want))
+	}
+	// The composite compiles end to end.
+	res := analyzeWith(t, comp)
+	if len(res.PSESet) == 0 {
+		t.Error("composite model produced no PSEs")
+	}
+	if _, err := costmodel.NewComposite(nil, nil); err == nil {
+		t.Error("empty composite accepted")
+	}
+	if _, err := costmodel.NewComposite([]costmodel.Model{ds}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}

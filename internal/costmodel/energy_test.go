@@ -1,0 +1,91 @@
+package costmodel_test
+
+import (
+	"testing"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/partition"
+	"methodpart/internal/reconfig"
+	"methodpart/internal/testprog"
+)
+
+func TestEnergyCapacityComponents(t *testing.T) {
+	m := costmodel.NewEnergy()
+	env := costmodel.DefaultEnvironment()
+	radioOnly := costmodel.Stat{Count: 5, Prob: 1, Bytes: 100, DemodWork: 0}
+	cpuOnly := costmodel.Stat{Count: 5, Prob: 1, Bytes: 0, DemodWork: 1000}
+	both := costmodel.Stat{Count: 5, Prob: 1, Bytes: 100, DemodWork: 1000}
+	r := m.Capacity(radioOnly, env)
+	c := m.Capacity(cpuOnly, env)
+	b := m.Capacity(both, env)
+	if r+c != b {
+		t.Errorf("energy not additive: %d + %d != %d", r, c, b)
+	}
+	if r != int64(100*m.RxNanojoulePerByte) {
+		t.Errorf("radio term = %d", r)
+	}
+}
+
+// TestEnergyPrefersSenderCompute: with equal continuation sizes, the model
+// must prefer the cut that leaves less work at the (battery-powered)
+// receiver — the later split.
+func TestEnergyPrefersSenderCompute(t *testing.T) {
+	u := testprog.PushUnit()
+	prog, _ := u.Program("push")
+	classes, err := u.ClassTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := testprog.PushBuiltins()
+	c, err := partition.Compile(prog, classes, reg, costmodel.NewEnergy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := make(map[int32]costmodel.Stat)
+	var earliest, latest int32 = -1, -1
+	for id := int32(0); id < int32(c.NumPSEs()); id++ {
+		p, _ := c.PSE(id)
+		if len(p.Vars) == 0 && id != partition.RawPSEID {
+			stats[id] = costmodel.Stat{Count: 0}
+			continue
+		}
+		// Same bytes everywhere; receiver work shrinks for later cuts.
+		demod := float64(10000 - 1000*p.Edge.To)
+		if demod < 0 {
+			demod = 0
+		}
+		stats[id] = costmodel.Stat{Count: 50, Prob: 1, Bytes: 5000, ModWork: 1000, DemodWork: demod}
+		if earliest < 0 || p.Edge.To < mustEdgeTo(c, earliest) {
+			earliest = id
+		}
+		if latest < 0 || p.Edge.To > mustEdgeTo(c, latest) {
+			latest = id
+		}
+	}
+	unit := reconfig.NewUnit(c, costmodel.DefaultEnvironment())
+	plan, _, err := unit.SelectPlan(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Split(latest) {
+		t.Errorf("energy model chose %v, want the latest cut (PSE %d)", plan, latest)
+	}
+	if plan.Raw() || plan.Split(earliest) && earliest != latest {
+		t.Errorf("energy model kept work at the receiver: %v", plan)
+	}
+}
+
+func mustEdgeTo(c *partition.Compiled, id int32) int {
+	p, _ := c.PSE(id)
+	return p.Edge.To
+}
+
+func TestEnergyByName(t *testing.T) {
+	m, err := costmodel.ByName(costmodel.EnergyName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "energy" {
+		t.Errorf("name = %q", m.Name())
+	}
+}

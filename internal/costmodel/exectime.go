@@ -1,0 +1,105 @@
+package costmodel
+
+import (
+	"math"
+
+	"methodpart/internal/analysis"
+	"methodpart/internal/mir"
+)
+
+// ExecTimeName is the wire name of the execution-time model.
+const ExecTimeName = "exectime"
+
+// ExecTime is the §4.2 cost model: minimize total program execution time
+// when message handling is computationally expensive and computation may be
+// overlapped with communication. Per the paper, when n is large the
+// dominant term of eq. (3) is n·max(T_mod(1), T_demod(1)), so plan
+// selection balances the per-unit load between sender and receiver.
+//
+// Statically, every edge's true cost depends on runtime behaviour, so all
+// edges are non-deterministic; only edges with identical (alias-canonical)
+// hand-over sets are deduplicated, which is why the paper's compute-bound
+// handler retains a large PSE set ("21 but almost all along the same path",
+// §5.3).
+type ExecTime struct{}
+
+// NewExecTime returns the execution-time model.
+func NewExecTime() *ExecTime { return &ExecTime{} }
+
+// Name implements Model.
+func (*ExecTime) Name() string { return ExecTimeName }
+
+// StaticCost implements Model. Det is zero (no static lower bound on time);
+// Vars is the INTER set so that only cost-identical edges collapse.
+func (*ExecTime) StaticCost(prog *mir.Program, classes *mir.ClassTable, live *analysis.Liveness) analysis.CostFunc {
+	return func(e analysis.Edge, inter analysis.VarSet) analysis.CostDesc {
+		return analysis.CostDesc{Vars: inter.Clone()}
+	}
+}
+
+// capacityScale converts fractional milliseconds to integer capacities
+// with microsecond resolution.
+const capacityScale = 1000
+
+// Capacity implements Model: the per-message time bottleneck if split at
+// this PSE — max of sender compute, receiver compute and transfer time —
+// weighted by path probability (microseconds).
+func (*ExecTime) Capacity(stat Stat, env Environment) int64 {
+	if stat.Count == 0 {
+		return 1
+	}
+	tMod := safeDiv(stat.ModWork, env.SenderSpeed)
+	tDemod := safeDiv(stat.DemodWork, env.ReceiverSpeed)
+	tXfer := safeDiv(stat.Bytes, env.Bandwidth)
+	bottleneck := math.Max(tMod, math.Max(tDemod, tXfer))
+	c := stat.Prob * bottleneck * capacityScale
+	if c < 1 || math.IsNaN(c) {
+		return 1
+	}
+	return int64(c)
+}
+
+// StaticCapacity implements Model. With no profile every PSE looks equally
+// costly; a small bias from the deterministic part keeps the choice stable.
+func (*ExecTime) StaticCapacity(c analysis.CostDesc) int64 {
+	return 1 + c.Det
+}
+
+func safeDiv(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}
+
+// ---- The analytical model of §4.2 (eqs. 1–4), used by tests and the ----
+// ---- experiment harness to sanity-check measured behaviour.         ----
+
+// SendTime is eq. (1): T_s(m) = α + β·S(m), the time to send a message of
+// S units with per-message set-up α and per-unit time β.
+func SendTime(alpha, beta float64, units float64) float64 {
+	return alpha + beta*units
+}
+
+// NotCommBound is eq. (2): the application is not communication bound when
+// α + nβ < n·max(T_p(1), T_c(1)).
+func NotCommBound(alpha, beta float64, n float64, tp1, tc1 float64) bool {
+	return alpha+n*beta < n*math.Max(tp1, tc1)
+}
+
+// TotalTime is eq. (3): the total pipelined execution time for n units when
+// σ units are shipped per message.
+func TotalTime(n float64, tMod1, tDemod1, alpha, beta, sigma float64) float64 {
+	return n*math.Max(tMod1, tDemod1) + alpha + sigma*beta + sigma*math.Min(tMod1, tDemod1)
+}
+
+// MinSigma is eq. (4): the smallest admissible message size in units,
+// σ > α / (max(T_mod(1), T_demod(1)) − β). Returns +Inf when the
+// denominator is not positive (communication-bound regime).
+func MinSigma(alpha, beta, tMod1, tDemod1 float64) float64 {
+	den := math.Max(tMod1, tDemod1) - beta
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return alpha / den
+}

@@ -1,0 +1,91 @@
+// Package costmodel implements the paper's cost models (§4): the interface
+// through which static analysis estimates edge costs and through which the
+// runtime reconfiguration unit converts profiled PSE statistics into the
+// capacities of the min-cut plan selection.
+package costmodel
+
+import (
+	"fmt"
+
+	"methodpart/internal/analysis"
+	"methodpart/internal/mir"
+)
+
+// Environment describes the resources of one sender/receiver pair, as known
+// at deployment time or refined by runtime profiling.
+type Environment struct {
+	// SenderSpeed is the sender's processing rate in work units per
+	// millisecond.
+	SenderSpeed float64
+	// ReceiverSpeed is the receiver's processing rate in work units per
+	// millisecond.
+	ReceiverSpeed float64
+	// Bandwidth is the link bandwidth in bytes per millisecond.
+	Bandwidth float64
+	// LatencyMS is the one-way link latency in milliseconds (the α of
+	// eq. 1, per message set-up time).
+	LatencyMS float64
+}
+
+// DefaultEnvironment returns a neutral environment (equal speeds, fast
+// link) for when deployment provides nothing better.
+func DefaultEnvironment() Environment {
+	return Environment{
+		SenderSpeed:   1000,
+		ReceiverSpeed: 1000,
+		Bandwidth:     1000,
+		LatencyMS:     1,
+	}
+}
+
+// Stat is the profiled runtime statistics of one PSE, aggregated by the
+// Runtime Profiling Unit (§2.5).
+type Stat struct {
+	// Count is the number of messages whose path crossed this PSE.
+	Count uint64
+	// Bytes is the mean continuation size (bytes) if split at this PSE.
+	Bytes float64
+	// ModWork is the mean modulator-side work (work units) accumulated
+	// when execution reaches this PSE.
+	ModWork float64
+	// DemodWork is the mean work remaining after this PSE.
+	DemodWork float64
+	// Prob is the probability that a message's path crosses this PSE.
+	Prob float64
+}
+
+// Model is a cost model: it drives both the static PSE identification and
+// the runtime plan re-selection. Different sender/receiver pairs may choose
+// different models (§2.2).
+type Model interface {
+	// Name identifies the model on the wire (Subscribe messages).
+	Name() string
+	// StaticCost returns the edge-cost estimator used by ConvexCut for
+	// the given handler.
+	StaticCost(prog *mir.Program, classes *mir.ClassTable, live *analysis.Liveness) analysis.CostFunc
+	// Capacity converts a PSE's profiled statistics into the min-cut
+	// capacity used at reconfiguration time. Larger means more expensive
+	// to cut there. The unit is model-specific but must be consistent
+	// across PSEs of one handler.
+	Capacity(stat Stat, env Environment) int64
+	// StaticCapacity estimates a capacity before any profile exists,
+	// from the static cost descriptor, for the initial plan.
+	StaticCapacity(c analysis.CostDesc) int64
+}
+
+// registry of models addressable by wire name.
+var builtinModels = map[string]func() Model{
+	DataSizeName: func() Model { return NewDataSize() },
+	ExecTimeName: func() Model { return NewExecTime() },
+	EnergyName:   func() Model { return NewEnergy() },
+}
+
+// ByName instantiates a built-in model from its wire name.
+// Composite models are not wire-addressable.
+func ByName(name string) (Model, error) {
+	f, ok := builtinModels[name]
+	if !ok {
+		return nil, fmt.Errorf("costmodel: unknown model %q", name)
+	}
+	return f(), nil
+}

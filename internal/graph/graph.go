@@ -1,0 +1,141 @@
+// Package graph provides the directed-graph utilities shared by the static
+// analysis and the runtime reconfiguration unit: reachability, topological
+// helpers, and a Dinic max-flow / min-cut solver used to (re-)select optimal
+// partitioning plans.
+package graph
+
+import "fmt"
+
+// Digraph is a directed graph over nodes 0..N-1 with adjacency lists.
+type Digraph struct {
+	succ [][]int
+	pred [][]int
+}
+
+// NewDigraph creates a graph with n nodes and no edges.
+func NewDigraph(n int) *Digraph {
+	return &Digraph{
+		succ: make([][]int, n),
+		pred: make([][]int, n),
+	}
+}
+
+// Len returns the node count.
+func (g *Digraph) Len() int { return len(g.succ) }
+
+// AddEdge inserts the edge u→v. Duplicate edges are ignored.
+func (g *Digraph) AddEdge(u, v int) {
+	for _, w := range g.succ[u] {
+		if w == v {
+			return
+		}
+	}
+	g.succ[u] = append(g.succ[u], v)
+	g.pred[v] = append(g.pred[v], u)
+}
+
+// HasEdge reports whether u→v exists.
+func (g *Digraph) HasEdge(u, v int) bool {
+	for _, w := range g.succ[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Succ returns the successors of u. The returned slice must not be modified.
+func (g *Digraph) Succ(u int) []int { return g.succ[u] }
+
+// Pred returns the predecessors of u. The returned slice must not be
+// modified.
+func (g *Digraph) Pred(u int) []int { return g.pred[u] }
+
+// Edges returns all edges as (u,v) pairs in node order.
+func (g *Digraph) Edges() [][2]int {
+	var out [][2]int
+	for u, vs := range g.succ {
+		for _, v := range vs {
+			out = append(out, [2]int{u, v})
+		}
+	}
+	return out
+}
+
+// Reachable returns the set of nodes reachable from start (inclusive).
+func (g *Digraph) Reachable(start int) map[int]bool {
+	seen := map[int]bool{start: true}
+	stack := []int{start}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.succ[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// ReachableReverse returns the set of nodes from which start is reachable
+// (inclusive).
+func (g *Digraph) ReachableReverse(start int) map[int]bool {
+	seen := map[int]bool{start: true}
+	stack := []int{start}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.pred[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// PathsBetween enumerates all simple paths from src that end at the first
+// node in dests they reach (src itself never terminates a path). Each path
+// is a node sequence including both endpoints. Enumeration fails after
+// maxPaths paths to bound worst-case blowup.
+func (g *Digraph) PathsBetween(src int, dests map[int]bool, maxPaths int) ([][]int, error) {
+	var (
+		out  [][]int
+		path []int
+		walk func(u int) error
+	)
+	onPath := make([]bool, g.Len())
+	walk = func(u int) error {
+		path = append(path, u)
+		onPath[u] = true
+		defer func() {
+			path = path[:len(path)-1]
+			onPath[u] = false
+		}()
+		if dests[u] && len(path) > 1 {
+			cp := make([]int, len(path))
+			copy(cp, path)
+			out = append(out, cp)
+			if len(out) > maxPaths {
+				return fmt.Errorf("graph: more than %d paths", maxPaths)
+			}
+			return nil
+		}
+		for _, v := range g.succ[u] {
+			if onPath[v] {
+				continue
+			}
+			if err := walk(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(src); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDigraphBasics(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 2) // duplicate ignored
+	g.AddEdge(2, 3)
+	if g.Len() != 4 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	if len(g.Succ(1)) != 1 {
+		t.Fatalf("duplicate edge not ignored: %v", g.Succ(1))
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+	if len(g.Edges()) != 3 {
+		t.Fatalf("edges = %v", g.Edges())
+	}
+	if len(g.Pred(2)) != 1 || g.Pred(2)[0] != 1 {
+		t.Fatalf("pred(2) = %v", g.Pred(2))
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := NewDigraph(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	r := g.Reachable(0)
+	for _, n := range []int{0, 1, 2} {
+		if !r[n] {
+			t.Errorf("%d not reachable", n)
+		}
+	}
+	if r[3] || r[4] {
+		t.Error("disconnected nodes reachable")
+	}
+	rr := g.ReachableReverse(2)
+	if !rr[0] || !rr[1] || !rr[2] || rr[3] {
+		t.Errorf("reverse reach = %v", rr)
+	}
+}
+
+func TestPathsBetween(t *testing.T) {
+	// Diamond with a tail: 0→1→3, 0→2→3, 3→4.
+	g := NewDigraph(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	paths, err := g.PathsBetween(0, map[int]bool{3: true}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	// Paths end at the FIRST dest hit: node 4 must never appear.
+	for _, p := range paths {
+		if p[len(p)-1] != 3 {
+			t.Errorf("path %v does not end at 3", p)
+		}
+	}
+}
+
+func TestPathsBetweenLimit(t *testing.T) {
+	// 2^10 paths through 10 diamonds; limit must trip.
+	n := 10
+	g := NewDigraph(3*n + 1)
+	for i := 0; i < n; i++ {
+		base := 3 * i
+		g.AddEdge(base, base+1)
+		g.AddEdge(base, base+2)
+		g.AddEdge(base+1, base+3)
+		g.AddEdge(base+2, base+3)
+	}
+	_, err := g.PathsBetween(0, map[int]bool{3 * n: true}, 100)
+	if err == nil {
+		t.Fatal("expected path-limit error")
+	}
+}
+
+func TestMaxFlowClassic(t *testing.T) {
+	// Classic 6-node network with max flow 23.
+	f := NewFlowNetwork(6)
+	add := func(u, v int, c int64) {
+		if err := f.AddEdge(u, v, c, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(0, 1, 16)
+	add(0, 2, 13)
+	add(1, 2, 10)
+	add(2, 1, 4)
+	add(1, 3, 12)
+	add(3, 2, 9)
+	add(2, 4, 14)
+	add(4, 3, 7)
+	add(3, 5, 20)
+	add(4, 5, 4)
+	if got := f.MaxFlow(0, 5); got != 23 {
+		t.Fatalf("max flow = %d, want 23", got)
+	}
+}
+
+func TestMinCutSelectsCheapEdges(t *testing.T) {
+	// 0 →(100)→ 1 →(5)→ 2 →(100)→ 3: min cut is the 5-capacity edge.
+	f := NewFlowNetwork(4)
+	_ = f.AddEdge(0, 1, 100, 10)
+	_ = f.AddEdge(1, 2, 5, 20)
+	_ = f.AddEdge(2, 3, 100, 30)
+	cut, value := f.MinCut(0, 3)
+	if value != 5 {
+		t.Fatalf("cut value = %d", value)
+	}
+	if len(cut) != 1 || cut[0].ID != 20 {
+		t.Fatalf("cut = %+v", cut)
+	}
+}
+
+func TestMinCutParallelPaths(t *testing.T) {
+	// Two parallel paths; the cut must take the cheapest edge of each.
+	f := NewFlowNetwork(6)
+	_ = f.AddEdge(0, 1, 10, 1)
+	_ = f.AddEdge(1, 5, 2, 2)
+	_ = f.AddEdge(0, 2, 3, 3)
+	_ = f.AddEdge(2, 5, 7, 4)
+	cut, value := f.MinCut(0, 5)
+	if value != 5 {
+		t.Fatalf("cut value = %d, want 5", value)
+	}
+	ids := []int{}
+	for _, c := range cut {
+		ids = append(ids, c.ID)
+	}
+	sort.Ints(ids)
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 3 {
+		t.Fatalf("cut ids = %v, want [2 3]", ids)
+	}
+}
+
+func TestMinCutWithInfEdges(t *testing.T) {
+	// Inf edges must never be cut when a finite alternative exists.
+	f := NewFlowNetwork(4)
+	_ = f.AddEdge(0, 1, InfCapacity, -1)
+	_ = f.AddEdge(1, 2, 50, 7)
+	_ = f.AddEdge(2, 3, InfCapacity, -1)
+	cut, value := f.MinCut(0, 3)
+	if value != 50 || len(cut) != 1 || cut[0].ID != 7 {
+		t.Fatalf("cut = %+v value %d", cut, value)
+	}
+}
+
+func TestFlowNetworkErrors(t *testing.T) {
+	f := NewFlowNetwork(2)
+	if err := f.AddEdge(0, 5, 1, 0); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := f.AddEdge(0, 1, -1, 0); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+// Property: max-flow equals min-cut value on random layered graphs.
+func TestMaxFlowMinCutDuality(t *testing.T) {
+	f := func(caps [12]uint8) bool {
+		// Layered graph: 0 → {1,2} → {3,4} → 5 with random capacities.
+		fn := NewFlowNetwork(6)
+		c := func(i int) int64 { return int64(caps[i]%50) + 1 }
+		_ = fn.AddEdge(0, 1, c(0), 0)
+		_ = fn.AddEdge(0, 2, c(1), 1)
+		_ = fn.AddEdge(1, 3, c(2), 2)
+		_ = fn.AddEdge(1, 4, c(3), 3)
+		_ = fn.AddEdge(2, 3, c(4), 4)
+		_ = fn.AddEdge(2, 4, c(5), 5)
+		_ = fn.AddEdge(3, 5, c(6), 6)
+		_ = fn.AddEdge(4, 5, c(7), 7)
+		cut, value := fn.MinCut(0, 5)
+		var sum int64
+		for _, e := range cut {
+			sum += e.Capacity
+		}
+		return sum == value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

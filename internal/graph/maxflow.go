@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// InfCapacity is the capacity assigned to edges that must never be cut
+// (non-PSE edges, convexity-violating edges). It is large enough that no sum
+// of real costs reaches it, yet sums of several InfCapacity edges do not
+// overflow int64.
+const InfCapacity int64 = math.MaxInt64 / 1024
+
+type flowEdge struct {
+	to   int
+	cap  int64
+	flow int64
+	// rev is the index of the reverse edge in edges[to].
+	rev int
+	// id is the caller-supplied identifier (-1 for reverse edges).
+	id int
+}
+
+// FlowNetwork is a capacitated directed graph for max-flow/min-cut. Node ids
+// are 0..n-1.
+type FlowNetwork struct {
+	n     int
+	edges [][]flowEdge
+	level []int
+	iter  []int
+}
+
+// NewFlowNetwork creates a network with n nodes.
+func NewFlowNetwork(n int) *FlowNetwork {
+	return &FlowNetwork{
+		n:     n,
+		edges: make([][]flowEdge, n),
+	}
+}
+
+// AddEdge inserts a directed edge u→v with the given capacity and caller id.
+// The id is reported back by MinCut for edges crossing the cut.
+func (f *FlowNetwork) AddEdge(u, v int, capacity int64, id int) error {
+	if u < 0 || u >= f.n || v < 0 || v >= f.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, f.n)
+	}
+	if capacity < 0 {
+		return fmt.Errorf("graph: negative capacity %d on edge (%d,%d)", capacity, u, v)
+	}
+	f.edges[u] = append(f.edges[u], flowEdge{to: v, cap: capacity, rev: len(f.edges[v]), id: id})
+	f.edges[v] = append(f.edges[v], flowEdge{to: u, cap: 0, rev: len(f.edges[u]) - 1, id: -1})
+	return nil
+}
+
+// MaxFlow computes the maximum s→t flow with Dinic's algorithm.
+func (f *FlowNetwork) MaxFlow(s, t int) int64 {
+	var total int64
+	for f.bfs(s, t) {
+		f.iter = make([]int, f.n)
+		for {
+			pushed := f.dfs(s, t, math.MaxInt64)
+			if pushed == 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}
+
+func (f *FlowNetwork) bfs(s, t int) bool {
+	f.level = make([]int, f.n)
+	for i := range f.level {
+		f.level[i] = -1
+	}
+	queue := []int{s}
+	f.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for i := range f.edges[u] {
+			e := &f.edges[u][i]
+			if e.cap-e.flow > 0 && f.level[e.to] < 0 {
+				f.level[e.to] = f.level[u] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return f.level[t] >= 0
+}
+
+func (f *FlowNetwork) dfs(u, t int, limit int64) int64 {
+	if u == t {
+		return limit
+	}
+	for ; f.iter[u] < len(f.edges[u]); f.iter[u]++ {
+		e := &f.edges[u][f.iter[u]]
+		if e.cap-e.flow <= 0 || f.level[e.to] != f.level[u]+1 {
+			continue
+		}
+		avail := e.cap - e.flow
+		if avail > limit {
+			avail = limit
+		}
+		pushed := f.dfs(e.to, t, avail)
+		if pushed > 0 {
+			e.flow += pushed
+			f.edges[e.to][e.rev].flow -= pushed
+			return pushed
+		}
+	}
+	return 0
+}
+
+// CutEdge describes an edge crossing the minimum cut.
+type CutEdge struct {
+	// From and To are the edge endpoints.
+	From, To int
+	// ID is the caller-supplied edge id.
+	ID int
+	// Capacity is the edge capacity (its contribution to the cut value).
+	Capacity int64
+}
+
+// MinCut runs MaxFlow and returns the forward edges crossing the minimum
+// s→t cut (source side → sink side), along with the cut value.
+func (f *FlowNetwork) MinCut(s, t int) ([]CutEdge, int64) {
+	value := f.MaxFlow(s, t)
+	// Source side = nodes reachable in the residual graph.
+	reach := make([]bool, f.n)
+	reach[s] = true
+	stack := []int{s}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i := range f.edges[u] {
+			e := &f.edges[u][i]
+			if e.cap-e.flow > 0 && !reach[e.to] {
+				reach[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	var cut []CutEdge
+	for u := 0; u < f.n; u++ {
+		if !reach[u] {
+			continue
+		}
+		for i := range f.edges[u] {
+			e := &f.edges[u][i]
+			if e.id >= 0 && !reach[e.to] {
+				cut = append(cut, CutEdge{From: u, To: e.to, ID: e.id, Capacity: e.cap})
+			}
+		}
+	}
+	return cut, value
+}

@@ -1,0 +1,300 @@
+// Package imaging implements the wireless image-streaming application of
+// §5.1: ImageData events, the resize transform the handler applies, and the
+// native display sink that pins the end of the handler to the receiver
+// (the iPAQ in the paper).
+package imaging
+
+import (
+	"fmt"
+
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/asm"
+	"methodpart/internal/mir/interp"
+)
+
+// HandlerName is the image handler's name.
+const HandlerName = "show"
+
+// HandlerSource returns the image-display handler for a given display
+// size: check the event type, resize to the display, hand to the native
+// display routine. Under the data-size model this yields three PSEs — the
+// filter path, before the resize (ship the original) and after it (ship the
+// display-sized image) — the choice space of Table 2.
+func HandlerSource(display int) string {
+	return fmt.Sprintf(`
+class ImageData {
+  width int
+  height int
+  buff bytes
+}
+
+func show(event) {
+  ok = instanceof event ImageData
+  ifnot ok goto done
+  img = cast event ImageData
+  d = const %d
+  out = call resizeTo img d d
+  call displayImage out
+done:
+  return
+}
+`, display)
+}
+
+// HandlerUnit assembles the handler for a display size.
+func HandlerUnit(display int) *asm.Unit {
+	return asm.MustParse(HandlerSource(display))
+}
+
+// RichHandlerName is the two-transform handler's name.
+const RichHandlerName = "showRich"
+
+// RichHandlerSource returns the "resize and/or downsample" variant the
+// paper's §1 describes: the handler first halves the pixel depth
+// (downsample), then resizes to the display. This yields a deeper PSE
+// ladder — ship the original, ship after depth reduction, or ship the final
+// display-sized image — three genuinely different size/compute trade-offs.
+func RichHandlerSource(display int) string {
+	return fmt.Sprintf(`
+class ImageData {
+  width int
+  height int
+  buff bytes
+}
+
+func showRich(event) {
+  ok = instanceof event ImageData
+  ifnot ok goto done
+  img = cast event ImageData
+  half = call downsample img
+  d = const %d
+  out = call resizeTo half d d
+  call displayImage out
+done:
+  return
+}
+`, display)
+}
+
+// RichHandlerUnit assembles the rich handler.
+func RichHandlerUnit(display int) *asm.Unit {
+	return asm.MustParse(RichHandlerSource(display))
+}
+
+// NewFrame builds an ImageData event of w×h pixels (one byte per pixel,
+// deterministic contents).
+func NewFrame(w, h int, seed int64) *mir.Object {
+	obj := mir.NewObject("ImageData")
+	obj.Fields["width"] = mir.Int(int64(w))
+	obj.Fields["height"] = mir.Int(int64(h))
+	buff := make(mir.Bytes, w*h)
+	s := uint64(seed)*2654435761 + 1
+	for i := range buff {
+		s = s*6364136223846793005 + 1442695040888963407
+		buff[i] = byte(s >> 56)
+	}
+	obj.Fields["buff"] = buff
+	return obj
+}
+
+// Display records the frames shown at the receiver.
+type Display struct {
+	// Frames are the displayed images in arrival order.
+	Frames []*mir.Object
+	// Pixels is the total pixel count displayed.
+	Pixels int64
+}
+
+// Builtins returns the handler's builtin registry: resizeTo (movable, cost
+// proportional to input+output pixels) and displayImage (native, cost
+// proportional to displayed pixels). The returned Display observes
+// receiver-side output; pass nil-observing registries to senders by simply
+// ignoring the Display.
+func Builtins() (*interp.Registry, *Display) {
+	disp := &Display{}
+	reg := interp.NewRegistry()
+	reg.MustRegister(interp.Builtin{
+		Name: "resizeTo",
+		Fn: func(env *interp.Env, args []mir.Value) (mir.Value, error) {
+			if len(args) != 3 {
+				return nil, fmt.Errorf("resizeTo wants (img, w, h)")
+			}
+			img, ok := args[0].(*mir.Object)
+			if !ok {
+				return nil, fmt.Errorf("resizeTo: image is %s", args[0].Kind())
+			}
+			w, ok := args[1].(mir.Int)
+			if !ok {
+				return nil, fmt.Errorf("resizeTo: width is %s", args[1].Kind())
+			}
+			h, ok := args[2].(mir.Int)
+			if !ok {
+				return nil, fmt.Errorf("resizeTo: height is %s", args[2].Kind())
+			}
+			return Resize(img, int(w), int(h))
+		},
+		Cost: ResizeCost,
+	})
+	reg.MustRegister(interp.Builtin{
+		Name: "downsample",
+		Fn: func(env *interp.Env, args []mir.Value) (mir.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("downsample wants (img)")
+			}
+			img, ok := args[0].(*mir.Object)
+			if !ok {
+				return nil, fmt.Errorf("downsample: image is %s", args[0].Kind())
+			}
+			return Downsample(img)
+		},
+		Cost: func(args []mir.Value) int64 {
+			if len(args) == 1 {
+				if img, ok := args[0].(*mir.Object); ok {
+					return pixels(img)
+				}
+			}
+			return 1
+		},
+	})
+	reg.MustRegister(interp.Builtin{
+		Name:   "displayImage",
+		Native: true,
+		Fn: func(env *interp.Env, args []mir.Value) (mir.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("displayImage wants 1 arg")
+			}
+			img, ok := args[0].(*mir.Object)
+			if !ok {
+				return nil, fmt.Errorf("displayImage: arg is %s", args[0].Kind())
+			}
+			disp.Frames = append(disp.Frames, img)
+			if w, ok := img.Fields["width"].(mir.Int); ok {
+				if h, ok := img.Fields["height"].(mir.Int); ok {
+					disp.Pixels += int64(w) * int64(h)
+				}
+			}
+			return mir.Null{}, nil
+		},
+		Cost: func(args []mir.Value) int64 {
+			if len(args) == 1 {
+				if img, ok := args[0].(*mir.Object); ok {
+					return pixels(img)
+				}
+			}
+			return 1
+		},
+	})
+	return reg, disp
+}
+
+// Resize nearest-neighbour scales img to w×h, returning a new ImageData.
+func Resize(img *mir.Object, w, h int) (*mir.Object, error) {
+	sw, ok := img.Fields["width"].(mir.Int)
+	if !ok {
+		return nil, fmt.Errorf("resize: width is %v", img.Fields["width"])
+	}
+	sh, ok := img.Fields["height"].(mir.Int)
+	if !ok {
+		return nil, fmt.Errorf("resize: height is %v", img.Fields["height"])
+	}
+	sbuf, ok := img.Fields["buff"].(mir.Bytes)
+	if !ok {
+		return nil, fmt.Errorf("resize: buff is %v", img.Fields["buff"])
+	}
+	if w <= 0 || h <= 0 || sw <= 0 || sh <= 0 {
+		return nil, fmt.Errorf("resize: bad dimensions %dx%d from %dx%d", w, h, sw, sh)
+	}
+	out := mir.NewObject("ImageData")
+	out.Fields["width"] = mir.Int(int64(w))
+	out.Fields["height"] = mir.Int(int64(h))
+	buff := make(mir.Bytes, w*h)
+	for y := 0; y < h; y++ {
+		sy := y * int(sh) / h
+		row := sy * int(sw)
+		for x := 0; x < w; x++ {
+			sx := x * int(sw) / w
+			idx := row + sx
+			if idx < len(sbuf) {
+				buff[y*w+x] = sbuf[idx]
+			}
+		}
+	}
+	out.Fields["buff"] = buff
+	return out, nil
+}
+
+// Downsample halves an image's resolution by averaging 2x2 pixel blocks,
+// quartering its size — the lighter of the two data-reduction transforms.
+func Downsample(img *mir.Object) (*mir.Object, error) {
+	sw, ok := img.Fields["width"].(mir.Int)
+	if !ok {
+		return nil, fmt.Errorf("downsample: width is %v", img.Fields["width"])
+	}
+	sh, ok := img.Fields["height"].(mir.Int)
+	if !ok {
+		return nil, fmt.Errorf("downsample: height is %v", img.Fields["height"])
+	}
+	sbuf, ok := img.Fields["buff"].(mir.Bytes)
+	if !ok {
+		return nil, fmt.Errorf("downsample: buff is %v", img.Fields["buff"])
+	}
+	w, h := int(sw)/2, int(sh)/2
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	out := mir.NewObject("ImageData")
+	out.Fields["width"] = mir.Int(int64(w))
+	out.Fields["height"] = mir.Int(int64(h))
+	buff := make(mir.Bytes, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var sum, cnt int
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					sx, sy := 2*x+dx, 2*y+dy
+					if sx < int(sw) && sy < int(sh) {
+						idx := sy*int(sw) + sx
+						if idx < len(sbuf) {
+							sum += int(sbuf[idx])
+							cnt++
+						}
+					}
+				}
+			}
+			if cnt > 0 {
+				buff[y*w+x] = byte(sum / cnt)
+			}
+		}
+	}
+	out.Fields["buff"] = buff
+	return out, nil
+}
+
+// ResizeCost estimates resize work: reading the source plus writing the
+// destination, in pixel units.
+func ResizeCost(args []mir.Value) int64 {
+	var in, out int64 = 1, 1
+	if len(args) == 3 {
+		if img, ok := args[0].(*mir.Object); ok {
+			in = pixels(img)
+		}
+		w, wok := args[1].(mir.Int)
+		h, hok := args[2].(mir.Int)
+		if wok && hok {
+			out = int64(w) * int64(h)
+		}
+	}
+	return in + out
+}
+
+func pixels(img *mir.Object) int64 {
+	w, wok := img.Fields["width"].(mir.Int)
+	h, hok := img.Fields["height"].(mir.Int)
+	if !wok || !hok {
+		return 1
+	}
+	return int64(w) * int64(h)
+}

@@ -1,0 +1,137 @@
+package imaging
+
+import (
+	"testing"
+	"testing/quick"
+
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/interp"
+)
+
+func TestNewFrameShape(t *testing.T) {
+	f := NewFrame(8, 6, 1)
+	if f.Fields["width"] != mir.Int(8) || f.Fields["height"] != mir.Int(6) {
+		t.Fatalf("frame dims = %v x %v", f.Fields["width"], f.Fields["height"])
+	}
+	buff := f.Fields["buff"].(mir.Bytes)
+	if len(buff) != 48 {
+		t.Fatalf("buff len = %d", len(buff))
+	}
+	g := NewFrame(8, 6, 1)
+	if !mir.Equal(f, g) {
+		t.Error("same seed produced different frames")
+	}
+}
+
+func TestResizeDimensions(t *testing.T) {
+	src := NewFrame(100, 100, 2)
+	out, err := Resize(src, 25, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Fields["width"] != mir.Int(25) || out.Fields["height"] != mir.Int(50) {
+		t.Fatalf("resized to %v x %v", out.Fields["width"], out.Fields["height"])
+	}
+	if len(out.Fields["buff"].(mir.Bytes)) != 25*50 {
+		t.Fatal("buffer size mismatch")
+	}
+}
+
+func TestResizeIdentityPreservesPixels(t *testing.T) {
+	src := NewFrame(16, 16, 3)
+	out, err := Resize(src, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mir.Equal(src.Fields["buff"], out.Fields["buff"]) {
+		t.Error("identity resize changed pixels")
+	}
+}
+
+func TestResizeRejectsBadInput(t *testing.T) {
+	src := NewFrame(4, 4, 0)
+	if _, err := Resize(src, 0, 10); err == nil {
+		t.Error("zero width accepted")
+	}
+	broken := mir.NewObject("ImageData")
+	if _, err := Resize(broken, 4, 4); err == nil {
+		t.Error("object without fields accepted")
+	}
+}
+
+func TestResizeProperty(t *testing.T) {
+	f := func(w8, h8, dw8, dh8 uint8) bool {
+		w, h := int(w8%40)+1, int(h8%40)+1
+		dw, dh := int(dw8%40)+1, int(dh8%40)+1
+		src := NewFrame(w, h, int64(w*h))
+		out, err := Resize(src, dw, dh)
+		if err != nil {
+			return false
+		}
+		buff := out.Fields["buff"].(mir.Bytes)
+		return len(buff) == dw*dh
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResizeCost(t *testing.T) {
+	src := NewFrame(10, 10, 0)
+	cost := ResizeCost([]mir.Value{src, mir.Int(20), mir.Int(20)})
+	if cost != 100+400 {
+		t.Errorf("cost = %d, want 500", cost)
+	}
+}
+
+func TestBuiltinsThroughHandler(t *testing.T) {
+	unit := HandlerUnit(32)
+	prog, ok := unit.Program(HandlerName)
+	if !ok {
+		t.Fatal("handler missing")
+	}
+	classes, err := unit.ClassTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, disp := Builtins()
+	env := interp.NewEnv(classes, reg)
+	m, err := interp.NewMachine(env, prog, []mir.Value{mir.Value(NewFrame(64, 64, 7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Done {
+		t.Fatal("handler did not complete")
+	}
+	if len(disp.Frames) != 1 {
+		t.Fatalf("displayed %d frames", len(disp.Frames))
+	}
+	if disp.Frames[0].Fields["width"] != mir.Int(32) {
+		t.Errorf("displayed width = %v", disp.Frames[0].Fields["width"])
+	}
+	if disp.Pixels != 32*32 {
+		t.Errorf("pixels = %d", disp.Pixels)
+	}
+	// Non-image events take the filter path.
+	m2, _ := interp.NewMachine(env, prog, []mir.Value{mir.Str("junk")})
+	if _, err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(disp.Frames) != 1 {
+		t.Error("junk event reached the display")
+	}
+}
+
+func TestDisplayIsNative(t *testing.T) {
+	reg, _ := Builtins()
+	if !reg.IsNative("displayImage") {
+		t.Error("displayImage must be native")
+	}
+	if reg.IsNative("resizeTo") {
+		t.Error("resizeTo must be movable")
+	}
+}

@@ -1,0 +1,86 @@
+package imaging
+
+import (
+	"testing"
+
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/interp"
+)
+
+func TestDownsampleHalvesDimensions(t *testing.T) {
+	src := NewFrame(64, 48, 1)
+	out, err := Downsample(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Fields["width"] != mir.Int(32) || out.Fields["height"] != mir.Int(24) {
+		t.Fatalf("dims = %v x %v", out.Fields["width"], out.Fields["height"])
+	}
+	if len(out.Fields["buff"].(mir.Bytes)) != 32*24 {
+		t.Fatal("buffer size mismatch")
+	}
+}
+
+func TestDownsampleAverages(t *testing.T) {
+	img := mir.NewObject("ImageData")
+	img.Fields["width"] = mir.Int(2)
+	img.Fields["height"] = mir.Int(2)
+	img.Fields["buff"] = mir.Bytes{10, 20, 30, 40}
+	out, err := Downsample(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buff := out.Fields["buff"].(mir.Bytes)
+	if len(buff) != 1 || buff[0] != 25 {
+		t.Fatalf("downsampled = %v, want [25]", buff)
+	}
+}
+
+func TestDownsampleTiny(t *testing.T) {
+	src := NewFrame(1, 1, 0)
+	out, err := Downsample(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Fields["width"] != mir.Int(1) || out.Fields["height"] != mir.Int(1) {
+		t.Fatalf("tiny dims = %v x %v", out.Fields["width"], out.Fields["height"])
+	}
+}
+
+func TestDownsampleRejectsBroken(t *testing.T) {
+	if _, err := Downsample(mir.NewObject("ImageData")); err == nil {
+		t.Fatal("empty object accepted")
+	}
+}
+
+func TestRichHandlerEndToEnd(t *testing.T) {
+	unit := RichHandlerUnit(40)
+	prog, ok := unit.Program(RichHandlerName)
+	if !ok {
+		t.Fatal("rich handler missing")
+	}
+	classes, err := unit.ClassTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, disp := Builtins()
+	env := interp.NewEnv(classes, reg)
+	m, err := interp.NewMachine(env, prog, []mir.Value{mir.Value(NewFrame(160, 160, 5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Done {
+		t.Fatal("did not complete")
+	}
+	if len(disp.Frames) != 1 {
+		t.Fatalf("displayed %d", len(disp.Frames))
+	}
+	f := disp.Frames[0]
+	if f.Fields["width"] != mir.Int(40) || f.Fields["height"] != mir.Int(40) {
+		t.Fatalf("final size %v x %v", f.Fields["width"], f.Fields["height"])
+	}
+}

@@ -1,0 +1,131 @@
+package jecho_test
+
+import (
+	"testing"
+	"time"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/imaging"
+	"methodpart/internal/jecho"
+	"methodpart/internal/mir"
+)
+
+// TestBrokerThirdPartyDerivation runs the §7 extension end to end:
+// source → broker (hosting the modulator) → subscriber. The source never
+// sees the handler; the subscriber's plans steer the broker's modulator.
+func TestBrokerThirdPartyDerivation(t *testing.T) {
+	reg, _ := imaging.Builtins()
+	broker, err := jecho.NewBroker(jecho.BrokerConfig{
+		DownstreamAddr: "127.0.0.1:0",
+		UpstreamAddr:   "127.0.0.1:0",
+		Publisher: jecho.PublisherConfig{
+			Builtins:      reg,
+			FeedbackEvery: 2,
+			Logf:          t.Logf,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+
+	subReg, disp := imaging.Builtins()
+	res := &results{}
+	sub, err := jecho.Subscribe(jecho.SubscriberConfig{
+		Addr:          broker.DownstreamAddr(),
+		Name:          "viewer",
+		Source:        imaging.HandlerSource(120),
+		Handler:       imaging.HandlerName,
+		CostModel:     costmodel.DataSizeName,
+		Natives:       []string{"displayImage"},
+		Builtins:      subReg,
+		Environment:   costmodel.DefaultEnvironment(),
+		OnResult:      res.add,
+		ReconfigEvery: 2,
+		DiffThreshold: 0.1,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for broker.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never registered at broker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	source, err := jecho.NewSource(broker.UpstreamAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer source.Close()
+
+	const frames = 30
+	for i := 0; i < frames; i++ {
+		// Large frames: the optimal cut resizes 200² down to 120² at the
+		// broker.
+		if err := source.Emit(imaging.NewFrame(200, 200, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	waitCount(t, res, frames)
+	if broker.Received() != frames {
+		t.Fatalf("broker received %d events", broker.Received())
+	}
+	if len(disp.Frames) != frames {
+		t.Fatalf("displayed %d frames", len(disp.Frames))
+	}
+	for _, f := range disp.Frames {
+		if f.Fields["width"] != mir.Int(120) {
+			t.Fatalf("frame width = %v, want 120", f.Fields["width"])
+		}
+	}
+	// Steady state: the broker's modulator must have converged to the
+	// post-resize cut (third-party modulation, not raw forwarding).
+	pses := res.splitPSEs()
+	post := 0
+	for _, pse := range pses[frames-10:] {
+		if pse >= 3 {
+			post++
+		}
+	}
+	if post < 8 {
+		t.Errorf("broker did not converge to post-resize cuts: %v", pses)
+	}
+}
+
+// TestBrokerRejectsGarbageUpstream: a source that speaks garbage is
+// disconnected without harming downstream service.
+func TestBrokerRejectsGarbageUpstream(t *testing.T) {
+	reg, _ := imaging.Builtins()
+	broker, err := jecho.NewBroker(jecho.BrokerConfig{
+		DownstreamAddr: "127.0.0.1:0",
+		UpstreamAddr:   "127.0.0.1:0",
+		Publisher:      jecho.PublisherConfig{Builtins: reg, Logf: t.Logf},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+
+	src, err := jecho.NewSource(broker.UpstreamAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A healthy event, then garbage bytes through a fresh raw connection.
+	if err := src.Emit(mir.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for broker.Received() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if broker.Received() != 1 {
+		t.Fatalf("received = %d", broker.Received())
+	}
+	_ = src.Close()
+}

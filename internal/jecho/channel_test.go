@@ -1,0 +1,88 @@
+package jecho_test
+
+import (
+	"testing"
+	"time"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/imaging"
+	"methodpart/internal/jecho"
+)
+
+// TestChannelRouting: PublishOn reaches only the named channel's
+// subscriptions; Publish broadcasts to all.
+func TestChannelRouting(t *testing.T) {
+	pub := newTestPublisher(t)
+
+	mk := func(name, channel string) *results {
+		reg, _ := imaging.Builtins()
+		res := &results{}
+		sub, err := jecho.Subscribe(jecho.SubscriberConfig{
+			Addr:        pub.Addr(),
+			Name:        name,
+			Channel:     channel,
+			Source:      imaging.HandlerSource(64),
+			Handler:     imaging.HandlerName,
+			CostModel:   costmodel.DataSizeName,
+			Natives:     []string{"displayImage"},
+			Builtins:    reg,
+			Environment: costmodel.DefaultEnvironment(),
+			OnResult:    res.add,
+			Logf:        t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = sub.Close() })
+		return res
+	}
+	frontRes := mk("front", "camera/front")
+	rearRes := mk("rear", "camera/rear")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for pub.Subscribers() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriptions never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Channel-scoped publishes.
+	for i := 0; i < 5; i++ {
+		n, err := pub.PublishOn("camera/front", imaging.NewFrame(32, 32, int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("front publish reached %d", n)
+		}
+	}
+	n, err := pub.PublishOn("camera/rear", imaging.NewFrame(32, 32, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("rear publish reached %d", n)
+	}
+	// Broadcast reaches both.
+	n, err = pub.Publish(imaging.NewFrame(32, 32, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("broadcast reached %d", n)
+	}
+	// Publish on a channel nobody subscribed to.
+	n, err = pub.PublishOn("camera/none", imaging.NewFrame(32, 32, 101))
+	if err != nil || n != 0 {
+		t.Fatalf("ghost channel: n=%d err=%v", n, err)
+	}
+
+	waitCount(t, frontRes, 6) // 5 scoped + 1 broadcast
+	waitCount(t, rearRes, 2)  // 1 scoped + 1 broadcast
+	// Give any misrouted messages a moment to show up.
+	time.Sleep(20 * time.Millisecond)
+	if frontRes.count() != 6 || rearRes.count() != 2 {
+		t.Fatalf("front=%d rear=%d, want 6/2", frontRes.count(), rearRes.count())
+	}
+}

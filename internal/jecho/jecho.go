@@ -1,0 +1,60 @@
+// Package jecho is the distributed event (message) system hosting Method
+// Partitioning, playing the role JECho plays in the paper (§5): publishers
+// own event channels; subscribers register message handlers *at the
+// publisher* by shipping handler source, which the publisher compiles into
+// a modulator. Events are modulated at the sender, cross the wire as raw
+// events or remote continuations, and are completed by the subscriber's
+// demodulator. Profiling feedback flows sender→receiver; partitioning plans
+// flow receiver→sender.
+//
+// Handler code ships as MIR assembler source — the mobile-code analogue of
+// the paper's Java classes. Builtin functions named by handlers model
+// library code and must be registered on both hosts; natives (displays,
+// actuators) exist only at the receiver and pin StopNodes there. The
+// subscriber declares the native set explicitly in its subscription so that
+// both ends compile identical PSE tables.
+package jecho
+
+import (
+	"fmt"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/mir/asm"
+	"methodpart/internal/partition"
+	"methodpart/internal/wire"
+)
+
+// nativeSet is an explicit NativeOracle from a subscription's declared
+// native function list.
+type nativeSet map[string]bool
+
+// IsNative implements analysis.NativeOracle.
+func (s nativeSet) IsNative(fn string) bool { return s[fn] }
+
+// compileSubscription assembles handler source and compiles it under the
+// named cost model with the declared native set. Both ends run this with
+// identical inputs, yielding identical PSE tables (so PSE ids agree on the
+// wire).
+func compileSubscription(sub *wire.Subscribe) (*partition.Compiled, error) {
+	unit, err := asm.Parse(sub.Source)
+	if err != nil {
+		return nil, fmt.Errorf("jecho: handler source: %w", err)
+	}
+	prog, ok := unit.Program(sub.Handler)
+	if !ok {
+		return nil, fmt.Errorf("jecho: handler %q not in source", sub.Handler)
+	}
+	classes, err := unit.ClassTable()
+	if err != nil {
+		return nil, err
+	}
+	model, err := costmodel.ByName(sub.CostModel)
+	if err != nil {
+		return nil, err
+	}
+	oracle := make(nativeSet, len(sub.Natives))
+	for _, n := range sub.Natives {
+		oracle[n] = true
+	}
+	return partition.Compile(prog, classes, oracle, model)
+}

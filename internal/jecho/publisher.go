@@ -1,0 +1,361 @@
+package jecho
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"sync"
+
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/partition"
+	"methodpart/internal/profileunit"
+	"methodpart/internal/wire"
+)
+
+// PublisherConfig configures an event-channel publisher.
+type PublisherConfig struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// Builtins are the movable library functions available to handlers at
+	// the sender (natives need not be present; they never run here).
+	Builtins *interp.Registry
+	// FeedbackEvery is the sender-side profiling report period in
+	// messages (0 = 10).
+	FeedbackEvery uint64
+	// ProfileSampleEvery applies §2.5's periodic profiling sampling to
+	// every modulator: >1 profiles only each Nth message (0/1 = all).
+	ProfileSampleEvery uint64
+	// Logf receives diagnostics (nil = log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Publisher hosts an event channel: it accepts subscriptions (installing a
+// modulator per subscriber) and fans published events out through them.
+type Publisher struct {
+	cfg      PublisherConfig
+	listener net.Listener
+
+	mu     sync.Mutex
+	subs   map[string]*subscription
+	nextID int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// subscription is the publisher-side state of one subscriber.
+type subscription struct {
+	id       string
+	channel  string
+	conn     net.Conn
+	compiled *partition.Compiled
+	mod      *partition.Modulator
+	coll     *profileunit.Collector
+	trigger  profileunit.Trigger
+
+	writeMu sync.Mutex
+}
+
+// NewPublisher starts listening and accepting subscriptions.
+func NewPublisher(cfg PublisherConfig) (*Publisher, error) {
+	if cfg.Builtins == nil {
+		return nil, fmt.Errorf("jecho: publisher needs a builtin registry")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	if cfg.FeedbackEvery == 0 {
+		cfg.FeedbackEvery = 10
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("jecho: listen: %w", err)
+	}
+	p := &Publisher{
+		cfg:      cfg,
+		listener: ln,
+		subs:     make(map[string]*subscription),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the bound listen address.
+func (p *Publisher) Addr() string { return p.listener.Addr().String() }
+
+// Close stops the publisher and drops all subscriptions.
+func (p *Publisher) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	subs := make([]*subscription, 0, len(p.subs))
+	for _, s := range p.subs {
+		subs = append(subs, s)
+	}
+	p.mu.Unlock()
+	err := p.listener.Close()
+	for _, s := range subs {
+		_ = s.conn.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// Subscribers returns the current subscriber count.
+func (p *Publisher) Subscribers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.subs)
+}
+
+// SubscriptionInfo describes one live subscription for observability.
+type SubscriptionInfo struct {
+	// ID is the publisher-assigned subscription id.
+	ID string
+	// Channel is the channel the subscription is attached to.
+	Channel string
+	// Handler is the installed handler's name.
+	Handler string
+	// PlanVersion is the active partitioning plan's version.
+	PlanVersion uint64
+	// SplitIDs are the active plan's flagged PSEs.
+	SplitIDs []int32
+}
+
+// Subscriptions snapshots the live subscriptions, ordered by id.
+func (p *Publisher) Subscriptions() []SubscriptionInfo {
+	p.mu.Lock()
+	subs := make([]*subscription, 0, len(p.subs))
+	for _, s := range p.subs {
+		subs = append(subs, s)
+	}
+	p.mu.Unlock()
+	out := make([]SubscriptionInfo, 0, len(subs))
+	for _, s := range subs {
+		plan := s.mod.Plan()
+		split := make([]int32, len(plan.SplitIDs()))
+		copy(split, plan.SplitIDs())
+		out = append(out, SubscriptionInfo{
+			ID:          s.id,
+			Channel:     s.channel,
+			Handler:     s.compiled.Prog.Name,
+			PlanVersion: plan.Version(),
+			SplitIDs:    split,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (p *Publisher) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.listener.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go p.handleConn(conn)
+	}
+}
+
+// handleConn performs the subscription handshake, then serves plan updates
+// from the subscriber.
+func (p *Publisher) handleConn(conn net.Conn) {
+	defer p.wg.Done()
+	frame, err := wire.ReadFrame(conn)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	msg, err := wire.Unmarshal(frame)
+	if err != nil {
+		p.cfg.Logf("jecho publisher: bad handshake: %v", err)
+		_ = conn.Close()
+		return
+	}
+	subMsg, ok := msg.(*wire.Subscribe)
+	if !ok {
+		p.cfg.Logf("jecho publisher: handshake was %T, want Subscribe", msg)
+		_ = conn.Close()
+		return
+	}
+	if subMsg.Protocol != wire.ProtocolVersion {
+		p.cfg.Logf("jecho publisher: protocol %d from %s, want %d",
+			subMsg.Protocol, subMsg.Subscriber, wire.ProtocolVersion)
+		_ = conn.Close()
+		return
+	}
+	compiled, err := compileSubscription(subMsg)
+	if err != nil {
+		p.cfg.Logf("jecho publisher: compile %s: %v", subMsg.Handler, err)
+		_ = conn.Close()
+		return
+	}
+	env := interp.NewEnv(compiled.Classes, p.cfg.Builtins)
+	coll := profileunit.NewCollector(compiled.NumPSEs())
+	mod := partition.NewModulator(compiled, env)
+	mod.Probe = coll
+	mod.SampleEvery = p.cfg.ProfileSampleEvery
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	p.nextID++
+	id := fmt.Sprintf("%s#%d", subMsg.Subscriber, p.nextID)
+	sub := &subscription{
+		id:       id,
+		channel:  subMsg.Channel,
+		conn:     conn,
+		compiled: compiled,
+		mod:      mod,
+		coll:     coll,
+		trigger:  &profileunit.RateTrigger{EveryMessages: p.cfg.FeedbackEvery},
+	}
+	p.subs[id] = sub
+	p.mu.Unlock()
+
+	// Serve inbound control messages (plans) until the peer goes away.
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			break
+		}
+		msg, err := wire.Unmarshal(frame)
+		if err != nil {
+			p.cfg.Logf("jecho publisher: sub %s: %v", id, err)
+			break
+		}
+		plan, ok := msg.(*wire.Plan)
+		if !ok {
+			p.cfg.Logf("jecho publisher: sub %s sent %T", id, msg)
+			continue
+		}
+		if err := mod.ApplyWirePlan(plan); err != nil {
+			p.cfg.Logf("jecho publisher: sub %s plan: %v", id, err)
+		}
+	}
+	_ = conn.Close()
+	p.mu.Lock()
+	delete(p.subs, id)
+	p.mu.Unlock()
+}
+
+// Publish pushes one event through every subscription's modulator (all
+// channels) and sends the resulting raw events or continuations. It returns
+// the number of subscribers reached and the first error encountered.
+//
+// The event value is shared across subscriptions (and their concurrently
+// running modulators), so handlers must treat incoming events as read-only —
+// the usual contract of an event system; transforms allocate new objects.
+func (p *Publisher) Publish(event mir.Value) (int, error) {
+	return p.publish(event, "", true)
+}
+
+// PublishOn pushes one event to the subscriptions of one channel only.
+func (p *Publisher) PublishOn(channel string, event mir.Value) (int, error) {
+	return p.publish(event, channel, false)
+}
+
+func (p *Publisher) publish(event mir.Value, channel string, broadcast bool) (int, error) {
+	p.mu.Lock()
+	subs := make([]*subscription, 0, len(p.subs))
+	for _, s := range p.subs {
+		if broadcast || s.channel == channel {
+			subs = append(subs, s)
+		}
+	}
+	p.mu.Unlock()
+
+	if len(subs) == 1 {
+		if err := subs[0].publishOne(event); err != nil {
+			return 0, fmt.Errorf("jecho: sub %s: %w", subs[0].id, err)
+		}
+		return 1, nil
+	}
+	// Fan out concurrently: each subscription has its own modulator and
+	// connection, and per-subscription ordering is preserved because one
+	// Publish call runs one message per subscription.
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		reached  int
+	)
+	for _, s := range subs {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := s.publishOne(event)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("jecho: sub %s: %w", s.id, err)
+				}
+				return
+			}
+			reached++
+		}()
+	}
+	wg.Wait()
+	return reached, firstErr
+}
+
+func (s *subscription) publishOne(event mir.Value) error {
+	out, err := s.mod.Process(event)
+	if err != nil {
+		return err
+	}
+	if !out.Suppressed {
+		var msg any
+		if out.Raw != nil {
+			msg = out.Raw
+		} else {
+			msg = out.Cont
+		}
+		data, err := wire.Marshal(msg)
+		if err != nil {
+			return err
+		}
+		if err := s.send(data); err != nil {
+			return err
+		}
+	}
+	// Rate-triggered sender-side profiling feedback (§2.5).
+	snap := s.coll.Snapshot()
+	if s.trigger.ShouldReport(snap, s.coll.Messages()) {
+		fb := s.coll.ToWire(s.compiled.Prog.Name)
+		data, err := wire.Marshal(fb)
+		if err != nil {
+			return err
+		}
+		if err := s.send(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *subscription) send(data []byte) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if err := wire.WriteFrame(s.conn, data); err != nil {
+		if errors.Is(err, io.EOF) {
+			return fmt.Errorf("jecho: subscriber gone: %w", err)
+		}
+		return err
+	}
+	return nil
+}

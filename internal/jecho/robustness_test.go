@@ -1,0 +1,235 @@
+package jecho_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/imaging"
+	"methodpart/internal/jecho"
+	"methodpart/internal/wire"
+)
+
+func newTestPublisher(t *testing.T) *jecho.Publisher {
+	t.Helper()
+	reg, _ := imaging.Builtins()
+	pub, err := jecho.NewPublisher(jecho.PublisherConfig{
+		Addr:     "127.0.0.1:0",
+		Builtins: reg,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = pub.Close() })
+	return pub
+}
+
+func TestPublishWithoutSubscribers(t *testing.T) {
+	pub := newTestPublisher(t)
+	n, err := pub.Publish(imaging.NewFrame(8, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("reached %d subscribers", n)
+	}
+}
+
+func TestBadHandshakeRejected(t *testing.T) {
+	pub := newTestPublisher(t)
+	conn, err := net.Dial("tcp", pub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A plan message instead of a subscription.
+	data, err := wire.Marshal(&wire.Plan{Handler: "x", Version: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, data); err != nil {
+		t.Fatal(err)
+	}
+	// The publisher must close the connection without registering.
+	deadline := time.Now().Add(2 * time.Second)
+	buf := make([]byte, 1)
+	_ = conn.SetReadDeadline(deadline)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("connection not closed after bad handshake")
+	}
+	if pub.Subscribers() != 0 {
+		t.Error("bad handshake registered a subscription")
+	}
+}
+
+func TestBadHandlerSourceRejected(t *testing.T) {
+	pub := newTestPublisher(t)
+	conn, err := net.Dial("tcp", pub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	data, err := wire.Marshal(&wire.Subscribe{
+		Protocol: wire.ProtocolVersion, Subscriber: "x", Handler: "f",
+		Source: "not mir at all", CostModel: "datasize",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("connection survived uncompilable source")
+	}
+	if pub.Subscribers() != 0 {
+		t.Error("uncompilable subscription registered")
+	}
+}
+
+func TestProtocolMismatchRejected(t *testing.T) {
+	pub := newTestPublisher(t)
+	conn, err := net.Dial("tcp", pub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	data, err := wire.Marshal(&wire.Subscribe{
+		Protocol: 99, Subscriber: "future", Handler: "f",
+		Source: "func f(x) {\n return\n}", CostModel: "datasize",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("connection survived protocol mismatch")
+	}
+	if pub.Subscribers() != 0 {
+		t.Error("mismatched protocol registered a subscription")
+	}
+}
+
+func TestSubscriberDisconnectCleansUp(t *testing.T) {
+	pub := newTestPublisher(t)
+	reg, _ := imaging.Builtins()
+	sub, err := jecho.Subscribe(jecho.SubscriberConfig{
+		Addr:        pub.Addr(),
+		Name:        "flaky",
+		Source:      imaging.HandlerSource(64),
+		Handler:     imaging.HandlerName,
+		CostModel:   costmodel.DataSizeName,
+		Natives:     []string{"displayImage"},
+		Builtins:    reg,
+		Environment: costmodel.DefaultEnvironment(),
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for pub.Subscribers() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = sub.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for pub.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription not cleaned up after disconnect")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Publishing after the disconnect reaches nobody but must not fail.
+	if n, err := pub.Publish(imaging.NewFrame(8, 8, 1)); err != nil || n != 0 {
+		t.Fatalf("publish after disconnect: n=%d err=%v", n, err)
+	}
+}
+
+func TestSubscribeUnknownCostModel(t *testing.T) {
+	pub := newTestPublisher(t)
+	reg, _ := imaging.Builtins()
+	_, err := jecho.Subscribe(jecho.SubscriberConfig{
+		Addr:      pub.Addr(),
+		Name:      "x",
+		Source:    imaging.HandlerSource(64),
+		Handler:   imaging.HandlerName,
+		CostModel: "bogus",
+		Builtins:  reg,
+	})
+	if err == nil {
+		t.Fatal("unknown cost model accepted")
+	}
+}
+
+func TestSubscribeWithRetryEventuallySucceeds(t *testing.T) {
+	reg, _ := imaging.Builtins()
+	cfg := jecho.SubscriberConfig{
+		Name:        "late",
+		Source:      imaging.HandlerSource(64),
+		Handler:     imaging.HandlerName,
+		CostModel:   costmodel.DataSizeName,
+		Natives:     []string{"displayImage"},
+		Builtins:    reg,
+		Environment: costmodel.DefaultEnvironment(),
+		Logf:        t.Logf,
+	}
+	// Start the publisher shortly after the first subscribe attempt fails.
+	pubCh := make(chan *jecho.Publisher, 1)
+	addrCh := make(chan string, 1)
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		preg, _ := imaging.Builtins()
+		pub, err := jecho.NewPublisher(jecho.PublisherConfig{Addr: "127.0.0.1:0", Builtins: preg, Logf: t.Logf})
+		if err != nil {
+			close(addrCh)
+			return
+		}
+		pubCh <- pub
+		addrCh <- pub.Addr()
+	}()
+	// We don't know the port until the publisher is up; retry against a
+	// dead port first to exercise the backoff, then the real address.
+	cfg.Addr = "127.0.0.1:1"
+	if _, err := jecho.SubscribeWithRetry(cfg, 2); err == nil {
+		t.Fatal("retry against dead port succeeded")
+	}
+	addr, ok := <-addrCh
+	if !ok {
+		t.Fatal("publisher never started")
+	}
+	cfg.Addr = addr
+	sub, err := jecho.SubscribeWithRetry(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub := <-pubCh
+	defer pub.Close()
+}
+
+func TestSubscribeConnectionRefused(t *testing.T) {
+	reg, _ := imaging.Builtins()
+	_, err := jecho.Subscribe(jecho.SubscriberConfig{
+		Addr:      "127.0.0.1:1", // nothing listens here
+		Name:      "x",
+		Source:    imaging.HandlerSource(64),
+		Handler:   imaging.HandlerName,
+		CostModel: costmodel.DataSizeName,
+		Natives:   []string{"displayImage"},
+		Builtins:  reg,
+	})
+	if err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+}

@@ -1,0 +1,286 @@
+package jecho
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/partition"
+	"methodpart/internal/profileunit"
+	"methodpart/internal/reconfig"
+	"methodpart/internal/wire"
+)
+
+// SubscriberConfig configures a subscription to a remote publisher.
+type SubscriberConfig struct {
+	// Addr is the publisher's TCP address.
+	Addr string
+	// Name identifies this subscriber.
+	Name string
+	// Channel names the event channel to attach to ("" = default;
+	// Publisher.Publish broadcasts reach every channel either way).
+	Channel string
+	// Source is the handler source (classes + func) to install.
+	Source string
+	// Handler is the handler name inside Source.
+	Handler string
+	// CostModel is the wire name of the cost model ("datasize",
+	// "exectime").
+	CostModel string
+	// Natives lists the receiver-pinned functions of the handler.
+	Natives []string
+	// Builtins is the receiver-side registry (must implement all
+	// handler functions, including the natives).
+	Builtins *interp.Registry
+	// Environment is the deployment-time resource estimate for the
+	// reconfiguration unit.
+	Environment costmodel.Environment
+	// OnResult, if set, observes every completed message.
+	OnResult func(*partition.Result)
+	// ReconfigEvery is the reconfiguration rate trigger in messages
+	// (0 = 10).
+	ReconfigEvery uint64
+	// DiffThreshold is the diff trigger sensitivity (0 = 0.2).
+	DiffThreshold float64
+	// Logf receives diagnostics (nil = log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Subscriber is the receiver side of one subscription: it demodulates
+// incoming messages, merges sender feedback with local profiling, and
+// pushes new plans back to the publisher.
+type Subscriber struct {
+	cfg      SubscriberConfig
+	conn     net.Conn
+	compiled *partition.Compiled
+	demod    *partition.Demodulator
+	coll     *profileunit.Collector
+	runit    *reconfig.Unit
+	trigger  profileunit.Trigger
+
+	mu          sync.Mutex
+	senderStats map[int32]costmodel.Stat
+	writeMu     sync.Mutex
+	done        chan struct{}
+	readErr     error
+	processed   uint64
+}
+
+// SubscribeWithRetry dials the publisher with exponential backoff (starting
+// at 50ms, doubling, capped at 2s) until the subscription succeeds or
+// attempts are exhausted — for deployments where the receiver may come up
+// before its publisher.
+func SubscribeWithRetry(cfg SubscriberConfig, attempts int) (*Subscriber, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		sub, err := Subscribe(cfg)
+		if err == nil {
+			return sub, nil
+		}
+		lastErr = err
+		if i+1 < attempts {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+		}
+	}
+	return nil, fmt.Errorf("jecho: subscribe after %d attempts: %w", attempts, lastErr)
+}
+
+// Subscribe dials the publisher, installs the handler, and starts the
+// receive loop.
+func Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
+	if cfg.Builtins == nil {
+		return nil, fmt.Errorf("jecho: subscriber needs a builtin registry")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	if cfg.ReconfigEvery == 0 {
+		cfg.ReconfigEvery = 10
+	}
+	if cfg.DiffThreshold == 0 {
+		cfg.DiffThreshold = 0.2
+	}
+	subMsg := &wire.Subscribe{
+		Protocol:   wire.ProtocolVersion,
+		Subscriber: cfg.Name,
+		Channel:    cfg.Channel,
+		Handler:    cfg.Handler,
+		Source:     cfg.Source,
+		CostModel:  cfg.CostModel,
+		Natives:    cfg.Natives,
+	}
+	compiled, err := compileSubscription(subMsg)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("jecho: dial publisher: %w", err)
+	}
+	data, err := wire.Marshal(subMsg)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if err := wire.WriteFrame(conn, data); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("jecho: subscribe handshake: %w", err)
+	}
+
+	env := interp.NewEnv(compiled.Classes, cfg.Builtins)
+	coll := profileunit.NewCollector(compiled.NumPSEs())
+	demod := partition.NewDemodulator(compiled, env)
+	demod.Probe = coll
+	demod.CrossProbe = coll
+	s := &Subscriber{
+		cfg:      cfg,
+		conn:     conn,
+		compiled: compiled,
+		demod:    demod,
+		coll:     coll,
+		runit:    reconfig.NewUnit(compiled, cfg.Environment),
+		trigger: &profileunit.EitherTrigger{Children: []profileunit.Trigger{
+			&profileunit.RateTrigger{EveryMessages: cfg.ReconfigEvery},
+			&profileunit.DiffTrigger{Threshold: cfg.DiffThreshold, MinMessages: 3},
+		}},
+		senderStats: make(map[int32]costmodel.Stat),
+		done:        make(chan struct{}),
+	}
+	// Install the static initial plan at the sender.
+	plan, wirePlan, err := s.runit.InitialPlan()
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	demod.SetProfilePlan(plan)
+	if err := s.sendPlan(wirePlan); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	go s.readLoop()
+	return s, nil
+}
+
+// Compiled exposes the compiled handler (PSE table) for inspection.
+func (s *Subscriber) Compiled() *partition.Compiled { return s.compiled }
+
+// Processed returns the number of completed messages.
+func (s *Subscriber) Processed() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.processed
+}
+
+// Done is closed when the receive loop ends.
+func (s *Subscriber) Done() <-chan struct{} { return s.done }
+
+// Stats returns the merged (sender + receiver) per-PSE profiling snapshot —
+// the same view the reconfiguration unit decides on.
+func (s *Subscriber) Stats() map[int32]costmodel.Stat {
+	s.mu.Lock()
+	sender := make(map[int32]costmodel.Stat, len(s.senderStats))
+	for id, st := range s.senderStats {
+		sender[id] = st
+	}
+	s.mu.Unlock()
+	return profileunit.Merge(sender, s.coll.Snapshot())
+}
+
+// Err returns the receive-loop terminal error (nil on clean close).
+func (s *Subscriber) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readErr
+}
+
+// Close tears down the subscription.
+func (s *Subscriber) Close() error {
+	err := s.conn.Close()
+	<-s.done
+	return err
+}
+
+func (s *Subscriber) sendPlan(p *wire.Plan) error {
+	data, err := wire.Marshal(p)
+	if err != nil {
+		return err
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return wire.WriteFrame(s.conn, data)
+}
+
+func (s *Subscriber) readLoop() {
+	defer close(s.done)
+	for {
+		frame, err := wire.ReadFrame(s.conn)
+		if err != nil {
+			s.mu.Lock()
+			s.readErr = err
+			s.mu.Unlock()
+			return
+		}
+		msg, err := wire.Unmarshal(frame)
+		if err != nil {
+			s.cfg.Logf("jecho subscriber: %v", err)
+			continue
+		}
+		switch m := msg.(type) {
+		case *wire.Raw, *wire.Continuation:
+			res, err := s.demod.Process(m)
+			if err != nil {
+				s.cfg.Logf("jecho subscriber: demodulate: %v", err)
+				continue
+			}
+			s.mu.Lock()
+			s.processed++
+			s.mu.Unlock()
+			if s.cfg.OnResult != nil {
+				s.cfg.OnResult(res)
+			}
+			s.maybeReconfigure()
+		case *wire.Feedback:
+			s.mu.Lock()
+			for id, st := range profileunit.FromWire(m) {
+				s.senderStats[id] = st
+			}
+			s.mu.Unlock()
+			s.maybeReconfigure()
+		default:
+			s.cfg.Logf("jecho subscriber: unexpected %T", msg)
+		}
+	}
+}
+
+// maybeReconfigure runs the reconfiguration unit when the triggers fire and
+// pushes any changed plan back to the publisher.
+func (s *Subscriber) maybeReconfigure() {
+	s.mu.Lock()
+	merged := profileunit.Merge(s.senderStats, s.coll.Snapshot())
+	messages := s.processed
+	s.mu.Unlock()
+	if !s.trigger.ShouldReport(merged, messages) {
+		return
+	}
+	plan, wirePlan, err := s.runit.SelectPlan(merged)
+	if err != nil {
+		s.cfg.Logf("jecho subscriber: reconfigure: %v", err)
+		return
+	}
+	s.demod.SetProfilePlan(plan)
+	if err := s.sendPlan(wirePlan); err != nil {
+		s.cfg.Logf("jecho subscriber: send plan: %v", err)
+	}
+}

@@ -1,0 +1,436 @@
+// Package asm implements a line-oriented text assembler for MIR programs.
+// It is how handlers ship in this system: a component deploys handler source
+// to the runtime, which assembles, analyses and partitions it — the analogue
+// of shipping bytecode to Soot in the paper.
+//
+// Syntax example (the paper's push() handler, Fig. 4):
+//
+//	class ImageData {
+//	  width int
+//	  height int
+//	  buff bytes
+//	}
+//
+//	func push(event) {
+//	  t0 = instanceof event ImageData
+//	  ifnot t0 goto done
+//	  img = cast event ImageData
+//	  w = const 100
+//	  h = const 100
+//	  out = call resize img w h
+//	  call displayImage out
+//	done:
+//	  return
+//	}
+//
+// Comments start with ';' or '//' and run to end of line.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"methodpart/internal/mir"
+)
+
+// Unit is the result of assembling a source text: class definitions plus
+// handler programs.
+type Unit struct {
+	// Classes are the class definitions in declaration order.
+	Classes []mir.ClassDef
+	// Programs are the handler programs in declaration order.
+	Programs []*mir.Program
+}
+
+// Program returns the named program from the unit.
+func (u *Unit) Program(name string) (*mir.Program, bool) {
+	for _, p := range u.Programs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// ClassTable builds a class registry from the unit's class definitions.
+func (u *Unit) ClassTable() (*mir.ClassTable, error) {
+	return mir.NewClassTable(u.Classes...)
+}
+
+// ParseError reports a syntax error with its source line.
+type ParseError struct {
+	// Line is the 1-based source line number.
+	Line int
+	// Msg describes the problem.
+	Msg string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+type parser struct {
+	lines []string
+	pos   int // index into lines
+}
+
+// Parse assembles a source text into a Unit.
+func Parse(src string) (*Unit, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	unit := &Unit{}
+	for {
+		line, n, ok := p.next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "class":
+			def, err := p.parseClass(fields, n)
+			if err != nil {
+				return nil, err
+			}
+			unit.Classes = append(unit.Classes, def)
+		case "func":
+			prog, err := p.parseFunc(line, n)
+			if err != nil {
+				return nil, err
+			}
+			unit.Programs = append(unit.Programs, prog)
+		default:
+			return nil, errf(n, "expected 'class' or 'func', got %q", fields[0])
+		}
+	}
+	if len(unit.Programs) == 0 {
+		return nil, errf(len(p.lines), "no func declarations")
+	}
+	return unit, nil
+}
+
+// MustParse is Parse that panics on error; for tests and embedded handlers.
+func MustParse(src string) *Unit {
+	u, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// next returns the next non-empty, comment-stripped line and its 1-based
+// number.
+func (p *parser) next() (string, int, bool) {
+	for p.pos < len(p.lines) {
+		raw := p.lines[p.pos]
+		p.pos++
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line, p.pos, true
+		}
+	}
+	return "", 0, false
+}
+
+func stripComment(s string) string {
+	// Respect string literals when scanning for comment markers.
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr {
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch {
+		case c == '"':
+			inStr = true
+		case c == ';':
+			return s[:i]
+		case c == '/' && i+1 < len(s) && s[i+1] == '/':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func (p *parser) parseClass(fields []string, n int) (mir.ClassDef, error) {
+	// class Name {
+	if len(fields) != 3 || fields[2] != "{" {
+		return mir.ClassDef{}, errf(n, "class syntax: class Name {")
+	}
+	def := mir.ClassDef{Name: fields[1]}
+	for {
+		line, ln, ok := p.next()
+		if !ok {
+			return mir.ClassDef{}, errf(n, "class %s: missing closing '}'", def.Name)
+		}
+		if line == "}" {
+			return def, nil
+		}
+		fs := strings.Fields(line)
+		if len(fs) != 2 {
+			return mir.ClassDef{}, errf(ln, "field syntax: name kind")
+		}
+		k, ok := mir.KindFromString(fs[1])
+		if !ok {
+			return mir.ClassDef{}, errf(ln, "unknown kind %q", fs[1])
+		}
+		def.Fields = append(def.Fields, mir.FieldDef{Name: fs[0], Kind: k})
+	}
+}
+
+func (p *parser) parseFunc(header string, n int) (*mir.Program, error) {
+	// func name(a, b) {
+	rest := strings.TrimSpace(strings.TrimPrefix(header, "func"))
+	open := strings.IndexByte(rest, '(')
+	closeIdx := strings.IndexByte(rest, ')')
+	if open < 0 || closeIdx < open || !strings.HasSuffix(rest, "{") {
+		return nil, errf(n, "func syntax: func name(params) {")
+	}
+	name := strings.TrimSpace(rest[:open])
+	if name == "" {
+		return nil, errf(n, "func with empty name")
+	}
+	var params []string
+	paramStr := strings.TrimSpace(rest[open+1 : closeIdx])
+	if paramStr != "" {
+		for _, prm := range strings.Split(paramStr, ",") {
+			params = append(params, strings.TrimSpace(prm))
+		}
+	}
+	var instrs []mir.Instr
+	pendingLabel := ""
+	for {
+		line, ln, ok := p.next()
+		if !ok {
+			return nil, errf(n, "func %s: missing closing '}'", name)
+		}
+		if line == "}" {
+			if pendingLabel != "" {
+				return nil, errf(ln, "label %q attached to no instruction", pendingLabel)
+			}
+			prog, err := mir.NewProgram(name, params, instrs)
+			if err != nil {
+				return nil, errf(ln, "%v", err)
+			}
+			return prog, nil
+		}
+		if strings.HasSuffix(line, ":") && !strings.Contains(line, " ") {
+			if pendingLabel != "" {
+				return nil, errf(ln, "two labels (%q, %q) on one instruction", pendingLabel, line)
+			}
+			pendingLabel = strings.TrimSuffix(line, ":")
+			if pendingLabel == "" {
+				return nil, errf(ln, "empty label")
+			}
+			continue
+		}
+		in, err := parseInstr(line, ln)
+		if err != nil {
+			return nil, err
+		}
+		in.Label = pendingLabel
+		pendingLabel = ""
+		instrs = append(instrs, in)
+	}
+}
+
+func parseInstr(line string, ln int) (mir.Instr, error) {
+	if eq := strings.Index(line, " = "); eq >= 0 {
+		dst := strings.TrimSpace(line[:eq])
+		rhs := strings.TrimSpace(line[eq+3:])
+		if dst == "" || strings.ContainsAny(dst, " \t") {
+			return mir.Instr{}, errf(ln, "bad destination %q", dst)
+		}
+		return parseAssign(dst, rhs, ln)
+	}
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "goto":
+		if len(fields) != 2 {
+			return mir.Instr{}, errf(ln, "goto syntax: goto label")
+		}
+		return mir.Instr{Op: mir.OpGoto, Target: fields[1]}, nil
+	case "if", "ifnot":
+		if len(fields) != 4 || fields[2] != "goto" {
+			return mir.Instr{}, errf(ln, "%s syntax: %s cond goto label", fields[0], fields[0])
+		}
+		op := mir.OpIf
+		if fields[0] == "ifnot" {
+			op = mir.OpIfNot
+		}
+		return mir.Instr{Op: op, Src: fields[1], Target: fields[3]}, nil
+	case "return":
+		switch len(fields) {
+		case 1:
+			return mir.Instr{Op: mir.OpReturn}, nil
+		case 2:
+			return mir.Instr{Op: mir.OpReturn, Src: fields[1]}, nil
+		default:
+			return mir.Instr{}, errf(ln, "return syntax: return [reg]")
+		}
+	case "call":
+		if len(fields) < 2 {
+			return mir.Instr{}, errf(ln, "call syntax: call fn [args...]")
+		}
+		return mir.Instr{Op: mir.OpCall, Fn: fields[1], Args: fields[2:]}, nil
+	case "setfield":
+		if len(fields) != 4 {
+			return mir.Instr{}, errf(ln, "setfield syntax: setfield obj field src")
+		}
+		return mir.Instr{Op: mir.OpSetField, Dst: fields[1], Field: fields[2], Src: fields[3]}, nil
+	case "arrset":
+		if len(fields) != 4 {
+			return mir.Instr{}, errf(ln, "arrset syntax: arrset arr idx src")
+		}
+		return mir.Instr{Op: mir.OpArrSet, Dst: fields[1], Src2: fields[2], Src: fields[3]}, nil
+	case "setglobal":
+		if len(fields) != 3 {
+			return mir.Instr{}, errf(ln, "setglobal syntax: setglobal name src")
+		}
+		return mir.Instr{Op: mir.OpSetGlobal, Field: fields[1], Src: fields[2]}, nil
+	default:
+		return mir.Instr{}, errf(ln, "unknown instruction %q", fields[0])
+	}
+}
+
+func parseAssign(dst, rhs string, ln int) (mir.Instr, error) {
+	fields := strings.Fields(rhs)
+	if len(fields) == 0 {
+		return mir.Instr{}, errf(ln, "empty right-hand side")
+	}
+	switch fields[0] {
+	case "const":
+		litStr := strings.TrimSpace(strings.TrimPrefix(rhs, "const"))
+		lit, err := parseLiteral(litStr, ln)
+		if err != nil {
+			return mir.Instr{}, err
+		}
+		return mir.Instr{Op: mir.OpConst, Dst: dst, Lit: lit}, nil
+	case "move":
+		if len(fields) != 2 {
+			return mir.Instr{}, errf(ln, "move syntax: dst = move src")
+		}
+		return mir.Instr{Op: mir.OpMove, Dst: dst, Src: fields[1]}, nil
+	case "call":
+		if len(fields) < 2 {
+			return mir.Instr{}, errf(ln, "call syntax: dst = call fn [args...]")
+		}
+		return mir.Instr{Op: mir.OpCall, Dst: dst, Fn: fields[1], Args: fields[2:]}, nil
+	case "new":
+		if len(fields) != 2 {
+			return mir.Instr{}, errf(ln, "new syntax: dst = new Class")
+		}
+		return mir.Instr{Op: mir.OpNew, Dst: dst, Class: fields[1]}, nil
+	case "getfield":
+		if len(fields) != 3 {
+			return mir.Instr{}, errf(ln, "getfield syntax: dst = getfield obj field")
+		}
+		return mir.Instr{Op: mir.OpGetField, Dst: dst, Src: fields[1], Field: fields[2]}, nil
+	case "newarray":
+		if len(fields) != 3 {
+			return mir.Instr{}, errf(ln, "newarray syntax: dst = newarray kind lenreg")
+		}
+		k, ok := mir.KindFromString(fields[1])
+		if !ok {
+			return mir.Instr{}, errf(ln, "unknown kind %q", fields[1])
+		}
+		return mir.Instr{Op: mir.OpNewArray, Dst: dst, ElemKind: k, Src: fields[2]}, nil
+	case "arrget":
+		if len(fields) != 3 {
+			return mir.Instr{}, errf(ln, "arrget syntax: dst = arrget arr idx")
+		}
+		return mir.Instr{Op: mir.OpArrGet, Dst: dst, Src: fields[1], Src2: fields[2]}, nil
+	case "instanceof":
+		if len(fields) != 3 {
+			return mir.Instr{}, errf(ln, "instanceof syntax: dst = instanceof src Class")
+		}
+		return mir.Instr{Op: mir.OpInstanceOf, Dst: dst, Src: fields[1], Class: fields[2]}, nil
+	case "cast":
+		if len(fields) != 3 {
+			return mir.Instr{}, errf(ln, "cast syntax: dst = cast src Class")
+		}
+		return mir.Instr{Op: mir.OpCast, Dst: dst, Src: fields[1], Class: fields[2]}, nil
+	case "len":
+		if len(fields) != 2 {
+			return mir.Instr{}, errf(ln, "len syntax: dst = len src")
+		}
+		return mir.Instr{Op: mir.OpLen, Dst: dst, Src: fields[1]}, nil
+	case "getglobal":
+		if len(fields) != 2 {
+			return mir.Instr{}, errf(ln, "getglobal syntax: dst = getglobal name")
+		}
+		return mir.Instr{Op: mir.OpGetGlobal, Dst: dst, Field: fields[1]}, nil
+	default:
+		if bk, ok := mir.BinKindFromString(fields[0]); ok {
+			if len(fields) != 3 {
+				return mir.Instr{}, errf(ln, "%s syntax: dst = %s a b", fields[0], fields[0])
+			}
+			return mir.Instr{Op: mir.OpBin, Dst: dst, Bin: bk, Src: fields[1], Src2: fields[2]}, nil
+		}
+		if uk, ok := mir.UnKindFromString(fields[0]); ok {
+			if len(fields) != 2 {
+				return mir.Instr{}, errf(ln, "%s syntax: dst = %s a", fields[0], fields[0])
+			}
+			return mir.Instr{Op: mir.OpUn, Dst: dst, Un: uk, Src: fields[1]}, nil
+		}
+		return mir.Instr{}, errf(ln, "unknown operation %q", fields[0])
+	}
+}
+
+func parseLiteral(s string, ln int) (mir.Value, error) {
+	switch {
+	case s == "":
+		return nil, errf(ln, "missing literal")
+	case s == "null":
+		return mir.Null{}, nil
+	case s == "true":
+		return mir.Bool(true), nil
+	case s == "false":
+		return mir.Bool(false), nil
+	case s[0] == '"':
+		str, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, errf(ln, "bad string literal %s: %v", s, err)
+		}
+		return mir.Str(str), nil
+	case strings.ContainsAny(s, ".eE") && !strings.HasPrefix(s, "0x"):
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, errf(ln, "bad float literal %q: %v", s, err)
+		}
+		return mir.Float(f), nil
+	default:
+		i, err := strconv.ParseInt(s, 0, 64)
+		if err != nil {
+			return nil, errf(ln, "bad int literal %q: %v", s, err)
+		}
+		return mir.Int(i), nil
+	}
+}
+
+// Format renders a unit back to assembler source (a disassembler).
+func Format(u *Unit) string {
+	var b strings.Builder
+	for _, c := range u.Classes {
+		fmt.Fprintf(&b, "class %s {\n", c.Name)
+		for _, f := range c.Fields {
+			fmt.Fprintf(&b, "  %s %s\n", f.Name, f.Kind)
+		}
+		b.WriteString("}\n\n")
+	}
+	for _, p := range u.Programs {
+		b.WriteString(p.String())
+		b.WriteString("\n")
+	}
+	return strings.TrimSuffix(b.String(), "\n")
+}

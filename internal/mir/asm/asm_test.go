@@ -1,0 +1,171 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"methodpart/internal/mir"
+)
+
+const pushSrc = `
+; the paper's push() example
+class ImageData {
+  width int
+  height int
+  buff bytes
+}
+
+func push(event) {
+  z0 = instanceof event ImageData
+  ifnot z0 goto done
+  r2 = cast event ImageData
+  r3 = new ImageData
+  call initResize r3 r2
+  r4 = move r3
+  call displayImage r4
+done:
+  return
+}
+`
+
+func TestParsePush(t *testing.T) {
+	u, err := Parse(pushSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Classes) != 1 || u.Classes[0].Name != "ImageData" {
+		t.Fatalf("classes = %+v", u.Classes)
+	}
+	if len(u.Classes[0].Fields) != 3 {
+		t.Fatalf("fields = %+v", u.Classes[0].Fields)
+	}
+	p, ok := u.Program("push")
+	if !ok {
+		t.Fatal("program push missing")
+	}
+	if len(p.Params) != 1 || p.Params[0] != "event" {
+		t.Fatalf("params = %v", p.Params)
+	}
+	if len(p.Instrs) != 8 {
+		t.Fatalf("instr count = %d, want 8", len(p.Instrs))
+	}
+	if p.Instrs[7].Label != "done" || p.Instrs[7].Op != mir.OpReturn {
+		t.Fatalf("last instr = %+v", p.Instrs[7])
+	}
+	if p.Instrs[1].Op != mir.OpIfNot || p.Instrs[1].Target != "done" {
+		t.Fatalf("branch instr = %+v", p.Instrs[1])
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	u := MustParse(pushSrc)
+	text := Format(u)
+	u2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse formatted source: %v\n%s", err, text)
+	}
+	p1, _ := u.Program("push")
+	p2, _ := u2.Program("push")
+	if len(p1.Instrs) != len(p2.Instrs) {
+		t.Fatalf("instr count changed: %d -> %d", len(p1.Instrs), len(p2.Instrs))
+	}
+	for i := range p1.Instrs {
+		if p1.Instrs[i].String() != p2.Instrs[i].String() {
+			t.Errorf("instr %d changed: %q -> %q", i, p1.Instrs[i].String(), p2.Instrs[i].String())
+		}
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	src := `
+func lits(x) {
+  a = const 42
+  b = const -7
+  c = const 3.5
+  d = const true
+  e = const false
+  f = const "hello ; not a comment // either"
+  g = const null
+  h = const 0x10
+  return a
+}
+`
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := u.Program("lits")
+	want := []mir.Value{
+		mir.Int(42), mir.Int(-7), mir.Float(3.5), mir.Bool(true),
+		mir.Bool(false), mir.Str("hello ; not a comment // either"),
+		mir.Null{}, mir.Int(16),
+	}
+	for i, w := range want {
+		if got := p.Instrs[i].Lit; !mir.Equal(got, w) {
+			t.Errorf("literal %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no funcs", `class A {` + "\n}", "no func"},
+		{"bad top", "bogus\n", "expected 'class' or 'func'"},
+		{"undefined label", "func f(x) {\n goto nowhere\n return\n}", "undefined label"},
+		{"duplicate label", "func f(x) {\nl:\n return\nl:\n return\n}", "duplicate label"},
+		{"dangling label", "func f(x) {\n return\nl:\n}", "no instruction"},
+		{"unknown op", "func f(x) {\n y = frobnicate x\n return\n}", "unknown operation"},
+		{"falls off end", "func f(x) {\n y = move x\n}", "falls off the end"},
+		{"bad kind", "class A {\n x vector\n}\nfunc f(y) {\n return\n}", "unknown kind"},
+		{"unclosed class", "class A {\n x int\n", "missing closing"},
+		{"unclosed func", "func f(x) {\n return\n", "missing closing"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestCommentStripping(t *testing.T) {
+	src := `
+func f(x) { // trailing comment
+  y = move x ; another
+  return y
+}
+`
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := u.Program("f")
+	if len(p.Instrs) != 2 {
+		t.Fatalf("instrs = %d, want 2", len(p.Instrs))
+	}
+}
+
+func TestClassTableFromUnit(t *testing.T) {
+	u := MustParse(pushSrc)
+	tbl, err := u.ClassTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, ok := tbl.Lookup("ImageData")
+	if !ok {
+		t.Fatal("ImageData missing")
+	}
+	f, ok := def.Field("buff")
+	if !ok || f.Kind != mir.KindBytes {
+		t.Fatalf("buff field = %+v, %v", f, ok)
+	}
+}

@@ -1,0 +1,128 @@
+package mir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FieldDef declares one field of a class.
+type FieldDef struct {
+	// Name is the field name.
+	Name string
+	// Kind is the declared kind of the field's values.
+	Kind Kind
+}
+
+// ClassDef declares an object class: a name plus an ordered field list.
+// Classes are structural — there is no inheritance, matching the paper's
+// treatment of handler-local data types.
+type ClassDef struct {
+	// Name is the unique class name.
+	Name string
+	// Fields lists the declared fields in declaration order.
+	Fields []FieldDef
+}
+
+// Field returns the definition of the named field.
+func (c *ClassDef) Field(name string) (FieldDef, bool) {
+	for _, f := range c.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FieldDef{}, false
+}
+
+// ClassTable is a registry of class definitions shared by the assembler,
+// interpreter, wire format and size calculator. A ClassTable is immutable
+// after construction; build one with NewClassTable and pass it by pointer.
+type ClassTable struct {
+	classes map[string]*ClassDef
+}
+
+// NewClassTable builds a registry from the given definitions.
+// Duplicate class names are an error.
+func NewClassTable(defs ...ClassDef) (*ClassTable, error) {
+	t := &ClassTable{classes: make(map[string]*ClassDef, len(defs))}
+	for i := range defs {
+		d := defs[i]
+		if d.Name == "" {
+			return nil, fmt.Errorf("mir: class with empty name")
+		}
+		if _, dup := t.classes[d.Name]; dup {
+			return nil, fmt.Errorf("mir: duplicate class %q", d.Name)
+		}
+		seen := make(map[string]bool, len(d.Fields))
+		for _, f := range d.Fields {
+			if seen[f.Name] {
+				return nil, fmt.Errorf("mir: class %q: duplicate field %q", d.Name, f.Name)
+			}
+			seen[f.Name] = true
+		}
+		t.classes[d.Name] = &d
+	}
+	return t, nil
+}
+
+// MustClassTable is NewClassTable that panics on error; for use in
+// tests and static example setup.
+func MustClassTable(defs ...ClassDef) *ClassTable {
+	t, err := NewClassTable(defs...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Lookup returns the definition of the named class.
+func (t *ClassTable) Lookup(name string) (*ClassDef, bool) {
+	if t == nil {
+		return nil, false
+	}
+	c, ok := t.classes[name]
+	return c, ok
+}
+
+// Names returns the sorted names of all registered classes.
+func (t *ClassTable) Names() []string {
+	if t == nil {
+		return nil
+	}
+	out := make([]string, 0, len(t.classes))
+	for n := range t.classes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New allocates an object of the named class with all declared fields set to
+// kind-appropriate zero values.
+func (t *ClassTable) New(name string) (*Object, error) {
+	def, ok := t.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("mir: unknown class %q", name)
+	}
+	obj := NewObject(name)
+	for _, f := range def.Fields {
+		obj.Fields[f.Name] = ZeroValue(f.Kind)
+	}
+	return obj, nil
+}
+
+// ZeroValue returns the zero value for a kind. Reference kinds zero to Null,
+// mirroring Java reference defaults.
+func ZeroValue(k Kind) Value {
+	switch k {
+	case KindBool:
+		return Bool(false)
+	case KindInt:
+		return Int(0)
+	case KindFloat:
+		return Float(0)
+	case KindString:
+		return Str("")
+	default:
+		return Null{}
+	}
+}

@@ -1,0 +1,266 @@
+package mir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op identifies an instruction opcode.
+type Op uint8
+
+// Instruction opcodes. Each MIR instruction is one node of the Unit Graph.
+const (
+	OpConst      Op = iota + 1 // Dst = Lit
+	OpMove                     // Dst = Src
+	OpBin                      // Dst = Src <Bin> Src2
+	OpUn                       // Dst = <Un> Src
+	OpGoto                     // goto Target
+	OpIf                       // if Src goto Target
+	OpIfNot                    // ifnot Src goto Target
+	OpCall                     // Dst = Fn(Args...)   (Dst optional)
+	OpReturn                   // return [Src]
+	OpNew                      // Dst = new Class
+	OpGetField                 // Dst = Src.Field
+	OpSetField                 // Dst.Field = Src     (Dst is the object, used not defined)
+	OpNewArray                 // Dst = new ElemKind[Src]
+	OpArrGet                   // Dst = Src[Src2]
+	OpArrSet                   // Dst[Src2] = Src     (Dst is the array, used not defined)
+	OpInstanceOf               // Dst = Src instanceof Class
+	OpCast                     // Dst = (Class) Src
+	OpLen                      // Dst = len(Src)
+	OpGetGlobal                // Dst = global Field  (StopNode: mutable outside the handler)
+	OpSetGlobal                // global Field = Src  (StopNode)
+)
+
+// BinKind identifies a binary operator for OpBin.
+type BinKind uint8
+
+// Binary operators.
+const (
+	BinAdd BinKind = iota + 1
+	BinSub
+	BinMul
+	BinDiv
+	BinMod
+	BinEq
+	BinNe
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+	BinAnd
+	BinOr
+)
+
+// UnKind identifies a unary operator for OpUn.
+type UnKind uint8
+
+// Unary operators.
+const (
+	UnNeg UnKind = iota + 1
+	UnNot
+	UnI2F // int -> float
+	UnF2I // float -> int (truncating)
+)
+
+var binNames = map[BinKind]string{
+	BinAdd: "add", BinSub: "sub", BinMul: "mul", BinDiv: "div", BinMod: "mod",
+	BinEq: "eq", BinNe: "ne", BinLt: "lt", BinLe: "le", BinGt: "gt", BinGe: "ge",
+	BinAnd: "and", BinOr: "or",
+}
+
+var unNames = map[UnKind]string{
+	UnNeg: "neg", UnNot: "not", UnI2F: "i2f", UnF2I: "f2i",
+}
+
+// String returns the assembler mnemonic of the operator.
+func (b BinKind) String() string {
+	if s, ok := binNames[b]; ok {
+		return s
+	}
+	return fmt.Sprintf("bin(%d)", uint8(b))
+}
+
+// String returns the assembler mnemonic of the operator.
+func (u UnKind) String() string {
+	if s, ok := unNames[u]; ok {
+		return s
+	}
+	return fmt.Sprintf("un(%d)", uint8(u))
+}
+
+// BinKindFromString parses a binary operator mnemonic.
+func BinKindFromString(s string) (BinKind, bool) {
+	for k, n := range binNames {
+		if n == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// UnKindFromString parses a unary operator mnemonic.
+func UnKindFromString(s string) (UnKind, bool) {
+	for k, n := range unNames {
+		if n == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Instr is a single MIR instruction. The meaning of the operand fields
+// depends on Op; see the opcode comments. Labels attach to instructions and
+// are referenced by Target.
+type Instr struct {
+	// Op is the opcode.
+	Op Op
+	// Label optionally names this instruction as a branch target.
+	Label string
+	// Dst is the destination register (or the object/array register for
+	// OpSetField/OpArrSet, where it is read, not written).
+	Dst string
+	// Src is the primary source register.
+	Src string
+	// Src2 is the secondary source register (OpBin right operand,
+	// OpArrGet/OpArrSet index).
+	Src2 string
+	// Args are the argument registers of OpCall.
+	Args []string
+	// Lit is the literal of OpConst.
+	Lit Value
+	// Bin is the operator of OpBin.
+	Bin BinKind
+	// Un is the operator of OpUn.
+	Un UnKind
+	// Fn is the builtin function name of OpCall.
+	Fn string
+	// Class is the class name of OpNew/OpInstanceOf/OpCast.
+	Class string
+	// Field is the field name of OpGetField/OpSetField and the global name
+	// of OpGetGlobal/OpSetGlobal.
+	Field string
+	// ElemKind is the element kind of OpNewArray (KindInt, KindFloat or
+	// KindBytes's byte for bytes arrays — use KindBytes to allocate Bytes).
+	ElemKind Kind
+	// Target is the label targeted by OpGoto/OpIf/OpIfNot.
+	Target string
+}
+
+// Uses returns the registers read by the instruction.
+func (in *Instr) Uses() []string {
+	switch in.Op {
+	case OpConst, OpNew, OpGoto, OpGetGlobal:
+		return nil
+	case OpMove, OpUn, OpGetField, OpInstanceOf, OpCast, OpLen, OpSetGlobal:
+		return []string{in.Src}
+	case OpBin:
+		return []string{in.Src, in.Src2}
+	case OpIf, OpIfNot:
+		return []string{in.Src}
+	case OpCall:
+		out := make([]string, len(in.Args))
+		copy(out, in.Args)
+		return out
+	case OpReturn:
+		if in.Src == "" {
+			return nil
+		}
+		return []string{in.Src}
+	case OpSetField:
+		return []string{in.Dst, in.Src}
+	case OpNewArray:
+		return []string{in.Src}
+	case OpArrGet:
+		return []string{in.Src, in.Src2}
+	case OpArrSet:
+		return []string{in.Dst, in.Src2, in.Src}
+	default:
+		return nil
+	}
+}
+
+// Defs returns the registers written by the instruction.
+func (in *Instr) Defs() []string {
+	switch in.Op {
+	case OpConst, OpMove, OpBin, OpUn, OpNew, OpGetField, OpNewArray,
+		OpArrGet, OpInstanceOf, OpCast, OpLen, OpGetGlobal:
+		return []string{in.Dst}
+	case OpCall:
+		if in.Dst == "" {
+			return nil
+		}
+		return []string{in.Dst}
+	default:
+		return nil
+	}
+}
+
+// IsBranch reports whether the instruction may transfer control to Target.
+func (in *Instr) IsBranch() bool {
+	return in.Op == OpGoto || in.Op == OpIf || in.Op == OpIfNot
+}
+
+// IsTerminator reports whether control never falls through to the next
+// instruction.
+func (in *Instr) IsTerminator() bool {
+	return in.Op == OpGoto || in.Op == OpReturn
+}
+
+// String renders the instruction in assembler syntax (without its label).
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("%s = const %s", in.Dst, in.Lit)
+	case OpMove:
+		return fmt.Sprintf("%s = move %s", in.Dst, in.Src)
+	case OpBin:
+		return fmt.Sprintf("%s = %s %s %s", in.Dst, in.Bin, in.Src, in.Src2)
+	case OpUn:
+		return fmt.Sprintf("%s = %s %s", in.Dst, in.Un, in.Src)
+	case OpGoto:
+		return fmt.Sprintf("goto %s", in.Target)
+	case OpIf:
+		return fmt.Sprintf("if %s goto %s", in.Src, in.Target)
+	case OpIfNot:
+		return fmt.Sprintf("ifnot %s goto %s", in.Src, in.Target)
+	case OpCall:
+		call := fmt.Sprintf("call %s %s", in.Fn, strings.Join(in.Args, " "))
+		if len(in.Args) == 0 {
+			call = "call " + in.Fn
+		}
+		if in.Dst != "" {
+			return in.Dst + " = " + call
+		}
+		return call
+	case OpReturn:
+		if in.Src == "" {
+			return "return"
+		}
+		return "return " + in.Src
+	case OpNew:
+		return fmt.Sprintf("%s = new %s", in.Dst, in.Class)
+	case OpGetField:
+		return fmt.Sprintf("%s = getfield %s %s", in.Dst, in.Src, in.Field)
+	case OpSetField:
+		return fmt.Sprintf("setfield %s %s %s", in.Dst, in.Field, in.Src)
+	case OpNewArray:
+		return fmt.Sprintf("%s = newarray %s %s", in.Dst, in.ElemKind, in.Src)
+	case OpArrGet:
+		return fmt.Sprintf("%s = arrget %s %s", in.Dst, in.Src, in.Src2)
+	case OpArrSet:
+		return fmt.Sprintf("arrset %s %s %s", in.Dst, in.Src2, in.Src)
+	case OpInstanceOf:
+		return fmt.Sprintf("%s = instanceof %s %s", in.Dst, in.Src, in.Class)
+	case OpCast:
+		return fmt.Sprintf("%s = cast %s %s", in.Dst, in.Src, in.Class)
+	case OpLen:
+		return fmt.Sprintf("%s = len %s", in.Dst, in.Src)
+	case OpGetGlobal:
+		return fmt.Sprintf("%s = getglobal %s", in.Dst, in.Field)
+	case OpSetGlobal:
+		return fmt.Sprintf("setglobal %s %s", in.Field, in.Src)
+	default:
+		return fmt.Sprintf("op(%d)", uint8(in.Op))
+	}
+}

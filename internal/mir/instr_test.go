@@ -1,0 +1,162 @@
+package mir
+
+import (
+	"strings"
+	"testing"
+)
+
+// allOpInstr returns one representative instruction per opcode.
+func allOpInstrs() []Instr {
+	return []Instr{
+		{Op: OpConst, Dst: "a", Lit: Int(1)},
+		{Op: OpMove, Dst: "a", Src: "b"},
+		{Op: OpBin, Dst: "a", Bin: BinAdd, Src: "b", Src2: "c"},
+		{Op: OpUn, Dst: "a", Un: UnNeg, Src: "b"},
+		{Op: OpGoto, Target: "l"},
+		{Op: OpIf, Src: "c", Target: "l"},
+		{Op: OpIfNot, Src: "c", Target: "l"},
+		{Op: OpCall, Dst: "a", Fn: "f", Args: []string{"x", "y"}},
+		{Op: OpCall, Fn: "g"},
+		{Op: OpReturn},
+		{Op: OpReturn, Src: "a"},
+		{Op: OpNew, Dst: "a", Class: "C"},
+		{Op: OpGetField, Dst: "a", Src: "o", Field: "f"},
+		{Op: OpSetField, Dst: "o", Field: "f", Src: "v"},
+		{Op: OpNewArray, Dst: "a", ElemKind: KindInt, Src: "n"},
+		{Op: OpArrGet, Dst: "a", Src: "arr", Src2: "i"},
+		{Op: OpArrSet, Dst: "arr", Src2: "i", Src: "v"},
+		{Op: OpInstanceOf, Dst: "a", Src: "o", Class: "C"},
+		{Op: OpCast, Dst: "a", Src: "o", Class: "C"},
+		{Op: OpLen, Dst: "a", Src: "arr"},
+		{Op: OpGetGlobal, Dst: "a", Field: "g"},
+		{Op: OpSetGlobal, Field: "g", Src: "v"},
+	}
+}
+
+func TestUsesDefsConsistency(t *testing.T) {
+	for _, in := range allOpInstrs() {
+		in := in
+		uses := in.Uses()
+		defs := in.Defs()
+		for _, u := range uses {
+			if u == "" {
+				t.Errorf("%s: empty use", in.String())
+			}
+		}
+		for _, d := range defs {
+			if d == "" {
+				t.Errorf("%s: empty def", in.String())
+			}
+		}
+		// Mutating the returned slices must not corrupt the instruction.
+		if len(uses) > 0 {
+			uses[0] = "mutated"
+			if got := in.Uses(); len(got) > 0 && got[0] == "mutated" {
+				t.Errorf("%s: Uses aliases internal state", in.String())
+			}
+		}
+	}
+}
+
+func TestUsesDefsSpecifics(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		uses []string
+		defs []string
+	}{
+		{Instr{Op: OpSetField, Dst: "o", Field: "f", Src: "v"}, []string{"o", "v"}, nil},
+		{Instr{Op: OpArrSet, Dst: "arr", Src2: "i", Src: "v"}, []string{"arr", "i", "v"}, nil},
+		{Instr{Op: OpCall, Dst: "d", Fn: "f", Args: []string{"a", "b"}}, []string{"a", "b"}, []string{"d"}},
+		{Instr{Op: OpCall, Fn: "f"}, nil, nil},
+		{Instr{Op: OpReturn}, nil, nil},
+		{Instr{Op: OpReturn, Src: "r"}, []string{"r"}, nil},
+		{Instr{Op: OpGetGlobal, Dst: "d", Field: "g"}, nil, []string{"d"}},
+		{Instr{Op: OpSetGlobal, Field: "g", Src: "v"}, []string{"v"}, nil},
+		{Instr{Op: OpBin, Dst: "d", Bin: BinAdd, Src: "a", Src2: "b"}, []string{"a", "b"}, []string{"d"}},
+	}
+	for _, c := range cases {
+		if got := c.in.Uses(); !sameStrings(got, c.uses) {
+			t.Errorf("%s: uses = %v, want %v", c.in.String(), got, c.uses)
+		}
+		if got := c.in.Defs(); !sameStrings(got, c.defs) {
+			t.Errorf("%s: defs = %v, want %v", c.in.String(), got, c.defs)
+		}
+	}
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInstrStringsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, in := range allOpInstrs() {
+		s := in.String()
+		if s == "" {
+			t.Errorf("op %d renders empty", in.Op)
+		}
+		if seen[s] {
+			t.Errorf("duplicate rendering %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestBranchAndTerminator(t *testing.T) {
+	gotoInstr := Instr{Op: OpGoto, Target: "l"}
+	retInstr := Instr{Op: OpReturn}
+	ifInstr := Instr{Op: OpIf, Src: "c", Target: "l"}
+	constInstr := Instr{Op: OpConst, Dst: "a", Lit: Int(1)}
+	if !gotoInstr.IsBranch() {
+		t.Error("goto not a branch")
+	}
+	if !gotoInstr.IsTerminator() {
+		t.Error("goto not a terminator")
+	}
+	if !retInstr.IsTerminator() {
+		t.Error("return not a terminator")
+	}
+	if ifInstr.IsTerminator() {
+		t.Error("if is not a terminator (falls through)")
+	}
+	if constInstr.IsBranch() {
+		t.Error("const is a branch")
+	}
+}
+
+func TestBinUnKindRoundTrip(t *testing.T) {
+	for k := BinAdd; k <= BinOr; k++ {
+		name := k.String()
+		back, ok := BinKindFromString(name)
+		if !ok || back != k {
+			t.Errorf("bin %d: %q -> %v, %v", k, name, back, ok)
+		}
+	}
+	for k := UnNeg; k <= UnF2I; k++ {
+		name := k.String()
+		back, ok := UnKindFromString(name)
+		if !ok || back != k {
+			t.Errorf("un %d: %q -> %v, %v", k, name, back, ok)
+		}
+	}
+	if _, ok := BinKindFromString("nope"); ok {
+		t.Error("bogus bin kind accepted")
+	}
+	if _, ok := UnKindFromString("nope"); ok {
+		t.Error("bogus un kind accepted")
+	}
+	if !strings.Contains(BinKind(99).String(), "99") {
+		t.Error("unknown bin kind rendering")
+	}
+	if !strings.Contains(UnKind(99).String(), "99") {
+		t.Error("unknown un kind rendering")
+	}
+}

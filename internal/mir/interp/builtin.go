@@ -1,0 +1,131 @@
+// Package interp executes MIR programs. Its machine can run a handler to
+// completion, stop it at an arbitrary control-flow edge (the modulator side
+// of a split), and resume it at an arbitrary node from a register snapshot
+// (the demodulator side) — the execution substrate for Remote Continuation.
+package interp
+
+import (
+	"fmt"
+	"sort"
+
+	"methodpart/internal/mir"
+)
+
+// BuiltinFunc is the host implementation of a callable MIR function.
+type BuiltinFunc func(env *Env, args []mir.Value) (mir.Value, error)
+
+// CostFunc estimates the work units a builtin consumes for given arguments.
+// Work units are the abstract CPU cost unit used by the execution-time cost
+// model and the simulation clock.
+type CostFunc func(args []mir.Value) int64
+
+// Builtin describes a host function callable from MIR via OpCall.
+type Builtin struct {
+	// Name is the function name as written in handler source.
+	Name string
+	// Native marks the function as host-native in the paper's sense:
+	// any instruction invoking it is a StopNode and must execute at the
+	// receiver (e.g. displayImage on the handheld).
+	Native bool
+	// Fn is the implementation.
+	Fn BuiltinFunc
+	// Cost optionally estimates work units; if nil the call costs 1 unit.
+	Cost CostFunc
+}
+
+// Registry holds the builtins available to handlers. Registries compose:
+// the event system seeds one with the application's processing functions.
+type Registry struct {
+	m map[string]*Builtin
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*Builtin)}
+}
+
+// Register adds a builtin. Re-registering a name is an error.
+func (r *Registry) Register(b Builtin) error {
+	if b.Name == "" {
+		return fmt.Errorf("interp: builtin with empty name")
+	}
+	if b.Fn == nil {
+		return fmt.Errorf("interp: builtin %q has nil implementation", b.Name)
+	}
+	if _, dup := r.m[b.Name]; dup {
+		return fmt.Errorf("interp: duplicate builtin %q", b.Name)
+	}
+	bb := b
+	r.m[b.Name] = &bb
+	return nil
+}
+
+// MustRegister is Register that panics on error.
+func (r *Registry) MustRegister(b Builtin) {
+	if err := r.Register(b); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the named builtin.
+func (r *Registry) Lookup(name string) (*Builtin, bool) {
+	if r == nil {
+		return nil, false
+	}
+	b, ok := r.m[name]
+	return b, ok
+}
+
+// IsNative reports whether the named builtin exists and is native.
+// Unknown functions are treated as native so the static analysis errs on the
+// safe side (they become StopNodes).
+func (r *Registry) IsNative(name string) bool {
+	b, ok := r.Lookup(name)
+	if !ok {
+		return true
+	}
+	return b.Native
+}
+
+// Names returns the sorted builtin names.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.m))
+	for n := range r.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Env is the execution environment shared by machine runs: class table,
+// builtins, global variables and resource limits.
+type Env struct {
+	// Classes resolves class names for new/instanceof/cast.
+	Classes *mir.ClassTable
+	// Builtins resolves call targets.
+	Builtins *Registry
+	// Globals holds mutable-outside-the-handler state (OpGetGlobal /
+	// OpSetGlobal). Access from a handler makes the node a StopNode.
+	Globals map[string]mir.Value
+	// MaxSteps bounds a single run segment; 0 means DefaultMaxSteps.
+	MaxSteps int64
+}
+
+// DefaultMaxSteps is the per-segment step bound when Env.MaxSteps is zero.
+const DefaultMaxSteps = 50_000_000
+
+// NewEnv builds an environment with an empty globals map.
+func NewEnv(classes *mir.ClassTable, builtins *Registry) *Env {
+	return &Env{
+		Classes:  classes,
+		Builtins: builtins,
+		Globals:  make(map[string]mir.Value),
+	}
+}
+
+func (e *Env) maxSteps() int64 {
+	if e.MaxSteps > 0 {
+		return e.MaxSteps
+	}
+	return DefaultMaxSteps
+}

@@ -1,0 +1,166 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"methodpart/internal/mir"
+)
+
+// failCase runs a one-expression program and asserts the error message.
+func failCase(t *testing.T, name, src string, errSub string, args ...mir.Value) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		u := parseOrDie(t, src)
+		env := envFor(t, u)
+		m, err := NewMachine(env, u.Programs[0], args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = m.Run()
+		if err == nil {
+			t.Fatalf("run succeeded, want error with %q", errSub)
+		}
+		if !strings.Contains(err.Error(), errSub) {
+			t.Fatalf("err %q does not contain %q", err, errSub)
+		}
+	})
+}
+
+func TestExecutionErrors(t *testing.T) {
+	failCase(t, "unset register",
+		"func f(x) {\n y = move nope\n return y\n}", "unset register", mir.Int(1))
+	failCase(t, "getfield on int",
+		"func f(x) {\n y = getfield x w\n return y\n}", "want object", mir.Int(1))
+	failCase(t, "setfield on string",
+		"func f(x) {\n setfield x w x\n return\n}", "want object", mir.Str("s"))
+	failCase(t, "unknown field",
+		"class C {\n v int\n}\nfunc f(x) {\n o = new C\n y = getfield o nope\n return y\n}",
+		"no field", mir.Int(1))
+	failCase(t, "unknown class",
+		"func f(x) {\n o = new Missing\n return o\n}", "unknown class", mir.Int(1))
+	failCase(t, "arrget on scalar",
+		"func f(x) {\n i = const 0\n v = arrget x i\n return v\n}", "arrget on", mir.Int(1))
+	failCase(t, "arrset on scalar",
+		"func f(x) {\n i = const 0\n arrset x i i\n return\n}", "arrset on", mir.Float(1)) //nolint
+	failCase(t, "arrset type mismatch",
+		"func f(x) {\n i = const 0\n v = const 1.5\n arrset x i v\n return\n}",
+		"must be int", mir.Value(mir.IntArray{1}))
+	failCase(t, "bytes element range",
+		"func f(x) {\n i = const 9\n v = const 1\n arrset x i v\n return\n}",
+		"out of range", mir.Value(mir.Bytes{1, 2}))
+	failCase(t, "negative array length",
+		"func f(x) {\n n = const -3\n a = newarray int n\n return a\n}",
+		"negative array length", mir.Int(1))
+	failCase(t, "newarray non-int length",
+		"func f(x) {\n a = newarray int x\n return a\n}", "want int", mir.Str("n"))
+	failCase(t, "len of int",
+		"func f(x) {\n n = len x\n return n\n}", "len of", mir.Int(1))
+	failCase(t, "branch on string",
+		"func f(x) {\n if x goto l\nl:\n return\n}", "must be bool or int", mir.Str("s"))
+	failCase(t, "float array element",
+		"func f(x) {\n i = const 0\n v = const 2\n arrset x i v\n return\n}",
+		"must be float", mir.Value(mir.FloatArray{1}))
+	failCase(t, "mod on floats",
+		"func f(x) {\n y = mod x x\n return y\n}", "integer operands", mir.Float(1.5))
+}
+
+func TestMachineArityMismatch(t *testing.T) {
+	u := parseOrDie(t, "func f(a, b) {\n return a\n}")
+	env := envFor(t, u)
+	if _, err := NewMachine(env, u.Programs[0], []mir.Value{mir.Int(1)}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestBuiltinErrorPropagates(t *testing.T) {
+	u := parseOrDie(t, "func f(x) {\n y = call boom x\n return y\n}")
+	tbl, _ := u.ClassTable()
+	reg := NewRegistry()
+	reg.MustRegister(Builtin{
+		Name: "boom",
+		Fn: func(*Env, []mir.Value) (mir.Value, error) {
+			return nil, errBoom
+		},
+	})
+	env := NewEnv(tbl, reg)
+	m, _ := NewMachine(env, u.Programs[0], []mir.Value{mir.Int(1)})
+	_, err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+var errBoom = errString("kaboom")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func TestBuiltinNilResultBecomesNull(t *testing.T) {
+	u := parseOrDie(t, "func f(x) {\n y = call quiet x\n return y\n}")
+	tbl, _ := u.ClassTable()
+	reg := NewRegistry()
+	reg.MustRegister(Builtin{
+		Name: "quiet",
+		Fn: func(*Env, []mir.Value) (mir.Value, error) {
+			return nil, nil
+		},
+	})
+	env := NewEnv(tbl, reg)
+	m, _ := NewMachine(env, u.Programs[0], []mir.Value{mir.Int(1)})
+	out, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.Return.(mir.Null); !ok {
+		t.Fatalf("return = %v, want null", out.Return)
+	}
+}
+
+func TestSnapshotOmitsUnset(t *testing.T) {
+	u := parseOrDie(t, "func f(x) {\n y = move x\n return y\n}")
+	env := envFor(t, u)
+	m, _ := NewMachine(env, u.Programs[0], []mir.Value{mir.Int(5)})
+	snap := m.Snapshot([]string{"x", "y", "ghost"})
+	if len(snap) != 1 || snap["x"] != mir.Int(5) {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestRegAndPC(t *testing.T) {
+	u := parseOrDie(t, "func f(x) {\n y = move x\n return y\n}")
+	env := envFor(t, u)
+	m, _ := NewMachine(env, u.Programs[0], []mir.Value{mir.Int(5)})
+	if v, ok := m.Reg("x"); !ok || v != mir.Int(5) {
+		t.Fatalf("reg x = %v, %v", v, ok)
+	}
+	if _, ok := m.Reg("y"); ok {
+		t.Fatal("y set before execution")
+	}
+	if m.PC() != 0 {
+		t.Fatalf("pc = %d", m.PC())
+	}
+}
+
+func TestNullObjectInstanceOf(t *testing.T) {
+	u := parseOrDie(t, `
+class C {
+  v int
+}
+
+func f(x) {
+  is = instanceof x C
+  return is
+}
+`)
+	env := envFor(t, u)
+	m, _ := NewMachine(env, u.Programs[0], []mir.Value{mir.Null{}})
+	out, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Return != mir.Bool(false) {
+		t.Fatalf("null instanceof C = %v", out.Return)
+	}
+}

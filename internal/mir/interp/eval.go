@@ -1,0 +1,184 @@
+package interp
+
+import (
+	"fmt"
+
+	"methodpart/internal/mir"
+)
+
+// evalBin applies a binary operator with Java-like numeric promotion:
+// int⊕int → int, any float operand promotes to float arithmetic.
+func evalBin(op mir.BinKind, a, b mir.Value) (mir.Value, error) {
+	switch op {
+	case mir.BinAdd:
+		if as, ok := a.(mir.Str); ok {
+			if bs, ok := b.(mir.Str); ok {
+				return as + bs, nil
+			}
+		}
+		return arith(op, a, b)
+	case mir.BinSub, mir.BinMul, mir.BinDiv, mir.BinMod:
+		return arith(op, a, b)
+	case mir.BinEq:
+		return mir.Bool(mir.Equal(a, b)), nil
+	case mir.BinNe:
+		return mir.Bool(!mir.Equal(a, b)), nil
+	case mir.BinLt, mir.BinLe, mir.BinGt, mir.BinGe:
+		return compare(op, a, b)
+	case mir.BinAnd, mir.BinOr:
+		ab, ok := a.(mir.Bool)
+		if !ok {
+			return nil, fmt.Errorf("%s: left operand must be bool, got %s", op, a.Kind())
+		}
+		bb, ok := b.(mir.Bool)
+		if !ok {
+			return nil, fmt.Errorf("%s: right operand must be bool, got %s", op, b.Kind())
+		}
+		if op == mir.BinAnd {
+			return ab && bb, nil
+		}
+		return ab || bb, nil
+	default:
+		return nil, fmt.Errorf("unknown binary op %d", uint8(op))
+	}
+}
+
+func arith(op mir.BinKind, a, b mir.Value) (mir.Value, error) {
+	ai, aIsInt := a.(mir.Int)
+	bi, bIsInt := b.(mir.Int)
+	if aIsInt && bIsInt {
+		switch op {
+		case mir.BinAdd:
+			return ai + bi, nil
+		case mir.BinSub:
+			return ai - bi, nil
+		case mir.BinMul:
+			return ai * bi, nil
+		case mir.BinDiv:
+			if bi == 0 {
+				return nil, fmt.Errorf("integer division by zero")
+			}
+			return ai / bi, nil
+		case mir.BinMod:
+			if bi == 0 {
+				return nil, fmt.Errorf("integer modulo by zero")
+			}
+			return ai % bi, nil
+		}
+	}
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if !aok || !bok {
+		return nil, fmt.Errorf("%s: operands must be numeric, got %s and %s", op, a.Kind(), b.Kind())
+	}
+	switch op {
+	case mir.BinAdd:
+		return mir.Float(af + bf), nil
+	case mir.BinSub:
+		return mir.Float(af - bf), nil
+	case mir.BinMul:
+		return mir.Float(af * bf), nil
+	case mir.BinDiv:
+		if bf == 0 {
+			return nil, fmt.Errorf("float division by zero")
+		}
+		return mir.Float(af / bf), nil
+	case mir.BinMod:
+		return nil, fmt.Errorf("mod requires integer operands")
+	}
+	return nil, fmt.Errorf("unknown arithmetic op %d", uint8(op))
+}
+
+func compare(op mir.BinKind, a, b mir.Value) (mir.Value, error) {
+	if as, ok := a.(mir.Str); ok {
+		bs, ok := b.(mir.Str)
+		if !ok {
+			return nil, fmt.Errorf("%s: cannot compare string with %s", op, b.Kind())
+		}
+		switch op {
+		case mir.BinLt:
+			return mir.Bool(as < bs), nil
+		case mir.BinLe:
+			return mir.Bool(as <= bs), nil
+		case mir.BinGt:
+			return mir.Bool(as > bs), nil
+		case mir.BinGe:
+			return mir.Bool(as >= bs), nil
+		}
+	}
+	ai, aIsInt := a.(mir.Int)
+	bi, bIsInt := b.(mir.Int)
+	if aIsInt && bIsInt {
+		switch op {
+		case mir.BinLt:
+			return mir.Bool(ai < bi), nil
+		case mir.BinLe:
+			return mir.Bool(ai <= bi), nil
+		case mir.BinGt:
+			return mir.Bool(ai > bi), nil
+		case mir.BinGe:
+			return mir.Bool(ai >= bi), nil
+		}
+	}
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if !aok || !bok {
+		return nil, fmt.Errorf("%s: operands must be numeric, got %s and %s", op, a.Kind(), b.Kind())
+	}
+	switch op {
+	case mir.BinLt:
+		return mir.Bool(af < bf), nil
+	case mir.BinLe:
+		return mir.Bool(af <= bf), nil
+	case mir.BinGt:
+		return mir.Bool(af > bf), nil
+	case mir.BinGe:
+		return mir.Bool(af >= bf), nil
+	}
+	return nil, fmt.Errorf("unknown comparison op %d", uint8(op))
+}
+
+func toFloat(v mir.Value) (float64, bool) {
+	switch x := v.(type) {
+	case mir.Int:
+		return float64(x), true
+	case mir.Float:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+func evalUn(op mir.UnKind, a mir.Value) (mir.Value, error) {
+	switch op {
+	case mir.UnNeg:
+		switch x := a.(type) {
+		case mir.Int:
+			return -x, nil
+		case mir.Float:
+			return -x, nil
+		default:
+			return nil, fmt.Errorf("neg of %s", a.Kind())
+		}
+	case mir.UnNot:
+		x, ok := a.(mir.Bool)
+		if !ok {
+			return nil, fmt.Errorf("not of %s", a.Kind())
+		}
+		return !x, nil
+	case mir.UnI2F:
+		x, ok := a.(mir.Int)
+		if !ok {
+			return nil, fmt.Errorf("i2f of %s", a.Kind())
+		}
+		return mir.Float(x), nil
+	case mir.UnF2I:
+		x, ok := a.(mir.Float)
+		if !ok {
+			return nil, fmt.Errorf("f2i of %s", a.Kind())
+		}
+		return mir.Int(x), nil
+	default:
+		return nil, fmt.Errorf("unknown unary op %d", uint8(op))
+	}
+}

@@ -1,0 +1,162 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/asm"
+)
+
+func parseOrDie(t *testing.T, src string) *asm.Unit {
+	t.Helper()
+	u, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestEvalBinIntArithmetic(t *testing.T) {
+	f := func(a, b int64) bool {
+		if b == 0 {
+			b = 1
+		}
+		checks := []struct {
+			op   mir.BinKind
+			want mir.Value
+		}{
+			{mir.BinAdd, mir.Int(a + b)},
+			{mir.BinSub, mir.Int(a - b)},
+			{mir.BinMul, mir.Int(a * b)},
+			{mir.BinDiv, mir.Int(a / b)},
+			{mir.BinMod, mir.Int(a % b)},
+			{mir.BinLt, mir.Bool(a < b)},
+			{mir.BinGe, mir.Bool(a >= b)},
+			{mir.BinEq, mir.Bool(a == b)},
+		}
+		for _, c := range checks {
+			got, err := evalBin(c.op, mir.Int(a), mir.Int(b))
+			if err != nil || !mir.Equal(got, c.want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalBinTypeErrors(t *testing.T) {
+	cases := []struct {
+		op   mir.BinKind
+		a, b mir.Value
+	}{
+		{mir.BinAdd, mir.Str("x"), mir.Int(1)},
+		{mir.BinAnd, mir.Int(1), mir.Bool(true)},
+		{mir.BinOr, mir.Bool(true), mir.Int(0)},
+		{mir.BinLt, mir.Str("a"), mir.Int(1)},
+		{mir.BinMod, mir.Float(1), mir.Float(2)},
+		{mir.BinMul, mir.Bytes{1}, mir.Int(2)},
+	}
+	for _, c := range cases {
+		if _, err := evalBin(c.op, c.a, c.b); err == nil {
+			t.Errorf("%v %s %v succeeded", c.a, c.op, c.b)
+		}
+	}
+}
+
+func TestEvalBinBoolLogic(t *testing.T) {
+	and, err := evalBin(mir.BinAnd, mir.Bool(true), mir.Bool(false))
+	if err != nil || and != mir.Bool(false) {
+		t.Errorf("and = %v, %v", and, err)
+	}
+	or, err := evalBin(mir.BinOr, mir.Bool(true), mir.Bool(false))
+	if err != nil || or != mir.Bool(true) {
+		t.Errorf("or = %v, %v", or, err)
+	}
+}
+
+func TestEvalBinStringCompare(t *testing.T) {
+	got, err := evalBin(mir.BinLt, mir.Str("abc"), mir.Str("abd"))
+	if err != nil || got != mir.Bool(true) {
+		t.Errorf("lt = %v, %v", got, err)
+	}
+	got, err = evalBin(mir.BinGe, mir.Str("b"), mir.Str("a"))
+	if err != nil || got != mir.Bool(true) {
+		t.Errorf("ge = %v, %v", got, err)
+	}
+}
+
+func TestEvalBinFloatDivByZero(t *testing.T) {
+	if _, err := evalBin(mir.BinDiv, mir.Float(1), mir.Float(0)); err == nil {
+		t.Error("float div by zero succeeded")
+	}
+}
+
+func TestEvalUn(t *testing.T) {
+	cases := []struct {
+		op   mir.UnKind
+		in   mir.Value
+		want mir.Value
+	}{
+		{mir.UnNeg, mir.Int(5), mir.Int(-5)},
+		{mir.UnNeg, mir.Float(2.5), mir.Float(-2.5)},
+		{mir.UnNot, mir.Bool(true), mir.Bool(false)},
+		{mir.UnI2F, mir.Int(3), mir.Float(3)},
+		{mir.UnF2I, mir.Float(3.9), mir.Int(3)},
+	}
+	for _, c := range cases {
+		got, err := evalUn(c.op, c.in)
+		if err != nil || !mir.Equal(got, c.want) {
+			t.Errorf("%s %v = %v (%v), want %v", c.op, c.in, got, err, c.want)
+		}
+	}
+	bad := []struct {
+		op mir.UnKind
+		in mir.Value
+	}{
+		{mir.UnNeg, mir.Str("x")},
+		{mir.UnNot, mir.Int(1)},
+		{mir.UnI2F, mir.Float(1)},
+		{mir.UnF2I, mir.Int(1)},
+	}
+	for _, c := range bad {
+		if _, err := evalUn(c.op, c.in); err == nil {
+			t.Errorf("%s %v succeeded", c.op, c.in)
+		}
+	}
+}
+
+func TestArrayOutOfBounds(t *testing.T) {
+	src := `
+func f(arr, i) {
+  v = arrget arr i
+  return v
+}
+`
+	out, m := mustFail(t, src, mir.IntArray{1, 2}, mir.Int(5))
+	_ = out
+	_ = m
+}
+
+func mustFail(t *testing.T, src string, args ...mir.Value) (Outcome, *Machine) {
+	t.Helper()
+	u := parseOrDie(t, src)
+	env := envFor(t, u)
+	prog := u.Programs[0]
+	m, err := NewMachine(env, prog, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Run()
+	if err == nil {
+		t.Fatalf("run succeeded: %+v", out)
+	}
+	if !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v", err)
+	}
+	return out, m
+}

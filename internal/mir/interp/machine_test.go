@@ -1,0 +1,391 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/asm"
+)
+
+func envFor(t *testing.T, u *asm.Unit) *Env {
+	t.Helper()
+	tbl, err := u.ClassTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEnv(tbl, NewRegistry())
+}
+
+func run(t *testing.T, src, fn string, args ...mir.Value) (Outcome, *Machine) {
+	t.Helper()
+	u := asm.MustParse(src)
+	env := envFor(t, u)
+	prog, ok := u.Program(fn)
+	if !ok {
+		t.Fatalf("program %s missing", fn)
+	}
+	m, err := NewMachine(env, prog, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, m
+}
+
+func TestArithmetic(t *testing.T) {
+	out, _ := run(t, `
+func f(a, b) {
+  s = add a b
+  d = sub a b
+  p = mul a b
+  q = div a b
+  r = mod a b
+  t0 = mul p q
+  t1 = add t0 r
+  t2 = add t1 s
+  t3 = add t2 d
+  return t3
+}
+`, "f", mir.Int(17), mir.Int(5))
+	// s=22 d=12 p=85 q=3 r=2; 85*3+2+22+12 = 291
+	if out.Return != mir.Int(291) {
+		t.Fatalf("return = %v, want 291", out.Return)
+	}
+}
+
+func TestFloatPromotion(t *testing.T) {
+	out, _ := run(t, `
+func f(a, b) {
+  s = add a b
+  return s
+}
+`, "f", mir.Int(1), mir.Float(0.5))
+	if out.Return != mir.Float(1.5) {
+		t.Fatalf("return = %v, want 1.5", out.Return)
+	}
+}
+
+func TestStringConcat(t *testing.T) {
+	out, _ := run(t, `
+func f(a, b) {
+  s = add a b
+  return s
+}
+`, "f", mir.Str("foo"), mir.Str("bar"))
+	if out.Return != mir.Str("foobar") {
+		t.Fatalf("return = %v", out.Return)
+	}
+}
+
+func TestLoopAndArrays(t *testing.T) {
+	out, _ := run(t, `
+func sum(arr) {
+  n = len arr
+  i = const 0
+  acc = const 0
+loop:
+  done = ge i n
+  if done goto finish
+  v = arrget arr i
+  acc = add acc v
+  one = const 1
+  i = add i one
+  goto loop
+finish:
+  return acc
+}
+`, "sum", mir.IntArray{1, 2, 3, 4, 5})
+	if out.Return != mir.Int(15) {
+		t.Fatalf("sum = %v, want 15", out.Return)
+	}
+}
+
+func TestObjectsAndFields(t *testing.T) {
+	out, _ := run(t, `
+class Point {
+  x int
+  y int
+}
+
+func f(a) {
+  p = new Point
+  setfield p x a
+  two = const 2
+  setfield p y two
+  gx = getfield p x
+  gy = getfield p y
+  s = add gx gy
+  return s
+}
+`, "f", mir.Int(40))
+	if out.Return != mir.Int(42) {
+		t.Fatalf("return = %v, want 42", out.Return)
+	}
+}
+
+func TestInstanceOfAndCast(t *testing.T) {
+	src := `
+class A {
+  v int
+}
+
+func f(x) {
+  is = instanceof x A
+  ifnot is goto no
+  a = cast x A
+  v = getfield a v
+  return v
+no:
+  zero = const 0
+  return zero
+}
+`
+	obj := mir.NewObject("A")
+	obj.Fields["v"] = mir.Int(9)
+	out, _ := run(t, src, "f", mir.Value(obj))
+	if out.Return != mir.Int(9) {
+		t.Fatalf("cast path = %v, want 9", out.Return)
+	}
+	out, _ = run(t, src, "f", mir.Int(3))
+	if out.Return != mir.Int(0) {
+		t.Fatalf("filter path = %v, want 0", out.Return)
+	}
+}
+
+func TestBadCastFails(t *testing.T) {
+	u := asm.MustParse(`
+class A {
+  v int
+}
+
+func f(x) {
+  a = cast x A
+  return a
+}
+`)
+	env := envFor(t, u)
+	prog, _ := u.Program("f")
+	m, err := NewMachine(env, prog, []mir.Value{mir.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "cannot cast") {
+		t.Fatalf("err = %v, want cast failure", err)
+	}
+}
+
+func TestNewArrayKinds(t *testing.T) {
+	out, _ := run(t, `
+func f(n) {
+  a = newarray int n
+  b = newarray float n
+  c = newarray bytes n
+  la = len a
+  lb = len b
+  lc = len c
+  s = add la lb
+  s = add s lc
+  return s
+}
+`, "f", mir.Int(4))
+	if out.Return != mir.Int(12) {
+		t.Fatalf("return = %v, want 12", out.Return)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	u := asm.MustParse(`
+func f(x) {
+  setglobal counter x
+  y = getglobal counter
+  return y
+}
+`)
+	env := envFor(t, u)
+	prog, _ := u.Program("f")
+	m, err := NewMachine(env, prog, []mir.Value{mir.Int(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Return != mir.Int(5) {
+		t.Fatalf("return = %v", out.Return)
+	}
+	if env.Globals["counter"] != mir.Int(5) {
+		t.Fatalf("global = %v", env.Globals["counter"])
+	}
+}
+
+func TestBuiltinCallAndCost(t *testing.T) {
+	u := asm.MustParse(`
+func f(x) {
+  y = call double x
+  return y
+}
+`)
+	tbl, _ := u.ClassTable()
+	reg := NewRegistry()
+	reg.MustRegister(Builtin{
+		Name: "double",
+		Fn: func(env *Env, args []mir.Value) (mir.Value, error) {
+			return args[0].(mir.Int) * 2, nil
+		},
+		Cost: func(args []mir.Value) int64 { return 100 },
+	})
+	env := NewEnv(tbl, reg)
+	prog, _ := u.Program("f")
+	m, err := NewMachine(env, prog, []mir.Value{mir.Int(21)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Return != mir.Int(42) {
+		t.Fatalf("return = %v", out.Return)
+	}
+	// 2 instructions (base cost 1 each) + builtin cost 100.
+	if out.Work != 102 {
+		t.Fatalf("work = %d, want 102", out.Work)
+	}
+}
+
+func TestUnknownBuiltin(t *testing.T) {
+	u := asm.MustParse(`
+func f(x) {
+  y = call nope x
+  return y
+}
+`)
+	env := envFor(t, u)
+	prog, _ := u.Program("f")
+	m, _ := NewMachine(env, prog, []mir.Value{mir.Int(1)})
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "unknown builtin") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	u := asm.MustParse(`
+func spin(x) {
+loop:
+  goto loop
+}
+`)
+	env := envFor(t, u)
+	env.MaxSteps = 1000
+	prog, _ := u.Program("spin")
+	m, _ := NewMachine(env, prog, []mir.Value{mir.Int(0)})
+	_, err := m.Run()
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	u := asm.MustParse(`
+func f(a, b) {
+  q = div a b
+  return q
+}
+`)
+	env := envFor(t, u)
+	prog, _ := u.Program("f")
+	m, _ := NewMachine(env, prog, []mir.Value{mir.Int(1), mir.Int(0)})
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSplitAndRestore(t *testing.T) {
+	// The remote-continuation mechanics: stop at an edge, snapshot, resume
+	// in a fresh machine, and get the same answer as an unsplit run.
+	src := `
+func f(a) {
+  ten = const 10
+  b = mul a ten
+  c = add b a
+  d = mul c c
+  return d
+}
+`
+	u := asm.MustParse(src)
+	env := envFor(t, u)
+	prog, _ := u.Program("f")
+
+	whole, err := NewMachine(env, prog, []mir.Value{mir.Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wout, err := whole.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for splitAt := 1; splitAt < len(prog.Instrs); splitAt++ {
+		m, err := NewMachine(env, prog, []mir.Value{mir.Int(3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := splitAt
+		m.Hook = func(e Edge) bool { return e.To == target }
+		out, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Done {
+			t.Fatalf("split at %d: ran to completion", splitAt)
+		}
+		snap := m.Snapshot(prog.Registers())
+		resumed, err := Restore(env, prog, out.Split.To, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rout, err := resumed.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mir.Equal(rout.Return, wout.Return) {
+			t.Errorf("split at %d: return %v, want %v", splitAt, rout.Return, wout.Return)
+		}
+		if out.Work+rout.Work != wout.Work {
+			t.Errorf("split at %d: work %d+%d != %d", splitAt, out.Work, rout.Work, wout.Work)
+		}
+	}
+}
+
+func TestRestoreRejectsBadNode(t *testing.T) {
+	u := asm.MustParse("func f(x) {\n return x\n}")
+	env := envFor(t, u)
+	prog, _ := u.Program("f")
+	if _, err := Restore(env, prog, 99, nil); err == nil {
+		t.Fatal("Restore accepted out-of-range node")
+	}
+}
+
+func TestRegistryNativeOracle(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(Builtin{Name: "soft", Fn: func(*Env, []mir.Value) (mir.Value, error) { return mir.Null{}, nil }})
+	reg.MustRegister(Builtin{Name: "hard", Native: true, Fn: func(*Env, []mir.Value) (mir.Value, error) { return mir.Null{}, nil }})
+	if reg.IsNative("soft") {
+		t.Error("soft reported native")
+	}
+	if !reg.IsNative("hard") {
+		t.Error("hard not reported native")
+	}
+	if !reg.IsNative("unknown") {
+		t.Error("unknown functions must be conservatively native")
+	}
+	if err := reg.Register(Builtin{Name: "soft", Fn: func(*Env, []mir.Value) (mir.Value, error) { return nil, nil }}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}

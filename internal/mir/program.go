@@ -1,0 +1,279 @@
+package mir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a message-handling method: a parameter list and a straight list
+// of instructions. Instruction index i is node i of the Unit Graph.
+type Program struct {
+	// Name is the handler name, used for diagnostics and wire routing.
+	Name string
+	// Params are the parameter registers, bound in order at invocation.
+	// The first parameter conventionally receives the event/message.
+	Params []string
+	// Instrs is the instruction list. Control starts at index 0.
+	Instrs []Instr
+
+	labelIdx map[string]int
+}
+
+// NewProgram builds and validates a program.
+func NewProgram(name string, params []string, instrs []Instr) (*Program, error) {
+	p := &Program{Name: name, Params: params, Instrs: instrs}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Validate checks structural well-formedness: labels resolve, operand fields
+// required by each opcode are present, and the program ends in a terminator.
+// It also (re)builds the label index used by LabelIndex.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("mir: program with empty name")
+	}
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("mir: program %q has no instructions", p.Name)
+	}
+	seenParam := make(map[string]bool, len(p.Params))
+	for _, prm := range p.Params {
+		if prm == "" {
+			return fmt.Errorf("mir: program %q: empty parameter name", p.Name)
+		}
+		if seenParam[prm] {
+			return fmt.Errorf("mir: program %q: duplicate parameter %q", p.Name, prm)
+		}
+		seenParam[prm] = true
+	}
+	p.labelIdx = make(map[string]int)
+	for i := range p.Instrs {
+		lbl := p.Instrs[i].Label
+		if lbl == "" {
+			continue
+		}
+		if _, dup := p.labelIdx[lbl]; dup {
+			return fmt.Errorf("mir: program %q: duplicate label %q", p.Name, lbl)
+		}
+		p.labelIdx[lbl] = i
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if err := p.validateInstr(in); err != nil {
+			return fmt.Errorf("mir: program %q instr %d (%s): %w", p.Name, i, in, err)
+		}
+	}
+	last := &p.Instrs[len(p.Instrs)-1]
+	if !last.IsTerminator() {
+		return fmt.Errorf("mir: program %q: control falls off the end (last instr %s)", p.Name, last)
+	}
+	return nil
+}
+
+func (p *Program) validateInstr(in *Instr) error {
+	needDst := func() error {
+		if in.Dst == "" {
+			return fmt.Errorf("missing destination register")
+		}
+		return nil
+	}
+	needSrc := func() error {
+		if in.Src == "" {
+			return fmt.Errorf("missing source register")
+		}
+		return nil
+	}
+	needTarget := func() error {
+		if in.Target == "" {
+			return fmt.Errorf("missing branch target")
+		}
+		if _, ok := p.labelIdx[in.Target]; !ok {
+			return fmt.Errorf("undefined label %q", in.Target)
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpConst:
+		if in.Lit == nil {
+			return fmt.Errorf("missing literal")
+		}
+		return needDst()
+	case OpMove, OpUn, OpCast, OpLen:
+		if err := needDst(); err != nil {
+			return err
+		}
+		return needSrc()
+	case OpBin:
+		if err := needDst(); err != nil {
+			return err
+		}
+		if in.Src == "" || in.Src2 == "" {
+			return fmt.Errorf("binary op needs two operands")
+		}
+		if in.Bin == 0 {
+			return fmt.Errorf("missing binary operator")
+		}
+		return nil
+	case OpGoto:
+		return needTarget()
+	case OpIf, OpIfNot:
+		if err := needSrc(); err != nil {
+			return err
+		}
+		return needTarget()
+	case OpCall:
+		if in.Fn == "" {
+			return fmt.Errorf("missing function name")
+		}
+		for _, a := range in.Args {
+			if a == "" {
+				return fmt.Errorf("empty call argument register")
+			}
+		}
+		return nil
+	case OpReturn:
+		return nil
+	case OpNew:
+		if in.Class == "" {
+			return fmt.Errorf("missing class name")
+		}
+		return needDst()
+	case OpGetField:
+		if in.Field == "" {
+			return fmt.Errorf("missing field name")
+		}
+		if err := needDst(); err != nil {
+			return err
+		}
+		return needSrc()
+	case OpSetField:
+		if in.Field == "" {
+			return fmt.Errorf("missing field name")
+		}
+		if in.Dst == "" {
+			return fmt.Errorf("missing object register")
+		}
+		return needSrc()
+	case OpNewArray:
+		if in.ElemKind != KindInt && in.ElemKind != KindFloat && in.ElemKind != KindBytes {
+			return fmt.Errorf("newarray element kind must be int, float or bytes")
+		}
+		if err := needDst(); err != nil {
+			return err
+		}
+		return needSrc()
+	case OpArrGet:
+		if err := needDst(); err != nil {
+			return err
+		}
+		if in.Src == "" || in.Src2 == "" {
+			return fmt.Errorf("arrget needs array and index registers")
+		}
+		return nil
+	case OpArrSet:
+		if in.Dst == "" || in.Src2 == "" || in.Src == "" {
+			return fmt.Errorf("arrset needs array, index and value registers")
+		}
+		return nil
+	case OpInstanceOf:
+		if in.Class == "" {
+			return fmt.Errorf("missing class name")
+		}
+		if err := needDst(); err != nil {
+			return err
+		}
+		return needSrc()
+	case OpGetGlobal:
+		if in.Field == "" {
+			return fmt.Errorf("missing global name")
+		}
+		return needDst()
+	case OpSetGlobal:
+		if in.Field == "" {
+			return fmt.Errorf("missing global name")
+		}
+		return needSrc()
+	default:
+		return fmt.Errorf("unknown opcode %d", uint8(in.Op))
+	}
+}
+
+// LabelIndex resolves a label to its instruction index.
+func (p *Program) LabelIndex(label string) (int, bool) {
+	i, ok := p.labelIdx[label]
+	return i, ok
+}
+
+// Successors returns the instruction indices control may flow to from index
+// i. A return instruction has no successors (the Unit Graph adds a virtual
+// exit node separately).
+func (p *Program) Successors(i int) []int {
+	in := &p.Instrs[i]
+	switch in.Op {
+	case OpReturn:
+		return nil
+	case OpGoto:
+		t, _ := p.LabelIndex(in.Target)
+		return []int{t}
+	case OpIf, OpIfNot:
+		t, _ := p.LabelIndex(in.Target)
+		succ := []int{}
+		if i+1 < len(p.Instrs) {
+			succ = append(succ, i+1)
+		}
+		if t != i+1 {
+			succ = append(succ, t)
+		} else if len(succ) == 0 {
+			succ = append(succ, t)
+		}
+		return succ
+	default:
+		if i+1 < len(p.Instrs) {
+			return []int{i + 1}
+		}
+		return nil
+	}
+}
+
+// Registers returns every register mentioned by the program (params first,
+// then in first-mention order).
+func (p *Program) Registers() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(r string) {
+		if r != "" && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	for _, prm := range p.Params {
+		add(prm)
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		for _, r := range in.Defs() {
+			add(r)
+		}
+		for _, r := range in.Uses() {
+			add(r)
+		}
+	}
+	return out
+}
+
+// String renders the whole program in assembler syntax.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(%s) {\n", p.Name, strings.Join(p.Params, ", "))
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Label != "" {
+			fmt.Fprintf(&b, "%s:\n", in.Label)
+		}
+		fmt.Fprintf(&b, "  %s\n", in)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,217 @@
+package mir
+
+import (
+	"strings"
+	"testing"
+)
+
+func validBody() []Instr {
+	return []Instr{
+		{Op: OpConst, Dst: "a", Lit: Int(1)},
+		{Op: OpReturn, Src: "a"},
+	}
+}
+
+func TestNewProgramValid(t *testing.T) {
+	p, err := NewProgram("f", []string{"x"}, validBody())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "f" {
+		t.Errorf("name = %q", p.Name)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		prog   *Program
+		errSub string
+	}{
+		{"empty name", &Program{Params: nil, Instrs: validBody()}, "empty name"},
+		{"no instrs", &Program{Name: "f"}, "no instructions"},
+		{"dup param", &Program{Name: "f", Params: []string{"x", "x"}, Instrs: validBody()}, "duplicate parameter"},
+		{"empty param", &Program{Name: "f", Params: []string{""}, Instrs: validBody()}, "empty parameter"},
+		{"falls off end", &Program{Name: "f", Instrs: []Instr{{Op: OpConst, Dst: "a", Lit: Int(1)}}}, "falls off"},
+		{"dup label", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpConst, Dst: "a", Lit: Int(1), Label: "l"},
+			{Op: OpReturn, Label: "l"},
+		}}, "duplicate label"},
+		{"missing target", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpGoto, Target: "nowhere"},
+			{Op: OpReturn},
+		}}, "undefined label"},
+		{"const without literal", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpConst, Dst: "a"},
+			{Op: OpReturn},
+		}}, "missing literal"},
+		{"const without dst", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpConst, Lit: Int(1)},
+			{Op: OpReturn},
+		}}, "destination"},
+		{"bin without operator", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpBin, Dst: "a", Src: "b", Src2: "c"},
+			{Op: OpReturn},
+		}}, "operator"},
+		{"bin one operand", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpBin, Dst: "a", Bin: BinAdd, Src: "b"},
+			{Op: OpReturn},
+		}}, "two operands"},
+		{"if without target", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpIf, Src: "c"},
+			{Op: OpReturn},
+		}}, "branch target"},
+		{"call without fn", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpCall, Args: []string{"a"}},
+			{Op: OpReturn},
+		}}, "function name"},
+		{"call empty arg", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpCall, Fn: "g", Args: []string{""}},
+			{Op: OpReturn},
+		}}, "argument"},
+		{"new without class", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpNew, Dst: "a"},
+			{Op: OpReturn},
+		}}, "class"},
+		{"getfield without field", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpGetField, Dst: "a", Src: "o"},
+			{Op: OpReturn},
+		}}, "field"},
+		{"setfield without object", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpSetField, Field: "f", Src: "v"},
+			{Op: OpReturn},
+		}}, "object register"},
+		{"newarray bad kind", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpNewArray, Dst: "a", ElemKind: KindString, Src: "n"},
+			{Op: OpReturn},
+		}}, "element kind"},
+		{"arrget incomplete", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpArrGet, Dst: "a", Src: "arr"},
+			{Op: OpReturn},
+		}}, "index"},
+		{"arrset incomplete", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpArrSet, Dst: "arr", Src: "v"},
+			{Op: OpReturn},
+		}}, "arrset"},
+		{"instanceof without class", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpInstanceOf, Dst: "a", Src: "o"},
+			{Op: OpReturn},
+		}}, "class"},
+		{"getglobal without name", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpGetGlobal, Dst: "a"},
+			{Op: OpReturn},
+		}}, "global"},
+		{"setglobal without src", &Program{Name: "f", Instrs: []Instr{
+			{Op: OpSetGlobal, Field: "g"},
+			{Op: OpReturn},
+		}}, "source"},
+		{"unknown opcode", &Program{Name: "f", Instrs: []Instr{
+			{Op: Op(99)},
+			{Op: OpReturn},
+		}}, "unknown opcode"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.prog.Validate()
+			if err == nil {
+				t.Fatalf("Validate succeeded, want error containing %q", c.errSub)
+			}
+			if !strings.Contains(err.Error(), c.errSub) {
+				t.Fatalf("error %q does not contain %q", err, c.errSub)
+			}
+		})
+	}
+}
+
+func TestSuccessors(t *testing.T) {
+	p, err := NewProgram("f", []string{"x"}, []Instr{
+		{Op: OpConst, Dst: "a", Lit: Int(0)},                    // 0
+		{Op: OpIf, Src: "x", Target: "end"},                     // 1 -> 2, 4
+		{Op: OpBin, Dst: "a", Bin: BinAdd, Src: "a", Src2: "x"}, // 2
+		{Op: OpGoto, Target: "end"},                             // 3 -> 4
+		{Op: OpReturn, Src: "a", Label: "end"},                  // 4 -> (exit)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Successors(0); !sameInts(got, []int{1}) {
+		t.Errorf("succ(0) = %v", got)
+	}
+	got := p.Successors(1)
+	if len(got) != 2 || !(contains(got, 2) && contains(got, 4)) {
+		t.Errorf("succ(1) = %v", got)
+	}
+	if got := p.Successors(3); !sameInts(got, []int{4}) {
+		t.Errorf("succ(3) = %v", got)
+	}
+	if got := p.Successors(4); len(got) != 0 {
+		t.Errorf("succ(return) = %v", got)
+	}
+}
+
+func TestBranchToNextInstruction(t *testing.T) {
+	// A conditional branch targeting its own fall-through must yield one
+	// successor, not a duplicate.
+	p, err := NewProgram("f", []string{"x"}, []Instr{
+		{Op: OpIf, Src: "x", Target: "n"},
+		{Op: OpReturn, Label: "n"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Successors(0); !sameInts(got, []int{1}) {
+		t.Errorf("succ = %v, want [1]", got)
+	}
+}
+
+func TestRegisters(t *testing.T) {
+	p, err := NewProgram("f", []string{"x", "y"}, []Instr{
+		{Op: OpBin, Dst: "a", Bin: BinAdd, Src: "x", Src2: "y"},
+		{Op: OpMove, Dst: "b", Src: "a"},
+		{Op: OpReturn, Src: "b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Registers()
+	want := []string{"x", "y", "a", "b"}
+	if !sameStrings(got, want) {
+		t.Errorf("registers = %v, want %v", got, want)
+	}
+}
+
+func TestProgramStringRendersLabels(t *testing.T) {
+	p, err := NewProgram("f", []string{"x"}, []Instr{
+		{Op: OpIf, Src: "x", Target: "done"},
+		{Op: OpConst, Dst: "a", Lit: Int(1)},
+		{Op: OpReturn, Label: "done"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	if !strings.Contains(s, "done:") || !strings.Contains(s, "func f(x) {") {
+		t.Errorf("rendering:\n%s", s)
+	}
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,306 @@
+// Package mir defines the Method IR: a small register-based instruction
+// language in which message-handling methods are written. MIR plays the role
+// Jimple plays in the paper — a per-instruction representation over which the
+// Unit Graph, liveness and the ConvexCut analysis are computed, and whose
+// interpreter can be stopped at an arbitrary control-flow edge and resumed on
+// a remote host (Remote Continuation).
+package mir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// Value kinds. KindNull is deliberately non-zero so that a zero Kind is
+// detectably invalid.
+const (
+	KindNull Kind = iota + 1
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindBytes
+	KindIntArray
+	KindFloatArray
+	KindObject
+)
+
+// String returns the lower-case name of the kind as used by the assembler.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBytes:
+		return "bytes"
+	case KindIntArray:
+		return "intarray"
+	case KindFloatArray:
+		return "floatarray"
+	case KindObject:
+		return "object"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// KindFromString parses an assembler kind name.
+func KindFromString(s string) (Kind, bool) {
+	switch s {
+	case "null":
+		return KindNull, true
+	case "bool":
+		return KindBool, true
+	case "int":
+		return KindInt, true
+	case "float":
+		return KindFloat, true
+	case "string":
+		return KindString, true
+	case "bytes":
+		return KindBytes, true
+	case "intarray":
+		return KindIntArray, true
+	case "floatarray":
+		return KindFloatArray, true
+	case "object":
+		return KindObject, true
+	default:
+		return 0, false
+	}
+}
+
+// Value is a runtime value manipulated by MIR programs. Implementations are
+// Null, Bool, Int, Float, Str, Bytes, IntArray, FloatArray and *Object.
+type Value interface {
+	// Kind reports the dynamic kind of the value.
+	Kind() Kind
+	// String renders the value in assembler literal syntax where possible.
+	String() string
+}
+
+type (
+	// Null is the absent value.
+	Null struct{}
+	// Bool is a boolean value.
+	Bool bool
+	// Int is a 64-bit signed integer value.
+	Int int64
+	// Float is a 64-bit floating point value.
+	Float float64
+	// Str is an immutable string value.
+	Str string
+	// Bytes is a mutable byte-array value. Like Java arrays it has
+	// reference semantics: Move copies the reference, not the storage.
+	Bytes []byte
+	// IntArray is a mutable array of 64-bit integers (reference semantics).
+	IntArray []int64
+	// FloatArray is a mutable array of 64-bit floats (reference semantics).
+	FloatArray []float64
+)
+
+// Object is a heap object with a class name and named fields (reference
+// semantics, like a Java object).
+type Object struct {
+	// Class is the name of the object's class in the class registry.
+	Class string
+	// Fields maps field names to their current values.
+	Fields map[string]Value
+}
+
+// Kind implements Value.
+func (Null) Kind() Kind { return KindNull }
+
+// Kind implements Value.
+func (Bool) Kind() Kind { return KindBool }
+
+// Kind implements Value.
+func (Int) Kind() Kind { return KindInt }
+
+// Kind implements Value.
+func (Float) Kind() Kind { return KindFloat }
+
+// Kind implements Value.
+func (Str) Kind() Kind { return KindString }
+
+// Kind implements Value.
+func (Bytes) Kind() Kind { return KindBytes }
+
+// Kind implements Value.
+func (IntArray) Kind() Kind { return KindIntArray }
+
+// Kind implements Value.
+func (FloatArray) Kind() Kind { return KindFloatArray }
+
+// Kind implements Value.
+func (*Object) Kind() Kind { return KindObject }
+
+// String implements Value.
+func (Null) String() string { return "null" }
+
+// String implements Value.
+func (b Bool) String() string { return strconv.FormatBool(bool(b)) }
+
+// String implements Value.
+func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+
+// String implements Value.
+func (f Float) String() string {
+	s := strconv.FormatFloat(float64(f), 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// String implements Value.
+func (s Str) String() string { return strconv.Quote(string(s)) }
+
+// String implements Value.
+func (b Bytes) String() string { return fmt.Sprintf("bytes[%d]", len(b)) }
+
+// String implements Value.
+func (a IntArray) String() string { return fmt.Sprintf("intarray[%d]", len(a)) }
+
+// String implements Value.
+func (a FloatArray) String() string { return fmt.Sprintf("floatarray[%d]", len(a)) }
+
+// String implements Value.
+func (o *Object) String() string {
+	if o == nil {
+		return "null"
+	}
+	return fmt.Sprintf("%s{...}", o.Class)
+}
+
+// NewObject allocates an object of the given class with no fields set.
+func NewObject(class string) *Object {
+	return &Object{Class: class, Fields: make(map[string]Value)}
+}
+
+// Truthy reports whether v counts as true in a conditional branch. Only Bool
+// and Int values are accepted; everything else is an execution error.
+func Truthy(v Value) (bool, error) {
+	switch x := v.(type) {
+	case Bool:
+		return bool(x), nil
+	case Int:
+		return x != 0, nil
+	default:
+		return false, fmt.Errorf("mir: condition must be bool or int, got %s", v.Kind())
+	}
+}
+
+// Equal reports deep structural equality of two values. Arrays compare by
+// contents; objects compare by class and recursively by fields.
+func Equal(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch x := a.(type) {
+	case Null:
+		return true
+	case Bool:
+		return x == b.(Bool)
+	case Int:
+		return x == b.(Int)
+	case Float:
+		return x == b.(Float)
+	case Str:
+		return x == b.(Str)
+	case Bytes:
+		y := b.(Bytes)
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	case IntArray:
+		y := b.(IntArray)
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	case FloatArray:
+		y := b.(FloatArray)
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	case *Object:
+		y := b.(*Object)
+		if x == nil || y == nil {
+			return x == y
+		}
+		if x.Class != y.Class || len(x.Fields) != len(y.Fields) {
+			return false
+		}
+		for k, v := range x.Fields {
+			w, ok := y.Fields[k]
+			if !ok || !Equal(v, w) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Copy returns a deep copy of v. Reference values (arrays, objects) get fresh
+// storage; immutable values are returned as-is.
+func Copy(v Value) Value {
+	switch x := v.(type) {
+	case Bytes:
+		out := make(Bytes, len(x))
+		copy(out, x)
+		return out
+	case IntArray:
+		out := make(IntArray, len(x))
+		copy(out, x)
+		return out
+	case FloatArray:
+		out := make(FloatArray, len(x))
+		copy(out, x)
+		return out
+	case *Object:
+		if x == nil {
+			return Null{}
+		}
+		out := NewObject(x.Class)
+		for k, fv := range x.Fields {
+			out.Fields[k] = Copy(fv)
+		}
+		return out
+	default:
+		return v
+	}
+}

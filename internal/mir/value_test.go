@@ -1,0 +1,169 @@
+package mir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{
+		KindNull, KindBool, KindInt, KindFloat, KindString,
+		KindBytes, KindIntArray, KindFloatArray, KindObject,
+	}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" {
+			t.Fatalf("kind %d has empty name", k)
+		}
+		back, ok := KindFromString(s)
+		if !ok || back != k {
+			t.Errorf("KindFromString(%q) = %v, %v; want %v, true", s, back, ok, k)
+		}
+	}
+	if _, ok := KindFromString("bogus"); ok {
+		t.Error("KindFromString accepted bogus kind")
+	}
+}
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want Kind
+	}{
+		{Null{}, KindNull},
+		{Bool(true), KindBool},
+		{Int(7), KindInt},
+		{Float(1.5), KindFloat},
+		{Str("x"), KindString},
+		{Bytes{1, 2}, KindBytes},
+		{IntArray{3}, KindIntArray},
+		{FloatArray{0.5}, KindFloatArray},
+		{NewObject("C"), KindObject},
+	}
+	for _, c := range cases {
+		if got := c.v.Kind(); got != c.want {
+			t.Errorf("%v.Kind() = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	for _, c := range []struct {
+		v    Value
+		want bool
+	}{
+		{Bool(true), true},
+		{Bool(false), false},
+		{Int(0), false},
+		{Int(-3), true},
+	} {
+		got, err := Truthy(c.v)
+		if err != nil {
+			t.Fatalf("Truthy(%v): %v", c.v, err)
+		}
+		if got != c.want {
+			t.Errorf("Truthy(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	if _, err := Truthy(Str("x")); err == nil {
+		t.Error("Truthy(string) succeeded, want error")
+	}
+}
+
+func TestEqualStructural(t *testing.T) {
+	a := NewObject("ImageData")
+	a.Fields["w"] = Int(10)
+	a.Fields["buff"] = Bytes{1, 2, 3}
+	b := NewObject("ImageData")
+	b.Fields["w"] = Int(10)
+	b.Fields["buff"] = Bytes{1, 2, 3}
+	if !Equal(a, b) {
+		t.Error("structurally equal objects compare unequal")
+	}
+	b.Fields["w"] = Int(11)
+	if Equal(a, b) {
+		t.Error("objects with different fields compare equal")
+	}
+	if Equal(Int(1), Float(1)) {
+		t.Error("int and float compare equal")
+	}
+	if !Equal(Null{}, Null{}) {
+		t.Error("null != null")
+	}
+}
+
+func TestCopyIsDeep(t *testing.T) {
+	obj := NewObject("C")
+	obj.Fields["a"] = IntArray{1, 2, 3}
+	cp, ok := Copy(obj).(*Object)
+	if !ok {
+		t.Fatal("copy of object is not an object")
+	}
+	if !Equal(obj, cp) {
+		t.Fatal("copy differs from original")
+	}
+	cp.Fields["a"].(IntArray)[0] = 99
+	if obj.Fields["a"].(IntArray)[0] == 99 {
+		t.Error("mutation of copy visible through original")
+	}
+}
+
+func TestCopyEqualProperty(t *testing.T) {
+	// Property: for arbitrary int/float/byte arrays, Copy is Equal to the
+	// original and shares no storage.
+	f := func(ints []int64, floats []float64, bs []byte) bool {
+		vals := []Value{IntArray(ints), FloatArray(floats), Bytes(bs)}
+		for _, v := range vals {
+			c := Copy(v)
+			if !Equal(v, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroValue(t *testing.T) {
+	if ZeroValue(KindInt) != Int(0) {
+		t.Error("zero int")
+	}
+	if ZeroValue(KindBool) != Bool(false) {
+		t.Error("zero bool")
+	}
+	if _, ok := ZeroValue(KindObject).(Null); !ok {
+		t.Error("zero object should be null")
+	}
+}
+
+func TestClassTable(t *testing.T) {
+	tbl, err := NewClassTable(
+		ClassDef{Name: "ImageData", Fields: []FieldDef{
+			{Name: "width", Kind: KindInt},
+			{Name: "buff", Kind: KindBytes},
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := tbl.New("ImageData")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Fields["width"] != Int(0) {
+		t.Errorf("width zero value = %v", obj.Fields["width"])
+	}
+	if _, err := tbl.New("Nope"); err == nil {
+		t.Error("New on unknown class succeeded")
+	}
+	if _, err := NewClassTable(ClassDef{Name: "A"}, ClassDef{Name: "A"}); err == nil {
+		t.Error("duplicate class accepted")
+	}
+	if _, err := NewClassTable(ClassDef{Name: "B", Fields: []FieldDef{
+		{Name: "x", Kind: KindInt}, {Name: "x", Kind: KindInt},
+	}}); err == nil {
+		t.Error("duplicate field accepted")
+	}
+}

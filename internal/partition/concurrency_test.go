@@ -1,0 +1,120 @@
+package partition_test
+
+import (
+	"sync"
+	"testing"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/partition"
+	"methodpart/internal/profileunit"
+	"methodpart/internal/testprog"
+)
+
+// TestConcurrentProcessAndPlanSwaps hammers one modulator from several
+// goroutines while plans flip underneath — the deployment reality of a
+// publisher thread racing the reconfiguration unit. Run with -race.
+func TestConcurrentProcessAndPlanSwaps(t *testing.T) {
+	u := testprog.PushUnit()
+	prog, _ := u.Program("push")
+	classes, err := u.ClassTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleReg, _ := testprog.PushBuiltins()
+	c, err := partition.Compile(prog, classes, oracleReg, costmodel.NewDataSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := testprog.PushBuiltins()
+	mod := partition.NewModulator(c, interp.NewEnv(classes, reg))
+	coll := profileunit.NewCollector(c.NumPSEs())
+	mod.Probe = coll
+
+	plans := make([]*partition.Plan, 0, 3)
+	for i, split := range [][]int32{{partition.RawPSEID}, {1, 2}, {1, 3}} {
+		p, err := partition.NewPlan(c.NumPSEs(), uint64(i), split, partition.AllProfileIDs(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, p)
+	}
+
+	const (
+		workers  = 4
+		perW     = 200
+		swappers = 2
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				out, err := mod.Process(testprog.NewImageData(8+w, 8+w))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if out.Raw == nil && out.Cont == nil && !out.Suppressed {
+					errs <- errNoOutput
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for s := 0; s < swappers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			i := s
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Version 0 plans always install (unversioned swap).
+				p, _ := partition.NewPlan(c.NumPSEs(), 0, plans[i%len(plans)].SplitIDs(), nil)
+				mod.SetPlan(p)
+				i++
+			}
+		}(s)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Wait for workers only, then release the swappers.
+	for w := 0; w < workers*perW; {
+		select {
+		case err := <-errs:
+			close(stop)
+			t.Fatal(err)
+		default:
+		}
+		if coll.Messages() >= uint64(workers*perW) {
+			break
+		}
+		w = int(coll.Messages())
+	}
+	close(stop)
+	<-done
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if coll.Messages() != uint64(workers*perW) {
+		t.Fatalf("messages = %d, want %d", coll.Messages(), workers*perW)
+	}
+}
+
+var errNoOutput = errText("modulator produced no output")
+
+type errText string
+
+func (e errText) Error() string { return string(e) }

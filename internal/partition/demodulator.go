@@ -1,0 +1,144 @@
+package partition
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"methodpart/internal/analysis"
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/wire"
+)
+
+// ReceiverProbe receives the demodulator-side profiling events: the work
+// the receiver spent finishing each message, keyed by the PSE the sender
+// split at.
+type ReceiverProbe interface {
+	// Done is called after each completed message.
+	Done(splitPSE int32, modWork, demodWork int64)
+}
+
+// NopReceiverProbe records nothing.
+type NopReceiverProbe struct{}
+
+// Done implements ReceiverProbe.
+func (NopReceiverProbe) Done(int32, int64, int64) {}
+
+// Demodulator is the receiver-side half of a partitioned handler: it
+// restores remote continuations and completes their processing (§2.4).
+// Like the modulator, it carries profiling instrumentation along each PSE
+// (§2.3 inserts profiling code on both sides): PSEs downstream of the
+// current split are crossed here, and their would-be continuation sizes and
+// cumulative work are observed at the receiver.
+type Demodulator struct {
+	c   *Compiled
+	env *interp.Env
+	// Probe receives per-message completion events; defaults to
+	// NopReceiverProbe.
+	Probe ReceiverProbe
+	// CrossProbe receives per-PSE crossing events for PSEs whose
+	// profiling flag is set in the profile plan (same semantics as the
+	// modulator side). Defaults to NopProbe.
+	CrossProbe SenderProbe
+
+	profilePlan atomic.Pointer[Plan]
+}
+
+// NewDemodulator builds a demodulator executing in the receiver-side
+// environment (which must register the handler's native builtins).
+func NewDemodulator(c *Compiled, env *interp.Env) *Demodulator {
+	return &Demodulator{c: c, env: env, Probe: NopReceiverProbe{}, CrossProbe: NopProbe{}}
+}
+
+// SetProfilePlan installs the plan whose profiling flags gate the
+// receiver-side PSE instrumentation. The reconfiguration unit typically
+// lives with the receiver, so this needs no wire hop.
+func (d *Demodulator) SetProfilePlan(p *Plan) { d.profilePlan.Store(p) }
+
+// profileHook returns an edge hook observing profiled PSE crossings, or nil
+// when no profiling is active. baseWork is the sender-side work already
+// spent on the message (so crossing stats are message-cumulative).
+func (d *Demodulator) profileHook(machine *interp.Machine, baseWork int64) interp.EdgeHook {
+	plan := d.profilePlan.Load()
+	if plan == nil || len(plan.ProfileIDs()) == 0 {
+		return nil
+	}
+	return func(e interp.Edge) bool {
+		ae := analysis.Edge{From: e.From, To: e.To}
+		if id, ok := d.c.PSEByEdge(ae); ok && plan.Profile(id) {
+			pse, _ := d.c.PSE(id)
+			snap := machine.Snapshot(pse.Vars)
+			d.CrossProbe.Cross(id, baseWork+machine.Work(), snapshotSize(pse.Vars, snap))
+		}
+		return false
+	}
+}
+
+// Result is the outcome of demodulating one message.
+type Result struct {
+	// Return is the handler's return value.
+	Return mir.Value
+	// DemodWork is the receiver-side work spent (work units).
+	DemodWork int64
+	// SplitPSE is the PSE the message was split at (RawPSEID for raw).
+	SplitPSE int32
+}
+
+// ProcessRaw runs the complete handler on an unmodulated event.
+func (d *Demodulator) ProcessRaw(msg *wire.Raw) (*Result, error) {
+	if msg.Handler != d.c.Prog.Name {
+		return nil, fmt.Errorf("partition: raw message for %q handled by %q", msg.Handler, d.c.Prog.Name)
+	}
+	machine, err := interp.NewMachine(d.env, d.c.Prog, []mir.Value{msg.Event})
+	if err != nil {
+		return nil, err
+	}
+	machine.Hook = d.profileHook(machine, 0)
+	out, err := machine.Run()
+	if err != nil {
+		return nil, err
+	}
+	if !out.Done {
+		return nil, fmt.Errorf("partition: raw run of %s stopped unexpectedly", msg.Handler)
+	}
+	d.Probe.Done(RawPSEID, 0, out.Work)
+	return &Result{Return: out.Return, DemodWork: out.Work, SplitPSE: RawPSEID}, nil
+}
+
+// ProcessContinuation restores a remote continuation — re-binding the live
+// variables and jumping to the resume node — and runs it to completion.
+func (d *Demodulator) ProcessContinuation(cont *wire.Continuation) (*Result, error) {
+	if cont.Handler != d.c.Prog.Name {
+		return nil, fmt.Errorf("partition: continuation for %q handled by %q", cont.Handler, d.c.Prog.Name)
+	}
+	resume := int(cont.ResumeNode)
+	if resume < 0 || resume >= len(d.c.Prog.Instrs) {
+		return nil, fmt.Errorf("partition: continuation resume node %d out of range", resume)
+	}
+	machine, err := interp.Restore(d.env, d.c.Prog, resume, cont.Vars)
+	if err != nil {
+		return nil, err
+	}
+	machine.Hook = d.profileHook(machine, cont.ModWork)
+	out, err := machine.Run()
+	if err != nil {
+		return nil, err
+	}
+	if !out.Done {
+		return nil, fmt.Errorf("partition: continuation of %s stopped unexpectedly", cont.Handler)
+	}
+	d.Probe.Done(cont.PSEID, cont.ModWork, out.Work)
+	return &Result{Return: out.Return, DemodWork: out.Work, SplitPSE: cont.PSEID}, nil
+}
+
+// Process dispatches a decoded wire message to the appropriate half.
+func (d *Demodulator) Process(msg any) (*Result, error) {
+	switch m := msg.(type) {
+	case *wire.Raw:
+		return d.ProcessRaw(m)
+	case *wire.Continuation:
+		return d.ProcessContinuation(m)
+	default:
+		return nil, fmt.Errorf("partition: demodulator cannot process %T", msg)
+	}
+}

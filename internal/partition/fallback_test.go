@@ -1,0 +1,93 @@
+package partition_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/asm"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/partition"
+	"methodpart/internal/testprog"
+)
+
+// explodingSource builds a handler with n sequential diamonds (2^n paths),
+// defeating TargetPath enumeration for large n.
+func explodingSource(n int) string {
+	var b strings.Builder
+	b.WriteString("func boom(event) {\n  acc = move event\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  c%d = lt acc acc\n", i)
+		fmt.Fprintf(&b, "  ifnot c%d goto skip%d\n", i, i)
+		fmt.Fprintf(&b, "  acc = add acc acc\n")
+		fmt.Fprintf(&b, "skip%d:\n", i)
+		fmt.Fprintf(&b, "  one%d = const 1\n", i)
+		fmt.Fprintf(&b, "  acc = add acc one%d\n", i)
+	}
+	b.WriteString("  call sink acc\n  return\n}\n")
+	return b.String()
+}
+
+// TestPathExplosionFallsBackToRaw: a handler with 2^20 paths still
+// compiles, offers only the raw PSE, and delivers correctly.
+func TestPathExplosionFallsBackToRaw(t *testing.T) {
+	u, err := asm.Parse(explodingSource(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := u.Program("boom")
+	oracle, _ := testprog.SinkRegistry()
+	c, err := partition.Compile(prog, nil, oracle, costmodel.NewDataSize())
+	if err != nil {
+		t.Fatalf("path explosion did not degrade gracefully: %v", err)
+	}
+	if c.NumPSEs() != 1 {
+		t.Fatalf("NumPSEs = %d, want 1 (raw only)", c.NumPSEs())
+	}
+	// StopNodes are still known (needed for runtime safety).
+	if len(c.Analysis.Stops) < 2 {
+		t.Fatalf("stops = %v", c.Analysis.Stops)
+	}
+
+	sendReg, sendSunk := testprog.SinkRegistry()
+	recvReg, recvSunk := testprog.SinkRegistry()
+	mod := partition.NewModulator(c, interp.NewEnv(nil, sendReg))
+	demod := partition.NewDemodulator(c, interp.NewEnv(nil, recvReg))
+	out, err := mod.Process(mir.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Raw == nil {
+		t.Fatalf("fallback handler did not ship raw: %+v", out)
+	}
+	if _, err := demod.Process(out.Raw); err != nil {
+		t.Fatal(err)
+	}
+	if len(*sendSunk) != 0 || len(*recvSunk) != 1 {
+		t.Fatalf("sinks: sender %d receiver %d", len(*sendSunk), len(*recvSunk))
+	}
+	// 20 diamonds, each +1 (lt yields false: acc<acc never true).
+	if (*recvSunk)[0] != mir.Int(21) {
+		t.Fatalf("sink = %v, want 21", (*recvSunk)[0])
+	}
+}
+
+// TestModeratePathsStillAnalyzed: a handler under the path budget gets real
+// PSEs, proving the fallback only engages on genuine explosion.
+func TestModeratePathsStillAnalyzed(t *testing.T) {
+	u, err := asm.Parse(explodingSource(6)) // 64 paths
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := u.Program("boom")
+	oracle, _ := testprog.SinkRegistry()
+	c, err := partition.Compile(prog, nil, oracle, costmodel.NewDataSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPSEs() < 2 {
+		t.Fatalf("NumPSEs = %d, want real PSEs for 64 paths", c.NumPSEs())
+	}
+}

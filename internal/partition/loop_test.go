@@ -1,0 +1,182 @@
+package partition_test
+
+import (
+	"testing"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/asm"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/partition"
+	"methodpart/internal/testprog"
+)
+
+// TestLoopHandlerPartition exercises convexity end to end: the sum handler
+// has a loop-carried dependence, so no PSE lies inside the loop; the valid
+// cuts are the prologue (before the loop: ship the array) and the epilogue
+// (after the loop: ship only the accumulated scalar). Both must produce the
+// correct sum at the native sink.
+func TestLoopHandlerPartition(t *testing.T) {
+	u := asm.MustParse(testprog.LoopSource)
+	prog, _ := u.Program("sum")
+	oracleReg, _ := testprog.LoopBuiltins()
+	c, err := partition.Compile(prog, nil, oracleReg, costmodel.NewDataSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All real PSEs must be outside the loop body: the loop spans the
+	// instructions from the loop label to the backedge.
+	loopStart, _ := prog.LabelIndex("loop")
+	loopEnd := -1
+	for i := range prog.Instrs {
+		if prog.Instrs[i].Op == mir.OpGoto && prog.Instrs[i].Target == "loop" {
+			loopEnd = i
+		}
+	}
+	if loopStart < 0 || loopEnd < 0 {
+		t.Fatal("loop structure not found")
+	}
+	// An epilogue PSE targets code after the loop (the loop-exit edge or
+	// later). Note the analysis is also entitled to prune the prologue
+	// cuts entirely: the epilogue hand-over is one deterministic scalar,
+	// which dominates shipping the array.
+	var epilogue []int32
+	for id := int32(1); id < int32(c.NumPSEs()); id++ {
+		pse, _ := c.PSE(id)
+		e := pse.Edge
+		inLoop := e.From >= loopStart && e.From <= loopEnd && e.To > loopStart && e.To <= loopEnd
+		if inLoop {
+			t.Errorf("PSE %v lies inside the loop body [%d,%d]", e, loopStart, loopEnd)
+		}
+		if e.To > loopEnd {
+			epilogue = append(epilogue, id)
+		}
+	}
+	if len(epilogue) == 0 {
+		t.Fatalf("no epilogue PSE found: %+v", c.PSEs)
+	}
+
+	arr := mir.IntArray{3, 1, 4, 1, 5, 9, 2, 6}
+	const wantSum = 31
+
+	for _, split := range [][]int32{{partition.RawPSEID}, epilogue} {
+		if err := c.ValidateSplitSet(split); err != nil {
+			// Epilogue-only may not cut the filter path; augment.
+			split = append(split, findEmptyHandoverPSE(c))
+			if err := c.ValidateSplitSet(split); err != nil {
+				t.Fatalf("cannot build valid plan from %v: %v", split, err)
+			}
+		}
+		plan, err := partition.NewPlan(c.NumPSEs(), 1, split, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sendReg, sendSunk := testprog.LoopBuiltins()
+		recvReg, recvSunk := testprog.LoopBuiltins()
+		mod := partition.NewModulator(c, interp.NewEnv(nil, sendReg))
+		mod.SetPlan(plan)
+		demod := partition.NewDemodulator(c, interp.NewEnv(nil, recvReg))
+
+		out, err := mod.Process(arr)
+		if err != nil {
+			t.Fatalf("plan %v: %v", split, err)
+		}
+		var msg any
+		if out.Raw != nil {
+			msg = out.Raw
+		} else {
+			msg = out.Cont
+		}
+		if _, err := demod.Process(msg); err != nil {
+			t.Fatalf("plan %v: demod: %v", split, err)
+		}
+		if len(*sendSunk) != 0 {
+			t.Errorf("plan %v: native emit ran at sender", split)
+		}
+		if len(*recvSunk) != 1 || (*recvSunk)[0] != mir.Int(wantSum) {
+			t.Errorf("plan %v: sink = %v, want [%d]", split, *recvSunk, wantSum)
+		}
+		// The epilogue cut must ship only scalars, far smaller than the
+		// array the raw cut ships.
+		if out.Cont != nil && out.SplitPSE != partition.RawPSEID {
+			if out.WireBytes > 64 {
+				t.Errorf("plan %v: epilogue continuation unexpectedly large: %d bytes", split, out.WireBytes)
+			}
+		}
+	}
+}
+
+func findEmptyHandoverPSE(c *partition.Compiled) int32 {
+	for id := int32(1); id < int32(c.NumPSEs()); id++ {
+		pse, _ := c.PSE(id)
+		if len(pse.Vars) == 0 {
+			return id
+		}
+	}
+	return partition.RawPSEID
+}
+
+// TestGlobalsPinToReceiver: a handler touching globals must keep those
+// instructions at the receiver (they are StopNodes), and the modulator must
+// split before reaching them even under a permissive plan.
+func TestGlobalsPinToReceiver(t *testing.T) {
+	src := `
+func count(event) {
+  one = const 1
+  c = getglobal counter
+  c2 = add c one
+  setglobal counter c2
+  return c2
+}
+`
+	u := asm.MustParse(src)
+	prog, _ := u.Program("count")
+	reg := interp.NewRegistry()
+	c, err := partition.Compile(prog, nil, reg, costmodel.NewDataSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// getglobal at node 1 must be a StopNode.
+	if !c.Analysis.Stops[1] {
+		t.Fatalf("getglobal not a StopNode: %v", c.Analysis.Stops)
+	}
+	senderEnv := interp.NewEnv(nil, reg)
+	recvEnv := interp.NewEnv(nil, reg)
+	recvEnv.Globals["counter"] = mir.Int(10)
+	mod := partition.NewModulator(c, senderEnv)
+	demod := partition.NewDemodulator(c, recvEnv)
+
+	// Even a split-everything plan cannot move the global access.
+	all := make([]int32, 0, c.NumPSEs())
+	for id := int32(1); id < int32(c.NumPSEs()); id++ {
+		all = append(all, id)
+	}
+	plan, err := partition.NewPlan(c.NumPSEs(), 1, all, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.SetPlan(plan)
+	out, err := mod.Process(mir.Int(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, touched := senderEnv.Globals["counter"]; touched {
+		t.Error("sender environment globals touched")
+	}
+	var msg any
+	if out.Raw != nil {
+		msg = out.Raw
+	} else {
+		msg = out.Cont
+	}
+	res, err := demod.Process(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Return != mir.Int(11) {
+		t.Errorf("return = %v, want 11", res.Return)
+	}
+	if recvEnv.Globals["counter"] != mir.Int(11) {
+		t.Errorf("receiver global = %v, want 11", recvEnv.Globals["counter"])
+	}
+}

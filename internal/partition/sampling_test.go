@@ -1,0 +1,86 @@
+package partition_test
+
+import (
+	"sync"
+	"testing"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/partition"
+	"methodpart/internal/testprog"
+)
+
+// countingProbe counts profiling events.
+type countingProbe struct {
+	mu       sync.Mutex
+	messages int
+	crosses  int
+	splits   int
+}
+
+func (p *countingProbe) Message(int64) {
+	p.mu.Lock()
+	p.messages++
+	p.mu.Unlock()
+}
+
+func (p *countingProbe) Cross(int32, int64, int64) {
+	p.mu.Lock()
+	p.crosses++
+	p.mu.Unlock()
+}
+
+func (p *countingProbe) SplitAt(int32, int64, int64) {
+	p.mu.Lock()
+	p.splits++
+	p.mu.Unlock()
+}
+
+// TestProfileSampling verifies §2.5's periodic-sampling option: with
+// SampleEvery=N the per-PSE profiling code runs on 1/N of the messages
+// while the per-message accounting stays complete.
+func TestProfileSampling(t *testing.T) {
+	u := testprog.PushUnit()
+	prog, _ := u.Program("push")
+	classes, err := u.ClassTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleReg, _ := testprog.PushBuiltins()
+	c, err := partition.Compile(prog, classes, oracleReg, costmodel.NewDataSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(every uint64) *countingProbe {
+		reg, _ := testprog.PushBuiltins()
+		mod := partition.NewModulator(c, interp.NewEnv(classes, reg))
+		probe := &countingProbe{}
+		mod.Probe = probe
+		mod.SampleEvery = every
+		plan, err := partition.NewPlan(c.NumPSEs(), 1, []int32{1, 3}, partition.AllProfileIDs(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod.SetPlan(plan)
+		for i := 0; i < 40; i++ {
+			if _, err := mod.Process(testprog.NewImageData(8, 8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return probe
+	}
+	full := run(0)
+	sampled := run(4)
+	if full.messages != 40 || sampled.messages != 40 {
+		t.Fatalf("message accounting incomplete: %d / %d", full.messages, sampled.messages)
+	}
+	if full.splits != 40 || sampled.splits != 40 {
+		t.Fatalf("split accounting incomplete: %d / %d", full.splits, sampled.splits)
+	}
+	if sampled.crosses*3 > full.crosses {
+		t.Errorf("sampling did not reduce crossings: %d sampled vs %d full", sampled.crosses, full.crosses)
+	}
+	if sampled.crosses == 0 {
+		t.Error("sampling eliminated profiling entirely")
+	}
+}

@@ -1,0 +1,109 @@
+package partition_test
+
+import (
+	"testing"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/asm"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/partition"
+	"methodpart/internal/testprog"
+)
+
+// TestSuppressTrivialDisabled: with suppression off, filtered events still
+// ship a (tiny) continuation that resumes at the bare return — the paper's
+// unoptimized baseline behaviour — and the demodulator completes it.
+func TestSuppressTrivialDisabled(t *testing.T) {
+	u := asm.MustParse(testprog.PushSource)
+	prog, _ := u.Program("push")
+	classes, _ := u.ClassTable()
+	oracle, _ := testprog.PushBuiltins()
+	c, err := partition.Compile(prog, classes, oracle, costmodel.NewDataSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var filterID, otherID int32 = -1, -1
+	for id := int32(1); id < int32(c.NumPSEs()); id++ {
+		p, _ := c.PSE(id)
+		if len(p.Vars) == 0 {
+			filterID = id
+		} else if otherID < 0 {
+			otherID = id
+		}
+	}
+	plan, err := partition.NewPlan(c.NumPSEs(), 1, []int32{filterID, otherID}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sendReg, _ := testprog.PushBuiltins()
+	recvReg, displayed := testprog.PushBuiltins()
+	mod := partition.NewModulator(c, interp.NewEnv(classes, sendReg))
+	mod.SuppressTrivial = false
+	mod.SetPlan(plan)
+	demod := partition.NewDemodulator(c, interp.NewEnv(classes, recvReg))
+
+	out, err := mod.Process(mir.Str("not an image"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Suppressed {
+		t.Fatal("suppression disabled but message suppressed")
+	}
+	if out.Cont == nil {
+		t.Fatalf("no continuation: %+v", out)
+	}
+	if len(out.Cont.Vars) != 0 {
+		t.Fatalf("filter continuation carries vars: %v", out.Cont.Vars)
+	}
+	res, err := demod.Process(out.Cont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Return.(mir.Null); !ok {
+		t.Fatalf("return = %v", res.Return)
+	}
+	if len(*displayed) != 0 {
+		t.Fatal("filtered event displayed")
+	}
+}
+
+// TestInfiniteLoopHandlerCompilesRawOnly: a handler that can loop forever
+// (no reachable StopNode on some path) still compiles; the unreachable-exit
+// degenerate case yields a raw-only PSE table.
+func TestInfiniteLoopHandlerCompilesRawOnly(t *testing.T) {
+	src := `
+func spin(event) {
+loop:
+  x = move event
+  goto loop
+}
+`
+	u := asm.MustParse(src)
+	prog, _ := u.Program("spin")
+	reg := interp.NewRegistry()
+	c, err := partition.Compile(prog, nil, reg, costmodel.NewDataSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPSEs() != 1 {
+		t.Fatalf("NumPSEs = %d, want raw only", c.NumPSEs())
+	}
+	// Raw delivery then hits the interpreter step bound at the receiver —
+	// a contained failure, not a hang.
+	mod := partition.NewModulator(c, interp.NewEnv(nil, reg))
+	env := interp.NewEnv(nil, reg)
+	env.MaxSteps = 10_000
+	demod := partition.NewDemodulator(c, env)
+	out, err := mod.Process(mir.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Raw == nil {
+		t.Fatalf("expected raw output: %+v", out)
+	}
+	if _, err := demod.Process(out.Raw); err == nil {
+		t.Fatal("endless handler completed")
+	}
+}

@@ -1,0 +1,181 @@
+// Package perturb implements the paper's synthetic load model (§5.2):
+// perturbation threads with active and idle periods. A period's length is
+// drawn around PLen, a period is active with probability AProb, and active
+// periods impose a fixed load index LIndex (the ratio of busy cycles). The
+// random draws are pre-generated from a seed so that — exactly as in the
+// paper — the same perturbation trace drives every implementation being
+// compared.
+package perturb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Config describes one host's perturbation workload.
+type Config struct {
+	// Seed makes the trace reproducible; the same seed yields the same
+	// trace for every implementation under comparison.
+	Seed int64
+	// Threads is the number of perturbation threads (0 = unloaded host).
+	Threads int
+	// PLenMS is the expected period length in milliseconds; actual period
+	// lengths are uniform on [0.5, 1.5]·PLenMS.
+	PLenMS float64
+	// AProb is the probability that a period is active.
+	AProb float64
+	// LIndex is the busy-cycle ratio during active periods (0..1].
+	LIndex float64
+	// HorizonMS is the trace length; load queries wrap around it.
+	HorizonMS float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Threads < 0 {
+		return fmt.Errorf("perturb: negative thread count")
+	}
+	if c.Threads > 0 {
+		if c.PLenMS <= 0 {
+			return fmt.Errorf("perturb: PLenMS must be positive")
+		}
+		if c.AProb < 0 || c.AProb > 1 {
+			return fmt.Errorf("perturb: AProb %g out of [0,1]", c.AProb)
+		}
+		if c.LIndex < 0 || c.LIndex > 1 {
+			return fmt.Errorf("perturb: LIndex %g out of [0,1]", c.LIndex)
+		}
+	}
+	if c.HorizonMS <= 0 && c.Threads > 0 {
+		return fmt.Errorf("perturb: HorizonMS must be positive")
+	}
+	return nil
+}
+
+// Schedule is the merged piecewise-constant total load of all perturbation
+// threads over the horizon.
+type Schedule struct {
+	starts  []float64 // segment start times, ascending, starts[0] == 0
+	load    []float64 // total active load during the segment
+	horizon float64
+}
+
+// New pre-generates a schedule from the configuration.
+func New(cfg Config) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Threads == 0 {
+		return &Schedule{starts: []float64{0}, load: []float64{0}, horizon: 1}, nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type edge struct {
+		t     float64
+		delta float64
+	}
+	var edges []edge
+	for th := 0; th < cfg.Threads; th++ {
+		t := 0.0
+		for t < cfg.HorizonMS {
+			length := (0.5 + rng.Float64()) * cfg.PLenMS
+			active := rng.Float64() < cfg.AProb
+			if active && cfg.LIndex > 0 {
+				end := t + length
+				if end > cfg.HorizonMS {
+					end = cfg.HorizonMS
+				}
+				edges = append(edges, edge{t: t, delta: cfg.LIndex})
+				edges = append(edges, edge{t: end, delta: -cfg.LIndex})
+			}
+			t += length
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].t < edges[j].t })
+
+	s := &Schedule{horizon: cfg.HorizonMS}
+	cur := 0.0
+	s.starts = append(s.starts, 0)
+	s.load = append(s.load, 0)
+	for _, e := range edges {
+		cur += e.delta
+		if cur < 0 {
+			cur = 0
+		}
+		last := len(s.starts) - 1
+		if s.starts[last] == e.t {
+			s.load[last] = cur
+			continue
+		}
+		s.starts = append(s.starts, e.t)
+		s.load = append(s.load, cur)
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on config error (for experiment tables).
+func MustNew(cfg Config) *Schedule {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Unloaded returns a schedule with zero load everywhere.
+func Unloaded() *Schedule {
+	return &Schedule{starts: []float64{0}, load: []float64{0}, horizon: 1}
+}
+
+// LoadAt returns the total perturbation load at virtual time t (ms). Times
+// beyond the horizon wrap around.
+func (s *Schedule) LoadAt(t float64) float64 {
+	t = s.wrap(t)
+	i := sort.SearchFloat64s(s.starts, t)
+	if i < len(s.starts) && s.starts[i] == t {
+		return s.load[i]
+	}
+	return s.load[i-1]
+}
+
+// NextChange returns the first time strictly after t at which the load
+// changes. Used by integrators stepping over piecewise-constant segments.
+func (s *Schedule) NextChange(t float64) float64 {
+	base := t - s.wrap(t)
+	w := s.wrap(t)
+	i := sort.SearchFloat64s(s.starts, w)
+	if i < len(s.starts) && s.starts[i] == w {
+		i++
+	}
+	if i < len(s.starts) {
+		return base + s.starts[i]
+	}
+	return base + s.horizon
+}
+
+// MeanLoad returns the time-averaged load over the horizon.
+func (s *Schedule) MeanLoad() float64 {
+	var sum float64
+	for i := range s.starts {
+		end := s.horizon
+		if i+1 < len(s.starts) {
+			end = s.starts[i+1]
+		}
+		sum += s.load[i] * (end - s.starts[i])
+	}
+	return sum / s.horizon
+}
+
+func (s *Schedule) wrap(t float64) float64 {
+	if s.horizon <= 0 {
+		return 0
+	}
+	for t >= s.horizon {
+		t -= s.horizon
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t
+}

@@ -1,0 +1,105 @@
+package perturb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnloaded(t *testing.T) {
+	s := Unloaded()
+	if s.LoadAt(0) != 0 || s.LoadAt(12345) != 0 {
+		t.Error("unloaded schedule has load")
+	}
+	if s.MeanLoad() != 0 {
+		t.Error("unloaded mean load nonzero")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, Threads: 2, PLenMS: 1000, AProb: 0.5, LIndex: 0.8, HorizonMS: 60000}
+	a := MustNew(cfg)
+	b := MustNew(cfg)
+	for _, tm := range []float64{0, 999, 5000, 31337, 59999} {
+		if a.LoadAt(tm) != b.LoadAt(tm) {
+			t.Fatalf("same seed diverges at t=%g: %g vs %g", tm, a.LoadAt(tm), b.LoadAt(tm))
+		}
+	}
+	c := MustNew(Config{Seed: 8, Threads: 2, PLenMS: 1000, AProb: 0.5, LIndex: 0.8, HorizonMS: 60000})
+	diff := false
+	for tm := 0.0; tm < 60000; tm += 500 {
+		if a.LoadAt(tm) != c.LoadAt(tm) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestMeanLoadTracksParameters(t *testing.T) {
+	base := Config{Seed: 3, Threads: 2, PLenMS: 1000, LIndex: 1.0, HorizonMS: 120000}
+	lo := base
+	lo.AProb = 0.2
+	hi := base
+	hi.AProb = 0.9
+	sLo, sHi := MustNew(lo), MustNew(hi)
+	if sLo.MeanLoad() >= sHi.MeanLoad() {
+		t.Errorf("mean load not monotone in AProb: %g vs %g", sLo.MeanLoad(), sHi.MeanLoad())
+	}
+	// Expectation: threads * AProb * LIndex, within slack.
+	want := 2 * 0.9 * 1.0
+	if got := sHi.MeanLoad(); got < want*0.7 || got > want*1.3 {
+		t.Errorf("mean load %g far from expectation %g", got, want)
+	}
+}
+
+func TestAProbZeroAndOne(t *testing.T) {
+	never := MustNew(Config{Seed: 1, Threads: 2, PLenMS: 500, AProb: 0, LIndex: 1, HorizonMS: 10000})
+	if never.MeanLoad() != 0 {
+		t.Errorf("AProb=0 mean load = %g", never.MeanLoad())
+	}
+	always := MustNew(Config{Seed: 1, Threads: 1, PLenMS: 500, AProb: 1, LIndex: 0.5, HorizonMS: 10000})
+	if got := always.MeanLoad(); got < 0.49 || got > 0.51 {
+		t.Errorf("AProb=1 mean load = %g, want ~0.5", got)
+	}
+}
+
+func TestWrapAroundHorizon(t *testing.T) {
+	s := MustNew(Config{Seed: 5, Threads: 1, PLenMS: 1000, AProb: 0.5, LIndex: 1, HorizonMS: 8000})
+	for _, tm := range []float64{0, 100, 4000, 7999} {
+		if s.LoadAt(tm) != s.LoadAt(tm+8000) || s.LoadAt(tm) != s.LoadAt(tm+16000) {
+			t.Fatalf("horizon wrap broken at t=%g", tm)
+		}
+	}
+}
+
+func TestNextChangeAdvances(t *testing.T) {
+	s := MustNew(Config{Seed: 9, Threads: 2, PLenMS: 300, AProb: 0.7, LIndex: 0.6, HorizonMS: 20000})
+	f := func(raw uint32) bool {
+		tm := float64(raw%200000) / 10 // [0, 20000)
+		next := s.NextChange(tm)
+		return next > tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Threads: -1},
+		{Threads: 1, PLenMS: 0, HorizonMS: 100},
+		{Threads: 1, PLenMS: 10, AProb: 2, HorizonMS: 100},
+		{Threads: 1, PLenMS: 10, AProb: 0.5, LIndex: 1.5, HorizonMS: 100},
+		{Threads: 1, PLenMS: 10, AProb: 0.5, LIndex: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(Config{Threads: 0}); err != nil {
+		t.Errorf("zero-thread config rejected: %v", err)
+	}
+}

@@ -1,0 +1,202 @@
+package profileunit
+
+import (
+	"testing"
+	"time"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/partition"
+)
+
+func TestCollectorSnapshotBasics(t *testing.T) {
+	c := NewCollector(4)
+	c.SetAlpha(1) // latest value wins, for exact assertions
+	for i := 0; i < 10; i++ {
+		c.Message(1000)
+		c.Cross(1, 50, 200)
+		if i%2 == 0 {
+			c.Cross(2, 80, 400)
+		}
+		c.SplitAt(1, 50, 200)
+		c.Done(1, 50, 150)
+	}
+	snap := c.Snapshot()
+
+	raw := snap[partition.RawPSEID]
+	if raw.Prob != 1 || raw.Bytes != 1000 {
+		t.Errorf("raw stat = %+v", raw)
+	}
+	if raw.DemodWork != 200 { // total work = 50+150
+		t.Errorf("raw demod work = %g, want 200", raw.DemodWork)
+	}
+
+	s1 := snap[1]
+	if s1.Count != 10 || s1.Prob != 1 || s1.Bytes != 200 || s1.ModWork != 50 {
+		t.Errorf("pse1 stat = %+v", s1)
+	}
+	if s1.DemodWork != 150 {
+		t.Errorf("pse1 demod = %g, want 150", s1.DemodWork)
+	}
+
+	s2 := snap[2]
+	if s2.Count != 5 || s2.Prob != 0.5 {
+		t.Errorf("pse2 stat = %+v", s2)
+	}
+	// PSE 2 never split: demod estimated as total - modWork = 200 - 80.
+	if s2.DemodWork != 120 {
+		t.Errorf("pse2 demod estimate = %g, want 120", s2.DemodWork)
+	}
+
+	if _, ok := snap[3]; ok {
+		t.Error("uncrossed PSE appears in snapshot")
+	}
+}
+
+func TestCollectorReceiverOnlyDenominator(t *testing.T) {
+	// A receiver-side collector sees Done and Cross but never Message;
+	// probabilities must still use the completed count.
+	c := NewCollector(3)
+	for i := 0; i < 8; i++ {
+		c.Cross(1, 10, 500)
+		c.Done(partition.RawPSEID, 0, 100)
+	}
+	snap := c.Snapshot()
+	if got := snap[1].Prob; got != 1 {
+		t.Errorf("receiver-side prob = %g, want 1", got)
+	}
+	// The raw entry carries the receiver's total-work view but no byte
+	// size (filled in from the sender side by Merge).
+	raw, ok := snap[partition.RawPSEID]
+	if !ok {
+		t.Fatal("receiver-side collector emitted no raw entry")
+	}
+	if raw.Bytes != 0 || raw.DemodWork != 100 {
+		t.Errorf("raw entry = %+v, want Bytes 0 / DemodWork 100", raw)
+	}
+
+	// A collector that observed nothing emits no raw entry at all.
+	empty := NewCollector(3)
+	if _, ok := empty.Snapshot()[partition.RawPSEID]; ok {
+		t.Error("empty collector fabricated a raw entry")
+	}
+}
+
+func TestCollectorToFromWire(t *testing.T) {
+	c := NewCollector(3)
+	c.Message(500)
+	c.Cross(1, 25, 100)
+	c.Done(1, 25, 75)
+	fb := c.ToWire("push")
+	if fb.Handler != "push" || len(fb.Stats) == 0 {
+		t.Fatalf("feedback = %+v", fb)
+	}
+	stats := FromWire(fb)
+	if stats[1].Bytes != 100 {
+		t.Errorf("round-tripped bytes = %g", stats[1].Bytes)
+	}
+}
+
+func TestMergePrefersFresherSide(t *testing.T) {
+	sender := map[int32]costmodel.Stat{
+		1: {Count: 100, Bytes: 4000, ModWork: 10},
+		2: {Count: 3, Bytes: 9999, ModWork: 5}, // stale
+	}
+	receiver := map[int32]costmodel.Stat{
+		2: {Count: 90, Bytes: 1000, ModWork: 7},
+		3: {Count: 90, Bytes: 50},
+	}
+	m := Merge(sender, receiver)
+	if m[1].Bytes != 4000 {
+		t.Errorf("pse1 = %+v", m[1])
+	}
+	if m[2].Bytes != 1000 {
+		t.Errorf("pse2 should take the fresher receiver view: %+v", m[2])
+	}
+	if m[3].Bytes != 50 {
+		t.Errorf("receiver-only pse3 missing: %+v", m[3])
+	}
+	// Stale receiver view must not clobber fresh sender stats, but its
+	// demod observation should.
+	sender2 := map[int32]costmodel.Stat{1: {Count: 100, Bytes: 4000}}
+	receiver2 := map[int32]costmodel.Stat{1: {Count: 10, Bytes: 1, DemodWork: 42}}
+	m2 := Merge(sender2, receiver2)
+	if m2[1].Bytes != 4000 || m2[1].DemodWork != 42 {
+		t.Errorf("merge = %+v", m2[1])
+	}
+}
+
+func TestRateTrigger(t *testing.T) {
+	tr := &RateTrigger{EveryMessages: 5}
+	fired := 0
+	for m := uint64(1); m <= 20; m++ {
+		if tr.ShouldReport(nil, m) {
+			fired++
+		}
+	}
+	if fired != 4 {
+		t.Errorf("fired %d times, want 4", fired)
+	}
+}
+
+func TestDiffTrigger(t *testing.T) {
+	tr := &DiffTrigger{Threshold: 0.2, MinMessages: 1}
+	base := map[int32]costmodel.Stat{1: {Bytes: 100, Prob: 1}}
+	if !tr.ShouldReport(base, 1) {
+		t.Error("first snapshot should report")
+	}
+	same := map[int32]costmodel.Stat{1: {Bytes: 105, Prob: 1}}
+	if tr.ShouldReport(same, 2) {
+		t.Error("5% change fired a 20% trigger")
+	}
+	big := map[int32]costmodel.Stat{1: {Bytes: 200, Prob: 1}}
+	if !tr.ShouldReport(big, 3) {
+		t.Error("100% change did not fire")
+	}
+	// After firing, the baseline resets.
+	if tr.ShouldReport(big, 4) {
+		t.Error("re-fired without further change")
+	}
+	newPSE := map[int32]costmodel.Stat{1: {Bytes: 200, Prob: 1}, 2: {Bytes: 1}}
+	if !tr.ShouldReport(newPSE, 5) {
+		t.Error("newly profiled PSE did not fire")
+	}
+}
+
+func TestDiffTriggerMinMessages(t *testing.T) {
+	tr := &DiffTrigger{Threshold: 0.2, MinMessages: 10}
+	if tr.ShouldReport(map[int32]costmodel.Stat{1: {Bytes: 1}}, 5) {
+		t.Error("fired before MinMessages")
+	}
+}
+
+func TestTimeTrigger(t *testing.T) {
+	now := time.Unix(0, 0)
+	tr := &TimeTrigger{Every: time.Second, Now: func() time.Time { return now }}
+	if tr.ShouldReport(nil, 1) {
+		t.Error("fired on first observation")
+	}
+	now = now.Add(500 * time.Millisecond)
+	if tr.ShouldReport(nil, 2) {
+		t.Error("fired before period elapsed")
+	}
+	now = now.Add(600 * time.Millisecond)
+	if !tr.ShouldReport(nil, 3) {
+		t.Error("did not fire after period elapsed")
+	}
+	if tr.ShouldReport(nil, 4) {
+		t.Error("re-fired without further elapse")
+	}
+}
+
+func TestEitherTrigger(t *testing.T) {
+	tr := &EitherTrigger{Children: []Trigger{
+		&RateTrigger{EveryMessages: 100},
+		&DiffTrigger{Threshold: 0.5, MinMessages: 1},
+	}}
+	if !tr.ShouldReport(map[int32]costmodel.Stat{1: {Bytes: 10}}, 1) {
+		t.Error("diff child should fire on first snapshot")
+	}
+	if tr.ShouldReport(map[int32]costmodel.Stat{1: {Bytes: 10}}, 2) {
+		t.Error("neither child should fire")
+	}
+}

@@ -1,0 +1,136 @@
+package reconfig_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/imaging"
+	"methodpart/internal/partition"
+	"methodpart/internal/reconfig"
+)
+
+// bruteForceBest enumerates every subset of PSE ids, keeps the valid cuts,
+// and returns the minimum total capacity — ground truth for the min-cut.
+func bruteForceBest(t *testing.T, c *partition.Compiled, u *reconfig.Unit, stats map[int32]costmodel.Stat) int64 {
+	t.Helper()
+	n := c.NumPSEs()
+	if n > 16 {
+		t.Fatalf("brute force infeasible for %d PSEs", n)
+	}
+	best := int64(-1)
+	for mask := 1; mask < 1<<n; mask++ {
+		var ids []int32
+		var cost int64
+		for id := 0; id < n; id++ {
+			if mask&(1<<id) != 0 {
+				ids = append(ids, int32(id))
+				cost += u.Capacity(int32(id), stats)
+			}
+		}
+		if c.ValidateSplitSet(ids) != nil {
+			continue
+		}
+		if best < 0 || cost < best {
+			best = cost
+		}
+	}
+	if best < 0 {
+		t.Fatal("no valid cut exists")
+	}
+	return best
+}
+
+// TestMinCutOptimality: across random profiled capacities, the plan the
+// reconfiguration unit selects costs exactly the brute-force optimum.
+// (The selected set need not be identical — ties — but its total capacity
+// must be.)
+func TestMinCutOptimality(t *testing.T) {
+	// Use the two-transform image handler: a 6-PSE ladder with branching.
+	unit := imaging.RichHandlerUnit(100)
+	prog, _ := unit.Program(imaging.RichHandlerName)
+	classes, err := unit.ClassTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, _ := imaging.Builtins()
+	c, err := partition.Compile(prog, classes, oracle, costmodel.NewDataSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("handler has %d PSEs", c.NumPSEs())
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		stats := make(map[int32]costmodel.Stat, c.NumPSEs())
+		for id := int32(0); id < int32(c.NumPSEs()); id++ {
+			stats[id] = costmodel.Stat{
+				Count: 10,
+				Prob:  1,
+				Bytes: float64(1 + rng.Intn(100000)),
+			}
+		}
+		u := reconfig.NewUnit(c, costmodel.DefaultEnvironment())
+		plan, _, err := u.SelectPlan(stats)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := c.ValidateSplitSet(plan.SplitIDs()); err != nil {
+			t.Fatalf("trial %d: selected plan invalid: %v", trial, err)
+		}
+		var got int64
+		for _, id := range plan.SplitIDs() {
+			got += u.Capacity(id, stats)
+		}
+		want := bruteForceBest(t, c, u, stats)
+		if got != want {
+			t.Errorf("trial %d: selected cut costs %d, optimum is %d (plan %v)",
+				trial, got, want, plan.SplitIDs())
+		}
+	}
+}
+
+// TestMinCutOptimalityExecTime repeats the optimality check under the
+// exec-time capacities (bottleneck-based, very different magnitudes).
+func TestMinCutOptimalityExecTime(t *testing.T) {
+	unit := imaging.RichHandlerUnit(100)
+	prog, _ := unit.Program(imaging.RichHandlerName)
+	classes, _ := unit.ClassTable()
+	oracle, _ := imaging.Builtins()
+	c, err := partition.Compile(prog, classes, oracle, costmodel.NewExecTime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPSEs() > 16 {
+		t.Skipf("PSE set too large for brute force: %d", c.NumPSEs())
+	}
+	rng := rand.New(rand.NewSource(7))
+	env := costmodel.Environment{SenderSpeed: 1000, ReceiverSpeed: 300, Bandwidth: 500, LatencyMS: 1}
+	for trial := 0; trial < 100; trial++ {
+		total := 10000 + rng.Float64()*50000
+		stats := make(map[int32]costmodel.Stat, c.NumPSEs())
+		for id := int32(0); id < int32(c.NumPSEs()); id++ {
+			mod := rng.Float64() * total
+			stats[id] = costmodel.Stat{
+				Count:     10,
+				Prob:      1,
+				Bytes:     float64(1 + rng.Intn(50000)),
+				ModWork:   mod,
+				DemodWork: total - mod,
+			}
+		}
+		u := reconfig.NewUnit(c, env)
+		plan, _, err := u.SelectPlan(stats)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var got int64
+		for _, id := range plan.SplitIDs() {
+			got += u.Capacity(id, stats)
+		}
+		want := bruteForceBest(t, c, u, stats)
+		if got != want {
+			t.Errorf("trial %d: selected cut costs %d, optimum is %d", trial, got, want)
+		}
+	}
+}

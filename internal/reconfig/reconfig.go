@@ -1,0 +1,135 @@
+// Package reconfig implements the Runtime Reconfiguration Unit (§2.5): it
+// turns profiled PSE statistics into edge capacities under the handler's
+// cost model, runs a max-flow/min-cut over the Unit Graph, and emits the
+// (near-)optimal partitioning plan as a set of split-flag assignments.
+package reconfig
+
+import (
+	"fmt"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/graph"
+	"methodpart/internal/partition"
+	"methodpart/internal/wire"
+)
+
+// Unit selects partitioning plans for one compiled handler. The unit may
+// live with the modulator, the demodulator, or a third party (§2.5); it only
+// needs the compiled handler structure and the profiled statistics.
+type Unit struct {
+	c   *partition.Compiled
+	env costmodel.Environment
+	// ProfileAll keeps the profiling flag of every PSE set in emitted
+	// plans; otherwise only the flagged split PSEs are profiled.
+	ProfileAll bool
+
+	version uint64
+}
+
+// NewUnit creates a reconfiguration unit for the handler in the given
+// environment.
+func NewUnit(c *partition.Compiled, env costmodel.Environment) *Unit {
+	return &Unit{c: c, env: env, ProfileAll: true}
+}
+
+// SetEnvironment updates the resource environment used to weigh costs.
+func (u *Unit) SetEnvironment(env costmodel.Environment) { u.env = env }
+
+// Environment returns the current environment.
+func (u *Unit) Environment() costmodel.Environment { return u.env }
+
+// SelectPlan computes the minimum-cost valid partitioning for the profiled
+// statistics (stats may be nil or partial; unprofiled PSEs fall back to
+// their static capacity estimate). It returns both the in-memory plan and
+// its wire form.
+func (u *Unit) SelectPlan(stats map[int32]costmodel.Stat) (*partition.Plan, *wire.Plan, error) {
+	cut, _, err := u.minCut(stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	u.version++
+	var profile []int32
+	if u.ProfileAll {
+		profile = partition.AllProfileIDs(u.c)
+	} else {
+		profile = cut
+	}
+	plan, err := partition.NewPlan(u.c.NumPSEs(), u.version, cut, profile)
+	if err != nil {
+		return nil, nil, err
+	}
+	wp := &wire.Plan{
+		Handler: u.c.Prog.Name,
+		Version: u.version,
+		Split:   plan.SplitIDs(),
+		Profile: plan.ProfileIDs(),
+	}
+	return plan, wp, nil
+}
+
+// InitialPlan selects a plan purely from static cost estimates, for use
+// before any profile exists (deployment time).
+func (u *Unit) InitialPlan() (*partition.Plan, *wire.Plan, error) {
+	return u.SelectPlan(nil)
+}
+
+// Capacity returns the min-cut capacity the unit would assign to a PSE
+// under the current statistics (exported for tests and diagnostics).
+func (u *Unit) Capacity(id int32, stats map[int32]costmodel.Stat) int64 {
+	pse, ok := u.c.PSE(id)
+	if !ok {
+		return 0
+	}
+	if st, ok := stats[id]; ok && st.Count > 0 {
+		return u.c.Model.Capacity(st, u.env)
+	}
+	return u.c.Model.StaticCapacity(pse.Static)
+}
+
+// minCut builds the flow network and extracts the minimal cut restricted to
+// PSE edges. The synthetic raw PSE is the source's only outgoing edge, so a
+// finite cut always exists (worst case: ship raw events).
+func (u *Unit) minCut(stats map[int32]costmodel.Stat) ([]int32, int64, error) {
+	ug := u.c.Analysis.UG
+	n := ug.Exit + 1
+	source := n
+	sink := n + 1
+	fn := graph.NewFlowNetwork(n + 2)
+
+	// Raw PSE: source → start node.
+	if err := fn.AddEdge(source, ug.Start, u.Capacity(partition.RawPSEID, stats), int(partition.RawPSEID)); err != nil {
+		return nil, 0, err
+	}
+	// UG edges: PSEs get their profiled/static capacity, everything else
+	// is uncuttable.
+	for _, e := range ug.Edges() {
+		if id, ok := u.c.PSEByEdge(e); ok {
+			if err := fn.AddEdge(e.From, e.To, u.Capacity(id, stats), int(id)); err != nil {
+				return nil, 0, err
+			}
+			continue
+		}
+		if err := fn.AddEdge(e.From, e.To, graph.InfCapacity, -1); err != nil {
+			return nil, 0, err
+		}
+	}
+	// StopNodes (and the exit) drain to the sink.
+	for stop := range u.c.Analysis.Stops {
+		if err := fn.AddEdge(stop, sink, graph.InfCapacity, -1); err != nil {
+			return nil, 0, err
+		}
+	}
+
+	cutEdges, value := fn.MinCut(source, sink)
+	if value >= graph.InfCapacity {
+		return nil, 0, fmt.Errorf("reconfig: no finite cut for %s", u.c.Prog.Name)
+	}
+	ids := make([]int32, 0, len(cutEdges))
+	for _, ce := range cutEdges {
+		if ce.ID < 0 {
+			return nil, 0, fmt.Errorf("reconfig: min cut crosses non-PSE edge (%d,%d)", ce.From, ce.To)
+		}
+		ids = append(ids, int32(ce.ID))
+	}
+	return partition.SortedIDs(ids), value, nil
+}

@@ -1,0 +1,202 @@
+package reconfig_test
+
+import (
+	"testing"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/partition"
+	"methodpart/internal/reconfig"
+	"methodpart/internal/testprog"
+)
+
+func compilePush(t *testing.T, model costmodel.Model) *partition.Compiled {
+	t.Helper()
+	u := testprog.PushUnit()
+	prog, _ := u.Program("push")
+	classes, err := u.ClassTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := testprog.PushBuiltins()
+	c, err := partition.Compile(prog, classes, reg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// pse finds the PSE id with the given edge endpoints.
+func pse(t *testing.T, c *partition.Compiled, from, to int) int32 {
+	t.Helper()
+	for id := int32(0); id < int32(c.NumPSEs()); id++ {
+		p, _ := c.PSE(id)
+		if p.Edge.From == from && p.Edge.To == to {
+			return id
+		}
+	}
+	t.Fatalf("no PSE for Edge(%d,%d): %+v", from, to, c.PSEs)
+	return -1
+}
+
+func TestInitialPlanIsValid(t *testing.T) {
+	c := compilePush(t, costmodel.NewDataSize())
+	u := reconfig.NewUnit(c, costmodel.DefaultEnvironment())
+	plan, wp, err := u.InitialPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ValidateSplitSet(plan.SplitIDs()); err != nil {
+		t.Fatalf("initial plan invalid: %v", err)
+	}
+	if wp.Version != plan.Version() || wp.Handler != "push" {
+		t.Fatalf("wire plan = %+v", wp)
+	}
+}
+
+// TestPlanFollowsImageSize reproduces the paper's adaptation logic: when
+// profiled continuation sizes say the resized image (100x100) is smaller
+// than the incoming image, the cut moves after the transform; when incoming
+// images are small, the cut moves before it.
+func TestPlanFollowsImageSize(t *testing.T) {
+	c := compilePush(t, costmodel.NewDataSize())
+	u := reconfig.NewUnit(c, costmodel.DefaultEnvironment())
+
+	preID := pse(t, c, 2, 3)    // before the transform: ships the original
+	postID := pse(t, c, 4, 5)   // after the transform: ships 100x100
+	filterID := pse(t, c, 1, 7) // filter path: ships nothing
+	rawID := partition.RawPSEID // ships the raw event
+
+	// Large incoming images (200x200 = 40000 B) vs resized 10000 B:
+	// the optimizer must cut after the transform.
+	large := map[int32]costmodel.Stat{
+		rawID:    {Count: 100, Prob: 1, Bytes: 40100},
+		preID:    {Count: 100, Prob: 1, Bytes: 40100},
+		postID:   {Count: 100, Prob: 1, Bytes: 10100},
+		filterID: {Count: 0},
+	}
+	plan, _, err := u.SelectPlan(large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Split(postID) {
+		t.Fatalf("large images: plan %v does not cut after transform (want PSE %d)", plan, postID)
+	}
+	if err := c.ValidateSplitSet(plan.SplitIDs()); err != nil {
+		t.Fatalf("plan invalid: %v", err)
+	}
+
+	// Small incoming images (80x80 = 6400 B) vs resized 10000 B:
+	// cutting before the transform is cheaper.
+	small := map[int32]costmodel.Stat{
+		rawID:    {Count: 100, Prob: 1, Bytes: 6500},
+		preID:    {Count: 100, Prob: 1, Bytes: 6500},
+		postID:   {Count: 100, Prob: 1, Bytes: 10100},
+		filterID: {Count: 0},
+	}
+	plan2, _, err := u.SelectPlan(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.Split(postID) {
+		t.Fatalf("small images: plan %v still cuts after transform", plan2)
+	}
+	if !(plan2.Split(preID) || plan2.Raw()) {
+		t.Fatalf("small images: plan %v does not cut early", plan2)
+	}
+	if plan2.Version() <= plan.Version() {
+		t.Fatalf("version did not advance: %d then %d", plan.Version(), plan2.Version())
+	}
+}
+
+// TestExecTimePlanBalancesLoad: under the exec-time model, a slow receiver
+// must pull the cut later (more work at the sender) and a slow sender must
+// push it earlier.
+func TestExecTimePlanBalancesLoad(t *testing.T) {
+	c := compilePush(t, costmodel.NewExecTime())
+	stats := make(map[int32]costmodel.Stat)
+	// Fabricate a profile: total work 10000 units; PSE i sits at modWork
+	// proportional to its resume node so later PSEs mean more sender work.
+	maxNode := 0
+	for id := int32(1); id < int32(c.NumPSEs()); id++ {
+		p, _ := c.PSE(id)
+		if p.Edge.To > maxNode {
+			maxNode = p.Edge.To
+		}
+	}
+	const total = 10000.0
+	for id := int32(0); id < int32(c.NumPSEs()); id++ {
+		p, _ := c.PSE(id)
+		frac := 0.0
+		if p.Edge.To > 0 && maxNode > 0 {
+			frac = float64(p.Edge.To) / float64(maxNode)
+		}
+		stats[id] = costmodel.Stat{
+			Count:     100,
+			Prob:      1,
+			Bytes:     1000,
+			ModWork:   total * frac,
+			DemodWork: total * (1 - frac),
+		}
+	}
+
+	slowReceiver := costmodel.Environment{SenderSpeed: 1000, ReceiverSpeed: 100, Bandwidth: 1e9, LatencyMS: 0}
+	uA := reconfig.NewUnit(c, slowReceiver)
+	planA, _, err := uA.SelectPlan(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slowSender := costmodel.Environment{SenderSpeed: 100, ReceiverSpeed: 1000, Bandwidth: 1e9, LatencyMS: 0}
+	uB := reconfig.NewUnit(c, slowSender)
+	planB, _, err := uB.SelectPlan(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compare the mean resume-node position of the two cuts.
+	meanPos := func(p *partition.Plan) float64 {
+		ids := p.SplitIDs()
+		if len(ids) == 0 {
+			return 0
+		}
+		var sum float64
+		for _, id := range ids {
+			pp, _ := c.PSE(id)
+			sum += float64(pp.Edge.To)
+		}
+		return sum / float64(len(ids))
+	}
+	if meanPos(planA) <= meanPos(planB) {
+		t.Fatalf("slow receiver cut at %.1f, slow sender at %.1f; want later cut for slow receiver (plans %v vs %v)",
+			meanPos(planA), meanPos(planB), planA, planB)
+	}
+}
+
+func TestCapacityFallsBackToStatic(t *testing.T) {
+	c := compilePush(t, costmodel.NewDataSize())
+	u := reconfig.NewUnit(c, costmodel.DefaultEnvironment())
+	// The filter-path PSE hands over nothing: its static capacity is 0.
+	if got := u.Capacity(pse(t, c, 1, 7), nil); got != 0 {
+		t.Fatalf("filter PSE static capacity = %d, want 0", got)
+	}
+	// The pre-transform PSE ships the (dynamically sized) event.
+	if got := u.Capacity(pse(t, c, 2, 3), nil); got <= 0 {
+		t.Fatalf("pre-transform static capacity = %d", got)
+	}
+	if got := u.Capacity(99, nil); got != 0 {
+		t.Fatalf("unknown PSE capacity = %d", got)
+	}
+}
+
+func TestProfileAllFlag(t *testing.T) {
+	c := compilePush(t, costmodel.NewDataSize())
+	u := reconfig.NewUnit(c, costmodel.DefaultEnvironment())
+	u.ProfileAll = false
+	plan, _, err := u.InitialPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.ProfileIDs()) != len(plan.SplitIDs()) {
+		t.Fatalf("profile ids = %v, split ids = %v", plan.ProfileIDs(), plan.SplitIDs())
+	}
+}

@@ -1,0 +1,167 @@
+// Package sensor implements the compute-bound sensor-processing application
+// of §5.2: SensorFrame events carrying a sample vector, and a chain of
+// processing stages (filtering, rectification, envelope, detection ...)
+// whose boundaries form the long single-path PSE ladder the paper reports
+// ("21 [PSEs] but almost all along the same path"). Splitting the chain at
+// stage k runs stages 1..k in the producer and the rest in the consumer.
+package sensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/asm"
+	"methodpart/internal/mir/interp"
+)
+
+// HandlerName is the sensor handler's name.
+const HandlerName = "process"
+
+// DefaultStages is the stage-chain length; with the entry and filter edges
+// this yields a PSE ladder of the size the paper reports (~21).
+const DefaultStages = 18
+
+// StageWeights returns the per-stage cost weights. They are deliberately
+// non-uniform so that a "roughly equal halves" manual split (the paper's
+// Divided Version) is measurably imbalanced while the runtime optimizer can
+// find the true balance point.
+func StageWeights(stages int) []float64 {
+	w := make([]float64, stages)
+	for i := range w {
+		// Later stages are heavier (a ramp from 0.55 to 1.45), so the
+		// count-based "half" split places ~62% of the work on the
+		// consumer — the imbalance the paper's runtime optimizer
+		// exploits against the Divided Version (§5.2: MP wins even
+		// without load "because it better balances the load").
+		if stages > 1 {
+			w[i] = 0.55 + 0.9*float64(i)/float64(stages-1)
+		} else {
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+// HandlerSource builds the sensor-processing handler with the given number
+// of chained stages.
+func HandlerSource(stages int) string {
+	var b strings.Builder
+	b.WriteString(`
+class SensorFrame {
+  id int
+  samples floatarray
+}
+
+func process(event) {
+  ok = instanceof event SensorFrame
+  ifnot ok goto done
+  f = cast event SensorFrame
+  d0 = getfield f samples
+`)
+	for i := 1; i <= stages; i++ {
+		fmt.Fprintf(&b, "  d%d = call stage%d d%d\n", i, i, i-1)
+	}
+	fmt.Fprintf(&b, "  call deliver d%d\ndone:\n  return\n}\n", stages)
+	return b.String()
+}
+
+// HandlerUnit assembles the handler.
+func HandlerUnit(stages int) *asm.Unit {
+	return asm.MustParse(HandlerSource(stages))
+}
+
+// NewFrame builds a SensorFrame with n deterministic samples.
+func NewFrame(id int64, n int) *mir.Object {
+	obj := mir.NewObject("SensorFrame")
+	obj.Fields["id"] = mir.Int(id)
+	samples := make(mir.FloatArray, n)
+	for i := range samples {
+		samples[i] = math.Sin(float64(id)*0.37+float64(i)*0.11) + 0.25*math.Sin(float64(i)*1.7)
+	}
+	obj.Fields["samples"] = samples
+	return obj
+}
+
+// Sink records the processed outputs delivered at the consumer.
+type Sink struct {
+	// Outputs are the delivered sample vectors.
+	Outputs []mir.FloatArray
+}
+
+// Builtins returns the stage builtins (movable, cost = weight × samples)
+// and the native deliver sink.
+func Builtins(stages int) (*interp.Registry, *Sink) {
+	sink := &Sink{}
+	reg := interp.NewRegistry()
+	weights := StageWeights(stages)
+	for i := 1; i <= stages; i++ {
+		w := weights[i-1]
+		phase := i
+		reg.MustRegister(interp.Builtin{
+			Name: fmt.Sprintf("stage%d", i),
+			Fn: func(env *interp.Env, args []mir.Value) (mir.Value, error) {
+				if len(args) != 1 {
+					return nil, fmt.Errorf("stage wants 1 arg")
+				}
+				in, ok := args[0].(mir.FloatArray)
+				if !ok {
+					return nil, fmt.Errorf("stage input is %s", args[0].Kind())
+				}
+				return Stage(in, phase), nil
+			},
+			Cost: func(args []mir.Value) int64 {
+				if len(args) == 1 {
+					if in, ok := args[0].(mir.FloatArray); ok {
+						return int64(w * float64(len(in)))
+					}
+				}
+				return 1
+			},
+		})
+	}
+	reg.MustRegister(interp.Builtin{
+		Name:   "deliver",
+		Native: true,
+		Fn: func(env *interp.Env, args []mir.Value) (mir.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("deliver wants 1 arg")
+			}
+			out, ok := args[0].(mir.FloatArray)
+			if !ok {
+				return nil, fmt.Errorf("deliver input is %s", args[0].Kind())
+			}
+			sink.Outputs = append(sink.Outputs, out)
+			return mir.Null{}, nil
+		},
+	})
+	return reg, sink
+}
+
+// Stage applies one deterministic signal-processing step: a short moving
+// average blended with a rectified phase-shifted copy, keeping the vector
+// length (so the data size is constant across the chain, making the
+// exec-time model the discriminating one, as in the paper).
+func Stage(in mir.FloatArray, phase int) mir.FloatArray {
+	n := len(in)
+	out := make(mir.FloatArray, n)
+	if n == 0 {
+		return out
+	}
+	k := 1 + phase%3
+	for i := 0; i < n; i++ {
+		var sum float64
+		cnt := 0
+		for j := i - k; j <= i+k; j++ {
+			if j >= 0 && j < n {
+				sum += in[j]
+				cnt++
+			}
+		}
+		avg := sum / float64(cnt)
+		rect := math.Abs(in[(i+phase)%n])
+		out[i] = 0.8*avg + 0.2*rect
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package sensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/interp"
+)
+
+func TestHandlerSourceAssembles(t *testing.T) {
+	for _, stages := range []int{1, 5, DefaultStages} {
+		unit := HandlerUnit(stages)
+		prog, ok := unit.Program(HandlerName)
+		if !ok {
+			t.Fatalf("stages=%d: handler missing", stages)
+		}
+		// instanceof, branch, cast, getfield, N stages, deliver, return.
+		if got := len(prog.Instrs); got != 6+stages {
+			t.Errorf("stages=%d: %d instructions, want %d", stages, got, 6+stages)
+		}
+	}
+}
+
+func TestStageWeightsRamp(t *testing.T) {
+	w := StageWeights(DefaultStages)
+	if len(w) != DefaultStages {
+		t.Fatalf("weights = %d", len(w))
+	}
+	var first, second float64
+	for i, v := range w {
+		if v <= 0 {
+			t.Fatalf("weight %d = %g", i, v)
+		}
+		if i < len(w)/2 {
+			first += v
+		} else {
+			second += v
+		}
+	}
+	if second <= first*1.2 {
+		t.Errorf("weights not imbalanced enough for the Divided experiment: %.2f vs %.2f", first, second)
+	}
+}
+
+func TestNewFrameDeterministic(t *testing.T) {
+	a := NewFrame(3, 100)
+	b := NewFrame(3, 100)
+	if !mir.Equal(a, b) {
+		t.Error("same id produced different frames")
+	}
+	c := NewFrame(4, 100)
+	if mir.Equal(a, c) {
+		t.Error("different ids produced identical frames")
+	}
+}
+
+func TestStagePreservesLength(t *testing.T) {
+	f := func(raw []float64, phase8 uint8) bool {
+		out := Stage(mir.FloatArray(raw), int(phase8))
+		return len(out) == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStageDeterministic(t *testing.T) {
+	in := NewFrame(1, 64).Fields["samples"].(mir.FloatArray)
+	a := Stage(in, 3)
+	b := Stage(in, 3)
+	if !mir.Equal(a, b) {
+		t.Error("stage not deterministic")
+	}
+}
+
+func TestHandlerEndToEnd(t *testing.T) {
+	const stages = 6
+	unit := HandlerUnit(stages)
+	prog, _ := unit.Program(HandlerName)
+	classes, err := unit.ClassTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, sink := Builtins(stages)
+	env := interp.NewEnv(classes, reg)
+	m, err := interp.NewMachine(env, prog, []mir.Value{mir.Value(NewFrame(1, 128))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Done {
+		t.Fatal("handler did not complete")
+	}
+	if len(sink.Outputs) != 1 || len(sink.Outputs[0]) != 128 {
+		t.Fatalf("sink = %d outputs", len(sink.Outputs))
+	}
+	// Work must be dominated by the stage costs (weights*len each).
+	var expect int64
+	for _, w := range StageWeights(stages) {
+		expect += int64(w * 128)
+	}
+	if out.Work < expect {
+		t.Errorf("work = %d, want >= %d", out.Work, expect)
+	}
+	// Non-frame events are filtered.
+	m2, _ := interp.NewMachine(env, prog, []mir.Value{mir.Int(9)})
+	if _, err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Outputs) != 1 {
+		t.Error("non-frame event reached the sink")
+	}
+}
+
+func TestDeliverIsOnlyNative(t *testing.T) {
+	reg, _ := Builtins(4)
+	if !reg.IsNative("deliver") {
+		t.Error("deliver must be native")
+	}
+	for i := 1; i <= 4; i++ {
+		if reg.IsNative("stage1") {
+			t.Error("stages must be movable")
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"methodpart/internal/costmodel"
+)
+
+// TestPipelineMatchesEquation3 ties the simulator to the paper's analytical
+// model (§4.2, eq. 3 from [40]): with per-message sender time T_mod,
+// receiver time T_demod, per-message link occupancy β and set-up α, the
+// total time for n pipelined messages is
+//
+//	T = n·max(T_mod, T_demod) + α + σβ + σ·min(T_mod, T_demod)
+//
+// (σ=1 message here). In the compute-bound regime the simulator must land
+// on exactly this value.
+func TestPipelineMatchesEquation3(t *testing.T) {
+	cases := []struct {
+		name             string
+		modMS, demodMS   float64
+		occMS, latencyMS float64
+	}{
+		{"receiver-bound", 2, 3, 1, 0.5},
+		{"sender-bound", 4, 2.5, 1, 0.25},
+		{"balanced", 3, 3, 0.5, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			const n = 200
+			const speed = 1000.0 // units per ms
+			sender := NewHost("s", speed)
+			receiver := NewHost("r", speed)
+			link := &Link{BytesPerMS: 1000, LatencyMS: c.latencyMS}
+			p := NewPipeline(sender, receiver, link)
+			modWork := int64(c.modMS * speed)
+			demodWork := int64(c.demodMS * speed)
+			bytes := int64(c.occMS * link.BytesPerMS)
+
+			var last Timing
+			for i := 0; i < n; i++ {
+				last = p.Deliver(0, modWork, bytes, demodWork)
+			}
+			want := costmodel.TotalTime(n, c.modMS, c.demodMS, c.latencyMS, c.occMS, 1)
+			if math.Abs(last.Done-want) > 1e-6 {
+				t.Errorf("simulated %.6f ms, eq.(3) predicts %.6f ms", last.Done, want)
+			}
+		})
+	}
+}
+
+// TestEquation4SigmaThreshold: messages smaller than eq. (4)'s σ bound make
+// the application communication-bound; the simulator's bottleneck flips
+// from compute to link exactly when β exceeds max(T_mod, T_demod).
+func TestEquation4SigmaThreshold(t *testing.T) {
+	const speed = 1000.0
+	sender := NewHost("s", speed)
+	receiver := NewHost("r", speed)
+	// β = 5ms per message > max(2ms, 3ms): communication bound.
+	link := &Link{BytesPerMS: 1000, LatencyMS: 0.5}
+	p := NewPipeline(sender, receiver, link)
+	var prev, interval float64
+	for i := 0; i < 50; i++ {
+		tm := p.Deliver(0, 2000, 5000, 3000)
+		if i >= 40 {
+			interval = tm.Done - prev
+		}
+		prev = tm.Done
+	}
+	if math.Abs(interval-5) > 1e-6 {
+		t.Errorf("comm-bound interval = %.6f, want link occupancy 5", interval)
+	}
+	if costmodel.NotCommBound(0.5, 5, 50, 2, 3) {
+		t.Error("eq.(2) disagrees: this regime is communication bound")
+	}
+}

@@ -1,0 +1,171 @@
+// Package simnet is the deterministic virtual-time substrate the
+// experiments run on: hosts with relative CPU speeds and perturbation load,
+// links with bandwidth and latency, and a pipelined
+// producer → link → consumer message flow matching the execution model of
+// §4.2 (computation overlapped with communication). It replaces the paper's
+// physical testbeds (iPAQ + 802.11b; SUN and Intel clusters) while
+// preserving the relative-speed and bottleneck structure the results depend
+// on.
+package simnet
+
+import (
+	"fmt"
+	"math"
+
+	"methodpart/internal/perturb"
+)
+
+// Host models one machine: a base processing speed (work units per
+// millisecond) degraded by perturbation load. With total perturbation load
+// L and C cores, the application's effective speed is Speed·C/(C+L) — the
+// fair-share slowdown of competing busy threads.
+type Host struct {
+	// Name identifies the host in reports.
+	Name string
+	// Speed is the unloaded processing rate (work units per ms).
+	Speed float64
+	// Cores is the number of processors (≥1).
+	Cores float64
+	// Load is the perturbation schedule (nil means unloaded).
+	Load *perturb.Schedule
+}
+
+// NewHost builds a host; cores defaults to 1 and load to unloaded.
+func NewHost(name string, speed float64) *Host {
+	return &Host{Name: name, Speed: speed, Cores: 1, Load: perturb.Unloaded()}
+}
+
+// SpeedAt returns the effective speed at virtual time t.
+func (h *Host) SpeedAt(t float64) float64 {
+	cores := h.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	load := 0.0
+	if h.Load != nil {
+		load = h.Load.LoadAt(t)
+	}
+	return h.Speed * cores / (cores + load)
+}
+
+// TimeFor integrates the effective speed from start until `work` units are
+// done, returning the elapsed virtual milliseconds.
+func (h *Host) TimeFor(work int64, start float64) float64 {
+	if work <= 0 {
+		return 0
+	}
+	if h.Load == nil {
+		return float64(work) / h.Speed
+	}
+	remaining := float64(work)
+	t := start
+	for i := 0; i < 1_000_000; i++ {
+		speed := h.SpeedAt(t)
+		next := h.Load.NextChange(t)
+		span := next - t
+		capacity := speed * span
+		if capacity >= remaining {
+			return t + remaining/speed - start
+		}
+		remaining -= capacity
+		t = next
+	}
+	// Pathological schedule; fall back to mean-speed estimate.
+	return t - start + remaining/math.Max(h.SpeedAt(t), 1e-9)
+}
+
+// Link models a network link with dedicated bandwidth and fixed latency.
+// Transfers occupy the link for bytes/bandwidth; latency pipelines.
+type Link struct {
+	// BytesPerMS is the bandwidth.
+	BytesPerMS float64
+	// LatencyMS is the one-way propagation delay.
+	LatencyMS float64
+}
+
+// Occupancy returns how long a message of the given size occupies the link.
+func (l *Link) Occupancy(bytes int64) float64 {
+	if bytes <= 0 || l.BytesPerMS <= 0 {
+		return 0
+	}
+	return float64(bytes) / l.BytesPerMS
+}
+
+// Pipeline simulates the three-stage sender→link→receiver flow with
+// overlap: the sender may modulate message i+1 while the link carries i and
+// the receiver demodulates i−1.
+type Pipeline struct {
+	// Sender and Receiver are the two hosts.
+	Sender, Receiver *Host
+	// Link connects them.
+	Link *Link
+
+	senderFree float64
+	linkFree   float64
+	recvFree   float64
+	delivered  int
+}
+
+// NewPipeline builds a pipeline at virtual time zero.
+func NewPipeline(sender, receiver *Host, link *Link) *Pipeline {
+	return &Pipeline{Sender: sender, Receiver: receiver, Link: link}
+}
+
+// Timing records the virtual timeline of one message.
+type Timing struct {
+	// ModStart/ModDone bound sender-side processing.
+	ModStart, ModDone float64
+	// Arrive is when the last byte reaches the receiver.
+	Arrive float64
+	// DemodStart/Done bound receiver-side processing.
+	DemodStart, Done float64
+}
+
+// Span is the end-to-end time from modulation start to completion.
+func (tm Timing) Span() float64 { return tm.Done - tm.ModStart }
+
+// SenderTime returns when the sender becomes free.
+func (p *Pipeline) SenderTime() float64 { return p.senderFree }
+
+// Now returns the latest receiver completion time.
+func (p *Pipeline) Now() float64 { return p.recvFree }
+
+// Delivered returns the number of messages pushed through the pipeline.
+func (p *Pipeline) Delivered() int { return p.delivered }
+
+// Deliver pushes one message through the pipeline: modWork at the sender,
+// bytes over the link, demodWork at the receiver. genTime is when the
+// message becomes available at the sender; processing starts at
+// max(genTime, sender free).
+func (p *Pipeline) Deliver(genTime float64, modWork, bytes, demodWork int64) Timing {
+	var tm Timing
+	tm.ModStart = math.Max(genTime, p.senderFree)
+	tm.ModDone = tm.ModStart + p.Sender.TimeFor(modWork, tm.ModStart)
+	p.senderFree = tm.ModDone
+
+	if bytes > 0 {
+		start := math.Max(tm.ModDone, p.linkFree)
+		p.linkFree = start + p.Link.Occupancy(bytes)
+		tm.Arrive = p.linkFree + p.Link.LatencyMS
+	} else {
+		tm.Arrive = tm.ModDone
+	}
+
+	tm.DemodStart = math.Max(tm.Arrive, p.recvFree)
+	tm.Done = tm.DemodStart + p.Receiver.TimeFor(demodWork, tm.DemodStart)
+	p.recvFree = tm.Done
+	p.delivered++
+	return tm
+}
+
+// ControlDelay is the virtual time a small control message (feedback or
+// plan) takes to cross the link.
+func (p *Pipeline) ControlDelay(bytes int64) float64 {
+	return p.Link.Occupancy(bytes) + p.Link.LatencyMS
+}
+
+// String describes the pipeline configuration.
+func (p *Pipeline) String() string {
+	return fmt.Sprintf("pipeline{%s -> %.0fB/ms+%.1fms -> %s}",
+		p.Sender.Name, p.Link.BytesPerMS, p.Link.LatencyMS, p.Receiver.Name)
+}

@@ -1,0 +1,140 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"methodpart/internal/perturb"
+)
+
+func TestHostTimeForUnloaded(t *testing.T) {
+	h := NewHost("h", 100)
+	if got := h.TimeFor(1000, 0); got != 10 {
+		t.Errorf("TimeFor = %g, want 10", got)
+	}
+	if got := h.TimeFor(0, 5); got != 0 {
+		t.Errorf("zero work time = %g", got)
+	}
+}
+
+func TestHostSlowdownUnderLoad(t *testing.T) {
+	h := NewHost("h", 100)
+	h.Load = perturb.MustNew(perturb.Config{
+		Seed: 2, Threads: 2, PLenMS: 500, AProb: 1, LIndex: 1, HorizonMS: 60000,
+	})
+	// Permanently loaded with 2 threads at LIndex 1 on one core:
+	// speed factor 1/(1+2) -> 3x slower.
+	got := h.TimeFor(1000, 0)
+	if math.Abs(got-30) > 1 {
+		t.Errorf("loaded TimeFor = %g, want ~30", got)
+	}
+}
+
+func TestHostCoresSoftenLoad(t *testing.T) {
+	loaded := perturb.MustNew(perturb.Config{
+		Seed: 2, Threads: 2, PLenMS: 500, AProb: 1, LIndex: 1, HorizonMS: 60000,
+	})
+	one := NewHost("one", 100)
+	one.Load = loaded
+	two := NewHost("two", 100)
+	two.Cores = 2
+	two.Load = loaded
+	if !(two.TimeFor(1000, 0) < one.TimeFor(1000, 0)) {
+		t.Error("more cores did not soften perturbation")
+	}
+}
+
+func TestTimeForIntegratesAcrossSegments(t *testing.T) {
+	// Work spanning idle and busy segments must take between the pure
+	// extremes, and TimeFor must be additive over splits.
+	h := NewHost("h", 100)
+	h.Load = perturb.MustNew(perturb.Config{
+		Seed: 11, Threads: 1, PLenMS: 50, AProb: 0.5, LIndex: 1, HorizonMS: 10000,
+	})
+	f := func(rawStart uint32, rawWork uint16) bool {
+		start := float64(rawStart%100000) / 10
+		work := int64(rawWork)%5000 + 1
+		full := h.TimeFor(work, start)
+		half1 := h.TimeFor(work/2, start)
+		half2 := h.TimeFor(work-work/2, start+half1)
+		return math.Abs(full-(half1+half2)) < 1e-6 &&
+			full >= float64(work)/100-1e-9 && full <= 2*float64(work)/100+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkOccupancy(t *testing.T) {
+	l := &Link{BytesPerMS: 100, LatencyMS: 3}
+	if got := l.Occupancy(500); got != 5 {
+		t.Errorf("occupancy = %g", got)
+	}
+	if got := l.Occupancy(0); got != 0 {
+		t.Errorf("zero-byte occupancy = %g", got)
+	}
+}
+
+func TestPipelineOverlap(t *testing.T) {
+	// Three stages of 10ms each: with perfect overlap, n messages take
+	// ~(n+2)*10 ms, not n*30.
+	sender := NewHost("s", 100)   // 1000 units = 10ms
+	receiver := NewHost("r", 100) // 1000 units = 10ms
+	link := &Link{BytesPerMS: 100, LatencyMS: 0}
+	p := NewPipeline(sender, receiver, link)
+	var last Timing
+	const n = 20
+	for i := 0; i < n; i++ {
+		last = p.Deliver(0, 1000, 1000, 1000)
+	}
+	total := last.Done
+	if total > (n+3)*10 {
+		t.Errorf("pipeline not overlapped: total %g ms for %d messages", total, n)
+	}
+	if total < n*10 {
+		t.Errorf("pipeline too fast: total %g ms", total)
+	}
+	if p.Delivered() != n {
+		t.Errorf("delivered = %d", p.Delivered())
+	}
+}
+
+func TestPipelineBottleneckDominates(t *testing.T) {
+	// Receiver 4x slower than everything else: steady-state completion
+	// interval equals receiver time.
+	sender := NewHost("s", 1000)
+	receiver := NewHost("r", 25) // 1000 units = 40ms
+	link := &Link{BytesPerMS: 10000, LatencyMS: 1}
+	p := NewPipeline(sender, receiver, link)
+	var prev, interval float64
+	for i := 0; i < 30; i++ {
+		tm := p.Deliver(0, 1000, 1000, 1000)
+		if i >= 20 {
+			interval = tm.Done - prev
+		}
+		prev = tm.Done
+	}
+	if math.Abs(interval-40) > 1 {
+		t.Errorf("steady interval = %g, want ~40", interval)
+	}
+}
+
+func TestPipelineZeroBytesSkipsLink(t *testing.T) {
+	p := NewPipeline(NewHost("s", 100), NewHost("r", 100), &Link{BytesPerMS: 1, LatencyMS: 50})
+	tm := p.Deliver(0, 100, 0, 100)
+	if tm.Arrive != tm.ModDone {
+		t.Errorf("zero-byte message paid link costs: %+v", tm)
+	}
+}
+
+func TestPipelineRespectsGenTime(t *testing.T) {
+	p := NewPipeline(NewHost("s", 100), NewHost("r", 100), &Link{BytesPerMS: 100, LatencyMS: 0})
+	tm := p.Deliver(500, 100, 0, 100)
+	if tm.ModStart != 500 {
+		t.Errorf("mod start = %g, want 500", tm.ModStart)
+	}
+	if tm.Span() <= 0 {
+		t.Errorf("span = %g", tm.Span())
+	}
+}

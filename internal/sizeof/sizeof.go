@@ -1,0 +1,138 @@
+// Package sizeof reproduces the §4.1 object-size study (Table 1): the cost
+// of learning an object's serialized size by (a) actually serializing it,
+// (b) walking it reflectively computing sizes only, and (c) calling a
+// compiler-generated "size self-describing" method (Appendix B). In this
+// reproduction, encoding/gob plays Java serialization, package reflect
+// plays reflection-based size calculation, and hand-written SizeOf methods
+// play the compiler-generated self-describing methods.
+package sizeof
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+)
+
+// Header-size constants mirroring the paper's ObjectSize.* constants
+// (Appendix B).
+const (
+	// ObjectHeaderSize is the per-object overhead in size accounting.
+	ObjectHeaderSize = 16
+	// StringHeaderSize is the per-string overhead.
+	StringHeaderSize = 4
+	// SliceHeaderSize is the per-array overhead.
+	SliceHeaderSize = 4
+)
+
+// SelfSized is implemented by objects that carry a generated size method —
+// the paper's SelfSizedObject interface.
+type SelfSized interface {
+	// SizeOf returns the object's serialized size in bytes.
+	SizeOf() int
+}
+
+// SerializedSize gob-encodes v and returns the encoded length — the
+// "actually serialize it" baseline.
+func SerializedSize(v any) (int, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return 0, fmt.Errorf("sizeof: gob: %w", err)
+	}
+	return buf.Len(), nil
+}
+
+// ReflectSize walks v reflectively, accumulating the size its fields would
+// serialize to, without producing any bytes. Shared pointers are counted
+// once. This is the paper's "size calculation" column.
+func ReflectSize(v any) int {
+	seen := make(map[uintptr]bool)
+	return reflectSize(reflect.ValueOf(v), seen)
+}
+
+func reflectSize(rv reflect.Value, seen map[uintptr]bool) int {
+	switch rv.Kind() {
+	case reflect.Invalid:
+		return 0
+	case reflect.Bool, reflect.Int8, reflect.Uint8:
+		return 1
+	case reflect.Int16, reflect.Uint16:
+		return 2
+	case reflect.Int32, reflect.Uint32, reflect.Float32:
+		return 4
+	case reflect.Int, reflect.Int64, reflect.Uint, reflect.Uint64, reflect.Float64:
+		return 8
+	case reflect.String:
+		return StringHeaderSize + rv.Len()
+	case reflect.Slice:
+		if rv.IsNil() {
+			return SliceHeaderSize
+		}
+		if rv.Len() > 0 {
+			p := rv.Pointer()
+			if seen[p] {
+				return SliceHeaderSize
+			}
+			seen[p] = true
+		}
+		total := SliceHeaderSize
+		// Fast path for primitive element types: O(1).
+		switch rv.Type().Elem().Kind() {
+		case reflect.Bool, reflect.Int8, reflect.Uint8:
+			return total + rv.Len()
+		case reflect.Int16, reflect.Uint16:
+			return total + 2*rv.Len()
+		case reflect.Int32, reflect.Uint32, reflect.Float32:
+			return total + 4*rv.Len()
+		case reflect.Int, reflect.Int64, reflect.Uint, reflect.Uint64, reflect.Float64:
+			return total + 8*rv.Len()
+		}
+		for i := 0; i < rv.Len(); i++ {
+			total += reflectSize(rv.Index(i), seen)
+		}
+		return total
+	case reflect.Array:
+		total := 0
+		for i := 0; i < rv.Len(); i++ {
+			total += reflectSize(rv.Index(i), seen)
+		}
+		return total
+	case reflect.Ptr, reflect.Interface:
+		if rv.IsNil() {
+			return 1
+		}
+		if rv.Kind() == reflect.Ptr {
+			p := rv.Pointer()
+			if seen[p] {
+				return 1
+			}
+			seen[p] = true
+		}
+		return reflectSize(rv.Elem(), seen)
+	case reflect.Struct:
+		total := ObjectHeaderSize
+		for i := 0; i < rv.NumField(); i++ {
+			total += reflectSize(rv.Field(i), seen)
+		}
+		return total
+	case reflect.Map:
+		total := ObjectHeaderSize
+		iter := rv.MapRange()
+		for iter.Next() {
+			total += reflectSize(iter.Key(), seen)
+			total += reflectSize(iter.Value(), seen)
+		}
+		return total
+	default:
+		return 0
+	}
+}
+
+// SelfSize dispatches to the object's generated size method, falling back
+// to ReflectSize for objects without one (the paper's JECho.getSize).
+func SelfSize(v any) int {
+	if s, ok := v.(SelfSized); ok {
+		return s.SizeOf()
+	}
+	return ReflectSize(v)
+}

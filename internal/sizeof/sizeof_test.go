@@ -1,0 +1,167 @@
+package sizeof
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSelfSizesMatchReflectAccounting(t *testing.T) {
+	// The self-describing methods and the reflective walker must agree on
+	// the subjects that have both (the self methods were "generated" from
+	// the same accounting model).
+	for _, subj := range Table1Subjects() {
+		if !subj.HasSelfSize {
+			continue
+		}
+		rs := ReflectSize(subj.Value)
+		ss := subj.Value.(SelfSized).SizeOf()
+		if rs != ss {
+			t.Errorf("%s: reflect %d != self %d", subj.Name, rs, ss)
+		}
+	}
+}
+
+func TestReflectSizeValues(t *testing.T) {
+	if got := ReflectSize(NewInt100()); got != SliceHeaderSize+400 {
+		t.Errorf("Int100 = %d", got)
+	}
+	w := NewInt100Wrapper()
+	if got := ReflectSize(w); got != ObjectHeaderSize+SliceHeaderSize+400 {
+		t.Errorf("wrapper = %d", got)
+	}
+	b := NewAppBase()
+	want := ObjectHeaderSize + 4 + 4 + 8 + StringHeaderSize + len(b.D)
+	if got := ReflectSize(b); got != want {
+		t.Errorf("AppBase = %d, want %d", got, want)
+	}
+}
+
+func TestReflectSizeSharedPointers(t *testing.T) {
+	type pair struct {
+		A, B *AppBase
+	}
+	one := NewAppBase()
+	shared := pair{A: one, B: one}
+	distinct := pair{A: NewAppBase(), B: NewAppBase()}
+	if ReflectSize(shared) >= ReflectSize(distinct) {
+		t.Errorf("shared %d not smaller than distinct %d",
+			ReflectSize(shared), ReflectSize(distinct))
+	}
+}
+
+func TestReflectSizeNilHandling(t *testing.T) {
+	c := &AppComp{S1: "x"}
+	if got := ReflectSize(c); got <= 0 {
+		t.Errorf("nil-heavy AppComp = %d", got)
+	}
+	var p *AppBase
+	if got := ReflectSize(p); got != 1 {
+		t.Errorf("nil pointer = %d", got)
+	}
+}
+
+func TestSerializedSize(t *testing.T) {
+	for _, subj := range Table1Subjects() {
+		n, err := SerializedSize(subj.Value)
+		if err != nil {
+			t.Fatalf("%s: %v", subj.Name, err)
+		}
+		if n <= 0 {
+			t.Errorf("%s serialized to %d bytes", subj.Name, n)
+		}
+	}
+}
+
+func TestSelfSizeFallback(t *testing.T) {
+	// SelfSize falls back to the reflective walker for plain values.
+	arr := NewInt100()
+	if SelfSize(arr) != ReflectSize(arr) {
+		t.Error("fallback mismatch")
+	}
+	w := NewInt100Wrapper()
+	if SelfSize(w) != w.SizeOf() {
+		t.Error("self-sized dispatch mismatch")
+	}
+}
+
+func TestReflectSizeSliceProperty(t *testing.T) {
+	// Property: primitive slice size is header + 8 per element and is
+	// computed without walking (verified by equality at any length).
+	f := func(xs []int64) bool {
+		return ReflectSize(xs) == SliceHeaderSize+8*len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReflectSizeOtherKinds(t *testing.T) {
+	type mixed struct {
+		A [3]int16
+		M map[string]int32
+		I any
+		F float32
+		B bool
+	}
+	v := mixed{
+		A: [3]int16{1, 2, 3},
+		M: map[string]int32{"k": 1},
+		I: int64(7),
+		F: 1.5,
+		B: true,
+	}
+	want := ObjectHeaderSize + // struct
+		3*2 + // array of int16
+		ObjectHeaderSize + (StringHeaderSize + 1) + 4 + // map w/ one entry
+		8 + // interface holding int64
+		4 + 1 // float32 + bool
+	if got := ReflectSize(v); got != want {
+		t.Errorf("mixed = %d, want %d", got, want)
+	}
+	var nilIface any
+	if got := ReflectSize(nilIface); got != 0 {
+		t.Errorf("nil interface = %d", got)
+	}
+	type holder struct{ I any }
+	if got := ReflectSize(holder{}); got != ObjectHeaderSize+1 {
+		t.Errorf("nil interface field = %d", got)
+	}
+	// Mutually shared slices count once.
+	s := []int64{1, 2, 3}
+	type twoSlices struct{ A, B []int64 }
+	shared := ReflectSize(twoSlices{A: s, B: s})
+	distinct := ReflectSize(twoSlices{A: []int64{1, 2, 3}, B: []int64{1, 2, 3}})
+	if shared >= distinct {
+		t.Errorf("shared slices %d not smaller than distinct %d", shared, distinct)
+	}
+	// Unsupported kinds size to zero rather than panicking.
+	if got := ReflectSize(func() {}); got != 0 {
+		t.Errorf("func = %d", got)
+	}
+	var ch chan int
+	if got := ReflectSize(ch); got != 0 {
+		t.Errorf("chan = %d", got)
+	}
+}
+
+func TestTable1SubjectShapes(t *testing.T) {
+	subs := Table1Subjects()
+	if len(subs) != 4 {
+		t.Fatalf("subjects = %d", len(subs))
+	}
+	if subs[1].HasSelfSize {
+		t.Error("unwrapped array should have no self-size (the paper's n/a)")
+	}
+	// The paper's AppBase instance values.
+	b := subs[2].Value.(*AppBase)
+	if b.C != 1202 || b.D != "rrr" {
+		t.Errorf("AppBase = %+v", b)
+	}
+	c := subs[3].Value.(*AppComp)
+	if c.AB2 != nil {
+		t.Error("AppComp.AB2 should be nil as in the paper's constructor")
+	}
+	if len(c.IA) != 20 || len(c.FA) != 10 {
+		t.Errorf("AppComp arrays = %d/%d", len(c.IA), len(c.FA))
+	}
+}

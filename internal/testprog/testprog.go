@@ -1,0 +1,173 @@
+// Package testprog provides the shared handler programs used across test
+// suites and benchmarks, including the paper's push() worked example
+// (Fig. 4) transliterated to MIR.
+package testprog
+
+import (
+	"fmt"
+
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/asm"
+	"methodpart/internal/mir/interp"
+)
+
+// PushSource is the paper's push() handler (Fig. 4 / Appendix A): check the
+// event is an ImageData, resize it to 100x100, display it via a native
+// method. Node indices (0-based):
+//
+//	0: z0 = instanceof event ImageData   (paper node 3)
+//	1: ifnot z0 goto done                (paper node 4)
+//	2: r2 = cast event ImageData         (paper node 5)
+//	3: r3 = new ImageData                (paper node 6)
+//	4: call initResize r3 r2             (paper node 7, the <init> transform)
+//	5: r4 = move r3                      (paper node 8)
+//	6: call displayImage r4              (paper node 9, native)
+//	7: done: return                      (paper node 10)
+const PushSource = `
+class ImageData {
+  width int
+  height int
+  buff bytes
+}
+
+func push(event) {
+  z0 = instanceof event ImageData
+  ifnot z0 goto done
+  r2 = cast event ImageData
+  r3 = new ImageData
+  call initResize r3 r2
+  r4 = move r3
+  call displayImage r4
+done:
+  return
+}
+`
+
+// PushUnit assembles PushSource.
+func PushUnit() *asm.Unit { return asm.MustParse(PushSource) }
+
+// NewImageData builds an ImageData object with a w*h single-byte-depth
+// buffer filled with a simple gradient.
+func NewImageData(w, h int) *mir.Object {
+	obj := mir.NewObject("ImageData")
+	obj.Fields["width"] = mir.Int(int64(w))
+	obj.Fields["height"] = mir.Int(int64(h))
+	buff := make(mir.Bytes, w*h)
+	for i := range buff {
+		buff[i] = byte(i)
+	}
+	obj.Fields["buff"] = buff
+	return obj
+}
+
+// PushBuiltins returns a registry with initResize (movable) and displayImage
+// (native). Displayed images are appended to the returned slice pointer so
+// tests can observe receiver-side effects.
+func PushBuiltins() (*interp.Registry, *[]*mir.Object) {
+	displayed := &[]*mir.Object{}
+	reg := interp.NewRegistry()
+	reg.MustRegister(interp.Builtin{
+		Name: "initResize",
+		Fn: func(env *interp.Env, args []mir.Value) (mir.Value, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("initResize wants 2 args, got %d", len(args))
+			}
+			dst, ok := args[0].(*mir.Object)
+			if !ok {
+				return nil, fmt.Errorf("initResize: dst is %s", args[0].Kind())
+			}
+			src, ok := args[1].(*mir.Object)
+			if !ok {
+				return nil, fmt.Errorf("initResize: src is %s", args[1].Kind())
+			}
+			return mir.Null{}, resizeInto(dst, src, 100, 100)
+		},
+		Cost: func(args []mir.Value) int64 {
+			// Cost proportional to the output pixel count.
+			return 100 * 100
+		},
+	})
+	reg.MustRegister(interp.Builtin{
+		Name:   "displayImage",
+		Native: true,
+		Fn: func(env *interp.Env, args []mir.Value) (mir.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("displayImage wants 1 arg, got %d", len(args))
+			}
+			obj, ok := args[0].(*mir.Object)
+			if !ok {
+				return nil, fmt.Errorf("displayImage: arg is %s", args[0].Kind())
+			}
+			*displayed = append(*displayed, obj)
+			return mir.Null{}, nil
+		},
+	})
+	return reg, displayed
+}
+
+// resizeInto nearest-neighbour-resizes src into dst at w*h.
+func resizeInto(dst, src *mir.Object, w, h int) error {
+	sw, ok := src.Fields["width"].(mir.Int)
+	if !ok {
+		return fmt.Errorf("resize: source width is %v", src.Fields["width"])
+	}
+	sh, ok := src.Fields["height"].(mir.Int)
+	if !ok {
+		return fmt.Errorf("resize: source height is %v", src.Fields["height"])
+	}
+	sbuf, ok := src.Fields["buff"].(mir.Bytes)
+	if !ok {
+		return fmt.Errorf("resize: source buff is %v", src.Fields["buff"])
+	}
+	out := make(mir.Bytes, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sx := x * int(sw) / w
+			sy := y * int(sh) / h
+			idx := sy*int(sw) + sx
+			if idx >= 0 && idx < len(sbuf) {
+				out[y*w+x] = sbuf[idx]
+			}
+		}
+	}
+	dst.Fields["width"] = mir.Int(int64(w))
+	dst.Fields["height"] = mir.Int(int64(h))
+	dst.Fields["buff"] = out
+	return nil
+}
+
+// LoopSource is a handler with a loop-carried dependence: the accumulator
+// forces all loop-body edges to infinite cost under the convexity rule.
+const LoopSource = `
+func sum(event) {
+  n = len event
+  i = const 0
+  acc = const 0
+loop:
+  done = ge i n
+  if done goto finish
+  v = arrget event i
+  acc = add acc v
+  one = const 1
+  i = add i one
+  goto loop
+finish:
+  call emit acc
+  return
+}
+`
+
+// LoopBuiltins returns a registry for LoopSource with a native emit sink.
+func LoopBuiltins() (*interp.Registry, *[]mir.Value) {
+	emitted := &[]mir.Value{}
+	reg := interp.NewRegistry()
+	reg.MustRegister(interp.Builtin{
+		Name:   "emit",
+		Native: true,
+		Fn: func(env *interp.Env, args []mir.Value) (mir.Value, error) {
+			*emitted = append(*emitted, args[0])
+			return mir.Null{}, nil
+		},
+	})
+	return reg, emitted
+}

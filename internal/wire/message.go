@@ -1,0 +1,409 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"methodpart/internal/mir"
+)
+
+// ProtocolVersion is the wire protocol revision. A subscription handshake
+// carries it; peers reject mismatches rather than misinterpreting frames.
+const ProtocolVersion uint32 = 1
+
+// MsgType identifies a framed message.
+type MsgType byte
+
+// Message types exchanged between modulator (sender) and demodulator
+// (receiver) sides.
+const (
+	// MsgRaw carries an unmodulated event (no split executed at sender).
+	MsgRaw MsgType = iota + 1
+	// MsgContinuation carries a remote continuation: split point + live vars.
+	MsgContinuation
+	// MsgFeedback carries profiling statistics to the reconfiguration unit.
+	MsgFeedback
+	// MsgPlan carries a new partitioning plan to the modulator side.
+	MsgPlan
+	// MsgSubscribe installs a handler (modulator) at the sender.
+	MsgSubscribe
+)
+
+// Raw is an unmodulated event message.
+type Raw struct {
+	// Handler names the receiving handler.
+	Handler string
+	// Seq is the per-subscription sequence number.
+	Seq uint64
+	// Event is the event value.
+	Event mir.Value
+}
+
+// Continuation is the remote-continuation message (§2.4): the PSE where
+// modulator-side processing stopped, the node at which the demodulator must
+// resume, and the live variables of the split edge.
+type Continuation struct {
+	// Handler names the receiving handler.
+	Handler string
+	// Seq is the per-subscription sequence number.
+	Seq uint64
+	// PSEID is the unique id of the split edge.
+	PSEID int32
+	// ResumeNode is the instruction index at which to resume.
+	ResumeNode int32
+	// Vars is the live-variable snapshot (register name → value).
+	Vars map[string]mir.Value
+	// ModWork is the work (in work units) the modulator spent on this
+	// message, carried for demodulator-side profiling.
+	ModWork int64
+}
+
+// PSEStat is one PSE's profiling record inside a Feedback message.
+type PSEStat struct {
+	// ID is the PSE id.
+	ID int32
+	// Count is the number of messages observed through this PSE.
+	Count uint64
+	// Bytes is the mean continuation size in bytes.
+	Bytes float64
+	// ModWork is the mean modulator-side work per message (work units).
+	ModWork float64
+	// DemodWork is the mean demodulator-side work per message.
+	DemodWork float64
+	// Prob is the observed probability that a message's execution path
+	// crosses this PSE.
+	Prob float64
+}
+
+// Feedback carries profiling statistics from the demodulator side to the
+// reconfiguration unit (§2.5).
+type Feedback struct {
+	// Handler names the handler the statistics describe.
+	Handler string
+	// Stats holds one record per profiled PSE.
+	Stats []PSEStat
+}
+
+// Plan is a partitioning plan pushed to the modulator: which PSEs have their
+// split flag set and which have their profiling flag set.
+type Plan struct {
+	// Handler names the handler the plan applies to.
+	Handler string
+	// Version increases with every reconfiguration.
+	Version uint64
+	// Split lists the PSE ids whose split flag is set.
+	Split []int32
+	// Profile lists the PSE ids whose profiling flag is set.
+	Profile []int32
+}
+
+// Subscribe installs a handler at the sender side: the handler source is
+// assembled, analysed and turned into a modulator there.
+type Subscribe struct {
+	// Protocol is the subscriber's wire protocol revision
+	// (ProtocolVersion; zero-valued legacy messages are rejected).
+	Protocol uint32
+	// Subscriber identifies the subscribing component.
+	Subscriber string
+	// Channel names the event channel to attach to ("" = the default
+	// channel; broadcasts reach every channel).
+	Channel string
+	// Handler names the handler (must match the func name in Source).
+	Handler string
+	// Source is the MIR assembler source (classes + func).
+	Source string
+	// CostModel names the cost model to analyse under.
+	CostModel string
+	// Natives lists the handler's native (receiver-pinned) functions, so
+	// both ends mark identical StopNodes.
+	Natives []string
+}
+
+// Marshal encodes the message with its type tag (but no length frame).
+func Marshal(msg any) ([]byte, error) {
+	e := NewEncoder()
+	switch m := msg.(type) {
+	case *Raw:
+		e.w.WriteByte(byte(MsgRaw))
+		e.writeString(m.Handler)
+		e.writeU64(m.Seq)
+		if err := e.EncodeValue(m.Event); err != nil {
+			return nil, err
+		}
+	case *Continuation:
+		e.w.WriteByte(byte(MsgContinuation))
+		e.writeString(m.Handler)
+		e.writeU64(m.Seq)
+		e.writeU32(uint32(m.PSEID))
+		e.writeU32(uint32(m.ResumeNode))
+		e.writeU64(uint64(m.ModWork))
+		names := make([]string, 0, len(m.Vars))
+		for n := range m.Vars {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		e.writeU32(uint32(len(names)))
+		for _, n := range names {
+			e.writeString(n)
+			if err := e.EncodeValue(m.Vars[n]); err != nil {
+				return nil, err
+			}
+		}
+	case *Feedback:
+		e.w.WriteByte(byte(MsgFeedback))
+		e.writeString(m.Handler)
+		e.writeU32(uint32(len(m.Stats)))
+		for _, s := range m.Stats {
+			e.writeU32(uint32(s.ID))
+			e.writeU64(s.Count)
+			e.writeU64(math.Float64bits(s.Bytes))
+			e.writeU64(math.Float64bits(s.ModWork))
+			e.writeU64(math.Float64bits(s.DemodWork))
+			e.writeU64(math.Float64bits(s.Prob))
+		}
+	case *Plan:
+		e.w.WriteByte(byte(MsgPlan))
+		e.writeString(m.Handler)
+		e.writeU64(m.Version)
+		e.writeU32(uint32(len(m.Split)))
+		for _, id := range m.Split {
+			e.writeU32(uint32(id))
+		}
+		e.writeU32(uint32(len(m.Profile)))
+		for _, id := range m.Profile {
+			e.writeU32(uint32(id))
+		}
+	case *Subscribe:
+		e.w.WriteByte(byte(MsgSubscribe))
+		e.writeU32(m.Protocol)
+		e.writeString(m.Subscriber)
+		e.writeString(m.Channel)
+		e.writeString(m.Handler)
+		e.writeString(m.Source)
+		e.writeString(m.CostModel)
+		e.writeU32(uint32(len(m.Natives)))
+		for _, n := range m.Natives {
+			e.writeString(n)
+		}
+	default:
+		return nil, fmt.Errorf("wire: cannot marshal %T", msg)
+	}
+	return e.Bytes(), nil
+}
+
+// Unmarshal decodes a message produced by Marshal. The concrete type of the
+// result is *Raw, *Continuation, *Feedback, *Plan or *Subscribe.
+func Unmarshal(data []byte) (any, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("wire: empty message")
+	}
+	d := NewDecoder(data[1:])
+	switch MsgType(data[0]) {
+	case MsgRaw:
+		m := &Raw{}
+		var err error
+		if m.Handler, err = d.readString(); err != nil {
+			return nil, err
+		}
+		if m.Seq, err = d.readU64(); err != nil {
+			return nil, err
+		}
+		if m.Event, err = d.DecodeValue(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case MsgContinuation:
+		m := &Continuation{}
+		var err error
+		if m.Handler, err = d.readString(); err != nil {
+			return nil, err
+		}
+		if m.Seq, err = d.readU64(); err != nil {
+			return nil, err
+		}
+		pse, err := d.readU32()
+		if err != nil {
+			return nil, err
+		}
+		m.PSEID = int32(pse)
+		node, err := d.readU32()
+		if err != nil {
+			return nil, err
+		}
+		m.ResumeNode = int32(node)
+		work, err := d.readU64()
+		if err != nil {
+			return nil, err
+		}
+		m.ModWork = int64(work)
+		n, err := d.readU32()
+		if err != nil {
+			return nil, err
+		}
+		// Each var costs at least a 4-byte name length + 1-byte value tag.
+		if int64(n) > int64(d.Remaining())/5 {
+			return nil, fmt.Errorf("wire: var count %d exceeds remaining payload", n)
+		}
+		m.Vars = make(map[string]mir.Value, n)
+		for i := uint32(0); i < n; i++ {
+			name, err := d.readString()
+			if err != nil {
+				return nil, err
+			}
+			v, err := d.DecodeValue()
+			if err != nil {
+				return nil, err
+			}
+			m.Vars[name] = v
+		}
+		return m, nil
+	case MsgFeedback:
+		m := &Feedback{}
+		var err error
+		if m.Handler, err = d.readString(); err != nil {
+			return nil, err
+		}
+		n, err := d.readU32()
+		if err != nil {
+			return nil, err
+		}
+		// Each stat record is 44 bytes on the wire.
+		if int64(n) > int64(d.Remaining())/44 {
+			return nil, fmt.Errorf("wire: stat count %d exceeds remaining payload", n)
+		}
+		m.Stats = make([]PSEStat, n)
+		for i := range m.Stats {
+			s := &m.Stats[i]
+			id, err := d.readU32()
+			if err != nil {
+				return nil, err
+			}
+			s.ID = int32(id)
+			if s.Count, err = d.readU64(); err != nil {
+				return nil, err
+			}
+			vals := [4]*float64{&s.Bytes, &s.ModWork, &s.DemodWork, &s.Prob}
+			for _, p := range vals {
+				u, err := d.readU64()
+				if err != nil {
+					return nil, err
+				}
+				*p = math.Float64frombits(u)
+			}
+		}
+		return m, nil
+	case MsgPlan:
+		m := &Plan{}
+		var err error
+		if m.Handler, err = d.readString(); err != nil {
+			return nil, err
+		}
+		if m.Version, err = d.readU64(); err != nil {
+			return nil, err
+		}
+		ns, err := d.readU32()
+		if err != nil {
+			return nil, err
+		}
+		if int64(ns) > int64(d.Remaining())/4 {
+			return nil, fmt.Errorf("wire: split count %d exceeds remaining payload", ns)
+		}
+		m.Split = make([]int32, ns)
+		for i := range m.Split {
+			v, err := d.readU32()
+			if err != nil {
+				return nil, err
+			}
+			m.Split[i] = int32(v)
+		}
+		np, err := d.readU32()
+		if err != nil {
+			return nil, err
+		}
+		if int64(np) > int64(d.Remaining())/4 {
+			return nil, fmt.Errorf("wire: profile count %d exceeds remaining payload", np)
+		}
+		m.Profile = make([]int32, np)
+		for i := range m.Profile {
+			v, err := d.readU32()
+			if err != nil {
+				return nil, err
+			}
+			m.Profile[i] = int32(v)
+		}
+		return m, nil
+	case MsgSubscribe:
+		m := &Subscribe{}
+		var err error
+		if m.Protocol, err = d.readU32(); err != nil {
+			return nil, err
+		}
+		if m.Subscriber, err = d.readString(); err != nil {
+			return nil, err
+		}
+		if m.Channel, err = d.readString(); err != nil {
+			return nil, err
+		}
+		if m.Handler, err = d.readString(); err != nil {
+			return nil, err
+		}
+		if m.Source, err = d.readString(); err != nil {
+			return nil, err
+		}
+		if m.CostModel, err = d.readString(); err != nil {
+			return nil, err
+		}
+		nn, err := d.readU32()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint32(0); i < nn; i++ {
+			n, err := d.readString()
+			if err != nil {
+				return nil, err
+			}
+			m.Natives = append(m.Natives, n)
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", data[0])
+	}
+}
+
+// MaxFrameSize bounds a single frame to guard against corrupt length
+// prefixes.
+const MaxFrameSize = 256 << 20
+
+// WriteFrame writes a length-prefixed message to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"sort"
+
+	"methodpart/internal/mir"
+)
+
+// Sizer computes the encoded size of values without serialising them — the
+// paper's "customized object serialization algorithm [that] only performs
+// size calculation" (§4.1). It is O(1) for primitive arrays and shares the
+// Encoder's reference-deduplication semantics, so Size(vs...) equals the
+// byte length an Encoder would produce for the same values.
+type Sizer struct {
+	objSeen map[*mir.Object]bool
+	memSeen map[memKey]bool
+}
+
+// NewSizer creates a sizer. Like an Encoder, one Sizer spans one message.
+func NewSizer() *Sizer {
+	return &Sizer{
+		objSeen: make(map[*mir.Object]bool),
+		memSeen: make(map[memKey]bool),
+	}
+}
+
+// refSize is the encoded size of a back-reference (tag + u32).
+const refSize = 5
+
+// Size accumulates the encoded size of one value.
+func (s *Sizer) Size(v mir.Value) int64 {
+	if v == nil {
+		return 1
+	}
+	switch x := v.(type) {
+	case mir.Null:
+		return 1
+	case mir.Bool:
+		return 2
+	case mir.Int, mir.Float:
+		return 9
+	case mir.Str:
+		return 1 + 4 + int64(len(x))
+	case mir.Bytes:
+		return s.sliceSize(tagBytes, reflectPtr(x), len(x), 1)
+	case mir.IntArray:
+		return s.sliceSize(tagIntArray, reflectPtr(x), len(x), 8)
+	case mir.FloatArray:
+		return s.sliceSize(tagFloatArray, reflectPtr(x), len(x), 8)
+	case *mir.Object:
+		if x == nil {
+			return 1
+		}
+		if s.objSeen[x] {
+			return refSize
+		}
+		s.objSeen[x] = true
+		total := int64(1 + 4 + len(x.Class) + 4)
+		names := make([]string, 0, len(x.Fields))
+		for n := range x.Fields {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			total += 4 + int64(len(n))
+			total += s.Size(x.Fields[n])
+		}
+		return total
+	default:
+		return 0
+	}
+}
+
+func (s *Sizer) sliceSize(tag byte, ptr uintptr, n int, elem int64) int64 {
+	if ptr != 0 {
+		k := memKey{ptr: ptr, len: n, tag: tag}
+		if s.memSeen[k] {
+			return refSize
+		}
+		s.memSeen[k] = true
+	}
+	return 1 + 4 + int64(n)*elem
+}
+
+// SizeOf computes the encoded size of a single value with a fresh Sizer.
+func SizeOf(v mir.Value) int64 {
+	return NewSizer().Size(v)
+}
+
+// SizeOfAll computes the encoded size of a value group sharing references
+// (e.g. the live-variable snapshot of a continuation).
+func SizeOfAll(vs []mir.Value) int64 {
+	s := NewSizer()
+	var total int64
+	for _, v := range vs {
+		total += s.Size(v)
+	}
+	return total
+}

@@ -1,0 +1,364 @@
+// Package wire implements the binary on-the-wire representation of MIR
+// values, continuation messages and the control messages (profiling feedback
+// and partitioning plans) exchanged between modulator and demodulator sides.
+//
+// Object and array values are encoded with reference sharing: the first
+// occurrence carries the payload, later occurrences a 5-byte back-reference.
+// This matches the paper's data-size cost definition (§4.1): "the total
+// runtime size of the unique objects reachable ... plus the total number of
+// duplicated references to those unique objects".
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"sort"
+
+	"methodpart/internal/mir"
+)
+
+// Value tag bytes.
+const (
+	tagNull byte = iota + 1
+	tagBool
+	tagInt
+	tagFloat
+	tagStr
+	tagBytes
+	tagIntArray
+	tagFloatArray
+	tagObject
+	tagRef
+)
+
+// Encoder serialises MIR values with reference deduplication. One Encoder
+// encodes one message; references are shared across all values written
+// through it.
+type Encoder struct {
+	w        *bytes.Buffer
+	objSeen  map[*mir.Object]uint32
+	memSeen  map[memKey]uint32
+	nextRef  uint32
+	scratch8 [8]byte
+}
+
+type memKey struct {
+	ptr uintptr
+	len int
+	tag byte
+}
+
+// NewEncoder creates an encoder writing to an internal buffer.
+func NewEncoder() *Encoder {
+	return &Encoder{
+		w:       &bytes.Buffer{},
+		objSeen: make(map[*mir.Object]uint32),
+		memSeen: make(map[memKey]uint32),
+	}
+}
+
+// Bytes returns the encoded output.
+func (e *Encoder) Bytes() []byte { return e.w.Bytes() }
+
+// Len returns the number of bytes written so far.
+func (e *Encoder) Len() int { return e.w.Len() }
+
+func (e *Encoder) writeU32(v uint32) {
+	binary.LittleEndian.PutUint32(e.scratch8[:4], v)
+	e.w.Write(e.scratch8[:4])
+}
+
+func (e *Encoder) writeU64(v uint64) {
+	binary.LittleEndian.PutUint64(e.scratch8[:8], v)
+	e.w.Write(e.scratch8[:8])
+}
+
+func (e *Encoder) writeString(s string) {
+	e.writeU32(uint32(len(s)))
+	e.w.WriteString(s)
+}
+
+// EncodeValue appends one value.
+func (e *Encoder) EncodeValue(v mir.Value) error {
+	if v == nil {
+		e.w.WriteByte(tagNull)
+		return nil
+	}
+	switch x := v.(type) {
+	case mir.Null:
+		e.w.WriteByte(tagNull)
+	case mir.Bool:
+		e.w.WriteByte(tagBool)
+		if x {
+			e.w.WriteByte(1)
+		} else {
+			e.w.WriteByte(0)
+		}
+	case mir.Int:
+		e.w.WriteByte(tagInt)
+		e.writeU64(uint64(x))
+	case mir.Float:
+		e.w.WriteByte(tagFloat)
+		e.writeU64(math.Float64bits(float64(x)))
+	case mir.Str:
+		e.w.WriteByte(tagStr)
+		e.writeString(string(x))
+	case mir.Bytes:
+		if e.writeSliceRef(tagBytes, reflectPtr(x), len(x)) {
+			return nil
+		}
+		e.w.WriteByte(tagBytes)
+		e.writeU32(uint32(len(x)))
+		e.w.Write(x)
+		e.claimRef(tagBytes, reflectPtr(x), len(x))
+	case mir.IntArray:
+		if e.writeSliceRef(tagIntArray, reflectPtr(x), len(x)) {
+			return nil
+		}
+		e.w.WriteByte(tagIntArray)
+		e.writeU32(uint32(len(x)))
+		for _, n := range x {
+			e.writeU64(uint64(n))
+		}
+		e.claimRef(tagIntArray, reflectPtr(x), len(x))
+	case mir.FloatArray:
+		if e.writeSliceRef(tagFloatArray, reflectPtr(x), len(x)) {
+			return nil
+		}
+		e.w.WriteByte(tagFloatArray)
+		e.writeU32(uint32(len(x)))
+		for _, f := range x {
+			e.writeU64(math.Float64bits(f))
+		}
+		e.claimRef(tagFloatArray, reflectPtr(x), len(x))
+	case *mir.Object:
+		if x == nil {
+			e.w.WriteByte(tagNull)
+			return nil
+		}
+		if ref, ok := e.objSeen[x]; ok {
+			e.w.WriteByte(tagRef)
+			e.writeU32(ref)
+			return nil
+		}
+		e.w.WriteByte(tagObject)
+		e.objSeen[x] = e.nextRef
+		e.nextRef++
+		e.writeString(x.Class)
+		names := make([]string, 0, len(x.Fields))
+		for n := range x.Fields {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		e.writeU32(uint32(len(names)))
+		for _, n := range names {
+			e.writeString(n)
+			if err := e.EncodeValue(x.Fields[n]); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("wire: cannot encode %T", v)
+	}
+	return nil
+}
+
+func reflectPtr(v any) uintptr {
+	rv := reflect.ValueOf(v)
+	if rv.Len() == 0 {
+		return 0
+	}
+	return rv.Pointer()
+}
+
+// writeSliceRef emits a back-reference if the slice was already encoded.
+func (e *Encoder) writeSliceRef(tag byte, ptr uintptr, n int) bool {
+	if ptr == 0 {
+		return false
+	}
+	if ref, ok := e.memSeen[memKey{ptr: ptr, len: n, tag: tag}]; ok {
+		e.w.WriteByte(tagRef)
+		e.writeU32(ref)
+		return true
+	}
+	return false
+}
+
+func (e *Encoder) claimRef(tag byte, ptr uintptr, n int) {
+	if ptr != 0 {
+		e.memSeen[memKey{ptr: ptr, len: n, tag: tag}] = e.nextRef
+	}
+	e.nextRef++
+}
+
+// Decoder deserialises values produced by an Encoder.
+type Decoder struct {
+	r    *bytes.Reader
+	refs []mir.Value
+}
+
+// NewDecoder creates a decoder over the given bytes.
+func NewDecoder(data []byte) *Decoder {
+	return &Decoder{r: bytes.NewReader(data)}
+}
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return d.r.Len() }
+
+func (d *Decoder) readU32() (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(d.r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (d *Decoder) readU64() (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(d.r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func (d *Decoder) readString() (string, error) {
+	n, err := d.readU32()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > d.r.Len() {
+		return "", fmt.Errorf("wire: string length %d exceeds remaining %d", n, d.r.Len())
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// DecodeValue reads one value.
+func (d *Decoder) DecodeValue() (mir.Value, error) {
+	tag, err := d.r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagNull:
+		return mir.Null{}, nil
+	case tagBool:
+		b, err := d.r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		return mir.Bool(b != 0), nil
+	case tagInt:
+		u, err := d.readU64()
+		if err != nil {
+			return nil, err
+		}
+		return mir.Int(int64(u)), nil
+	case tagFloat:
+		u, err := d.readU64()
+		if err != nil {
+			return nil, err
+		}
+		return mir.Float(math.Float64frombits(u)), nil
+	case tagStr:
+		s, err := d.readString()
+		if err != nil {
+			return nil, err
+		}
+		return mir.Str(s), nil
+	case tagBytes:
+		n, err := d.readU32()
+		if err != nil {
+			return nil, err
+		}
+		if int(n) > d.r.Len() {
+			return nil, fmt.Errorf("wire: bytes length %d exceeds remaining %d", n, d.r.Len())
+		}
+		buf := make(mir.Bytes, n)
+		if _, err := io.ReadFull(d.r, buf); err != nil {
+			return nil, err
+		}
+		d.refs = append(d.refs, buf)
+		return buf, nil
+	case tagIntArray:
+		n, err := d.readU32()
+		if err != nil {
+			return nil, err
+		}
+		if int(n)*8 > d.r.Len() {
+			return nil, fmt.Errorf("wire: intarray length %d exceeds remaining %d", n, d.r.Len())
+		}
+		arr := make(mir.IntArray, n)
+		for i := range arr {
+			u, err := d.readU64()
+			if err != nil {
+				return nil, err
+			}
+			arr[i] = int64(u)
+		}
+		d.refs = append(d.refs, arr)
+		return arr, nil
+	case tagFloatArray:
+		n, err := d.readU32()
+		if err != nil {
+			return nil, err
+		}
+		if int(n)*8 > d.r.Len() {
+			return nil, fmt.Errorf("wire: floatarray length %d exceeds remaining %d", n, d.r.Len())
+		}
+		arr := make(mir.FloatArray, n)
+		for i := range arr {
+			u, err := d.readU64()
+			if err != nil {
+				return nil, err
+			}
+			arr[i] = math.Float64frombits(u)
+		}
+		d.refs = append(d.refs, arr)
+		return arr, nil
+	case tagObject:
+		// Reserve the ref slot before decoding fields so nested
+		// back-references resolve in encoder order.
+		obj := mir.NewObject("")
+		d.refs = append(d.refs, obj)
+		class, err := d.readString()
+		if err != nil {
+			return nil, err
+		}
+		obj.Class = class
+		nf, err := d.readU32()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint32(0); i < nf; i++ {
+			name, err := d.readString()
+			if err != nil {
+				return nil, err
+			}
+			fv, err := d.DecodeValue()
+			if err != nil {
+				return nil, err
+			}
+			obj.Fields[name] = fv
+		}
+		return obj, nil
+	case tagRef:
+		ref, err := d.readU32()
+		if err != nil {
+			return nil, err
+		}
+		if int(ref) >= len(d.refs) {
+			return nil, fmt.Errorf("wire: dangling reference %d (have %d)", ref, len(d.refs))
+		}
+		return d.refs[ref], nil
+	default:
+		return nil, fmt.Errorf("wire: unknown value tag %d", tag)
+	}
+}

@@ -1,0 +1,276 @@
+// Package methodpart is the public API of the Method Partitioning library —
+// a reproduction of "Method Partitioning: Runtime Customization of Pervasive
+// Programs without Design-time Application Knowledge" (Zhou, Pande, Schwan;
+// ICDCS 2003).
+//
+// Method Partitioning splits a message-handling method into a modulator
+// (running inside the message sender) and a demodulator (inside the
+// receiver). Static analysis of the handler identifies Potential Split
+// Edges; cost models weigh them; a Remote Continuation mechanism carries the
+// live variables across the split; and runtime profiling plus a
+// max-flow/min-cut reconfiguration unit keep the split point (near-)optimal
+// as the workload and environment change. Changing the split is an atomic
+// flag flip.
+//
+// Handlers are written in MIR, a small register-based instruction language
+// (the reproduction's stand-in for Jimple bytecode):
+//
+//	src := `
+//	class ImageData {
+//	  width int
+//	  height int
+//	  buff bytes
+//	}
+//
+//	func show(event) {
+//	  ok = instanceof event ImageData
+//	  ifnot ok goto done
+//	  img = cast event ImageData
+//	  d = const 160
+//	  out = call resizeTo img d d
+//	  call displayImage out
+//	done:
+//	  return
+//	}`
+//
+//	h, err := methodpart.CompileHandler(src, "show",
+//		methodpart.Natives("displayImage"), methodpart.WithModel(methodpart.DataSizeModel()))
+//
+// The compiled handler exposes its PSE table; NewModulator and
+// NewDemodulator instantiate the two halves; NewReconfigUnit selects plans
+// from profiled statistics. NewPublisher and SubscribeConfig/Subscribe run
+// the full distributed loop over TCP (the JECho-analogue event system).
+package methodpart
+
+import (
+	"fmt"
+
+	"methodpart/internal/analysis"
+	"methodpart/internal/costmodel"
+	"methodpart/internal/jecho"
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/asm"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/partition"
+	"methodpart/internal/profileunit"
+	"methodpart/internal/reconfig"
+	"methodpart/internal/wire"
+)
+
+// Core value and execution types (MIR).
+type (
+	// Value is a runtime value flowing through handlers.
+	Value = mir.Value
+	// Object is a heap object with class and fields.
+	Object = mir.Object
+	// Int is the MIR integer value.
+	Int = mir.Int
+	// Float is the MIR float value.
+	Float = mir.Float
+	// Bool is the MIR boolean value.
+	Bool = mir.Bool
+	// Str is the MIR string value.
+	Str = mir.Str
+	// Bytes is the MIR byte-array value.
+	Bytes = mir.Bytes
+	// IntArray is the MIR int-array value.
+	IntArray = mir.IntArray
+	// FloatArray is the MIR float-array value.
+	FloatArray = mir.FloatArray
+	// Null is the MIR null value.
+	Null = mir.Null
+
+	// Registry holds the builtin functions handlers may call.
+	Registry = interp.Registry
+	// Builtin is one host function callable from handlers.
+	Builtin = interp.Builtin
+	// Env is an interpreter environment (classes + builtins + globals).
+	Env = interp.Env
+)
+
+// Partitioning types.
+type (
+	// Handler is a compiled, analysed, partitionable message handler.
+	Handler = partition.Compiled
+	// PSE is one potential split edge of a handler.
+	PSE = partition.PSE
+	// Plan is a partitioning plan (split + profiling flags).
+	Plan = partition.Plan
+	// Modulator is the sender-side half.
+	Modulator = partition.Modulator
+	// Demodulator is the receiver-side half.
+	Demodulator = partition.Demodulator
+	// Relay re-partitions in-flight messages at an intermediate party
+	// (three-way and longer chains; the paper's §7 modulator-propagation
+	// extension).
+	Relay = partition.Relay
+	// ModulatorOutput is the result of modulating one event.
+	ModulatorOutput = partition.Output
+	// HandlerResult is the result of demodulating one message.
+	HandlerResult = partition.Result
+
+	// CostModel weighs partitioning plans (§4).
+	CostModel = costmodel.Model
+	// Environment describes a sender/receiver pair's resources.
+	Environment = costmodel.Environment
+	// PSEStats is the profiled statistics of one PSE.
+	PSEStats = costmodel.Stat
+
+	// Collector is the Runtime Profiling Unit's aggregator.
+	Collector = profileunit.Collector
+	// ReconfigUnit is the Runtime Reconfiguration Unit.
+	ReconfigUnit = reconfig.Unit
+
+	// Publisher hosts an event channel (sender side).
+	Publisher = jecho.Publisher
+	// PublisherConfig configures a Publisher.
+	PublisherConfig = jecho.PublisherConfig
+	// Subscriber is a receiving subscription with its demodulator and
+	// reconfiguration unit.
+	Subscriber = jecho.Subscriber
+	// SubscriberConfig configures a subscription.
+	SubscriberConfig = jecho.SubscriberConfig
+
+	// Continuation is the wire form of a remote continuation.
+	Continuation = wire.Continuation
+)
+
+// RawPSEID identifies the synthetic "ship the raw event" split point.
+const RawPSEID = partition.RawPSEID
+
+// NewRegistry creates an empty builtin registry.
+func NewRegistry() *Registry { return interp.NewRegistry() }
+
+// NewEnv builds an interpreter environment from a compiled handler's class
+// table and a builtin registry.
+func NewEnv(h *Handler, builtins *Registry) *Env {
+	return interp.NewEnv(h.Classes, builtins)
+}
+
+// DataSizeModel returns the §4.1 cost model (minimize network traffic).
+func DataSizeModel() CostModel { return costmodel.NewDataSize() }
+
+// ExecTimeModel returns the §4.2 cost model (minimize execution time).
+func ExecTimeModel() CostModel { return costmodel.NewExecTime() }
+
+// CompositeModel combines weighted cost models (§7 future work).
+func CompositeModel(models []CostModel, weights []float64) (CostModel, error) {
+	return costmodel.NewComposite(models, weights)
+}
+
+// CompileOption customises CompileHandler.
+type CompileOption func(*compileOpts)
+
+type compileOpts struct {
+	model   CostModel
+	natives map[string]bool
+	oracle  analysis.NativeOracle
+}
+
+// WithModel selects the cost model (default: DataSizeModel).
+func WithModel(m CostModel) CompileOption {
+	return func(o *compileOpts) { o.model = m }
+}
+
+// Natives declares the handler's receiver-pinned functions (StopNodes).
+func Natives(names ...string) CompileOption {
+	return func(o *compileOpts) {
+		if o.natives == nil {
+			o.natives = make(map[string]bool)
+		}
+		for _, n := range names {
+			o.natives[n] = true
+		}
+	}
+}
+
+// WithOracle supplies a NativeOracle directly (e.g. a Registry) instead of
+// an explicit native list.
+func WithOracle(oracle analysis.NativeOracle) CompileOption {
+	return func(o *compileOpts) { o.oracle = oracle }
+}
+
+type nativeSet map[string]bool
+
+func (s nativeSet) IsNative(fn string) bool { return s[fn] }
+
+// CompileHandler assembles MIR source and compiles the named handler for
+// partitioning: it builds the Unit Graph, runs liveness, DDG, StopNode and
+// ConvexCut analysis under the cost model, and returns the handler with its
+// PSE table.
+func CompileHandler(source, name string, opts ...CompileOption) (*Handler, error) {
+	o := compileOpts{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.model == nil {
+		o.model = DataSizeModel()
+	}
+	oracle := o.oracle
+	if oracle == nil {
+		oracle = nativeSet(o.natives)
+	}
+	unit, err := asm.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	prog, ok := unit.Program(name)
+	if !ok {
+		return nil, fmt.Errorf("methodpart: handler %q not found in source", name)
+	}
+	classes, err := unit.ClassTable()
+	if err != nil {
+		return nil, err
+	}
+	return partition.Compile(prog, classes, oracle, o.model)
+}
+
+// NewModulator builds the sender-side half of a handler executing in env.
+func NewModulator(h *Handler, env *Env) *Modulator {
+	return partition.NewModulator(h, env)
+}
+
+// NewDemodulator builds the receiver-side half of a handler executing in
+// env (env's registry must implement the handler's natives).
+func NewDemodulator(h *Handler, env *Env) *Demodulator {
+	return partition.NewDemodulator(h, env)
+}
+
+// NewRelay builds an intermediate-party re-partitioner for a handler; its
+// initial plan forwards messages untouched.
+func NewRelay(h *Handler, env *Env) *Relay {
+	return partition.NewRelay(h, env)
+}
+
+// NewCollector creates a profiling collector sized for the handler.
+func NewCollector(h *Handler) *Collector {
+	return profileunit.NewCollector(h.NumPSEs())
+}
+
+// NewReconfigUnit creates a reconfiguration unit for the handler in the
+// given environment.
+func NewReconfigUnit(h *Handler, env Environment) *ReconfigUnit {
+	return reconfig.NewUnit(h, env)
+}
+
+// DefaultEnvironment returns a neutral deployment environment.
+func DefaultEnvironment() Environment { return costmodel.DefaultEnvironment() }
+
+// NewPlan builds a plan over the handler's PSEs.
+func NewPlan(h *Handler, version uint64, splitIDs, profileIDs []int32) (*Plan, error) {
+	return partition.NewPlan(h.NumPSEs(), version, splitIDs, profileIDs)
+}
+
+// NewPublisher starts an event-channel publisher (sender side).
+func NewPublisher(cfg PublisherConfig) (*Publisher, error) {
+	return jecho.NewPublisher(cfg)
+}
+
+// Subscribe installs a handler at a remote publisher and starts the
+// receiving loop with closed-loop profiling and reconfiguration.
+func Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
+	return jecho.Subscribe(cfg)
+}
+
+// NewObject allocates an Object of the given class.
+func NewObject(class string) *Object { return mir.NewObject(class) }

@@ -1,0 +1,161 @@
+package methodpart_test
+
+import (
+	"testing"
+
+	"methodpart"
+)
+
+const apiPushSrc = `
+class ImageData {
+  width int
+  height int
+  buff bytes
+}
+
+func push(event) {
+  z0 = instanceof event ImageData
+  ifnot z0 goto done
+  r2 = cast event ImageData
+  r3 = new ImageData
+  call initResize r3 r2
+  r4 = move r3
+  call displayImage r4
+done:
+  return
+}
+`
+
+func apiRegistry(displayed *int) *methodpart.Registry {
+	reg := methodpart.NewRegistry()
+	reg.MustRegister(methodpart.Builtin{
+		Name: "initResize",
+		Fn: func(env *methodpart.Env, args []methodpart.Value) (methodpart.Value, error) {
+			dst := args[0].(*methodpart.Object)
+			dst.Fields["width"] = methodpart.Int(100)
+			dst.Fields["height"] = methodpart.Int(100)
+			dst.Fields["buff"] = make(methodpart.Bytes, 100*100)
+			return methodpart.Null{}, nil
+		},
+	})
+	reg.MustRegister(methodpart.Builtin{
+		Name:   "displayImage",
+		Native: true,
+		Fn: func(env *methodpart.Env, args []methodpart.Value) (methodpart.Value, error) {
+			if displayed != nil {
+				*displayed++
+			}
+			return methodpart.Null{}, nil
+		},
+	})
+	return reg
+}
+
+// TestPublicAPIRoundTrip exercises the documented facade end to end:
+// compile, modulate, demodulate, reconfigure.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	h, err := methodpart.CompileHandler(apiPushSrc, "push",
+		methodpart.Natives("displayImage"),
+		methodpart.WithModel(methodpart.DataSizeModel()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumPSEs() < 3 {
+		t.Fatalf("NumPSEs = %d", h.NumPSEs())
+	}
+
+	var shown int
+	mod := methodpart.NewModulator(h, methodpart.NewEnv(h, apiRegistry(nil)))
+	demod := methodpart.NewDemodulator(h, methodpart.NewEnv(h, apiRegistry(&shown)))
+	coll := methodpart.NewCollector(h)
+	mod.Probe = coll
+	demod.Probe = coll
+	demod.CrossProbe = coll
+
+	unit := methodpart.NewReconfigUnit(h, methodpart.DefaultEnvironment())
+	plan, _, err := unit.InitialPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.SetPlan(plan)
+	demod.SetProfilePlan(plan)
+
+	event := methodpart.NewObject("ImageData")
+	event.Fields["width"] = methodpart.Int(300)
+	event.Fields["height"] = methodpart.Int(300)
+	event.Fields["buff"] = make(methodpart.Bytes, 300*300)
+
+	for i := 0; i < 12; i++ {
+		out, err := mod.Process(event)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var msg any = out.Raw
+		if out.Cont != nil {
+			msg = out.Cont
+		}
+		if _, err := demod.Process(msg); err != nil {
+			t.Fatal(err)
+		}
+		newPlan, _, err := unit.SelectPlan(coll.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod.SetPlan(newPlan)
+		demod.SetProfilePlan(newPlan)
+	}
+	if shown != 12 {
+		t.Fatalf("displayed %d frames", shown)
+	}
+	// Large inputs + 100x100 output: the converged plan must cut after
+	// the transform (the highest PSE), not ship 90KB originals.
+	final := mod.Plan()
+	if final.Raw() {
+		t.Errorf("converged plan still raw: %v", final)
+	}
+	post := int32(h.NumPSEs()) - 1
+	if !final.Split(post) {
+		t.Errorf("converged plan %v does not cut after the transform (PSE %d)", final, post)
+	}
+}
+
+func TestCompileHandlerErrors(t *testing.T) {
+	if _, err := methodpart.CompileHandler("garbage", "f"); err == nil {
+		t.Error("garbage source accepted")
+	}
+	if _, err := methodpart.CompileHandler(apiPushSrc, "missing"); err == nil {
+		t.Error("missing handler accepted")
+	}
+}
+
+func TestCompositeModelFacade(t *testing.T) {
+	m, err := methodpart.CompositeModel(
+		[]methodpart.CostModel{methodpart.DataSizeModel(), methodpart.ExecTimeModel()},
+		[]float64{1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := methodpart.CompileHandler(apiPushSrc, "push",
+		methodpart.Natives("displayImage"), methodpart.WithModel(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumPSEs() < 3 {
+		t.Fatalf("NumPSEs = %d", h.NumPSEs())
+	}
+}
+
+func TestWithOracle(t *testing.T) {
+	reg := apiRegistry(nil)
+	h, err := methodpart.CompileHandler(apiPushSrc, "push", methodpart.WithOracle(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// displayImage is registered Native; initResize movable. Node 6 must
+	// be a StopNode, node 4 not.
+	if !h.Analysis.Stops[6] || h.Analysis.Stops[4] {
+		t.Fatalf("oracle-driven StopNodes wrong: %v", h.Analysis.Stops)
+	}
+}
