@@ -27,7 +27,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mpbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "which experiment to run (table1|table2|table3|table4|figure7|figure8|ablation|models|richimage|claims|all)")
+	experiment := fs.String("experiment", "all", "which experiment to run (table1|table2|table3|table4|figure7|figure8|ablation|models|richimage|channel|claims|all)")
 	frames := fs.Int("frames", 0, "override frames per run (0 = experiment default)")
 	seeds := fs.Int("seeds", 0, "override number of perturbation seeds (0 = default 5)")
 	asCSV := fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
@@ -133,6 +133,18 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		bench.WriteModelComparison(w, rows)
+	}
+	if all || wanted["channel"] {
+		ran = true
+		chCfg := bench.DefaultChannelConfig()
+		if *frames > 0 {
+			chCfg.Frames = *frames
+		}
+		rows, err := bench.ChannelExperiment(chCfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteChannel(w, rows)
 	}
 	if all || wanted["claims"] {
 		ran = true

@@ -69,6 +69,19 @@ func TestModelsExperiment(t *testing.T) {
 	}
 }
 
+func TestChannelExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "channel", "-frames", "80"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Channel backpressure", "drop-newest", "drop-oldest", "stalled", "healthy-1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-experiment", "bogus"}, &out); err == nil {

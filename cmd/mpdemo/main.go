@@ -3,12 +3,14 @@
 // use -mode both to run the full loop in one process.
 //
 //	mpdemo -mode both
+//	mpdemo -mode both -queue 8 -overflow drop-oldest
 //	mpdemo -mode publish -addr 127.0.0.1:7000 -frames 50
 //	mpdemo -mode subscribe -addr 127.0.0.1:7000
 //
 // In publish/subscribe mode the roles are reversed from the subscription
 // flow: the *publisher* listens and the subscriber dials it, matching the
-// jecho handshake.
+// jecho handshake. On exit, publish/both modes print the per-subscription
+// channel metrics (drops, queue high-water, bytes on wire vs. saved).
 package main
 
 import (
@@ -34,14 +36,20 @@ func run(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:0", "publisher listen address (publish/both) or target (subscribe)")
 	frames := fs.Int("frames", 40, "frames to publish")
 	display := fs.Int("display", 160, "subscriber display size")
+	queue := fs.Int("queue", 0, "per-subscription send queue depth (0 = default)")
+	overflow := fs.String("overflow", "block", "send queue overflow policy: block | drop-newest | drop-oldest")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := parsePolicy(*overflow)
+	if err != nil {
 		return err
 	}
 	switch *mode {
 	case "both":
-		return runBoth(*addr, *frames, *display)
+		return runBoth(*addr, *frames, *display, *queue, policy)
 	case "publish":
-		return runPublisher(*addr, *frames, true)
+		return runPublisher(*addr, *frames, *queue, policy, true)
 	case "subscribe":
 		return runSubscriber(*addr, *display)
 	default:
@@ -49,17 +57,32 @@ func run(args []string) error {
 	}
 }
 
-func newPublisher(addr string) (*methodpart.Publisher, error) {
+func parsePolicy(name string) (methodpart.OverflowPolicy, error) {
+	switch name {
+	case "block":
+		return methodpart.Block, nil
+	case "drop-newest":
+		return methodpart.DropNewest, nil
+	case "drop-oldest":
+		return methodpart.DropOldest, nil
+	default:
+		return methodpart.Block, fmt.Errorf("unknown overflow policy %q", name)
+	}
+}
+
+func newPublisher(addr string, queue int, policy methodpart.OverflowPolicy) (*methodpart.Publisher, error) {
 	reg, _ := imaging.Builtins()
 	return methodpart.NewPublisher(methodpart.PublisherConfig{
-		Addr:          addr,
-		Builtins:      reg,
-		FeedbackEvery: 2,
+		Addr:           addr,
+		Builtins:       reg,
+		FeedbackEvery:  2,
+		QueueDepth:     queue,
+		OverflowPolicy: policy,
 	})
 }
 
-func runPublisher(addr string, frames int, wait bool) error {
-	pub, err := newPublisher(addr)
+func runPublisher(addr string, frames, queue int, policy methodpart.OverflowPolicy, wait bool) error {
+	pub, err := newPublisher(addr, queue, policy)
 	if err != nil {
 		return err
 	}
@@ -71,7 +94,11 @@ func runPublisher(addr string, frames int, wait bool) error {
 			time.Sleep(50 * time.Millisecond)
 		}
 	}
-	return publishFrames(pub, frames)
+	if err := publishFrames(pub, frames); err != nil {
+		return err
+	}
+	printChannelMetrics(pub)
+	return nil
 }
 
 func publishFrames(pub *methodpart.Publisher, frames int) error {
@@ -88,6 +115,23 @@ func publishFrames(pub *methodpart.Publisher, frames int) error {
 	}
 	time.Sleep(200 * time.Millisecond)
 	return nil
+}
+
+// printChannelMetrics renders one line per live subscription.
+func printChannelMetrics(pub *methodpart.Publisher) {
+	infos := pub.Subscriptions()
+	if len(infos) == 0 {
+		return
+	}
+	fmt.Println("channel metrics (publisher side):")
+	for _, info := range infos {
+		m := info.Metrics
+		fmt.Printf("  %s ch=%q plan=v%d split=%v\n", info.ID, info.Channel, info.PlanVersion, info.SplitIDs)
+		fmt.Printf("    published=%d suppressed=%d enqueued=%d dropped=%d queueHW=%d\n",
+			m.Published, m.Suppressed, m.Enqueued, m.Dropped, m.QueueHighWater)
+		fmt.Printf("    bytesOnWire=%d bytesSaved=%d feedback=%d coalesced=%d planFlips=%d\n",
+			m.BytesOnWire, m.BytesSaved, m.FeedbackSent, m.FeedbackCoalesced, m.PlanFlips)
+	}
 }
 
 func runSubscriber(addr string, display int) error {
@@ -120,8 +164,8 @@ func subscribe(addr string, display int) (*methodpart.Subscriber, error) {
 	})
 }
 
-func runBoth(addr string, frames, display int) error {
-	pub, err := newPublisher(addr)
+func runBoth(addr string, frames, display, queue int, policy methodpart.OverflowPolicy) error {
+	pub, err := newPublisher(addr, queue, policy)
 	if err != nil {
 		return err
 	}
@@ -137,6 +181,10 @@ func runBoth(addr string, frames, display int) error {
 	if err := publishFrames(pub, frames); err != nil {
 		return err
 	}
+	printChannelMetrics(pub)
+	sm := sub.Metrics()
+	fmt.Printf("channel metrics (subscriber side): processed=%d bytesReceived=%d planFlips=%d\n",
+		sm.Published, sm.BytesOnWire, sm.PlanFlips)
 	fmt.Printf("done: %d messages processed by the subscriber\n", sub.Processed())
 	return nil
 }

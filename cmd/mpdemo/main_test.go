@@ -8,8 +8,21 @@ func TestRunBoth(t *testing.T) {
 	}
 }
 
+func TestRunBothDropOldest(t *testing.T) {
+	if err := run([]string{"-mode", "both", "-frames", "8", "-display", "64",
+		"-queue", "4", "-overflow", "drop-oldest"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestUnknownMode(t *testing.T) {
 	if err := run([]string{"-mode", "bogus"}); err == nil {
 		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestUnknownOverflowPolicy(t *testing.T) {
+	if err := run([]string{"-mode", "both", "-overflow", "bogus"}); err == nil {
+		t.Fatal("unknown overflow policy accepted")
 	}
 }

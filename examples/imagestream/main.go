@@ -27,9 +27,11 @@ func main() {
 func run() error {
 	pubReg, _ := imaging.Builtins()
 	pub, err := methodpart.NewPublisher(methodpart.PublisherConfig{
-		Addr:          "127.0.0.1:0",
-		Builtins:      pubReg,
-		FeedbackEvery: 2,
+		Addr:           "127.0.0.1:0",
+		Builtins:       pubReg,
+		FeedbackEvery:  2,
+		QueueDepth:     16,                    // bound each subscription's send queue
+		OverflowPolicy: methodpart.DropOldest, // a slow display sheds stale frames
 	})
 	if err != nil {
 		return err
@@ -98,5 +100,10 @@ func run() error {
 	fmt.Printf("frames displayed at receiver: %d (all resized to %dx%d)\n", len(disp.Frames), display, display)
 	last := splits[len(splits)-1]
 	fmt.Printf("final split PSE: %d — the transform now runs at the sender\n", last)
+	for _, info := range pub.Subscriptions() {
+		m := info.Metrics
+		fmt.Printf("channel %s: published=%d dropped=%d queueHW=%d bytesOnWire=%d bytesSaved=%d planFlips=%d\n",
+			info.ID, m.Published, m.Dropped, m.QueueHighWater, m.BytesOnWire, m.BytesSaved, m.PlanFlips)
+	}
 	return nil
 }

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/imaging"
+	"methodpart/internal/jecho"
+	"methodpart/internal/transport"
+	"methodpart/internal/wire"
+)
+
+// ChannelConfig drives the event-channel backpressure experiment: a real
+// jecho publisher over the in-process transport with one artificially
+// stalled subscription beside healthy ones — the paper's slow-receiver
+// scenario (§2.5, the iPAQ experiments), measured at the channel layer.
+type ChannelConfig struct {
+	// Frames is the number of events to publish per policy.
+	Frames int
+	// Healthy is the number of live subscribers next to the stalled one.
+	Healthy int
+	// QueueDepth bounds each subscription's send queue.
+	QueueDepth int
+	// FrameSize is the square image edge length.
+	FrameSize int
+}
+
+// DefaultChannelConfig mirrors the backpressure test shape at a size that
+// runs in well under a second.
+func DefaultChannelConfig() ChannelConfig {
+	return ChannelConfig{Frames: 300, Healthy: 2, QueueDepth: 8, FrameSize: 32}
+}
+
+// ChannelRow is one (policy, subscription) outcome.
+type ChannelRow struct {
+	// Policy is the overflow policy under test.
+	Policy string
+	// Sub labels the subscription ("stalled", "healthy-1", ...).
+	Sub string
+	// Published counts events modulated for the subscription.
+	Published uint64
+	// Delivered counts messages the receiver completed (0 for stalled).
+	Delivered uint64
+	// Dropped counts frames shed by the overflow policy.
+	Dropped uint64
+	// QueueHW is the queue high-water mark.
+	QueueHW uint64
+	// Coalesced counts feedback frames superseded before sending.
+	Coalesced uint64
+	// WorstPublishMS is the worst single Publish latency seen while this
+	// policy ran (same value across the policy's rows).
+	WorstPublishMS float64
+}
+
+// ChannelExperiment runs the slow-subscriber scenario once per overflow
+// policy that sheds load (DropNewest, DropOldest) and reports the channel
+// metrics: Publish stays in handoff territory while the stalled peer's
+// backlog turns into drops and coalesced feedback, and the healthy
+// subscribers see every frame.
+func ChannelExperiment(cfg ChannelConfig) ([]ChannelRow, error) {
+	var rows []ChannelRow
+	for _, policy := range []jecho.OverflowPolicy{jecho.DropNewest, jecho.DropOldest} {
+		r, err := runChannelOnce(cfg, policy)
+		if err != nil {
+			return nil, fmt.Errorf("bench: channel %v: %w", policy, err)
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+func runChannelOnce(cfg ChannelConfig, policy jecho.OverflowPolicy) ([]ChannelRow, error) {
+	mem := transport.NewMem()
+	reg, _ := imaging.Builtins()
+	pub, err := jecho.NewPublisher(jecho.PublisherConfig{
+		Transport:      mem,
+		Builtins:       reg,
+		FeedbackEvery:  1,
+		QueueDepth:     cfg.QueueDepth,
+		OverflowPolicy: policy,
+		Logf:           func(string, ...any) {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer pub.Close()
+
+	subs := make([]*jecho.Subscriber, 0, cfg.Healthy)
+	for i := 0; i < cfg.Healthy; i++ {
+		sreg, _ := imaging.Builtins()
+		sub, err := jecho.Subscribe(jecho.SubscriberConfig{
+			Addr:        pub.Addr(),
+			Transport:   mem,
+			Name:        fmt.Sprintf("healthy-%d", i+1),
+			Source:      imaging.HandlerSource(64),
+			Handler:     imaging.HandlerName,
+			CostModel:   costmodel.DataSizeName,
+			Natives:     []string{"displayImage"},
+			Builtins:    sreg,
+			Environment: costmodel.DefaultEnvironment(),
+			Logf:        func(string, ...any) {},
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer sub.Close()
+		subs = append(subs, sub)
+	}
+	// The stalled peer: a valid handshake, then silence.
+	stalled, err := mem.Dial(pub.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer stalled.Close()
+	hello, err := wire.Marshal(&wire.Subscribe{
+		Protocol:   wire.ProtocolVersion,
+		Subscriber: "stalled",
+		Handler:    imaging.HandlerName,
+		Source:     imaging.HandlerSource(64),
+		CostModel:  costmodel.DataSizeName,
+		Natives:    []string{"displayImage"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := stalled.WriteFrame(hello); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for pub.Subscribers() != cfg.Healthy+1 {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("only %d of %d subscriptions registered", pub.Subscribers(), cfg.Healthy+1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var worst time.Duration
+	for i := 0; i < cfg.Frames; i++ {
+		t0 := time.Now()
+		if _, err := pub.Publish(imaging.NewFrame(cfg.FrameSize, cfg.FrameSize, int64(i))); err != nil {
+			return nil, err
+		}
+		if d := time.Since(t0); d > worst {
+			worst = d
+		}
+	}
+	// Let the healthy receivers drain.
+	deadline = time.Now().Add(10 * time.Second)
+	for _, sub := range subs {
+		for sub.Processed() < uint64(cfg.Frames) {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("healthy subscriber drained %d of %d", sub.Processed(), cfg.Frames)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	worstMS := float64(worst.Microseconds()) / 1000
+	var rows []ChannelRow
+	for _, info := range pub.Subscriptions() {
+		name := info.ID[:strings.IndexByte(info.ID, '#')]
+		var delivered uint64
+		for i, sub := range subs {
+			if name == fmt.Sprintf("healthy-%d", i+1) {
+				delivered = sub.Processed()
+			}
+		}
+		rows = append(rows, ChannelRow{
+			Policy:         policy.String(),
+			Sub:            name,
+			Published:      info.Metrics.Published,
+			Delivered:      delivered,
+			Dropped:        info.Metrics.Dropped,
+			QueueHW:        info.Metrics.QueueHighWater,
+			Coalesced:      info.Metrics.FeedbackCoalesced,
+			WorstPublishMS: worstMS,
+		})
+	}
+	return rows, nil
+}
+
+// WriteChannel renders the backpressure experiment.
+func WriteChannel(w io.Writer, rows []ChannelRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Policy, r.Sub,
+			fmt.Sprintf("%d", r.Published),
+			fmt.Sprintf("%d", r.Delivered),
+			fmt.Sprintf("%d", r.Dropped),
+			fmt.Sprintf("%d", r.QueueHW),
+			fmt.Sprintf("%d", r.Coalesced),
+			fmt.Sprintf("%.3f", r.WorstPublishMS),
+		})
+	}
+	writeTable(w, "Channel backpressure: one stalled + N healthy subscribers (mem transport)",
+		[]string{"policy", "sub", "published", "delivered", "dropped", "queueHW", "fbCoalesced", "worstPubMS"},
+		out)
+}

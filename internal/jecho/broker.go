@@ -2,24 +2,24 @@ package jecho
 
 import (
 	"fmt"
-	"net"
 	"sync"
 
 	"methodpart/internal/mir"
+	"methodpart/internal/transport"
 	"methodpart/internal/wire"
 )
 
 // Broker implements Third-Party Derivation (the paper's §7 future work,
 // building on its Active Brokers [28]): modulators operate inside a third
 // party instead of the message source. Upstream sources push raw events to
-// the broker over TCP; downstream subscribers install their handlers *at
-// the broker*, whose per-subscription modulators, profiling and plans work
-// exactly as at a first-party sender. Sources stay completely unaware of
-// the subscribers' handlers — the paper's decoupling pushed one hop
-// further.
+// the broker; downstream subscribers install their handlers *at the
+// broker*, whose per-subscription modulators, profiling, plans and send
+// pipelines work exactly as at a first-party sender. Sources stay
+// completely unaware of the subscribers' handlers — the paper's decoupling
+// pushed one hop further.
 type Broker struct {
 	pub      *Publisher
-	upstream net.Listener
+	upstream transport.Listener
 	logf     func(format string, args ...any)
 
 	mu       sync.Mutex
@@ -35,7 +35,8 @@ type BrokerConfig struct {
 	DownstreamAddr string
 	// UpstreamAddr is where event sources connect.
 	UpstreamAddr string
-	// Publisher options are forwarded.
+	// Publisher options are forwarded; its Transport (nil = TCP) carries
+	// both the downstream and the upstream side.
 	Publisher PublisherConfig
 }
 
@@ -47,7 +48,8 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 	if err != nil {
 		return nil, err
 	}
-	up, err := net.Listen("tcp", cfg.UpstreamAddr)
+	// NewPublisher defaulted the transport; reuse the same one upstream.
+	up, err := pub.cfg.Transport.Listen(cfg.UpstreamAddr)
 	if err != nil {
 		_ = pub.Close()
 		return nil, fmt.Errorf("jecho: broker upstream listen: %w", err)
@@ -62,10 +64,14 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 func (b *Broker) DownstreamAddr() string { return b.pub.Addr() }
 
 // UpstreamAddr returns the source-facing address.
-func (b *Broker) UpstreamAddr() string { return b.upstream.Addr().String() }
+func (b *Broker) UpstreamAddr() string { return b.upstream.Addr() }
 
 // Subscribers returns the downstream subscription count.
 func (b *Broker) Subscribers() int { return b.pub.Subscribers() }
+
+// Subscriptions snapshots the downstream subscriptions with their channel
+// metrics.
+func (b *Broker) Subscriptions() []SubscriptionInfo { return b.pub.Subscriptions() }
 
 // Received returns the number of upstream events accepted.
 func (b *Broker) Received() uint64 {
@@ -105,11 +111,11 @@ func (b *Broker) acceptUpstream() {
 
 // serveSource relays one source's raw event stream into the broker's
 // modulators.
-func (b *Broker) serveSource(conn net.Conn) {
+func (b *Broker) serveSource(conn transport.Conn) {
 	defer b.wg.Done()
 	defer conn.Close()
 	for {
-		frame, err := wire.ReadFrame(conn)
+		frame, err := conn.ReadFrame()
 		if err != nil {
 			return
 		}
@@ -134,14 +140,19 @@ func (b *Broker) serveSource(conn net.Conn) {
 
 // Source is a lightweight upstream event feed into a broker.
 type Source struct {
-	conn    net.Conn
+	conn    transport.Conn
 	writeMu sync.Mutex
 	seq     uint64
 }
 
-// NewSource dials a broker's upstream address.
+// NewSource dials a broker's upstream address over TCP.
 func NewSource(addr string) (*Source, error) {
-	conn, err := net.Dial("tcp", addr)
+	return NewSourceVia(transport.Default(), addr)
+}
+
+// NewSourceVia dials a broker's upstream address over the given transport.
+func NewSourceVia(tr transport.Transport, addr string) (*Source, error) {
+	conn, err := tr.Dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("jecho: source dial: %w", err)
 	}
@@ -157,7 +168,7 @@ func (s *Source) Emit(event mir.Value) error {
 	if err != nil {
 		return err
 	}
-	return wire.WriteFrame(s.conn, data)
+	return s.conn.WriteFrame(data)
 }
 
 // Close tears the feed down.

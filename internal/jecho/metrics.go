@@ -1,0 +1,89 @@
+package jecho
+
+import "sync/atomic"
+
+// ChannelMetrics is a point-in-time snapshot of one event-channel
+// endpoint's counters. The publisher keeps one per subscription (surfaced
+// through Publisher.Subscriptions); the subscriber keeps one for its half
+// of the loop (Subscriber.Metrics). Fields that do not apply to a side stay
+// zero there: a subscriber never drops or suppresses, a publisher never
+// counts plans it *received*.
+type ChannelMetrics struct {
+	// Published counts events pushed through the modulator (publisher) or
+	// messages demodulated to completion (subscriber).
+	Published uint64
+	// Suppressed counts events the modulator filtered at the sender
+	// (trivial-continuation suppression), so nothing crossed the wire.
+	Suppressed uint64
+	// Enqueued counts frames accepted into the outbound send queue.
+	Enqueued uint64
+	// Dropped counts frames discarded by the overflow policy because the
+	// peer could not keep up.
+	Dropped uint64
+	// QueueHighWater is the maximum outbound queue depth observed.
+	QueueHighWater uint64
+	// BytesOnWire counts bytes actually sent (publisher) or received
+	// (subscriber), including framing overhead.
+	BytesOnWire uint64
+	// BytesSaved estimates bytes modulation kept off the wire: for a
+	// suppressed event the whole raw payload, for a continuation the
+	// difference between the raw event encoding and the continuation.
+	BytesSaved uint64
+	// FeedbackSent counts profiling feedback frames that reached the wire.
+	FeedbackSent uint64
+	// FeedbackCoalesced counts feedback frames superseded by a newer
+	// snapshot before they could be sent (slow-peer coalescing).
+	FeedbackCoalesced uint64
+	// PlanFlips counts plan installations that changed the split set —
+	// the paper's atomic flag flips (applied at the publisher, pushed at
+	// the subscriber).
+	PlanFlips uint64
+	// SendErrors counts transport write failures (each retires the
+	// subscription on the publisher side).
+	SendErrors uint64
+}
+
+// channelMetrics is the live, atomically-updated form behind a
+// ChannelMetrics snapshot. All fields are independent counters; a snapshot
+// is not a consistent cut across them, which is fine for observability.
+type channelMetrics struct {
+	published         atomic.Uint64
+	suppressed        atomic.Uint64
+	enqueued          atomic.Uint64
+	dropped           atomic.Uint64
+	queueHighWater    atomic.Uint64
+	bytesOnWire       atomic.Uint64
+	bytesSaved        atomic.Uint64
+	feedbackSent      atomic.Uint64
+	feedbackCoalesced atomic.Uint64
+	planFlips         atomic.Uint64
+	sendErrors        atomic.Uint64
+}
+
+// noteDepth records an observed queue depth, keeping the high-water mark.
+func (m *channelMetrics) noteDepth(depth int) {
+	d := uint64(depth)
+	for {
+		cur := m.queueHighWater.Load()
+		if d <= cur || m.queueHighWater.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// snapshot materialises the counters.
+func (m *channelMetrics) snapshot() ChannelMetrics {
+	return ChannelMetrics{
+		Published:         m.published.Load(),
+		Suppressed:        m.suppressed.Load(),
+		Enqueued:          m.enqueued.Load(),
+		Dropped:           m.dropped.Load(),
+		QueueHighWater:    m.queueHighWater.Load(),
+		BytesOnWire:       m.bytesOnWire.Load(),
+		BytesSaved:        m.bytesSaved.Load(),
+		FeedbackSent:      m.feedbackSent.Load(),
+		FeedbackCoalesced: m.feedbackCoalesced.Load(),
+		PlanFlips:         m.planFlips.Load(),
+		SendErrors:        m.sendErrors.Load(),
+	}
+}

@@ -1,0 +1,218 @@
+package jecho
+
+import (
+	"errors"
+	"sync"
+
+	"methodpart/internal/transport"
+)
+
+// OverflowPolicy decides what happens when a subscription's bounded
+// outbound queue is full — i.e. how a publisher degrades under a slow
+// receiver (the paper's §2.5 slow-peer scenario, made a policy instead of
+// an accident of socket buffering).
+type OverflowPolicy int
+
+const (
+	// Block makes Publish wait for queue space: lossless, but one stalled
+	// peer eventually throttles publishes addressed to it (never those to
+	// other subscriptions, which have their own queues and senders).
+	Block OverflowPolicy = iota
+	// DropNewest discards the event being published when the queue is
+	// full: the peer keeps receiving the oldest backlog first.
+	DropNewest
+	// DropOldest evicts the oldest queued frame to admit the new one: the
+	// peer skips ahead to fresher events, the natural choice for
+	// last-value streams such as image frames or sensor readings.
+	DropOldest
+)
+
+// String names the policy for logs and tables.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropNewest:
+		return "drop-newest"
+	case DropOldest:
+		return "drop-oldest"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultQueueDepth is the outbound queue bound when the config leaves
+// QueueDepth zero.
+const DefaultQueueDepth = 64
+
+// errRetired reports an enqueue on a subscription whose sender has shut
+// down (peer dead or publisher closing).
+var errRetired = errors.New("jecho: subscription retired")
+
+// sendPipeline is the asynchronous sender of one subscription: a bounded
+// queue of event frames plus a coalescing slot for profiling feedback,
+// drained by a dedicated goroutine (run). Publish hands frames over and
+// returns; only the sender goroutine ever touches the connection for
+// writes, so a stalled or dead peer blocks its own pipeline and nothing
+// else.
+//
+// Feedback frames never queue behind events: the newest snapshot overwrites
+// any pending one (coalesce-to-latest), because a stale profiling report is
+// worthless once a fresher one exists while events are individually
+// meaningful.
+type sendPipeline struct {
+	conn    transport.Conn
+	queue   chan []byte
+	policy  OverflowPolicy
+	metrics *channelMetrics
+
+	stop     chan struct{} // closed by shutdown: unblocks enqueuers + sender
+	done     chan struct{} // closed when the sender goroutine exits
+	stopOnce sync.Once
+
+	fbMu    sync.Mutex
+	fb      []byte
+	fbReady chan struct{} // cap 1: "a feedback frame is pending"
+
+	// failed is invoked (once, from the sender goroutine) on a transport
+	// write error, before the sender exits; the publisher retires the
+	// subscription there.
+	failed func(error)
+}
+
+func newSendPipeline(conn transport.Conn, depth int, policy OverflowPolicy, m *channelMetrics, failed func(error)) *sendPipeline {
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	return &sendPipeline{
+		conn:    conn,
+		queue:   make(chan []byte, depth),
+		policy:  policy,
+		metrics: m,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		fbReady: make(chan struct{}, 1),
+		failed:  failed,
+	}
+}
+
+// enqueue admits one event frame under the overflow policy. A nil return
+// means the frame was queued or dropped by policy; errRetired means the
+// pipeline is gone and the caller should treat the subscription as dead.
+func (p *sendPipeline) enqueue(data []byte) error {
+	select {
+	case <-p.stop:
+		return errRetired
+	default:
+	}
+	switch p.policy {
+	case DropNewest:
+		select {
+		case p.queue <- data:
+		default:
+			p.metrics.dropped.Add(1)
+			return nil
+		}
+	case DropOldest:
+		for {
+			select {
+			case p.queue <- data:
+			case <-p.stop:
+				return errRetired
+			default:
+				// Queue full: evict one old frame and retry. The inner
+				// select is non-blocking because the sender may have
+				// drained the queue in the meantime.
+				select {
+				case <-p.queue:
+					p.metrics.dropped.Add(1)
+				default:
+				}
+				continue
+			}
+			break
+		}
+	default: // Block
+		select {
+		case p.queue <- data:
+		case <-p.stop:
+			return errRetired
+		}
+	}
+	p.metrics.enqueued.Add(1)
+	p.metrics.noteDepth(len(p.queue))
+	return nil
+}
+
+// enqueueFeedback stages a profiling feedback frame, replacing any pending
+// one (coalesce-to-latest).
+func (p *sendPipeline) enqueueFeedback(data []byte) {
+	p.fbMu.Lock()
+	if p.fb != nil {
+		p.metrics.feedbackCoalesced.Add(1)
+	}
+	p.fb = data
+	p.fbMu.Unlock()
+	select {
+	case p.fbReady <- struct{}{}:
+	default:
+	}
+}
+
+func (p *sendPipeline) takeFeedback() []byte {
+	p.fbMu.Lock()
+	defer p.fbMu.Unlock()
+	fb := p.fb
+	p.fb = nil
+	return fb
+}
+
+// run is the sender goroutine: it drains the queue and the feedback slot
+// until shutdown or a write error.
+func (p *sendPipeline) run() {
+	defer close(p.done)
+	for {
+		// Check stop first so shutdown wins over a backlog.
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		select {
+		case data := <-p.queue:
+			if !p.write(data, false) {
+				return
+			}
+		case <-p.fbReady:
+			if fb := p.takeFeedback(); fb != nil {
+				if !p.write(fb, true) {
+					return
+				}
+			}
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+func (p *sendPipeline) write(data []byte, feedback bool) bool {
+	if err := p.conn.WriteFrame(data); err != nil {
+		p.metrics.sendErrors.Add(1)
+		if p.failed != nil {
+			p.failed(err)
+		}
+		return false
+	}
+	p.metrics.bytesOnWire.Add(uint64(len(data)) + transport.HeaderSize)
+	if feedback {
+		p.metrics.feedbackSent.Add(1)
+	}
+	return true
+}
+
+// shutdown stops the sender and unblocks pending enqueues. Idempotent; it
+// does not close the connection (the owner does) and does not wait for the
+// sender goroutine.
+func (p *sendPipeline) shutdown() {
+	p.stopOnce.Do(func() { close(p.stop) })
+}

@@ -3,9 +3,7 @@ package jecho
 import (
 	"errors"
 	"fmt"
-	"io"
 	"log"
-	"net"
 	"sort"
 	"sync"
 
@@ -13,13 +11,17 @@ import (
 	"methodpart/internal/mir/interp"
 	"methodpart/internal/partition"
 	"methodpart/internal/profileunit"
+	"methodpart/internal/transport"
 	"methodpart/internal/wire"
 )
 
 // PublisherConfig configures an event-channel publisher.
 type PublisherConfig struct {
-	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
+	// Addr is the listen address in the transport's notation (e.g.
+	// "127.0.0.1:0" for TCP, "" for an auto-allocated Mem address).
 	Addr string
+	// Transport carries subscriptions (nil = TCP).
+	Transport transport.Transport
 	// Builtins are the movable library functions available to handlers at
 	// the sender (natives need not be present; they never run here).
 	Builtins *interp.Registry
@@ -29,15 +31,23 @@ type PublisherConfig struct {
 	// ProfileSampleEvery applies §2.5's periodic profiling sampling to
 	// every modulator: >1 profiles only each Nth message (0/1 = all).
 	ProfileSampleEvery uint64
+	// QueueDepth bounds each subscription's outbound send queue
+	// (0 = DefaultQueueDepth).
+	QueueDepth int
+	// OverflowPolicy selects the behaviour when a subscription's queue is
+	// full (default Block).
+	OverflowPolicy OverflowPolicy
 	// Logf receives diagnostics (nil = log.Printf).
 	Logf func(format string, args ...any)
 }
 
 // Publisher hosts an event channel: it accepts subscriptions (installing a
 // modulator per subscriber) and fans published events out through them.
+// Each subscription owns an asynchronous send pipeline, so Publish hands
+// frames to per-subscription queues and never blocks on a peer's socket.
 type Publisher struct {
 	cfg      PublisherConfig
-	listener net.Listener
+	listener transport.Listener
 
 	mu     sync.Mutex
 	subs   map[string]*subscription
@@ -50,13 +60,15 @@ type Publisher struct {
 type subscription struct {
 	id       string
 	channel  string
-	conn     net.Conn
+	conn     transport.Conn
 	compiled *partition.Compiled
 	mod      *partition.Modulator
 	coll     *profileunit.Collector
 	trigger  profileunit.Trigger
+	pipe     *sendPipeline
+	metrics  *channelMetrics
 
-	writeMu sync.Mutex
+	retireOnce sync.Once
 }
 
 // NewPublisher starts listening and accepting subscriptions.
@@ -70,7 +82,10 @@ func NewPublisher(cfg PublisherConfig) (*Publisher, error) {
 	if cfg.FeedbackEvery == 0 {
 		cfg.FeedbackEvery = 10
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
+	if cfg.Transport == nil {
+		cfg.Transport = transport.Default()
+	}
+	ln, err := cfg.Transport.Listen(cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("jecho: listen: %w", err)
 	}
@@ -85,7 +100,7 @@ func NewPublisher(cfg PublisherConfig) (*Publisher, error) {
 }
 
 // Addr returns the bound listen address.
-func (p *Publisher) Addr() string { return p.listener.Addr().String() }
+func (p *Publisher) Addr() string { return p.listener.Addr() }
 
 // Close stops the publisher and drops all subscriptions.
 func (p *Publisher) Close() error {
@@ -102,7 +117,7 @@ func (p *Publisher) Close() error {
 	p.mu.Unlock()
 	err := p.listener.Close()
 	for _, s := range subs {
-		_ = s.conn.Close()
+		p.retire(s)
 	}
 	p.wg.Wait()
 	return err
@@ -127,6 +142,10 @@ type SubscriptionInfo struct {
 	PlanVersion uint64
 	// SplitIDs are the active plan's flagged PSEs.
 	SplitIDs []int32
+	// QueueLen is the instantaneous outbound queue depth.
+	QueueLen int
+	// Metrics snapshots the subscription's channel counters.
+	Metrics ChannelMetrics
 }
 
 // Subscriptions snapshots the live subscriptions, ordered by id.
@@ -148,6 +167,8 @@ func (p *Publisher) Subscriptions() []SubscriptionInfo {
 			Handler:     s.compiled.Prog.Name,
 			PlanVersion: plan.Version(),
 			SplitIDs:    split,
+			QueueLen:    len(s.pipe.queue),
+			Metrics:     s.metrics.snapshot(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -166,11 +187,27 @@ func (p *Publisher) acceptLoop() {
 	}
 }
 
-// handleConn performs the subscription handshake, then serves plan updates
-// from the subscriber.
-func (p *Publisher) handleConn(conn net.Conn) {
+// retire removes a subscription and tears its pipeline and connection down.
+// It is idempotent and is called from every path that finds the peer dead:
+// the read loop erroring, the send pipeline failing a write, or Close.
+// Retiring on the *send* path matters: without it a dead peer would keep
+// costing (and failing) every subsequent Publish until its read loop
+// happened to notice.
+func (p *Publisher) retire(s *subscription) {
+	s.retireOnce.Do(func() {
+		p.mu.Lock()
+		delete(p.subs, s.id)
+		p.mu.Unlock()
+		s.pipe.shutdown()
+		_ = s.conn.Close()
+	})
+}
+
+// handleConn performs the subscription handshake, starts the send pipeline,
+// then serves plan updates from the subscriber.
+func (p *Publisher) handleConn(conn transport.Conn) {
 	defer p.wg.Done()
-	frame, err := wire.ReadFrame(conn)
+	frame, err := conn.ReadFrame()
 	if err != nil {
 		_ = conn.Close()
 		return
@@ -205,6 +242,22 @@ func (p *Publisher) handleConn(conn net.Conn) {
 	mod.Probe = coll
 	mod.SampleEvery = p.cfg.ProfileSampleEvery
 
+	metrics := &channelMetrics{}
+	sub := &subscription{
+		channel:  subMsg.Channel,
+		conn:     conn,
+		compiled: compiled,
+		mod:      mod,
+		coll:     coll,
+		trigger:  &profileunit.RateTrigger{EveryMessages: p.cfg.FeedbackEvery},
+		metrics:  metrics,
+	}
+	sub.pipe = newSendPipeline(conn, p.cfg.QueueDepth, p.cfg.OverflowPolicy, metrics,
+		func(err error) {
+			p.cfg.Logf("jecho publisher: sub %s send: %v; retiring", sub.id, err)
+			p.retire(sub)
+		})
+
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -212,48 +265,63 @@ func (p *Publisher) handleConn(conn net.Conn) {
 		return
 	}
 	p.nextID++
-	id := fmt.Sprintf("%s#%d", subMsg.Subscriber, p.nextID)
-	sub := &subscription{
-		id:       id,
-		channel:  subMsg.Channel,
-		conn:     conn,
-		compiled: compiled,
-		mod:      mod,
-		coll:     coll,
-		trigger:  &profileunit.RateTrigger{EveryMessages: p.cfg.FeedbackEvery},
-	}
-	p.subs[id] = sub
+	sub.id = fmt.Sprintf("%s#%d", subMsg.Subscriber, p.nextID)
+	p.subs[sub.id] = sub
 	p.mu.Unlock()
+
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		sub.pipe.run()
+	}()
 
 	// Serve inbound control messages (plans) until the peer goes away.
 	for {
-		frame, err := wire.ReadFrame(conn)
+		frame, err := conn.ReadFrame()
 		if err != nil {
 			break
 		}
 		msg, err := wire.Unmarshal(frame)
 		if err != nil {
-			p.cfg.Logf("jecho publisher: sub %s: %v", id, err)
+			p.cfg.Logf("jecho publisher: sub %s: %v", sub.id, err)
 			break
 		}
 		plan, ok := msg.(*wire.Plan)
 		if !ok {
-			p.cfg.Logf("jecho publisher: sub %s sent %T", id, msg)
+			p.cfg.Logf("jecho publisher: sub %s sent %T", sub.id, msg)
 			continue
 		}
+		before := mod.Plan().SplitIDs()
 		if err := mod.ApplyWirePlan(plan); err != nil {
-			p.cfg.Logf("jecho publisher: sub %s plan: %v", id, err)
+			p.cfg.Logf("jecho publisher: sub %s plan: %v", sub.id, err)
+			continue
+		}
+		if !equalSplit(before, mod.Plan().SplitIDs()) {
+			metrics.planFlips.Add(1)
 		}
 	}
-	_ = conn.Close()
-	p.mu.Lock()
-	delete(p.subs, id)
-	p.mu.Unlock()
+	p.retire(sub)
+}
+
+// equalSplit compares two sorted split-id sets.
+func equalSplit(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Publish pushes one event through every subscription's modulator (all
-// channels) and sends the resulting raw events or continuations. It returns
-// the number of subscribers reached and the first error encountered.
+// channels) and hands the resulting raw events or continuations to the
+// per-subscription send pipelines. It returns the number of subscriptions
+// reached (modulated and queued, or filtered at the sender) and the joined
+// error across failing subscriptions, so callers can tell one dead peer
+// from total failure.
 //
 // The event value is shared across subscriptions (and their concurrently
 // running modulators), so handlers must treat incoming events as read-only —
@@ -277,48 +345,54 @@ func (p *Publisher) publish(event mir.Value, channel string, broadcast bool) (in
 	}
 	p.mu.Unlock()
 
-	if len(subs) == 1 {
-		if err := subs[0].publishOne(event); err != nil {
+	switch len(subs) {
+	case 0:
+		return 0, nil
+	case 1:
+		if err := p.publishOne(subs[0], event); err != nil {
 			return 0, fmt.Errorf("jecho: sub %s: %w", subs[0].id, err)
 		}
 		return 1, nil
 	}
 	// Fan out concurrently: each subscription has its own modulator and
-	// connection, and per-subscription ordering is preserved because one
+	// send queue, and per-subscription ordering is preserved because one
 	// Publish call runs one message per subscription.
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		reached  int
-	)
-	for _, s := range subs {
-		s := s
+	var wg sync.WaitGroup
+	errs := make([]error, len(subs))
+	for i, s := range subs {
+		i, s := i, s
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			err := s.publishOne(event)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("jecho: sub %s: %w", s.id, err)
-				}
-				return
+			if err := p.publishOne(s, event); err != nil {
+				errs[i] = fmt.Errorf("jecho: sub %s: %w", s.id, err)
 			}
-			reached++
 		}()
 	}
 	wg.Wait()
-	return reached, firstErr
+	reached := 0
+	for _, e := range errs {
+		if e == nil {
+			reached++
+		}
+	}
+	return reached, errors.Join(errs...)
 }
 
-func (s *subscription) publishOne(event mir.Value) error {
+// publishOne modulates the event for one subscription and enqueues the
+// result (and any due profiling feedback) on its send pipeline. The only
+// blocking here is queue handoff under the Block policy; transport writes
+// happen on the subscription's sender goroutine.
+func (p *Publisher) publishOne(s *subscription, event mir.Value) error {
 	out, err := s.mod.Process(event)
 	if err != nil {
 		return err
 	}
-	if !out.Suppressed {
+	s.metrics.published.Add(1)
+	if out.Suppressed {
+		s.metrics.suppressed.Add(1)
+		s.metrics.bytesSaved.Add(uint64(wire.SizeOf(event)))
+	} else {
 		var msg any
 		if out.Raw != nil {
 			msg = out.Raw
@@ -329,11 +403,19 @@ func (s *subscription) publishOne(event mir.Value) error {
 		if err != nil {
 			return err
 		}
-		if err := s.send(data); err != nil {
+		if out.Cont != nil {
+			if raw := wire.SizeOf(event); raw > int64(len(data)) {
+				s.metrics.bytesSaved.Add(uint64(raw - int64(len(data))))
+			}
+		}
+		if err := s.pipe.enqueue(data); err != nil {
+			p.retire(s)
 			return err
 		}
 	}
-	// Rate-triggered sender-side profiling feedback (§2.5).
+	// Rate-triggered sender-side profiling feedback (§2.5). Feedback
+	// coalesces to the latest snapshot instead of queueing, so a slow
+	// peer never accumulates stale reports.
 	snap := s.coll.Snapshot()
 	if s.trigger.ShouldReport(snap, s.coll.Messages()) {
 		fb := s.coll.ToWire(s.compiled.Prog.Name)
@@ -341,21 +423,7 @@ func (s *subscription) publishOne(event mir.Value) error {
 		if err != nil {
 			return err
 		}
-		if err := s.send(data); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (s *subscription) send(data []byte) error {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	if err := wire.WriteFrame(s.conn, data); err != nil {
-		if errors.Is(err, io.EOF) {
-			return fmt.Errorf("jecho: subscriber gone: %w", err)
-		}
-		return err
+		s.pipe.enqueueFeedback(data)
 	}
 	return nil
 }

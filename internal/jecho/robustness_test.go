@@ -8,6 +8,7 @@ import (
 	"methodpart/internal/costmodel"
 	"methodpart/internal/imaging"
 	"methodpart/internal/jecho"
+	"methodpart/internal/transport"
 	"methodpart/internal/wire"
 )
 
@@ -49,7 +50,7 @@ func TestBadHandshakeRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := wire.WriteFrame(conn, data); err != nil {
+	if err := transport.WriteFrame(conn, data); err != nil {
 		t.Fatal(err)
 	}
 	// The publisher must close the connection without registering.
@@ -78,7 +79,7 @@ func TestBadHandlerSourceRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := wire.WriteFrame(conn, data); err != nil {
+	if err := transport.WriteFrame(conn, data); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, 1)
@@ -105,7 +106,7 @@ func TestProtocolMismatchRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := wire.WriteFrame(conn, data); err != nil {
+	if err := transport.WriteFrame(conn, data); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, 1)

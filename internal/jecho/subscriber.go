@@ -3,8 +3,8 @@ package jecho
 import (
 	"fmt"
 	"log"
-	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"methodpart/internal/costmodel"
@@ -12,13 +12,17 @@ import (
 	"methodpart/internal/partition"
 	"methodpart/internal/profileunit"
 	"methodpart/internal/reconfig"
+	"methodpart/internal/transport"
 	"methodpart/internal/wire"
 )
 
 // SubscriberConfig configures a subscription to a remote publisher.
 type SubscriberConfig struct {
-	// Addr is the publisher's TCP address.
+	// Addr is the publisher's address in the transport's notation.
 	Addr string
+	// Transport carries the subscription (nil = TCP). It must match the
+	// publisher's transport.
+	Transport transport.Transport
 	// Name identifies this subscriber.
 	Name string
 	// Channel names the event channel to attach to ("" = default;
@@ -55,19 +59,21 @@ type SubscriberConfig struct {
 // pushes new plans back to the publisher.
 type Subscriber struct {
 	cfg      SubscriberConfig
-	conn     net.Conn
+	conn     transport.Conn
 	compiled *partition.Compiled
 	demod    *partition.Demodulator
 	coll     *profileunit.Collector
 	runit    *reconfig.Unit
 	trigger  profileunit.Trigger
+	metrics  channelMetrics
 
 	mu          sync.Mutex
 	senderStats map[int32]costmodel.Stat
-	writeMu     sync.Mutex
+	lastSplit   []int32
 	done        chan struct{}
 	readErr     error
 	processed   uint64
+	closing     atomic.Bool
 }
 
 // SubscribeWithRetry dials the publisher with exponential backoff (starting
@@ -112,6 +118,9 @@ func Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
 	if cfg.DiffThreshold == 0 {
 		cfg.DiffThreshold = 0.2
 	}
+	if cfg.Transport == nil {
+		cfg.Transport = transport.Default()
+	}
 	subMsg := &wire.Subscribe{
 		Protocol:   wire.ProtocolVersion,
 		Subscriber: cfg.Name,
@@ -125,7 +134,7 @@ func Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.Dial("tcp", cfg.Addr)
+	conn, err := cfg.Transport.Dial(cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("jecho: dial publisher: %w", err)
 	}
@@ -134,7 +143,7 @@ func Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
 		_ = conn.Close()
 		return nil, err
 	}
-	if err := wire.WriteFrame(conn, data); err != nil {
+	if err := conn.WriteFrame(data); err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("jecho: subscribe handshake: %w", err)
 	}
@@ -198,15 +207,25 @@ func (s *Subscriber) Stats() map[int32]costmodel.Stat {
 	return profileunit.Merge(sender, s.coll.Snapshot())
 }
 
-// Err returns the receive-loop terminal error (nil on clean close).
+// Metrics snapshots the subscriber-side channel counters: messages
+// demodulated, bytes received, plans pushed. Publisher-only fields
+// (Dropped, Suppressed, queue depths) stay zero here.
+func (s *Subscriber) Metrics() ChannelMetrics {
+	return s.metrics.snapshot()
+}
+
+// Err returns the receive-loop terminal error (nil on clean close). A close
+// initiated locally via Close is clean; a publisher that goes away mid-
+// subscription is not.
 func (s *Subscriber) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.readErr
 }
 
-// Close tears down the subscription.
+// Close tears the subscription down.
 func (s *Subscriber) Close() error {
+	s.closing.Store(true)
 	err := s.conn.Close()
 	<-s.done
 	return err
@@ -217,21 +236,34 @@ func (s *Subscriber) sendPlan(p *wire.Plan) error {
 	if err != nil {
 		return err
 	}
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	return wire.WriteFrame(s.conn, data)
+	if err := s.conn.WriteFrame(data); err != nil {
+		return err
+	}
+	s.metrics.bytesOnWire.Add(uint64(len(data)) + transport.HeaderSize)
+	s.mu.Lock()
+	if s.lastSplit != nil && !equalSplit(s.lastSplit, p.Split) {
+		s.metrics.planFlips.Add(1)
+	}
+	s.lastSplit = append([]int32(nil), p.Split...)
+	s.mu.Unlock()
+	return nil
 }
 
 func (s *Subscriber) readLoop() {
 	defer close(s.done)
 	for {
-		frame, err := wire.ReadFrame(s.conn)
+		frame, err := s.conn.ReadFrame()
 		if err != nil {
-			s.mu.Lock()
-			s.readErr = err
-			s.mu.Unlock()
+			// A locally initiated Close is a clean shutdown, not an
+			// error (the doc contract of Err).
+			if !s.closing.Load() {
+				s.mu.Lock()
+				s.readErr = err
+				s.mu.Unlock()
+			}
 			return
 		}
+		s.metrics.bytesOnWire.Add(uint64(len(frame)) + transport.HeaderSize)
 		msg, err := wire.Unmarshal(frame)
 		if err != nil {
 			s.cfg.Logf("jecho subscriber: %v", err)
@@ -244,6 +276,7 @@ func (s *Subscriber) readLoop() {
 				s.cfg.Logf("jecho subscriber: demodulate: %v", err)
 				continue
 			}
+			s.metrics.published.Add(1)
 			s.mu.Lock()
 			s.processed++
 			s.mu.Unlock()

@@ -1,0 +1,49 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize bounds a single frame to guard against corrupt length
+// prefixes.
+const MaxFrameSize = 256 << 20
+
+// HeaderSize is the per-frame overhead of the length-prefix framing, used
+// by the channel metrics to report on-wire byte counts consistently across
+// transports.
+const HeaderSize = 4
+
+// WriteFrame writes one length-prefixed frame to a byte stream. It is the
+// framing the TCP transport speaks; it lives here (not in internal/wire) so
+// that wire stays a pure message codec.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [HeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from a byte stream.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

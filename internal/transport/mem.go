@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+)
+
+// memConnBuffer is the per-direction frame buffer of a Mem connection. It
+// is deliberately small: a stalled reader exerts backpressure on the writer
+// after this many frames, just as a full TCP send buffer would, which is
+// what the jecho backpressure tests rely on.
+const memConnBuffer = 16
+
+// Mem is an in-process Transport: listeners register in the instance's
+// address table and Dial connects to them through a pair of channel-backed
+// conns. One Mem value is one network; distinct instances cannot reach each
+// other, so tests stay isolated. All methods are safe for concurrent use.
+type Mem struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	next      int
+}
+
+// NewMem creates an empty in-process network.
+func NewMem() *Mem {
+	return &Mem{listeners: make(map[string]*memListener)}
+}
+
+// Listen implements Transport. An empty address or one ending in ":0"
+// auto-allocates ("mem:N"), mirroring TCP's ephemeral ports.
+func (m *Mem) Listen(addr string) (Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if addr == "" || strings.HasSuffix(addr, ":0") {
+		m.next++
+		addr = fmt.Sprintf("mem:%d", m.next)
+	}
+	if _, ok := m.listeners[addr]; ok {
+		return nil, fmt.Errorf("transport: address %s already in use", addr)
+	}
+	l := &memListener{
+		m:      m,
+		addr:   addr,
+		accept: make(chan *memConn),
+		closed: make(chan struct{}),
+	}
+	m.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Transport.
+func (m *Mem) Dial(addr string) (Conn, error) {
+	m.mu.Lock()
+	l, ok := m.listeners[addr]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: connection refused: no listener at %s", addr)
+	}
+	local, remote := newMemPair(fmt.Sprintf("mem:dial->%s", addr), addr)
+	select {
+	case l.accept <- remote:
+		return local, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("transport: connection refused: %s closed", addr)
+	}
+}
+
+type memListener struct {
+	m      *Mem
+	addr   string
+	accept chan *memConn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		l.m.mu.Lock()
+		delete(l.m.listeners, l.addr)
+		l.m.mu.Unlock()
+		close(l.closed)
+	})
+	return nil
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+// memConn is one end of an in-process connection: frames flow through a
+// bounded channel per direction.
+type memConn struct {
+	in         chan []byte // frames readable here
+	out        chan []byte // the peer's in
+	closed     chan struct{}
+	peerClosed chan struct{}
+	once       sync.Once
+	laddr      string
+	raddr      string
+}
+
+func newMemPair(dialerAddr, listenerAddr string) (dialer, accepted *memConn) {
+	ab := make(chan []byte, memConnBuffer)
+	ba := make(chan []byte, memConnBuffer)
+	d := &memConn{in: ba, out: ab, closed: make(chan struct{}), laddr: dialerAddr, raddr: listenerAddr}
+	a := &memConn{in: ab, out: ba, closed: make(chan struct{}), laddr: listenerAddr, raddr: dialerAddr}
+	d.peerClosed = a.closed
+	a.peerClosed = d.closed
+	return d, a
+}
+
+func (c *memConn) WriteFrame(payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	// The payload is copied so the caller may reuse its buffer, matching
+	// the semantics of a socket write.
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	select {
+	case c.out <- buf:
+		return nil
+	case <-c.closed:
+		return net.ErrClosed
+	case <-c.peerClosed:
+		return io.ErrClosedPipe
+	}
+}
+
+func (c *memConn) ReadFrame() ([]byte, error) {
+	for {
+		// Drain buffered frames before consulting close state, so frames
+		// written before a peer close are still delivered (TCP-like).
+		select {
+		case f := <-c.in:
+			return f, nil
+		default:
+		}
+		select {
+		case f := <-c.in:
+			return f, nil
+		case <-c.closed:
+			return nil, net.ErrClosed
+		case <-c.peerClosed:
+			select {
+			case f := <-c.in:
+				return f, nil
+			default:
+				return nil, io.EOF
+			}
+		}
+	}
+}
+
+func (c *memConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+func (c *memConn) LocalAddr() string { return c.laddr }
+
+func (c *memConn) RemoteAddr() string { return c.raddr }

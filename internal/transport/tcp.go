@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCP is the stdlib-socket transport: length-prefix framing over a TCP
+// byte stream. The zero value is ready to use.
+type TCP struct{}
+
+// Listen implements Transport.
+func (TCP) Listen(addr string) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	return &tcpListener{ln: ln}, nil
+}
+
+// Dial implements Transport.
+func (TCP) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial: %w", err)
+	}
+	return &tcpConn{c: c}, nil
+}
+
+type tcpListener struct {
+	ln net.Listener
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	c, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{c: c}, nil
+}
+
+func (l *tcpListener) Close() error { return l.ln.Close() }
+
+func (l *tcpListener) Addr() string { return l.ln.Addr().String() }
+
+// tcpConn frames a net.Conn. The write mutex keeps a frame's header and
+// payload contiguous when multiple goroutines write; the read mutex does
+// the same for the header+payload pair of a read.
+type tcpConn struct {
+	c       net.Conn
+	readMu  sync.Mutex
+	writeMu sync.Mutex
+}
+
+func (c *tcpConn) ReadFrame() ([]byte, error) {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	return ReadFrame(c.c)
+}
+
+func (c *tcpConn) WriteFrame(payload []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return WriteFrame(c.c, payload)
+}
+
+func (c *tcpConn) Close() error { return c.c.Close() }
+
+func (c *tcpConn) LocalAddr() string { return c.c.LocalAddr().String() }
+
+func (c *tcpConn) RemoteAddr() string { return c.c.RemoteAddr().String() }

@@ -1,0 +1,60 @@
+// Package transport is the frame-oriented connection layer beneath the
+// jecho event runtime. It separates *how frames move between hosts* from
+// *what the frames mean* (internal/wire) and *who sends what to whom*
+// (internal/jecho): the runtime works against the Transport/Listener/Conn
+// triple and never touches a socket directly.
+//
+// Two implementations ship with the package: TCP (length-prefix framing
+// over stdlib net, the historical wire path) and Mem (an in-process
+// channel-backed transport for deterministic tests and single-process
+// deployments). Custom transports — TLS, unix sockets, a simnet-shaped
+// lossy link — only need to implement the three interfaces.
+package transport
+
+// Conn is one bidirectional, frame-oriented connection. Frames are opaque
+// byte payloads delivered whole and in order; the transport owns framing
+// (length prefixes on a byte stream, message boundaries on a datagram or
+// channel substrate).
+//
+// ReadFrame and WriteFrame must each be safe for use by one goroutine at a
+// time per direction (one reader plus one writer concurrently is the
+// contract the jecho runtime relies on); implementations serialize
+// concurrent writers internally. Close unblocks pending reads and writes.
+type Conn interface {
+	// ReadFrame returns the next frame, blocking until one arrives. It
+	// returns io.EOF after the peer closes cleanly and net.ErrClosed
+	// after a local Close.
+	ReadFrame() ([]byte, error)
+	// WriteFrame sends one frame, blocking while the transport's buffer
+	// is full (this is the pressure the jecho send pipelines translate
+	// into queueing policy).
+	WriteFrame(payload []byte) error
+	// Close tears the connection down; it is idempotent.
+	Close() error
+	// LocalAddr describes the local endpoint.
+	LocalAddr() string
+	// RemoteAddr describes the remote endpoint.
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections at one address.
+type Listener interface {
+	// Accept blocks for the next inbound Conn; it errors after Close.
+	Accept() (Conn, error)
+	// Close stops accepting; it is idempotent.
+	Close() error
+	// Addr returns the bound address in the transport's own notation
+	// (host:port for TCP, "mem:N" for Mem).
+	Addr() string
+}
+
+// Transport creates connections: Listen binds the passive side, Dial the
+// active side. Implementations must be safe for concurrent use.
+type Transport interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// Default returns the transport used when a config leaves the knob nil:
+// TCP, the paper-shaped deployment over real sockets.
+func Default() Transport { return TCP{} }

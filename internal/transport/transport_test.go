@@ -1,0 +1,374 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- framing (moved here from internal/wire with the layer split) ---
+
+func TestFraming(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("alpha"), {}, []byte("gamma")}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame = %q, want %q", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("read past end succeeded")
+	}
+}
+
+func TestFrameLimit(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadFrame(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d decoded", cut)
+		}
+	}
+}
+
+// --- Transport contract, exercised against both implementations ---
+
+func transports(t *testing.T) map[string]Transport {
+	t.Helper()
+	return map[string]Transport{
+		"tcp": TCP{},
+		"mem": NewMem(),
+	}
+}
+
+func listenAddr(name string) string {
+	if name == "tcp" {
+		return "127.0.0.1:0"
+	}
+	return ""
+}
+
+func TestRoundTrip(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			ln, err := tr.Listen(listenAddr(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			accepted := make(chan Conn, 1)
+			go func() {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				accepted <- c
+			}()
+			client, err := tr.Dial(ln.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+			server := <-accepted
+			defer server.Close()
+
+			frames := [][]byte{[]byte("one"), {}, bytes.Repeat([]byte("x"), 100_000)}
+			for _, f := range frames {
+				if err := client.WriteFrame(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, want := range frames {
+				got, err := server.ReadFrame()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("frame mismatch: %d vs %d bytes", len(got), len(want))
+				}
+			}
+			// And the reverse direction.
+			if err := server.WriteFrame([]byte("pong")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := client.ReadFrame()
+			if err != nil || string(got) != "pong" {
+				t.Fatalf("reverse frame = %q, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestPeerCloseDeliversPendingThenEOF(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			ln, err := tr.Listen(listenAddr(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			accepted := make(chan Conn, 1)
+			go func() {
+				c, err := ln.Accept()
+				if err == nil {
+					accepted <- c
+				}
+			}()
+			client, err := tr.Dial(ln.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			server := <-accepted
+			if err := client.WriteFrame([]byte("last words")); err != nil {
+				t.Fatal(err)
+			}
+			_ = client.Close()
+			got, err := server.ReadFrame()
+			if err != nil || string(got) != "last words" {
+				t.Fatalf("pending frame = %q, %v", got, err)
+			}
+			if _, err := server.ReadFrame(); err == nil {
+				t.Fatal("read past peer close succeeded")
+			}
+			_ = server.Close()
+		})
+	}
+}
+
+func TestLocalCloseUnblocksRead(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			ln, err := tr.Listen(listenAddr(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			go func() {
+				c, err := ln.Accept()
+				if err == nil {
+					defer c.Close()
+					_, _ = c.ReadFrame() // hold the conn open until close
+				}
+			}()
+			client, err := tr.Dial(ln.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			readErr := make(chan error, 1)
+			go func() {
+				_, err := client.ReadFrame()
+				readErr <- err
+			}()
+			time.Sleep(10 * time.Millisecond)
+			_ = client.Close()
+			select {
+			case err := <-readErr:
+				if err == nil {
+					t.Fatal("read returned no error after local close")
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("read did not unblock on local close")
+			}
+		})
+	}
+}
+
+func TestDialRefusedWithoutListener(t *testing.T) {
+	mem := NewMem()
+	if _, err := mem.Dial("mem:404"); err == nil {
+		t.Fatal("mem dial to missing listener succeeded")
+	}
+	if _, err := (TCP{}).Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("tcp dial to dead port succeeded")
+	}
+}
+
+func TestMemListenerLifecycle(t *testing.T) {
+	mem := NewMem()
+	ln, err := mem.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ln.Addr() == "" {
+		t.Fatal("auto-allocated address empty")
+	}
+	// The address is taken while the listener lives...
+	if _, err := mem.Listen(ln.Addr()); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+	// ...Accept unblocks on Close...
+	acceptErr := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		acceptErr <- err
+	}()
+	_ = ln.Close()
+	select {
+	case err := <-acceptErr:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("accept after close: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept did not unblock on close")
+	}
+	// ...and the address is reusable afterwards.
+	if _, err := mem.Listen(ln.Addr()); err != nil {
+		t.Fatalf("re-listen after close: %v", err)
+	}
+	// Dialing the closed (re-registered) address still works; dialing a
+	// transport with the listener gone is refused.
+	if _, err := mem.Dial("mem:nowhere"); err == nil {
+		t.Fatal("dial to never-registered address succeeded")
+	}
+}
+
+// TestMemWriteBlocksOnStalledReader pins the backpressure property the
+// jecho pipeline tests build on: a reader that never drains causes writes
+// to block after the per-direction buffer fills.
+func TestMemWriteBlocksOnStalledReader(t *testing.T) {
+	mem := NewMem()
+	ln, err := mem.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			_ = c // never read, never close: a stalled peer
+		}
+	}()
+	client, err := mem.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	wrote := make(chan int, 1)
+	go func() {
+		n := 0
+		for ; n < memConnBuffer*4; n++ {
+			if err := client.WriteFrame([]byte("frame")); err != nil {
+				break
+			}
+		}
+		wrote <- n
+	}()
+	select {
+	case n := <-wrote:
+		t.Fatalf("all %d writes completed against a stalled reader", n)
+	case <-time.After(100 * time.Millisecond):
+		// Blocked, as intended; Close unblocks the writer.
+		_ = client.Close()
+	}
+}
+
+func TestConcurrentWritersInterleaveWholeFrames(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			ln, err := tr.Listen(listenAddr(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			accepted := make(chan Conn, 1)
+			go func() {
+				c, err := ln.Accept()
+				if err == nil {
+					accepted <- c
+				}
+			}()
+			client, err := tr.Dial(ln.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+			server := <-accepted
+			defer server.Close()
+
+			const writers, perWriter = 8, 50
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					payload := bytes.Repeat([]byte{byte('a' + w)}, 64+w)
+					for i := 0; i < perWriter; i++ {
+						if err := client.WriteFrame(payload); err != nil {
+							t.Errorf("writer %d: %v", w, err)
+							return
+						}
+					}
+				}(w)
+			}
+			got := make(chan error, 1)
+			go func() {
+				for i := 0; i < writers*perWriter; i++ {
+					f, err := server.ReadFrame()
+					if err != nil {
+						got <- fmt.Errorf("read %d: %w", i, err)
+						return
+					}
+					// A whole frame is homogeneous; torn frames are not.
+					for _, b := range f[1:] {
+						if b != f[0] {
+							got <- fmt.Errorf("torn frame %q", f)
+							return
+						}
+					}
+					if len(f) != 64+int(f[0]-'a') {
+						got <- fmt.Errorf("frame len %d for writer %c", len(f), f[0])
+						return
+					}
+				}
+				got <- nil
+			}()
+			wg.Wait()
+			if err := <-got; err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestWriteFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, MaxFrameSize+1)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+	mem := NewMem()
+	ln, _ := mem.Listen("")
+	defer ln.Close()
+	go func() { _, _ = ln.Accept() }()
+	c, err := mem.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WriteFrame(make([]byte, MaxFrameSize+1)); err == nil {
+		t.Fatal("oversized mem write accepted")
+	}
+}

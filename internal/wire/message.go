@@ -1,9 +1,7 @@
 package wire
 
 import (
-	"encoding/binary"
 	"fmt"
-	"io"
 	"math"
 	"sort"
 
@@ -371,39 +369,4 @@ func Unmarshal(data []byte) (any, error) {
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", data[0])
 	}
-}
-
-// MaxFrameSize bounds a single frame to guard against corrupt length
-// prefixes.
-const MaxFrameSize = 256 << 20
-
-// WriteFrame writes a length-prefixed message to w.
-func WriteFrame(w io.Writer, payload []byte) error {
-	if len(payload) > MaxFrameSize {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
-	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
-}
-
-// ReadFrame reads one length-prefixed message from r.
-func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > MaxFrameSize {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
-	}
-	return payload, nil
 }

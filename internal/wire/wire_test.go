@@ -1,7 +1,6 @@
 package wire
 
 import (
-	"bytes"
 	"testing"
 	"testing/quick"
 
@@ -252,36 +251,6 @@ func TestUnmarshalErrors(t *testing.T) {
 	}
 	if _, err := Unmarshal([]byte{byte(MsgRaw), 1}); err == nil {
 		t.Error("truncated message accepted")
-	}
-}
-
-func TestFraming(t *testing.T) {
-	var buf bytes.Buffer
-	payloads := [][]byte{[]byte("alpha"), {}, []byte("gamma")}
-	for _, p := range payloads {
-		if err := WriteFrame(&buf, p); err != nil {
-			t.Fatal(err)
-		}
-	}
-	for _, want := range payloads {
-		got, err := ReadFrame(&buf)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(got, want) {
-			t.Errorf("frame = %q, want %q", got, want)
-		}
-	}
-	if _, err := ReadFrame(&buf); err == nil {
-		t.Error("read past end succeeded")
-	}
-}
-
-func TestFrameLimit(t *testing.T) {
-	var buf bytes.Buffer
-	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
-	if _, err := ReadFrame(&buf); err == nil {
-		t.Error("oversized frame accepted")
 	}
 }
 

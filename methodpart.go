@@ -54,6 +54,7 @@ import (
 	"methodpart/internal/partition"
 	"methodpart/internal/profileunit"
 	"methodpart/internal/reconfig"
+	"methodpart/internal/transport"
 	"methodpart/internal/wire"
 )
 
@@ -130,10 +131,50 @@ type (
 	Subscriber = jecho.Subscriber
 	// SubscriberConfig configures a subscription.
 	SubscriberConfig = jecho.SubscriberConfig
+	// SubscriptionInfo describes one live publisher-side subscription.
+	SubscriptionInfo = jecho.SubscriptionInfo
+	// ChannelMetrics snapshots one event-channel endpoint's counters
+	// (published, suppressed, dropped, queue high-water, bytes on wire
+	// vs. bytes saved by modulation, plan flips).
+	ChannelMetrics = jecho.ChannelMetrics
+	// OverflowPolicy selects the backpressure behaviour of a full
+	// per-subscription send queue.
+	OverflowPolicy = jecho.OverflowPolicy
+
+	// Transport is the frame-oriented connection layer beneath the event
+	// system; implement it to carry subscriptions over a custom substrate.
+	Transport = transport.Transport
 
 	// Continuation is the wire form of a remote continuation.
 	Continuation = wire.Continuation
 )
+
+// Overflow policies for PublisherConfig.OverflowPolicy.
+const (
+	// Block waits for queue space: lossless, but a stalled peer
+	// eventually throttles publishes addressed to it.
+	Block = jecho.Block
+	// DropNewest sheds the freshest event when a subscription's queue is
+	// full.
+	DropNewest = jecho.DropNewest
+	// DropOldest evicts the oldest queued frame to admit the new one
+	// (last-value streams).
+	DropOldest = jecho.DropOldest
+)
+
+// DefaultQueueDepth is the per-subscription send-queue bound used when
+// PublisherConfig.QueueDepth is zero.
+const DefaultQueueDepth = jecho.DefaultQueueDepth
+
+// TCPTransport returns the stdlib-socket transport (the default when a
+// config's Transport field is nil).
+func TCPTransport() Transport { return transport.TCP{} }
+
+// MemTransport returns a fresh in-process transport: publishers and
+// subscribers sharing the instance reach each other without sockets —
+// deterministic tests and single-process deployments. Distinct instances
+// are isolated networks.
+func MemTransport() Transport { return transport.NewMem() }
 
 // RawPSEID identifies the synthetic "ship the raw event" split point.
 const RawPSEID = partition.RawPSEID
