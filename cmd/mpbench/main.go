@@ -5,7 +5,8 @@
 //	mpbench -experiment table2 -frames 500
 //	mpbench -experiment figure7 -seeds 5
 //
-// Experiments: table1, table2, table3, table4, figure7, figure8, claims.
+// Experiments: table1, table2, table3, table4, figure7, figure8, ablation,
+// models, richimage, channel, faults, claims.
 package main
 
 import (
@@ -27,7 +28,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mpbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "which experiment to run (table1|table2|table3|table4|figure7|figure8|ablation|models|richimage|channel|claims|all)")
+	experiment := fs.String("experiment", "all", "which experiment to run (table1|table2|table3|table4|figure7|figure8|ablation|models|richimage|channel|faults|claims|all)")
 	frames := fs.Int("frames", 0, "override frames per run (0 = experiment default)")
 	seeds := fs.Int("seeds", 0, "override number of perturbation seeds (0 = default 5)")
 	asCSV := fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
@@ -145,6 +146,21 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		bench.WriteChannel(w, rows)
+	}
+	if all || wanted["faults"] {
+		ran = true
+		faCfg := bench.DefaultFaultsConfig()
+		if *frames > 0 {
+			faCfg.Frames = *frames
+		}
+		if *seeds > 0 {
+			faCfg.Rounds = *seeds
+		}
+		rows, err := bench.FaultsExperiment(faCfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteFaults(w, rows)
 	}
 	if all || wanted["claims"] {
 		ran = true

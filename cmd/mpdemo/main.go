@@ -38,6 +38,9 @@ func run(args []string) error {
 	display := fs.Int("display", 160, "subscriber display size")
 	queue := fs.Int("queue", 0, "per-subscription send queue depth (0 = default)")
 	overflow := fs.String("overflow", "block", "send queue overflow policy: block | drop-newest | drop-oldest")
+	heartbeat := fs.Duration("heartbeat", 0, "idle-liveness heartbeat interval (0 = default, negative = disabled)")
+	writeTimeout := fs.Duration("write-timeout", 0, "per-frame write deadline (0 = default, negative = disabled)")
+	resubscribe := fs.Bool("resubscribe", false, "subscriber auto-redials and resyncs after connection loss")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,16 +48,25 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	sup := supervisionFlags{heartbeat: *heartbeat, writeTimeout: *writeTimeout, resubscribe: *resubscribe}
 	switch *mode {
 	case "both":
-		return runBoth(*addr, *frames, *display, *queue, policy)
+		return runBoth(*addr, *frames, *display, *queue, policy, sup)
 	case "publish":
-		return runPublisher(*addr, *frames, *queue, policy, true)
+		return runPublisher(*addr, *frames, *queue, policy, sup, true)
 	case "subscribe":
-		return runSubscriber(*addr, *display)
+		return runSubscriber(*addr, *display, sup)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+}
+
+// supervisionFlags bundles the connection-supervision knobs shared by both
+// roles.
+type supervisionFlags struct {
+	heartbeat    time.Duration
+	writeTimeout time.Duration
+	resubscribe  bool
 }
 
 func parsePolicy(name string) (methodpart.OverflowPolicy, error) {
@@ -70,19 +82,21 @@ func parsePolicy(name string) (methodpart.OverflowPolicy, error) {
 	}
 }
 
-func newPublisher(addr string, queue int, policy methodpart.OverflowPolicy) (*methodpart.Publisher, error) {
+func newPublisher(addr string, queue int, policy methodpart.OverflowPolicy, sup supervisionFlags) (*methodpart.Publisher, error) {
 	reg, _ := imaging.Builtins()
 	return methodpart.NewPublisher(methodpart.PublisherConfig{
-		Addr:           addr,
-		Builtins:       reg,
-		FeedbackEvery:  2,
-		QueueDepth:     queue,
-		OverflowPolicy: policy,
+		Addr:              addr,
+		Builtins:          reg,
+		FeedbackEvery:     2,
+		QueueDepth:        queue,
+		OverflowPolicy:    policy,
+		HeartbeatInterval: sup.heartbeat,
+		WriteTimeout:      sup.writeTimeout,
 	})
 }
 
-func runPublisher(addr string, frames, queue int, policy methodpart.OverflowPolicy, wait bool) error {
-	pub, err := newPublisher(addr, queue, policy)
+func runPublisher(addr string, frames, queue int, policy methodpart.OverflowPolicy, sup supervisionFlags, wait bool) error {
+	pub, err := newPublisher(addr, queue, policy, sup)
 	if err != nil {
 		return err
 	}
@@ -134,8 +148,8 @@ func printChannelMetrics(pub *methodpart.Publisher) {
 	}
 }
 
-func runSubscriber(addr string, display int) error {
-	sub, err := subscribe(addr, display)
+func runSubscriber(addr string, display int, sup supervisionFlags) error {
+	sub, err := subscribe(addr, display, sup)
 	if err != nil {
 		return err
 	}
@@ -145,32 +159,35 @@ func runSubscriber(addr string, display int) error {
 	return nil
 }
 
-func subscribe(addr string, display int) (*methodpart.Subscriber, error) {
+func subscribe(addr string, display int, sup supervisionFlags) (*methodpart.Subscriber, error) {
 	reg, _ := imaging.Builtins()
 	return methodpart.Subscribe(methodpart.SubscriberConfig{
-		Addr:          addr,
-		Name:          "mpdemo",
-		Source:        imaging.HandlerSource(display),
-		Handler:       imaging.HandlerName,
-		CostModel:     "datasize",
-		Natives:       []string{"displayImage"},
-		Builtins:      reg,
-		Environment:   methodpart.DefaultEnvironment(),
-		ReconfigEvery: 2,
-		DiffThreshold: 0.1,
+		Addr:              addr,
+		Name:              "mpdemo",
+		Source:            imaging.HandlerSource(display),
+		Handler:           imaging.HandlerName,
+		CostModel:         "datasize",
+		Natives:           []string{"displayImage"},
+		Builtins:          reg,
+		Environment:       methodpart.DefaultEnvironment(),
+		ReconfigEvery:     2,
+		DiffThreshold:     0.1,
+		Resubscribe:       sup.resubscribe,
+		HeartbeatInterval: sup.heartbeat,
+		WriteTimeout:      sup.writeTimeout,
 		OnResult: func(r *methodpart.HandlerResult) {
 			fmt.Printf("  received message (split PSE %d)\n", r.SplitPSE)
 		},
 	})
 }
 
-func runBoth(addr string, frames, display, queue int, policy methodpart.OverflowPolicy) error {
-	pub, err := newPublisher(addr, queue, policy)
+func runBoth(addr string, frames, display, queue int, policy methodpart.OverflowPolicy, sup supervisionFlags) error {
+	pub, err := newPublisher(addr, queue, policy, sup)
 	if err != nil {
 		return err
 	}
 	defer pub.Close()
-	sub, err := subscribe(pub.Addr(), display)
+	sub, err := subscribe(pub.Addr(), display, sup)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/imaging"
+	"methodpart/internal/jecho"
+	"methodpart/internal/transport"
+)
+
+// FaultsConfig drives the fault-injection experiment: a publisher and an
+// auto-resubscribing subscriber over a transport that severs the link on
+// command, measuring how the channel recovers — does the subscriber come
+// back, and does the selected split return to the pre-failure optimum
+// without either process restarting?
+type FaultsConfig struct {
+	// Rounds is the number of injected link cuts.
+	Rounds int
+	// Frames is the number of events published per round (before the first
+	// cut this also drives the initial convergence).
+	Frames int
+	// FrameSize is the square image edge length; large frames make the
+	// post-resize split optimal, giving the experiment a non-trivial
+	// optimum to return to.
+	FrameSize int
+	// Seed roots the deterministic fault randomness (frame delays).
+	Seed int64
+}
+
+// DefaultFaultsConfig converges in well under a second per round.
+func DefaultFaultsConfig() FaultsConfig {
+	return FaultsConfig{Rounds: 3, Frames: 120, FrameSize: 200, Seed: 1}
+}
+
+// FaultsRow is one link-cut round's outcome.
+type FaultsRow struct {
+	// Round numbers the cut (1-based).
+	Round int
+	// Severed is how many live connections the cut closed.
+	Severed int
+	// RecoverMS is the time from the cut until a fresh session was
+	// registered and its plan re-pushed.
+	RecoverMS float64
+	// SplitBefore and SplitAfter are the selected split sets on either
+	// side of the failure.
+	SplitBefore string
+	SplitAfter  string
+	// Converged reports SplitAfter == SplitBefore: the channel returned to
+	// its pre-failure optimum from the resynced profiling snapshot alone.
+	Converged bool
+	// Reconnects is the subscriber's cumulative reconnect count.
+	Reconnects uint64
+	// PlanVersion is the active plan version after recovery (it must keep
+	// rising across cuts — reconnection never rolls the plan back).
+	PlanVersion uint64
+}
+
+// FaultsExperiment converges a channel on its optimal split, then cuts the
+// link Rounds times. After every cut the subscriber must redial,
+// resubscribe, and seed the fresh session from its merged profiling
+// snapshot so the split returns to the pre-failure optimum.
+func FaultsExperiment(cfg FaultsConfig) ([]FaultsRow, error) {
+	flaky := transport.NewFlaky(transport.NewMem(), transport.FaultPlan{
+		Seed:      cfg.Seed,
+		DelayProb: 0.2,
+		MaxDelay:  2 * time.Millisecond,
+	})
+	reg, _ := imaging.Builtins()
+	pub, err := jecho.NewPublisher(jecho.PublisherConfig{
+		Transport:         flaky,
+		Builtins:          reg,
+		FeedbackEvery:     5,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatMisses:   5,
+		WriteTimeout:      time.Second,
+		Logf:              func(string, ...any) {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer pub.Close()
+
+	sreg, _ := imaging.Builtins()
+	sub, err := jecho.Subscribe(jecho.SubscriberConfig{
+		Addr:              pub.Addr(),
+		Transport:         flaky,
+		Name:              "chaos",
+		Source:            imaging.HandlerSource(64),
+		Handler:           imaging.HandlerName,
+		CostModel:         costmodel.DataSizeName,
+		Natives:           []string{"displayImage"},
+		Builtins:          sreg,
+		Environment:       costmodel.DefaultEnvironment(),
+		ReconfigEvery:     5,
+		Resubscribe:       true,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatMisses:   5,
+		WriteTimeout:      time.Second,
+		Logf:              func(string, ...any) {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sub.Close()
+
+	seq := int64(0)
+	publish := func(n int) {
+		for i := 0; i < n; i++ {
+			// Publishes into a severed session fail until the fresh one
+			// registers; that is part of the scenario, not an error.
+			_, _ = pub.Publish(imaging.NewFrame(cfg.FrameSize, cfg.FrameSize, seq))
+			seq++
+			time.Sleep(time.Millisecond)
+		}
+	}
+	session := func() (jecho.SubscriptionInfo, bool) {
+		subs := pub.Subscriptions()
+		if len(subs) != 1 {
+			return jecho.SubscriptionInfo{}, false
+		}
+		return subs[0], true
+	}
+
+	publish(cfg.Frames)
+	rows := make([]FaultsRow, 0, cfg.Rounds)
+	for round := 1; round <= cfg.Rounds; round++ {
+		before, ok := session()
+		if !ok {
+			return nil, fmt.Errorf("bench: faults: no session before round %d", round)
+		}
+		cut := time.Now()
+		severed := flaky.SeverAll()
+		// Recovery: a fresh session (new id) registered with a strictly
+		// newer plan than the one that died.
+		deadline := time.Now().Add(10 * time.Second)
+		var after jecho.SubscriptionInfo
+		for {
+			if info, ok := session(); ok && info.ID != before.ID && info.PlanVersion > before.PlanVersion {
+				after = info
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("bench: faults: round %d: no recovery after %v", round, time.Since(cut))
+			}
+			time.Sleep(time.Millisecond)
+		}
+		recover := time.Since(cut)
+		rows = append(rows, FaultsRow{
+			Round:       round,
+			Severed:     severed,
+			RecoverMS:   float64(recover.Microseconds()) / 1000,
+			SplitBefore: fmt.Sprintf("%v", before.SplitIDs),
+			SplitAfter:  fmt.Sprintf("%v", after.SplitIDs),
+			Converged:   fmt.Sprintf("%v", before.SplitIDs) == fmt.Sprintf("%v", after.SplitIDs),
+			Reconnects:  sub.Metrics().Reconnects,
+			PlanVersion: after.PlanVersion,
+		})
+		publish(cfg.Frames)
+	}
+	return rows, nil
+}
+
+// WriteFaults renders the fault-injection experiment.
+func WriteFaults(w io.Writer, rows []FaultsRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Round),
+			fmt.Sprintf("%d", r.Severed),
+			fmt.Sprintf("%.1f", r.RecoverMS),
+			r.SplitBefore, r.SplitAfter,
+			fmt.Sprintf("%v", r.Converged),
+			fmt.Sprintf("%d", r.Reconnects),
+			fmt.Sprintf("%d", r.PlanVersion),
+		})
+	}
+	writeTable(w, "Fault injection: link cuts with auto-resubscribe (flaky mem transport)",
+		[]string{"round", "severed", "recoverMS", "splitBefore", "splitAfter", "converged", "reconnects", "planVer"},
+		out)
+}

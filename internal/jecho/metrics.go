@@ -41,6 +41,14 @@ type ChannelMetrics struct {
 	// SendErrors counts transport write failures (each retires the
 	// subscription on the publisher side).
 	SendErrors uint64
+	// HeartbeatsSent counts liveness frames written while the channel was
+	// otherwise idle.
+	HeartbeatsSent uint64
+	// HeartbeatsReceived counts liveness frames from the peer.
+	HeartbeatsReceived uint64
+	// Reconnects counts successful automatic resubscriptions after a lost
+	// connection (subscriber side).
+	Reconnects uint64
 }
 
 // channelMetrics is the live, atomically-updated form behind a
@@ -58,6 +66,9 @@ type channelMetrics struct {
 	feedbackCoalesced atomic.Uint64
 	planFlips         atomic.Uint64
 	sendErrors        atomic.Uint64
+	heartbeatsSent    atomic.Uint64
+	heartbeatsRecv    atomic.Uint64
+	reconnects        atomic.Uint64
 }
 
 // noteDepth records an observed queue depth, keeping the high-water mark.
@@ -74,16 +85,19 @@ func (m *channelMetrics) noteDepth(depth int) {
 // snapshot materialises the counters.
 func (m *channelMetrics) snapshot() ChannelMetrics {
 	return ChannelMetrics{
-		Published:         m.published.Load(),
-		Suppressed:        m.suppressed.Load(),
-		Enqueued:          m.enqueued.Load(),
-		Dropped:           m.dropped.Load(),
-		QueueHighWater:    m.queueHighWater.Load(),
-		BytesOnWire:       m.bytesOnWire.Load(),
-		BytesSaved:        m.bytesSaved.Load(),
-		FeedbackSent:      m.feedbackSent.Load(),
-		FeedbackCoalesced: m.feedbackCoalesced.Load(),
-		PlanFlips:         m.planFlips.Load(),
-		SendErrors:        m.sendErrors.Load(),
+		Published:          m.published.Load(),
+		Suppressed:         m.suppressed.Load(),
+		Enqueued:           m.enqueued.Load(),
+		Dropped:            m.dropped.Load(),
+		QueueHighWater:     m.queueHighWater.Load(),
+		BytesOnWire:        m.bytesOnWire.Load(),
+		BytesSaved:         m.bytesSaved.Load(),
+		FeedbackSent:       m.feedbackSent.Load(),
+		FeedbackCoalesced:  m.feedbackCoalesced.Load(),
+		PlanFlips:          m.planFlips.Load(),
+		SendErrors:         m.sendErrors.Load(),
+		HeartbeatsSent:     m.heartbeatsSent.Load(),
+		HeartbeatsReceived: m.heartbeatsRecv.Load(),
+		Reconnects:         m.reconnects.Load(),
 	}
 }

@@ -3,8 +3,10 @@ package jecho
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"methodpart/internal/transport"
+	"methodpart/internal/wire"
 )
 
 // OverflowPolicy decides what happens when a subscription's bounded
@@ -65,6 +67,8 @@ type sendPipeline struct {
 	queue   chan []byte
 	policy  OverflowPolicy
 	metrics *channelMetrics
+	sup     supervision
+	hbSeq   uint64 // sender-goroutine only
 
 	stop     chan struct{} // closed by shutdown: unblocks enqueuers + sender
 	done     chan struct{} // closed when the sender goroutine exits
@@ -80,7 +84,7 @@ type sendPipeline struct {
 	failed func(error)
 }
 
-func newSendPipeline(conn transport.Conn, depth int, policy OverflowPolicy, m *channelMetrics, failed func(error)) *sendPipeline {
+func newSendPipeline(conn transport.Conn, depth int, policy OverflowPolicy, sup supervision, m *channelMetrics, failed func(error)) *sendPipeline {
 	if depth <= 0 {
 		depth = DefaultQueueDepth
 	}
@@ -88,6 +92,7 @@ func newSendPipeline(conn transport.Conn, depth int, policy OverflowPolicy, m *c
 		conn:    conn,
 		queue:   make(chan []byte, depth),
 		policy:  policy,
+		sup:     sup,
 		metrics: m,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -168,9 +173,17 @@ func (p *sendPipeline) takeFeedback() []byte {
 }
 
 // run is the sender goroutine: it drains the queue and the feedback slot
-// until shutdown or a write error.
+// until shutdown or a write error, and fills idle gaps with heartbeat
+// frames so the peer's silence window never expires on a healthy but
+// quiet channel.
 func (p *sendPipeline) run() {
 	defer close(p.done)
+	var heartbeat <-chan time.Time
+	if p.sup.interval > 0 {
+		t := time.NewTicker(p.sup.interval)
+		defer t.Stop()
+		heartbeat = t.C
+	}
 	for {
 		// Check stop first so shutdown wins over a backlog.
 		select {
@@ -189,13 +202,31 @@ func (p *sendPipeline) run() {
 					return
 				}
 			}
+		case <-heartbeat:
+			if !p.writeHeartbeat() {
+				return
+			}
 		case <-p.stop:
 			return
 		}
 	}
 }
 
+func (p *sendPipeline) writeHeartbeat() bool {
+	p.hbSeq++
+	data, err := wire.Marshal(&wire.Heartbeat{Seq: p.hbSeq})
+	if err != nil {
+		return true // cannot happen; never kill the sender for it
+	}
+	if !p.write(data, false) {
+		return false
+	}
+	p.metrics.heartbeatsSent.Add(1)
+	return true
+}
+
 func (p *sendPipeline) write(data []byte, feedback bool) bool {
+	p.sup.armWrite(p.conn)
 	if err := p.conn.WriteFrame(data); err != nil {
 		p.metrics.sendErrors.Add(1)
 		if p.failed != nil {

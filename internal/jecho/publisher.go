@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"methodpart/internal/mir"
 	"methodpart/internal/mir/interp"
@@ -37,6 +39,18 @@ type PublisherConfig struct {
 	// OverflowPolicy selects the behaviour when a subscription's queue is
 	// full (default Block).
 	OverflowPolicy OverflowPolicy
+	// HeartbeatInterval is the idle-liveness probe period per
+	// subscription (0 = DefaultHeartbeatInterval, <0 disables
+	// heartbeats and silence detection).
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many silent heartbeat periods retire a peer:
+	// the read window is HeartbeatInterval × HeartbeatMisses
+	// (0 = DefaultHeartbeatMisses, <0 disables silence detection only).
+	HeartbeatMisses int
+	// WriteTimeout bounds each frame write so a wedged peer fails its
+	// sender goroutine instead of blocking it forever
+	// (0 = DefaultWriteTimeout, <0 disables).
+	WriteTimeout time.Duration
 	// Logf receives diagnostics (nil = log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -47,6 +61,7 @@ type PublisherConfig struct {
 // frames to per-subscription queues and never blocks on a peer's socket.
 type Publisher struct {
 	cfg      PublisherConfig
+	sup      supervision
 	listener transport.Listener
 
 	mu     sync.Mutex
@@ -91,6 +106,7 @@ func NewPublisher(cfg PublisherConfig) (*Publisher, error) {
 	}
 	p := &Publisher{
 		cfg:      cfg,
+		sup:      resolveSupervision(cfg.HeartbeatInterval, cfg.HeartbeatMisses, cfg.WriteTimeout),
 		listener: ln,
 		subs:     make(map[string]*subscription),
 	}
@@ -207,6 +223,9 @@ func (p *Publisher) retire(s *subscription) {
 // then serves plan updates from the subscriber.
 func (p *Publisher) handleConn(conn transport.Conn) {
 	defer p.wg.Done()
+	// The handshake gets the same silence window as steady-state reads: a
+	// connection that never subscribes must not pin a goroutine forever.
+	p.sup.armRead(conn)
 	frame, err := conn.ReadFrame()
 	if err != nil {
 		_ = conn.Close()
@@ -252,7 +271,7 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 		trigger:  &profileunit.RateTrigger{EveryMessages: p.cfg.FeedbackEvery},
 		metrics:  metrics,
 	}
-	sub.pipe = newSendPipeline(conn, p.cfg.QueueDepth, p.cfg.OverflowPolicy, metrics,
+	sub.pipe = newSendPipeline(conn, p.cfg.QueueDepth, p.cfg.OverflowPolicy, p.sup, metrics,
 		func(err error) {
 			p.cfg.Logf("jecho publisher: sub %s send: %v; retiring", sub.id, err)
 			p.retire(sub)
@@ -275,10 +294,16 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 		sub.pipe.run()
 	}()
 
-	// Serve inbound control messages (plans) until the peer goes away.
+	// Serve inbound control messages (plans, heartbeats) until the peer
+	// goes away or falls silent past the heartbeat window.
 	for {
+		p.sup.armRead(conn)
 		frame, err := conn.ReadFrame()
 		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				p.cfg.Logf("jecho publisher: sub %s: no frame in %v; retiring silent peer",
+					sub.id, p.sup.window)
+			}
 			break
 		}
 		msg, err := wire.Unmarshal(frame)
@@ -286,18 +311,20 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 			p.cfg.Logf("jecho publisher: sub %s: %v", sub.id, err)
 			break
 		}
-		plan, ok := msg.(*wire.Plan)
-		if !ok {
+		switch m := msg.(type) {
+		case *wire.Heartbeat:
+			metrics.heartbeatsRecv.Add(1)
+		case *wire.Plan:
+			before := mod.Plan().SplitIDs()
+			if err := mod.ApplyWirePlan(m); err != nil {
+				p.cfg.Logf("jecho publisher: sub %s plan: %v", sub.id, err)
+				continue
+			}
+			if !equalSplit(before, mod.Plan().SplitIDs()) {
+				metrics.planFlips.Add(1)
+			}
+		default:
 			p.cfg.Logf("jecho publisher: sub %s sent %T", sub.id, msg)
-			continue
-		}
-		before := mod.Plan().SplitIDs()
-		if err := mod.ApplyWirePlan(plan); err != nil {
-			p.cfg.Logf("jecho publisher: sub %s plan: %v", sub.id, err)
-			continue
-		}
-		if !equalSplit(before, mod.Plan().SplitIDs()) {
-			metrics.planFlips.Add(1)
 		}
 	}
 	p.retire(sub)

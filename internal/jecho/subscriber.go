@@ -50,16 +50,43 @@ type SubscriberConfig struct {
 	ReconfigEvery uint64
 	// DiffThreshold is the diff trigger sensitivity (0 = 0.2).
 	DiffThreshold float64
+	// Resubscribe makes the subscriber survive connection loss: it redials
+	// with exponential backoff, replays the subscription handshake, and
+	// reseeds the fresh session from its merged profiling snapshot, so the
+	// reconfiguration unit resumes from accumulated knowledge instead of
+	// restarting cold.
+	Resubscribe bool
+	// ResubscribeAttempts bounds consecutive failed reconnect attempts per
+	// outage before the subscriber gives up terminally
+	// (0 = DefaultResubscribeAttempts).
+	ResubscribeAttempts int
+	// HeartbeatInterval is the idle-liveness probe period
+	// (0 = DefaultHeartbeatInterval, <0 disables heartbeats and silence
+	// detection).
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many silent heartbeat periods declare the
+	// publisher dead: the read window is HeartbeatInterval ×
+	// HeartbeatMisses (0 = DefaultHeartbeatMisses, <0 disables silence
+	// detection only).
+	HeartbeatMisses int
+	// WriteTimeout bounds each frame write (plans, heartbeats) so a wedged
+	// publisher fails the write instead of blocking forever
+	// (0 = DefaultWriteTimeout, <0 disables).
+	WriteTimeout time.Duration
 	// Logf receives diagnostics (nil = log.Printf).
 	Logf func(format string, args ...any)
 }
 
 // Subscriber is the receiver side of one subscription: it demodulates
 // incoming messages, merges sender feedback with local profiling, and
-// pushes new plans back to the publisher.
+// pushes new plans back to the publisher. With Resubscribe set it also
+// survives connection loss: profiling state and the reconfiguration unit
+// live here, not in the connection, so a fresh session can be seeded from
+// everything learned before the failure.
 type Subscriber struct {
 	cfg      SubscriberConfig
-	conn     transport.Conn
+	sup      supervision
+	subMsg   *wire.Subscribe
 	compiled *partition.Compiled
 	demod    *partition.Demodulator
 	coll     *profileunit.Collector
@@ -68,12 +95,16 @@ type Subscriber struct {
 	metrics  channelMetrics
 
 	mu          sync.Mutex
+	conn        transport.Conn
 	senderStats map[int32]costmodel.Stat
 	lastSplit   []int32
-	done        chan struct{}
 	readErr     error
 	processed   uint64
-	closing     atomic.Bool
+
+	done     chan struct{}
+	stop     chan struct{} // closed by Close: aborts reconnect backoff
+	stopOnce sync.Once
+	closing  atomic.Bool
 }
 
 // SubscribeWithRetry dials the publisher with exponential backoff (starting
@@ -134,19 +165,6 @@ func Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
 	if err != nil {
 		return nil, err
 	}
-	conn, err := cfg.Transport.Dial(cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("jecho: dial publisher: %w", err)
-	}
-	data, err := wire.Marshal(subMsg)
-	if err != nil {
-		_ = conn.Close()
-		return nil, err
-	}
-	if err := conn.WriteFrame(data); err != nil {
-		_ = conn.Close()
-		return nil, fmt.Errorf("jecho: subscribe handshake: %w", err)
-	}
 
 	env := interp.NewEnv(compiled.Classes, cfg.Builtins)
 	coll := profileunit.NewCollector(compiled.NumPSEs())
@@ -155,7 +173,8 @@ func Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
 	demod.CrossProbe = coll
 	s := &Subscriber{
 		cfg:      cfg,
-		conn:     conn,
+		sup:      resolveSupervision(cfg.HeartbeatInterval, cfg.HeartbeatMisses, cfg.WriteTimeout),
+		subMsg:   subMsg,
 		compiled: compiled,
 		demod:    demod,
 		coll:     coll,
@@ -166,7 +185,13 @@ func Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
 		}},
 		senderStats: make(map[int32]costmodel.Stat),
 		done:        make(chan struct{}),
+		stop:        make(chan struct{}),
 	}
+	conn, err := s.connect()
+	if err != nil {
+		return nil, err
+	}
+	s.setConn(conn)
 	// Install the static initial plan at the sender.
 	plan, wirePlan, err := s.runit.InitialPlan()
 	if err != nil {
@@ -178,8 +203,28 @@ func Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
 		_ = conn.Close()
 		return nil, err
 	}
-	go s.readLoop()
+	go s.supervise(conn)
 	return s, nil
+}
+
+// connect dials the publisher and replays the subscription handshake. It is
+// the shared path of the initial Subscribe and every resubscription.
+func (s *Subscriber) connect() (transport.Conn, error) {
+	conn, err := s.cfg.Transport.Dial(s.cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("jecho: dial publisher: %w", err)
+	}
+	data, err := wire.Marshal(s.subMsg)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	s.sup.armWrite(conn)
+	if err := conn.WriteFrame(data); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("jecho: subscribe handshake: %w", err)
+	}
+	return conn, nil
 }
 
 // Compiled exposes the compiled handler (PSE table) for inspection.
@@ -192,7 +237,9 @@ func (s *Subscriber) Processed() uint64 {
 	return s.processed
 }
 
-// Done is closed when the receive loop ends.
+// Done is closed when the receive loop ends for good — after Close, after a
+// connection loss with Resubscribe off, or after reconnect attempts are
+// exhausted. Mid-outage, a resubscribing subscriber keeps Done open.
 func (s *Subscriber) Done() <-chan struct{} { return s.done }
 
 // Stats returns the merged (sender + receiver) per-PSE profiling snapshot —
@@ -208,27 +255,47 @@ func (s *Subscriber) Stats() map[int32]costmodel.Stat {
 }
 
 // Metrics snapshots the subscriber-side channel counters: messages
-// demodulated, bytes received, plans pushed. Publisher-only fields
-// (Dropped, Suppressed, queue depths) stay zero here.
+// demodulated, bytes received, plans pushed, reconnects survived.
+// Publisher-only fields (Dropped, Suppressed, queue depths) stay zero here.
 func (s *Subscriber) Metrics() ChannelMetrics {
 	return s.metrics.snapshot()
 }
 
-// Err returns the receive-loop terminal error (nil on clean close). A close
-// initiated locally via Close is clean; a publisher that goes away mid-
-// subscription is not.
+// Err returns the terminal error (nil on clean close). A close initiated
+// locally via Close is clean; a publisher that goes away mid-subscription is
+// not. While a resubscribing subscriber is mid-outage Err stays nil — an
+// outage it expects to survive is not terminal.
 func (s *Subscriber) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.readErr
 }
 
-// Close tears the subscription down.
+// Close tears the subscription down, aborting any in-flight reconnect.
 func (s *Subscriber) Close() error {
 	s.closing.Store(true)
-	err := s.conn.Close()
+	s.stopOnce.Do(func() { close(s.stop) })
+	err := s.currentConn().Close()
 	<-s.done
 	return err
+}
+
+func (s *Subscriber) setConn(conn transport.Conn) {
+	s.mu.Lock()
+	s.conn = conn
+	s.mu.Unlock()
+}
+
+func (s *Subscriber) currentConn() transport.Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn
+}
+
+func (s *Subscriber) setErr(err error) {
+	s.mu.Lock()
+	s.readErr = err
+	s.mu.Unlock()
 }
 
 func (s *Subscriber) sendPlan(p *wire.Plan) error {
@@ -236,7 +303,9 @@ func (s *Subscriber) sendPlan(p *wire.Plan) error {
 	if err != nil {
 		return err
 	}
-	if err := s.conn.WriteFrame(data); err != nil {
+	conn := s.currentConn()
+	s.sup.armWrite(conn)
+	if err := conn.WriteFrame(data); err != nil {
 		return err
 	}
 	s.metrics.bytesOnWire.Add(uint64(len(data)) + transport.HeaderSize)
@@ -249,19 +318,131 @@ func (s *Subscriber) sendPlan(p *wire.Plan) error {
 	return nil
 }
 
-func (s *Subscriber) readLoop() {
+// supervise owns the subscription across connections: it runs the read loop
+// on the current connection and, when the connection dies underneath a
+// Resubscribe subscriber, redials, resubscribes and resyncs before going
+// around again. It is the only goroutine that closes done.
+func (s *Subscriber) supervise(conn transport.Conn) {
 	defer close(s.done)
 	for {
-		frame, err := s.conn.ReadFrame()
-		if err != nil {
-			// A locally initiated Close is a clean shutdown, not an
-			// error (the doc contract of Err).
+		err := s.readLoop(conn)
+		if s.closing.Load() {
+			return
+		}
+		if !s.cfg.Resubscribe {
+			s.setErr(err)
+			return
+		}
+		s.cfg.Logf("jecho subscriber %s: connection lost (%v); resubscribing", s.cfg.Name, err)
+		next, rerr := s.resubscribe()
+		if rerr != nil {
 			if !s.closing.Load() {
-				s.mu.Lock()
-				s.readErr = err
-				s.mu.Unlock()
+				s.setErr(rerr)
 			}
 			return
+		}
+		s.metrics.reconnects.Add(1)
+		conn = next
+	}
+}
+
+// resubscribe redials with exponential backoff (50ms doubling, capped at
+// 2s) until a fresh session is connected and resynced, attempts run out, or
+// Close aborts the wait.
+func (s *Subscriber) resubscribe() (transport.Conn, error) {
+	attempts := s.cfg.ResubscribeAttempts
+	if attempts <= 0 {
+		attempts = DefaultResubscribeAttempts
+	}
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-s.stop:
+				return nil, fmt.Errorf("jecho: subscriber closed during resubscribe")
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+		}
+		conn, err := s.connect()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := s.resync(conn); err != nil {
+			_ = conn.Close()
+			lastErr = err
+			continue
+		}
+		return conn, nil
+	}
+	return nil, fmt.Errorf("jecho: resubscribe after %d attempts: %w", attempts, lastErr)
+}
+
+// resync seeds a fresh session from everything learned before the outage:
+// it recomputes the plan from the merged (sender + receiver) profiling
+// snapshot — both halves survive the connection because they live in the
+// subscriber — and pushes it to the publisher's newly compiled modulator,
+// so the split decision resumes where it left off instead of walking in
+// again from the static initial plan.
+func (s *Subscriber) resync(conn transport.Conn) error {
+	s.setConn(conn)
+	s.mu.Lock()
+	merged := profileunit.Merge(s.senderStats, s.coll.Snapshot())
+	s.mu.Unlock()
+	plan, wirePlan, err := s.runit.SelectPlan(merged)
+	if err != nil {
+		return err
+	}
+	s.demod.SetProfilePlan(plan)
+	return s.sendPlan(wirePlan)
+}
+
+// heartbeatLoop proves liveness to the publisher while the plan channel is
+// idle. A failed heartbeat write closes the connection, which wakes the
+// read loop blocked on the same conn so supervision can take over.
+func (s *Subscriber) heartbeatLoop(conn transport.Conn, connDone <-chan struct{}) {
+	t := time.NewTicker(s.sup.interval)
+	defer t.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-connDone:
+			return
+		case <-s.stop:
+			return
+		case <-t.C:
+			seq++
+			data, err := wire.Marshal(&wire.Heartbeat{Seq: seq})
+			if err != nil {
+				return
+			}
+			s.sup.armWrite(conn)
+			if err := conn.WriteFrame(data); err != nil {
+				_ = conn.Close()
+				return
+			}
+			s.metrics.heartbeatsSent.Add(1)
+		}
+	}
+}
+
+// readLoop serves one connection until it dies, returning the read error.
+func (s *Subscriber) readLoop(conn transport.Conn) error {
+	connDone := make(chan struct{})
+	defer close(connDone)
+	if s.sup.interval > 0 {
+		go s.heartbeatLoop(conn, connDone)
+	}
+	for {
+		s.sup.armRead(conn)
+		frame, err := conn.ReadFrame()
+		if err != nil {
+			return err
 		}
 		s.metrics.bytesOnWire.Add(uint64(len(frame)) + transport.HeaderSize)
 		msg, err := wire.Unmarshal(frame)
@@ -291,6 +472,8 @@ func (s *Subscriber) readLoop() {
 			}
 			s.mu.Unlock()
 			s.maybeReconfigure()
+		case *wire.Heartbeat:
+			s.metrics.heartbeatsRecv.Add(1)
 		default:
 			s.cfg.Logf("jecho subscriber: unexpected %T", msg)
 		}

@@ -39,6 +39,10 @@ type pseAgg struct {
 	modWork   ewma
 	demodWork ewma
 	splits    uint64
+	// crossSeen latches the crossings count at the previous SplitAt, so
+	// SplitAt can tell whether Cross is observing this edge (profiled and
+	// sampled) or the split observation is the only one this edge gets.
+	crossSeen uint64
 }
 
 // Collector aggregates profiling events. It implements both
@@ -104,14 +108,28 @@ func (c *Collector) Cross(id int32, workAt, contBytes int64) {
 	a.modWork.observe(float64(workAt), c.alpha)
 }
 
-// SplitAt implements partition.SenderProbe.
+// SplitAt implements partition.SenderProbe. Besides counting the split it
+// keeps the edge's statistics fresh: when the active split edge is not
+// profiled (or the message was not sampled), Cross never fires for it, and
+// without the observation here its count and bytes/modWork EWMAs would
+// freeze at whatever profiling saw before the split flag flipped — starving
+// the reconfiguration unit of exactly the edge it most needs current data
+// for. When Cross *is* observing the edge (crossings advanced since the
+// last SplitAt), the observation is skipped so no message is counted twice.
 func (c *Collector) SplitAt(id int32, modWork, contBytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if id < 0 || int(id) >= c.numPSEs {
 		return
 	}
-	c.pses[id].splits++
+	a := &c.pses[id]
+	a.splits++
+	if a.crossings == a.crossSeen {
+		a.crossings++
+		a.bytes.observe(float64(contBytes), c.alpha)
+		a.modWork.observe(float64(modWork), c.alpha)
+	}
+	a.crossSeen = a.crossings
 }
 
 // Done implements partition.ReceiverProbe.

@@ -200,3 +200,165 @@ func TestEitherTrigger(t *testing.T) {
 		t.Error("neither child should fire")
 	}
 }
+
+// TestSplitAtKeepsUnprofiledEdgeFresh is the regression test for SplitAt
+// dropping its modWork/contBytes arguments: when the active split edge is
+// not profiled (or not sampled), Cross never fires for it, and the split
+// observation is the only profiling that edge gets. Its stats must keep
+// moving, not freeze at whatever profiling saw before the split flipped.
+func TestSplitAtKeepsUnprofiledEdgeFresh(t *testing.T) {
+	c := NewCollector(4)
+	c.SetAlpha(1) // latest value wins, for exact assertions
+	for i := 0; i < 10; i++ {
+		c.Message(1000)
+		c.SplitAt(2, 70, int64(300+i))
+	}
+	s2, ok := c.Snapshot()[2]
+	if !ok {
+		t.Fatal("split-only edge missing from snapshot: SplitAt dropped its observations")
+	}
+	if s2.Count != 10 {
+		t.Errorf("split-only edge count = %d, want 10", s2.Count)
+	}
+	if s2.Bytes != 309 {
+		t.Errorf("split-only edge bytes = %g, want 309 (latest observation)", s2.Bytes)
+	}
+	if s2.ModWork != 70 {
+		t.Errorf("split-only edge modWork = %g, want 70", s2.ModWork)
+	}
+	if s2.Prob != 1 {
+		t.Errorf("split-only edge prob = %g, want 1", s2.Prob)
+	}
+}
+
+// TestSplitAtSkipsWhenCrossObserves: on a profiled, sampled message Cross
+// already observed the split edge; SplitAt must count the split but not
+// observe the same message twice.
+func TestSplitAtSkipsWhenCrossObserves(t *testing.T) {
+	c := NewCollector(4)
+	c.SetAlpha(1)
+	for i := 0; i < 10; i++ {
+		c.Message(1000)
+		c.Cross(1, 50, 200)
+		c.SplitAt(1, 999, 888) // same message; Cross saw it already
+	}
+	s1 := c.Snapshot()[1]
+	if s1.Count != 10 {
+		t.Errorf("count = %d, want 10 (one per message, not per probe)", s1.Count)
+	}
+	if s1.Bytes != 200 || s1.ModWork != 50 {
+		t.Errorf("stats = %+v, want the Cross observation (200/50)", s1)
+	}
+}
+
+// TestSplitAtMixedSampling: with Cross firing only on sampled messages,
+// every message is still observed exactly once — by Cross when sampled, by
+// SplitAt otherwise.
+func TestSplitAtMixedSampling(t *testing.T) {
+	c := NewCollector(4)
+	c.SetAlpha(1)
+	for i := 0; i < 10; i++ {
+		c.Message(1000)
+		if i%2 == 0 {
+			c.Cross(1, 50, 200)
+		}
+		c.SplitAt(1, 60, 210)
+	}
+	s1 := c.Snapshot()[1]
+	if s1.Count != 10 {
+		t.Errorf("count = %d, want 10 under 50%% sampling", s1.Count)
+	}
+	if s1.Prob != 1 {
+		t.Errorf("prob = %g, want 1", s1.Prob)
+	}
+}
+
+// TestMergeEqualCountsPreferReceiver: on an observation-count tie the
+// receiver's view is the base — it is the side that decides.
+func TestMergeEqualCountsPreferReceiver(t *testing.T) {
+	sender := map[int32]costmodel.Stat{1: {Count: 5, Bytes: 10, ModWork: 3}}
+	receiver := map[int32]costmodel.Stat{1: {Count: 5, Bytes: 20, ModWork: 7}}
+	m := Merge(sender, receiver)
+	if m[1].Bytes != 20 || m[1].ModWork != 7 {
+		t.Errorf("tied merge = %+v, want the receiver view (20/7)", m[1])
+	}
+}
+
+// TestMergeZeroByteFillIn: a fresher view that never observed byte sizes or
+// demod work takes both from the stale side rather than zeroing them.
+func TestMergeZeroByteFillIn(t *testing.T) {
+	sender := map[int32]costmodel.Stat{1: {Count: 3, Bytes: 42, DemodWork: 33}}
+	receiver := map[int32]costmodel.Stat{1: {Count: 9}}
+	m := Merge(sender, receiver)
+	if m[1].Count != 9 {
+		t.Errorf("merged count = %d, want the fresher receiver's 9", m[1].Count)
+	}
+	if m[1].Bytes != 42 {
+		t.Errorf("merged bytes = %g, want 42 filled in from the stale sender", m[1].Bytes)
+	}
+	if m[1].DemodWork != 33 {
+		t.Errorf("merged demod = %g, want 33 filled in from the stale sender", m[1].DemodWork)
+	}
+}
+
+// TestMergeReceiverDemodWorkAlwaysWins: the receiver is the only side that
+// ever truly measures demodulator work; its observation beats even a much
+// fresher sender estimate.
+func TestMergeReceiverDemodWorkAlwaysWins(t *testing.T) {
+	sender := map[int32]costmodel.Stat{1: {Count: 100, Bytes: 50, DemodWork: 99}}
+	receiver := map[int32]costmodel.Stat{1: {Count: 1, DemodWork: 7}}
+	m := Merge(sender, receiver)
+	if m[1].DemodWork != 7 {
+		t.Errorf("merged demod = %g, want the receiver's 7", m[1].DemodWork)
+	}
+	if m[1].Bytes != 50 {
+		t.Errorf("merged bytes = %g, want the fresher sender's 50", m[1].Bytes)
+	}
+}
+
+// TestRateTriggerBoundary pins the >= boundary and the zero-period default.
+func TestRateTriggerBoundary(t *testing.T) {
+	tr := &RateTrigger{EveryMessages: 3}
+	want := map[uint64]bool{1: false, 2: false, 3: true, 4: false, 5: false, 6: true}
+	for m := uint64(1); m <= 6; m++ {
+		if got := tr.ShouldReport(nil, m); got != want[m] {
+			t.Errorf("message %d: fired=%v, want %v", m, got, want[m])
+		}
+	}
+	every := &RateTrigger{} // period 0 means every message
+	for m := uint64(1); m <= 3; m++ {
+		if !every.ShouldReport(nil, m) {
+			t.Errorf("zero-period trigger idle at message %d", m)
+		}
+	}
+}
+
+// TestTimeTriggerBoundary: the first call only latches the clock, the
+// period boundary itself fires (>=), and a non-positive period defaults to
+// one second.
+func TestTimeTriggerBoundary(t *testing.T) {
+	now := time.Unix(100, 0)
+	tr := &TimeTrigger{Every: time.Second, Now: func() time.Time { return now }}
+	if tr.ShouldReport(nil, 1) {
+		t.Error("first call fired instead of latching")
+	}
+	now = now.Add(time.Second) // exactly the period
+	if !tr.ShouldReport(nil, 2) {
+		t.Error("exact period boundary did not fire")
+	}
+	if tr.ShouldReport(nil, 3) {
+		t.Error("re-fired with no time elapsed")
+	}
+
+	now = time.Unix(200, 0)
+	def := &TimeTrigger{Now: func() time.Time { return now }} // Every 0 -> 1s
+	def.ShouldReport(nil, 1)
+	now = now.Add(999 * time.Millisecond)
+	if def.ShouldReport(nil, 2) {
+		t.Error("default-period trigger fired before one second")
+	}
+	now = now.Add(time.Millisecond)
+	if !def.ShouldReport(nil, 3) {
+		t.Error("default-period trigger idle at one second")
+	}
+}

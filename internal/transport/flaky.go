@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultPlan configures the deterministic fault injection of a Flaky
+// transport. All randomness derives from Seed plus the connection's
+// creation index, so two runs over the same traffic see the same faults.
+// Faults apply to the write path (the direction the injector controls);
+// reads observe their consequences — severed connections, missing frames.
+type FaultPlan struct {
+	// Seed roots the per-connection random streams.
+	Seed int64
+	// SeverEvery hard-closes the underlying connection on every Nth
+	// WriteFrame (0 = never): the mid-stream link cut.
+	SeverEvery int
+	// SeverProb severs the connection before a write with this
+	// probability per frame.
+	SeverProb float64
+	// DropProb blackholes a frame with this probability: the write
+	// reports success but nothing reaches the peer (a lossy link).
+	DropProb float64
+	// DelayProb delays a frame with this probability, by a uniform
+	// duration in (0, MaxDelay].
+	DelayProb float64
+	// MaxDelay bounds injected delays (0 = 10ms when DelayProb > 0).
+	MaxDelay time.Duration
+}
+
+// Flaky wraps another Transport and injects faults on its connections for
+// chaos testing: severed links, blackholed frames, delivery delays — all
+// deterministic for a given FaultPlan.Seed and traffic pattern. SeverAll
+// cuts every live connection at once, the scripted "pull the cable"
+// action the chaos tests are built on.
+type Flaky struct {
+	inner Transport
+	plan  FaultPlan
+
+	mu    sync.Mutex
+	conns map[*flakyConn]struct{}
+	next  int64
+}
+
+// NewFlaky wraps inner with the given fault plan.
+func NewFlaky(inner Transport, plan FaultPlan) *Flaky {
+	return &Flaky{inner: inner, plan: plan, conns: make(map[*flakyConn]struct{})}
+}
+
+// Listen implements Transport; accepted connections inject faults too.
+func (f *Flaky) Listen(addr string) (Listener, error) {
+	ln, err := f.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyListener{f: f, ln: ln}, nil
+}
+
+// Dial implements Transport.
+func (f *Flaky) Dial(addr string) (Conn, error) {
+	c, err := f.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrap(c), nil
+}
+
+func (f *Flaky) wrap(c Conn) *flakyConn {
+	f.mu.Lock()
+	fc := &flakyConn{
+		Conn: c,
+		f:    f,
+		rng:  rand.New(rand.NewSource(f.plan.Seed + f.next)),
+	}
+	f.next++
+	f.conns[fc] = struct{}{}
+	f.mu.Unlock()
+	return fc
+}
+
+func (f *Flaky) forget(fc *flakyConn) {
+	f.mu.Lock()
+	delete(f.conns, fc)
+	f.mu.Unlock()
+}
+
+// SeverAll closes the underlying connection of every live wrapped conn —
+// both dialed and accepted ends — and returns how many it cut. Pending
+// reads and writes on them fail, exactly as if the link dropped.
+func (f *Flaky) SeverAll() int {
+	f.mu.Lock()
+	conns := make([]*flakyConn, 0, len(f.conns))
+	for fc := range f.conns {
+		conns = append(conns, fc)
+	}
+	f.mu.Unlock()
+	for _, fc := range conns {
+		fc.sever()
+	}
+	return len(conns)
+}
+
+type flakyListener struct {
+	f  *Flaky
+	ln Listener
+}
+
+func (l *flakyListener) Accept() (Conn, error) {
+	c, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.f.wrap(c), nil
+}
+
+func (l *flakyListener) Close() error { return l.ln.Close() }
+
+func (l *flakyListener) Addr() string { return l.ln.Addr() }
+
+// flakyConn injects the plan's faults into the write path of one
+// connection; everything else delegates to the embedded Conn.
+type flakyConn struct {
+	Conn
+	f *Flaky
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	writes int
+}
+
+// errSevered reports a write on a connection the fault plan cut.
+var errSevered = fmt.Errorf("transport: flaky: link severed")
+
+// decide rolls this write's fate under the plan. It owns the rng so
+// concurrent writers (event sender + heartbeats) stay race-free; the
+// fault sequence is deterministic in the order writes arrive.
+func (c *flakyConn) decide() (sever, drop bool, delay time.Duration) {
+	plan := c.f.plan
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.writes++
+	if plan.SeverEvery > 0 && c.writes%plan.SeverEvery == 0 {
+		return true, false, 0
+	}
+	if plan.SeverProb > 0 && c.rng.Float64() < plan.SeverProb {
+		return true, false, 0
+	}
+	if plan.DropProb > 0 && c.rng.Float64() < plan.DropProb {
+		return false, true, 0
+	}
+	if plan.DelayProb > 0 && c.rng.Float64() < plan.DelayProb {
+		max := plan.MaxDelay
+		if max <= 0 {
+			max = 10 * time.Millisecond
+		}
+		return false, false, time.Duration(c.rng.Int63n(int64(max))) + 1
+	}
+	return false, false, 0
+}
+
+func (c *flakyConn) WriteFrame(payload []byte) error {
+	sever, drop, delay := c.decide()
+	switch {
+	case sever:
+		c.sever()
+		return errSevered
+	case drop:
+		return nil
+	case delay > 0:
+		time.Sleep(delay)
+	}
+	return c.Conn.WriteFrame(payload)
+}
+
+// sever closes the underlying connection, failing the peer's reads and
+// writes as a real link cut would.
+func (c *flakyConn) sever() {
+	_ = c.Conn.Close()
+	c.f.forget(c)
+}
+
+func (c *flakyConn) Close() error {
+	c.f.forget(c)
+	return c.Conn.Close()
+}

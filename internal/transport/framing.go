@@ -31,19 +31,45 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame from a byte stream.
+// readChunk bounds how much ReadFrame allocates ahead of the bytes it has
+// actually received: a corrupt or hostile length prefix claiming a huge
+// frame costs at most one chunk of memory before the stream runs dry.
+const readChunk = 1 << 20
+
+// ReadFrame reads one length-prefixed frame from a byte stream. The
+// payload buffer grows incrementally as bytes arrive rather than being
+// allocated up front from the (untrusted) length prefix, so a poisoned
+// header cannot force a MaxFrameSize allocation from a short stream.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
+	if n <= readChunk {
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, err
+		}
+		return payload, nil
+	}
+	payload := make([]byte, readChunk, 2*readChunk)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
+	}
+	for len(payload) < n {
+		step := n - len(payload)
+		if step > readChunk {
+			step = readChunk
+		}
+		old := len(payload)
+		payload = append(payload, make([]byte, step)...)
+		if _, err := io.ReadFull(r, payload[old:]); err != nil {
+			return nil, err
+		}
 	}
 	return payload, nil
 }

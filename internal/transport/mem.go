@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"strings"
 	"sync"
+	"time"
 )
 
 // memConnBuffer is the per-direction frame buffer of a Mem connection. It
@@ -98,7 +100,10 @@ func (l *memListener) Close() error {
 func (l *memListener) Addr() string { return l.addr }
 
 // memConn is one end of an in-process connection: frames flow through a
-// bounded channel per direction.
+// bounded channel per direction. Deadlines mirror net.Conn semantics: a
+// blocked ReadFrame/WriteFrame fails with os.ErrDeadlineExceeded once its
+// deadline passes, which is what makes heartbeat and stalled-peer
+// behaviour testable deterministically in-process.
 type memConn struct {
 	in         chan []byte // frames readable here
 	out        chan []byte // the peer's in
@@ -107,6 +112,39 @@ type memConn struct {
 	once       sync.Once
 	laddr      string
 	raddr      string
+
+	deadlineMu    sync.Mutex
+	readDeadline  time.Time
+	writeDeadline time.Time
+}
+
+func (c *memConn) SetReadDeadline(t time.Time) error {
+	c.deadlineMu.Lock()
+	c.readDeadline = t
+	c.deadlineMu.Unlock()
+	return nil
+}
+
+func (c *memConn) SetWriteDeadline(t time.Time) error {
+	c.deadlineMu.Lock()
+	c.writeDeadline = t
+	c.deadlineMu.Unlock()
+	return nil
+}
+
+// deadlineTimer arms a timer for the given deadline. It returns a nil
+// channel (blocks forever in a select) when no deadline is set, and a
+// non-nil expired marker when the deadline already passed.
+func deadlineTimer(d time.Time) (<-chan time.Time, *time.Timer, bool) {
+	if d.IsZero() {
+		return nil, nil, false
+	}
+	left := time.Until(d)
+	if left <= 0 {
+		return nil, nil, true
+	}
+	t := time.NewTimer(left)
+	return t.C, t, false
 }
 
 func newMemPair(dialerAddr, listenerAddr string) (dialer, accepted *memConn) {
@@ -123,13 +161,33 @@ func (c *memConn) WriteFrame(payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
 	}
+	// A write on a locally closed conn fails even when buffer space is
+	// free, matching TCP; without this check the select below could pick
+	// the buffered send over the closed signal.
+	select {
+	case <-c.closed:
+		return net.ErrClosed
+	default:
+	}
 	// The payload is copied so the caller may reuse its buffer, matching
 	// the semantics of a socket write.
 	buf := make([]byte, len(payload))
 	copy(buf, payload)
+	c.deadlineMu.Lock()
+	deadline := c.writeDeadline
+	c.deadlineMu.Unlock()
+	timeout, timer, expired := deadlineTimer(deadline)
+	if expired {
+		return os.ErrDeadlineExceeded
+	}
+	if timer != nil {
+		defer timer.Stop()
+	}
 	select {
 	case c.out <- buf:
 		return nil
+	case <-timeout:
+		return os.ErrDeadlineExceeded
 	case <-c.closed:
 		return net.ErrClosed
 	case <-c.peerClosed:
@@ -138,26 +196,36 @@ func (c *memConn) WriteFrame(payload []byte) error {
 }
 
 func (c *memConn) ReadFrame() ([]byte, error) {
-	for {
-		// Drain buffered frames before consulting close state, so frames
-		// written before a peer close are still delivered (TCP-like).
+	// Drain buffered frames before consulting close or deadline state, so
+	// frames written before a peer close are still delivered (TCP-like).
+	select {
+	case f := <-c.in:
+		return f, nil
+	default:
+	}
+	c.deadlineMu.Lock()
+	deadline := c.readDeadline
+	c.deadlineMu.Unlock()
+	timeout, timer, expired := deadlineTimer(deadline)
+	if expired {
+		return nil, os.ErrDeadlineExceeded
+	}
+	if timer != nil {
+		defer timer.Stop()
+	}
+	select {
+	case f := <-c.in:
+		return f, nil
+	case <-timeout:
+		return nil, os.ErrDeadlineExceeded
+	case <-c.closed:
+		return nil, net.ErrClosed
+	case <-c.peerClosed:
 		select {
 		case f := <-c.in:
 			return f, nil
 		default:
-		}
-		select {
-		case f := <-c.in:
-			return f, nil
-		case <-c.closed:
-			return nil, net.ErrClosed
-		case <-c.peerClosed:
-			select {
-			case f := <-c.in:
-				return f, nil
-			default:
-				return nil, io.EOF
-			}
+			return nil, io.EOF
 		}
 	}
 }

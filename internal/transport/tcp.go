@@ -4,24 +4,62 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
+// DefaultDialTimeout bounds TCP.Dial when the config leaves DialTimeout
+// zero: a peer that never answers its SYN fails the dial instead of
+// hanging the caller for the kernel's (minutes-long) default.
+const DefaultDialTimeout = 10 * time.Second
+
+// DefaultKeepAlive is the TCP keepalive probe period when KeepAlive is
+// zero. Keepalives are a second line of defence below the jecho-level
+// heartbeats: they reap connections whose peer host vanished entirely.
+const DefaultKeepAlive = 15 * time.Second
+
 // TCP is the stdlib-socket transport: length-prefix framing over a TCP
-// byte stream. The zero value is ready to use.
-type TCP struct{}
+// byte stream. The zero value is ready to use with sane timeouts; set the
+// fields to tune them (negative disables).
+type TCP struct {
+	// DialTimeout bounds connection establishment
+	// (0 = DefaultDialTimeout, <0 = no timeout).
+	DialTimeout time.Duration
+	// KeepAlive is the TCP keepalive probe period for dialed and accepted
+	// connections (0 = DefaultKeepAlive, <0 = disabled).
+	KeepAlive time.Duration
+}
+
+func (t TCP) keepAlive() time.Duration {
+	if t.KeepAlive == 0 {
+		return DefaultKeepAlive
+	}
+	if t.KeepAlive < 0 {
+		return -1 // net.Dialer convention: negative disables
+	}
+	return t.KeepAlive
+}
 
 // Listen implements Transport.
-func (TCP) Listen(addr string) (Listener, error) {
+func (t TCP) Listen(addr string) (Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	return &tcpListener{ln: ln}, nil
+	return &tcpListener{ln: ln, keepAlive: t.keepAlive()}, nil
 }
 
-// Dial implements Transport.
-func (TCP) Dial(addr string) (Conn, error) {
-	c, err := net.Dial("tcp", addr)
+// Dial implements Transport. The connection attempt is bounded by
+// DialTimeout, so an unresponsive address (blackholed route, dead host)
+// fails promptly instead of blocking the subscriber for minutes.
+func (t TCP) Dial(addr string) (Conn, error) {
+	timeout := t.DialTimeout
+	if timeout == 0 {
+		timeout = DefaultDialTimeout
+	} else if timeout < 0 {
+		timeout = 0 // net.Dialer convention: zero means no timeout
+	}
+	d := net.Dialer{Timeout: timeout, KeepAlive: t.keepAlive()}
+	c, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial: %w", err)
 	}
@@ -29,13 +67,22 @@ func (TCP) Dial(addr string) (Conn, error) {
 }
 
 type tcpListener struct {
-	ln net.Listener
+	ln        net.Listener
+	keepAlive time.Duration
 }
 
 func (l *tcpListener) Accept() (Conn, error) {
 	c, err := l.ln.Accept()
 	if err != nil {
 		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		if l.keepAlive > 0 {
+			_ = tc.SetKeepAlive(true)
+			_ = tc.SetKeepAlivePeriod(l.keepAlive)
+		} else {
+			_ = tc.SetKeepAlive(false)
+		}
 	}
 	return &tcpConn{c: c}, nil
 }
@@ -66,6 +113,10 @@ func (c *tcpConn) WriteFrame(payload []byte) error {
 }
 
 func (c *tcpConn) Close() error { return c.c.Close() }
+
+func (c *tcpConn) SetReadDeadline(t time.Time) error { return c.c.SetReadDeadline(t) }
+
+func (c *tcpConn) SetWriteDeadline(t time.Time) error { return c.c.SetWriteDeadline(t) }
 
 func (c *tcpConn) LocalAddr() string { return c.c.LocalAddr().String() }
 

@@ -7,9 +7,12 @@
 // Two implementations ship with the package: TCP (length-prefix framing
 // over stdlib net, the historical wire path) and Mem (an in-process
 // channel-backed transport for deterministic tests and single-process
-// deployments). Custom transports — TLS, unix sockets, a simnet-shaped
+// deployments), plus Flaky, a fault-injecting wrapper around either for
+// chaos testing. Custom transports — TLS, unix sockets, a simnet-shaped
 // lossy link — only need to implement the three interfaces.
 package transport
+
+import "time"
 
 // Conn is one bidirectional, frame-oriented connection. Frames are opaque
 // byte payloads delivered whole and in order; the transport owns framing
@@ -31,6 +34,16 @@ type Conn interface {
 	WriteFrame(payload []byte) error
 	// Close tears the connection down; it is idempotent.
 	Close() error
+	// SetReadDeadline bounds future ReadFrame calls: a read still blocked
+	// at t fails with an error satisfying errors.Is(err,
+	// os.ErrDeadlineExceeded). The zero time clears the deadline. This is
+	// what lets the jecho runtime detect a silent peer instead of
+	// blocking forever.
+	SetReadDeadline(t time.Time) error
+	// SetWriteDeadline bounds future WriteFrame calls the same way: a
+	// write still blocked at t (peer buffer full, link wedged) fails
+	// instead of hanging its sender goroutine.
+	SetWriteDeadline(t time.Time) error
 	// LocalAddr describes the local endpoint.
 	LocalAddr() string
 	// RemoteAddr describes the remote endpoint.

@@ -10,7 +10,8 @@ import (
 
 // ProtocolVersion is the wire protocol revision. A subscription handshake
 // carries it; peers reject mismatches rather than misinterpreting frames.
-const ProtocolVersion uint32 = 1
+// Revision 2 added heartbeat control frames.
+const ProtocolVersion uint32 = 2
 
 // MsgType identifies a framed message.
 type MsgType byte
@@ -28,7 +29,18 @@ const (
 	MsgPlan
 	// MsgSubscribe installs a handler (modulator) at the sender.
 	MsgSubscribe
+	// MsgHeartbeat is the liveness probe either side sends while idle, so
+	// a silent peer is distinguishable from a silent channel.
+	MsgHeartbeat
 )
+
+// Heartbeat is the liveness control message (protocol revision 2). Any
+// received frame counts as liveness; heartbeats exist so liveness frames
+// keep flowing when no events, feedback or plans are due.
+type Heartbeat struct {
+	// Seq increases per heartbeat sent on one connection.
+	Seq uint64
+}
 
 // Raw is an unmodulated event message.
 type Raw struct {
@@ -174,6 +186,9 @@ func Marshal(msg any) ([]byte, error) {
 		for _, id := range m.Profile {
 			e.writeU32(uint32(id))
 		}
+	case *Heartbeat:
+		e.w.WriteByte(byte(MsgHeartbeat))
+		e.writeU64(m.Seq)
 	case *Subscribe:
 		e.w.WriteByte(byte(MsgSubscribe))
 		e.writeU32(m.Protocol)
@@ -193,7 +208,8 @@ func Marshal(msg any) ([]byte, error) {
 }
 
 // Unmarshal decodes a message produced by Marshal. The concrete type of the
-// result is *Raw, *Continuation, *Feedback, *Plan or *Subscribe.
+// result is *Raw, *Continuation, *Feedback, *Plan, *Subscribe or
+// *Heartbeat.
 func Unmarshal(data []byte) (any, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("wire: empty message")
@@ -331,6 +347,13 @@ func Unmarshal(data []byte) (any, error) {
 				return nil, err
 			}
 			m.Profile[i] = int32(v)
+		}
+		return m, nil
+	case MsgHeartbeat:
+		m := &Heartbeat{}
+		var err error
+		if m.Seq, err = d.readU64(); err != nil {
+			return nil, err
 		}
 		return m, nil
 	case MsgSubscribe:

@@ -144,6 +144,12 @@ type (
 	// Transport is the frame-oriented connection layer beneath the event
 	// system; implement it to carry subscriptions over a custom substrate.
 	Transport = transport.Transport
+	// FaultPlan configures FlakyTransport's deterministic fault injection.
+	FaultPlan = transport.FaultPlan
+	// FlakyTransport wraps a Transport with seeded fault injection (severed
+	// links, blackholed frames, delays) for chaos testing; SeverAll cuts
+	// every live connection at once.
+	FlakyTransport = transport.Flaky
 
 	// Continuation is the wire form of a remote continuation.
 	Continuation = wire.Continuation
@@ -165,6 +171,27 @@ const (
 // DefaultQueueDepth is the per-subscription send-queue bound used when
 // PublisherConfig.QueueDepth is zero.
 const DefaultQueueDepth = jecho.DefaultQueueDepth
+
+// Connection-supervision defaults (zero-valued config fields select these;
+// negative values disable the mechanism).
+const (
+	// DefaultHeartbeatInterval is the idle-liveness probe period.
+	DefaultHeartbeatInterval = jecho.DefaultHeartbeatInterval
+	// DefaultHeartbeatMisses is how many silent heartbeat periods declare
+	// a peer dead (silence window = interval × misses).
+	DefaultHeartbeatMisses = jecho.DefaultHeartbeatMisses
+	// DefaultWriteTimeout bounds one frame write to a wedged peer.
+	DefaultWriteTimeout = jecho.DefaultWriteTimeout
+	// DefaultResubscribeAttempts bounds reconnect attempts per outage for
+	// auto-resubscribing subscribers.
+	DefaultResubscribeAttempts = jecho.DefaultResubscribeAttempts
+)
+
+// NewFlakyTransport wraps inner with seeded fault injection for chaos
+// testing and fault-tolerance experiments (see FaultPlan).
+func NewFlakyTransport(inner Transport, plan FaultPlan) *FlakyTransport {
+	return transport.NewFlaky(inner, plan)
+}
 
 // TCPTransport returns the stdlib-socket transport (the default when a
 // config's Transport field is nil).
