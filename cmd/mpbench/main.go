@@ -6,7 +6,7 @@
 //	mpbench -experiment figure7 -seeds 5
 //
 // Experiments: table1, table2, table3, table4, figure7, figure8, ablation,
-// models, richimage, channel, faults, claims.
+// models, richimage, channel, faults, poison, claims.
 package main
 
 import (
@@ -28,7 +28,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mpbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "which experiment to run (table1|table2|table3|table4|figure7|figure8|ablation|models|richimage|channel|faults|claims|all)")
+	experiment := fs.String("experiment", "all", "which experiment to run (table1|table2|table3|table4|figure7|figure8|ablation|models|richimage|channel|faults|poison|claims|all)")
 	frames := fs.Int("frames", 0, "override frames per run (0 = experiment default)")
 	seeds := fs.Int("seeds", 0, "override number of perturbation seeds (0 = default 5)")
 	asCSV := fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
@@ -161,6 +161,18 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		bench.WriteFaults(w, rows)
+	}
+	if all || wanted["poison"] {
+		ran = true
+		poCfg := bench.DefaultPoisonConfig()
+		if *frames > 0 {
+			poCfg.Frames = *frames
+		}
+		row, err := bench.PoisonExperiment(poCfg)
+		if err != nil {
+			return err
+		}
+		bench.WritePoison(w, row)
 	}
 	if all || wanted["claims"] {
 		ran = true

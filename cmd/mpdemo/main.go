@@ -41,6 +41,8 @@ func run(args []string) error {
 	heartbeat := fs.Duration("heartbeat", 0, "idle-liveness heartbeat interval (0 = default, negative = disabled)")
 	writeTimeout := fs.Duration("write-timeout", 0, "per-frame write deadline (0 = default, negative = disabled)")
 	resubscribe := fs.Bool("resubscribe", false, "subscriber auto-redials and resyncs after connection loss")
+	maxWork := fs.Int64("max-work", 0, "per-message interpreter work budget at the subscriber (>0 enables)")
+	deadletter := fs.Bool("deadletter", false, "print the subscriber's dead-letter quarantine on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,7 +50,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	sup := supervisionFlags{heartbeat: *heartbeat, writeTimeout: *writeTimeout, resubscribe: *resubscribe}
+	sup := supervisionFlags{
+		heartbeat:    *heartbeat,
+		writeTimeout: *writeTimeout,
+		resubscribe:  *resubscribe,
+		maxWork:      *maxWork,
+		deadletter:   *deadletter,
+	}
 	switch *mode {
 	case "both":
 		return runBoth(*addr, *frames, *display, *queue, policy, sup)
@@ -61,12 +69,14 @@ func run(args []string) error {
 	}
 }
 
-// supervisionFlags bundles the connection-supervision knobs shared by both
-// roles.
+// supervisionFlags bundles the connection-supervision and fault-containment
+// knobs shared by both roles.
 type supervisionFlags struct {
 	heartbeat    time.Duration
 	writeTimeout time.Duration
 	resubscribe  bool
+	maxWork      int64
+	deadletter   bool
 }
 
 func parsePolicy(name string) (methodpart.OverflowPolicy, error) {
@@ -156,7 +166,21 @@ func runSubscriber(addr string, display int, sup supervisionFlags) error {
 	defer sub.Close()
 	fmt.Printf("subscribed to %s; waiting for frames (ctrl-c to quit)\n", addr)
 	<-sub.Done()
+	if sup.deadletter {
+		printDeadLetters(sub)
+	}
 	return nil
+}
+
+// printDeadLetters renders the subscriber's poison-message quarantine.
+func printDeadLetters(sub *methodpart.Subscriber) {
+	letters := sub.DeadLetters()
+	total := sub.Metrics().DeadLettered
+	fmt.Printf("dead letters (%d quarantined, %d retained):\n", total, len(letters))
+	for _, dl := range letters {
+		fmt.Printf("  %s seq=%d pse=%d class=%s frame=%dB: %s\n",
+			dl.When.Format(time.RFC3339Nano), dl.Seq, dl.PSEID, dl.Class, len(dl.Frame), dl.Reason)
+	}
 }
 
 func subscribe(addr string, display int, sup supervisionFlags) (*methodpart.Subscriber, error) {
@@ -175,6 +199,7 @@ func subscribe(addr string, display int, sup supervisionFlags) (*methodpart.Subs
 		Resubscribe:       sup.resubscribe,
 		HeartbeatInterval: sup.heartbeat,
 		WriteTimeout:      sup.writeTimeout,
+		MaxWork:           sup.maxWork,
 		OnResult: func(r *methodpart.HandlerResult) {
 			fmt.Printf("  received message (split PSE %d)\n", r.SplitPSE)
 		},
@@ -202,6 +227,13 @@ func runBoth(addr string, frames, display, queue int, policy methodpart.Overflow
 	sm := sub.Metrics()
 	fmt.Printf("channel metrics (subscriber side): processed=%d bytesReceived=%d planFlips=%d\n",
 		sm.Published, sm.BytesOnWire, sm.PlanFlips)
+	if sm.DecodeFailures+sm.DemodFailures > 0 {
+		fmt.Printf("  decodeFailures=%d demodFailures=%d nacksSent=%d deadLettered=%d breakerTrips=%d\n",
+			sm.DecodeFailures, sm.DemodFailures, sm.NacksSent, sm.DeadLettered, sm.BreakerTrips)
+	}
+	if sup.deadletter {
+		printDeadLetters(sub)
+	}
 	fmt.Printf("done: %d messages processed by the subscriber\n", sub.Processed())
 	return nil
 }

@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/imaging"
+	"methodpart/internal/jecho"
+	"methodpart/internal/transport"
+	"methodpart/internal/wire"
+)
+
+// PoisonConfig drives the poison-PSE experiment: a channel converges on its
+// optimal split, then the transport starts corrupting every continuation
+// produced at that split edge so demodulation always fails. The experiment
+// measures the fault-containment loop end to end — NACKs flow upstream, the
+// publisher's breaker trips, the failure-aware min-cut routes around the
+// poisoned PSE — and how long the channel takes to return to healthy
+// throughput without either endpoint restarting.
+type PoisonConfig struct {
+	// Frames is the number of events published per phase (convergence,
+	// poisoning, recovery).
+	Frames int
+	// FrameSize is the square image edge length; large frames make a
+	// non-raw split optimal, giving the experiment a PSE worth poisoning.
+	FrameSize int
+	// Threshold is the breaker threshold on both endpoints (0 = default).
+	Threshold int
+	// Seed roots the deterministic fault randomness.
+	Seed int64
+}
+
+// DefaultPoisonConfig converges and recovers in well under a second.
+func DefaultPoisonConfig() PoisonConfig {
+	return PoisonConfig{Frames: 120, FrameSize: 200, Threshold: 3, Seed: 1}
+}
+
+// PoisonRow is the experiment's outcome.
+type PoisonRow struct {
+	// TargetPSE is the split edge whose continuations were poisoned.
+	TargetPSE int32
+	// SplitBefore and SplitAfter are the publisher's active split sets on
+	// either side of the poisoning.
+	SplitBefore string
+	SplitAfter  string
+	// Poisoned counts frames the transport corrupted.
+	Poisoned uint64
+	// NacksSent / NacksRecv are the failure reports counted at the
+	// subscriber and publisher ends.
+	NacksSent uint64
+	NacksRecv uint64
+	// DeadLettered counts messages quarantined at the subscriber.
+	DeadLettered uint64
+	// BreakerTrips counts publisher-side breaker transitions to open.
+	BreakerTrips uint64
+	// RecoverMS is the time from the first poisoned frame until the
+	// publisher's active plan excluded the target PSE.
+	RecoverMS float64
+	// HealthyAfter reports that, with the degraded plan active, events
+	// flowed end to end again (processed count grew with no new NACKs).
+	HealthyAfter bool
+}
+
+// PoisonExperiment runs the poison-PSE scenario on a flaky mem transport.
+func PoisonExperiment(cfg PoisonConfig) (*PoisonRow, error) {
+	// target is the PSE whose continuations the transport corrupts;
+	// negative while poisoning is inactive. While inactive the hook still
+	// records which PSEs carry continuation traffic, so the experiment can
+	// poison an edge events actually cross (a multi-edge split set covers
+	// alternative paths; only some see traffic). poisoned counts
+	// corruptions.
+	var target atomic.Int32
+	var poisoned atomic.Uint64
+	target.Store(-1)
+	var seenMu sync.Mutex
+	seen := make(map[int32]uint64)
+	plan := transport.FaultPlan{
+		Seed: cfg.Seed,
+		// Corrupt rewrites continuations split at the target PSE so their
+		// resume node is out of range: demodulation fails with an
+		// attributable restore fault while the frame itself stays
+		// decodable (PSE id and sequence number intact).
+		Corrupt: func(payload []byte) []byte {
+			msg, err := wire.Unmarshal(payload)
+			if err != nil {
+				return nil
+			}
+			cont, ok := msg.(*wire.Continuation)
+			if !ok {
+				return nil
+			}
+			seenMu.Lock()
+			seen[cont.PSEID]++
+			seenMu.Unlock()
+			t := target.Load()
+			if t < 0 || cont.PSEID != t {
+				return nil
+			}
+			cont.ResumeNode = 1 << 20
+			data, err := wire.Marshal(cont)
+			if err != nil {
+				return nil
+			}
+			poisoned.Add(1)
+			return data
+		},
+	}
+	flaky := transport.NewFlaky(transport.NewMem(), plan)
+	reg, _ := imaging.Builtins()
+	pub, err := jecho.NewPublisher(jecho.PublisherConfig{
+		Transport:         flaky,
+		Builtins:          reg,
+		FeedbackEvery:     5,
+		BreakerThreshold:  cfg.Threshold,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatMisses:   5,
+		WriteTimeout:      time.Second,
+		Logf:              func(string, ...any) {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer pub.Close()
+
+	sreg, _ := imaging.Builtins()
+	sub, err := jecho.Subscribe(jecho.SubscriberConfig{
+		Addr:              pub.Addr(),
+		Transport:         flaky,
+		Name:              "poison",
+		Source:            imaging.HandlerSource(64),
+		Handler:           imaging.HandlerName,
+		CostModel:         costmodel.DataSizeName,
+		Natives:           []string{"displayImage"},
+		Builtins:          sreg,
+		Environment:       costmodel.DefaultEnvironment(),
+		ReconfigEvery:     5,
+		BreakerThreshold:  cfg.Threshold,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatMisses:   5,
+		WriteTimeout:      time.Second,
+		Logf:              func(string, ...any) {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sub.Close()
+
+	seq := int64(0)
+	publish := func(n int) {
+		for i := 0; i < n; i++ {
+			_, _ = pub.Publish(imaging.NewFrame(cfg.FrameSize, cfg.FrameSize, seq))
+			seq++
+			time.Sleep(time.Millisecond)
+		}
+	}
+	session := func() (jecho.SubscriptionInfo, bool) {
+		subs := pub.Subscriptions()
+		if len(subs) != 1 {
+			return jecho.SubscriptionInfo{}, false
+		}
+		return subs[0], true
+	}
+
+	// Phase 1: converge on the profiled optimum.
+	publish(cfg.Frames)
+	before, ok := session()
+	if !ok {
+		return nil, fmt.Errorf("bench: poison: no session after convergence")
+	}
+	// Poison the split edge that carries the continuation traffic: the
+	// busiest PSE the corrupt hook observed during convergence.
+	var t int32 = -1
+	var most uint64
+	seenMu.Lock()
+	for id, n := range seen {
+		if n > most {
+			t, most = id, n
+		}
+	}
+	seenMu.Unlock()
+	if t < 0 {
+		return nil, fmt.Errorf("bench: poison: no continuation traffic after convergence (split %v)", before.SplitIDs)
+	}
+
+	// Phase 2: poison the active split edge and publish until the
+	// publisher's plan routes around it.
+	target.Store(t)
+	start := time.Now()
+	deadline := start.Add(10 * time.Second)
+	recovered := false
+	for !recovered {
+		publish(5)
+		if info, ok := session(); ok && !splitContains(info.SplitIDs, t) {
+			recovered = true
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("bench: poison: plan still selects pse %d after %v", t, time.Since(start))
+		}
+	}
+	recoverMS := float64(time.Since(start).Microseconds()) / 1000
+
+	// Phase 3: with the degraded plan active, throughput must return and
+	// the NACK stream must stop. Give residual poisoned frames queued
+	// under the old plan a moment to drain before baselining.
+	time.Sleep(50 * time.Millisecond)
+	processedAt := sub.Processed()
+	nacksAt := sub.Metrics().NacksSent
+	publish(cfg.Frames)
+	healthy := sub.Processed() > processedAt && sub.Metrics().NacksSent == nacksAt
+
+	after, _ := session()
+	pm := after.Metrics
+	sm := sub.Metrics()
+	return &PoisonRow{
+		TargetPSE:    t,
+		SplitBefore:  fmt.Sprintf("%v", before.SplitIDs),
+		SplitAfter:   fmt.Sprintf("%v", after.SplitIDs),
+		Poisoned:     poisoned.Load(),
+		NacksSent:    sm.NacksSent,
+		NacksRecv:    pm.NacksReceived,
+		DeadLettered: sm.DeadLettered,
+		BreakerTrips: pm.BreakerTrips,
+		RecoverMS:    recoverMS,
+		HealthyAfter: healthy,
+	}, nil
+}
+
+// splitContains reports whether the split set includes the PSE.
+func splitContains(split []int32, id int32) bool {
+	for _, s := range split {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// WritePoison renders the poison-PSE experiment.
+func WritePoison(w io.Writer, r *PoisonRow) {
+	writeTable(w, "Poison PSE: NACK/breaker fault containment (flaky mem transport)",
+		[]string{"targetPSE", "splitBefore", "splitAfter", "poisoned", "nacksSent", "nacksRecv", "deadLettered", "trips", "recoverMS", "healthyAfter"},
+		[][]string{{
+			fmt.Sprintf("%d", r.TargetPSE),
+			r.SplitBefore, r.SplitAfter,
+			fmt.Sprintf("%d", r.Poisoned),
+			fmt.Sprintf("%d", r.NacksSent),
+			fmt.Sprintf("%d", r.NacksRecv),
+			fmt.Sprintf("%d", r.DeadLettered),
+			fmt.Sprintf("%d", r.BreakerTrips),
+			fmt.Sprintf("%.1f", r.RecoverMS),
+			fmt.Sprintf("%v", r.HealthyAfter),
+		}})
+}

@@ -52,6 +52,10 @@ type Stat struct {
 	DemodWork float64
 	// Prob is the probability that a message's path crosses this PSE.
 	Prob float64
+	// Failures counts modulation/demodulation faults attributed to this
+	// PSE. Cost models ignore it; the reconfiguration unit uses it (with
+	// its circuit breaker) to steer the min-cut away from broken edges.
+	Failures uint64
 }
 
 // Model is a cost model: it drives both the static PSE identification and

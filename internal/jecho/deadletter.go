@@ -1,0 +1,108 @@
+package jecho
+
+import (
+	"sync"
+	"time"
+
+	"methodpart/internal/wire"
+)
+
+// DefaultDeadLetterSize bounds the dead-letter ring when the config leaves
+// it zero. Negative disables quarantine entirely.
+const DefaultDeadLetterSize = 64
+
+// DeadLetter is one quarantined poison message: an event or continuation
+// that failed demodulation (or an inbound frame that failed decoding). The
+// original frame bytes are retained so operators can replay or dissect the
+// failure offline.
+type DeadLetter struct {
+	// When is the quarantine time.
+	When time.Time
+	// Seq is the event sequence number, when the message decoded far
+	// enough to know it (0 otherwise).
+	Seq uint64
+	// PSEID is the split edge the failing message was produced at;
+	// UnattributedPSE when the frame was too broken to tell.
+	PSEID int32
+	// Class is the failure class (decode/restore/runtime/budget).
+	Class wire.NackClass
+	// Reason is the error text.
+	Reason string
+	// Frame is a copy of the raw frame bytes as received.
+	Frame []byte
+}
+
+// UnattributedPSE marks a dead letter whose frame could not be decoded far
+// enough to attribute it to a split edge.
+const UnattributedPSE int32 = -1
+
+// deadLetterRing is a bounded, concurrency-safe ring of quarantined
+// messages. When full, the oldest letter is overwritten — the ring is a
+// diagnostic window, not a durable queue — while Total keeps counting.
+type deadLetterRing struct {
+	mu    sync.Mutex
+	buf   []DeadLetter
+	next  int
+	total uint64
+}
+
+// newDeadLetterRing resolves the size knob (0 = default, negative =
+// disabled → nil ring; all methods are nil-safe).
+func newDeadLetterRing(size int) *deadLetterRing {
+	if size < 0 {
+		return nil
+	}
+	if size == 0 {
+		size = DefaultDeadLetterSize
+	}
+	return &deadLetterRing{buf: make([]DeadLetter, 0, size)}
+}
+
+// add quarantines one letter, copying the frame bytes (the caller's buffer
+// may be reused by the transport).
+func (r *deadLetterRing) add(dl DeadLetter) {
+	if r == nil {
+		return
+	}
+	dl.Frame = append([]byte(nil), dl.Frame...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, dl)
+		return
+	}
+	if cap(r.buf) == 0 {
+		return
+	}
+	r.buf[r.next] = dl
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Snapshot returns the quarantined letters, oldest first.
+func (r *deadLetterRing) Snapshot() []DeadLetter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DeadLetter, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		out = append(out, r.buf...)
+		return out
+	}
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns the number of letters ever quarantined (including ones the
+// ring has since overwritten).
+func (r *deadLetterRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

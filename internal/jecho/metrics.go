@@ -49,6 +49,24 @@ type ChannelMetrics struct {
 	// Reconnects counts successful automatic resubscriptions after a lost
 	// connection (subscriber side).
 	Reconnects uint64
+	// DecodeFailures counts inbound frames wire.Unmarshal rejected. These
+	// were previously only logged; counting them makes silent drops
+	// observable.
+	DecodeFailures uint64
+	// DemodFailures counts decoded messages the demodulator failed on
+	// (subscriber side): restore errors, runtime faults, budget overruns.
+	DemodFailures uint64
+	// ModFailures counts events the modulator failed on (publisher side).
+	ModFailures uint64
+	// NacksSent counts demod-failure reports pushed upstream (subscriber).
+	NacksSent uint64
+	// NacksReceived counts demod-failure reports from peers (publisher).
+	NacksReceived uint64
+	// DeadLettered counts messages quarantined in the dead-letter ring.
+	DeadLettered uint64
+	// BreakerTrips counts circuit-breaker transitions to open — each one
+	// excluded a PSE from the split set until its cooldown.
+	BreakerTrips uint64
 }
 
 // channelMetrics is the live, atomically-updated form behind a
@@ -69,6 +87,13 @@ type channelMetrics struct {
 	heartbeatsSent    atomic.Uint64
 	heartbeatsRecv    atomic.Uint64
 	reconnects        atomic.Uint64
+	decodeFailures    atomic.Uint64
+	demodFailures     atomic.Uint64
+	modFailures       atomic.Uint64
+	nacksSent         atomic.Uint64
+	nacksRecv         atomic.Uint64
+	deadLettered      atomic.Uint64
+	breakerTrips      atomic.Uint64
 }
 
 // noteDepth records an observed queue depth, keeping the high-water mark.
@@ -99,5 +124,12 @@ func (m *channelMetrics) snapshot() ChannelMetrics {
 		HeartbeatsSent:     m.heartbeatsSent.Load(),
 		HeartbeatsReceived: m.heartbeatsRecv.Load(),
 		Reconnects:         m.reconnects.Load(),
+		DecodeFailures:     m.decodeFailures.Load(),
+		DemodFailures:      m.demodFailures.Load(),
+		ModFailures:        m.modFailures.Load(),
+		NacksSent:          m.nacksSent.Load(),
+		NacksReceived:      m.nacksRecv.Load(),
+		DeadLettered:       m.deadLettered.Load(),
+		BreakerTrips:       m.breakerTrips.Load(),
 	}
 }

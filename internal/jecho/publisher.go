@@ -9,10 +9,12 @@ import (
 	"sync"
 	"time"
 
+	"methodpart/internal/costmodel"
 	"methodpart/internal/mir"
 	"methodpart/internal/mir/interp"
 	"methodpart/internal/partition"
 	"methodpart/internal/profileunit"
+	"methodpart/internal/reconfig"
 	"methodpart/internal/transport"
 	"methodpart/internal/wire"
 )
@@ -51,6 +53,18 @@ type PublisherConfig struct {
 	// sender goroutine instead of blocking it forever
 	// (0 = DefaultWriteTimeout, <0 disables).
 	WriteTimeout time.Duration
+	// BreakerThreshold is how many per-PSE failures (subscriber NACKs or
+	// send-side modulation faults) within BreakerWindow trip that PSE's
+	// circuit breaker, degrading the subscription's plan away from it
+	// (0 = DefaultBreakerThreshold, <0 disables the breaker).
+	BreakerThreshold int
+	// BreakerWindow is the failure-counting window
+	// (0 = DefaultBreakerWindow, <0 disables).
+	BreakerWindow time.Duration
+	// BreakerCooldown is how long a tripped PSE stays excluded before a
+	// half-open probe re-admits it (0 = DefaultBreakerCooldown,
+	// <0 disables).
+	BreakerCooldown time.Duration
 	// Logf receives diagnostics (nil = log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -82,6 +96,16 @@ type subscription struct {
 	trigger  profileunit.Trigger
 	pipe     *sendPipeline
 	metrics  *channelMetrics
+	// breaker gates split-set eligibility per PSE from this subscription's
+	// failure stream (NACKs from the subscriber, local modulation faults).
+	breaker *pseBreaker
+	// runit recomputes a degraded plan locally when the breaker trips —
+	// the publisher cannot wait for the subscriber's next plan push while
+	// every event at a poisoned PSE is failing.
+	runit *reconfig.Unit
+	// degradeMu serializes runit access between the control-read goroutine
+	// (NACK handling) and publish goroutines (modulation faults).
+	degradeMu sync.Mutex
 
 	retireOnce sync.Once
 }
@@ -270,6 +294,11 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 		coll:     coll,
 		trigger:  &profileunit.RateTrigger{EveryMessages: p.cfg.FeedbackEvery},
 		metrics:  metrics,
+		breaker:  resolveBreaker(p.cfg.BreakerThreshold, p.cfg.BreakerWindow, p.cfg.BreakerCooldown),
+		// The degrade unit routes around broken PSEs; cost optimality is
+		// the subscriber's reconfiguration unit's job, so a neutral
+		// environment suffices here.
+		runit: reconfig.NewUnit(compiled, costmodel.DefaultEnvironment()),
 	}
 	sub.pipe = newSendPipeline(conn, p.cfg.QueueDepth, p.cfg.OverflowPolicy, p.sup, metrics,
 		func(err error) {
@@ -308,13 +337,33 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 		}
 		msg, err := wire.Unmarshal(frame)
 		if err != nil {
+			// A bad control frame is a per-frame fault: count it and keep
+			// the subscription alive instead of retiring the peer.
+			metrics.decodeFailures.Add(1)
 			p.cfg.Logf("jecho publisher: sub %s: %v", sub.id, err)
-			break
+			continue
 		}
 		switch m := msg.(type) {
 		case *wire.Heartbeat:
 			metrics.heartbeatsRecv.Add(1)
+		case *wire.Nack:
+			metrics.nacksRecv.Add(1)
+			if m.PSEID >= 0 && sub.breaker.Fail(m.PSEID) {
+				metrics.breakerTrips.Add(1)
+				p.cfg.Logf("jecho publisher: sub %s: breaker tripped for pse %d (class %s, seq %d); degrading",
+					sub.id, m.PSEID, m.Class, m.Seq)
+				p.degrade(sub)
+			}
 		case *wire.Plan:
+			// A plan re-selecting a PSE whose breaker is still open would
+			// reinstall the broken split; drop it. (Once the cooldown
+			// elapses, Open flips the breaker half-open and the next such
+			// plan passes — that acceptance is the probe.)
+			if id := blockedSplit(sub.breaker, m.Split); id >= 0 {
+				p.cfg.Logf("jecho publisher: sub %s plan v%d re-selects tripped pse %d; dropped",
+					sub.id, m.Version, id)
+				continue
+			}
 			before := mod.Plan().SplitIDs()
 			if err := mod.ApplyWirePlan(m); err != nil {
 				p.cfg.Logf("jecho publisher: sub %s plan: %v", sub.id, err)
@@ -328,6 +377,51 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 		}
 	}
 	p.retire(sub)
+}
+
+// blockedSplit returns the first PSE in the split set whose breaker is
+// open, or -1 when the whole set is admissible.
+func blockedSplit(b *pseBreaker, split []int32) int32 {
+	for _, id := range split {
+		if b.Open(id) {
+			return id
+		}
+	}
+	return -1
+}
+
+// degrade recomputes one subscription's plan with the breaker's exclusions
+// applied and installs it sender-side: the min-cut gives tripped PSEs
+// effectively infinite capacity, so the flow routes to an adjacent healthy
+// PSE or all the way back to raw delivery. The subscriber learns of the
+// exclusion through the failure counts in the next feedback frame; until
+// its own plans avoid the PSE, the interception in handleConn keeps them
+// from reinstalling it.
+func (p *Publisher) degrade(s *subscription) {
+	s.degradeMu.Lock()
+	defer s.degradeMu.Unlock()
+	s.runit.SetTripped(s.breaker.OpenIDs())
+	_, wirePlan, err := s.runit.SelectPlan(s.coll.Snapshot())
+	if err != nil {
+		p.cfg.Logf("jecho publisher: sub %s degrade: %v", s.id, err)
+		return
+	}
+	// The degrade unit's version counter is private; force the version past
+	// the modulator's active plan so SetPlan cannot reject the degraded
+	// plan as stale.
+	cur := s.mod.Plan()
+	version := cur.Version() + 1
+	if wirePlan.Version > version {
+		version = wirePlan.Version
+	}
+	plan, err := partition.NewPlan(s.compiled.NumPSEs(), version, wirePlan.Split, wirePlan.Profile)
+	if err != nil {
+		p.cfg.Logf("jecho publisher: sub %s degrade plan: %v", s.id, err)
+		return
+	}
+	if s.mod.SetPlan(plan) && !equalSplit(cur.SplitIDs(), plan.SplitIDs()) {
+		s.metrics.planFlips.Add(1)
+	}
 }
 
 // equalSplit compares two sorted split-id sets.
@@ -413,6 +507,24 @@ func (p *Publisher) publish(event mir.Value, channel string, broadcast bool) (in
 func (p *Publisher) publishOne(s *subscription, event mir.Value) error {
 	out, err := s.mod.Process(event)
 	if err != nil {
+		// A modulation fault (interpreter error or recovered panic) cannot
+		// name the PSE it died at, so it is attributed to every split edge
+		// of the active plan — the plan as a whole is what's broken. The
+		// counts travel to the subscriber in the next feedback frame;
+		// locally they feed the breaker, which degrades the plan once the
+		// failures cluster.
+		s.metrics.modFailures.Add(1)
+		tripped := false
+		for _, id := range s.mod.Plan().SplitIDs() {
+			s.coll.Fault(id)
+			if s.breaker.Fail(id) {
+				s.metrics.breakerTrips.Add(1)
+				tripped = true
+			}
+		}
+		if tripped {
+			p.degrade(s)
+		}
 		return err
 	}
 	s.metrics.published.Add(1)

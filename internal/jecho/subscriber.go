@@ -73,6 +73,24 @@ type SubscriberConfig struct {
 	// publisher fails the write instead of blocking forever
 	// (0 = DefaultWriteTimeout, <0 disables).
 	WriteTimeout time.Duration
+	// MaxWork bounds the interpreter work one demodulation may consume
+	// before it is cancelled with a budget fault (>0 enables; 0 leaves the
+	// interpreter unbounded apart from its step limit).
+	MaxWork int64
+	// BreakerThreshold is how many demod failures within BreakerWindow
+	// trip a PSE's circuit breaker, excluding it from the split set
+	// (0 = DefaultBreakerThreshold, <0 disables the breaker).
+	BreakerThreshold int
+	// BreakerWindow is the failure-counting window
+	// (0 = DefaultBreakerWindow, <0 disables).
+	BreakerWindow time.Duration
+	// BreakerCooldown is how long a tripped PSE stays excluded before a
+	// half-open probe re-admits it (0 = DefaultBreakerCooldown,
+	// <0 disables).
+	BreakerCooldown time.Duration
+	// DeadLetterSize bounds the quarantine ring for poison messages
+	// (0 = DefaultDeadLetterSize, <0 disables quarantine).
+	DeadLetterSize int
 	// Logf receives diagnostics (nil = log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -93,6 +111,8 @@ type Subscriber struct {
 	runit    *reconfig.Unit
 	trigger  profileunit.Trigger
 	metrics  channelMetrics
+	breaker  *pseBreaker
+	letters  *deadLetterRing
 
 	mu          sync.Mutex
 	conn        transport.Conn
@@ -167,6 +187,9 @@ func Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
 	}
 
 	env := interp.NewEnv(compiled.Classes, cfg.Builtins)
+	if cfg.MaxWork > 0 {
+		env.MaxWork = cfg.MaxWork
+	}
 	coll := profileunit.NewCollector(compiled.NumPSEs())
 	demod := partition.NewDemodulator(compiled, env)
 	demod.Probe = coll
@@ -184,6 +207,8 @@ func Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
 			&profileunit.DiffTrigger{Threshold: cfg.DiffThreshold, MinMessages: 3},
 		}},
 		senderStats: make(map[int32]costmodel.Stat),
+		breaker:     resolveBreaker(cfg.BreakerThreshold, cfg.BreakerWindow, cfg.BreakerCooldown),
+		letters:     newDeadLetterRing(cfg.DeadLetterSize),
 		done:        make(chan struct{}),
 		stop:        make(chan struct{}),
 	}
@@ -259,6 +284,12 @@ func (s *Subscriber) Stats() map[int32]costmodel.Stat {
 // Publisher-only fields (Dropped, Suppressed, queue depths) stay zero here.
 func (s *Subscriber) Metrics() ChannelMetrics {
 	return s.metrics.snapshot()
+}
+
+// DeadLetters snapshots the quarantined poison messages, oldest first (nil
+// when quarantine is disabled).
+func (s *Subscriber) DeadLetters() []DeadLetter {
+	return s.letters.Snapshot()
 }
 
 // Err returns the terminal error (nil on clean close). A close initiated
@@ -394,6 +425,7 @@ func (s *Subscriber) resync(conn transport.Conn) error {
 	s.mu.Lock()
 	merged := profileunit.Merge(s.senderStats, s.coll.Snapshot())
 	s.mu.Unlock()
+	s.runit.SetTripped(s.breaker.OpenIDs())
 	plan, wirePlan, err := s.runit.SelectPlan(merged)
 	if err != nil {
 		return err
@@ -447,17 +479,31 @@ func (s *Subscriber) readLoop(conn transport.Conn) error {
 		s.metrics.bytesOnWire.Add(uint64(len(frame)) + transport.HeaderSize)
 		msg, err := wire.Unmarshal(frame)
 		if err != nil {
-			s.cfg.Logf("jecho subscriber: %v", err)
+			// An undecodable frame is a per-frame fault, not a transient
+			// connection error: count it, quarantine the bytes for
+			// inspection, and keep serving the connection. No NACK — a
+			// frame too broken to decode cannot be attributed to a PSE.
+			s.metrics.decodeFailures.Add(1)
+			s.quarantine(DeadLetter{
+				PSEID:  UnattributedPSE,
+				Class:  wire.NackDecode,
+				Reason: err.Error(),
+				Frame:  frame,
+			})
+			s.cfg.Logf("jecho subscriber: decode: %v", err)
 			continue
 		}
 		switch m := msg.(type) {
 		case *wire.Raw, *wire.Continuation:
 			res, err := s.demod.Process(m)
 			if err != nil {
-				s.cfg.Logf("jecho subscriber: demodulate: %v", err)
+				s.noteDemodFailure(m, frame, err)
 				continue
 			}
 			s.metrics.published.Add(1)
+			if res.SplitPSE >= 0 {
+				s.breaker.Succeed(res.SplitPSE)
+			}
 			s.mu.Lock()
 			s.processed++
 			s.mu.Unlock()
@@ -466,17 +512,98 @@ func (s *Subscriber) readLoop(conn transport.Conn) error {
 			}
 			s.maybeReconfigure()
 		case *wire.Feedback:
-			s.mu.Lock()
-			for id, st := range profileunit.FromWire(m) {
-				s.senderStats[id] = st
-			}
-			s.mu.Unlock()
-			s.maybeReconfigure()
+			s.applyFeedback(m)
 		case *wire.Heartbeat:
 			s.metrics.heartbeatsRecv.Add(1)
 		default:
 			s.cfg.Logf("jecho subscriber: unexpected %T", msg)
 		}
+	}
+}
+
+// attribution extracts the sequence number and split PSE from a decoded
+// event message, for failure reporting.
+func attribution(msg any) (seq uint64, pse int32) {
+	switch m := msg.(type) {
+	case *wire.Raw:
+		return m.Seq, partition.RawPSEID
+	case *wire.Continuation:
+		return m.Seq, m.PSEID
+	}
+	return 0, UnattributedPSE
+}
+
+// quarantine stamps and stores a dead letter, keeping the counter in step
+// with the ring.
+func (s *Subscriber) quarantine(dl DeadLetter) {
+	if s.letters == nil {
+		return
+	}
+	dl.When = time.Now()
+	s.letters.add(dl)
+	s.metrics.deadLettered.Add(1)
+}
+
+// noteDemodFailure is the poison-message path: classify, count, attribute
+// the fault to its split PSE, quarantine the frame, report upstream with a
+// NACK, and — if this failure trips the PSE's breaker — reconfigure away
+// from the broken split point immediately.
+func (s *Subscriber) noteDemodFailure(msg any, frame []byte, err error) {
+	class := partition.FaultClassOf(err)
+	seq, pse := attribution(msg)
+	s.cfg.Logf("jecho subscriber: demodulate seq %d (pse %d, class %s): %v", seq, pse, class, err)
+	s.metrics.demodFailures.Add(1)
+	if pse >= 0 {
+		s.coll.Fault(pse)
+	}
+	s.quarantine(DeadLetter{Seq: seq, PSEID: pse, Class: class, Reason: err.Error(), Frame: frame})
+	s.sendNack(&wire.Nack{Handler: s.compiled.Prog.Name, Seq: seq, PSEID: pse, Class: class})
+	if pse >= 0 && s.breaker.Fail(pse) {
+		s.metrics.breakerTrips.Add(1)
+		s.reconfigure()
+	}
+}
+
+// sendNack reports one demod failure upstream. A failed write is only
+// logged: the connection teardown it implies is detected by the read loop.
+func (s *Subscriber) sendNack(n *wire.Nack) {
+	data, err := wire.Marshal(n)
+	if err != nil {
+		s.cfg.Logf("jecho subscriber: marshal nack: %v", err)
+		return
+	}
+	conn := s.currentConn()
+	s.sup.armWrite(conn)
+	if err := conn.WriteFrame(data); err != nil {
+		s.cfg.Logf("jecho subscriber: send nack: %v", err)
+		return
+	}
+	s.metrics.nacksSent.Add(1)
+	s.metrics.bytesOnWire.Add(uint64(len(data)) + transport.HeaderSize)
+}
+
+// applyFeedback merges a sender-side profiling report. Sender-side failure
+// counts (modulation faults the publisher attributed to PSEs) feed the
+// local breaker as deltas, so a sender whose modulator keeps failing at a
+// PSE trips it here too.
+func (s *Subscriber) applyFeedback(fb *wire.Feedback) {
+	tripped := false
+	s.mu.Lock()
+	for id, st := range profileunit.FromWire(fb) {
+		prev := s.senderStats[id]
+		s.senderStats[id] = st
+		if st.Failures > prev.Failures {
+			if s.breaker.FailN(id, st.Failures-prev.Failures) {
+				s.metrics.breakerTrips.Add(1)
+				tripped = true
+			}
+		}
+	}
+	s.mu.Unlock()
+	if tripped {
+		s.reconfigure()
+	} else {
+		s.maybeReconfigure()
 	}
 }
 
@@ -490,6 +617,24 @@ func (s *Subscriber) maybeReconfigure() {
 	if !s.trigger.ShouldReport(merged, messages) {
 		return
 	}
+	s.reconfigureWith(merged)
+}
+
+// reconfigure recomputes the plan immediately, bypassing the triggers —
+// used when a breaker trip makes the active plan unhealthy *now*.
+func (s *Subscriber) reconfigure() {
+	s.mu.Lock()
+	merged := profileunit.Merge(s.senderStats, s.coll.Snapshot())
+	s.mu.Unlock()
+	s.reconfigureWith(merged)
+}
+
+// reconfigureWith applies the breaker's exclusions to the reconfiguration
+// unit, selects a plan for the given statistics, and pushes it. Only the
+// read loop (and resync, which never runs concurrently with it) calls this,
+// so runit access stays serialized.
+func (s *Subscriber) reconfigureWith(merged map[int32]costmodel.Stat) {
+	s.runit.SetTripped(s.breaker.OpenIDs())
 	plan, wirePlan, err := s.runit.SelectPlan(merged)
 	if err != nil {
 		s.cfg.Logf("jecho subscriber: reconfigure: %v", err)

@@ -109,6 +109,13 @@ type Env struct {
 	Globals map[string]mir.Value
 	// MaxSteps bounds a single run segment; 0 means DefaultMaxSteps.
 	MaxSteps int64
+	// MaxWork bounds the work units a single run segment may consume
+	// before it is cancelled with ErrWorkBudget; 0 means unbounded. Steps
+	// count instructions, work counts cost-weighted effort (a builtin call
+	// can consume millions of work units in one step), so MaxWork is the
+	// budget that actually stops a runaway continuation from wedging its
+	// host.
+	MaxWork int64
 }
 
 // DefaultMaxSteps is the per-segment step bound when Env.MaxSteps is zero.

@@ -1,0 +1,107 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/asm"
+	"methodpart/internal/wire"
+)
+
+func TestWorkBudget(t *testing.T) {
+	u := asm.MustParse(`
+func spin(x) {
+loop:
+  goto loop
+}
+`)
+	env := envFor(t, u)
+	env.MaxWork = 100
+	prog, _ := u.Program("spin")
+	m, _ := NewMachine(env, prog, []mir.Value{mir.Int(0)})
+	_, err := m.Run()
+	if !errors.Is(err, ErrWorkBudget) {
+		t.Fatalf("err = %v, want ErrWorkBudget", err)
+	}
+}
+
+func TestWorkBudgetZeroIsUnbounded(t *testing.T) {
+	u := asm.MustParse(`
+func f(a, b) {
+  q = add a b
+  return q
+}
+`)
+	env := envFor(t, u)
+	prog, _ := u.Program("f")
+	m, _ := NewMachine(env, prog, []mir.Value{mir.Int(1), mir.Int(2)})
+	out, err := m.Run()
+	if err != nil || !out.Done {
+		t.Fatalf("out = %+v, err = %v", out, err)
+	}
+}
+
+// fuzzRestoreSrc exercises every register-touching instruction class the
+// restore path can resume into: type tests, casts, allocation, moves.
+const fuzzRestoreSrc = `
+class ImageData {
+  width int
+  height int
+  buff bytes
+}
+
+func push(event) {
+  z0 = instanceof event ImageData
+  ifnot z0 goto done
+  r2 = cast event ImageData
+  r3 = new ImageData
+  r4 = move r3
+done:
+  return
+}
+`
+
+// FuzzRestore: restoring a machine at an arbitrary node with an arbitrary
+// register map — the receiving end of a hostile or corrupted continuation —
+// must yield an error or a normal outcome, never a panic. Register values
+// are decoded from the fuzzed bytes with the wire decoder, the same way a
+// real demodulator builds the map.
+func FuzzRestore(f *testing.F) {
+	u := asm.MustParse(fuzzRestoreSrc)
+	prog, ok := u.Program("push")
+	if !ok {
+		f.Fatal("no push program")
+	}
+	tbl, err := u.ClassTable()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(0, []byte{})
+	f.Add(3, []byte{1, 0, 0, 0, 0, 0, 0, 0, 42})
+	f.Add(1<<20, []byte("garbage"))
+	f.Add(-1, []byte{0xff, 0xff})
+	f.Fuzz(func(t *testing.T, node int, raw []byte) {
+		env := NewEnv(tbl, NewRegistry())
+		env.MaxSteps = 10_000
+		env.MaxWork = 10_000
+		vars := map[string]mir.Value{}
+		dec := wire.NewDecoder(raw)
+		names := []string{"event", "z0", "r2", "r3", "r4"}
+		for i := 0; i < len(names); i++ {
+			v, err := dec.DecodeValue()
+			if err != nil {
+				break
+			}
+			vars[names[i]] = v
+		}
+		// Any leftover bytes become one more value under a hostile name.
+		vars[fmt.Sprintf("x%d", len(vars))] = mir.Bytes(raw)
+		m, err := Restore(env, prog, node, vars)
+		if err != nil {
+			return
+		}
+		_, _ = m.Run()
+	})
+}

@@ -27,6 +27,10 @@ type EdgeHook func(e Edge) bool
 // ErrStepLimit is returned when a run exceeds the environment step bound.
 var ErrStepLimit = errors.New("interp: step limit exceeded")
 
+// ErrWorkBudget is returned when a run exceeds the environment work budget
+// (Env.MaxWork): the segment is cancelled instead of wedging its caller.
+var ErrWorkBudget = errors.New("interp: work budget exceeded")
+
 // Outcome is the result of running a machine segment.
 type Outcome struct {
 	// Done reports whether the program ran to a return instruction.
@@ -121,9 +125,13 @@ func (m *Machine) Work() int64 { return m.work }
 // step bound is hit.
 func (m *Machine) Run() (Outcome, error) {
 	limit := m.env.maxSteps()
+	budget := m.env.MaxWork
 	for {
 		if m.steps >= limit {
 			return Outcome{Work: m.work, Steps: m.steps}, fmt.Errorf("%w (%d steps in %s)", ErrStepLimit, m.steps, m.prog.Name)
+		}
+		if budget > 0 && m.work >= budget {
+			return Outcome{Work: m.work, Steps: m.steps}, fmt.Errorf("%w (%d work units in %s)", ErrWorkBudget, m.work, m.prog.Name)
 		}
 		in := &m.prog.Instrs[m.pc]
 		next, ret, err := m.exec(in)

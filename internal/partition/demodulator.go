@@ -1,7 +1,6 @@
 package partition
 
 import (
-	"fmt"
 	"sync/atomic"
 
 	"methodpart/internal/analysis"
@@ -84,22 +83,24 @@ type Result struct {
 	SplitPSE int32
 }
 
-// ProcessRaw runs the complete handler on an unmodulated event.
-func (d *Demodulator) ProcessRaw(msg *wire.Raw) (*Result, error) {
+// ProcessRaw runs the complete handler on an unmodulated event. Interpreter
+// panics are recovered into classified Fault errors; see FaultClassOf.
+func (d *Demodulator) ProcessRaw(msg *wire.Raw) (res *Result, err error) {
+	defer recoverFault(&err)
 	if msg.Handler != d.c.Prog.Name {
-		return nil, fmt.Errorf("partition: raw message for %q handled by %q", msg.Handler, d.c.Prog.Name)
+		return nil, faultf(wire.NackDecode, "partition: raw message for %q handled by %q", msg.Handler, d.c.Prog.Name)
 	}
 	machine, err := interp.NewMachine(d.env, d.c.Prog, []mir.Value{msg.Event})
 	if err != nil {
-		return nil, err
+		return nil, classify(wire.NackRestore, err)
 	}
 	machine.Hook = d.profileHook(machine, 0)
 	out, err := machine.Run()
 	if err != nil {
-		return nil, err
+		return nil, classify(wire.NackRuntime, err)
 	}
 	if !out.Done {
-		return nil, fmt.Errorf("partition: raw run of %s stopped unexpectedly", msg.Handler)
+		return nil, faultf(wire.NackRuntime, "partition: raw run of %s stopped unexpectedly", msg.Handler)
 	}
 	d.Probe.Done(RawPSEID, 0, out.Work)
 	return &Result{Return: out.Return, DemodWork: out.Work, SplitPSE: RawPSEID}, nil
@@ -107,25 +108,27 @@ func (d *Demodulator) ProcessRaw(msg *wire.Raw) (*Result, error) {
 
 // ProcessContinuation restores a remote continuation — re-binding the live
 // variables and jumping to the resume node — and runs it to completion.
-func (d *Demodulator) ProcessContinuation(cont *wire.Continuation) (*Result, error) {
+// Interpreter panics are recovered into classified Fault errors.
+func (d *Demodulator) ProcessContinuation(cont *wire.Continuation) (res *Result, err error) {
+	defer recoverFault(&err)
 	if cont.Handler != d.c.Prog.Name {
-		return nil, fmt.Errorf("partition: continuation for %q handled by %q", cont.Handler, d.c.Prog.Name)
+		return nil, faultf(wire.NackDecode, "partition: continuation for %q handled by %q", cont.Handler, d.c.Prog.Name)
 	}
 	resume := int(cont.ResumeNode)
 	if resume < 0 || resume >= len(d.c.Prog.Instrs) {
-		return nil, fmt.Errorf("partition: continuation resume node %d out of range", resume)
+		return nil, faultf(wire.NackRestore, "partition: continuation resume node %d out of range", resume)
 	}
 	machine, err := interp.Restore(d.env, d.c.Prog, resume, cont.Vars)
 	if err != nil {
-		return nil, err
+		return nil, classify(wire.NackRestore, err)
 	}
 	machine.Hook = d.profileHook(machine, cont.ModWork)
 	out, err := machine.Run()
 	if err != nil {
-		return nil, err
+		return nil, classify(wire.NackRuntime, err)
 	}
 	if !out.Done {
-		return nil, fmt.Errorf("partition: continuation of %s stopped unexpectedly", cont.Handler)
+		return nil, faultf(wire.NackRuntime, "partition: continuation of %s stopped unexpectedly", cont.Handler)
 	}
 	d.Probe.Done(cont.PSEID, cont.ModWork, out.Work)
 	return &Result{Return: out.Return, DemodWork: out.Work, SplitPSE: cont.PSEID}, nil
@@ -139,6 +142,6 @@ func (d *Demodulator) Process(msg any) (*Result, error) {
 	case *wire.Continuation:
 		return d.ProcessContinuation(m)
 	default:
-		return nil, fmt.Errorf("partition: demodulator cannot process %T", msg)
+		return nil, faultf(wire.NackDecode, "partition: demodulator cannot process %T", msg)
 	}
 }

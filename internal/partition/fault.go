@@ -1,0 +1,73 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/wire"
+)
+
+// Fault is an error from modulation or demodulation carrying the wire-level
+// failure class, so endpoints can attribute it (NACK frames, breaker
+// accounting, dead-letter records) without string matching.
+type Fault struct {
+	// Class is the protocol error class reported upstream in a Nack.
+	Class wire.NackClass
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (f *Fault) Error() string { return f.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (f *Fault) Unwrap() error { return f.Err }
+
+// FaultClassOf extracts the failure class from an error returned by
+// Modulator.Process or the Demodulator Process methods. Errors without an
+// explicit class default to NackRuntime — the conservative attribution for
+// "the handler itself misbehaved".
+func FaultClassOf(err error) wire.NackClass {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f.Class
+	}
+	return wire.NackRuntime
+}
+
+// faultf wraps a fresh error with a class.
+func faultf(class wire.NackClass, format string, args ...any) error {
+	return &Fault{Class: class, Err: fmt.Errorf(format, args...)}
+}
+
+// classify wraps an existing error with the class its cause implies:
+// interpreter resource-limit errors are budget faults, everything else from
+// the machine is a runtime fault. Already-classified errors pass through.
+func classify(class wire.NackClass, err error) error {
+	if err == nil {
+		return nil
+	}
+	var f *Fault
+	if errors.As(err, &f) {
+		return err
+	}
+	if errors.Is(err, interp.ErrStepLimit) || errors.Is(err, interp.ErrWorkBudget) {
+		class = wire.NackBudget
+	}
+	return &Fault{Class: class, Err: err}
+}
+
+// recoverFault converts a panic escaping interpreter-driven code into a
+// classified runtime fault, so one poisoned event cannot kill the read loop
+// or publish path that invoked it. Use as `defer recoverFault(&err)` on a
+// named error return.
+func recoverFault(errp *error) {
+	if r := recover(); r != nil {
+		*errp = &Fault{
+			Class: wire.NackRuntime,
+			Err:   fmt.Errorf("partition: panic during split execution: %v\n%s", r, debug.Stack()),
+		}
+	}
+}

@@ -125,8 +125,11 @@ func (m *Modulator) ApplyWirePlan(wp *wire.Plan) error {
 	return nil
 }
 
-// Process modulates one event under the active plan.
-func (m *Modulator) Process(event mir.Value) (*Output, error) {
+// Process modulates one event under the active plan. Interpreter panics are
+// recovered into classified Fault errors (see FaultClassOf), so a poisoned
+// event cannot take down the publish path.
+func (m *Modulator) Process(event mir.Value) (out *Output, err error) {
+	defer recoverFault(&err)
 	plan := m.plan.Load()
 	seq := m.seq.Add(1)
 	name := m.c.Prog.Name
@@ -145,18 +148,18 @@ func (m *Modulator) Process(event mir.Value) (*Output, error) {
 
 	machine, err := interp.NewMachine(m.env, m.c.Prog, []mir.Value{event})
 	if err != nil {
-		return nil, err
+		return nil, classify(wire.NackRestore, err)
 	}
 	res, err := runSplit(m.c, machine, plan, m.Probe, sampled, 0)
 	if err != nil {
-		return nil, err
+		return nil, classify(wire.NackRuntime, err)
 	}
 	m.Probe.Message(wire.SizeOf(event))
 	if res.outcome.Done {
 		// Only possible when every path StopNode is the exit — which
 		// cannot happen since returns are StopNodes — so treat as a
 		// completed-at-sender anomaly.
-		return nil, fmt.Errorf("partition: %s completed at sender; missing StopNodes", name)
+		return nil, faultf(wire.NackRuntime, "partition: %s completed at sender; missing StopNodes", name)
 	}
 
 	resume := res.outcome.Split.To

@@ -39,6 +39,7 @@ type pseAgg struct {
 	modWork   ewma
 	demodWork ewma
 	splits    uint64
+	failures  uint64
 	// crossSeen latches the crossings count at the previous SplitAt, so
 	// SplitAt can tell whether Cross is observing this edge (profiled and
 	// sampled) or the split observation is the only one this edge gets.
@@ -132,6 +133,19 @@ func (c *Collector) SplitAt(id int32, modWork, contBytes int64) {
 	a.crossSeen = a.crossings
 }
 
+// Fault records a modulation/demodulation failure attributed to the given
+// PSE (the split edge the failing message was produced at). Failure counts
+// ride the same Feedback path as the cost statistics, so the
+// reconfiguration unit sees them wherever it lives.
+func (c *Collector) Fault(id int32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id < 0 || int(id) >= c.numPSEs {
+		return
+	}
+	c.pses[id].failures++
+}
+
 // Done implements partition.ReceiverProbe.
 func (c *Collector) Done(splitPSE int32, modWork, demodWork int64) {
 	c.mu.Lock()
@@ -163,7 +177,7 @@ func (c *Collector) Snapshot() map[int32]costmodel.Stat {
 	out := make(map[int32]costmodel.Stat, c.numPSEs)
 	for id := 0; id < c.numPSEs; id++ {
 		a := &c.pses[id]
-		st := costmodel.Stat{Count: a.crossings}
+		st := costmodel.Stat{Count: a.crossings, Failures: a.failures}
 		if int32(id) == partition.RawPSEID {
 			// The raw PSE is crossed (virtually) by every message. Only
 			// the sender observes raw event sizes; a receiver-side
@@ -176,7 +190,7 @@ func (c *Collector) Snapshot() map[int32]costmodel.Stat {
 			case c.rawBytes.set:
 				st.Bytes = c.rawBytes.v
 			default:
-				if c.completed == 0 {
+				if c.completed == 0 && a.failures == 0 {
 					continue
 				}
 			}
@@ -187,7 +201,7 @@ func (c *Collector) Snapshot() map[int32]costmodel.Stat {
 			out[int32(id)] = st
 			continue
 		}
-		if a.crossings == 0 {
+		if a.crossings == 0 && a.failures == 0 {
 			continue
 		}
 		if denom > 0 {
@@ -224,6 +238,7 @@ func (c *Collector) ToWire(handler string) *wire.Feedback {
 			ModWork:   st.ModWork,
 			DemodWork: st.DemodWork,
 			Prob:      st.Prob,
+			Failures:  st.Failures,
 		})
 	}
 	return fb
@@ -239,6 +254,7 @@ func FromWire(fb *wire.Feedback) map[int32]costmodel.Stat {
 			ModWork:   s.ModWork,
 			DemodWork: s.DemodWork,
 			Prob:      s.Prob,
+			Failures:  s.Failures,
 		}
 	}
 	return out
@@ -277,6 +293,10 @@ func Merge(sender, receiver map[int32]costmodel.Stat) map[int32]costmodel.Stat {
 		} else if m.DemodWork == 0 && stale.DemodWork > 0 {
 			m.DemodWork = stale.DemodWork
 		}
+		// Failures are counted by distinct fault populations (the sender
+		// sees modulation faults, the receiver demodulation faults), so
+		// the merged view sums rather than picks the fresher side.
+		m.Failures = s.Failures + r.Failures
 		out[id] = m
 	}
 	return out

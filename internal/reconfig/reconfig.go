@@ -24,6 +24,7 @@ type Unit struct {
 	ProfileAll bool
 
 	version uint64
+	tripped map[int32]bool
 }
 
 // NewUnit creates a reconfiguration unit for the handler in the given
@@ -37,6 +38,25 @@ func (u *Unit) SetEnvironment(env costmodel.Environment) { u.env = env }
 
 // Environment returns the current environment.
 func (u *Unit) Environment() costmodel.Environment { return u.env }
+
+// SetTripped replaces the set of PSEs whose circuit breaker is open. A
+// tripped PSE's edge becomes (effectively) uncuttable, so the min-cut routes
+// around it instead of re-selecting a split point whose continuations keep
+// failing. Like the rest of the unit, not safe for concurrent use with
+// SelectPlan; callers serialize.
+func (u *Unit) SetTripped(ids []int32) {
+	if len(ids) == 0 {
+		u.tripped = nil
+		return
+	}
+	u.tripped = make(map[int32]bool, len(ids))
+	for _, id := range ids {
+		u.tripped[id] = true
+	}
+}
+
+// Tripped reports whether a PSE is currently excluded from the split set.
+func (u *Unit) Tripped(id int32) bool { return u.tripped[id] }
 
 // SelectPlan computes the minimum-cost valid partitioning for the profiled
 // statistics (stats may be nil or partial; unprofiled PSEs fall back to
@@ -86,6 +106,22 @@ func (u *Unit) Capacity(id int32, stats map[int32]costmodel.Stat) int64 {
 	return u.c.Model.StaticCapacity(pse.Static)
 }
 
+// capacityFor is Capacity with the breaker overlay applied: a tripped PSE's
+// edge is saturated to infinite capacity so the max-flow never cuts it. The
+// raw PSE is special — it is the degradation floor, so when even raw is
+// tripped it gets InfCapacity−1: still astronomically expensive (any healthy
+// split wins) but keeping the finite-cut invariant that makes "worst case:
+// ship raw" always selectable.
+func (u *Unit) capacityFor(id int32, stats map[int32]costmodel.Stat) int64 {
+	if u.tripped[id] {
+		if id == partition.RawPSEID {
+			return graph.InfCapacity - 1
+		}
+		return graph.InfCapacity
+	}
+	return u.Capacity(id, stats)
+}
+
 // minCut builds the flow network and extracts the minimal cut restricted to
 // PSE edges. The synthetic raw PSE is the source's only outgoing edge, so a
 // finite cut always exists (worst case: ship raw events).
@@ -97,14 +133,14 @@ func (u *Unit) minCut(stats map[int32]costmodel.Stat) ([]int32, int64, error) {
 	fn := graph.NewFlowNetwork(n + 2)
 
 	// Raw PSE: source → start node.
-	if err := fn.AddEdge(source, ug.Start, u.Capacity(partition.RawPSEID, stats), int(partition.RawPSEID)); err != nil {
+	if err := fn.AddEdge(source, ug.Start, u.capacityFor(partition.RawPSEID, stats), int(partition.RawPSEID)); err != nil {
 		return nil, 0, err
 	}
 	// UG edges: PSEs get their profiled/static capacity, everything else
 	// is uncuttable.
 	for _, e := range ug.Edges() {
 		if id, ok := u.c.PSEByEdge(e); ok {
-			if err := fn.AddEdge(e.From, e.To, u.Capacity(id, stats), int(id)); err != nil {
+			if err := fn.AddEdge(e.From, e.To, u.capacityFor(id, stats), int(id)); err != nil {
 				return nil, 0, err
 			}
 			continue

@@ -29,6 +29,12 @@ type FaultPlan struct {
 	DelayProb float64
 	// MaxDelay bounds injected delays (0 = 10ms when DelayProb > 0).
 	MaxDelay time.Duration
+	// Corrupt, when set, may rewrite a frame's payload before it is
+	// written: return a replacement to poison the frame, or nil to pass it
+	// through untouched. It runs after the sever/drop/delay decision, so a
+	// corrupted frame is one that *does* reach the peer. The callback must
+	// be safe for concurrent use and must not retain or mutate the input.
+	Corrupt func(payload []byte) []byte
 }
 
 // Flaky wraps another Transport and injects faults on its connections for
@@ -171,6 +177,11 @@ func (c *flakyConn) WriteFrame(payload []byte) error {
 		return nil
 	case delay > 0:
 		time.Sleep(delay)
+	}
+	if corrupt := c.f.plan.Corrupt; corrupt != nil {
+		if poisoned := corrupt(payload); poisoned != nil {
+			payload = poisoned
+		}
 	}
 	return c.Conn.WriteFrame(payload)
 }

@@ -1,0 +1,48 @@
+package wire
+
+import (
+	"testing"
+
+	"methodpart/internal/mir"
+)
+
+// FuzzUnmarshal: arbitrary bytes must decode to a message or fail with an
+// error — never panic and never allocate absurd amounts. The corpus is
+// seeded with one valid frame of every protocol message so the fuzzer
+// starts from deep, structurally interesting inputs.
+func FuzzUnmarshal(f *testing.F) {
+	ev := mir.NewObject("ImageData")
+	ev.Fields["buff"] = make(mir.Bytes, 64)
+	ev.Fields["width"] = mir.Int(8)
+	ev.Fields["height"] = mir.Int(8)
+	seeds := []any{
+		&Raw{Handler: "push", Seq: 1, Event: ev},
+		&Continuation{Handler: "push", Seq: 2, PSEID: 1, ResumeNode: 5,
+			Vars: map[string]mir.Value{"r2": ev, "z0": mir.Int(1), "s": mir.Str("x"),
+				"a": mir.IntArray{1, 2, 3}, "n": mir.Null{}}},
+		&Feedback{Handler: "push", Stats: []PSEStat{
+			{ID: 0, Count: 9, Bytes: 100},
+			{ID: 1, Count: 5, Bytes: 10, Failures: 2},
+		}},
+		&Plan{Handler: "push", Version: 7, Split: []int32{1, 3}, Profile: []int32{0, 1, 2, 3}},
+		&Subscribe{Subscriber: "s", Handler: "push", Source: "func push(event) {\n  return\n}",
+			CostModel: "datasize", Natives: []string{"displayImage"}},
+		&Nack{Handler: "push", Seq: 3, PSEID: 2, Class: NackRestore},
+		&Heartbeat{},
+	}
+	for _, m := range seeds {
+		data, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Unmarshal(data)
+		if err == nil && msg == nil {
+			t.Fatalf("Unmarshal(%x): nil message with nil error", data)
+		}
+	})
+}

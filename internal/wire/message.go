@@ -10,8 +10,9 @@ import (
 
 // ProtocolVersion is the wire protocol revision. A subscription handshake
 // carries it; peers reject mismatches rather than misinterpreting frames.
-// Revision 2 added heartbeat control frames.
-const ProtocolVersion uint32 = 2
+// Revision 2 added heartbeat control frames. Revision 3 added Nack frames
+// (demodulation-failure reports) and per-PSE failure counts in Feedback.
+const ProtocolVersion uint32 = 3
 
 // MsgType identifies a framed message.
 type MsgType byte
@@ -32,7 +33,63 @@ const (
 	// MsgHeartbeat is the liveness probe either side sends while idle, so
 	// a silent peer is distinguishable from a silent channel.
 	MsgHeartbeat
+	// MsgNack reports a demodulation failure upstream (protocol revision
+	// 3): the receiver could not complete a message and quarantined it.
+	MsgNack
 )
+
+// NackClass classifies why a message failed demodulation, so the sender's
+// circuit breaker can distinguish a poisoned split point from a slow one.
+type NackClass uint8
+
+const (
+	// NackUnknown is the zero value; a well-formed Nack never carries it.
+	NackUnknown NackClass = iota
+	// NackDecode: the message decoded at the frame level but failed
+	// message-level validation (wrong handler, malformed payload).
+	NackDecode
+	// NackRestore: the continuation could not be restored (resume node out
+	// of range, unusable variable snapshot).
+	NackRestore
+	// NackRuntime: the interpreter failed (runtime error or recovered
+	// panic) while completing the message.
+	NackRuntime
+	// NackBudget: the receiver cancelled the message because it exceeded
+	// the work or step budget (a runaway continuation).
+	NackBudget
+)
+
+// String names the class for logs and tables.
+func (c NackClass) String() string {
+	switch c {
+	case NackDecode:
+		return "decode"
+	case NackRestore:
+		return "restore"
+	case NackRuntime:
+		return "runtime"
+	case NackBudget:
+		return "budget"
+	default:
+		return "unknown"
+	}
+}
+
+// Nack reports one demodulation failure from the receiver back to the
+// sender (protocol revision 3). The sender feeds it into the per-PSE
+// circuit breaker: enough Nacks against one PSE trip it out of the
+// eligible split set.
+type Nack struct {
+	// Handler names the handler whose message failed.
+	Handler string
+	// Seq is the failed message's per-subscription sequence number.
+	Seq uint64
+	// PSEID is the PSE the failed message was split at (RawPSEID for raw
+	// events).
+	PSEID int32
+	// Class is the failure classification.
+	Class NackClass
+}
 
 // Heartbeat is the liveness control message (protocol revision 2). Any
 // received frame counts as liveness; heartbeats exist so liveness frames
@@ -86,6 +143,11 @@ type PSEStat struct {
 	// Prob is the observed probability that a message's execution path
 	// crosses this PSE.
 	Prob float64
+	// Failures is the cumulative count of messages that failed while split
+	// at this PSE (modulator failures at the sender, demodulation failures
+	// at the receiver), carried so the reconfiguration unit can route the
+	// min-cut around broken split points.
+	Failures uint64
 }
 
 // Feedback carries profiling statistics from the demodulator side to the
@@ -173,6 +235,7 @@ func Marshal(msg any) ([]byte, error) {
 			e.writeU64(math.Float64bits(s.ModWork))
 			e.writeU64(math.Float64bits(s.DemodWork))
 			e.writeU64(math.Float64bits(s.Prob))
+			e.writeU64(s.Failures)
 		}
 	case *Plan:
 		e.w.WriteByte(byte(MsgPlan))
@@ -189,6 +252,12 @@ func Marshal(msg any) ([]byte, error) {
 	case *Heartbeat:
 		e.w.WriteByte(byte(MsgHeartbeat))
 		e.writeU64(m.Seq)
+	case *Nack:
+		e.w.WriteByte(byte(MsgNack))
+		e.writeString(m.Handler)
+		e.writeU64(m.Seq)
+		e.writeU32(uint32(m.PSEID))
+		e.writeU32(uint32(m.Class))
 	case *Subscribe:
 		e.w.WriteByte(byte(MsgSubscribe))
 		e.writeU32(m.Protocol)
@@ -208,8 +277,8 @@ func Marshal(msg any) ([]byte, error) {
 }
 
 // Unmarshal decodes a message produced by Marshal. The concrete type of the
-// result is *Raw, *Continuation, *Feedback, *Plan, *Subscribe or
-// *Heartbeat.
+// result is *Raw, *Continuation, *Feedback, *Plan, *Subscribe, *Heartbeat
+// or *Nack.
 func Unmarshal(data []byte) (any, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("wire: empty message")
@@ -284,8 +353,8 @@ func Unmarshal(data []byte) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Each stat record is 44 bytes on the wire.
-		if int64(n) > int64(d.Remaining())/44 {
+		// Each stat record is 52 bytes on the wire.
+		if int64(n) > int64(d.Remaining())/52 {
 			return nil, fmt.Errorf("wire: stat count %d exceeds remaining payload", n)
 		}
 		m.Stats = make([]PSEStat, n)
@@ -306,6 +375,9 @@ func Unmarshal(data []byte) (any, error) {
 					return nil, err
 				}
 				*p = math.Float64frombits(u)
+			}
+			if s.Failures, err = d.readU64(); err != nil {
+				return nil, err
 			}
 		}
 		return m, nil
@@ -355,6 +427,26 @@ func Unmarshal(data []byte) (any, error) {
 		if m.Seq, err = d.readU64(); err != nil {
 			return nil, err
 		}
+		return m, nil
+	case MsgNack:
+		m := &Nack{}
+		var err error
+		if m.Handler, err = d.readString(); err != nil {
+			return nil, err
+		}
+		if m.Seq, err = d.readU64(); err != nil {
+			return nil, err
+		}
+		pse, err := d.readU32()
+		if err != nil {
+			return nil, err
+		}
+		m.PSEID = int32(pse)
+		class, err := d.readU32()
+		if err != nil {
+			return nil, err
+		}
+		m.Class = NackClass(class)
 		return m, nil
 	case MsgSubscribe:
 		m := &Subscribe{}

@@ -18,9 +18,10 @@ func TestUnmarshalNeverPanicsOnTruncation(t *testing.T) {
 		&Raw{Handler: "h", Seq: 1, Event: ev},
 		&Continuation{Handler: "h", Seq: 2, PSEID: 1, ResumeNode: 3,
 			Vars: map[string]mir.Value{"a": ev, "b": mir.Int(1)}},
-		&Feedback{Handler: "h", Stats: []PSEStat{{ID: 1, Count: 5, Bytes: 10}}},
+		&Feedback{Handler: "h", Stats: []PSEStat{{ID: 1, Count: 5, Bytes: 10, Failures: 2}}},
 		&Plan{Handler: "h", Version: 1, Split: []int32{1}, Profile: []int32{0, 1}},
 		&Subscribe{Subscriber: "s", Handler: "h", Source: "src", CostModel: "datasize", Natives: []string{"n"}},
+		&Nack{Handler: "h", Seq: 3, PSEID: 2, Class: NackRestore},
 	}
 	for _, m := range msgs {
 		data, err := Marshal(m)

@@ -140,6 +140,13 @@ type (
 	// OverflowPolicy selects the backpressure behaviour of a full
 	// per-subscription send queue.
 	OverflowPolicy = jecho.OverflowPolicy
+	// DeadLetter is one quarantined poison message (an event or
+	// continuation that failed demodulation), inspectable through
+	// Subscriber.DeadLetters.
+	DeadLetter = jecho.DeadLetter
+	// FaultClass classifies a split-execution failure on the wire
+	// (decode / restore / runtime / budget).
+	FaultClass = wire.NackClass
 
 	// Transport is the frame-oriented connection layer beneath the event
 	// system; implement it to carry subscriptions over a custom substrate.
@@ -185,6 +192,22 @@ const (
 	// DefaultResubscribeAttempts bounds reconnect attempts per outage for
 	// auto-resubscribing subscribers.
 	DefaultResubscribeAttempts = jecho.DefaultResubscribeAttempts
+)
+
+// Fault-containment defaults (zero-valued config fields select these;
+// negative values disable the mechanism).
+const (
+	// DefaultBreakerThreshold is how many per-PSE failures within the
+	// window trip that PSE's circuit breaker.
+	DefaultBreakerThreshold = jecho.DefaultBreakerThreshold
+	// DefaultBreakerWindow is the breaker's failure-counting window.
+	DefaultBreakerWindow = jecho.DefaultBreakerWindow
+	// DefaultBreakerCooldown is how long a tripped PSE stays excluded from
+	// the split set before a half-open probe re-admits it.
+	DefaultBreakerCooldown = jecho.DefaultBreakerCooldown
+	// DefaultDeadLetterSize bounds the subscriber's poison-message
+	// quarantine ring.
+	DefaultDeadLetterSize = jecho.DefaultDeadLetterSize
 )
 
 // NewFlakyTransport wraps inner with seeded fault injection for chaos
