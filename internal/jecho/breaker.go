@@ -55,9 +55,15 @@ type pseState struct {
 	// openUntil is when the open state ends; zero while closed.
 	openUntil time.Time
 	// probing marks the half-open state: the PSE has been re-admitted for
-	// one trial. A failure while probing re-opens immediately; a success
-	// closes the breaker.
+	// one trial. A failure while probing re-opens immediately; the probe
+	// passes either explicitly (Succeed) or implicitly once a full failure
+	// window elapses with no failure — an endpoint with no positive success
+	// signal (the publisher) must not stay half-open forever, where any
+	// single later failure would re-trip at an effective threshold of 1.
 	probing bool
+	// probeStart is when the half-open state began; meaningful only while
+	// probing.
+	probeStart time.Time
 }
 
 // pseBreaker tracks per-PSE failure rates and drives the
@@ -105,15 +111,30 @@ func (b *pseBreaker) FailN(id int32, n uint64) bool {
 	now := b.now()
 	st := b.state(id)
 	if st.probing {
-		// Half-open: the probe failed, re-open for a fresh cooldown.
+		if now.Sub(st.probeStart) < b.cfg.window {
+			// Half-open: the probe failed, re-open for a fresh cooldown.
+			st.probing = false
+			st.stamps = st.stamps[:0]
+			st.openUntil = now.Add(b.cfg.cooldown)
+			return true
+		}
+		// The probe survived a full failure window before this failure:
+		// it passed implicitly. Close the breaker and count this failure
+		// against a fresh closed-state window below.
 		st.probing = false
+		st.openUntil = time.Time{}
 		st.stamps = st.stamps[:0]
-		st.openUntil = now.Add(b.cfg.cooldown)
-		return true
 	}
 	if !st.openUntil.IsZero() && now.Before(st.openUntil) {
 		// Already open; failures while excluded don't re-trip.
 		return false
+	}
+	// n can be an unvalidated delta from a wire feedback frame; beyond the
+	// trip threshold extra stamps carry no information, so clamp before the
+	// append loop — a corrupt counter must not force an unbounded
+	// allocation under the breaker mutex.
+	if n > uint64(b.cfg.threshold) {
+		n = uint64(b.cfg.threshold)
 	}
 	// Closed: slide the window, append, check the threshold.
 	cutoff := now.Add(-b.cfg.window)
@@ -173,14 +194,23 @@ func (b *pseBreaker) openLocked(id int32) bool {
 	if !ok || st.openUntil.IsZero() {
 		return false
 	}
+	now := b.now()
 	if st.probing {
+		if now.Sub(st.probeStart) >= b.cfg.window {
+			// A full failure window passed without a probe failure: the
+			// probe passed implicitly, close the breaker.
+			st.probing = false
+			st.openUntil = time.Time{}
+			st.stamps = st.stamps[:0]
+		}
 		return false
 	}
-	if b.now().Before(st.openUntil) {
+	if now.Before(st.openUntil) {
 		return true
 	}
 	// Cooldown elapsed: half-open re-admission.
 	st.probing = true
+	st.probeStart = now
 	return false
 }
 

@@ -106,6 +106,82 @@ func TestBreakerFailN(t *testing.T) {
 	}
 }
 
+func TestBreakerFailNClampsDelta(t *testing.T) {
+	b, _ := testBreaker(3, 10*time.Second, 30*time.Second)
+	// A wire feedback frame can carry an arbitrary (corrupt or malicious)
+	// failure-counter delta; FailN must trip without materialising it as
+	// stamps. An unclamped loop would allocate ~2^64 entries here.
+	done := make(chan bool, 1)
+	go func() { done <- b.FailN(7, ^uint64(0)) }()
+	select {
+	case tripped := <-done:
+		if !tripped {
+			t.Fatal("huge delta did not trip")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("FailN(max uint64) did not return; delta not clamped")
+	}
+	b.mu.Lock()
+	if n := len(b.states[7].stamps); n > b.cfg.threshold {
+		t.Fatalf("%d stamps retained, want <= threshold %d", n, b.cfg.threshold)
+	}
+	b.mu.Unlock()
+}
+
+// TestBreakerProbePassesImplicitly: an endpoint with no positive success
+// signal (the publisher) must not stay half-open forever — once a probe
+// survives a full failure window, the breaker closes and later failures
+// count against the normal threshold instead of re-tripping singly.
+func TestBreakerProbePassesImplicitly(t *testing.T) {
+	b, clk := testBreaker(3, 10*time.Second, 30*time.Second)
+	b.Fail(1)
+	b.Fail(1)
+	if !b.Fail(1) {
+		t.Fatal("threshold failure did not trip")
+	}
+	// Cooldown elapses: half-open probe starts.
+	clk.advance(31 * time.Second)
+	if b.Open(1) {
+		t.Fatal("still open after cooldown")
+	}
+	// The probe survives a full failure window with no failures.
+	clk.advance(11 * time.Second)
+	// A single failure now must NOT re-open: the probe passed implicitly,
+	// so the breaker is closed and the threshold applies afresh.
+	if b.Fail(1) {
+		t.Fatal("single post-probe failure re-tripped the breaker")
+	}
+	if b.Open(1) {
+		t.Fatal("open after one post-probe failure")
+	}
+	// Clustered failures still trip as usual.
+	b.Fail(1)
+	if !b.Fail(1) {
+		t.Fatal("threshold failures after passed probe did not trip")
+	}
+}
+
+// TestBreakerProbeExpiryViaOpen: the implicit probe pass is also observed
+// through Open/OpenIDs polling, not just through the next failure.
+func TestBreakerProbeExpiryViaOpen(t *testing.T) {
+	b, clk := testBreaker(1, 10*time.Second, 30*time.Second)
+	b.Fail(2)
+	clk.advance(31 * time.Second)
+	if b.Open(2) { // flips half-open
+		t.Fatal("still open after cooldown")
+	}
+	clk.advance(11 * time.Second)
+	if b.Open(2) {
+		t.Fatal("open after probe window elapsed")
+	}
+	b.mu.Lock()
+	st := b.states[2]
+	if st.probing || !st.openUntil.IsZero() {
+		t.Fatalf("state = %+v, want fully closed after implicit probe pass", st)
+	}
+	b.mu.Unlock()
+}
+
 func TestBreakerOpenIDsSorted(t *testing.T) {
 	b, _ := testBreaker(1, 10*time.Second, 30*time.Second)
 	b.Fail(5)

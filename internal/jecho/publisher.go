@@ -348,6 +348,16 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 			metrics.heartbeatsRecv.Add(1)
 		case *wire.Nack:
 			metrics.nacksRecv.Add(1)
+			if int(m.PSEID) >= compiled.NumPSEs() {
+				// A NACK naming a PSE the handler doesn't have is a
+				// malformed report, not a failure signal: feeding it to the
+				// breaker would grow its state map without bound and inject
+				// bogus ids into the degrade path.
+				metrics.decodeFailures.Add(1)
+				p.cfg.Logf("jecho publisher: sub %s: nack for unknown pse %d (handler has %d); ignored",
+					sub.id, m.PSEID, compiled.NumPSEs())
+				continue
+			}
 			if m.PSEID >= 0 && sub.breaker.Fail(m.PSEID) {
 				metrics.breakerTrips.Add(1)
 				p.cfg.Logf("jecho publisher: sub %s: breaker tripped for pse %d (class %s, seq %d); degrading",
@@ -358,7 +368,10 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 			// A plan re-selecting a PSE whose breaker is still open would
 			// reinstall the broken split; drop it. (Once the cooldown
 			// elapses, Open flips the breaker half-open and the next such
-			// plan passes — that acceptance is the probe.)
+			// plan passes — that acceptance starts the probe, which ends
+			// either with a failure re-opening the breaker or, since the
+			// publisher has no per-message success signal, by surviving a
+			// full failure window without one.)
 			if id := blockedSplit(sub.breaker, m.Split); id >= 0 {
 				p.cfg.Logf("jecho publisher: sub %s plan v%d re-selects tripped pse %d; dropped",
 					sub.id, m.Version, id)
@@ -394,9 +407,11 @@ func blockedSplit(b *pseBreaker, split []int32) int32 {
 // applied and installs it sender-side: the min-cut gives tripped PSEs
 // effectively infinite capacity, so the flow routes to an adjacent healthy
 // PSE or all the way back to raw delivery. The subscriber learns of the
-// exclusion through the failure counts in the next feedback frame; until
-// its own plans avoid the PSE, the interception in handleConn keeps them
-// from reinstalling it.
+// exclusion through the failure counts in the next feedback frame — which
+// also carries the forced plan version, so its reconfiguration unit's
+// counter skips past the degraded plan instead of emitting stale versions —
+// and until its own plans avoid the PSE, the interception in handleConn
+// keeps them from reinstalling it.
 func (p *Publisher) degrade(s *subscription) {
 	s.degradeMu.Lock()
 	defer s.degradeMu.Unlock()
@@ -558,6 +573,9 @@ func (p *Publisher) publishOne(s *subscription, event mir.Value) error {
 	snap := s.coll.Snapshot()
 	if s.trigger.ShouldReport(snap, s.coll.Messages()) {
 		fb := s.coll.ToWire(s.compiled.Prog.Name)
+		// Carry the active plan version so the subscriber's reconfiguration
+		// unit can skip past versions the degrade path forced locally.
+		fb.PlanVersion = s.mod.Plan().Version()
 		data, err := wire.Marshal(fb)
 		if err != nil {
 			return err

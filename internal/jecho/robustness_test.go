@@ -119,6 +119,71 @@ func TestProtocolMismatchRejected(t *testing.T) {
 	}
 }
 
+// TestNackUnknownPSEIgnored: a NACK naming a PSE the handler doesn't have
+// must be counted as a malformed frame and dropped, not fed to the breaker —
+// 5 bogus NACKs exceed the default threshold of 3, so any breaker activity
+// here means the bound check failed.
+func TestNackUnknownPSEIgnored(t *testing.T) {
+	pub := newTestPublisher(t)
+	conn, err := net.Dial("tcp", pub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	data, err := wire.Marshal(&wire.Subscribe{
+		Protocol: wire.ProtocolVersion, Subscriber: "nacker",
+		Handler: imaging.HandlerName, Source: imaging.HandlerSource(64),
+		CostModel: costmodel.DataSizeName, Natives: []string{"displayImage"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := transport.WriteFrame(conn, data); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for pub.Subscribers() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	const bogus = 5
+	for i := 0; i < bogus; i++ {
+		nack, err := wire.Marshal(&wire.Nack{
+			Handler: imaging.HandlerName, Seq: uint64(i),
+			PSEID: 1 << 20, Class: wire.NackRuntime,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := transport.WriteFrame(conn, nack); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		subs := pub.Subscriptions()
+		if len(subs) == 1 && subs[0].Metrics.NacksReceived == bogus {
+			m := subs[0].Metrics
+			if m.BreakerTrips != 0 {
+				t.Fatalf("bogus NACKs tripped the breaker %d times", m.BreakerTrips)
+			}
+			if m.DecodeFailures != bogus {
+				t.Fatalf("decode failures = %d, want %d", m.DecodeFailures, bogus)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("NACKs never surfaced in metrics: %+v", subs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if pub.Subscribers() != 1 {
+		t.Fatal("bogus NACKs killed the subscription")
+	}
+}
+
 func TestSubscriberDisconnectCleansUp(t *testing.T) {
 	pub := newTestPublisher(t)
 	reg, _ := imaging.Builtins()

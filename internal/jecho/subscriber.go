@@ -585,8 +585,12 @@ func (s *Subscriber) sendNack(n *wire.Nack) {
 // applyFeedback merges a sender-side profiling report. Sender-side failure
 // counts (modulation faults the publisher attributed to PSEs) feed the
 // local breaker as deltas, so a sender whose modulator keeps failing at a
-// PSE trips it here too.
+// PSE trips it here too. The report also carries the publisher's active
+// plan version; fast-forwarding the reconfiguration unit past it keeps
+// locally selected plans from being rejected as stale after the publisher's
+// degrade path forced a version on its own.
 func (s *Subscriber) applyFeedback(fb *wire.Feedback) {
+	s.runit.ObserveVersion(fb.PlanVersion)
 	tripped := false
 	s.mu.Lock()
 	for id, st := range profileunit.FromWire(fb) {

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -109,7 +110,16 @@ func (m *Modulator) SetPlan(p *Plan) bool {
 	}
 }
 
+// ErrStalePlan reports a wire plan rejected because its version does not
+// advance past the active plan's — e.g. the peer's version counter lags a
+// plan installed locally. Callers distinguish it from validation errors with
+// errors.Is.
+var ErrStalePlan = errors.New("stale plan version")
+
 // ApplyWirePlan validates and installs a plan received as a wire message.
+// A plan whose version the modulator has already passed returns
+// ErrStalePlan (wrapped), so the rejection is visible to the caller instead
+// of silently delaying plan convergence.
 func (m *Modulator) ApplyWirePlan(wp *wire.Plan) error {
 	if wp.Handler != m.c.Prog.Name {
 		return fmt.Errorf("partition: plan for %q applied to %q", wp.Handler, m.c.Prog.Name)
@@ -121,7 +131,10 @@ func (m *Modulator) ApplyWirePlan(wp *wire.Plan) error {
 	if err != nil {
 		return err
 	}
-	m.SetPlan(p)
+	if !m.SetPlan(p) {
+		return fmt.Errorf("partition: %w: v%d not past active v%d",
+			ErrStalePlan, p.Version(), m.Plan().Version())
+	}
 	return nil
 }
 

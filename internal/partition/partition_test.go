@@ -1,6 +1,7 @@
 package partition_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -269,6 +270,14 @@ func TestApplyWirePlan(t *testing.T) {
 	leaky := &wire.Plan{Handler: "push", Version: 7, Split: nil}
 	if err := f.mod.ApplyWirePlan(leaky); err == nil {
 		t.Error("leaky plan accepted")
+	}
+	stale := &wire.Plan{Handler: "push", Version: 4, Split: []int32{partition.RawPSEID}, Profile: []int32{0}}
+	err := f.mod.ApplyWirePlan(stale)
+	if !errors.Is(err, partition.ErrStalePlan) {
+		t.Errorf("stale plan: err = %v, want ErrStalePlan", err)
+	}
+	if f.mod.Plan().Version() != 5 {
+		t.Fatalf("stale plan changed active version to %d", f.mod.Plan().Version())
 	}
 }
 

@@ -58,6 +58,18 @@ func (u *Unit) SetTripped(ids []int32) {
 // Tripped reports whether a PSE is currently excluded from the split set.
 func (u *Unit) Tripped(id int32) bool { return u.tripped[id] }
 
+// ObserveVersion fast-forwards the unit's version counter to at least v —
+// the version of a plan installed behind the unit's back (e.g. a
+// breaker-degraded plan the publisher forced locally, reported through
+// feedback). Without this, the unit's next selection would carry a version
+// the modulator has already passed and be rejected as stale. Like SelectPlan,
+// not safe for concurrent use; callers serialize.
+func (u *Unit) ObserveVersion(v uint64) {
+	if v > u.version {
+		u.version = v
+	}
+}
+
 // SelectPlan computes the minimum-cost valid partitioning for the profiled
 // statistics (stats may be nil or partial; unprofiled PSEs fall back to
 // their static capacity estimate). It returns both the in-memory plan and

@@ -200,3 +200,32 @@ func TestProfileAllFlag(t *testing.T) {
 		t.Fatalf("profile ids = %v, split ids = %v", plan.ProfileIDs(), plan.SplitIDs())
 	}
 }
+
+// TestObserveVersionFastForwards: after a plan is installed behind the
+// unit's back (the publisher's breaker-degraded plan, reported through
+// feedback), the unit's next selection must carry a version past it —
+// otherwise the modulator rejects it as stale.
+func TestObserveVersionFastForwards(t *testing.T) {
+	c := compilePush(t, costmodel.NewDataSize())
+	u := reconfig.NewUnit(c, costmodel.DefaultEnvironment())
+	if _, _, err := u.SelectPlan(nil); err != nil {
+		t.Fatal(err)
+	}
+	u.ObserveVersion(10)
+	next, _, err := u.SelectPlan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Version() <= 10 {
+		t.Fatalf("version = %d, want > 10 after ObserveVersion(10)", next.Version())
+	}
+	// Observing an older version must not roll the counter back.
+	u.ObserveVersion(3)
+	last, _, err := u.SelectPlan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Version() <= next.Version() {
+		t.Fatalf("version rolled back: %d then %d", next.Version(), last.Version())
+	}
+}

@@ -11,7 +11,8 @@ import (
 // ProtocolVersion is the wire protocol revision. A subscription handshake
 // carries it; peers reject mismatches rather than misinterpreting frames.
 // Revision 2 added heartbeat control frames. Revision 3 added Nack frames
-// (demodulation-failure reports) and per-PSE failure counts in Feedback.
+// (demodulation-failure reports) plus per-PSE failure counts and the
+// sender's active plan version in Feedback.
 const ProtocolVersion uint32 = 3
 
 // MsgType identifies a framed message.
@@ -155,6 +156,12 @@ type PSEStat struct {
 type Feedback struct {
 	// Handler names the handler the statistics describe.
 	Handler string
+	// PlanVersion is the sender's active plan version at snapshot time
+	// (zero when unknown). It lets the reconfiguration unit fast-forward
+	// its version counter past plans installed behind its back — the
+	// publisher's breaker degrades with a locally forced version, and a
+	// plan selected against a lagging counter would be rejected as stale.
+	PlanVersion uint64
 	// Stats holds one record per profiled PSE.
 	Stats []PSEStat
 }
@@ -227,6 +234,7 @@ func Marshal(msg any) ([]byte, error) {
 	case *Feedback:
 		e.w.WriteByte(byte(MsgFeedback))
 		e.writeString(m.Handler)
+		e.writeU64(m.PlanVersion)
 		e.writeU32(uint32(len(m.Stats)))
 		for _, s := range m.Stats {
 			e.writeU32(uint32(s.ID))
@@ -347,6 +355,9 @@ func Unmarshal(data []byte) (any, error) {
 		m := &Feedback{}
 		var err error
 		if m.Handler, err = d.readString(); err != nil {
+			return nil, err
+		}
+		if m.PlanVersion, err = d.readU64(); err != nil {
 			return nil, err
 		}
 		n, err := d.readU32()

@@ -174,7 +174,8 @@ func TestMessageRoundTrips(t *testing.T) {
 			},
 		},
 		&Feedback{
-			Handler: "push",
+			Handler:     "push",
+			PlanVersion: 12,
 			Stats: []PSEStat{
 				{ID: 1, Count: 10, Bytes: 100.5, ModWork: 3, DemodWork: 7, Prob: 0.5},
 				{ID: 2, Count: 4, Bytes: 9, ModWork: 1, DemodWork: 2, Prob: 1},
@@ -213,6 +214,9 @@ func TestMessageRoundTrips(t *testing.T) {
 			}
 		case *Feedback:
 			got := back.(*Feedback)
+			if got.PlanVersion != orig.PlanVersion {
+				t.Errorf("plan version = %d, want %d", got.PlanVersion, orig.PlanVersion)
+			}
 			if len(got.Stats) != len(orig.Stats) {
 				t.Fatalf("stats = %+v", got.Stats)
 			}
