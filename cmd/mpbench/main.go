@@ -141,11 +141,12 @@ func run(args []string, w io.Writer) error {
 		if *frames > 0 {
 			chCfg.Frames = *frames
 		}
-		rows, err := bench.ChannelExperiment(chCfg)
+		rows, stages, err := bench.ChannelExperiment(chCfg)
 		if err != nil {
 			return err
 		}
 		bench.WriteChannel(w, rows)
+		bench.WriteChannelStages(w, stages)
 	}
 	if all || wanted["faults"] {
 		ran = true

@@ -75,7 +75,7 @@ func TestChannelExperiment(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := out.String()
-	for _, want := range []string{"Channel backpressure", "drop-newest", "drop-oldest", "stalled", "healthy-1"} {
+	for _, want := range []string{"Channel backpressure", "drop-newest", "drop-oldest", "stalled", "healthy-1", "Channel per-stage latency", "demodulateMS"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("output missing %q:\n%s", want, text)
 		}

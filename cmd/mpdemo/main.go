@@ -4,6 +4,7 @@
 //
 //	mpdemo -mode both
 //	mpdemo -mode both -queue 8 -overflow drop-oldest
+//	mpdemo -mode both -debug-addr 127.0.0.1:8377 -trace trace.jsonl
 //	mpdemo -mode publish -addr 127.0.0.1:7000 -frames 50
 //	mpdemo -mode subscribe -addr 127.0.0.1:7000
 //
@@ -43,6 +44,8 @@ func run(args []string) error {
 	resubscribe := fs.Bool("resubscribe", false, "subscriber auto-redials and resyncs after connection loss")
 	maxWork := fs.Int64("max-work", 0, "per-message interpreter work budget at the subscriber (>0 enables)")
 	deadletter := fs.Bool("deadletter", false, "print the subscriber's dead-letter quarantine on exit")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics and /debug/split on this address (e.g. 127.0.0.1:8377; empty = off)")
+	trace := fs.String("trace", "", "dump the split-lifecycle trace as JSON lines to this file on exit (\"-\" = stdout; empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,15 +60,99 @@ func run(args []string) error {
 		maxWork:      *maxWork,
 		deadletter:   *deadletter,
 	}
+	obs := newObservability(*debugAddr, *trace)
+	defer obs.finish()
 	switch *mode {
 	case "both":
-		return runBoth(*addr, *frames, *display, *queue, policy, sup)
+		return runBoth(*addr, *frames, *display, *queue, policy, sup, obs)
 	case "publish":
-		return runPublisher(*addr, *frames, *queue, policy, sup, true)
+		return runPublisher(*addr, *frames, *queue, policy, sup, true, obs)
 	case "subscribe":
-		return runSubscriber(*addr, *display, sup)
+		return runSubscriber(*addr, *display, sup, obs)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+// observability bundles the -debug-addr / -trace wiring: one tracer and
+// metrics registry shared by whatever endpoints the chosen mode creates.
+type observability struct {
+	tracer    *methodpart.Tracer
+	registry  *methodpart.MetricsRegistry
+	debugAddr string
+	tracePath string
+	server    *methodpart.DebugServer
+	status    []func() methodpart.EndpointStatus
+}
+
+func newObservability(debugAddr, tracePath string) *observability {
+	o := &observability{debugAddr: debugAddr, tracePath: tracePath}
+	if debugAddr != "" || tracePath != "" {
+		o.tracer = methodpart.NewTracer(methodpart.DefaultTraceCapacity)
+	}
+	if debugAddr != "" {
+		o.registry = methodpart.NewMetricsRegistry()
+	}
+	return o
+}
+
+// attach registers an endpoint (Publisher or Subscriber) with the metrics
+// registry and the /debug/split status table.
+func (o *observability) attach(c methodpart.MetricsCollector, status func() methodpart.EndpointStatus) {
+	if o.registry != nil {
+		o.registry.Register(c)
+		o.status = append(o.status, status)
+	}
+}
+
+// start binds the debug listener once every endpoint is attached.
+func (o *observability) start() error {
+	if o.debugAddr == "" {
+		return nil
+	}
+	statuses := o.status
+	srv, err := methodpart.StartDebug(methodpart.DebugConfig{
+		Addr:     o.debugAddr,
+		Registry: o.registry,
+		Tracer:   o.tracer,
+		Split: func() []methodpart.EndpointStatus {
+			out := make([]methodpart.EndpointStatus, 0, len(statuses))
+			for _, fn := range statuses {
+				out = append(out, fn())
+			}
+			return out
+		},
+	})
+	if err != nil {
+		return err
+	}
+	o.server = srv
+	fmt.Printf("debug listener at http://%s (/metrics /metrics.json /debug/split /debug/trace)\n", srv.Addr())
+	return nil
+}
+
+// finish dumps the trace (if requested) and stops the debug listener.
+func (o *observability) finish() {
+	if o.tracePath != "" {
+		w := os.Stdout
+		if o.tracePath != "-" {
+			f, err := os.Create(o.tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mpdemo: trace:", err)
+				return
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := o.tracer.WriteJSON(w); err != nil {
+			fmt.Fprintln(os.Stderr, "mpdemo: trace:", err)
+		}
+		if d := o.tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "mpdemo: trace ring dropped %d oldest events\n", d)
+		}
+	}
+	if o.server != nil {
+		o.server.Close()
 	}
 }
 
@@ -92,9 +179,9 @@ func parsePolicy(name string) (methodpart.OverflowPolicy, error) {
 	}
 }
 
-func newPublisher(addr string, queue int, policy methodpart.OverflowPolicy, sup supervisionFlags) (*methodpart.Publisher, error) {
+func newPublisher(addr string, queue int, policy methodpart.OverflowPolicy, sup supervisionFlags, obs *observability) (*methodpart.Publisher, error) {
 	reg, _ := imaging.Builtins()
-	return methodpart.NewPublisher(methodpart.PublisherConfig{
+	pub, err := methodpart.NewPublisher(methodpart.PublisherConfig{
 		Addr:              addr,
 		Builtins:          reg,
 		FeedbackEvery:     2,
@@ -102,15 +189,24 @@ func newPublisher(addr string, queue int, policy methodpart.OverflowPolicy, sup 
 		OverflowPolicy:    policy,
 		HeartbeatInterval: sup.heartbeat,
 		WriteTimeout:      sup.writeTimeout,
+		Tracer:            obs.tracer,
 	})
+	if err != nil {
+		return nil, err
+	}
+	obs.attach(pub, pub.Status)
+	return pub, nil
 }
 
-func runPublisher(addr string, frames, queue int, policy methodpart.OverflowPolicy, sup supervisionFlags, wait bool) error {
-	pub, err := newPublisher(addr, queue, policy, sup)
+func runPublisher(addr string, frames, queue int, policy methodpart.OverflowPolicy, sup supervisionFlags, wait bool, obs *observability) error {
+	pub, err := newPublisher(addr, queue, policy, sup, obs)
 	if err != nil {
 		return err
 	}
 	defer pub.Close()
+	if err := obs.start(); err != nil {
+		return err
+	}
 	fmt.Printf("publisher listening at %s\n", pub.Addr())
 	if wait {
 		fmt.Println("waiting for a subscriber...")
@@ -158,12 +254,15 @@ func printChannelMetrics(pub *methodpart.Publisher) {
 	}
 }
 
-func runSubscriber(addr string, display int, sup supervisionFlags) error {
-	sub, err := subscribe(addr, display, sup)
+func runSubscriber(addr string, display int, sup supervisionFlags, obs *observability) error {
+	sub, err := subscribe(addr, display, sup, obs)
 	if err != nil {
 		return err
 	}
 	defer sub.Close()
+	if err := obs.start(); err != nil {
+		return err
+	}
 	fmt.Printf("subscribed to %s; waiting for frames (ctrl-c to quit)\n", addr)
 	<-sub.Done()
 	if sup.deadletter {
@@ -183,9 +282,9 @@ func printDeadLetters(sub *methodpart.Subscriber) {
 	}
 }
 
-func subscribe(addr string, display int, sup supervisionFlags) (*methodpart.Subscriber, error) {
+func subscribe(addr string, display int, sup supervisionFlags, obs *observability) (*methodpart.Subscriber, error) {
 	reg, _ := imaging.Builtins()
-	return methodpart.Subscribe(methodpart.SubscriberConfig{
+	sub, err := methodpart.Subscribe(methodpart.SubscriberConfig{
 		Addr:              addr,
 		Name:              "mpdemo",
 		Source:            imaging.HandlerSource(display),
@@ -200,23 +299,32 @@ func subscribe(addr string, display int, sup supervisionFlags) (*methodpart.Subs
 		HeartbeatInterval: sup.heartbeat,
 		WriteTimeout:      sup.writeTimeout,
 		MaxWork:           sup.maxWork,
+		Tracer:            obs.tracer,
 		OnResult: func(r *methodpart.HandlerResult) {
 			fmt.Printf("  received message (split PSE %d)\n", r.SplitPSE)
 		},
 	})
+	if err != nil {
+		return nil, err
+	}
+	obs.attach(sub, sub.Status)
+	return sub, nil
 }
 
-func runBoth(addr string, frames, display, queue int, policy methodpart.OverflowPolicy, sup supervisionFlags) error {
-	pub, err := newPublisher(addr, queue, policy, sup)
+func runBoth(addr string, frames, display, queue int, policy methodpart.OverflowPolicy, sup supervisionFlags, obs *observability) error {
+	pub, err := newPublisher(addr, queue, policy, sup, obs)
 	if err != nil {
 		return err
 	}
 	defer pub.Close()
-	sub, err := subscribe(pub.Addr(), display, sup)
+	sub, err := subscribe(pub.Addr(), display, sup, obs)
 	if err != nil {
 		return err
 	}
 	defer sub.Close()
+	if err := obs.start(); err != nil {
+		return err
+	}
 	for pub.Subscribers() == 0 {
 		time.Sleep(time.Millisecond)
 	}

@@ -1,0 +1,91 @@
+package methodpart_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMarkdownLinks checks every relative link in the repository's
+// markdown files: the target file must exist, and a #fragment must match
+// a heading in the target (GitHub anchor rules). External links are not
+// fetched.
+func TestMarkdownLinks(t *testing.T) {
+	files, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	linkRE := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			if path == "" {
+				path = file // same-document fragment
+			}
+			if _, err := os.Stat(path); err != nil {
+				t.Errorf("%s links to missing file %q", file, path)
+				continue
+			}
+			if frag == "" {
+				continue
+			}
+			anchors, err := headingAnchors(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !anchors[frag] {
+				t.Errorf("%s links to %q but %s has no heading with that anchor", file, target, path)
+			}
+		}
+	}
+}
+
+// headingAnchors collects the GitHub-style anchor ids of every heading in
+// a markdown file: lowercase, punctuation stripped (keeping alphanumerics,
+// hyphens and spaces), spaces turned into hyphens.
+func headingAnchors(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if !strings.HasPrefix(text, " ") {
+			continue
+		}
+		var b strings.Builder
+		for _, r := range strings.ToLower(strings.TrimSpace(text)) {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+				b.WriteRune(r)
+			case r == ' ':
+				b.WriteByte('-')
+			}
+		}
+		out[b.String()] = true
+	}
+	return out, nil
+}

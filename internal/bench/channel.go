@@ -9,6 +9,7 @@ import (
 	"methodpart/internal/costmodel"
 	"methodpart/internal/imaging"
 	"methodpart/internal/jecho"
+	"methodpart/internal/obsv"
 	"methodpart/internal/transport"
 	"methodpart/internal/wire"
 )
@@ -55,43 +56,75 @@ type ChannelRow struct {
 	WorstPublishMS float64
 }
 
+// StageRow is the trace-derived per-stage latency breakdown of one policy
+// run, aggregated over the frames delivered to the reference healthy
+// subscriber. The stages partition the end-to-end path: modulation at the
+// publisher, queueing plus wire transit, and demodulation at the receiver.
+// Latencies are wall-clock means in milliseconds.
+type StageRow struct {
+	// Policy is the overflow policy under test.
+	Policy string
+	// Frames is how many frames were matched across both trace streams.
+	Frames int
+	// ModulateMS is the mean sender-side modulation latency.
+	ModulateMS float64
+	// QueueWireMS is the mean time between modulation completing and
+	// demodulation starting: queue residency plus transport transit.
+	QueueWireMS float64
+	// DemodulateMS is the mean receiver-side demodulation latency.
+	DemodulateMS float64
+	// TraceDropped counts trace-ring overflows during the run (0 means the
+	// breakdown saw every event).
+	TraceDropped uint64
+}
+
 // ChannelExperiment runs the slow-subscriber scenario once per overflow
 // policy that sheds load (DropNewest, DropOldest) and reports the channel
 // metrics: Publish stays in handoff territory while the stalled peer's
 // backlog turns into drops and coalesced feedback, and the healthy
-// subscribers see every frame.
-func ChannelExperiment(cfg ChannelConfig) ([]ChannelRow, error) {
+// subscribers see every frame. The second return is the trace-derived
+// per-stage latency breakdown (publisher and reference subscriber share
+// one tracer, so their timestamps are directly comparable).
+func ChannelExperiment(cfg ChannelConfig) ([]ChannelRow, []StageRow, error) {
 	var rows []ChannelRow
+	var stages []StageRow
 	for _, policy := range []jecho.OverflowPolicy{jecho.DropNewest, jecho.DropOldest} {
-		r, err := runChannelOnce(cfg, policy)
+		r, st, err := runChannelOnce(cfg, policy)
 		if err != nil {
-			return nil, fmt.Errorf("bench: channel %v: %w", policy, err)
+			return nil, nil, fmt.Errorf("bench: channel %v: %w", policy, err)
 		}
 		rows = append(rows, r...)
+		stages = append(stages, st)
 	}
-	return rows, nil
+	return rows, stages, nil
 }
 
-func runChannelOnce(cfg ChannelConfig, policy jecho.OverflowPolicy) ([]ChannelRow, error) {
+func runChannelOnce(cfg ChannelConfig, policy jecho.OverflowPolicy) ([]ChannelRow, StageRow, error) {
 	mem := transport.NewMem()
 	reg, _ := imaging.Builtins()
+	// One tracer shared by the publisher and the reference subscriber
+	// (healthy-1): publish and demod events then carry timestamps from the
+	// same monotonic origin, which is what lets the breakdown subtract
+	// them. Sized so a full run cannot wrap the ring.
+	tracer := obsv.NewTracer(4 * cfg.Frames * (cfg.Healthy + 2))
 	pub, err := jecho.NewPublisher(jecho.PublisherConfig{
 		Transport:      mem,
 		Builtins:       reg,
 		FeedbackEvery:  1,
 		QueueDepth:     cfg.QueueDepth,
 		OverflowPolicy: policy,
+		Tracer:         tracer,
 		Logf:           func(string, ...any) {},
 	})
 	if err != nil {
-		return nil, err
+		return nil, StageRow{}, err
 	}
 	defer pub.Close()
 
 	subs := make([]*jecho.Subscriber, 0, cfg.Healthy)
 	for i := 0; i < cfg.Healthy; i++ {
 		sreg, _ := imaging.Builtins()
-		sub, err := jecho.Subscribe(jecho.SubscriberConfig{
+		scfg := jecho.SubscriberConfig{
 			Addr:        pub.Addr(),
 			Transport:   mem,
 			Name:        fmt.Sprintf("healthy-%d", i+1),
@@ -102,9 +135,13 @@ func runChannelOnce(cfg ChannelConfig, policy jecho.OverflowPolicy) ([]ChannelRo
 			Builtins:    sreg,
 			Environment: costmodel.DefaultEnvironment(),
 			Logf:        func(string, ...any) {},
-		})
+		}
+		if i == 0 {
+			scfg.Tracer = tracer
+		}
+		sub, err := jecho.Subscribe(scfg)
 		if err != nil {
-			return nil, err
+			return nil, StageRow{}, err
 		}
 		defer sub.Close()
 		subs = append(subs, sub)
@@ -112,7 +149,7 @@ func runChannelOnce(cfg ChannelConfig, policy jecho.OverflowPolicy) ([]ChannelRo
 	// The stalled peer: a valid handshake, then silence.
 	stalled, err := mem.Dial(pub.Addr())
 	if err != nil {
-		return nil, err
+		return nil, StageRow{}, err
 	}
 	defer stalled.Close()
 	hello, err := wire.Marshal(&wire.Subscribe{
@@ -124,15 +161,15 @@ func runChannelOnce(cfg ChannelConfig, policy jecho.OverflowPolicy) ([]ChannelRo
 		Natives:    []string{"displayImage"},
 	})
 	if err != nil {
-		return nil, err
+		return nil, StageRow{}, err
 	}
 	if err := stalled.WriteFrame(hello); err != nil {
-		return nil, err
+		return nil, StageRow{}, err
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for pub.Subscribers() != cfg.Healthy+1 {
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("only %d of %d subscriptions registered", pub.Subscribers(), cfg.Healthy+1)
+			return nil, StageRow{}, fmt.Errorf("only %d of %d subscriptions registered", pub.Subscribers(), cfg.Healthy+1)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -141,7 +178,7 @@ func runChannelOnce(cfg ChannelConfig, policy jecho.OverflowPolicy) ([]ChannelRo
 	for i := 0; i < cfg.Frames; i++ {
 		t0 := time.Now()
 		if _, err := pub.Publish(imaging.NewFrame(cfg.FrameSize, cfg.FrameSize, int64(i))); err != nil {
-			return nil, err
+			return nil, StageRow{}, err
 		}
 		if d := time.Since(t0); d > worst {
 			worst = d
@@ -152,7 +189,7 @@ func runChannelOnce(cfg ChannelConfig, policy jecho.OverflowPolicy) ([]ChannelRo
 	for _, sub := range subs {
 		for sub.Processed() < uint64(cfg.Frames) {
 			if time.Now().After(deadline) {
-				return nil, fmt.Errorf("healthy subscriber drained %d of %d", sub.Processed(), cfg.Frames)
+				return nil, StageRow{}, fmt.Errorf("healthy subscriber drained %d of %d", sub.Processed(), cfg.Frames)
 			}
 			time.Sleep(time.Millisecond)
 		}
@@ -179,7 +216,65 @@ func runChannelOnce(cfg ChannelConfig, policy jecho.OverflowPolicy) ([]ChannelRo
 			WorstPublishMS: worstMS,
 		})
 	}
-	return rows, nil
+	return rows, stageBreakdown(policy.String(), tracer, "healthy-1"), nil
+}
+
+// stageBreakdown derives the per-stage latency split from the shared
+// trace: EvPublish (publisher side, Sub "ref#n") and EvDemod (subscriber
+// side, Sub "ref") are matched on the wire sequence number; the stage
+// times are the publish Dur (modulation), the demod Dur (demodulation),
+// and the timestamp gap between them minus the demod time (queue + wire).
+func stageBreakdown(policy string, tr *obsv.Tracer, ref string) StageRow {
+	row := StageRow{Policy: policy, TraceDropped: tr.Dropped()}
+	pubAt := make(map[uint64]obsv.Event)
+	var modNS, qwNS, demodNS float64
+	for _, ev := range tr.Snapshot() {
+		switch ev.Kind {
+		case obsv.EvPublish:
+			if strings.HasPrefix(ev.Sub, ref+"#") {
+				pubAt[ev.EventSeq] = ev
+			}
+		case obsv.EvDemod:
+			if ev.Sub != ref {
+				continue
+			}
+			pub, ok := pubAt[ev.EventSeq]
+			if !ok {
+				continue
+			}
+			row.Frames++
+			modNS += float64(pub.Dur)
+			demodNS += float64(ev.Dur)
+			if gap := float64(ev.At-pub.At) - float64(ev.Dur); gap > 0 {
+				qwNS += gap
+			}
+		}
+	}
+	if row.Frames > 0 {
+		n := float64(row.Frames)
+		row.ModulateMS = modNS / n / 1e6
+		row.QueueWireMS = qwNS / n / 1e6
+		row.DemodulateMS = demodNS / n / 1e6
+	}
+	return row
+}
+
+// WriteChannelStages renders the per-stage latency breakdown.
+func WriteChannelStages(w io.Writer, rows []StageRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Policy,
+			fmt.Sprintf("%d", r.Frames),
+			fmt.Sprintf("%.4f", r.ModulateMS),
+			fmt.Sprintf("%.4f", r.QueueWireMS),
+			fmt.Sprintf("%.4f", r.DemodulateMS),
+			fmt.Sprintf("%d", r.TraceDropped),
+		})
+	}
+	writeTable(w, "Channel per-stage latency (trace-derived, reference healthy subscriber)",
+		[]string{"policy", "frames", "modulateMS", "queue+wireMS", "demodulateMS", "traceDropped"},
+		out)
 }
 
 // WriteChannel renders the backpressure experiment.

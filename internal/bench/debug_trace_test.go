@@ -5,11 +5,16 @@ import (
 
 	"methodpart/internal/costmodel"
 	"methodpart/internal/mir/interp"
+	"methodpart/internal/obsv"
 	"methodpart/internal/simnet"
 )
 
-// TestTraceMixedAdaptation prints the per-frame split decisions of the MP
-// variant under the mixed workload — a diagnostic view of adaptation lag.
+// TestTraceMixedAdaptation runs the MP variant under the mixed workload
+// with the trace ring attached and checks the stream is coherent: one
+// publish-kind event per frame in sequence order, demod events paired to
+// unsuppressed publishes, and plan flips visible as split changes in the
+// publish stream. It doubles as a diagnostic view of adaptation lag
+// (-v prints the per-frame split decisions).
 func TestTraceMixedAdaptation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("diagnostic trace")
@@ -23,6 +28,7 @@ func TestTraceMixedAdaptation(t *testing.T) {
 	server := simnet.NewHost("server", cfg.ServerSpeed)
 	client := simnet.NewHost("client", cfg.ClientSpeed)
 	link := &simnet.Link{BytesPerMS: cfg.LinkBytesPerMS, LatencyMS: cfg.LinkLatencyMS}
+	tr := obsv.NewTracer(4 * cfg.Frames)
 	rc := RunConfig{
 		Compiled:      f.c,
 		SenderEnv:     interp.NewEnv(f.classes, f.builtins()),
@@ -41,13 +47,50 @@ func TestTraceMixedAdaptation(t *testing.T) {
 			Bandwidth:     cfg.LinkBytesPerMS,
 			LatencyMS:     cfg.LinkLatencyMS,
 		},
-		Trace: func(i int, split int32, bytes int64, tm simnet.Timing) {
-			t.Logf("frame %3d split=%2d bytes=%6d done=%8.1f", i, split, bytes, tm.Done)
-		},
+		Tracer: tr,
 	}
 	res, err := Run(rc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("fps=%.2f switches=%d final=%s", res.FPS, res.PlanSwitches, res.FinalPlan)
+	if tr.Dropped() != 0 {
+		t.Fatalf("trace ring overflowed (%d dropped); capacity miscalculated", tr.Dropped())
+	}
+
+	events := tr.Snapshot()
+	published := map[uint64]obsv.Event{}
+	var lastSeq uint64
+	flips := 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case obsv.EvPublish, obsv.EvSuppress:
+			if ev.EventSeq != lastSeq+1 {
+				t.Fatalf("publish stream out of order: seq %d after %d", ev.EventSeq, lastSeq)
+			}
+			lastSeq = ev.EventSeq
+			published[ev.EventSeq] = ev
+			t.Logf("frame %3d split=%2d bytes=%6d done=%8.1fms",
+				ev.EventSeq-1, ev.PSE, ev.Bytes, float64(ev.Value)/1e6)
+		case obsv.EvDemod:
+			pub, ok := published[ev.EventSeq]
+			if !ok {
+				t.Fatalf("demod for seq %d without a publish", ev.EventSeq)
+			}
+			if pub.Kind == obsv.EvSuppress {
+				t.Fatalf("demod for suppressed seq %d", ev.EventSeq)
+			}
+			if pub.PSE != ev.PSE {
+				t.Fatalf("seq %d split mismatch: publish pse %d, demod pse %d", ev.EventSeq, pub.PSE, ev.PSE)
+			}
+		case obsv.EvPlanFlip:
+			flips++
+		}
+	}
+	if int(lastSeq) != cfg.Frames {
+		t.Fatalf("traced %d frames, want %d", lastSeq, cfg.Frames)
+	}
+	if res.PlanSwitches != flips {
+		t.Fatalf("result reports %d plan switches, trace shows %d flips", res.PlanSwitches, flips)
+	}
+	t.Logf("fps=%.2f switches=%d final=%s traced=%d events", res.FPS, res.PlanSwitches, res.FinalPlan, len(events))
 }

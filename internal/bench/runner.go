@@ -12,11 +12,16 @@ import (
 	"methodpart/internal/costmodel"
 	"methodpart/internal/mir"
 	"methodpart/internal/mir/interp"
+	"methodpart/internal/obsv"
 	"methodpart/internal/partition"
 	"methodpart/internal/profileunit"
 	"methodpart/internal/reconfig"
 	"methodpart/internal/simnet"
 )
+
+// virtualNS converts simnet virtual milliseconds to the nanosecond scale
+// trace events use.
+func virtualNS(ms float64) int64 { return int64(ms * 1e6) }
 
 // controlBytes is the assumed wire size of feedback/plan control messages.
 const controlBytes = 96
@@ -67,8 +72,13 @@ type RunConfig struct {
 	RateOnlyTrigger bool
 	// Nominal is the deployment-time environment estimate.
 	Nominal costmodel.Environment
-	// Trace, if set, observes every frame (for diagnostics).
-	Trace func(frame int, splitPSE int32, wireBytes int64, tm simnet.Timing)
+	// Tracer, if set, receives one EvPublish and (for unsuppressed frames)
+	// one EvDemod per frame plus EvMinCut/EvPlanFlip for adaptation steps —
+	// the same schema the live event system emits, so trace consumers work
+	// against either. Duration and Value fields carry *virtual* simnet
+	// nanoseconds (1 virtual ms = 1e6): Dur is the frame's stage time,
+	// Value its completion time.
+	Tracer *obsv.Tracer
 }
 
 // RunResult aggregates one run's outcome.
@@ -196,6 +206,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			if pp.at <= startEst {
 				if mod.SetPlan(pp.plan) {
 					planSwitches++
+					tracePlanFlipBench(cfg.Tracer, pp.plan)
 				}
 			} else {
 				remaining = append(remaining, pp)
@@ -226,8 +237,26 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			msgBytes = out.WireBytes + cfg.OverheadBytes
 		}
 		tm := pipe.Deliver(genTime, cfg.GenWork+out.ModWork, msgBytes, demodWork)
-		if cfg.Trace != nil {
-			cfg.Trace(i, out.SplitPSE, msgBytes, tm)
+		if cfg.Tracer.Enabled() {
+			seq := uint64(i) + 1
+			kind := obsv.EvPublish
+			if out.Suppressed {
+				kind = obsv.EvSuppress
+			}
+			cfg.Tracer.Emit(obsv.Event{
+				Kind: kind, Sub: "bench", PSE: out.SplitPSE,
+				Plan: mod.Plan().Version(), EventSeq: seq,
+				Bytes: msgBytes, Work: out.ModWork,
+				Dur: virtualNS(tm.ModDone - tm.ModStart), Value: virtualNS(tm.Done),
+			})
+			if !out.Suppressed {
+				cfg.Tracer.Emit(obsv.Event{
+					Kind: obsv.EvDemod, Sub: "bench", PSE: out.SplitPSE,
+					Plan: mod.Plan().Version(), EventSeq: seq,
+					Bytes: msgBytes, Work: demodWork,
+					Dur: virtualNS(tm.Done - tm.DemodStart), Value: virtualNS(tm.Done),
+				})
+			}
 		}
 		totalBytes += msgBytes
 		demodTotal += demodWork
@@ -262,6 +291,15 @@ func Run(cfg RunConfig) (*RunResult, error) {
 				plan, _, err := runit.SelectPlan(snap)
 				if err != nil {
 					return nil, fmt.Errorf("bench: reconfig: %w", err)
+				}
+				if cfg.Tracer.Enabled() {
+					if ex := runit.LastExplanation(); ex != nil {
+						cfg.Tracer.Emit(obsv.Event{
+							Kind: obsv.EvMinCut, Sub: "bench", PSE: obsv.NoPSE,
+							Plan: ex.Version, Value: ex.CutValue,
+							Detail: fmt.Sprintf("cut=%v profiled=%d", ex.Cut, ex.Profiled),
+						})
+					}
 				}
 				if !samePlan(plan, mod.Plan()) {
 					demod.SetProfilePlan(plan)
@@ -305,6 +343,18 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		res.MeanIntervalMS = sum / float64(n)
 	}
 	return res, nil
+}
+
+// tracePlanFlipBench emits the EvPlanFlip for a plan the simulated sender
+// just installed.
+func tracePlanFlipBench(tr *obsv.Tracer, p *partition.Plan) {
+	if !tr.Enabled() {
+		return
+	}
+	tr.Emit(obsv.Event{
+		Kind: obsv.EvPlanFlip, Sub: "bench", PSE: obsv.NoPSE,
+		Plan: p.Version(), Detail: fmt.Sprintf("split=%v", p.SplitIDs()),
+	})
 }
 
 func samePlan(a, b *partition.Plan) bool {

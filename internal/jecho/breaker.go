@@ -75,6 +75,12 @@ type pseBreaker struct {
 	cfg breakerConfig
 	// now is the clock, injectable for tests.
 	now func() time.Time
+	// onTransition, when set, observes every state change with the PSE id
+	// and the new state name ("open", "half-open", "closed"). It is called
+	// while the breaker mutex is held, so it must be fast and must not call
+	// back into the breaker. Set before the breaker is shared between
+	// goroutines.
+	onTransition func(id int32, state string)
 
 	mu     sync.Mutex
 	states map[int32]*pseState
@@ -82,6 +88,22 @@ type pseBreaker struct {
 
 func newPSEBreaker(cfg breakerConfig) *pseBreaker {
 	return &pseBreaker{cfg: cfg, now: time.Now, states: make(map[int32]*pseState)}
+}
+
+// notify reports a state change to the transition observer. Caller holds
+// mu; the nil check keeps unobserved breakers free.
+func (b *pseBreaker) notify(id int32, state string) {
+	if b.onTransition != nil {
+		b.onTransition(id, state)
+	}
+}
+
+// observeTransitions installs the transition observer. Nil-safe (a
+// disabled breaker has nothing to observe).
+func (b *pseBreaker) observeTransitions(fn func(id int32, state string)) {
+	if b != nil {
+		b.onTransition = fn
+	}
 }
 
 // state returns (creating if needed) the PSE's state. Caller holds mu.
@@ -116,6 +138,7 @@ func (b *pseBreaker) FailN(id int32, n uint64) bool {
 			st.probing = false
 			st.stamps = st.stamps[:0]
 			st.openUntil = now.Add(b.cfg.cooldown)
+			b.notify(id, "open")
 			return true
 		}
 		// The probe survived a full failure window before this failure:
@@ -124,6 +147,7 @@ func (b *pseBreaker) FailN(id int32, n uint64) bool {
 		st.probing = false
 		st.openUntil = time.Time{}
 		st.stamps = st.stamps[:0]
+		b.notify(id, "closed")
 	}
 	if !st.openUntil.IsZero() && now.Before(st.openUntil) {
 		// Already open; failures while excluded don't re-trip.
@@ -152,6 +176,7 @@ func (b *pseBreaker) FailN(id int32, n uint64) bool {
 		st.stamps = st.stamps[:0]
 		st.openUntil = now.Add(b.cfg.cooldown)
 		st.probing = false
+		b.notify(id, "open")
 		return true
 	}
 	return false
@@ -173,6 +198,7 @@ func (b *pseBreaker) Succeed(id int32) {
 	if st.probing {
 		st.probing = false
 		st.openUntil = time.Time{}
+		b.notify(id, "closed")
 	}
 	st.stamps = st.stamps[:0]
 }
@@ -202,6 +228,7 @@ func (b *pseBreaker) openLocked(id int32) bool {
 			st.probing = false
 			st.openUntil = time.Time{}
 			st.stamps = st.stamps[:0]
+			b.notify(id, "closed")
 		}
 		return false
 	}
@@ -211,6 +238,7 @@ func (b *pseBreaker) openLocked(id int32) bool {
 	// Cooldown elapsed: half-open re-admission.
 	st.probing = true
 	st.probeStart = now
+	b.notify(id, "half-open")
 	return false
 }
 

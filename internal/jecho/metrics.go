@@ -70,8 +70,9 @@ type ChannelMetrics struct {
 }
 
 // channelMetrics is the live, atomically-updated form behind a
-// ChannelMetrics snapshot. All fields are independent counters; a snapshot
-// is not a consistent cut across them, which is fine for observability.
+// ChannelMetrics snapshot. All fields are independent counters; snapshot
+// stabilises reads across them so callers can compare fields of one
+// snapshot with each other.
 type channelMetrics struct {
 	published         atomic.Uint64
 	suppressed        atomic.Uint64
@@ -107,8 +108,30 @@ func (m *channelMetrics) noteDepth(depth int) {
 	}
 }
 
-// snapshot materialises the counters.
+// snapshot materialises the counters as one consistent-enough cut: the
+// field-by-field load is repeated until two consecutive passes agree (or a
+// small retry budget runs out under sustained concurrent updates), so the
+// common case — counters quiescent or slowly moving — yields a snapshot
+// whose fields can be compared against each other (Published vs Suppressed,
+// Enqueued vs Dropped) without tearing. Under continuous updates the
+// residual skew is bounded by whatever was written during the final pass:
+// a handful of single increments, never a partial write of one counter.
+// Callers needing exact cross-field invariants must quiesce the endpoint
+// first (tests do; dashboards don't care).
 func (m *channelMetrics) snapshot() ChannelMetrics {
+	cur := m.load()
+	for i := 0; i < 3; i++ {
+		again := m.load()
+		if again == cur {
+			return cur
+		}
+		cur = again
+	}
+	return cur
+}
+
+// load reads every counter once, in field order.
+func (m *channelMetrics) load() ChannelMetrics {
 	return ChannelMetrics{
 		Published:          m.published.Load(),
 		Suppressed:         m.suppressed.Load(),

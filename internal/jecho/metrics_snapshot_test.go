@@ -1,0 +1,52 @@
+package jecho
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMetricsSnapshotStabilises: quiescent counters must snapshot exactly,
+// and a snapshot taken under concurrent updates must never run backwards
+// against an earlier one (tearing would show as a counter losing
+// increments between reads).
+func TestMetricsSnapshotStabilises(t *testing.T) {
+	var m channelMetrics
+	m.published.Store(10)
+	m.suppressed.Store(3)
+	m.bytesOnWire.Store(4096)
+	s := m.snapshot()
+	if s.Published != 10 || s.Suppressed != 3 || s.BytesOnWire != 4096 {
+		t.Fatalf("quiescent snapshot = %+v", s)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.published.Add(1)
+				m.enqueued.Add(1)
+				m.bytesOnWire.Add(100)
+			}
+		}
+	}()
+	prev := m.snapshot()
+	for i := 0; i < 1000; i++ {
+		cur := m.snapshot()
+		if cur.Published < prev.Published || cur.Enqueued < prev.Enqueued || cur.BytesOnWire < prev.BytesOnWire {
+			t.Fatalf("snapshot ran backwards: %+v then %+v", prev, cur)
+		}
+		prev = cur
+	}
+	close(stop)
+	wg.Wait()
+	final := m.snapshot()
+	if again := m.snapshot(); again != final {
+		t.Fatalf("quiescent snapshots disagree: %+v vs %+v", final, again)
+	}
+}

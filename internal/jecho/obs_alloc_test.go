@@ -1,0 +1,86 @@
+package jecho
+
+import (
+	"testing"
+	"time"
+
+	"methodpart/internal/obsv"
+	"methodpart/internal/partition"
+	"methodpart/internal/wire"
+)
+
+// These tests pin the observability overhead budget on the modulator and
+// demodulator hot paths (DESIGN.md §9): with tracing disabled — a nil or
+// paused tracer — instrumenting one published event must not allocate.
+// The histograms stay on unconditionally, so they are inside the budget.
+
+func TestObservePublishDisabledAllocs(t *testing.T) {
+	h := newPSEHistograms(4)
+	out := &partition.Output{
+		SplitPSE:  1,
+		WireBytes: 512,
+		ModWork:   100,
+		Cont:      &wire.Continuation{Seq: 7},
+	}
+	var nilTr *obsv.Tracer
+	if n := testing.AllocsPerRun(500, func() {
+		observePublish(nilTr, h, "images", "s#1", 3, out, time.Millisecond)
+	}); n != 0 {
+		t.Fatalf("observePublish with nil tracer allocates %.1f per event, want 0", n)
+	}
+	tr := obsv.NewTracer(8)
+	tr.SetEnabled(false)
+	if n := testing.AllocsPerRun(500, func() {
+		observePublish(tr, h, "images", "s#1", 3, out, time.Millisecond)
+	}); n != 0 {
+		t.Fatalf("observePublish with disabled tracer allocates %.1f per event, want 0", n)
+	}
+}
+
+// Even enabled, the publish path allocates nothing: the Detail strings are
+// constants and Tracer.Emit copies into a preallocated ring slot.
+func TestObservePublishEnabledAllocs(t *testing.T) {
+	h := newPSEHistograms(4)
+	out := &partition.Output{
+		SplitPSE:  1,
+		WireBytes: 512,
+		ModWork:   100,
+		Cont:      &wire.Continuation{Seq: 7},
+	}
+	tr := obsv.NewTracer(64)
+	if n := testing.AllocsPerRun(500, func() {
+		observePublish(tr, h, "images", "s#1", 3, out, time.Millisecond)
+	}); n != 0 {
+		t.Fatalf("observePublish with enabled tracer allocates %.1f per event, want 0", n)
+	}
+}
+
+func TestObserveDemodDisabledAllocs(t *testing.T) {
+	h := newPSEHistograms(4)
+	var nilTr *obsv.Tracer
+	if n := testing.AllocsPerRun(500, func() {
+		observeDemod(nilTr, h, "images", "client", 7, 1, 512, 100, time.Millisecond)
+	}); n != 0 {
+		t.Fatalf("observeDemod with nil tracer allocates %.1f per event, want 0", n)
+	}
+}
+
+func BenchmarkObservePublishDisabled(b *testing.B) {
+	h := newPSEHistograms(4)
+	out := &partition.Output{SplitPSE: 1, WireBytes: 512, ModWork: 100, Cont: &wire.Continuation{Seq: 7}}
+	var nilTr *obsv.Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		observePublish(nilTr, h, "images", "s#1", 3, out, time.Millisecond)
+	}
+}
+
+func BenchmarkObservePublishEnabled(b *testing.B) {
+	h := newPSEHistograms(4)
+	out := &partition.Output{SplitPSE: 1, WireBytes: 512, ModWork: 100, Cont: &wire.Continuation{Seq: 7}}
+	tr := obsv.NewTracer(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		observePublish(tr, h, "images", "s#1", 3, out, time.Millisecond)
+	}
+}

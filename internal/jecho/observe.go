@@ -1,0 +1,428 @@
+package jecho
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/obsv"
+	"methodpart/internal/partition"
+	"methodpart/internal/reconfig"
+)
+
+// This file is the observability glue between the event system and
+// internal/obsv: per-PSE histograms fed from the hot paths, Collector
+// implementations for Publisher and Subscriber, the /debug/split status
+// snapshots, and the helpers that translate lifecycle steps into trace
+// events. The mechanism (Tracer, Histogram, Registry) lives in obsv; this
+// file decides *what* the event system measures and emits.
+
+// pseHistograms holds one latency/bytes/work histogram triple per PSE of a
+// compiled handler. Both sides use the same shape: on the publisher the
+// triple measures modulation latency, wire bytes produced and sender-side
+// work; on the subscriber, demodulation latency, frame bytes consumed and
+// receiver-side work. Observing is allocation-free, so the histograms are
+// always on.
+type pseHistograms struct {
+	latency []*obsv.Histogram
+	bytes   []*obsv.Histogram
+	work    []*obsv.Histogram
+}
+
+func newPSEHistograms(n int) *pseHistograms {
+	h := &pseHistograms{
+		latency: make([]*obsv.Histogram, n),
+		bytes:   make([]*obsv.Histogram, n),
+		work:    make([]*obsv.Histogram, n),
+	}
+	for i := 0; i < n; i++ {
+		h.latency[i] = obsv.NewHistogram(obsv.LatencyBuckets)
+		h.bytes[i] = obsv.NewHistogram(obsv.SizeBuckets)
+		h.work[i] = obsv.NewHistogram(obsv.WorkBuckets)
+	}
+	return h
+}
+
+// observe records one message against its split PSE. Out-of-range ids
+// (ForcedSplit, UnattributedPSE) are dropped — they name no table row.
+func (h *pseHistograms) observe(pse int32, dur time.Duration, bytes, work int64) {
+	if h == nil || pse < 0 || int(pse) >= len(h.latency) {
+		return
+	}
+	h.latency[pse].Observe(dur.Seconds())
+	if bytes > 0 {
+		h.bytes[pse].Observe(float64(bytes))
+	}
+	h.work[pse].Observe(float64(work))
+}
+
+// observePublish records one successful modulation: histograms
+// unconditionally, a trace event only when the tracer is enabled. Factored
+// out of publishOne so the disabled-tracer cost — one histogram observe
+// plus one atomic load — is testable in isolation (it must stay at zero
+// allocations per event; see obs_alloc_test.go).
+func observePublish(tr *obsv.Tracer, h *pseHistograms, channel, sub string, plan uint64, out *partition.Output, dur time.Duration) {
+	h.observe(out.SplitPSE, dur, out.WireBytes, out.ModWork)
+	if !tr.Enabled() {
+		return
+	}
+	ev := obsv.Event{
+		Kind:    obsv.EvPublish,
+		Channel: channel,
+		Sub:     sub,
+		PSE:     out.SplitPSE,
+		Plan:    plan,
+		Bytes:   out.WireBytes,
+		Work:    out.ModWork,
+		Dur:     dur.Nanoseconds(),
+	}
+	switch {
+	case out.Suppressed:
+		ev.Kind = obsv.EvSuppress
+	case out.Raw != nil:
+		ev.EventSeq = out.Raw.Seq
+		ev.Detail = "raw"
+	default:
+		ev.EventSeq = out.Cont.Seq
+		ev.Detail = "cont"
+	}
+	tr.Emit(ev)
+}
+
+// observeDemod records one completed demodulation, mirroring
+// observePublish on the receiver side.
+func observeDemod(tr *obsv.Tracer, h *pseHistograms, channel, sub string, seq uint64, pse int32, frameBytes, work int64, dur time.Duration) {
+	h.observe(pse, dur, frameBytes, work)
+	if !tr.Enabled() {
+		return
+	}
+	tr.Emit(obsv.Event{
+		Kind:     obsv.EvDemod,
+		Channel:  channel,
+		Sub:      sub,
+		PSE:      pse,
+		EventSeq: seq,
+		Bytes:    frameBytes,
+		Work:     work,
+		Dur:      dur.Nanoseconds(),
+	})
+}
+
+// traceMinCut emits the EvMinCut for a completed plan selection, read from
+// the unit's explanation snapshot. Detail formatting only runs when the
+// tracer is enabled.
+func traceMinCut(tr *obsv.Tracer, channel, sub string, u *reconfig.Unit) {
+	if !tr.Enabled() {
+		return
+	}
+	ex := u.LastExplanation()
+	if ex == nil {
+		return
+	}
+	tr.Emit(obsv.Event{
+		Kind:    obsv.EvMinCut,
+		Channel: channel,
+		Sub:     sub,
+		PSE:     obsv.NoPSE,
+		Plan:    ex.Version,
+		Value:   ex.CutValue,
+		Detail:  fmt.Sprintf("cut=%v tripped=%v profiled=%d", ex.Cut, ex.Tripped, ex.Profiled),
+	})
+}
+
+// tracePlanFlip emits the EvPlanFlip for an installed plan whose split set
+// changed.
+func tracePlanFlip(tr *obsv.Tracer, channel, sub string, version uint64, split []int32) {
+	if !tr.Enabled() {
+		return
+	}
+	tr.Emit(obsv.Event{
+		Kind:    obsv.EvPlanFlip,
+		Channel: channel,
+		Sub:     sub,
+		PSE:     obsv.NoPSE,
+		Plan:    version,
+		Detail:  fmt.Sprintf("split=%v", split),
+	})
+}
+
+// breakerObserver adapts breaker transitions to EvBreaker events. The
+// callback runs under the breaker mutex; Tracer.Emit takes only the tracer
+// mutex, so the lock order is strictly breaker → tracer and cannot cycle.
+func breakerObserver(tr *obsv.Tracer, channel string, sub func() string) func(id int32, state string) {
+	return func(id int32, state string) {
+		tr.Emit(obsv.Event{
+			Kind:    obsv.EvBreaker,
+			Channel: channel,
+			Sub:     sub(),
+			PSE:     id,
+			Detail:  state,
+		})
+	}
+}
+
+// channelCounterDefs maps every ChannelMetrics field to a metric family.
+// The same table drives Prometheus exposition (Collect) and the
+// /debug/split counter map, so the two surfaces cannot drift apart.
+var channelCounterDefs = []struct {
+	name string
+	help string
+	get  func(ChannelMetrics) uint64
+}{
+	{"methodpart_channel_published_total", "Events modulated (publisher) or demodulated to completion (subscriber).", func(m ChannelMetrics) uint64 { return m.Published }},
+	{"methodpart_channel_suppressed_total", "Events filtered at the sender by trivial-continuation suppression.", func(m ChannelMetrics) uint64 { return m.Suppressed }},
+	{"methodpart_channel_enqueued_total", "Frames accepted into the outbound send queue.", func(m ChannelMetrics) uint64 { return m.Enqueued }},
+	{"methodpart_channel_dropped_total", "Frames discarded by the overflow policy.", func(m ChannelMetrics) uint64 { return m.Dropped }},
+	{"methodpart_channel_bytes_on_wire_total", "Bytes sent (publisher) or received (subscriber), including framing.", func(m ChannelMetrics) uint64 { return m.BytesOnWire }},
+	{"methodpart_channel_bytes_saved_total", "Bytes modulation kept off the wire (suppression and continuations).", func(m ChannelMetrics) uint64 { return m.BytesSaved }},
+	{"methodpart_channel_feedback_sent_total", "Profiling feedback frames that reached the wire.", func(m ChannelMetrics) uint64 { return m.FeedbackSent }},
+	{"methodpart_channel_feedback_coalesced_total", "Feedback frames superseded before sending (slow-peer coalescing).", func(m ChannelMetrics) uint64 { return m.FeedbackCoalesced }},
+	{"methodpart_channel_plan_flips_total", "Plan installations that changed the split set.", func(m ChannelMetrics) uint64 { return m.PlanFlips }},
+	{"methodpart_channel_send_errors_total", "Transport write failures.", func(m ChannelMetrics) uint64 { return m.SendErrors }},
+	{"methodpart_channel_heartbeats_sent_total", "Liveness frames written while the channel was idle.", func(m ChannelMetrics) uint64 { return m.HeartbeatsSent }},
+	{"methodpart_channel_heartbeats_received_total", "Liveness frames received from the peer.", func(m ChannelMetrics) uint64 { return m.HeartbeatsReceived }},
+	{"methodpart_channel_reconnects_total", "Successful automatic resubscriptions after a lost connection.", func(m ChannelMetrics) uint64 { return m.Reconnects }},
+	{"methodpart_channel_decode_failures_total", "Inbound frames rejected by wire decoding.", func(m ChannelMetrics) uint64 { return m.DecodeFailures }},
+	{"methodpart_channel_demod_failures_total", "Decoded messages the demodulator failed on.", func(m ChannelMetrics) uint64 { return m.DemodFailures }},
+	{"methodpart_channel_mod_failures_total", "Events the modulator failed on.", func(m ChannelMetrics) uint64 { return m.ModFailures }},
+	{"methodpart_channel_nacks_sent_total", "Demod-failure reports pushed upstream.", func(m ChannelMetrics) uint64 { return m.NacksSent }},
+	{"methodpart_channel_nacks_received_total", "Demod-failure reports received from peers.", func(m ChannelMetrics) uint64 { return m.NacksReceived }},
+	{"methodpart_channel_dead_lettered_total", "Messages quarantined in the dead-letter ring.", func(m ChannelMetrics) uint64 { return m.DeadLettered }},
+	{"methodpart_channel_breaker_trips_total", "Circuit-breaker transitions to open.", func(m ChannelMetrics) uint64 { return m.BreakerTrips }},
+}
+
+// Per-PSE histogram family names and help strings.
+const (
+	pseLatencyName = "methodpart_pse_latency_seconds"
+	pseLatencyHelp = "Per-split-PSE processing latency: modulation time on the publisher, demodulation time on the subscriber."
+	pseBytesName   = "methodpart_pse_bytes"
+	pseBytesHelp   = "Per-split-PSE wire bytes: frame produced on the publisher, frame consumed on the subscriber."
+	pseWorkName    = "methodpart_pse_work_units"
+	pseWorkHelp    = "Per-split-PSE interpreter work spent on this side of the split."
+)
+
+// emitChannelSamples renders one endpoint's counters and histograms.
+func emitChannelSamples(emit func(obsv.Sample), role, channel, sub string, m ChannelMetrics, h *pseHistograms) {
+	labels := []obsv.Label{
+		{Name: "role", Value: role},
+		{Name: "channel", Value: channel},
+		{Name: "sub", Value: sub},
+	}
+	for _, def := range channelCounterDefs {
+		emit(obsv.Sample{Name: def.name, Type: obsv.CounterType, Help: def.help, Labels: labels, Value: float64(def.get(m))})
+	}
+	emit(obsv.Sample{
+		Name: "methodpart_channel_queue_high_water", Type: obsv.GaugeType,
+		Help:   "Maximum outbound queue depth observed.",
+		Labels: labels, Value: float64(m.QueueHighWater),
+	})
+	if h == nil {
+		return
+	}
+	for id := range h.latency {
+		lat := h.latency[id].Snapshot()
+		if lat.Count == 0 {
+			continue
+		}
+		pl := append(append([]obsv.Label(nil), labels...), obsv.Label{Name: "pse", Value: strconv.Itoa(id)})
+		by := h.bytes[id].Snapshot()
+		wk := h.work[id].Snapshot()
+		emit(obsv.Sample{Name: pseLatencyName, Type: obsv.HistogramType, Help: pseLatencyHelp, Labels: pl, Hist: &lat})
+		emit(obsv.Sample{Name: pseBytesName, Type: obsv.HistogramType, Help: pseBytesHelp, Labels: pl, Hist: &by})
+		emit(obsv.Sample{Name: pseWorkName, Type: obsv.HistogramType, Help: pseWorkHelp, Labels: pl, Hist: &wk})
+	}
+}
+
+// counterMap renders the ChannelMetrics snapshot as the /debug/split
+// counter map, keyed by metric family name.
+func counterMap(m ChannelMetrics) map[string]uint64 {
+	out := make(map[string]uint64, len(channelCounterDefs)+1)
+	for _, def := range channelCounterDefs {
+		out[def.name] = def.get(m)
+	}
+	out["methodpart_channel_queue_high_water"] = m.QueueHighWater
+	return out
+}
+
+// pseStatusTable builds the live UG/PSE table for /debug/split: the
+// handler's static edge structure joined with the active plan's flags and
+// the profiled statistics driving the next min-cut. plan may be nil
+// (before any plan is installed).
+func pseStatusTable(c *partition.Compiled, plan *partition.Plan, stats map[int32]costmodel.Stat) []obsv.PSEStatus {
+	out := make([]obsv.PSEStatus, 0, c.NumPSEs())
+	for i := range c.PSEs {
+		pse := &c.PSEs[i]
+		ps := obsv.PSEStatus{
+			ID:   pse.ID,
+			From: pse.Edge.From,
+			To:   pse.Edge.To,
+			Vars: append([]string(nil), pse.Vars...),
+		}
+		if plan != nil {
+			ps.InSplit = plan.Split(pse.ID)
+			ps.Profiled = plan.Profile(pse.ID)
+		}
+		if st, ok := stats[pse.ID]; ok {
+			ps.Count = st.Count
+			ps.Bytes = st.Bytes
+			ps.ModWork = st.ModWork
+			ps.DemodWork = st.DemodWork
+			ps.Prob = st.Prob
+			ps.Failures = st.Failures
+		}
+		out = append(out, ps)
+	}
+	return out
+}
+
+// statusBreakers snapshots the non-idle breaker states for /debug/split.
+// Unlike Open/OpenIDs this is read-only: a PSE whose cooldown has elapsed
+// is reported half-open without starting the probe.
+func (b *pseBreaker) statusBreakers() []obsv.BreakerStatus {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	var ids []int32
+	for id := range b.states {
+		ids = append(ids, id)
+	}
+	ids = partition.SortedIDs(ids)
+	var out []obsv.BreakerStatus
+	for _, id := range ids {
+		st := b.states[id]
+		bs := obsv.BreakerStatus{PSE: id, State: "closed", WindowFailures: len(st.stamps)}
+		switch {
+		case st.probing:
+			bs.State = "half-open"
+		case !st.openUntil.IsZero() && now.Before(st.openUntil):
+			bs.State = "open"
+			bs.OpenRemainingMS = st.openUntil.Sub(now).Milliseconds()
+		case !st.openUntil.IsZero():
+			// Cooldown elapsed but no Open call has flipped it yet; the next
+			// eligibility check will start the half-open probe.
+			bs.State = "half-open"
+		}
+		if bs.State == "closed" && bs.WindowFailures == 0 {
+			continue
+		}
+		out = append(out, bs)
+	}
+	return out
+}
+
+// minCutStatus converts a reconfiguration unit's explanation for
+// /debug/split (nil when the unit has not selected a plan yet).
+func minCutStatus(u *reconfig.Unit) *obsv.MinCutStatus {
+	ex := u.LastExplanation()
+	if ex == nil {
+		return nil
+	}
+	caps := make(map[int32]int64, len(ex.Capacities))
+	for id, c := range ex.Capacities {
+		caps[id] = c
+	}
+	return &obsv.MinCutStatus{
+		Version:    ex.Version,
+		Cut:        append([]int32(nil), ex.Cut...),
+		CutValue:   ex.CutValue,
+		Tripped:    append([]int32(nil), ex.Tripped...),
+		Capacities: caps,
+		Profiled:   ex.Profiled,
+	}
+}
+
+// Collect implements obsv.Collector over the publisher's live
+// subscriptions: every ChannelMetrics counter plus the per-PSE histograms,
+// labelled {role="publisher", channel, sub}.
+func (p *Publisher) Collect(emit func(obsv.Sample)) {
+	p.mu.Lock()
+	subs := make([]*subscription, 0, len(p.subs))
+	for _, s := range p.subs {
+		subs = append(subs, s)
+	}
+	p.mu.Unlock()
+	emit(obsv.Sample{
+		Name: "methodpart_publisher_subscriptions", Type: obsv.GaugeType,
+		Help:  "Live subscriptions on this publisher.",
+		Value: float64(len(subs)),
+	})
+	for _, s := range subs {
+		emitChannelSamples(emit, "publisher", s.channel, s.id, s.metrics.snapshot(), s.hists)
+	}
+}
+
+// Status snapshots the publisher for /debug/split: one ChannelStatus per
+// live subscription with its plan, UG/PSE table, breaker states and the
+// last degrade min-cut (if one ran).
+func (p *Publisher) Status() obsv.EndpointStatus {
+	p.mu.Lock()
+	subs := make([]*subscription, 0, len(p.subs))
+	for _, s := range p.subs {
+		subs = append(subs, s)
+	}
+	p.mu.Unlock()
+	ep := obsv.EndpointStatus{Role: "publisher", Name: p.Addr()}
+	for _, s := range subs {
+		plan := s.mod.Plan()
+		cs := obsv.ChannelStatus{
+			ID:          s.id,
+			Channel:     s.channel,
+			Handler:     s.compiled.Prog.Name,
+			PlanVersion: plan.Version(),
+			Split:       append([]int32(nil), plan.SplitIDs()...),
+			QueueLen:    len(s.pipe.queue),
+			Metrics:     counterMap(s.metrics.snapshot()),
+			PSEs:        pseStatusTable(s.compiled, plan, s.coll.Snapshot()),
+			Breakers:    s.breaker.statusBreakers(),
+			LastMinCut:  minCutStatus(s.runit),
+		}
+		ep.Channels = append(ep.Channels, cs)
+	}
+	sortChannels(ep.Channels)
+	return ep
+}
+
+// Collect implements obsv.Collector over the subscriber's half of the
+// loop, labelled {role="subscriber", channel, sub}.
+func (s *Subscriber) Collect(emit func(obsv.Sample)) {
+	emitChannelSamples(emit, "subscriber", s.cfg.Channel, s.cfg.Name, s.metrics.snapshot(), s.hists)
+}
+
+// Status snapshots the subscriber for /debug/split: its profile plan,
+// UG/PSE table with the merged (sender + receiver) statistics the next
+// min-cut will see, breaker states and the last plan selection.
+func (s *Subscriber) Status() obsv.EndpointStatus {
+	plan := s.demod.ProfilePlan()
+	cs := obsv.ChannelStatus{
+		ID:       s.cfg.Name,
+		Channel:  s.cfg.Channel,
+		Handler:  s.compiled.Prog.Name,
+		Metrics:  counterMap(s.metrics.snapshot()),
+		PSEs:     pseStatusTable(s.compiled, plan, s.Stats()),
+		Breakers: s.breaker.statusBreakers(),
+	}
+	if plan != nil {
+		cs.PlanVersion = plan.Version()
+		cs.Split = append([]int32(nil), plan.SplitIDs()...)
+	}
+	cs.LastMinCut = minCutStatus(s.runit)
+	return obsv.EndpointStatus{
+		Role:     "subscriber",
+		Name:     s.cfg.Name,
+		Channels: []obsv.ChannelStatus{cs},
+	}
+}
+
+// sortChannels orders channel statuses by subscription id for stable
+// output.
+func sortChannels(cs []obsv.ChannelStatus) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].ID < cs[j-1].ID; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

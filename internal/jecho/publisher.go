@@ -12,6 +12,7 @@ import (
 	"methodpart/internal/costmodel"
 	"methodpart/internal/mir"
 	"methodpart/internal/mir/interp"
+	"methodpart/internal/obsv"
 	"methodpart/internal/partition"
 	"methodpart/internal/profileunit"
 	"methodpart/internal/reconfig"
@@ -65,6 +66,11 @@ type PublisherConfig struct {
 	// half-open probe re-admits it (0 = DefaultBreakerCooldown,
 	// <0 disables).
 	BreakerCooldown time.Duration
+	// Tracer receives split-lifecycle trace events (publish, suppress,
+	// NACKs, breaker transitions, min-cut runs, plan flips). Nil — the
+	// default — disables tracing at zero per-event cost; per-PSE
+	// histograms (see Collect) are always on.
+	Tracer *obsv.Tracer
 	// Logf receives diagnostics (nil = log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -96,6 +102,9 @@ type subscription struct {
 	trigger  profileunit.Trigger
 	pipe     *sendPipeline
 	metrics  *channelMetrics
+	// hists are the always-on per-PSE latency/bytes/work histograms fed
+	// by publishOne and exposed through Collect.
+	hists *pseHistograms
 	// breaker gates split-set eligibility per PSE from this subscription's
 	// failure stream (NACKs from the subscriber, local modulation faults).
 	breaker *pseBreaker
@@ -294,6 +303,7 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 		coll:     coll,
 		trigger:  &profileunit.RateTrigger{EveryMessages: p.cfg.FeedbackEvery},
 		metrics:  metrics,
+		hists:    newPSEHistograms(compiled.NumPSEs()),
 		breaker:  resolveBreaker(p.cfg.BreakerThreshold, p.cfg.BreakerWindow, p.cfg.BreakerCooldown),
 		// The degrade unit routes around broken PSEs; cost optimality is
 		// the subscriber's reconfiguration unit's job, so a neutral
@@ -316,6 +326,10 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 	sub.id = fmt.Sprintf("%s#%d", subMsg.Subscriber, p.nextID)
 	p.subs[sub.id] = sub
 	p.mu.Unlock()
+
+	if p.cfg.Tracer != nil {
+		sub.breaker.observeTransitions(breakerObserver(p.cfg.Tracer, sub.channel, func() string { return sub.id }))
+	}
 
 	p.wg.Add(1)
 	go func() {
@@ -348,6 +362,10 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 			metrics.heartbeatsRecv.Add(1)
 		case *wire.Nack:
 			metrics.nacksRecv.Add(1)
+			p.cfg.Tracer.Emit(obsv.Event{
+				Kind: obsv.EvNackRecv, Channel: sub.channel, Sub: sub.id,
+				PSE: m.PSEID, EventSeq: m.Seq, Detail: m.Class.String(),
+			})
 			if int(m.PSEID) >= compiled.NumPSEs() {
 				// A NACK naming a PSE the handler doesn't have is a
 				// malformed report, not a failure signal: feeding it to the
@@ -373,17 +391,28 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 			// publisher has no per-message success signal, by surviving a
 			// full failure window without one.)
 			if id := blockedSplit(sub.breaker, m.Split); id >= 0 {
+				p.cfg.Tracer.Emit(obsv.Event{
+					Kind: obsv.EvPlanBlocked, Channel: sub.channel, Sub: sub.id,
+					PSE: id, Plan: m.Version,
+				})
 				p.cfg.Logf("jecho publisher: sub %s plan v%d re-selects tripped pse %d; dropped",
 					sub.id, m.Version, id)
 				continue
 			}
 			before := mod.Plan().SplitIDs()
 			if err := mod.ApplyWirePlan(m); err != nil {
+				if errors.Is(err, partition.ErrStalePlan) {
+					p.cfg.Tracer.Emit(obsv.Event{
+						Kind: obsv.EvPlanStale, Channel: sub.channel, Sub: sub.id,
+						PSE: obsv.NoPSE, Plan: m.Version,
+					})
+				}
 				p.cfg.Logf("jecho publisher: sub %s plan: %v", sub.id, err)
 				continue
 			}
 			if !equalSplit(before, mod.Plan().SplitIDs()) {
 				metrics.planFlips.Add(1)
+				tracePlanFlip(p.cfg.Tracer, sub.channel, sub.id, mod.Plan().Version(), mod.Plan().SplitIDs())
 			}
 		default:
 			p.cfg.Logf("jecho publisher: sub %s sent %T", sub.id, msg)
@@ -421,6 +450,7 @@ func (p *Publisher) degrade(s *subscription) {
 		p.cfg.Logf("jecho publisher: sub %s degrade: %v", s.id, err)
 		return
 	}
+	traceMinCut(p.cfg.Tracer, s.channel, s.id, s.runit)
 	// The degrade unit's version counter is private; force the version past
 	// the modulator's active plan so SetPlan cannot reject the degraded
 	// plan as stale.
@@ -436,6 +466,7 @@ func (p *Publisher) degrade(s *subscription) {
 	}
 	if s.mod.SetPlan(plan) && !equalSplit(cur.SplitIDs(), plan.SplitIDs()) {
 		s.metrics.planFlips.Add(1)
+		tracePlanFlip(p.cfg.Tracer, s.channel, s.id, plan.Version(), plan.SplitIDs())
 	}
 }
 
@@ -520,7 +551,9 @@ func (p *Publisher) publish(event mir.Value, channel string, broadcast bool) (in
 // blocking here is queue handoff under the Block policy; transport writes
 // happen on the subscription's sender goroutine.
 func (p *Publisher) publishOne(s *subscription, event mir.Value) error {
+	start := time.Now()
 	out, err := s.mod.Process(event)
+	modDur := time.Since(start)
 	if err != nil {
 		// A modulation fault (interpreter error or recovered panic) cannot
 		// name the PSE it died at, so it is attributed to every split edge
@@ -529,6 +562,13 @@ func (p *Publisher) publishOne(s *subscription, event mir.Value) error {
 		// locally they feed the breaker, which degrades the plan once the
 		// failures cluster.
 		s.metrics.modFailures.Add(1)
+		if tr := p.cfg.Tracer; tr.Enabled() {
+			tr.Emit(obsv.Event{
+				Kind: obsv.EvModFault, Channel: s.channel, Sub: s.id,
+				PSE: obsv.NoPSE, Plan: s.mod.Plan().Version(),
+				Detail: fmt.Sprintf("%s: %v", partition.FaultClassOf(err), err),
+			})
+		}
 		tripped := false
 		for _, id := range s.mod.Plan().SplitIDs() {
 			s.coll.Fault(id)
@@ -543,6 +583,7 @@ func (p *Publisher) publishOne(s *subscription, event mir.Value) error {
 		return err
 	}
 	s.metrics.published.Add(1)
+	observePublish(p.cfg.Tracer, s.hists, s.channel, s.id, s.mod.Plan().Version(), out, modDur)
 	if out.Suppressed {
 		s.metrics.suppressed.Add(1)
 		s.metrics.bytesSaved.Add(uint64(wire.SizeOf(event)))

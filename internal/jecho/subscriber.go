@@ -9,6 +9,7 @@ import (
 
 	"methodpart/internal/costmodel"
 	"methodpart/internal/mir/interp"
+	"methodpart/internal/obsv"
 	"methodpart/internal/partition"
 	"methodpart/internal/profileunit"
 	"methodpart/internal/reconfig"
@@ -91,6 +92,12 @@ type SubscriberConfig struct {
 	// DeadLetterSize bounds the quarantine ring for poison messages
 	// (0 = DefaultDeadLetterSize, <0 disables quarantine).
 	DeadLetterSize int
+	// Tracer receives split-lifecycle trace events (demodulation, faults,
+	// feedback merges, min-cut runs, plan pushes, breaker transitions,
+	// NACKs, dead-letter quarantines). Nil — the default — disables
+	// tracing at zero per-event cost; per-PSE histograms (see Collect)
+	// are always on.
+	Tracer *obsv.Tracer
 	// Logf receives diagnostics (nil = log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -111,6 +118,7 @@ type Subscriber struct {
 	runit    *reconfig.Unit
 	trigger  profileunit.Trigger
 	metrics  channelMetrics
+	hists    *pseHistograms
 	breaker  *pseBreaker
 	letters  *deadLetterRing
 
@@ -207,10 +215,14 @@ func Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
 			&profileunit.DiffTrigger{Threshold: cfg.DiffThreshold, MinMessages: 3},
 		}},
 		senderStats: make(map[int32]costmodel.Stat),
+		hists:       newPSEHistograms(compiled.NumPSEs()),
 		breaker:     resolveBreaker(cfg.BreakerThreshold, cfg.BreakerWindow, cfg.BreakerCooldown),
 		letters:     newDeadLetterRing(cfg.DeadLetterSize),
 		done:        make(chan struct{}),
 		stop:        make(chan struct{}),
+	}
+	if cfg.Tracer != nil {
+		s.breaker.observeTransitions(breakerObserver(cfg.Tracer, cfg.Channel, func() string { return cfg.Name }))
 	}
 	conn, err := s.connect()
 	if err != nil {
@@ -341,11 +353,15 @@ func (s *Subscriber) sendPlan(p *wire.Plan) error {
 	}
 	s.metrics.bytesOnWire.Add(uint64(len(data)) + transport.HeaderSize)
 	s.mu.Lock()
-	if s.lastSplit != nil && !equalSplit(s.lastSplit, p.Split) {
+	flipped := s.lastSplit != nil && !equalSplit(s.lastSplit, p.Split)
+	if flipped {
 		s.metrics.planFlips.Add(1)
 	}
 	s.lastSplit = append([]int32(nil), p.Split...)
 	s.mu.Unlock()
+	if flipped {
+		tracePlanFlip(s.cfg.Tracer, s.cfg.Channel, s.cfg.Name, p.Version, p.Split)
+	}
 	return nil
 }
 
@@ -430,6 +446,7 @@ func (s *Subscriber) resync(conn transport.Conn) error {
 	if err != nil {
 		return err
 	}
+	traceMinCut(s.cfg.Tracer, s.cfg.Channel, s.cfg.Name, s.runit)
 	s.demod.SetProfilePlan(plan)
 	return s.sendPlan(wirePlan)
 }
@@ -495,12 +512,17 @@ func (s *Subscriber) readLoop(conn transport.Conn) error {
 		}
 		switch m := msg.(type) {
 		case *wire.Raw, *wire.Continuation:
+			start := time.Now()
 			res, err := s.demod.Process(m)
+			demodDur := time.Since(start)
 			if err != nil {
 				s.noteDemodFailure(m, frame, err)
 				continue
 			}
 			s.metrics.published.Add(1)
+			seq, _ := attribution(m)
+			observeDemod(s.cfg.Tracer, s.hists, s.cfg.Channel, s.cfg.Name,
+				seq, res.SplitPSE, int64(len(frame)), res.DemodWork, demodDur)
 			if res.SplitPSE >= 0 {
 				s.breaker.Succeed(res.SplitPSE)
 			}
@@ -542,6 +564,11 @@ func (s *Subscriber) quarantine(dl DeadLetter) {
 	dl.When = time.Now()
 	s.letters.add(dl)
 	s.metrics.deadLettered.Add(1)
+	s.cfg.Tracer.Emit(obsv.Event{
+		Kind: obsv.EvDeadLetter, Channel: s.cfg.Channel, Sub: s.cfg.Name,
+		PSE: dl.PSEID, EventSeq: dl.Seq, Bytes: int64(len(dl.Frame)),
+		Detail: dl.Class.String(),
+	})
 }
 
 // noteDemodFailure is the poison-message path: classify, count, attribute
@@ -553,6 +580,12 @@ func (s *Subscriber) noteDemodFailure(msg any, frame []byte, err error) {
 	seq, pse := attribution(msg)
 	s.cfg.Logf("jecho subscriber: demodulate seq %d (pse %d, class %s): %v", seq, pse, class, err)
 	s.metrics.demodFailures.Add(1)
+	if tr := s.cfg.Tracer; tr.Enabled() {
+		tr.Emit(obsv.Event{
+			Kind: obsv.EvDemodFault, Channel: s.cfg.Channel, Sub: s.cfg.Name,
+			PSE: pse, EventSeq: seq, Detail: fmt.Sprintf("%s: %v", class, err),
+		})
+	}
 	if pse >= 0 {
 		s.coll.Fault(pse)
 	}
@@ -580,6 +613,10 @@ func (s *Subscriber) sendNack(n *wire.Nack) {
 	}
 	s.metrics.nacksSent.Add(1)
 	s.metrics.bytesOnWire.Add(uint64(len(data)) + transport.HeaderSize)
+	s.cfg.Tracer.Emit(obsv.Event{
+		Kind: obsv.EvNackSent, Channel: s.cfg.Channel, Sub: s.cfg.Name,
+		PSE: n.PSEID, EventSeq: n.Seq, Detail: n.Class.String(),
+	})
 }
 
 // applyFeedback merges a sender-side profiling report. Sender-side failure
@@ -591,9 +628,14 @@ func (s *Subscriber) sendNack(n *wire.Nack) {
 // degrade path forced a version on its own.
 func (s *Subscriber) applyFeedback(fb *wire.Feedback) {
 	s.runit.ObserveVersion(fb.PlanVersion)
+	stats := profileunit.FromWire(fb)
+	s.cfg.Tracer.Emit(obsv.Event{
+		Kind: obsv.EvFeedback, Channel: s.cfg.Channel, Sub: s.cfg.Name,
+		PSE: obsv.NoPSE, Plan: fb.PlanVersion, Value: int64(len(stats)),
+	})
 	tripped := false
 	s.mu.Lock()
-	for id, st := range profileunit.FromWire(fb) {
+	for id, st := range stats {
 		prev := s.senderStats[id]
 		s.senderStats[id] = st
 		if st.Failures > prev.Failures {
@@ -644,6 +686,7 @@ func (s *Subscriber) reconfigureWith(merged map[int32]costmodel.Stat) {
 		s.cfg.Logf("jecho subscriber: reconfigure: %v", err)
 		return
 	}
+	traceMinCut(s.cfg.Tracer, s.cfg.Channel, s.cfg.Name, s.runit)
 	s.demod.SetProfilePlan(plan)
 	if err := s.sendPlan(wirePlan); err != nil {
 		s.cfg.Logf("jecho subscriber: send plan: %v", err)

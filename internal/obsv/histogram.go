@@ -1,0 +1,114 @@
+package obsv
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram safe for concurrent use. The
+// bucket layout is chosen at construction and never changes, so Observe
+// is allocation-free: a linear scan over a small bounds slice plus two
+// atomic adds. Hot paths (one observation per published event) can use it
+// unconditionally.
+//
+// Buckets follow the Prometheus convention: bounds are inclusive upper
+// edges, and exposition emits cumulative counts with a trailing +Inf
+// bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomicFloat
+}
+
+// atomicFloat is an atomic float64 accumulator (CAS on the bit pattern).
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		newBits := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, newBits) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// NewHistogram creates a histogram with the given inclusive upper bounds,
+// which must be sorted ascending. The bounds slice is copied.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value. Allocation-free.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, with
+// per-bucket (non-cumulative) counts aligned to Bounds plus a final
+// overflow bucket.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive upper bucket edges.
+	Bounds []float64 `json:"bounds"`
+	// Counts has len(Bounds)+1 entries; Counts[i] is the number of
+	// observations in (Bounds[i-1], Bounds[i]], and the last entry counts
+	// observations above every bound.
+	Counts []uint64 `json:"counts"`
+	// Count is the total observation count.
+	Count uint64 `json:"count"`
+	// Sum is the sum of all observed values.
+	Sum float64 `json:"sum"`
+}
+
+// Snapshot copies the histogram state. Counters are read individually,
+// so a snapshot taken under concurrent Observe calls may be skewed by
+// the observations that land mid-read — bounded by the number of
+// concurrent writers.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Standard bucket layouts. Latency histograms observe seconds (the
+// Prometheus base unit); byte histograms observe wire sizes; work
+// histograms observe interpreter work units.
+var (
+	// LatencyBuckets spans 1µs to ~8.4s in powers of two — modulation and
+	// demodulation latencies.
+	LatencyBuckets = powersOf(1e-6, 2, 24)
+	// SizeBuckets spans 64B to 16MiB in powers of four — continuation and
+	// raw-event wire sizes.
+	SizeBuckets = powersOf(64, 4, 10)
+	// WorkBuckets spans 16 to ~4.3e9 work units in powers of four —
+	// interpreter work per message.
+	WorkBuckets = powersOf(16, 4, 15)
+)
+
+// powersOf returns n bounds starting at base, each scale times the last.
+func powersOf(base, scale float64, n int) []float64 {
+	out := make([]float64, n)
+	v := base
+	for i := range out {
+		out[i] = v
+		v *= scale
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package obsv
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Bounds are inclusive upper edges: 0.5 and 1 land in bucket 0; 1.5
+	// and 10 in bucket 1; 50 in bucket 2; 1000 overflows.
+	want := []uint64{2, 2, 1, 1}
+	if len(s.Counts) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(s.Counts), len(want))
+	}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count)
+	}
+	if s.Sum != 0.5+1+1.5+10+50+1000 {
+		t.Fatalf("Sum = %v", s.Sum)
+	}
+}
+
+func TestHistogramBoundsCopied(t *testing.T) {
+	bounds := []float64{1, 2, 3}
+	h := NewHistogram(bounds)
+	bounds[0] = 99
+	if h.Snapshot().Bounds[0] != 1 {
+		t.Fatal("NewHistogram aliased the caller's bounds slice")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	const goroutines = 8
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i%100) * 1e-5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("Count = %d, want %d", s.Count, goroutines*perG)
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, Count is %d", total, s.Count)
+	}
+}
+
+func TestHistogramObserveAllocs(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	if n := testing.AllocsPerRun(200, func() { h.Observe(0.001) }); n != 0 {
+		t.Fatalf("Observe allocates %.1f per call, want 0", n)
+	}
+}
+
+func TestStandardBucketLayouts(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"latency": LatencyBuckets, "size": SizeBuckets, "work": WorkBuckets,
+	} {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Fatalf("%s bounds not ascending at %d: %v", name, i, bounds)
+			}
+		}
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(LatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}

@@ -1,0 +1,249 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MetricType is the exposition type of a Sample.
+type MetricType uint8
+
+// Metric types, matching the Prometheus exposition format.
+const (
+	// CounterType is a monotonically increasing count.
+	CounterType MetricType = iota
+	// GaugeType is a value that can go up and down.
+	GaugeType
+	// HistogramType is a bucketed distribution.
+	HistogramType
+)
+
+// String names the type as Prometheus spells it.
+func (t MetricType) String() string {
+	switch t {
+	case CounterType:
+		return "counter"
+	case GaugeType:
+		return "gauge"
+	case HistogramType:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Label is one name=value pair attached to a Sample. Labels are emitted
+// in the order given; collectors should keep a stable order so series
+// identities are stable across scrapes.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Sample is one metric series at scrape time: a family (Name, Type,
+// Help) plus one labelled value. Counter and gauge samples carry Value;
+// histogram samples carry Hist.
+type Sample struct {
+	// Name is the metric family name (Prometheus conventions:
+	// snake_case, unit-suffixed, e.g. methodpart_channel_published_total).
+	Name string `json:"name"`
+	// Type is the exposition type; samples of one family must agree.
+	Type MetricType `json:"-"`
+	// Help is the family's one-line description.
+	Help string `json:"-"`
+	// Labels distinguish series within the family.
+	Labels []Label `json:"labels,omitempty"`
+	// Value is the sample value for counters and gauges.
+	Value float64 `json:"value"`
+	// Hist is the snapshot for histogram samples.
+	Hist *HistogramSnapshot `json:"hist,omitempty"`
+}
+
+// Collector enumerates metric samples on demand. Endpoints implement it
+// over their live state (there is no register/unregister churn as
+// subscriptions come and go — retired series simply stop being emitted).
+type Collector interface {
+	// Collect calls emit once per sample. Implementations must be safe
+	// for concurrent use with the endpoint's normal operation.
+	Collect(emit func(Sample))
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(emit func(Sample))
+
+// Collect implements Collector.
+func (f CollectorFunc) Collect(emit func(Sample)) { f(emit) }
+
+// Registry fans a scrape out to its registered collectors and renders
+// the gathered samples. Safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a collector to every future scrape.
+func (r *Registry) Register(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// Gather collects every sample, grouped by family name (stable order:
+// families sorted by name, series in collector emission order).
+func (r *Registry) Gather() []Sample {
+	r.mu.Lock()
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.Unlock()
+	var samples []Sample
+	for _, c := range collectors {
+		c.Collect(func(s Sample) { samples = append(samples, s) })
+	}
+	sort.SliceStable(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
+	return samples
+}
+
+// WritePrometheus renders every gathered sample in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE header per
+// family, histogram series expanded into cumulative _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Gather()
+	var b strings.Builder
+	lastFamily := ""
+	for _, s := range samples {
+		if s.Name != lastFamily {
+			fmt.Fprintf(&b, "# HELP %s %s\n", s.Name, s.Help)
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.Name, s.Type)
+			lastFamily = s.Name
+		}
+		switch s.Type {
+		case HistogramType:
+			writePromHistogram(&b, s)
+		default:
+			b.WriteString(s.Name)
+			writePromLabels(&b, s.Labels, "", 0)
+			b.WriteByte(' ')
+			b.WriteString(formatPromValue(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram expands one histogram sample into cumulative
+// buckets, sum and count.
+func writePromHistogram(b *strings.Builder, s Sample) {
+	if s.Hist == nil {
+		return
+	}
+	var cum uint64
+	for i, bound := range s.Hist.Bounds {
+		cum += s.Hist.Counts[i]
+		b.WriteString(s.Name)
+		b.WriteString("_bucket")
+		writePromLabels(b, s.Labels, "le", bound)
+		fmt.Fprintf(b, " %d\n", cum)
+	}
+	b.WriteString(s.Name)
+	b.WriteString("_bucket")
+	writePromLabels(b, s.Labels, "le", math.Inf(1))
+	fmt.Fprintf(b, " %d\n", s.Hist.Count)
+	b.WriteString(s.Name)
+	b.WriteString("_sum")
+	writePromLabels(b, s.Labels, "", 0)
+	fmt.Fprintf(b, " %s\n", formatPromValue(s.Hist.Sum))
+	b.WriteString(s.Name)
+	b.WriteString("_count")
+	writePromLabels(b, s.Labels, "", 0)
+	fmt.Fprintf(b, " %d\n", s.Hist.Count)
+}
+
+// writePromLabels renders {k="v",...}, appending an le label when asked.
+func writePromLabels(b *strings.Builder, labels []Label, le string, bound float64) {
+	if len(labels) == 0 && le == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(le)
+		b.WriteString(`="`)
+		if math.IsInf(bound, 1) {
+			b.WriteString("+Inf")
+		} else {
+			b.WriteString(formatPromValue(bound))
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatPromValue renders a float the way Prometheus expects (shortest
+// round-trip form; integral values without an exponent where possible).
+func formatPromValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders every gathered sample as a JSON array, each entry
+// carrying name, type, labels and value (or the histogram snapshot).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	type jsonSample struct {
+		Name   string             `json:"name"`
+		Type   string             `json:"type"`
+		Labels map[string]string  `json:"labels,omitempty"`
+		Value  *float64           `json:"value,omitempty"`
+		Hist   *HistogramSnapshot `json:"hist,omitempty"`
+	}
+	samples := r.Gather()
+	out := make([]jsonSample, 0, len(samples))
+	for _, s := range samples {
+		js := jsonSample{Name: s.Name, Type: s.Type.String()}
+		if len(s.Labels) > 0 {
+			js.Labels = make(map[string]string, len(s.Labels))
+			for _, l := range s.Labels {
+				js.Labels[l.Name] = l.Value
+			}
+		}
+		if s.Type == HistogramType {
+			js.Hist = s.Hist
+		} else {
+			v := s.Value
+			js.Value = &v
+		}
+		out = append(out, js)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,122 @@
+package obsv
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// testCollector emits a fixed sample set: one labelled counter, one bare
+// gauge, one labelled histogram.
+func testCollector() Collector {
+	h := NewHistogram([]float64{0.1, 1})
+	for _, v := range []float64{0.0625, 0.5, 5} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	return CollectorFunc(func(emit func(Sample)) {
+		emit(Sample{
+			Name: "mp_test_published_total", Type: CounterType, Help: "Events published.",
+			Labels: []Label{{"role", "publisher"}, {"channel", "images"}},
+			Value:  42,
+		})
+		emit(Sample{Name: "mp_test_queue", Type: GaugeType, Help: "Queue length.", Value: 3})
+		emit(Sample{
+			Name: "mp_test_latency_seconds", Type: HistogramType, Help: "Latency.",
+			Labels: []Label{{"sub", "s"}},
+			Hist:   &snap,
+		})
+	})
+}
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// families sorted by name with one HELP/TYPE header each, histograms
+// expanded into cumulative buckets with a trailing +Inf, counts as
+// integers and floats in shortest round-trip form.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Register(testCollector())
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP mp_test_latency_seconds Latency.
+# TYPE mp_test_latency_seconds histogram
+mp_test_latency_seconds_bucket{sub="s",le="0.1"} 1
+mp_test_latency_seconds_bucket{sub="s",le="1"} 2
+mp_test_latency_seconds_bucket{sub="s",le="+Inf"} 3
+mp_test_latency_seconds_sum{sub="s"} 5.5625
+mp_test_latency_seconds_count{sub="s"} 3
+# HELP mp_test_published_total Events published.
+# TYPE mp_test_published_total counter
+mp_test_published_total{role="publisher",channel="images"} 42
+# HELP mp_test_queue Queue length.
+# TYPE mp_test_queue gauge
+mp_test_queue 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Register(testCollector())
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var out []struct {
+		Name   string            `json:"name"`
+		Type   string            `json:"type"`
+		Labels map[string]string `json:"labels"`
+		Value  *float64          `json:"value"`
+		Hist   *HistogramSnapshot
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("invalid JSON %q: %v", sb.String(), err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d samples, want 3", len(out))
+	}
+	if out[0].Name != "mp_test_latency_seconds" || out[0].Type != "histogram" || out[0].Hist == nil {
+		t.Fatalf("sample 0 = %+v", out[0])
+	}
+	if out[0].Hist.Count != 3 {
+		t.Fatalf("histogram count = %d", out[0].Hist.Count)
+	}
+	if out[1].Name != "mp_test_published_total" || out[1].Value == nil || *out[1].Value != 42 {
+		t.Fatalf("sample 1 = %+v", out[1])
+	}
+	if out[1].Labels["channel"] != "images" {
+		t.Fatalf("sample 1 labels = %v", out[1].Labels)
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	r := NewRegistry()
+	r.Register(CollectorFunc(func(emit func(Sample)) {
+		emit(Sample{
+			Name: "mp_test_esc", Type: GaugeType, Help: "Escaping.",
+			Labels: []Label{{"v", "a\"b\\c\nd"}},
+			Value:  1,
+		})
+	}))
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `{v="a\"b\\c\nd"}`) {
+		t.Fatalf("label not escaped:\n%s", sb.String())
+	}
+}
+
+func TestMetricTypeString(t *testing.T) {
+	for typ, want := range map[MetricType]string{
+		CounterType: "counter", GaugeType: "gauge", HistogramType: "histogram", MetricType(99): "untyped",
+	} {
+		if got := typ.String(); got != want {
+			t.Fatalf("MetricType(%d).String() = %q, want %q", typ, got, want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package obsv
+
+// The /debug/split schema: a neutral, JSON-stable description of one
+// endpoint's live split state. internal/jecho fills these from its
+// publisher/subscriber internals; keeping the types here means the
+// introspection surface is defined (and versioned) in one place and any
+// future endpoint can reuse it.
+
+// EndpointStatus is the split state of one endpoint (a publisher or a
+// subscriber) at snapshot time.
+type EndpointStatus struct {
+	// Role is "publisher" or "subscriber".
+	Role string `json:"role"`
+	// Name identifies the endpoint (listen address or subscriber name).
+	Name string `json:"name"`
+	// Channels holds one entry per live subscription (publisher side) or
+	// the single subscription (subscriber side).
+	Channels []ChannelStatus `json:"channels"`
+}
+
+// ChannelStatus is the live state of one subscription's split loop.
+type ChannelStatus struct {
+	// ID is the subscription id (publisher side) or subscriber name.
+	ID string `json:"id"`
+	// Channel is the event channel the subscription is attached to.
+	Channel string `json:"channel"`
+	// Handler is the installed handler's name.
+	Handler string `json:"handler"`
+	// PlanVersion is the active partitioning plan's version.
+	PlanVersion uint64 `json:"plan_version"`
+	// Split is the active plan's flagged split set.
+	Split []int32 `json:"split"`
+	// QueueLen is the instantaneous outbound queue depth (publisher).
+	QueueLen int `json:"queue_len"`
+	// Metrics is the endpoint's counter snapshot, keyed by counter name.
+	Metrics map[string]uint64 `json:"metrics"`
+	// PSEs is the live UG/PSE table with profiled statistics.
+	PSEs []PSEStatus `json:"pses"`
+	// Breakers lists the PSEs with non-closed (or recently failing)
+	// breaker state; empty when every breaker is closed and idle.
+	Breakers []BreakerStatus `json:"breakers,omitempty"`
+	// LastMinCut explains the most recent plan selection, when one ran on
+	// this endpoint (the publisher only runs one to degrade).
+	LastMinCut *MinCutStatus `json:"last_min_cut,omitempty"`
+}
+
+// PSEStatus is one row of the live UG/PSE table: the edge's place in the
+// Unit Graph plus its current profiled statistics.
+type PSEStatus struct {
+	// ID is the dense PSE id (0 is the synthetic raw PSE).
+	ID int32 `json:"id"`
+	// From/To are the Unit Graph nodes the edge connects.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Vars is the hand-over set (live variables crossing the edge).
+	Vars []string `json:"vars,omitempty"`
+	// InSplit reports whether the active plan splits here.
+	InSplit bool `json:"in_split"`
+	// Profiled reports whether the active plan profiles this edge.
+	Profiled bool `json:"profiled"`
+	// Count, Bytes, ModWork, DemodWork, Prob, Failures mirror the
+	// profiled costmodel.Stat driving the min-cut.
+	Count     uint64  `json:"count"`
+	Bytes     float64 `json:"bytes"`
+	ModWork   float64 `json:"mod_work"`
+	DemodWork float64 `json:"demod_work"`
+	Prob      float64 `json:"prob"`
+	Failures  uint64  `json:"failures"`
+}
+
+// BreakerStatus is one PSE's circuit-breaker state.
+type BreakerStatus struct {
+	// PSE is the guarded split edge.
+	PSE int32 `json:"pse"`
+	// State is "closed", "open" or "half-open".
+	State string `json:"state"`
+	// WindowFailures counts failures inside the current window (closed
+	// state).
+	WindowFailures int `json:"window_failures,omitempty"`
+	// OpenRemainingMS is the cooldown left before the half-open probe
+	// (open state).
+	OpenRemainingMS int64 `json:"open_remaining_ms,omitempty"`
+}
+
+// MinCutStatus explains one reconfiguration-unit plan selection: the
+// inputs it priced and the cut it chose.
+type MinCutStatus struct {
+	// Version is the plan version the selection produced.
+	Version uint64 `json:"version"`
+	// Cut is the chosen split set.
+	Cut []int32 `json:"cut"`
+	// CutValue is the min-cut capacity (cost-model units).
+	CutValue int64 `json:"cut_value"`
+	// Tripped lists the PSEs priced out by open breakers.
+	Tripped []int32 `json:"tripped,omitempty"`
+	// Capacities are the per-PSE edge capacities the max-flow saw,
+	// indexed by PSE id.
+	Capacities map[int32]int64 `json:"capacities"`
+	// Profiled reports how many PSEs had live statistics (vs. static
+	// estimates).
+	Profiled int `json:"profiled"`
+}

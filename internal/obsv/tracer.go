@@ -1,0 +1,189 @@
+package obsv
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceCapacity is the ring size used when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 4096
+
+// Tracer is a bounded, concurrency-safe ring of trace Events with an
+// optional live subscription stream. It is built for hot paths:
+//
+//   - Disabled (or nil) tracers cost one atomic load per call site and
+//     never allocate; every method is nil-safe, so endpoints hold a plain
+//     *Tracer and emit unconditionally.
+//   - Enabled emission stamps the event and copies it into a
+//     preallocated ring slot under a short mutex — no allocation per
+//     event. When the ring is full the oldest event is overwritten and
+//     counted in Dropped.
+//   - Subscribers receive events on buffered channels; a slow subscriber
+//     loses events (counted per subscription) rather than stalling the
+//     runtime.
+//
+// The zero value is a disabled tracer with no storage; use NewTracer.
+type Tracer struct {
+	enabled atomic.Bool
+	start   time.Time
+
+	mu      sync.Mutex
+	ring    []Event
+	next    int  // ring index of the next write
+	filled  bool // the ring has wrapped at least once
+	seq     uint64
+	dropped uint64
+	subs    []*traceSub
+}
+
+// traceSub is one live subscription: a buffered channel plus a count of
+// events lost to a full buffer.
+type traceSub struct {
+	ch   chan Event
+	lost atomic.Uint64
+}
+
+// NewTracer creates an enabled tracer retaining the last capacity events
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	t := &Tracer{start: now(), ring: make([]Event, capacity)}
+	t.enabled.Store(true)
+	return t
+}
+
+// Enabled reports whether Emit currently records events. Nil-safe; call
+// sites that must format Detail strings should guard on it so a disabled
+// tracer costs no allocation.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetEnabled pauses or resumes recording without discarding the ring.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Emit records one event: it stamps Seq and At, overwrites the oldest
+// ring slot if full, and offers the event to every subscriber without
+// blocking. No-op (and allocation-free) when the tracer is nil or
+// disabled.
+func (t *Tracer) Emit(e Event) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	at := now().Sub(t.start).Nanoseconds()
+	t.mu.Lock()
+	t.seq++
+	e.Seq = t.seq
+	e.At = at
+	if t.filled {
+		t.dropped++
+	}
+	t.ring[t.next] = e
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+	// Offer to subscribers inside the critical section: the sends are
+	// non-blocking (a full buffer counts a loss instead), and holding mu
+	// means a concurrent cancel cannot close a channel mid-send.
+	for _, s := range t.subs {
+		select {
+		case s.ch <- e:
+		default:
+			s.lost.Add(1)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Emitted returns the total number of events recorded (including ones
+// the ring has since overwritten).
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Dropped returns how many events were overwritten before being
+// snapshotted — the ring-overflow count.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Snapshot returns the retained events, oldest first.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.filled {
+		return append([]Event(nil), t.ring[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Subscribe registers a live event stream with the given channel buffer
+// (minimum 1). Events emitted while the buffer is full are dropped from
+// the stream (detectable as gaps in Event.Seq), never blocking the
+// emitter. The returned cancel function closes the channel and must be
+// called exactly once. Subscribing to a nil tracer returns a closed
+// channel and a no-op cancel.
+func (t *Tracer) Subscribe(buffer int) (<-chan Event, func()) {
+	if t == nil {
+		ch := make(chan Event)
+		close(ch)
+		return ch, func() {}
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+	sub := &traceSub{ch: make(chan Event, buffer)}
+	t.mu.Lock()
+	t.subs = append(t.subs, sub)
+	t.mu.Unlock()
+	cancel := func() {
+		t.mu.Lock()
+		subs := make([]*traceSub, 0, len(t.subs))
+		for _, s := range t.subs {
+			if s != sub {
+				subs = append(subs, s)
+			}
+		}
+		t.subs = subs
+		// Close under mu: Emit offers to subscribers while holding mu, so
+		// no send can race this close.
+		close(sub.ch)
+		t.mu.Unlock()
+	}
+	return sub.ch, cancel
+}
+
+// WriteJSON dumps the retained events as JSON lines, oldest first.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	for _, e := range t.Snapshot() {
+		if err := e.WriteJSON(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

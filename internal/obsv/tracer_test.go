@@ -1,0 +1,260 @@
+package obsv
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRingOverflow(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: EvPublish, EventSeq: uint64(i + 1)})
+	}
+	if got := tr.Emitted(); got != 10 {
+		t.Fatalf("Emitted() = %d, want 10", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped() = %d, want 6 (10 emitted into a 4-slot ring)", got)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot() holds %d events, want 4", len(snap))
+	}
+	// Oldest events are the ones dropped: the ring retains the last four,
+	// oldest first.
+	for i, ev := range snap {
+		if want := uint64(i + 7); ev.EventSeq != want {
+			t.Fatalf("snap[%d].EventSeq = %d, want %d (oldest-first, newest retained)", i, ev.EventSeq, want)
+		}
+		if ev.Seq != uint64(i+7) {
+			t.Fatalf("snap[%d].Seq = %d, want %d", i, ev.Seq, i+7)
+		}
+	}
+}
+
+func TestTracerSnapshotBeforeWrap(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Event{Kind: EvPublish})
+	tr.Emit(Event{Kind: EvDemod})
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot() holds %d events, want 2", len(snap))
+	}
+	if snap[0].Kind != EvPublish || snap[1].Kind != EvDemod {
+		t.Fatalf("snapshot order wrong: %v, %v", snap[0].Kind, snap[1].Kind)
+	}
+	if snap[0].Seq != 1 || snap[1].Seq != 2 {
+		t.Fatalf("seq stamping wrong: %d, %d", snap[0].Seq, snap[1].Seq)
+	}
+	if snap[1].At < snap[0].At {
+		t.Fatalf("timestamps not monotone: %d then %d", snap[0].At, snap[1].At)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.SetEnabled(true) // must not panic
+	tr.Emit(Event{Kind: EvPublish})
+	if tr.Emitted() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer has state")
+	}
+	if snap := tr.Snapshot(); snap != nil {
+		t.Fatalf("nil tracer snapshot = %v", snap)
+	}
+	ch, cancel := tr.Subscribe(1)
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("nil tracer subscription delivered an event")
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil tracer WriteJSON = %q, %v", sb.String(), err)
+	}
+}
+
+func TestTracerSetEnabled(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Emit(Event{Kind: EvPublish})
+	tr.SetEnabled(false)
+	tr.Emit(Event{Kind: EvPublish})
+	if got := tr.Emitted(); got != 1 {
+		t.Fatalf("disabled tracer recorded: Emitted() = %d, want 1", got)
+	}
+	tr.SetEnabled(true)
+	tr.Emit(Event{Kind: EvPublish})
+	if got := tr.Emitted(); got != 2 {
+		t.Fatalf("re-enabled tracer: Emitted() = %d, want 2", got)
+	}
+}
+
+// TestTracerConcurrentEmit exercises emission, snapshots, subscription
+// churn and enable toggling at once; run under -race it is the tracer's
+// thread-safety proof.
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(64)
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tr.Emit(Event{Kind: EvPublish, PSE: int32(g), EventSeq: uint64(i)})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			tr.Snapshot()
+			tr.Dropped()
+			ch, cancel := tr.Subscribe(4)
+			// Drain a little, then cancel mid-stream.
+			select {
+			case <-ch:
+			case <-time.After(time.Millisecond):
+			}
+			cancel()
+		}
+	}()
+	wg.Wait()
+	if got := tr.Emitted(); got != goroutines*perG {
+		t.Fatalf("Emitted() = %d, want %d", got, goroutines*perG)
+	}
+	snap := tr.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq != snap[i-1].Seq+1 {
+			t.Fatalf("snapshot seq gap: %d then %d", snap[i-1].Seq, snap[i].Seq)
+		}
+	}
+}
+
+func TestTracerSubscribe(t *testing.T) {
+	tr := NewTracer(16)
+	ch, cancel := tr.Subscribe(4)
+	tr.Emit(Event{Kind: EvPlanFlip, Plan: 7})
+	select {
+	case ev := <-ch:
+		if ev.Kind != EvPlanFlip || ev.Plan != 7 {
+			t.Fatalf("subscription delivered %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("subscription did not deliver")
+	}
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel not closed after cancel")
+	}
+	// Emission after cancel must not panic (send on closed channel).
+	tr.Emit(Event{Kind: EvPublish})
+}
+
+func TestTracerSubscribeOverflowDrops(t *testing.T) {
+	tr := NewTracer(16)
+	ch, cancel := tr.Subscribe(1)
+	defer cancel()
+	tr.Emit(Event{Kind: EvPublish})
+	tr.Emit(Event{Kind: EvPublish}) // buffer full: dropped from stream
+	tr.Emit(Event{Kind: EvPublish}) // likewise
+	ev := <-ch
+	if ev.Seq != 1 {
+		t.Fatalf("first delivered event Seq = %d, want 1", ev.Seq)
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("unexpected second delivery: %+v", ev)
+	default:
+	}
+	// The ring itself saw everything.
+	if got := tr.Emitted(); got != 3 {
+		t.Fatalf("Emitted() = %d, want 3", got)
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Event{Kind: EvPublish, Channel: "images", Sub: "s#1", PSE: 3, Plan: 2, EventSeq: 1, Bytes: 100, Dur: 5000})
+	tr.Emit(Event{Kind: EvBreaker, Channel: "images", Sub: "s#1", PSE: 3, Detail: "open"})
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSON lines, want 2", len(lines))
+	}
+	if lines[0]["kind"] != "publish" || lines[1]["kind"] != "breaker" {
+		t.Fatalf("kinds = %v, %v", lines[0]["kind"], lines[1]["kind"])
+	}
+	if lines[0]["channel"] != "images" || lines[0]["bytes"] != float64(100) {
+		t.Fatalf("publish line = %v", lines[0])
+	}
+	if lines[1]["detail"] != "open" {
+		t.Fatalf("breaker line = %v", lines[1])
+	}
+	// omitempty: the breaker line has no bytes field.
+	if _, present := lines[1]["bytes"]; present {
+		t.Fatalf("breaker line carries zero bytes field: %v", lines[1])
+	}
+}
+
+// TestEmitDisabledAllocs is the hot-path budget: a disabled or nil tracer
+// must not allocate per event.
+func TestEmitDisabledAllocs(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetEnabled(false)
+	ev := Event{Kind: EvPublish, Channel: "c", Sub: "s", PSE: 1, Bytes: 10}
+	if n := testing.AllocsPerRun(200, func() { tr.Emit(ev) }); n != 0 {
+		t.Fatalf("disabled Emit allocates %.1f per call, want 0", n)
+	}
+	var nilTr *Tracer
+	if n := testing.AllocsPerRun(200, func() { nilTr.Emit(ev) }); n != 0 {
+		t.Fatalf("nil Emit allocates %.1f per call, want 0", n)
+	}
+}
+
+// TestEmitEnabledAllocs: even enabled, emission into the preallocated
+// ring is allocation-free (subscriber sends use buffered channels).
+func TestEmitEnabledAllocs(t *testing.T) {
+	tr := NewTracer(8)
+	ev := Event{Kind: EvPublish, Channel: "c", Sub: "s", PSE: 1, Bytes: 10}
+	if n := testing.AllocsPerRun(200, func() { tr.Emit(ev) }); n != 0 {
+		t.Fatalf("enabled Emit allocates %.1f per call, want 0", n)
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	tr := NewTracer(64)
+	tr.SetEnabled(false)
+	ev := Event{Kind: EvPublish, Channel: "c", Sub: "s", PSE: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(ev)
+	}
+}
+
+func BenchmarkEmitEnabled(b *testing.B) {
+	tr := NewTracer(4096)
+	ev := Event{Kind: EvPublish, Channel: "c", Sub: "s", PSE: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(ev)
+	}
+}

@@ -54,6 +54,11 @@ func NewDemodulator(c *Compiled, env *interp.Env) *Demodulator {
 // lives with the receiver, so this needs no wire hop.
 func (d *Demodulator) SetProfilePlan(p *Plan) { d.profilePlan.Store(p) }
 
+// ProfilePlan returns the installed profile plan, or nil before the first
+// SetProfilePlan — for status snapshots; the demodulator itself only reads
+// it inside profileHook.
+func (d *Demodulator) ProfilePlan() *Plan { return d.profilePlan.Load() }
+
 // profileHook returns an edge hook observing profiled PSE crossings, or nil
 // when no profiling is active. baseWork is the sender-side work already
 // spent on the message (so crossing stats are message-cumulative).

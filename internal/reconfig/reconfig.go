@@ -6,6 +6,7 @@ package reconfig
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"methodpart/internal/costmodel"
 	"methodpart/internal/graph"
@@ -25,6 +26,36 @@ type Unit struct {
 
 	version uint64
 	tripped map[int32]bool
+
+	// lastExplain is the most recent selection's Explanation. It is the one
+	// piece of Unit state read from other goroutines (debug listeners,
+	// status snapshots) while SelectPlan runs on the endpoint's own
+	// goroutine, hence the atomic pointer where the rest of the Unit relies
+	// on caller serialization.
+	lastExplain atomic.Pointer[Explanation]
+}
+
+// Explanation records what one SelectPlan call saw and decided: the
+// capacities the max-flow priced (after the breaker overlay), the cut it
+// chose, and the version it stamped. It exists so an operator can answer
+// "why did my plan flip?" from live state instead of re-deriving the
+// min-cut by hand.
+type Explanation struct {
+	// Version is the plan version the selection produced.
+	Version uint64
+	// Cut is the chosen split set (sorted).
+	Cut []int32
+	// CutValue is the min-cut capacity in cost-model units.
+	CutValue int64
+	// Tripped lists the PSEs priced out by open circuit breakers (sorted).
+	Tripped []int32
+	// Capacities are the per-PSE edge capacities the max-flow saw, indexed
+	// by PSE id — profiled capacities where statistics existed, static
+	// estimates otherwise, graph.InfCapacity (or InfCapacity−1 for the raw
+	// PSE) where tripped.
+	Capacities map[int32]int64
+	// Profiled is how many PSEs had live statistics backing their capacity.
+	Profiled int
 }
 
 // NewUnit creates a reconfiguration unit for the handler in the given
@@ -75,11 +106,12 @@ func (u *Unit) ObserveVersion(v uint64) {
 // their static capacity estimate). It returns both the in-memory plan and
 // its wire form.
 func (u *Unit) SelectPlan(stats map[int32]costmodel.Stat) (*partition.Plan, *wire.Plan, error) {
-	cut, _, err := u.minCut(stats)
+	cut, value, err := u.minCut(stats)
 	if err != nil {
 		return nil, nil, err
 	}
 	u.version++
+	u.lastExplain.Store(u.explain(cut, value, stats))
 	var profile []int32
 	if u.ProfileAll {
 		profile = partition.AllProfileIDs(u.c)
@@ -97,6 +129,37 @@ func (u *Unit) SelectPlan(stats map[int32]costmodel.Stat) (*partition.Plan, *wir
 		Profile: plan.ProfileIDs(),
 	}
 	return plan, wp, nil
+}
+
+// explain materialises the Explanation for a completed selection. Called
+// after u.version is advanced, so the explanation carries the stamped
+// version.
+func (u *Unit) explain(cut []int32, value int64, stats map[int32]costmodel.Stat) *Explanation {
+	ex := &Explanation{
+		Version:    u.version,
+		Cut:        append([]int32(nil), cut...),
+		CutValue:   value,
+		Capacities: make(map[int32]int64, u.c.NumPSEs()),
+	}
+	for id := int32(0); int(id) < u.c.NumPSEs(); id++ {
+		ex.Capacities[id] = u.capacityFor(id, stats)
+		if st, ok := stats[id]; ok && st.Count > 0 {
+			ex.Profiled++
+		}
+		if u.tripped[id] {
+			ex.Tripped = append(ex.Tripped, id)
+		}
+	}
+	ex.Tripped = partition.SortedIDs(ex.Tripped)
+	return ex
+}
+
+// LastExplanation returns the most recent selection's Explanation, or nil
+// before the first SelectPlan. Unlike the rest of the Unit it is safe to
+// call from any goroutine; the returned value is a snapshot the caller
+// must not mutate.
+func (u *Unit) LastExplanation() *Explanation {
+	return u.lastExplain.Load()
 }
 
 // InitialPlan selects a plan purely from static cost estimates, for use

@@ -51,6 +51,7 @@ import (
 	"methodpart/internal/mir"
 	"methodpart/internal/mir/asm"
 	"methodpart/internal/mir/interp"
+	"methodpart/internal/obsv"
 	"methodpart/internal/partition"
 	"methodpart/internal/profileunit"
 	"methodpart/internal/reconfig"
@@ -161,6 +162,54 @@ type (
 	// Continuation is the wire form of a remote continuation.
 	Continuation = wire.Continuation
 )
+
+// Observability types (see OBSERVABILITY.md for the operator reference).
+type (
+	// Tracer is the bounded split-lifecycle trace ring. A nil *Tracer is
+	// valid everywhere one is accepted and records nothing at zero cost.
+	Tracer = obsv.Tracer
+	// TraceEvent is one structured trace record.
+	TraceEvent = obsv.Event
+	// TraceEventKind discriminates TraceEvent records (publish, demod,
+	// plan flip, breaker transition, ...).
+	TraceEventKind = obsv.EventKind
+	// MetricsRegistry gathers Collectors and renders Prometheus text or
+	// JSON. (Distinct from Registry, the builtin-function registry.)
+	MetricsRegistry = obsv.Registry
+	// MetricsCollector is anything that can contribute samples to a
+	// MetricsRegistry; Publisher and Subscriber both implement it.
+	MetricsCollector = obsv.Collector
+	// MetricSample is one gathered metric sample.
+	MetricSample = obsv.Sample
+	// DebugConfig configures the opt-in debug HTTP listener.
+	DebugConfig = obsv.DebugConfig
+	// DebugServer is the running debug HTTP listener (/metrics,
+	// /metrics.json, /debug/split, /debug/trace).
+	DebugServer = obsv.DebugServer
+	// EndpointStatus is one endpoint's live introspection snapshot, as
+	// served by /debug/split.
+	EndpointStatus = obsv.EndpointStatus
+)
+
+// DefaultTraceCapacity is the trace-ring size used by NewTracer callers
+// that have no better estimate; older events are overwritten (and counted
+// as dropped) once the ring wraps.
+const DefaultTraceCapacity = obsv.DefaultTraceCapacity
+
+// NewTracer creates an enabled trace ring holding the last capacity
+// events (capacity <= 0 selects DefaultTraceCapacity). Hand it to
+// PublisherConfig.Tracer / SubscriberConfig.Tracer.
+func NewTracer(capacity int) *Tracer { return obsv.NewTracer(capacity) }
+
+// NewMetricsRegistry creates an empty metrics registry; register
+// publishers and subscribers, then serve it via StartDebug or render it
+// with WritePrometheus/WriteJSON.
+func NewMetricsRegistry() *MetricsRegistry { return obsv.NewRegistry() }
+
+// StartDebug binds the debug HTTP listener described by cfg and serves
+// until Close. Unauthenticated — bind to loopback unless the network is
+// trusted.
+func StartDebug(cfg DebugConfig) (*DebugServer, error) { return obsv.StartDebug(cfg) }
 
 // Overflow policies for PublisherConfig.OverflowPolicy.
 const (
