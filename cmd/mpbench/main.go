@@ -33,6 +33,8 @@ func run(args []string, w io.Writer) error {
 	seeds := fs.Int("seeds", 0, "override number of perturbation seeds (0 = default 5)")
 	asCSV := fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	plot := fs.Bool("plot", false, "also render figure experiments as ASCII charts")
+	batchBytes := fs.Int("batch-bytes", 0, "batched-run coalescing budget in bytes for the channel experiment (0 = 64KiB default)")
+	batchDelay := fs.Duration("batch-delay", 0, "batched-run linger window for the channel experiment (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -147,6 +149,19 @@ func run(args []string, w io.Writer) error {
 		}
 		bench.WriteChannel(w, rows)
 		bench.WriteChannelStages(w, stages)
+		baCfg := bench.DefaultBatchConfig()
+		if *frames > 0 {
+			baCfg.Frames = *frames
+		}
+		if *batchBytes > 0 {
+			baCfg.BatchBytes = *batchBytes
+		}
+		baCfg.BatchDelay = *batchDelay
+		baRows, err := bench.BatchExperiment(baCfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteBatch(w, baRows)
 	}
 	if all || wanted["faults"] {
 		ran = true

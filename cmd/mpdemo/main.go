@@ -40,6 +40,8 @@ func run(args []string) error {
 	queue := fs.Int("queue", 0, "per-subscription send queue depth (0 = default)")
 	overflow := fs.String("overflow", "block", "send queue overflow policy: block | drop-newest | drop-oldest")
 	heartbeat := fs.Duration("heartbeat", 0, "idle-liveness heartbeat interval (0 = default, negative = disabled)")
+	batchBytes := fs.Int("batch-bytes", 0, "coalesce queued event frames into batch wire frames up to this many payload bytes (0 = batching off)")
+	batchDelay := fs.Duration("batch-delay", 0, "linger this long for more frames after the first of a batch (needs -batch-bytes)")
 	writeTimeout := fs.Duration("write-timeout", 0, "per-frame write deadline (0 = default, negative = disabled)")
 	resubscribe := fs.Bool("resubscribe", false, "subscriber auto-redials and resyncs after connection loss")
 	maxWork := fs.Int64("max-work", 0, "per-message interpreter work budget at the subscriber (>0 enables)")
@@ -59,6 +61,8 @@ func run(args []string) error {
 		resubscribe:  *resubscribe,
 		maxWork:      *maxWork,
 		deadletter:   *deadletter,
+		batchBytes:   *batchBytes,
+		batchDelay:   *batchDelay,
 	}
 	obs := newObservability(*debugAddr, *trace)
 	defer obs.finish()
@@ -164,6 +168,8 @@ type supervisionFlags struct {
 	resubscribe  bool
 	maxWork      int64
 	deadletter   bool
+	batchBytes   int
+	batchDelay   time.Duration
 }
 
 func parsePolicy(name string) (methodpart.OverflowPolicy, error) {
@@ -189,6 +195,8 @@ func newPublisher(addr string, queue int, policy methodpart.OverflowPolicy, sup 
 		OverflowPolicy:    policy,
 		HeartbeatInterval: sup.heartbeat,
 		WriteTimeout:      sup.writeTimeout,
+		BatchBytes:        sup.batchBytes,
+		BatchDelay:        sup.batchDelay,
 		Tracer:            obs.tracer,
 	})
 	if err != nil {

@@ -17,14 +17,36 @@ type ChannelMetrics struct {
 	Suppressed uint64
 	// Enqueued counts frames accepted into the outbound send queue.
 	Enqueued uint64
-	// Dropped counts frames discarded by the overflow policy because the
-	// peer could not keep up.
+	// Dropped counts enqueued frames that never reached the peer: evicted
+	// by the overflow policy, abandoned in the queue at shutdown, or lost
+	// to a failed transport write. Together with EventsSent this closes
+	// the accounting identity Enqueued = EventsSent + Dropped once the
+	// pipeline is quiescent.
 	Dropped uint64
 	// QueueHighWater is the maximum outbound queue depth observed.
 	QueueHighWater uint64
-	// BytesOnWire counts bytes actually sent (publisher) or received
-	// (subscriber), including framing overhead.
+	// BytesOnWire counts event-frame bytes actually sent (publisher) or
+	// received (subscriber), including framing overhead. Control traffic
+	// (heartbeats, feedback, plans, NACKs) is counted separately in
+	// ControlBytesOnWire so the bytes-saved ratio divides by event bytes
+	// only; before the split, quiet channels skewed the ratio with
+	// heartbeat bytes.
 	BytesOnWire uint64
+	// ControlBytesOnWire counts control-frame bytes (heartbeats, profiling
+	// feedback, plans, NACKs) sent or received, including framing overhead.
+	ControlBytesOnWire uint64
+	// EventsSent counts event frames that reached the wire, whether alone
+	// or packed inside a batch frame (publisher side). At quiescence
+	// Enqueued = EventsSent + Dropped.
+	EventsSent uint64
+	// BatchesSent counts batch wire frames written; frames carrying a
+	// single event go unwrapped and are not counted here.
+	BatchesSent uint64
+	// BatchedEvents counts events that traveled inside a batch frame, so
+	// BatchedEvents/BatchesSent is the mean batch size.
+	BatchedEvents uint64
+	// BatchesReceived counts batch frames unpacked by the subscriber.
+	BatchesReceived uint64
 	// BytesSaved estimates bytes modulation kept off the wire: for a
 	// suppressed event the whole raw payload, for a continuation the
 	// difference between the raw event encoding and the continuation.
@@ -80,6 +102,11 @@ type channelMetrics struct {
 	dropped           atomic.Uint64
 	queueHighWater    atomic.Uint64
 	bytesOnWire       atomic.Uint64
+	controlBytes      atomic.Uint64
+	eventsSent        atomic.Uint64
+	batchesSent       atomic.Uint64
+	batchedEvents     atomic.Uint64
+	batchesRecv       atomic.Uint64
 	bytesSaved        atomic.Uint64
 	feedbackSent      atomic.Uint64
 	feedbackCoalesced atomic.Uint64
@@ -139,6 +166,11 @@ func (m *channelMetrics) load() ChannelMetrics {
 		Dropped:            m.dropped.Load(),
 		QueueHighWater:     m.queueHighWater.Load(),
 		BytesOnWire:        m.bytesOnWire.Load(),
+		ControlBytesOnWire: m.controlBytes.Load(),
+		EventsSent:         m.eventsSent.Load(),
+		BatchesSent:        m.batchesSent.Load(),
+		BatchedEvents:      m.batchedEvents.Load(),
+		BatchesReceived:    m.batchesRecv.Load(),
 		BytesSaved:         m.bytesSaved.Load(),
 		FeedbackSent:       m.feedbackSent.Load(),
 		FeedbackCoalesced:  m.feedbackCoalesced.Load(),

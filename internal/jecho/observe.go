@@ -44,6 +44,42 @@ func newPSEHistograms(n int) *pseHistograms {
 	return h
 }
 
+// batchHistograms measures the shape of the batching path on one
+// subscription: how many events each wire frame carried and how full the
+// BatchBytes budget was when it left. Nil (batching off, or a v3 peer)
+// costs nothing — observe is a no-op.
+type batchHistograms struct {
+	entries *obsv.Histogram
+	fill    *obsv.Histogram
+}
+
+// Batch shape buckets: entry counts are small powers of two (a batch
+// rarely exceeds the queue depth); fill is a ratio in [0, 1+] — the last
+// bucket catches batches whose final entry overshot the budget.
+var (
+	batchEntryBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	batchFillBuckets  = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1}
+)
+
+func newBatchHistograms() *batchHistograms {
+	return &batchHistograms{
+		entries: obsv.NewHistogram(batchEntryBuckets),
+		fill:    obsv.NewHistogram(batchFillBuckets),
+	}
+}
+
+// observe records one departed event frame: n entries totalling total
+// payload bytes against a budget of max.
+func (b *batchHistograms) observe(n, total, max int) {
+	if b == nil {
+		return
+	}
+	b.entries.Observe(float64(n))
+	if max > 0 {
+		b.fill.Observe(float64(total) / float64(max))
+	}
+}
+
 // observe records one message against its split PSE. Out-of-range ids
 // (ForcedSplit, UnattributedPSE) are dropped — they name no table row.
 func (h *pseHistograms) observe(pse int32, dur time.Duration, bytes, work int64) {
@@ -174,8 +210,13 @@ var channelCounterDefs = []struct {
 	{"methodpart_channel_suppressed_total", "Events filtered at the sender by trivial-continuation suppression.", func(m ChannelMetrics) uint64 { return m.Suppressed }},
 	{"methodpart_channel_enqueued_total", "Frames accepted into the outbound send queue.", func(m ChannelMetrics) uint64 { return m.Enqueued }},
 	{"methodpart_channel_dropped_total", "Frames discarded by the overflow policy.", func(m ChannelMetrics) uint64 { return m.Dropped }},
-	{"methodpart_channel_bytes_on_wire_total", "Bytes sent (publisher) or received (subscriber), including framing.", func(m ChannelMetrics) uint64 { return m.BytesOnWire }},
+	{"methodpart_channel_bytes_on_wire_total", "Event-frame bytes sent (publisher) or received (subscriber), including framing.", func(m ChannelMetrics) uint64 { return m.BytesOnWire }},
+	{"methodpart_channel_control_bytes_on_wire_total", "Control-frame bytes (heartbeats, feedback, plans, NACKs), including framing.", func(m ChannelMetrics) uint64 { return m.ControlBytesOnWire }},
 	{"methodpart_channel_bytes_saved_total", "Bytes modulation kept off the wire (suppression and continuations).", func(m ChannelMetrics) uint64 { return m.BytesSaved }},
+	{"methodpart_channel_events_sent_total", "Event frames that reached the wire, alone or inside a batch.", func(m ChannelMetrics) uint64 { return m.EventsSent }},
+	{"methodpart_channel_batches_sent_total", "Batch wire frames written (single-event frames go unwrapped).", func(m ChannelMetrics) uint64 { return m.BatchesSent }},
+	{"methodpart_channel_batched_events_total", "Events that traveled inside a batch frame.", func(m ChannelMetrics) uint64 { return m.BatchedEvents }},
+	{"methodpart_channel_batches_received_total", "Batch frames unpacked by the subscriber.", func(m ChannelMetrics) uint64 { return m.BatchesReceived }},
 	{"methodpart_channel_feedback_sent_total", "Profiling feedback frames that reached the wire.", func(m ChannelMetrics) uint64 { return m.FeedbackSent }},
 	{"methodpart_channel_feedback_coalesced_total", "Feedback frames superseded before sending (slow-peer coalescing).", func(m ChannelMetrics) uint64 { return m.FeedbackCoalesced }},
 	{"methodpart_channel_plan_flips_total", "Plan installations that changed the split set.", func(m ChannelMetrics) uint64 { return m.PlanFlips }},
@@ -202,8 +243,16 @@ const (
 	pseWorkHelp    = "Per-split-PSE interpreter work spent on this side of the split."
 )
 
+// Batch histogram family names and help strings.
+const (
+	batchEntriesName = "methodpart_batch_entries"
+	batchEntriesHelp = "Events carried per outbound event wire frame (1 = sent unwrapped)."
+	batchFillName    = "methodpart_batch_fill_ratio"
+	batchFillHelp    = "Coalesced payload bytes over the BatchBytes budget per outbound event frame."
+)
+
 // emitChannelSamples renders one endpoint's counters and histograms.
-func emitChannelSamples(emit func(obsv.Sample), role, channel, sub string, m ChannelMetrics, h *pseHistograms) {
+func emitChannelSamples(emit func(obsv.Sample), role, channel, sub string, m ChannelMetrics, h *pseHistograms, bh *batchHistograms) {
 	labels := []obsv.Label{
 		{Name: "role", Value: role},
 		{Name: "channel", Value: channel},
@@ -217,6 +266,13 @@ func emitChannelSamples(emit func(obsv.Sample), role, channel, sub string, m Cha
 		Help:   "Maximum outbound queue depth observed.",
 		Labels: labels, Value: float64(m.QueueHighWater),
 	})
+	if bh != nil {
+		if ent := bh.entries.Snapshot(); ent.Count > 0 {
+			fill := bh.fill.Snapshot()
+			emit(obsv.Sample{Name: batchEntriesName, Type: obsv.HistogramType, Help: batchEntriesHelp, Labels: labels, Hist: &ent})
+			emit(obsv.Sample{Name: batchFillName, Type: obsv.HistogramType, Help: batchFillHelp, Labels: labels, Hist: &fill})
+		}
+	}
 	if h == nil {
 		return
 	}
@@ -351,7 +407,7 @@ func (p *Publisher) Collect(emit func(obsv.Sample)) {
 		Value: float64(len(subs)),
 	})
 	for _, s := range subs {
-		emitChannelSamples(emit, "publisher", s.channel, s.id, s.metrics.snapshot(), s.hists)
+		emitChannelSamples(emit, "publisher", s.channel, s.id, s.metrics.snapshot(), s.hists, s.pipe.batch.hists)
 	}
 }
 
@@ -389,7 +445,7 @@ func (p *Publisher) Status() obsv.EndpointStatus {
 // Collect implements obsv.Collector over the subscriber's half of the
 // loop, labelled {role="subscriber", channel, sub}.
 func (s *Subscriber) Collect(emit func(obsv.Sample)) {
-	emitChannelSamples(emit, "subscriber", s.cfg.Channel, s.cfg.Name, s.metrics.snapshot(), s.hists)
+	emitChannelSamples(emit, "subscriber", s.cfg.Channel, s.cfg.Name, s.metrics.snapshot(), s.hists, nil)
 }
 
 // Status snapshots the subscriber for /debug/split: its profile plan,

@@ -51,6 +51,21 @@ const DefaultQueueDepth = 64
 // down (peer dead or publisher closing).
 var errRetired = errors.New("jecho: subscription retired")
 
+// batchConfig is the per-subscription batching policy resolved at
+// handshake time: zero Bytes disables batching (the peer speaks protocol
+// v3, or the publisher left BatchBytes unset).
+type batchConfig struct {
+	// Bytes caps the coalesced payload of one batch frame. The first
+	// frame always fits regardless of size.
+	Bytes int
+	// Delay is how long the sender lingers for more frames after the
+	// first, when the queue alone did not fill the batch (0 = send what
+	// the queue held, no waiting).
+	Delay time.Duration
+	// hists receives per-batch entry counts and fill ratios (nil = none).
+	hists *batchHistograms
+}
+
 // sendPipeline is the asynchronous sender of one subscription: a bounded
 // queue of event frames plus a coalescing slot for profiling feedback,
 // drained by a dedicated goroutine (run). Publish hands frames over and
@@ -68,7 +83,15 @@ type sendPipeline struct {
 	policy  OverflowPolicy
 	metrics *channelMetrics
 	sup     supervision
-	hbSeq   uint64 // sender-goroutine only
+	batch   batchConfig
+
+	// Sender-goroutine only: heartbeat sequence plus the reusable buffers
+	// of the batching path. The transports copy on WriteFrame, so the
+	// buffers are free for reuse as soon as it returns.
+	hbSeq    uint64
+	hbBuf    []byte
+	batchBuf []byte
+	entries  [][]byte
 
 	stop     chan struct{} // closed by shutdown: unblocks enqueuers + sender
 	done     chan struct{} // closed when the sender goroutine exits
@@ -84,7 +107,7 @@ type sendPipeline struct {
 	failed func(error)
 }
 
-func newSendPipeline(conn transport.Conn, depth int, policy OverflowPolicy, sup supervision, m *channelMetrics, failed func(error)) *sendPipeline {
+func newSendPipeline(conn transport.Conn, depth int, policy OverflowPolicy, sup supervision, batch batchConfig, m *channelMetrics, failed func(error)) *sendPipeline {
 	if depth <= 0 {
 		depth = DefaultQueueDepth
 	}
@@ -93,6 +116,7 @@ func newSendPipeline(conn transport.Conn, depth int, policy OverflowPolicy, sup 
 		queue:   make(chan []byte, depth),
 		policy:  policy,
 		sup:     sup,
+		batch:   batch,
 		metrics: m,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -146,6 +170,23 @@ func (p *sendPipeline) enqueue(data []byte) error {
 	}
 	p.metrics.enqueued.Add(1)
 	p.metrics.noteDepth(len(p.queue))
+	// If the pipeline retired between the commit above and here, the
+	// sender's shutdown drain may already have swept the queue and missed
+	// this frame. Every queued frame is doomed once stop is closed, so
+	// popping any one frame and counting it dropped keeps the identity
+	// enqueued = sent + dropped exact: each post-drain committer removes
+	// one frame, and a pop only finds the queue empty when some other
+	// committer's pop already took the frame this one added.
+	select {
+	case <-p.stop:
+		select {
+		case <-p.queue:
+			p.metrics.dropped.Add(1)
+		default:
+		}
+		return errRetired
+	default:
+	}
 	return nil
 }
 
@@ -175,9 +216,14 @@ func (p *sendPipeline) takeFeedback() []byte {
 // run is the sender goroutine: it drains the queue and the feedback slot
 // until shutdown or a write error, and fills idle gaps with heartbeat
 // frames so the peer's silence window never expires on a healthy but
-// quiet channel.
+// quiet channel. When batching is configured (and was negotiated at
+// handshake), a backlog of queued event frames leaves as one batch frame.
 func (p *sendPipeline) run() {
 	defer close(p.done)
+	// Frames still queued when the sender exits were accepted (counted
+	// enqueued) but will never reach the wire; count them dropped so the
+	// accounting identity enqueued = sent + dropped survives shutdown.
+	defer p.drainQueue()
 	var heartbeat <-chan time.Time
 	if p.sup.interval > 0 {
 		t := time.NewTicker(p.sup.interval)
@@ -193,7 +239,7 @@ func (p *sendPipeline) run() {
 		}
 		select {
 		case data := <-p.queue:
-			if !p.write(data, false) {
+			if !p.sendEvents(data) {
 				return
 			}
 		case <-p.fbReady:
@@ -201,6 +247,7 @@ func (p *sendPipeline) run() {
 				if !p.write(fb, true) {
 					return
 				}
+				p.metrics.feedbackSent.Add(1)
 			}
 		case <-heartbeat:
 			if !p.writeHeartbeat() {
@@ -212,20 +259,108 @@ func (p *sendPipeline) run() {
 	}
 }
 
+// drainQueue empties the outbound queue, counting each abandoned frame as
+// dropped. Runs on the sender goroutine after the send loop exits;
+// enqueuers racing past the drain compensate in enqueue's post-commit
+// stop recheck.
+func (p *sendPipeline) drainQueue() {
+	for {
+		select {
+		case <-p.queue:
+			p.metrics.dropped.Add(1)
+		default:
+			return
+		}
+	}
+}
+
+// sendEvents ships the first queued frame and, when batching is on,
+// whatever else the queue holds (plus a BatchDelay linger) up to
+// BatchBytes, as one batch wire frame. A single frame goes out unwrapped,
+// so a v4 peer on a quiet channel never pays the batch header.
+func (p *sendPipeline) sendEvents(first []byte) bool {
+	if p.batch.Bytes <= 0 {
+		if !p.write(first, false) {
+			p.metrics.dropped.Add(1)
+			return false
+		}
+		p.metrics.eventsSent.Add(1)
+		return true
+	}
+	p.entries = append(p.entries[:0], first)
+	total := len(first)
+	// Take what the queue already holds without waiting.
+fill:
+	for total < p.batch.Bytes {
+		select {
+		case data := <-p.queue:
+			p.entries = append(p.entries, data)
+			total += len(data)
+		default:
+			break fill
+		}
+	}
+	// Linger for stragglers: a publisher in mid-burst refills the queue
+	// within the delay window, so the batch amortizes more frames.
+	if p.batch.Delay > 0 && total < p.batch.Bytes {
+		timer := time.NewTimer(p.batch.Delay)
+	linger:
+		for total < p.batch.Bytes {
+			select {
+			case data := <-p.queue:
+				p.entries = append(p.entries, data)
+				total += len(data)
+			case <-timer.C:
+				break linger
+			case <-p.stop:
+				// Ship what was collected; these frames are in flight,
+				// not abandoned. The drain handles the rest of the queue.
+				break linger
+			}
+		}
+		timer.Stop()
+	}
+	n := len(p.entries)
+	var ok bool
+	if n == 1 {
+		ok = p.write(p.entries[0], false)
+	} else {
+		p.batchBuf = wire.AppendBatch(p.batchBuf[:0], p.entries)
+		ok = p.write(p.batchBuf, false)
+	}
+	if !ok {
+		// The write failed with the frames already dequeued: they were
+		// enqueued but will never be sent, so they are dropped.
+		p.metrics.dropped.Add(uint64(n))
+		return false
+	}
+	p.metrics.eventsSent.Add(uint64(n))
+	if n > 1 {
+		p.metrics.batchesSent.Add(1)
+		p.metrics.batchedEvents.Add(uint64(n))
+	}
+	p.batch.hists.observe(n, total, p.batch.Bytes)
+	return true
+}
+
 func (p *sendPipeline) writeHeartbeat() bool {
 	p.hbSeq++
-	data, err := wire.Marshal(&wire.Heartbeat{Seq: p.hbSeq})
+	var err error
+	p.hbBuf, err = wire.AppendMarshal(p.hbBuf[:0], &wire.Heartbeat{Seq: p.hbSeq})
 	if err != nil {
 		return true // cannot happen; never kill the sender for it
 	}
-	if !p.write(data, false) {
+	if !p.write(p.hbBuf, true) {
 		return false
 	}
 	p.metrics.heartbeatsSent.Add(1)
 	return true
 }
 
-func (p *sendPipeline) write(data []byte, feedback bool) bool {
+// write ships one frame. control routes the bytes to the control-traffic
+// counter (heartbeats, feedback) instead of the event byte counter that
+// the bytes-saved ratio divides by.
+func (p *sendPipeline) write(data []byte, control bool) bool {
 	p.sup.armWrite(p.conn)
 	if err := p.conn.WriteFrame(data); err != nil {
 		p.metrics.sendErrors.Add(1)
@@ -234,9 +369,10 @@ func (p *sendPipeline) write(data []byte, feedback bool) bool {
 		}
 		return false
 	}
-	p.metrics.bytesOnWire.Add(uint64(len(data)) + transport.HeaderSize)
-	if feedback {
-		p.metrics.feedbackSent.Add(1)
+	if control {
+		p.metrics.controlBytes.Add(uint64(len(data)) + transport.HeaderSize)
+	} else {
+		p.metrics.bytesOnWire.Add(uint64(len(data)) + transport.HeaderSize)
 	}
 	return true
 }

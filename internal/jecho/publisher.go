@@ -42,6 +42,17 @@ type PublisherConfig struct {
 	// OverflowPolicy selects the behaviour when a subscription's queue is
 	// full (default Block).
 	OverflowPolicy OverflowPolicy
+	// BatchBytes enables wire-level event batching: when the outbound
+	// queue holds more than one event frame, the sender coalesces up to
+	// BatchBytes of payload into a single batch wire frame (0 disables
+	// batching). Batching only engages for subscribers speaking protocol
+	// v4 or newer; a v3 peer transparently receives unbatched frames.
+	BatchBytes int
+	// BatchDelay is how long the sender lingers after the first frame of
+	// a batch for more to arrive, when the queue alone did not reach
+	// BatchBytes (0 = no lingering: batch only what is already queued).
+	// Only meaningful with BatchBytes > 0.
+	BatchDelay time.Duration
 	// HeartbeatInterval is the idle-liveness probe period per
 	// subscription (0 = DefaultHeartbeatInterval, <0 disables
 	// heartbeats and silence detection).
@@ -276,9 +287,13 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 		_ = conn.Close()
 		return
 	}
-	if subMsg.Protocol != wire.ProtocolVersion {
-		p.cfg.Logf("jecho publisher: protocol %d from %s, want %d",
-			subMsg.Protocol, subMsg.Subscriber, wire.ProtocolVersion)
+	// Protocol negotiation: accept any version in [Min, Current]. The
+	// subscriber's version caps what the publisher sends it — batch
+	// frames only go to peers that can unpack them (v4+); everything
+	// else in the current protocol is understood by v3.
+	if subMsg.Protocol < wire.MinProtocolVersion || subMsg.Protocol > wire.ProtocolVersion {
+		p.cfg.Logf("jecho publisher: protocol %d from %s, want %d..%d",
+			subMsg.Protocol, subMsg.Subscriber, wire.MinProtocolVersion, wire.ProtocolVersion)
 		_ = conn.Close()
 		return
 	}
@@ -310,7 +325,15 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 		// environment suffices here.
 		runit: reconfig.NewUnit(compiled, costmodel.DefaultEnvironment()),
 	}
-	sub.pipe = newSendPipeline(conn, p.cfg.QueueDepth, p.cfg.OverflowPolicy, p.sup, metrics,
+	var batch batchConfig
+	if p.cfg.BatchBytes > 0 && subMsg.Protocol >= wire.BatchProtocolVersion {
+		batch = batchConfig{
+			Bytes: p.cfg.BatchBytes,
+			Delay: p.cfg.BatchDelay,
+			hists: newBatchHistograms(),
+		}
+	}
+	sub.pipe = newSendPipeline(conn, p.cfg.QueueDepth, p.cfg.OverflowPolicy, p.sup, batch, metrics,
 		func(err error) {
 			p.cfg.Logf("jecho publisher: sub %s send: %v; retiring", sub.id, err)
 			p.retire(sub)

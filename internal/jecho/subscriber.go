@@ -351,7 +351,7 @@ func (s *Subscriber) sendPlan(p *wire.Plan) error {
 	if err := conn.WriteFrame(data); err != nil {
 		return err
 	}
-	s.metrics.bytesOnWire.Add(uint64(len(data)) + transport.HeaderSize)
+	s.metrics.controlBytes.Add(uint64(len(data)) + transport.HeaderSize)
 	s.mu.Lock()
 	flipped := s.lastSplit != nil && !equalSplit(s.lastSplit, p.Split)
 	if flipped {
@@ -458,6 +458,7 @@ func (s *Subscriber) heartbeatLoop(conn transport.Conn, connDone <-chan struct{}
 	t := time.NewTicker(s.sup.interval)
 	defer t.Stop()
 	var seq uint64
+	var buf []byte // reused per tick; the transport copies on write
 	for {
 		select {
 		case <-connDone:
@@ -466,16 +467,18 @@ func (s *Subscriber) heartbeatLoop(conn transport.Conn, connDone <-chan struct{}
 			return
 		case <-t.C:
 			seq++
-			data, err := wire.Marshal(&wire.Heartbeat{Seq: seq})
+			var err error
+			buf, err = wire.AppendMarshal(buf[:0], &wire.Heartbeat{Seq: seq})
 			if err != nil {
 				return
 			}
 			s.sup.armWrite(conn)
-			if err := conn.WriteFrame(data); err != nil {
+			if err := conn.WriteFrame(buf); err != nil {
 				_ = conn.Close()
 				return
 			}
 			s.metrics.heartbeatsSent.Add(1)
+			s.metrics.controlBytes.Add(uint64(len(buf)) + transport.HeaderSize)
 		}
 	}
 }
@@ -493,13 +496,16 @@ func (s *Subscriber) readLoop(conn transport.Conn) error {
 		if err != nil {
 			return err
 		}
-		s.metrics.bytesOnWire.Add(uint64(len(frame)) + transport.HeaderSize)
+		wireBytes := uint64(len(frame)) + transport.HeaderSize
 		msg, err := wire.Unmarshal(frame)
 		if err != nil {
 			// An undecodable frame is a per-frame fault, not a transient
 			// connection error: count it, quarantine the bytes for
 			// inspection, and keep serving the connection. No NACK — a
 			// frame too broken to decode cannot be attributed to a PSE.
+			// Its bytes count as event traffic: that is what it almost
+			// certainly was, and the bytes-saved ratio should see its cost.
+			s.metrics.bytesOnWire.Add(wireBytes)
 			s.metrics.decodeFailures.Add(1)
 			s.quarantine(DeadLetter{
 				PSEID:  UnattributedPSE,
@@ -512,33 +518,79 @@ func (s *Subscriber) readLoop(conn transport.Conn) error {
 		}
 		switch m := msg.(type) {
 		case *wire.Raw, *wire.Continuation:
-			start := time.Now()
-			res, err := s.demod.Process(m)
-			demodDur := time.Since(start)
-			if err != nil {
-				s.noteDemodFailure(m, frame, err)
-				continue
-			}
-			s.metrics.published.Add(1)
-			seq, _ := attribution(m)
-			observeDemod(s.cfg.Tracer, s.hists, s.cfg.Channel, s.cfg.Name,
-				seq, res.SplitPSE, int64(len(frame)), res.DemodWork, demodDur)
-			if res.SplitPSE >= 0 {
-				s.breaker.Succeed(res.SplitPSE)
-			}
-			s.mu.Lock()
-			s.processed++
-			s.mu.Unlock()
-			if s.cfg.OnResult != nil {
-				s.cfg.OnResult(res)
-			}
-			s.maybeReconfigure()
+			s.metrics.bytesOnWire.Add(wireBytes)
+			s.handleEvent(m, frame)
+		case *wire.Batch:
+			s.metrics.bytesOnWire.Add(wireBytes)
+			s.metrics.batchesRecv.Add(1)
+			s.handleBatch(m)
 		case *wire.Feedback:
+			s.metrics.controlBytes.Add(wireBytes)
 			s.applyFeedback(m)
 		case *wire.Heartbeat:
+			s.metrics.controlBytes.Add(wireBytes)
 			s.metrics.heartbeatsRecv.Add(1)
 		default:
+			s.metrics.controlBytes.Add(wireBytes)
 			s.cfg.Logf("jecho subscriber: unexpected %T", msg)
+		}
+	}
+}
+
+// handleEvent demodulates one decoded event message (Raw or Continuation),
+// whether it arrived as its own wire frame or as one entry of a batch.
+// frame is the encoded form of exactly this message, kept for quarantine
+// and per-PSE byte attribution.
+func (s *Subscriber) handleEvent(m any, frame []byte) {
+	start := time.Now()
+	res, err := s.demod.Process(m)
+	demodDur := time.Since(start)
+	if err != nil {
+		s.noteDemodFailure(m, frame, err)
+		return
+	}
+	s.metrics.published.Add(1)
+	seq, _ := attribution(m)
+	observeDemod(s.cfg.Tracer, s.hists, s.cfg.Channel, s.cfg.Name,
+		seq, res.SplitPSE, int64(len(frame)), res.DemodWork, demodDur)
+	if res.SplitPSE >= 0 {
+		s.breaker.Succeed(res.SplitPSE)
+	}
+	s.mu.Lock()
+	s.processed++
+	s.mu.Unlock()
+	if s.cfg.OnResult != nil {
+		s.cfg.OnResult(res)
+	}
+	s.maybeReconfigure()
+}
+
+// handleBatch unpacks a batch frame and demodulates each entry in order,
+// with per-entry fault containment: a corrupt or poison entry is counted,
+// quarantined and NACKed exactly as if it had arrived in its own frame,
+// and the remaining entries still run.
+func (s *Subscriber) handleBatch(b *wire.Batch) {
+	for _, entry := range b.Entries {
+		inner, err := wire.Unmarshal(entry)
+		if err != nil {
+			s.metrics.decodeFailures.Add(1)
+			s.quarantine(DeadLetter{
+				PSEID:  UnattributedPSE,
+				Class:  wire.NackDecode,
+				Reason: err.Error(),
+				Frame:  entry,
+			})
+			s.cfg.Logf("jecho subscriber: batch entry decode: %v", err)
+			continue
+		}
+		switch m := inner.(type) {
+		case *wire.Raw, *wire.Continuation:
+			s.handleEvent(m, entry)
+		default:
+			// Only event frames ride in batches; a nested batch or a
+			// smuggled control frame is a protocol violation by the peer.
+			s.metrics.decodeFailures.Add(1)
+			s.cfg.Logf("jecho subscriber: batch entry was %T", m)
 		}
 	}
 }
@@ -612,7 +664,7 @@ func (s *Subscriber) sendNack(n *wire.Nack) {
 		return
 	}
 	s.metrics.nacksSent.Add(1)
-	s.metrics.bytesOnWire.Add(uint64(len(data)) + transport.HeaderSize)
+	s.metrics.controlBytes.Add(uint64(len(data)) + transport.HeaderSize)
 	s.cfg.Tracer.Emit(obsv.Event{
 		Kind: obsv.EvNackSent, Channel: s.cfg.Channel, Sub: s.cfg.Name,
 		PSE: n.PSEID, EventSeq: n.Seq, Detail: n.Class.String(),

@@ -30,6 +30,15 @@ func FuzzUnmarshal(f *testing.F) {
 		&Nack{Handler: "push", Seq: 3, PSEID: 2, Class: NackRestore},
 		&Heartbeat{},
 	}
+	rawFrame, err := Marshal(seeds[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	contFrame, err := Marshal(seeds[1])
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, &Batch{Entries: [][]byte{rawFrame, contFrame}})
 	for _, m := range seeds {
 		data, err := Marshal(m)
 		if err != nil {
@@ -39,6 +48,17 @@ func FuzzUnmarshal(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	// Corrupt embedded length prefixes: the in-frame counts claim far more
+	// than the remaining input holds. The decoder must clamp each against
+	// what is actually present instead of allocating toward the claim.
+	f.Add([]byte{byte(MsgRaw), 0xff, 0xff, 0xff, 0x7f, 'x'})             // string length ≫ remaining
+	f.Add([]byte{byte(MsgBatch), 0xff, 0xff, 0xff, 0x7f, 1, 0, 0, 0, 1}) // batch count ≫ remaining
+	f.Add([]byte{byte(MsgBatch), 1, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f, 1}) // entry length ≫ remaining
+	// A Raw frame whose event object claims ~2^31 fields with no bytes to
+	// back them: empty handler, zero seq, empty class, poisoned field count.
+	corruptObj := []byte{byte(MsgRaw), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	corruptObj = append(corruptObj, 9 /* tagObject */, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f)
+	f.Add(corruptObj)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := Unmarshal(data)
 		if err == nil && msg == nil {

@@ -1,19 +1,33 @@
 package wire
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"methodpart/internal/mir"
 )
 
 // ProtocolVersion is the wire protocol revision. A subscription handshake
-// carries it; peers reject mismatches rather than misinterpreting frames.
-// Revision 2 added heartbeat control frames. Revision 3 added Nack frames
-// (demodulation-failure reports) plus per-PSE failure counts and the
-// sender's active plan version in Feedback.
-const ProtocolVersion uint32 = 3
+// carries it; peers reject revisions they cannot speak rather than
+// misinterpreting frames. Revision 2 added heartbeat control frames.
+// Revision 3 added Nack frames (demodulation-failure reports) plus per-PSE
+// failure counts and the sender's active plan version in Feedback.
+// Revision 4 added Batch frames (multiple event frames coalesced into one
+// wire frame).
+const ProtocolVersion uint32 = 4
+
+// MinProtocolVersion is the oldest peer revision a current endpoint still
+// interoperates with: a publisher speaking revision 4 downgrades to
+// unbatched frames for a revision-3 subscriber, since everything else in
+// revision 4 is additive.
+const MinProtocolVersion uint32 = 3
+
+// BatchProtocolVersion is the first revision whose subscribers understand
+// Batch frames; senders must not batch toward older peers.
+const BatchProtocolVersion uint32 = 4
 
 // MsgType identifies a framed message.
 type MsgType byte
@@ -37,6 +51,12 @@ const (
 	// MsgNack reports a demodulation failure upstream (protocol revision
 	// 3): the receiver could not complete a message and quarantined it.
 	MsgNack
+	// MsgBatch coalesces multiple event frames (MsgRaw/MsgContinuation)
+	// into one wire frame (protocol revision 4), amortising per-frame
+	// transport overhead on busy channels. Receivers unpack and process
+	// each entry independently, so per-entry fault containment (NACKs,
+	// dead-lettering) is preserved.
+	MsgBatch
 )
 
 // NackClass classifies why a message failed demodulation, so the sender's
@@ -90,6 +110,16 @@ type Nack struct {
 	PSEID int32
 	// Class is the failure classification.
 	Class NackClass
+}
+
+// Batch is one coalesced wire frame holding several event frames (protocol
+// revision 4). Entries are complete Marshal outputs (tag byte included) of
+// MsgRaw or MsgContinuation messages; control frames never batch, because
+// feedback coalesces to-latest and heartbeats are only sent on idle
+// channels. Decoded entries alias the frame they were unmarshalled from.
+type Batch struct {
+	// Entries holds the constituent event frames, in send order.
+	Entries [][]byte
 }
 
 // Heartbeat is the liveness control message (protocol revision 2). Any
@@ -201,16 +231,55 @@ type Subscribe struct {
 	Natives []string
 }
 
-// Marshal encodes the message with its type tag (but no length frame).
+// encoderPool recycles Encoders (buffer + reference tables) across Marshal
+// and AppendMarshal calls, so steady-state message encoding allocates only
+// what the caller asks for (the returned slice in Marshal, nothing in
+// AppendMarshal when dst has capacity).
+var encoderPool = sync.Pool{New: func() any { return NewEncoder() }}
+
+// Marshal encodes the message with its type tag (but no length frame). The
+// returned slice is freshly allocated and owned by the caller; hot paths
+// that can reuse a buffer should prefer AppendMarshal.
 func Marshal(msg any) ([]byte, error) {
-	e := NewEncoder()
+	e := encoderPool.Get().(*Encoder)
+	defer func() {
+		e.Reset()
+		encoderPool.Put(e)
+	}()
+	if err := e.encodeMessage(msg); err != nil {
+		return nil, err
+	}
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+// AppendMarshal encodes the message and appends it to dst, returning the
+// extended slice. It reuses a pooled encoder, so a caller that recycles its
+// destination buffer (dst[:0] of the previous result) encodes with zero
+// steady-state allocations — the send-pipeline batching and heartbeat paths
+// rely on this.
+func AppendMarshal(dst []byte, msg any) ([]byte, error) {
+	e := encoderPool.Get().(*Encoder)
+	defer func() {
+		e.Reset()
+		encoderPool.Put(e)
+	}()
+	if err := e.encodeMessage(msg); err != nil {
+		return nil, err
+	}
+	return append(dst, e.Bytes()...), nil
+}
+
+// encodeMessage appends one tagged message to the encoder's buffer.
+func (e *Encoder) encodeMessage(msg any) error {
 	switch m := msg.(type) {
 	case *Raw:
 		e.w.WriteByte(byte(MsgRaw))
 		e.writeString(m.Handler)
 		e.writeU64(m.Seq)
 		if err := e.EncodeValue(m.Event); err != nil {
-			return nil, err
+			return err
 		}
 	case *Continuation:
 		e.w.WriteByte(byte(MsgContinuation))
@@ -219,17 +288,27 @@ func Marshal(msg any) ([]byte, error) {
 		e.writeU32(uint32(m.PSEID))
 		e.writeU32(uint32(m.ResumeNode))
 		e.writeU64(uint64(m.ModWork))
-		names := make([]string, 0, len(m.Vars))
+		base := len(e.names)
 		for n := range m.Vars {
-			names = append(names, n)
+			e.names = append(e.names, n)
 		}
-		sort.Strings(names)
+		names := e.names[base:]
+		slices.Sort(names)
 		e.writeU32(uint32(len(names)))
 		for _, n := range names {
 			e.writeString(n)
 			if err := e.EncodeValue(m.Vars[n]); err != nil {
-				return nil, err
+				e.names = e.names[:base]
+				return err
 			}
+		}
+		e.names = e.names[:base]
+	case *Batch:
+		e.w.WriteByte(byte(MsgBatch))
+		e.writeU32(uint32(len(m.Entries)))
+		for _, entry := range m.Entries {
+			e.writeU32(uint32(len(entry)))
+			e.w.Write(entry)
 		}
 	case *Feedback:
 		e.w.WriteByte(byte(MsgFeedback))
@@ -279,17 +358,38 @@ func Marshal(msg any) ([]byte, error) {
 			e.writeString(n)
 		}
 	default:
-		return nil, fmt.Errorf("wire: cannot marshal %T", msg)
+		return fmt.Errorf("wire: cannot marshal %T", msg)
 	}
-	return e.Bytes(), nil
+	return nil
+}
+
+// AppendBatch appends one Batch frame wrapping the given event frames to
+// dst, returning the extended slice. It is the allocation-free fast path of
+// Marshal(&Batch{...}) for senders that assemble batches into a recycled
+// buffer.
+func AppendBatch(dst []byte, entries [][]byte) []byte {
+	dst = append(dst, byte(MsgBatch))
+	var u [4]byte
+	binary.LittleEndian.PutUint32(u[:], uint32(len(entries)))
+	dst = append(dst, u[:]...)
+	for _, entry := range entries {
+		binary.LittleEndian.PutUint32(u[:], uint32(len(entry)))
+		dst = append(dst, u[:]...)
+		dst = append(dst, entry...)
+	}
+	return dst
 }
 
 // Unmarshal decodes a message produced by Marshal. The concrete type of the
-// result is *Raw, *Continuation, *Feedback, *Plan, *Subscribe, *Heartbeat
-// or *Nack.
+// result is *Raw, *Continuation, *Feedback, *Plan, *Subscribe, *Heartbeat,
+// *Nack or *Batch. Batch entries alias data; they stay valid only as long
+// as the input does.
 func Unmarshal(data []byte) (any, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("wire: empty message")
+	}
+	if MsgType(data[0]) == MsgBatch {
+		return unmarshalBatch(data[1:])
 	}
 	d := NewDecoder(data[1:])
 	switch MsgType(data[0]) {
@@ -484,6 +584,10 @@ func Unmarshal(data []byte) (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Each native name costs at least its 4-byte length prefix.
+		if int64(nn) > int64(d.Remaining())/4 {
+			return nil, fmt.Errorf("wire: native count %d exceeds remaining payload", nn)
+		}
 		for i := uint32(0); i < nn; i++ {
 			n, err := d.readString()
 			if err != nil {
@@ -495,4 +599,41 @@ func Unmarshal(data []byte) (any, error) {
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", data[0])
 	}
+}
+
+// unmarshalBatch splits a batch payload into its entry frames without
+// copying. Every embedded length is clamped against the bytes actually
+// present, so a corrupt count or entry length fails fast instead of forcing
+// an allocation the input cannot back.
+func unmarshalBatch(data []byte) (*Batch, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("wire: batch header truncated")
+	}
+	count := binary.LittleEndian.Uint32(data[:4])
+	data = data[4:]
+	// Each entry costs at least a 4-byte length prefix plus a 1-byte
+	// message tag.
+	if int64(count) > int64(len(data))/5 {
+		return nil, fmt.Errorf("wire: batch count %d exceeds remaining payload", count)
+	}
+	b := &Batch{Entries: make([][]byte, 0, count)}
+	for i := uint32(0); i < count; i++ {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("wire: batch entry %d header truncated", i)
+		}
+		n := binary.LittleEndian.Uint32(data[:4])
+		data = data[4:]
+		if int64(n) > int64(len(data)) {
+			return nil, fmt.Errorf("wire: batch entry %d length %d exceeds remaining %d", i, n, len(data))
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("wire: batch entry %d is empty", i)
+		}
+		b.Entries = append(b.Entries, data[:n:n])
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("wire: batch has %d trailing bytes", len(data))
+	}
+	return b, nil
 }

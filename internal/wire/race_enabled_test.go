@@ -1,0 +1,9 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector is compiled in. Under it
+// sync.Pool deliberately drops a fraction of Puts to widen the interleaving
+// space, so the pooled encode path cannot be allocation-free and the
+// zero-alloc guards skip themselves.
+const raceEnabled = true

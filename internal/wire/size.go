@@ -42,11 +42,11 @@ func (s *Sizer) Size(v mir.Value) int64 {
 	case mir.Str:
 		return 1 + 4 + int64(len(x))
 	case mir.Bytes:
-		return s.sliceSize(tagBytes, reflectPtr(x), len(x), 1)
+		return s.sliceSize(tagBytes, slicePtr(x), len(x), 1)
 	case mir.IntArray:
-		return s.sliceSize(tagIntArray, reflectPtr(x), len(x), 8)
+		return s.sliceSize(tagIntArray, slicePtr(x), len(x), 8)
 	case mir.FloatArray:
-		return s.sliceSize(tagFloatArray, reflectPtr(x), len(x), 8)
+		return s.sliceSize(tagFloatArray, slicePtr(x), len(x), 8)
 	case *mir.Object:
 		if x == nil {
 			return 1

@@ -15,8 +15,8 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"reflect"
-	"sort"
+	"slices"
+	"unsafe"
 
 	"methodpart/internal/mir"
 )
@@ -37,12 +37,19 @@ const (
 
 // Encoder serialises MIR values with reference deduplication. One Encoder
 // encodes one message; references are shared across all values written
-// through it.
+// through it. Reset makes an Encoder reusable across messages (the pooled
+// Marshal/AppendMarshal path relies on this), retaining the buffer and map
+// capacity so steady-state encoding allocates nothing.
 type Encoder struct {
-	w        *bytes.Buffer
-	objSeen  map[*mir.Object]uint32
-	memSeen  map[memKey]uint32
-	nextRef  uint32
+	w       *bytes.Buffer
+	objSeen map[*mir.Object]uint32
+	memSeen map[memKey]uint32
+	nextRef uint32
+	// names is a scratch slice for sorting field/var names with stack
+	// discipline: each (possibly nested) use appends its names after the
+	// ones already in flight and truncates back when done, so recursion
+	// reuses one allocation.
+	names    []string
 	scratch8 [8]byte
 }
 
@@ -59,6 +66,17 @@ func NewEncoder() *Encoder {
 		objSeen: make(map[*mir.Object]uint32),
 		memSeen: make(map[memKey]uint32),
 	}
+}
+
+// Reset clears the encoded output and the reference tables while keeping
+// their capacity, so the encoder can serialise another message without
+// reallocating.
+func (e *Encoder) Reset() {
+	e.w.Reset()
+	clear(e.objSeen)
+	clear(e.memSeen)
+	e.nextRef = 0
+	e.names = e.names[:0]
 }
 
 // Bytes returns the encoded output.
@@ -108,15 +126,15 @@ func (e *Encoder) EncodeValue(v mir.Value) error {
 		e.w.WriteByte(tagStr)
 		e.writeString(string(x))
 	case mir.Bytes:
-		if e.writeSliceRef(tagBytes, reflectPtr(x), len(x)) {
+		if e.writeSliceRef(tagBytes, slicePtr(x), len(x)) {
 			return nil
 		}
 		e.w.WriteByte(tagBytes)
 		e.writeU32(uint32(len(x)))
 		e.w.Write(x)
-		e.claimRef(tagBytes, reflectPtr(x), len(x))
+		e.claimRef(tagBytes, slicePtr(x), len(x))
 	case mir.IntArray:
-		if e.writeSliceRef(tagIntArray, reflectPtr(x), len(x)) {
+		if e.writeSliceRef(tagIntArray, slicePtr(x), len(x)) {
 			return nil
 		}
 		e.w.WriteByte(tagIntArray)
@@ -124,9 +142,9 @@ func (e *Encoder) EncodeValue(v mir.Value) error {
 		for _, n := range x {
 			e.writeU64(uint64(n))
 		}
-		e.claimRef(tagIntArray, reflectPtr(x), len(x))
+		e.claimRef(tagIntArray, slicePtr(x), len(x))
 	case mir.FloatArray:
-		if e.writeSliceRef(tagFloatArray, reflectPtr(x), len(x)) {
+		if e.writeSliceRef(tagFloatArray, slicePtr(x), len(x)) {
 			return nil
 		}
 		e.w.WriteByte(tagFloatArray)
@@ -134,7 +152,7 @@ func (e *Encoder) EncodeValue(v mir.Value) error {
 		for _, f := range x {
 			e.writeU64(math.Float64bits(f))
 		}
-		e.claimRef(tagFloatArray, reflectPtr(x), len(x))
+		e.claimRef(tagFloatArray, slicePtr(x), len(x))
 	case *mir.Object:
 		if x == nil {
 			e.w.WriteByte(tagNull)
@@ -149,30 +167,36 @@ func (e *Encoder) EncodeValue(v mir.Value) error {
 		e.objSeen[x] = e.nextRef
 		e.nextRef++
 		e.writeString(x.Class)
-		names := make([]string, 0, len(x.Fields))
+		base := len(e.names)
 		for n := range x.Fields {
-			names = append(names, n)
+			e.names = append(e.names, n)
 		}
-		sort.Strings(names)
+		names := e.names[base:]
+		slices.Sort(names)
 		e.writeU32(uint32(len(names)))
 		for _, n := range names {
 			e.writeString(n)
 			if err := e.EncodeValue(x.Fields[n]); err != nil {
+				e.names = e.names[:base]
 				return err
 			}
 		}
+		e.names = e.names[:base]
 	default:
 		return fmt.Errorf("wire: cannot encode %T", v)
 	}
 	return nil
 }
 
-func reflectPtr(v any) uintptr {
-	rv := reflect.ValueOf(v)
-	if rv.Len() == 0 {
+// slicePtr identifies a slice's backing array for reference deduplication.
+// It avoids reflect.ValueOf, whose interface boxing would allocate on every
+// encoded slice; the resulting uintptr is only ever compared as a map key,
+// never converted back to a pointer.
+func slicePtr[T any](x []T) uintptr {
+	if len(x) == 0 {
 		return 0
 	}
-	return rv.Pointer()
+	return uintptr(unsafe.Pointer(&x[0]))
 }
 
 // writeSliceRef emits a back-reference if the slice was already encoded.
@@ -230,7 +254,7 @@ func (d *Decoder) readString() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if int(n) > d.r.Len() {
+	if int64(n) > int64(d.r.Len()) {
 		return "", fmt.Errorf("wire: string length %d exceeds remaining %d", n, d.r.Len())
 	}
 	buf := make([]byte, n)
@@ -278,7 +302,7 @@ func (d *Decoder) DecodeValue() (mir.Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		if int(n) > d.r.Len() {
+		if int64(n) > int64(d.r.Len()) {
 			return nil, fmt.Errorf("wire: bytes length %d exceeds remaining %d", n, d.r.Len())
 		}
 		buf := make(mir.Bytes, n)
@@ -292,7 +316,9 @@ func (d *Decoder) DecodeValue() (mir.Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		if int(n)*8 > d.r.Len() {
+		// int64 arithmetic so a 2^32-scale prefix cannot overflow the
+		// comparison on 32-bit platforms and slip past the clamp.
+		if int64(n)*8 > int64(d.r.Len()) {
 			return nil, fmt.Errorf("wire: intarray length %d exceeds remaining %d", n, d.r.Len())
 		}
 		arr := make(mir.IntArray, n)
@@ -310,7 +336,7 @@ func (d *Decoder) DecodeValue() (mir.Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		if int(n)*8 > d.r.Len() {
+		if int64(n)*8 > int64(d.r.Len()) {
 			return nil, fmt.Errorf("wire: floatarray length %d exceeds remaining %d", n, d.r.Len())
 		}
 		arr := make(mir.FloatArray, n)
@@ -336,6 +362,12 @@ func (d *Decoder) DecodeValue() (mir.Value, error) {
 		nf, err := d.readU32()
 		if err != nil {
 			return nil, err
+		}
+		// Each field costs at least a 4-byte name length plus a 1-byte
+		// value tag; a count the remaining input cannot possibly satisfy is
+		// corrupt, so fail before growing the field map toward it.
+		if int64(nf) > int64(d.r.Len())/5 {
+			return nil, fmt.Errorf("wire: field count %d exceeds remaining payload", nf)
 		}
 		for i := uint32(0); i < nf; i++ {
 			name, err := d.readString()
