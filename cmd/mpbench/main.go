@@ -6,7 +6,7 @@
 //	mpbench -experiment figure7 -seeds 5
 //
 // Experiments: table1, table2, table3, table4, figure7, figure8, ablation,
-// models, richimage, channel, faults, poison, claims.
+// models, richimage, channel, fanout, faults, poison, claims.
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"methodpart/internal/bench"
@@ -28,13 +29,14 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mpbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "which experiment to run (table1|table2|table3|table4|figure7|figure8|ablation|models|richimage|channel|faults|poison|claims|all)")
+	experiment := fs.String("experiment", "all", "which experiment to run (table1|table2|table3|table4|figure7|figure8|ablation|models|richimage|channel|fanout|faults|poison|claims|all)")
 	frames := fs.Int("frames", 0, "override frames per run (0 = experiment default)")
 	seeds := fs.Int("seeds", 0, "override number of perturbation seeds (0 = default 5)")
 	asCSV := fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	plot := fs.Bool("plot", false, "also render figure experiments as ASCII charts")
 	batchBytes := fs.Int("batch-bytes", 0, "batched-run coalescing budget in bytes for the channel experiment (0 = 64KiB default)")
 	batchDelay := fs.Duration("batch-delay", 0, "batched-run linger window for the channel experiment (0 = none)")
+	subs := fs.String("subs", "", "comma-separated subscriber counts for the fanout experiment (empty = 16,100,1000,10000)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -163,6 +165,25 @@ func run(args []string, w io.Writer) error {
 		}
 		bench.WriteBatch(w, baRows)
 	}
+	if all || wanted["fanout"] {
+		ran = true
+		foCfg := bench.DefaultFanoutConfig()
+		if *frames > 0 {
+			foCfg.Frames = *frames
+		}
+		if *subs != "" {
+			counts, err := parseCounts(*subs)
+			if err != nil {
+				return fmt.Errorf("-subs: %w", err)
+			}
+			foCfg.Subs = counts
+		}
+		rows, err := bench.FanoutExperiment(foCfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteFanout(w, rows)
+	}
 	if all || wanted["faults"] {
 		ran = true
 		faCfg := bench.DefaultFaultsConfig()
@@ -202,6 +223,18 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
 	return nil
+}
+
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad subscriber count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 func min(a, b int) int {

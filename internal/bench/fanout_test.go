@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFanoutExperimentSharingInvariants(t *testing.T) {
+	cfg := FanoutConfig{Frames: 20, Subs: []int{5}, DistinctCap: 5, FrameSize: 16, QueueDepth: 32}
+	rows, err := FanoutExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	byPlan := map[string]FanoutRow{}
+	for _, r := range rows {
+		byPlan[r.Plan] = r
+	}
+	raw := byPlan["raw"]
+	if raw.Classes != 1 || raw.ModRuns != uint64(cfg.Frames) {
+		t.Fatalf("raw row: classes=%d modRuns=%d, want 1 class and %d shared runs", raw.Classes, raw.ModRuns, cfg.Frames)
+	}
+	shared := byPlan["split-shared"]
+	if shared.Classes != 1 {
+		t.Fatalf("split-shared classes = %d, want 1", shared.Classes)
+	}
+	if shared.ModRuns != uint64(cfg.Frames) {
+		t.Fatalf("split-shared modulator runs = %d, want %d (one per event)", shared.ModRuns, cfg.Frames)
+	}
+	if want := uint64(cfg.Frames * (cfg.Subs[0] - 1)); shared.ModSaved != want {
+		t.Fatalf("split-shared modulations saved = %d, want %d", shared.ModSaved, want)
+	}
+	distinct := byPlan["split-distinct"]
+	if distinct.Classes != cfg.Subs[0] {
+		t.Fatalf("split-distinct classes = %d, want %d", distinct.Classes, cfg.Subs[0])
+	}
+	if want := uint64(cfg.Frames * cfg.Subs[0]); distinct.ModRuns != want {
+		t.Fatalf("split-distinct modulator runs = %d, want %d (one per event per subscriber)", distinct.ModRuns, want)
+	}
+	if distinct.ModSaved != 0 {
+		t.Fatalf("split-distinct modulations saved = %d, want 0", distinct.ModSaved)
+	}
+
+	var buf strings.Builder
+	WriteFanout(&buf, rows)
+	for _, want := range []string{"split-shared", "events/s/core", "mod saved"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("WriteFanout output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func BenchmarkFanoutExperiment(b *testing.B) {
+	cfg := FanoutConfig{Frames: 10, Subs: []int{4}, DistinctCap: 4, FrameSize: 16, QueueDepth: 32}
+	for i := 0; i < b.N; i++ {
+		if _, err := FanoutExperiment(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

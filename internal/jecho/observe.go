@@ -94,12 +94,21 @@ func (h *pseHistograms) observe(pse int32, dur time.Duration, bytes, work int64)
 }
 
 // observePublish records one successful modulation: histograms
-// unconditionally, a trace event only when the tracer is enabled. Factored
-// out of publishOne so the disabled-tracer cost — one histogram observe
-// plus one atomic load — is testable in isolation (it must stay at zero
-// allocations per event; see obs_alloc_test.go).
+// unconditionally, a trace event only when the tracer is enabled. The
+// disabled-tracer cost — one histogram observe plus one atomic load — is
+// testable in isolation (it must stay at zero allocations per event; see
+// obs_alloc_test.go). publishClass observes the class histograms once per
+// event but emits one trace event per member (tracePublish), so
+// trace-derived per-subscriber breakdowns keep working under class
+// sharing.
 func observePublish(tr *obsv.Tracer, h *pseHistograms, channel, sub string, plan uint64, out *partition.Output, dur time.Duration) {
 	h.observe(out.SplitPSE, dur, out.WireBytes, out.ModWork)
+	tracePublish(tr, channel, sub, plan, out, dur)
+}
+
+// tracePublish emits the EvPublish/EvSuppress event for one (member,
+// modulation) pair. No-op (one atomic load) when the tracer is disabled.
+func tracePublish(tr *obsv.Tracer, channel, sub string, plan uint64, out *partition.Output, dur time.Duration) {
 	if !tr.Enabled() {
 		return
 	}
@@ -393,37 +402,73 @@ func minCutStatus(u *reconfig.Unit) *obsv.MinCutStatus {
 
 // Collect implements obsv.Collector over the publisher's live
 // subscriptions: every ChannelMetrics counter plus the per-PSE histograms,
-// labelled {role="publisher", channel, sub}.
+// labelled {role="publisher", channel, sub}, the fan-out sharing gauges
+// and counters (class count, modulator runs, modulations saved) and the
+// per-shard registry lock-contention counters.
 func (p *Publisher) Collect(emit func(obsv.Sample)) {
-	p.mu.Lock()
-	subs := make([]*subscription, 0, len(p.subs))
-	for _, s := range p.subs {
-		subs = append(subs, s)
-	}
-	p.mu.Unlock()
+	subs := p.reg.snapshot()
+	classes := p.classes.snapshot()
 	emit(obsv.Sample{
 		Name: "methodpart_publisher_subscriptions", Type: obsv.GaugeType,
 		Help:  "Live subscriptions on this publisher.",
 		Value: float64(len(subs)),
 	})
+	emit(obsv.Sample{
+		Name: "methodpart_plan_classes", Type: obsv.GaugeType,
+		Help:  "Live plan-equivalence classes (one shared modulation per class).",
+		Value: float64(len(classes)),
+	})
+	emit(obsv.Sample{
+		Name: "methodpart_modulator_runs_total", Type: obsv.CounterType,
+		Help:  "Class modulator invocations (one per event per class).",
+		Value: float64(p.modRuns.Load()),
+	})
+	emit(obsv.Sample{
+		Name: "methodpart_modulations_saved_total", Type: obsv.CounterType,
+		Help:  "Per-subscriber modulator runs avoided by plan-equivalence class sharing.",
+		Value: float64(p.modulationsSaved.Load()),
+	})
+	for i := range p.reg.shards {
+		sh := &p.reg.shards[i]
+		labels := []obsv.Label{{Name: "shard", Value: strconv.Itoa(i)}}
+		emit(obsv.Sample{
+			Name: "methodpart_registry_shard_lock_acquisitions_total", Type: obsv.CounterType,
+			Help:   "Write-lock acquisitions on this subscriber-registry shard.",
+			Labels: labels, Value: float64(sh.acquires.Load()),
+		})
+		emit(obsv.Sample{
+			Name: "methodpart_registry_shard_lock_contended_total", Type: obsv.CounterType,
+			Help:   "Write-lock acquisitions that found this shard's lock held.",
+			Labels: labels, Value: float64(sh.contended.Load()),
+		})
+	}
 	for _, s := range subs {
-		emitChannelSamples(emit, "publisher", s.channel, s.id, s.metrics.snapshot(), s.hists, s.pipe.batch.hists)
+		c := s.class.Load()
+		if c == nil {
+			continue
+		}
+		emitChannelSamples(emit, "publisher", s.channel, s.id, s.metrics.snapshot(), c.hists, s.pipe.batch.hists)
 	}
 }
 
 // Status snapshots the publisher for /debug/split: one ChannelStatus per
-// live subscription with its plan, UG/PSE table, breaker states and the
-// last degrade min-cut (if one ran).
+// live subscription with its plan, UG/PSE table (from the subscription's
+// plan-equivalence class), breaker states and the last degrade min-cut (if
+// one ran), plus the publisher-level class-sharing figures.
 func (p *Publisher) Status() obsv.EndpointStatus {
-	p.mu.Lock()
-	subs := make([]*subscription, 0, len(p.subs))
-	for _, s := range p.subs {
-		subs = append(subs, s)
+	subs := p.reg.snapshot()
+	ep := obsv.EndpointStatus{
+		Role:             "publisher",
+		Name:             p.Addr(),
+		PlanClasses:      p.PlanClasses(),
+		ModulationsSaved: p.ModulationsSaved(),
 	}
-	p.mu.Unlock()
-	ep := obsv.EndpointStatus{Role: "publisher", Name: p.Addr()}
 	for _, s := range subs {
-		plan := s.mod.Plan()
+		c := s.class.Load()
+		if c == nil {
+			continue
+		}
+		plan := c.mod.Plan()
 		cs := obsv.ChannelStatus{
 			ID:          s.id,
 			Channel:     s.channel,
@@ -432,7 +477,7 @@ func (p *Publisher) Status() obsv.EndpointStatus {
 			Split:       append([]int32(nil), plan.SplitIDs()...),
 			QueueLen:    len(s.pipe.queue),
 			Metrics:     counterMap(s.metrics.snapshot()),
-			PSEs:        pseStatusTable(s.compiled, plan, s.coll.Snapshot()),
+			PSEs:        pseStatusTable(s.compiled, plan, c.coll.Snapshot()),
 			Breakers:    s.breaker.statusBreakers(),
 			LastMinCut:  minCutStatus(s.runit),
 		}

@@ -67,11 +67,18 @@ type batchConfig struct {
 }
 
 // sendPipeline is the asynchronous sender of one subscription: a bounded
-// queue of event frames plus a coalescing slot for profiling feedback,
-// drained by a dedicated goroutine (run). Publish hands frames over and
-// returns; only the sender goroutine ever touches the connection for
-// writes, so a stalled or dead peer blocks its own pipeline and nothing
-// else.
+// queue of refcounted event frames plus a coalescing slot for profiling
+// feedback, drained by a dedicated goroutine (run). Publish hands frames
+// over and returns; only the sender goroutine ever touches the connection
+// for writes, so a stalled or dead peer blocks its own pipeline and
+// nothing else.
+//
+// Ownership: enqueue consumes one frame reference on every path — queued
+// frames carry their reference until the sender writes (or drops) them,
+// and frames rejected by policy, shed by eviction or refused by a retired
+// pipeline are released immediately. The publisher marshals an event once
+// per plan-equivalence class and Retains one reference per member, so the
+// same frame bytes flow through every member's pipeline without copying.
 //
 // Feedback frames never queue behind events: the newest snapshot overwrites
 // any pending one (coalesce-to-latest), because a stale profiling report is
@@ -79,7 +86,7 @@ type batchConfig struct {
 // meaningful.
 type sendPipeline struct {
 	conn    transport.Conn
-	queue   chan []byte
+	queue   chan *wire.Frame
 	policy  OverflowPolicy
 	metrics *channelMetrics
 	sup     supervision
@@ -87,10 +94,12 @@ type sendPipeline struct {
 
 	// Sender-goroutine only: heartbeat sequence plus the reusable buffers
 	// of the batching path. The transports copy on WriteFrame, so the
-	// buffers are free for reuse as soon as it returns.
+	// buffers (and batched frames' references) are free as soon as it
+	// returns.
 	hbSeq    uint64
 	hbBuf    []byte
 	batchBuf []byte
+	frames   []*wire.Frame
 	entries  [][]byte
 
 	stop     chan struct{} // closed by shutdown: unblocks enqueuers + sender
@@ -113,7 +122,7 @@ func newSendPipeline(conn transport.Conn, depth int, policy OverflowPolicy, sup 
 	}
 	return &sendPipeline{
 		conn:    conn,
-		queue:   make(chan []byte, depth),
+		queue:   make(chan *wire.Frame, depth),
 		policy:  policy,
 		sup:     sup,
 		batch:   batch,
@@ -125,36 +134,41 @@ func newSendPipeline(conn transport.Conn, depth int, policy OverflowPolicy, sup 
 	}
 }
 
-// enqueue admits one event frame under the overflow policy. A nil return
-// means the frame was queued or dropped by policy; errRetired means the
-// pipeline is gone and the caller should treat the subscription as dead.
-func (p *sendPipeline) enqueue(data []byte) error {
+// enqueue admits one event frame under the overflow policy, consuming one
+// frame reference on every path. A nil return means the frame was queued
+// or dropped by policy; errRetired means the pipeline is gone and the
+// caller should treat the subscription as dead.
+func (p *sendPipeline) enqueue(f *wire.Frame) error {
 	select {
 	case <-p.stop:
+		f.Release()
 		return errRetired
 	default:
 	}
 	switch p.policy {
 	case DropNewest:
 		select {
-		case p.queue <- data:
+		case p.queue <- f:
 		default:
 			p.metrics.dropped.Add(1)
+			f.Release()
 			return nil
 		}
 	case DropOldest:
 		for {
 			select {
-			case p.queue <- data:
+			case p.queue <- f:
 			case <-p.stop:
+				f.Release()
 				return errRetired
 			default:
 				// Queue full: evict one old frame and retry. The inner
 				// select is non-blocking because the sender may have
 				// drained the queue in the meantime.
 				select {
-				case <-p.queue:
+				case old := <-p.queue:
 					p.metrics.dropped.Add(1)
+					old.Release()
 				default:
 				}
 				continue
@@ -163,8 +177,9 @@ func (p *sendPipeline) enqueue(data []byte) error {
 		}
 	default: // Block
 		select {
-		case p.queue <- data:
+		case p.queue <- f:
 		case <-p.stop:
+			f.Release()
 			return errRetired
 		}
 	}
@@ -180,8 +195,9 @@ func (p *sendPipeline) enqueue(data []byte) error {
 	select {
 	case <-p.stop:
 		select {
-		case <-p.queue:
+		case old := <-p.queue:
 			p.metrics.dropped.Add(1)
+			old.Release()
 		default:
 		}
 		return errRetired
@@ -238,8 +254,8 @@ func (p *sendPipeline) run() {
 		default:
 		}
 		select {
-		case data := <-p.queue:
-			if !p.sendEvents(data) {
+		case f := <-p.queue:
+			if !p.sendEvents(f) {
 				return
 			}
 		case <-p.fbReady:
@@ -260,14 +276,15 @@ func (p *sendPipeline) run() {
 }
 
 // drainQueue empties the outbound queue, counting each abandoned frame as
-// dropped. Runs on the sender goroutine after the send loop exits;
-// enqueuers racing past the drain compensate in enqueue's post-commit
-// stop recheck.
+// dropped and releasing its reference. Runs on the sender goroutine after
+// the send loop exits; enqueuers racing past the drain compensate in
+// enqueue's post-commit stop recheck.
 func (p *sendPipeline) drainQueue() {
 	for {
 		select {
-		case <-p.queue:
+		case f := <-p.queue:
 			p.metrics.dropped.Add(1)
+			f.Release()
 		default:
 			return
 		}
@@ -278,24 +295,26 @@ func (p *sendPipeline) drainQueue() {
 // whatever else the queue holds (plus a BatchDelay linger) up to
 // BatchBytes, as one batch wire frame. A single frame goes out unwrapped,
 // so a v4 peer on a quiet channel never pays the batch header.
-func (p *sendPipeline) sendEvents(first []byte) bool {
+func (p *sendPipeline) sendEvents(first *wire.Frame) bool {
 	if p.batch.Bytes <= 0 {
-		if !p.write(first, false) {
+		ok := p.write(first.Bytes(), false)
+		first.Release()
+		if !ok {
 			p.metrics.dropped.Add(1)
 			return false
 		}
 		p.metrics.eventsSent.Add(1)
 		return true
 	}
-	p.entries = append(p.entries[:0], first)
-	total := len(first)
+	p.frames = append(p.frames[:0], first)
+	total := first.Len()
 	// Take what the queue already holds without waiting.
 fill:
 	for total < p.batch.Bytes {
 		select {
-		case data := <-p.queue:
-			p.entries = append(p.entries, data)
-			total += len(data)
+		case f := <-p.queue:
+			p.frames = append(p.frames, f)
+			total += f.Len()
 		default:
 			break fill
 		}
@@ -307,9 +326,9 @@ fill:
 	linger:
 		for total < p.batch.Bytes {
 			select {
-			case data := <-p.queue:
-				p.entries = append(p.entries, data)
-				total += len(data)
+			case f := <-p.queue:
+				p.frames = append(p.frames, f)
+				total += f.Len()
 			case <-timer.C:
 				break linger
 			case <-p.stop:
@@ -320,14 +339,26 @@ fill:
 		}
 		timer.Stop()
 	}
-	n := len(p.entries)
+	n := len(p.frames)
 	var ok bool
 	if n == 1 {
-		ok = p.write(p.entries[0], false)
+		ok = p.write(p.frames[0].Bytes(), false)
 	} else {
+		p.entries = p.entries[:0]
+		for _, f := range p.frames {
+			p.entries = append(p.entries, f.Bytes())
+		}
 		p.batchBuf = wire.AppendBatch(p.batchBuf[:0], p.entries)
 		ok = p.write(p.batchBuf, false)
 	}
+	// The transport copied the bytes (or the write failed); either way the
+	// references are consumed here. Clear the scratch so the pooled frames
+	// are not pinned until the next batch.
+	for i, f := range p.frames {
+		f.Release()
+		p.frames[i] = nil
+	}
+	p.frames = p.frames[:0]
 	if !ok {
 		// The write failed with the frames already dequeued: they were
 		// enqueued but will never be sent, so they are dropped.

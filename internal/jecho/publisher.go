@@ -6,7 +6,9 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"methodpart/internal/costmodel"
@@ -86,36 +88,77 @@ type PublisherConfig struct {
 	Logf func(format string, args ...any)
 }
 
-// Publisher hosts an event channel: it accepts subscriptions (installing a
-// modulator per subscriber) and fans published events out through them.
-// Each subscription owns an asynchronous send pipeline, so Publish hands
-// frames to per-subscription queues and never blocks on a peer's socket.
+// Publisher hosts an event channel: it accepts subscriptions and fans
+// published events out through them. Subscriptions are pooled into
+// plan-equivalence classes (see registry.go): everyone on the same
+// (channel, handler, plan, protocol, batching) key shares one modulator
+// and one marshalled frame per event, so an event costs one modulation and
+// one marshal per *class* and the per-subscriber work is a refcounted
+// queue handoff. Each subscription still owns an asynchronous send
+// pipeline, so Publish never blocks on a peer's socket.
 type Publisher struct {
 	cfg      PublisherConfig
 	sup      supervision
 	listener transport.Listener
 
-	mu     sync.Mutex
-	subs   map[string]*subscription
-	nextID int
-	closed bool
-	wg     sync.WaitGroup
+	// reg is the sharded id → subscription registry; classes the
+	// plan-equivalence class index. Both are read via copy-on-write
+	// snapshots on the publish path.
+	reg     subRegistry
+	classes classIndex
+
+	// stateMu guards closed and nextID plus the registration handshake
+	// (insert + initial class join run under it so Close cannot miss a
+	// subscription registered concurrently).
+	stateMu sync.Mutex
+	nextID  int
+	closed  bool
+	wg      sync.WaitGroup
+
+	// compileMu guards the compile cache: distinct subscriptions shipping
+	// the same handler source compile once and share the Compiled tables
+	// (immutable after compile) and the sender-side interpreter
+	// environment.
+	compileMu sync.Mutex
+	programs  map[string]*compiledEntry
+	nextProg  uint64
+
+	// modRuns counts modulator invocations; modulationsSaved counts the
+	// per-member modulator runs class sharing avoided (members-1 per
+	// event). modRuns == events while modulationsSaved grows with fan-out.
+	modRuns          atomic.Uint64
+	modulationsSaved atomic.Uint64
 }
 
-// subscription is the publisher-side state of one subscriber.
+// compiledEntry is one cached handler compilation: the immutable compiled
+// tables, the shared sender-side environment, and the dense program key
+// that stands in for all of it inside a classKey.
+type compiledEntry struct {
+	key      uint64
+	compiled *partition.Compiled
+	env      *interp.Env
+}
+
+// subscription is the publisher-side state of one subscriber. Modulation
+// state (modulator, profiling collector, per-PSE histograms) lives on the
+// subscription's current planClass; what remains here is per-peer: the
+// connection, send pipeline, counters, failure tracking and feedback
+// pacing.
 type subscription struct {
 	id       string
 	channel  string
+	proto    uint32
+	batched  bool
 	conn     transport.Conn
 	compiled *partition.Compiled
-	mod      *partition.Modulator
-	coll     *profileunit.Collector
+	env      *interp.Env
+	progKey  uint64
 	trigger  profileunit.Trigger
 	pipe     *sendPipeline
 	metrics  *channelMetrics
-	// hists are the always-on per-PSE latency/bytes/work histograms fed
-	// by publishOne and exposed through Collect.
-	hists *pseHistograms
+	// fbMu serializes trigger state between concurrently publishing
+	// goroutines (two Publish calls may fan the same class out at once).
+	fbMu sync.Mutex
 	// breaker gates split-set eligibility per PSE from this subscription's
 	// failure stream (NACKs from the subscriber, local modulation faults).
 	breaker *pseBreaker
@@ -126,6 +169,10 @@ type subscription struct {
 	// degradeMu serializes runit access between the control-read goroutine
 	// (NACK handling) and publish goroutines (modulation faults).
 	degradeMu sync.Mutex
+
+	// class is the subscription's current plan-equivalence class. Written
+	// only under classIndex.mu (join/migrate/retire); nil once retired.
+	class atomic.Pointer[planClass]
 
 	retireOnce sync.Once
 }
@@ -152,8 +199,10 @@ func NewPublisher(cfg PublisherConfig) (*Publisher, error) {
 		cfg:      cfg,
 		sup:      resolveSupervision(cfg.HeartbeatInterval, cfg.HeartbeatMisses, cfg.WriteTimeout),
 		listener: ln,
-		subs:     make(map[string]*subscription),
+		programs: make(map[string]*compiledEntry),
 	}
+	p.reg.init()
+	p.classes.init()
 	p.wg.Add(1)
 	go p.acceptLoop()
 	return p, nil
@@ -164,19 +213,15 @@ func (p *Publisher) Addr() string { return p.listener.Addr() }
 
 // Close stops the publisher and drops all subscriptions.
 func (p *Publisher) Close() error {
-	p.mu.Lock()
+	p.stateMu.Lock()
 	if p.closed {
-		p.mu.Unlock()
+		p.stateMu.Unlock()
 		return nil
 	}
 	p.closed = true
-	subs := make([]*subscription, 0, len(p.subs))
-	for _, s := range p.subs {
-		subs = append(subs, s)
-	}
-	p.mu.Unlock()
+	p.stateMu.Unlock()
 	err := p.listener.Close()
-	for _, s := range subs {
+	for _, s := range p.reg.snapshot() {
 		p.retire(s)
 	}
 	p.wg.Wait()
@@ -184,11 +229,19 @@ func (p *Publisher) Close() error {
 }
 
 // Subscribers returns the current subscriber count.
-func (p *Publisher) Subscribers() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.subs)
-}
+func (p *Publisher) Subscribers() int { return p.reg.size() }
+
+// PlanClasses returns the number of live plan-equivalence classes.
+func (p *Publisher) PlanClasses() int { return len(p.classes.snapshot()) }
+
+// ModulatorRuns returns how many times a class modulator ran (one per
+// event per class; under a shared plan, one per event).
+func (p *Publisher) ModulatorRuns() uint64 { return p.modRuns.Load() }
+
+// ModulationsSaved returns the modulator runs avoided by class sharing:
+// members−1 per event per class. With N subscribers on one plan it grows
+// by N−1 per publish.
+func (p *Publisher) ModulationsSaved() uint64 { return p.modulationsSaved.Load() }
 
 // SubscriptionInfo describes one live subscription for observability.
 type SubscriptionInfo struct {
@@ -210,15 +263,14 @@ type SubscriptionInfo struct {
 
 // Subscriptions snapshots the live subscriptions, ordered by id.
 func (p *Publisher) Subscriptions() []SubscriptionInfo {
-	p.mu.Lock()
-	subs := make([]*subscription, 0, len(p.subs))
-	for _, s := range p.subs {
-		subs = append(subs, s)
-	}
-	p.mu.Unlock()
+	subs := p.reg.snapshot()
 	out := make([]SubscriptionInfo, 0, len(subs))
 	for _, s := range subs {
-		plan := s.mod.Plan()
+		c := s.class.Load()
+		if c == nil {
+			continue // retired between snapshot and here
+		}
+		plan := c.mod.Plan()
 		split := make([]int32, len(plan.SplitIDs()))
 		copy(split, plan.SplitIDs())
 		out = append(out, SubscriptionInfo{
@@ -247,6 +299,136 @@ func (p *Publisher) acceptLoop() {
 	}
 }
 
+// compileCached compiles a subscription's handler, memoized on the full
+// identity (handler, cost model, sorted natives, source). Compiled tables
+// are immutable and the sender-side environment is read-only during
+// execution, so distinct subscriptions share both; the dense key stands in
+// for the program inside classKey comparisons.
+func (p *Publisher) compileCached(sub *wire.Subscribe) (*compiledEntry, error) {
+	natives := append([]string(nil), sub.Natives...)
+	sort.Strings(natives)
+	var b strings.Builder
+	b.WriteString(sub.Handler)
+	b.WriteByte(0)
+	b.WriteString(sub.CostModel)
+	b.WriteByte(0)
+	for _, n := range natives {
+		b.WriteString(n)
+		b.WriteByte(0)
+	}
+	b.WriteString(sub.Source)
+	k := b.String()
+
+	p.compileMu.Lock()
+	defer p.compileMu.Unlock()
+	if e, ok := p.programs[k]; ok {
+		return e, nil
+	}
+	compiled, err := compileSubscription(sub)
+	if err != nil {
+		return nil, err
+	}
+	p.nextProg++
+	e := &compiledEntry{
+		key:      p.nextProg,
+		compiled: compiled,
+		env:      interp.NewEnv(compiled.Classes, p.cfg.Builtins),
+	}
+	p.programs[k] = e
+	return e, nil
+}
+
+// newClassLocked creates the planClass for key with plan installed on a
+// fresh modulator/collector pair. Caller holds classes.mu; the class is
+// not visible to publishers until rebuildLocked runs.
+func (p *Publisher) newClassLocked(key classKey, s *subscription, plan *partition.Plan) *planClass {
+	mod := partition.NewModulator(s.compiled, s.env)
+	coll := profileunit.NewCollector(s.compiled.NumPSEs())
+	mod.Probe = coll
+	mod.SampleEvery = p.cfg.ProfileSampleEvery
+	mod.SetPlan(plan)
+	return &planClass{
+		key:      key,
+		compiled: s.compiled,
+		mod:      mod,
+		coll:     coll,
+		hists:    newPSEHistograms(s.compiled.NumPSEs()),
+	}
+}
+
+// classKeyFor derives s's class key under plan.
+func classKeyFor(s *subscription, plan *partition.Plan) classKey {
+	return classKey{
+		channel: s.channel,
+		prog:    s.progKey,
+		plan:    plan.Fingerprint(),
+		proto:   s.proto,
+		batched: s.batched,
+	}
+}
+
+// joinClassLocked adds s to the class for plan, creating it on first use.
+// inherit, when non-nil, is a just-emptied class whose modulation state
+// (modulator, profiling collector, per-PSE histograms) the new class reuses:
+// a sole-member migration then behaves exactly like the seed's
+// per-subscription Modulator.SetPlan — profiled statistics and the feedback
+// message count survive the plan flip instead of resetting, which the
+// subscriber's min-cut depends on. Caller holds classes.mu.
+func (p *Publisher) joinClassLocked(s *subscription, plan *partition.Plan, inherit *planClass) {
+	key := classKeyFor(s, plan)
+	c := p.classes.classes[key]
+	if c == nil {
+		if inherit != nil {
+			// SetPlan accepts whenever installPlan's staleness check against
+			// the same modulator passed. A publish concurrently draining an
+			// older snapshot may still be running this modulator; that is the
+			// same SetPlan/Process race the modulator has always supported.
+			inherit.mod.SetPlan(plan)
+			c = &planClass{
+				key:      key,
+				compiled: inherit.compiled,
+				mod:      inherit.mod,
+				coll:     inherit.coll,
+				hists:    inherit.hists,
+			}
+		} else {
+			c = p.newClassLocked(key, s, plan)
+		}
+		p.classes.classes[key] = c
+	}
+	addMemberLocked(c, s)
+	s.class.Store(c)
+}
+
+// installPlan migrates s to the class of plan — the publisher-side
+// equivalent of the old per-subscription Modulator.SetPlan. The staleness
+// check, the departure from the old class and the arrival in the new one
+// all happen under the class-index mutex, so a publish racing the
+// migration sees the subscription in exactly one class: the old plan's or
+// the new plan's, never both and never neither. Returns false when the
+// plan is stale (its version does not advance past the active class's) or
+// the subscription has been retired.
+func (p *Publisher) installPlan(s *subscription, plan *partition.Plan) bool {
+	x := &p.classes
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	cur := s.class.Load()
+	if cur == nil {
+		return false
+	}
+	if plan.Version() != 0 && plan.Version() <= cur.mod.Plan().Version() {
+		return false
+	}
+	var inherit *planClass
+	if removeMemberLocked(cur, s) == 0 {
+		delete(x.classes, cur.key)
+		inherit = cur
+	}
+	p.joinClassLocked(s, plan, inherit)
+	x.rebuildLocked()
+	return true
+}
+
 // retire removes a subscription and tears its pipeline and connection down.
 // It is idempotent and is called from every path that finds the peer dead:
 // the read loop erroring, the send pipeline failing a write, or Close.
@@ -255,9 +437,17 @@ func (p *Publisher) acceptLoop() {
 // happened to notice.
 func (p *Publisher) retire(s *subscription) {
 	s.retireOnce.Do(func() {
-		p.mu.Lock()
-		delete(p.subs, s.id)
-		p.mu.Unlock()
+		p.reg.remove(s.id)
+		x := &p.classes
+		x.mu.Lock()
+		if c := s.class.Load(); c != nil {
+			if removeMemberLocked(c, s) == 0 {
+				delete(x.classes, c.key)
+			}
+			s.class.Store(nil)
+			x.rebuildLocked()
+		}
+		x.mu.Unlock()
 		s.pipe.shutdown()
 		_ = s.conn.Close()
 	})
@@ -297,28 +487,31 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 		_ = conn.Close()
 		return
 	}
-	compiled, err := compileSubscription(subMsg)
+	entry, err := p.compileCached(subMsg)
 	if err != nil {
 		p.cfg.Logf("jecho publisher: compile %s: %v", subMsg.Handler, err)
 		_ = conn.Close()
 		return
 	}
-	env := interp.NewEnv(compiled.Classes, p.cfg.Builtins)
-	coll := profileunit.NewCollector(compiled.NumPSEs())
-	mod := partition.NewModulator(compiled, env)
-	mod.Probe = coll
-	mod.SampleEvery = p.cfg.ProfileSampleEvery
+	compiled := entry.compiled
+	initialPlan, err := partition.NewPlan(compiled.NumPSEs(), 0, []int32{partition.RawPSEID}, nil)
+	if err != nil {
+		// NumPSEs >= 1 always; RawPSEID is always valid.
+		p.cfg.Logf("jecho publisher: initial plan: %v", err)
+		_ = conn.Close()
+		return
+	}
 
 	metrics := &channelMetrics{}
 	sub := &subscription{
 		channel:  subMsg.Channel,
+		proto:    subMsg.Protocol,
 		conn:     conn,
 		compiled: compiled,
-		mod:      mod,
-		coll:     coll,
+		env:      entry.env,
+		progKey:  entry.key,
 		trigger:  &profileunit.RateTrigger{EveryMessages: p.cfg.FeedbackEvery},
 		metrics:  metrics,
-		hists:    newPSEHistograms(compiled.NumPSEs()),
 		breaker:  resolveBreaker(p.cfg.BreakerThreshold, p.cfg.BreakerWindow, p.cfg.BreakerCooldown),
 		// The degrade unit routes around broken PSEs; cost optimality is
 		// the subscriber's reconfiguration unit's job, so a neutral
@@ -332,6 +525,7 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 			Delay: p.cfg.BatchDelay,
 			hists: newBatchHistograms(),
 		}
+		sub.batched = true
 	}
 	sub.pipe = newSendPipeline(conn, p.cfg.QueueDepth, p.cfg.OverflowPolicy, p.sup, batch, metrics,
 		func(err error) {
@@ -339,16 +533,23 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 			p.retire(sub)
 		})
 
-	p.mu.Lock()
+	// Registration: id assignment, registry insert and the initial class
+	// join are one critical section against Close, so a closing publisher
+	// either rejects the subscription here or retires it on its sweep.
+	p.stateMu.Lock()
 	if p.closed {
-		p.mu.Unlock()
+		p.stateMu.Unlock()
 		_ = conn.Close()
 		return
 	}
 	p.nextID++
 	sub.id = fmt.Sprintf("%s#%d", subMsg.Subscriber, p.nextID)
-	p.subs[sub.id] = sub
-	p.mu.Unlock()
+	p.reg.insert(sub)
+	p.classes.mu.Lock()
+	p.joinClassLocked(sub, initialPlan, nil)
+	p.classes.rebuildLocked()
+	p.classes.mu.Unlock()
+	p.stateMu.Unlock()
 
 	if p.cfg.Tracer != nil {
 		sub.breaker.observeTransitions(breakerObserver(p.cfg.Tracer, sub.channel, func() string { return sub.id }))
@@ -422,8 +623,7 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 					sub.id, m.Version, id)
 				continue
 			}
-			before := mod.Plan().SplitIDs()
-			if err := mod.ApplyWirePlan(m); err != nil {
+			if err := p.applyWirePlan(sub, m); err != nil {
 				if errors.Is(err, partition.ErrStalePlan) {
 					p.cfg.Tracer.Emit(obsv.Event{
 						Kind: obsv.EvPlanStale, Channel: sub.channel, Sub: sub.id,
@@ -433,15 +633,43 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 				p.cfg.Logf("jecho publisher: sub %s plan: %v", sub.id, err)
 				continue
 			}
-			if !equalSplit(before, mod.Plan().SplitIDs()) {
-				metrics.planFlips.Add(1)
-				tracePlanFlip(p.cfg.Tracer, sub.channel, sub.id, mod.Plan().Version(), mod.Plan().SplitIDs())
-			}
 		default:
 			p.cfg.Logf("jecho publisher: sub %s sent %T", sub.id, msg)
 		}
 	}
 	p.retire(sub)
+}
+
+// applyWirePlan validates a subscriber-pushed plan and migrates the
+// subscription to the plan's equivalence class — the class-world analogue
+// of Modulator.ApplyWirePlan, with the same validation and staleness
+// semantics.
+func (p *Publisher) applyWirePlan(s *subscription, wp *wire.Plan) error {
+	if wp.Handler != s.compiled.Prog.Name {
+		return fmt.Errorf("partition: plan for %q applied to %q", wp.Handler, s.compiled.Prog.Name)
+	}
+	if err := s.compiled.ValidateSplitSet(wp.Split); err != nil {
+		return err
+	}
+	plan, err := partition.NewPlan(s.compiled.NumPSEs(), wp.Version, wp.Split, wp.Profile)
+	if err != nil {
+		return err
+	}
+	var before []int32
+	var beforeVersion uint64
+	if c := s.class.Load(); c != nil {
+		before = c.mod.Plan().SplitIDs()
+		beforeVersion = c.mod.Plan().Version()
+	}
+	if !p.installPlan(s, plan) {
+		return fmt.Errorf("partition: %w: v%d not past active v%d",
+			partition.ErrStalePlan, plan.Version(), beforeVersion)
+	}
+	if !equalSplit(before, plan.SplitIDs()) {
+		s.metrics.planFlips.Add(1)
+		tracePlanFlip(p.cfg.Tracer, s.channel, s.id, plan.Version(), plan.SplitIDs())
+	}
+	return nil
 }
 
 // blockedSplit returns the first PSE in the split set whose breaker is
@@ -464,20 +692,31 @@ func blockedSplit(b *pseBreaker, split []int32) int32 {
 // counter skips past the degraded plan instead of emitting stale versions —
 // and until its own plans avoid the PSE, the interception in handleConn
 // keeps them from reinstalling it.
+//
+// Installation goes through installPlan, so the breaker-forced flip is an
+// atomic class migration: a concurrent subscriber plan push either lands
+// before (and the degrade's forced version supersedes it) or after (and
+// installPlan rejects the degrade as stale — acceptable, because the open
+// breaker still blocks the poisoned PSE via blockedSplit and the next
+// fault re-triggers the degrade).
 func (p *Publisher) degrade(s *subscription) {
 	s.degradeMu.Lock()
 	defer s.degradeMu.Unlock()
+	c := s.class.Load()
+	if c == nil {
+		return
+	}
 	s.runit.SetTripped(s.breaker.OpenIDs())
-	_, wirePlan, err := s.runit.SelectPlan(s.coll.Snapshot())
+	_, wirePlan, err := s.runit.SelectPlan(c.coll.Snapshot())
 	if err != nil {
 		p.cfg.Logf("jecho publisher: sub %s degrade: %v", s.id, err)
 		return
 	}
 	traceMinCut(p.cfg.Tracer, s.channel, s.id, s.runit)
 	// The degrade unit's version counter is private; force the version past
-	// the modulator's active plan so SetPlan cannot reject the degraded
+	// the class's active plan so installPlan cannot reject the degraded
 	// plan as stale.
-	cur := s.mod.Plan()
+	cur := c.mod.Plan()
 	version := cur.Version() + 1
 	if wirePlan.Version > version {
 		version = wirePlan.Version
@@ -487,7 +726,7 @@ func (p *Publisher) degrade(s *subscription) {
 		p.cfg.Logf("jecho publisher: sub %s degrade plan: %v", s.id, err)
 		return
 	}
-	if s.mod.SetPlan(plan) && !equalSplit(cur.SplitIDs(), plan.SplitIDs()) {
+	if p.installPlan(s, plan) && !equalSplit(cur.SplitIDs(), plan.SplitIDs()) {
 		s.metrics.planFlips.Add(1)
 		tracePlanFlip(p.cfg.Tracer, s.channel, s.id, plan.Version(), plan.SplitIDs())
 	}
@@ -506,14 +745,14 @@ func equalSplit(a, b []int32) bool {
 	return true
 }
 
-// Publish pushes one event through every subscription's modulator (all
-// channels) and hands the resulting raw events or continuations to the
-// per-subscription send pipelines. It returns the number of subscriptions
-// reached (modulated and queued, or filtered at the sender) and the joined
-// error across failing subscriptions, so callers can tell one dead peer
-// from total failure.
+// Publish pushes one event through every plan-equivalence class (all
+// channels): one modulation and one marshal per class, fanned out to the
+// class members as refcounted frames. It returns the number of
+// subscriptions reached (modulated and queued, or filtered at the sender)
+// and the joined error across failing subscriptions, so callers can tell
+// one dead peer from total failure.
 //
-// The event value is shared across subscriptions (and their concurrently
+// The event value is shared across classes (and their concurrently
 // running modulators), so handlers must treat incoming events as read-only —
 // the usual contract of an event system; transforms allocate new objects.
 func (p *Publisher) Publish(event mir.Value) (int, error) {
@@ -525,76 +764,173 @@ func (p *Publisher) PublishOn(channel string, event mir.Value) (int, error) {
 	return p.publish(event, channel, false)
 }
 
+// publishScratch is the pooled per-publish state of the multi-class fan
+// out, so a steady-state broadcast allocates no WaitGroup or error slice
+// per event.
+type publishScratch struct {
+	wg      sync.WaitGroup
+	reached atomic.Int64
+	mu      sync.Mutex
+	errs    []error
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(publishScratch) }}
+
 func (p *Publisher) publish(event mir.Value, channel string, broadcast bool) (int, error) {
-	p.mu.Lock()
-	subs := make([]*subscription, 0, len(p.subs))
-	for _, s := range p.subs {
-		if broadcast || s.channel == channel {
-			subs = append(subs, s)
+	views := p.classes.snapshot()
+	var single classView
+	matched := 0
+	for _, v := range views {
+		if broadcast || v.class.key.channel == channel {
+			single = v
+			matched++
 		}
 	}
-	p.mu.Unlock()
-
-	switch len(subs) {
+	switch matched {
 	case 0:
 		return 0, nil
 	case 1:
-		if err := p.publishOne(subs[0], event); err != nil {
-			return 0, fmt.Errorf("jecho: sub %s: %w", subs[0].id, err)
-		}
-		return 1, nil
+		// The common case — everyone on one plan — runs inline: no
+		// goroutine, no WaitGroup, no error slice.
+		return p.publishClass(single.class, single.members, event)
 	}
-	// Fan out concurrently: each subscription has its own modulator and
-	// send queue, and per-subscription ordering is preserved because one
-	// Publish call runs one message per subscription.
-	var wg sync.WaitGroup
-	errs := make([]error, len(subs))
-	for i, s := range subs {
-		i, s := i, s
-		wg.Add(1)
+	// Fan out concurrently across classes: each class has its own
+	// modulator, and per-subscription ordering is preserved because one
+	// Publish call enqueues one frame per subscription.
+	sc := scratchPool.Get().(*publishScratch)
+	sc.reached.Store(0)
+	for _, v := range views {
+		if !broadcast && v.class.key.channel != channel {
+			continue
+		}
+		v := v
+		sc.wg.Add(1)
 		go func() {
-			defer wg.Done()
-			if err := p.publishOne(s, event); err != nil {
-				errs[i] = fmt.Errorf("jecho: sub %s: %w", s.id, err)
+			defer sc.wg.Done()
+			n, err := p.publishClass(v.class, v.members, event)
+			sc.reached.Add(int64(n))
+			if err != nil {
+				sc.mu.Lock()
+				sc.errs = append(sc.errs, err)
+				sc.mu.Unlock()
 			}
 		}()
 	}
-	wg.Wait()
+	sc.wg.Wait()
+	reached := int(sc.reached.Load())
+	var err error
+	if len(sc.errs) > 0 {
+		err = errors.Join(sc.errs...)
+		sc.errs = sc.errs[:0]
+	}
+	scratchPool.Put(sc)
+	return reached, err
+}
+
+// publishClass modulates the event once for one class and fans the result
+// out to every member: shared histograms observe once, the marshalled
+// frame is refcounted across the members' send pipelines, and per-member
+// work reduces to counter updates and a queue handoff. The only blocking
+// here is queue handoff under the Block policy; transport writes happen on
+// each subscription's sender goroutine.
+func (p *Publisher) publishClass(c *planClass, members []*subscription, event mir.Value) (int, error) {
+	if len(members) == 0 {
+		return 0, nil
+	}
+	start := time.Now()
+	p.modRuns.Add(1)
+	out, err := c.mod.Process(event)
+	modDur := time.Since(start)
+	if err != nil {
+		return 0, p.classModFault(c, members, err)
+	}
+	p.modulationsSaved.Add(uint64(len(members) - 1))
+	c.hists.observe(out.SplitPSE, modDur, out.WireBytes, out.ModWork)
+	tr := p.cfg.Tracer
+	traced := tr.Enabled()
+	planVersion := c.mod.Plan().Version()
 	reached := 0
-	for _, e := range errs {
-		if e == nil {
+	var errs []error
+	if out.Suppressed {
+		saved := uint64(wire.SizeOf(event))
+		for _, s := range members {
+			s.metrics.published.Add(1)
+			s.metrics.suppressed.Add(1)
+			s.metrics.bytesSaved.Add(saved)
+			if traced {
+				tracePublish(tr, c.key.channel, s.id, planVersion, out, modDur)
+			}
+			reached++
+		}
+	} else {
+		var msg any
+		if out.Raw != nil {
+			msg = out.Raw
+		} else {
+			msg = out.Cont
+		}
+		frame, merr := wire.MarshalFrame(msg)
+		if merr != nil {
+			return 0, merr
+		}
+		var saved uint64
+		if out.Cont != nil {
+			if raw := wire.SizeOf(event); raw > int64(frame.Len()) {
+				saved = uint64(raw - int64(frame.Len()))
+			}
+		}
+		// One reference per member; enqueue consumes each one (on the
+		// send, drop and retired paths alike).
+		if len(members) > 1 {
+			frame.Retain(int32(len(members) - 1))
+		}
+		for _, s := range members {
+			s.metrics.published.Add(1)
+			if saved > 0 {
+				s.metrics.bytesSaved.Add(saved)
+			}
+			if traced {
+				tracePublish(tr, c.key.channel, s.id, planVersion, out, modDur)
+			}
+			if err := s.pipe.enqueue(frame); err != nil {
+				p.retire(s)
+				errs = append(errs, fmt.Errorf("jecho: sub %s: %w", s.id, err))
+				continue
+			}
 			reached++
 		}
 	}
+	p.classFeedback(c, members, planVersion)
 	return reached, errors.Join(errs...)
 }
 
-// publishOne modulates the event for one subscription and enqueues the
-// result (and any due profiling feedback) on its send pipeline. The only
-// blocking here is queue handoff under the Block policy; transport writes
-// happen on the subscription's sender goroutine.
-func (p *Publisher) publishOne(s *subscription, event mir.Value) error {
-	start := time.Now()
-	out, err := s.mod.Process(event)
-	modDur := time.Since(start)
-	if err != nil {
-		// A modulation fault (interpreter error or recovered panic) cannot
-		// name the PSE it died at, so it is attributed to every split edge
-		// of the active plan — the plan as a whole is what's broken. The
-		// counts travel to the subscriber in the next feedback frame;
-		// locally they feed the breaker, which degrades the plan once the
-		// failures cluster.
+// classModFault handles a modulation fault for every member of the class:
+// the fault is attributed to every split edge of the active plan — the
+// plan as a whole is what's broken — once on the shared collector (the
+// counts travel in every member's next feedback frame) and once on each
+// member's breaker, which degrades that member's plan (migrating it out of
+// this class) when the failures cluster.
+func (p *Publisher) classModFault(c *planClass, members []*subscription, err error) error {
+	plan := c.mod.Plan()
+	for _, id := range plan.SplitIDs() {
+		c.coll.Fault(id)
+	}
+	tr := p.cfg.Tracer
+	var detail string
+	if tr.Enabled() {
+		detail = fmt.Sprintf("%s: %v", partition.FaultClassOf(err), err)
+	}
+	errs := make([]error, 0, len(members))
+	for _, s := range members {
 		s.metrics.modFailures.Add(1)
-		if tr := p.cfg.Tracer; tr.Enabled() {
+		if detail != "" {
 			tr.Emit(obsv.Event{
-				Kind: obsv.EvModFault, Channel: s.channel, Sub: s.id,
-				PSE: obsv.NoPSE, Plan: s.mod.Plan().Version(),
-				Detail: fmt.Sprintf("%s: %v", partition.FaultClassOf(err), err),
+				Kind: obsv.EvModFault, Channel: c.key.channel, Sub: s.id,
+				PSE: obsv.NoPSE, Plan: plan.Version(), Detail: detail,
 			})
 		}
 		tripped := false
-		for _, id := range s.mod.Plan().SplitIDs() {
-			s.coll.Fault(id)
+		for _, id := range plan.SplitIDs() {
 			if s.breaker.Fail(id) {
 				s.metrics.breakerTrips.Add(1)
 				tripped = true
@@ -603,48 +939,35 @@ func (p *Publisher) publishOne(s *subscription, event mir.Value) error {
 		if tripped {
 			p.degrade(s)
 		}
-		return err
+		errs = append(errs, fmt.Errorf("jecho: sub %s: %w", s.id, err))
 	}
-	s.metrics.published.Add(1)
-	observePublish(p.cfg.Tracer, s.hists, s.channel, s.id, s.mod.Plan().Version(), out, modDur)
-	if out.Suppressed {
-		s.metrics.suppressed.Add(1)
-		s.metrics.bytesSaved.Add(uint64(wire.SizeOf(event)))
-	} else {
-		var msg any
-		if out.Raw != nil {
-			msg = out.Raw
-		} else {
-			msg = out.Cont
+	return errors.Join(errs...)
+}
+
+// classFeedback enqueues rate-triggered sender-side profiling feedback
+// (§2.5) for the members whose trigger is due, snapshotting the shared
+// class collector. Feedback coalesces to the latest snapshot instead of
+// queueing, so a slow peer never accumulates stale reports. The publisher
+// always installs RateTriggers, which only consume the message count, so
+// the per-event cost is one uint64 comparison per member — the collector
+// snapshot is built lazily, only when a trigger fires.
+func (p *Publisher) classFeedback(c *planClass, members []*subscription, planVersion uint64) {
+	msgs := c.coll.Messages()
+	for _, s := range members {
+		s.fbMu.Lock()
+		due := s.trigger.ShouldReport(nil, msgs)
+		s.fbMu.Unlock()
+		if !due {
+			continue
 		}
-		data, err := wire.Marshal(msg)
-		if err != nil {
-			return err
-		}
-		if out.Cont != nil {
-			if raw := wire.SizeOf(event); raw > int64(len(data)) {
-				s.metrics.bytesSaved.Add(uint64(raw - int64(len(data))))
-			}
-		}
-		if err := s.pipe.enqueue(data); err != nil {
-			p.retire(s)
-			return err
-		}
-	}
-	// Rate-triggered sender-side profiling feedback (§2.5). Feedback
-	// coalesces to the latest snapshot instead of queueing, so a slow
-	// peer never accumulates stale reports.
-	snap := s.coll.Snapshot()
-	if s.trigger.ShouldReport(snap, s.coll.Messages()) {
-		fb := s.coll.ToWire(s.compiled.Prog.Name)
+		fb := c.coll.ToWire(c.compiled.Prog.Name)
 		// Carry the active plan version so the subscriber's reconfiguration
 		// unit can skip past versions the degrade path forced locally.
-		fb.PlanVersion = s.mod.Plan().Version()
+		fb.PlanVersion = planVersion
 		data, err := wire.Marshal(fb)
 		if err != nil {
-			return err
+			continue
 		}
 		s.pipe.enqueueFeedback(data)
 	}
-	return nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package jecho
+
+const raceDetectorEnabled = false

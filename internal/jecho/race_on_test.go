@@ -1,0 +1,8 @@
+//go:build race
+
+package jecho
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race, which bypasses sync.Pool at random and so distorts
+// testing.AllocsPerRun counts on pooled paths.
+const raceDetectorEnabled = true

@@ -16,6 +16,13 @@ type EndpointStatus struct {
 	// Channels holds one entry per live subscription (publisher side) or
 	// the single subscription (subscriber side).
 	Channels []ChannelStatus `json:"channels"`
+	// PlanClasses is the number of live plan-equivalence classes
+	// (publisher side): subscriptions sharing a class share one modulation
+	// per event.
+	PlanClasses int `json:"plan_classes,omitempty"`
+	// ModulationsSaved counts the per-subscriber modulator runs avoided by
+	// class sharing (publisher side).
+	ModulationsSaved uint64 `json:"modulations_saved,omitempty"`
 }
 
 // ChannelStatus is the live state of one subscription's split loop.

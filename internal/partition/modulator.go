@@ -96,6 +96,10 @@ func NewModulator(c *Compiled, env *interp.Env) *Modulator {
 // Plan returns the active plan.
 func (m *Modulator) Plan() *Plan { return m.plan.Load() }
 
+// PlanFingerprint returns the active plan's Fingerprint — the modulator's
+// contribution to a publisher-side plan-equivalence class key.
+func (m *Modulator) PlanFingerprint() uint64 { return m.plan.Load().Fingerprint() }
+
 // SetPlan atomically installs a new plan. Plans with stale versions are
 // ignored so reordered control messages cannot roll the modulator back.
 func (m *Modulator) SetPlan(p *Plan) bool {

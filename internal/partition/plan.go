@@ -14,6 +14,26 @@ type Plan struct {
 	// splitIDs caches the flagged ids for wire encoding.
 	splitIDs   []int32
 	profileIDs []int32
+	// fingerprint caches the FNV-1a hash over (version, split set,
+	// profile set); see Fingerprint.
+	fingerprint uint64
+}
+
+// FNV-1a 64-bit parameters, inlined so the fingerprint needs no
+// hash/fnv allocation.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix64 folds one 64-bit word into an FNV-1a state byte by byte.
+func fnvMix64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
 }
 
 // NewPlan builds a plan over numPSEs PSEs. Ids out of range are rejected.
@@ -44,8 +64,26 @@ func NewPlan(numPSEs int, version uint64, splitIDs, profileIDs []int32) (*Plan, 
 	p.raw = numPSEs > 0 && p.split[RawPSEID]
 	p.splitIDs = SortedIDs(p.splitIDs)
 	p.profileIDs = SortedIDs(p.profileIDs)
+	h := fnvMix64(fnvOffset64, p.version)
+	for _, id := range p.splitIDs {
+		h = fnvMix64(h, uint64(id))
+	}
+	// A separator word keeps {split=[1], profile=[]} distinct from
+	// {split=[], profile=[1]}.
+	h = fnvMix64(h, ^uint64(0))
+	for _, id := range p.profileIDs {
+		h = fnvMix64(h, uint64(id))
+	}
+	p.fingerprint = h
 	return p, nil
 }
+
+// Fingerprint is a stable 64-bit identity of the plan's observable
+// behaviour: version plus the sorted split and profile sets. Two plans of
+// the same handler with equal fingerprints modulate every event
+// identically, which is what lets the publisher pool subscriptions into
+// plan-equivalence classes.
+func (p *Plan) Fingerprint() uint64 { return p.fingerprint }
 
 // Version returns the plan version.
 func (p *Plan) Version() uint64 { return p.version }

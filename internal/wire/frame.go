@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Frame is a refcounted, pooled wire payload: one marshalled message whose
+// bytes are shared by every send pipeline of a plan-equivalence class. The
+// publisher marshals once, Retains one reference per additional recipient,
+// and each pipeline Releases its reference after the bytes reach the wire
+// (or are dropped); the last Release returns the frame to the pool.
+//
+// The bytes returned by Bytes must be treated as read-only and must not be
+// used after the holder's Release — the buffer is recycled into the next
+// frame. Refcounting is always strict: a Release below zero panics, in
+// -race and release builds alike, because an underflow means some holder is
+// still reading a buffer the pool may already have handed out again — a
+// silent data corruption otherwise.
+type Frame struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// NewFrame returns a pooled frame holding a copy of data, with one
+// reference.
+func NewFrame(data []byte) *Frame {
+	f := framePool.Get().(*Frame)
+	f.buf = append(f.buf[:0], data...)
+	f.refs.Store(1)
+	return f
+}
+
+// MarshalFrame encodes msg into a pooled frame with one reference. It is
+// the frame-producing sibling of Marshal/AppendMarshal and shares their
+// encoder pool, so steady-state encoding allocates nothing once the frame
+// and encoder pools are warm.
+func MarshalFrame(msg any) (*Frame, error) {
+	e := encoderPool.Get().(*Encoder)
+	defer func() {
+		e.Reset()
+		encoderPool.Put(e)
+	}()
+	if err := e.encodeMessage(msg); err != nil {
+		return nil, err
+	}
+	f := framePool.Get().(*Frame)
+	f.buf = append(f.buf[:0], e.Bytes()...)
+	f.refs.Store(1)
+	return f, nil
+}
+
+// Bytes returns the frame payload. Read-only; valid only while the caller
+// holds a reference.
+func (f *Frame) Bytes() []byte { return f.buf }
+
+// Len returns the payload length in bytes.
+func (f *Frame) Len() int { return len(f.buf) }
+
+// Refs returns the instantaneous reference count (for tests and debugging).
+func (f *Frame) Refs() int32 { return f.refs.Load() }
+
+// Retain adds n references, one per additional holder the caller hands the
+// frame to. It must be called while the caller still holds a reference;
+// retaining a released frame panics.
+func (f *Frame) Retain(n int32) {
+	if n < 0 {
+		panic("wire: Frame.Retain with negative count")
+	}
+	if f.refs.Add(n) <= n {
+		panic("wire: Frame.Retain on a released frame")
+	}
+}
+
+// Release drops one reference. The last reference returns the frame to the
+// pool; dropping a reference the holder does not have (refcount underflow)
+// panics — see the type comment for why this check is unconditional.
+func (f *Frame) Release() {
+	switch n := f.refs.Add(-1); {
+	case n == 0:
+		framePool.Put(f)
+	case n < 0:
+		panic("wire: Frame double-release (refcount underflow)")
+	}
+}

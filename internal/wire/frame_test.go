@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestFrameLifecycle checks the basic retain/release contract: the payload
+// stays intact while any reference is held and the frame recycles only
+// after the last release.
+func TestFrameLifecycle(t *testing.T) {
+	f := NewFrame([]byte{1, 2, 3})
+	if f.Len() != 3 || !bytes.Equal(f.Bytes(), []byte{1, 2, 3}) {
+		t.Fatalf("payload = %v", f.Bytes())
+	}
+	f.Retain(2)
+	if got := f.Refs(); got != 3 {
+		t.Fatalf("refs = %d, want 3", got)
+	}
+	f.Release()
+	f.Release()
+	if !bytes.Equal(f.Bytes(), []byte{1, 2, 3}) {
+		t.Fatal("payload changed while a reference was held")
+	}
+	f.Release()
+}
+
+// TestMarshalFrameRoundTrip checks a MarshalFrame payload is byte-identical
+// to Marshal of the same message.
+func TestMarshalFrameRoundTrip(t *testing.T) {
+	msg := &Heartbeat{Seq: 42}
+	want, err := Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := MarshalFrame(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Release()
+	if !bytes.Equal(f.Bytes(), want) {
+		t.Fatalf("MarshalFrame = %x, Marshal = %x", f.Bytes(), want)
+	}
+	if _, err := Unmarshal(f.Bytes()); err != nil {
+		t.Fatalf("frame payload does not decode: %v", err)
+	}
+}
+
+// TestFrameDoubleReleasePanics is the double-release guard: returning a
+// pooled buffer twice must panic instead of silently corrupting whatever
+// message the pool hands the buffer to next.
+func TestFrameDoubleReleasePanics(t *testing.T) {
+	f := NewFrame([]byte("x"))
+	f.Retain(1)
+	f.Release()
+	f.Release() // refcount now 0; frame is back in the pool
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second release past zero did not panic")
+		}
+	}()
+	f.Release()
+}
+
+// TestFrameRetainAfterReleasePanics: handing out references to a frame
+// already back in the pool is the same class of bug as a double release.
+func TestFrameRetainAfterReleasePanics(t *testing.T) {
+	f := NewFrame([]byte("x"))
+	f.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("retain on a released frame did not panic")
+		}
+	}()
+	f.Retain(1)
+}
+
+// TestFrameConcurrentRelease races N holders releasing their references;
+// exactly one of them must recycle the frame and none may underflow.
+func TestFrameConcurrentRelease(t *testing.T) {
+	for round := 0; round < 100; round++ {
+		const holders = 8
+		f := NewFrame([]byte("payload"))
+		f.Retain(holders - 1)
+		var wg sync.WaitGroup
+		for i := 0; i < holders; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				f.Release()
+			}()
+		}
+		wg.Wait()
+	}
+}
