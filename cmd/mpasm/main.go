@@ -86,7 +86,10 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	ug := analysis.BuildUnitGraph(prog)
+	ug, err := analysis.BuildUnitGraph(prog)
+	if err != nil {
+		return err
+	}
 	live := analysis.ComputeLiveness(ug)
 	res, err := analysis.Analyze(ug, oracle, model.StaticCost(prog, classes, live), analysis.Options{})
 	if err != nil {

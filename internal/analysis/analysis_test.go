@@ -20,7 +20,7 @@ func pushAnalysis(t *testing.T) *analysis.Result {
 		t.Fatal(err)
 	}
 	reg, _ := testprog.PushBuiltins()
-	ug := analysis.BuildUnitGraph(prog)
+	ug := analysis.MustBuildUnitGraph(prog)
 	live := analysis.ComputeLiveness(ug)
 	model := costmodel.NewDataSize()
 	res, err := analysis.Analyze(ug, reg, model.StaticCost(prog, classes, live), analysis.Options{})
@@ -163,7 +163,7 @@ func TestLoopConvexity(t *testing.T) {
 	lu := mustUnit(t, testprog.LoopSource)
 	prog, _ := lu.Program("sum")
 	reg, _ := testprog.LoopBuiltins()
-	ug := analysis.BuildUnitGraph(prog)
+	ug := analysis.MustBuildUnitGraph(prog)
 	live := analysis.ComputeLiveness(ug)
 	model := costmodel.NewDataSize()
 	res, err := analysis.Analyze(ug, reg, model.StaticCost(prog, classes, live), analysis.Options{})
@@ -217,7 +217,7 @@ func TestAnalyzeMaxPathsLimit(t *testing.T) {
 	prog, _ := u.Program("push")
 	classes, _ := u.ClassTable()
 	reg, _ := testprog.PushBuiltins()
-	ug := analysis.BuildUnitGraph(prog)
+	ug := analysis.MustBuildUnitGraph(prog)
 	live := analysis.ComputeLiveness(ug)
 	model := costmodel.NewDataSize()
 	// The push handler has 2 TargetPaths; a budget of 1 must error.

@@ -46,8 +46,11 @@ type UnitGraph struct {
 	Exit int
 }
 
-// BuildUnitGraph constructs the Unit Graph of a validated program.
-func BuildUnitGraph(prog *mir.Program) *UnitGraph {
+// BuildUnitGraph constructs the Unit Graph of a validated program. A
+// program with an unresolvable branch label is rejected: dropping (or
+// zeroing) the edge would silently corrupt the graph every downstream
+// analysis — liveness, StopNodes, ConvexCut — partitions over.
+func BuildUnitGraph(prog *mir.Program) (*UnitGraph, error) {
 	n := len(prog.Instrs)
 	g := graph.NewDigraph(n + 1)
 	for i := range prog.Instrs {
@@ -55,11 +58,25 @@ func BuildUnitGraph(prog *mir.Program) *UnitGraph {
 			g.AddEdge(i, n)
 			continue
 		}
-		for _, s := range prog.Successors(i) {
+		succ, err := prog.Successors(i)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: unit graph: %w", err)
+		}
+		for _, s := range succ {
 			g.AddEdge(i, s)
 		}
 	}
-	return &UnitGraph{Prog: prog, G: g, Start: 0, Exit: n}
+	return &UnitGraph{Prog: prog, G: g, Start: 0, Exit: n}, nil
+}
+
+// MustBuildUnitGraph is BuildUnitGraph for programs known to be validated;
+// it panics on a malformed program.
+func MustBuildUnitGraph(prog *mir.Program) *UnitGraph {
+	ug, err := BuildUnitGraph(prog)
+	if err != nil {
+		panic(err)
+	}
+	return ug
 }
 
 // Edges returns all control-flow edges in deterministic order.

@@ -1,0 +1,188 @@
+// Engine experiment: stepping interpreter vs closure-compiled execution on
+// the partition hot paths. Method Partitioning's premise is that modulation
+// is cheap enough to run on every published event (§2.6); this experiment
+// quantifies the executor's share of that cost by timing the same
+// modulate/demodulate stages under both engines.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/mir"
+	"methodpart/internal/mir/asm"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/partition"
+	"methodpart/internal/testprog"
+	"methodpart/internal/wire"
+)
+
+// EngineRow compares the two execution engines on one pipeline stage of one
+// handler.
+type EngineRow struct {
+	// Handler names the workload program.
+	Handler string
+	// Stage is the pipeline stage timed: "modulate" (sender half under a
+	// splitting plan) or "demodulate" (receiver running a raw event whole).
+	Stage string
+	// SteppingNS and CompiledNS are mean wall-clock ns per message.
+	SteppingNS, CompiledNS float64
+	// Speedup is SteppingNS / CompiledNS.
+	Speedup float64
+}
+
+// engineWorkload is one handler prepared for both stages.
+type engineWorkload struct {
+	name  string
+	prog  *mir.Program
+	table *mir.ClassTable
+	reg   func() *interp.Registry
+	event func() mir.Value
+}
+
+func engineWorkloads() ([]engineWorkload, error) {
+	loopUnit := asm.MustParse(testprog.LoopSource)
+	loopProg, ok := loopUnit.Program("sum")
+	if !ok {
+		return nil, fmt.Errorf("bench: loop handler missing")
+	}
+	pushUnit := testprog.PushUnit()
+	pushProg, ok := pushUnit.Program("push")
+	if !ok {
+		return nil, fmt.Errorf("bench: push handler missing")
+	}
+	pushClasses, err := pushUnit.ClassTable()
+	if err != nil {
+		return nil, fmt.Errorf("bench: push classes: %w", err)
+	}
+	loopEvent := make(mir.IntArray, 1024)
+	for i := range loopEvent {
+		loopEvent[i] = int64(i % 97)
+	}
+	return []engineWorkload{
+		{
+			name:  "sum-1024",
+			prog:  loopProg,
+			reg:   func() *interp.Registry { reg, _ := testprog.LoopBuiltins(); return reg },
+			event: func() mir.Value { return loopEvent },
+		},
+		{
+			name:  "push-32x32",
+			prog:  pushProg,
+			table: pushClasses,
+			reg:   func() *interp.Registry { reg, _ := testprog.PushBuiltins(); return reg },
+			event: func() mir.Value { return testprog.NewImageData(32, 32) },
+		},
+	}, nil
+}
+
+// splitPlan returns a plan built from the latest PSEs that forms a valid
+// cut, so the modulate stage executes as much of the handler as the PSE
+// table allows at the sender. It prefers a single late PSE and grows the
+// set backwards when one edge alone cannot cut every path (e.g. push's
+// filter branch bypasses the transform edges).
+func splitPlan(c *partition.Compiled) (*partition.Plan, error) {
+	var split []int32
+	for id := int32(c.NumPSEs()) - 1; id >= 1; id-- {
+		split = append(split, id)
+		if c.ValidateSplitSet(split) == nil {
+			return partition.NewPlan(c.NumPSEs(), 1, split, nil)
+		}
+	}
+	return nil, fmt.Errorf("bench: no PSE plan cuts %s", c.Prog.Name)
+}
+
+// bestOf reduces timer and GC noise by taking the fastest of three timeOp
+// measurements — handlers dominated by allocating native builtins (push's
+// resize) otherwise wobble several percent between runs.
+func bestOf(fn func()) float64 {
+	best := timeOp(fn)
+	for i := 0; i < 2; i++ {
+		if ns := timeOp(fn); ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// EngineExperiment times the modulate and demodulate stages of each
+// workload under both execution engines.
+func EngineExperiment() ([]EngineRow, error) {
+	workloads, err := engineWorkloads()
+	if err != nil {
+		return nil, err
+	}
+	var rows []EngineRow
+	for _, wl := range workloads {
+		stages := []string{"modulate", "demodulate"}
+		ns := make(map[string]map[partition.Engine]float64, len(stages))
+		for _, s := range stages {
+			ns[s] = make(map[partition.Engine]float64, 2)
+		}
+		for _, engine := range []partition.Engine{partition.EngineStepping, partition.EngineCompiled} {
+			c, err := partition.Compile(wl.prog, wl.table, wl.reg(), costmodel.NewDataSize())
+			if err != nil {
+				return nil, fmt.Errorf("bench: engine compile %s: %w", wl.name, err)
+			}
+			c.Engine = engine
+
+			plan, err := splitPlan(c)
+			if err != nil {
+				return nil, err
+			}
+			mod := partition.NewModulator(c, interp.NewEnv(wl.table, wl.reg()))
+			mod.SetPlan(plan)
+			ev := wl.event()
+			var modErr error
+			ns["modulate"][engine] = bestOf(func() {
+				if _, err := mod.Process(ev); err != nil {
+					modErr = err
+				}
+			})
+			if modErr != nil {
+				return nil, fmt.Errorf("bench: engine modulate %s: %w", wl.name, modErr)
+			}
+
+			demod := partition.NewDemodulator(c, interp.NewEnv(wl.table, wl.reg()))
+			raw := &wire.Raw{Handler: wl.prog.Name, Event: wl.event()}
+			var demodErr error
+			ns["demodulate"][engine] = bestOf(func() {
+				if _, err := demod.ProcessRaw(raw); err != nil {
+					demodErr = err
+				}
+			})
+			if demodErr != nil {
+				return nil, fmt.Errorf("bench: engine demodulate %s: %w", wl.name, demodErr)
+			}
+		}
+		for _, s := range stages {
+			stepping := ns[s][partition.EngineStepping]
+			compiled := ns[s][partition.EngineCompiled]
+			rows = append(rows, EngineRow{
+				Handler:    wl.name,
+				Stage:      s,
+				SteppingNS: stepping,
+				CompiledNS: compiled,
+				Speedup:    stepping / compiled,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// WriteEngine renders the engine comparison table.
+func WriteEngine(w io.Writer, rows []EngineRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Handler,
+			r.Stage,
+			fmt.Sprintf("%.1f", r.SteppingNS/1000),
+			fmt.Sprintf("%.1f", r.CompiledNS/1000),
+			fmt.Sprintf("%.1fx", r.Speedup),
+		})
+	}
+	writeTable(w, "Engine: stepping interpreter vs closure-compiled execution (us/message)",
+		[]string{"Handler", "Stage", "Stepping (us)", "Compiled (us)", "Speedup"}, out)
+}

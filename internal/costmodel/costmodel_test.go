@@ -19,7 +19,7 @@ func analyzeWith(t *testing.T, model costmodel.Model) *analysis.Result {
 		t.Fatal(err)
 	}
 	reg, _ := testprog.PushBuiltins()
-	ug := analysis.BuildUnitGraph(prog)
+	ug := analysis.MustBuildUnitGraph(prog)
 	live := analysis.ComputeLiveness(ug)
 	res, err := analysis.Analyze(ug, reg, model.StaticCost(prog, classes, live), analysis.Options{})
 	if err != nil {
@@ -33,7 +33,7 @@ func TestDataSizeStaticCostClassifiesVars(t *testing.T) {
 	prog, _ := u.Program("push")
 	classes, _ := u.ClassTable()
 	model := costmodel.NewDataSize()
-	ug := analysis.BuildUnitGraph(prog)
+	ug := analysis.MustBuildUnitGraph(prog)
 	live := analysis.ComputeLiveness(ug)
 	costFn := model.StaticCost(prog, classes, live)
 
@@ -70,7 +70,7 @@ func f(event) {
 	prog, _ := u.Program("f")
 	classes, _ := u.ClassTable()
 	model := costmodel.NewDataSize()
-	ug := analysis.BuildUnitGraph(prog)
+	ug := analysis.MustBuildUnitGraph(prog)
 	live := analysis.ComputeLiveness(ug)
 	costFn := model.StaticCost(prog, classes, live)
 	// x is an int field: deterministic. s is a string field: dynamic.

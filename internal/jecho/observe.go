@@ -428,6 +428,16 @@ func (p *Publisher) Collect(emit func(obsv.Sample)) {
 		Help:  "Per-subscriber modulator runs avoided by plan-equivalence class sharing.",
 		Value: float64(p.modulationsSaved.Load()),
 	})
+	var compiledRuns int64
+	for _, c := range classes {
+		compiledRuns += c.class.mod.CompiledRuns()
+	}
+	emit(obsv.Sample{
+		Name: "methodpart_compiled_runs_total", Type: obsv.CounterType,
+		Help:   compiledRunsHelp,
+		Labels: []obsv.Label{{Name: "role", Value: "publisher"}},
+		Value:  float64(compiledRuns),
+	})
 	for i := range p.reg.shards {
 		sh := &p.reg.shards[i]
 		labels := []obsv.Label{{Name: "shard", Value: strconv.Itoa(i)}}
@@ -487,10 +497,23 @@ func (p *Publisher) Status() obsv.EndpointStatus {
 	return ep
 }
 
+// compiledRunsHelp documents the engine counter emitted by both roles.
+const compiledRunsHelp = "Messages executed on the closure-compiled engine (the difference from total runs executed on the stepping engine)."
+
 // Collect implements obsv.Collector over the subscriber's half of the
 // loop, labelled {role="subscriber", channel, sub}.
 func (s *Subscriber) Collect(emit func(obsv.Sample)) {
 	emitChannelSamples(emit, "subscriber", s.cfg.Channel, s.cfg.Name, s.metrics.snapshot(), s.hists, nil)
+	emit(obsv.Sample{
+		Name: "methodpart_compiled_runs_total", Type: obsv.CounterType,
+		Help: compiledRunsHelp,
+		Labels: []obsv.Label{
+			{Name: "role", Value: "subscriber"},
+			{Name: "channel", Value: s.cfg.Channel},
+			{Name: "sub", Value: s.cfg.Name},
+		},
+		Value: float64(s.demod.CompiledRuns()),
+	})
 }
 
 // Status snapshots the subscriber for /debug/split: its profile plan,

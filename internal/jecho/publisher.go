@@ -648,6 +648,12 @@ func (p *Publisher) applyWirePlan(s *subscription, wp *wire.Plan) error {
 	if wp.Handler != s.compiled.Prog.Name {
 		return fmt.Errorf("partition: plan for %q applied to %q", wp.Handler, s.compiled.Prog.Name)
 	}
+	if wp.Version == 0 {
+		// Version 0 is reserved for locally-installed initial plans;
+		// accepting one from the wire would roll the class back past its
+		// active plan (see Modulator.ApplyWirePlan).
+		return fmt.Errorf("partition: %w: wire plan version 0 never advances past the active plan", partition.ErrStalePlan)
+	}
 	if err := s.compiled.ValidateSplitSet(wp.Split); err != nil {
 		return err
 	}

@@ -1,0 +1,895 @@
+// Closure compilation of MIR programs. Compile lowers a program once —
+// resolving every branch label to an instruction index (rejecting undefined
+// labels instead of silently jumping to 0), allocating registers to dense
+// slots, and emitting one Go closure per instruction — so the per-event hot
+// path pays no map lookups, no label resolution and no opcode dispatch
+// switch. Straight-line runs whose internal edges need no hook observation
+// are additionally fused into superinstructions (const+bin, cmp+branch and
+// longer chains), each dispatched as a single closure.
+//
+// The compiled engine is behaviourally identical to the stepping Machine:
+// same outcomes, same work and step accounting, same resource-bound
+// behaviour, byte-identical error text. The one deliberate difference is
+// that the edge hook observes only the watched edges given to Compile;
+// with a nil watch set every edge is watched and no fusion happens, which
+// restores full stepping parity.
+package interp
+
+import (
+	"fmt"
+	"sync"
+
+	"methodpart/internal/mir"
+)
+
+// maxFuseLen bounds superinstruction chain length. Fused halves execute by
+// nested closure calls, so the bound also bounds stack depth per dispatch;
+// 8 captures virtually all straight-line runs between branches in handler
+// code without letting a pathological block nest hundreds of frames.
+const maxFuseLen = 8
+
+// CompileOptions configures lowering.
+type CompileOptions struct {
+	// Watch lists the control-flow edges the edge hook must observe. The
+	// hook fires only on watched edges, and an instruction pair whose
+	// connecting edge is watched is never fused. nil watches every edge
+	// (full stepping-machine parity, no fusion); an empty non-nil slice
+	// watches none. Partition compilation passes the PSE edges plus the
+	// edges into non-exit StopNodes — the only edges whose hooks act.
+	Watch []Edge
+}
+
+// opFn executes one compiled operation, returning the next instruction
+// index (-1 on return) or an error attributed to CodeMachine.faultPC.
+type opFn func(m *CodeMachine) (int, error)
+
+// codeOp is one dispatch unit: a closure plus the Unit Graph metadata the
+// driver needs to report edges. from is the index of the op's final
+// instruction (the tail of a fused chain); w1/w2 are its watched successor
+// indices, -1 when absent.
+type codeOp struct {
+	fn   opFn
+	from int
+	w1   int
+	w2   int
+}
+
+// Code is a compiled MIR program: the instruction closures, the register
+// name↔slot mapping (names survive compilation so wire-format continuation
+// snapshots stay interoperable with the stepping engine), and a pool of
+// machines.
+type Code struct {
+	prog      *mir.Program
+	ops       []codeOp
+	slotOf    map[string]int
+	slotNames []string
+	params    []int
+	fused     int
+	pool      sync.Pool
+}
+
+// Prog returns the source program.
+func (c *Code) Prog() *mir.Program { return c.prog }
+
+// NumSlots returns the number of register slots a machine carries.
+func (c *Code) NumSlots() int { return len(c.slotNames) }
+
+// Superinstructions returns the number of ops that begin a fused run.
+func (c *Code) Superinstructions() int { return c.fused }
+
+// Compile lowers a program for closure execution. It fails on structural
+// defects the stepping engine would only hit at runtime — undefined or
+// duplicate branch labels, control falling off the end — mirroring
+// Program.Validate so a validated program always compiles.
+func Compile(prog *mir.Program, opts CompileOptions) (*Code, error) {
+	n := len(prog.Instrs)
+	if n == 0 {
+		return nil, fmt.Errorf("interp: compile %s: program has no instructions", prog.Name)
+	}
+	if last := &prog.Instrs[n-1]; !last.IsTerminator() {
+		return nil, fmt.Errorf("interp: compile %s: control falls off the end (last instr %s)", prog.Name, last)
+	}
+	c := &Code{prog: prog, slotOf: make(map[string]int)}
+	for _, r := range prog.Registers() {
+		c.slotFor(r)
+	}
+	c.params = make([]int, len(prog.Params))
+	for i, prm := range prog.Params {
+		c.params[i] = c.slotFor(prm)
+	}
+
+	// Resolve labels independently of Validate's index so an unvalidated
+	// program cannot compile with dangling branches.
+	labels := make(map[string]int)
+	for i := range prog.Instrs {
+		if l := prog.Instrs[i].Label; l != "" {
+			if _, dup := labels[l]; dup {
+				return nil, fmt.Errorf("interp: compile %s: duplicate label %q", prog.Name, l)
+			}
+			labels[l] = i
+		}
+	}
+	targets := make([]int, n)
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		if !in.IsBranch() {
+			continue
+		}
+		t, ok := labels[in.Target]
+		if !ok {
+			return nil, fmt.Errorf("interp: compile %s: instr %d (%s): undefined label %q", prog.Name, i, in, in.Target)
+		}
+		targets[i] = t
+	}
+
+	watched := func(from, to int) bool { return true }
+	if opts.Watch != nil {
+		ws := make(map[Edge]bool, len(opts.Watch))
+		for _, e := range opts.Watch {
+			ws[e] = true
+		}
+		watched = func(from, to int) bool { return ws[Edge{From: from, To: to}] }
+	}
+
+	c.ops = make([]codeOp, n)
+	standalone := make([]opFn, n)
+	for i := range prog.Instrs {
+		standalone[i] = c.lower(i, targets)
+		c.ops[i].fn = standalone[i]
+	}
+
+	// Superinstruction fusion, built back to front so ops[i] chains into
+	// the already-fused suffix at i+1. Every index keeps a valid op
+	// covering the chain suffix that starts there, so Restore can resume
+	// at the middle of a fused run. A head must fall through
+	// unconditionally (not a branch or return) and its internal edge must
+	// be unwatched, otherwise the hook would miss an observation the
+	// stepping engine delivers.
+	chainLen := make([]int, n)
+	lastOf := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		chainLen[i], lastOf[i] = 1, i
+		in := &prog.Instrs[i]
+		if in.IsBranch() || in.Op == mir.OpReturn || i+1 >= n {
+			continue
+		}
+		if watched(i, i+1) || chainLen[i+1] >= maxFuseLen {
+			continue
+		}
+		c.ops[i].fn = fusePair(standalone[i], c.ops[i+1].fn)
+		chainLen[i] = chainLen[i+1] + 1
+		lastOf[i] = lastOf[i+1]
+	}
+	for i := range chainLen {
+		if chainLen[i] > 1 {
+			c.fused++
+		}
+	}
+
+	// Edge metadata: each op reports edges out of its final instruction.
+	for i := range c.ops {
+		op := &c.ops[i]
+		fin := lastOf[i]
+		op.from = fin
+		op.w1, op.w2 = -1, -1
+		in := &prog.Instrs[fin]
+		switch in.Op {
+		case mir.OpReturn:
+		case mir.OpGoto:
+			if watched(fin, targets[fin]) {
+				op.w1 = targets[fin]
+			}
+		case mir.OpIf, mir.OpIfNot:
+			if fall := fin + 1; fall < n && watched(fin, fall) {
+				op.w1 = fall
+			}
+			if t := targets[fin]; watched(fin, t) {
+				op.w2 = t
+			}
+		default:
+			if watched(fin, fin+1) {
+				op.w1 = fin + 1
+			}
+		}
+	}
+
+	nslots := len(c.slotNames)
+	c.pool.New = func() any {
+		return &CodeMachine{code: c, regs: make([]slot, nslots)}
+	}
+	return c, nil
+}
+
+func (c *Code) slotFor(name string) int {
+	if i, ok := c.slotOf[name]; ok {
+		return i
+	}
+	i := len(c.slotNames)
+	c.slotOf[name] = i
+	c.slotNames = append(c.slotNames, name)
+	return i
+}
+
+// fusePair glues two compiled ops into one dispatch unit. The head runs
+// first; the resource-bound checks the driver loop would have made between
+// the two instructions run in the middle, raising pre-wrapped errors
+// (noWrap) so their text matches a driver-raised bound exactly.
+func fusePair(head, tail opFn) opFn {
+	return func(m *CodeMachine) (int, error) {
+		if next, err := head(m); err != nil {
+			return next, err
+		}
+		if m.steps >= m.limit {
+			m.noWrap = true
+			return 0, m.stepLimitErr()
+		}
+		if m.budget > 0 && m.work >= m.budget {
+			m.noWrap = true
+			return 0, m.workBudgetErr()
+		}
+		return tail(m)
+	}
+}
+
+// lower emits the standalone closure for instruction i. Every closure
+// charges one work unit and one step on entry and stamps faultPC, matching
+// the stepping engine's accounting (work and steps advance even when the
+// instruction faults).
+func (c *Code) lower(i int, targets []int) opFn {
+	in := &c.prog.Instrs[i]
+	fall := i + 1
+	switch in.Op {
+	case mir.OpConst:
+		dst := c.slotFor(in.Dst)
+		var lit slot
+		lit.set(in.Lit)
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.regs[dst] = lit
+			return fall, nil
+		}
+
+	case mir.OpMove:
+		dst, src := c.slotFor(in.Dst), c.slotFor(in.Src)
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			s := m.regs[src]
+			if s.kind == skUnset {
+				return 0, m.unsetErr(src)
+			}
+			m.regs[dst] = s
+			return fall, nil
+		}
+
+	case mir.OpBin:
+		return c.lowerBin(i, fall, in)
+
+	case mir.OpUn:
+		return c.lowerUn(i, fall, in)
+
+	case mir.OpGoto:
+		t := targets[i]
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			return t, nil
+		}
+
+	case mir.OpIf, mir.OpIfNot:
+		src := c.slotFor(in.Src)
+		t := targets[i]
+		negate := in.Op == mir.OpIfNot
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			s := &m.regs[src]
+			var truth bool
+			switch s.kind {
+			case skBool, skInt:
+				truth = s.i != 0
+			case skUnset:
+				return 0, m.unsetErr(src)
+			default:
+				tv, err := mir.Truthy(s.box())
+				if err != nil {
+					return 0, err
+				}
+				truth = tv
+			}
+			if negate {
+				truth = !truth
+			}
+			if truth {
+				return t, nil
+			}
+			return fall, nil
+		}
+
+	case mir.OpCall:
+		fn := in.Fn
+		argIdx := make([]int, len(in.Args))
+		for k, r := range in.Args {
+			argIdx[k] = c.slotFor(r)
+		}
+		dst := -1
+		if in.Dst != "" {
+			dst = c.slotFor(in.Dst)
+		}
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			b, ok := m.env.Builtins.Lookup(fn)
+			if !ok {
+				return 0, fmt.Errorf("unknown builtin %q", fn)
+			}
+			args := m.argBuf[:0]
+			for _, ai := range argIdx {
+				s := &m.regs[ai]
+				if s.kind == skUnset {
+					return 0, m.unsetErr(ai)
+				}
+				args = append(args, s.box())
+			}
+			m.argBuf = args[:0] // keep the grown backing array for reuse
+			if b.Cost != nil {
+				m.work += b.Cost(args)
+			}
+			v, err := b.Fn(m.env, args)
+			if err != nil {
+				return 0, fmt.Errorf("builtin %s: %w", fn, err)
+			}
+			if dst >= 0 {
+				if v == nil {
+					v = mir.Null{}
+				}
+				m.regs[dst].set(v)
+			}
+			return fall, nil
+		}
+
+	case mir.OpReturn:
+		if in.Src == "" {
+			return func(m *CodeMachine) (int, error) {
+				m.work++
+				m.steps++
+				m.ret = mir.Null{}
+				return -1, nil
+			}
+		}
+		src := c.slotFor(in.Src)
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			s := &m.regs[src]
+			if s.kind == skUnset {
+				return 0, m.unsetErr(src)
+			}
+			m.ret = s.box()
+			return -1, nil
+		}
+
+	case mir.OpNew:
+		dst := c.slotFor(in.Dst)
+		class := in.Class
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			obj, err := m.env.Classes.New(class)
+			if err != nil {
+				return 0, err
+			}
+			m.regs[dst] = slot{kind: skBoxed, v: obj}
+			return fall, nil
+		}
+
+	case mir.OpGetField:
+		dst, src := c.slotFor(in.Dst), c.slotFor(in.Src)
+		field := in.Field
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			obj, err := m.objAt(src)
+			if err != nil {
+				return 0, err
+			}
+			v, ok := obj.Fields[field]
+			if !ok {
+				return 0, fmt.Errorf("object %s has no field %q", obj.Class, field)
+			}
+			m.regs[dst].set(v)
+			return fall, nil
+		}
+
+	case mir.OpSetField:
+		objIdx, src := c.slotFor(in.Dst), c.slotFor(in.Src)
+		field := in.Field
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			obj, err := m.objAt(objIdx)
+			if err != nil {
+				return 0, err
+			}
+			s := &m.regs[src]
+			if s.kind == skUnset {
+				return 0, m.unsetErr(src)
+			}
+			obj.Fields[field] = s.box()
+			return fall, nil
+		}
+
+	case mir.OpNewArray:
+		dst, src := c.slotFor(in.Dst), c.slotFor(in.Src)
+		elem := in.ElemKind
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			n, err := m.intAt(src)
+			if err != nil {
+				return 0, err
+			}
+			if n < 0 {
+				return 0, fmt.Errorf("negative array length %d", n)
+			}
+			switch elem {
+			case mir.KindInt:
+				m.regs[dst] = slot{kind: skBoxed, v: make(mir.IntArray, n)}
+			case mir.KindFloat:
+				m.regs[dst] = slot{kind: skBoxed, v: make(mir.FloatArray, n)}
+			case mir.KindBytes:
+				m.regs[dst] = slot{kind: skBoxed, v: make(mir.Bytes, n)}
+			default:
+				return 0, fmt.Errorf("bad newarray element kind %s", elem)
+			}
+			return fall, nil
+		}
+
+	case mir.OpArrGet:
+		dst, arr, idx := c.slotFor(in.Dst), c.slotFor(in.Src), c.slotFor(in.Src2)
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			as := &m.regs[arr]
+			if as.kind == skUnset {
+				return 0, m.unsetErr(arr)
+			}
+			ix, err := m.intAt(idx)
+			if err != nil {
+				return 0, err
+			}
+			if as.kind == skBoxed {
+				switch a := as.v.(type) {
+				case mir.IntArray:
+					if ix < 0 || ix >= int64(len(a)) {
+						return 0, fmt.Errorf("index %d out of range [0,%d)", ix, len(a))
+					}
+					m.regs[dst] = slot{kind: skInt, i: a[ix]}
+					return fall, nil
+				case mir.FloatArray:
+					if ix < 0 || ix >= int64(len(a)) {
+						return 0, fmt.Errorf("index %d out of range [0,%d)", ix, len(a))
+					}
+					m.regs[dst] = slot{kind: skFloat, f: a[ix]}
+					return fall, nil
+				case mir.Bytes:
+					if ix < 0 || ix >= int64(len(a)) {
+						return 0, fmt.Errorf("index %d out of range [0,%d)", ix, len(a))
+					}
+					m.regs[dst] = slot{kind: skInt, i: int64(a[ix])}
+					return fall, nil
+				}
+			}
+			return 0, fmt.Errorf("arrget on %s", as.kindOf())
+		}
+
+	case mir.OpArrSet:
+		arr, idx, val := c.slotFor(in.Dst), c.slotFor(in.Src2), c.slotFor(in.Src)
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			as := &m.regs[arr]
+			if as.kind == skUnset {
+				return 0, m.unsetErr(arr)
+			}
+			ix, err := m.intAt(idx)
+			if err != nil {
+				return 0, err
+			}
+			vs := &m.regs[val]
+			if vs.kind == skUnset {
+				return 0, m.unsetErr(val)
+			}
+			if as.kind == skBoxed {
+				switch a := as.v.(type) {
+				case mir.IntArray:
+					if vs.kind != skInt {
+						return 0, fmt.Errorf("intarray element must be int, got %s", vs.kindOf())
+					}
+					if ix < 0 || ix >= int64(len(a)) {
+						return 0, fmt.Errorf("index %d out of range [0,%d)", ix, len(a))
+					}
+					a[ix] = vs.i
+					return fall, nil
+				case mir.FloatArray:
+					if vs.kind != skFloat {
+						return 0, fmt.Errorf("floatarray element must be float, got %s", vs.kindOf())
+					}
+					if ix < 0 || ix >= int64(len(a)) {
+						return 0, fmt.Errorf("index %d out of range [0,%d)", ix, len(a))
+					}
+					a[ix] = vs.f
+					return fall, nil
+				case mir.Bytes:
+					if vs.kind != skInt {
+						return 0, fmt.Errorf("bytes element must be int, got %s", vs.kindOf())
+					}
+					if ix < 0 || ix >= int64(len(a)) {
+						return 0, fmt.Errorf("index %d out of range [0,%d)", ix, len(a))
+					}
+					a[ix] = byte(vs.i)
+					return fall, nil
+				}
+			}
+			return 0, fmt.Errorf("arrset on %s", as.kindOf())
+		}
+
+	case mir.OpInstanceOf:
+		dst, src := c.slotFor(in.Dst), c.slotFor(in.Src)
+		class := in.Class
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			s := &m.regs[src]
+			if s.kind == skUnset {
+				return 0, m.unsetErr(src)
+			}
+			is := false
+			if s.kind == skBoxed {
+				if obj, ok := s.v.(*mir.Object); ok && obj != nil && obj.Class == class {
+					is = true
+				}
+			}
+			m.regs[dst] = boolSlot(is)
+			return fall, nil
+		}
+
+	case mir.OpCast:
+		dst, src := c.slotFor(in.Dst), c.slotFor(in.Src)
+		class := in.Class
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			s := m.regs[src]
+			if s.kind == skUnset {
+				return 0, m.unsetErr(src)
+			}
+			if s.kind == skBoxed {
+				if obj, ok := s.v.(*mir.Object); ok && obj != nil && obj.Class == class {
+					m.regs[dst] = s
+					return fall, nil
+				}
+			}
+			return 0, fmt.Errorf("cannot cast %s to %s", s.kindOf(), class)
+		}
+
+	case mir.OpLen:
+		dst, src := c.slotFor(in.Dst), c.slotFor(in.Src)
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			s := &m.regs[src]
+			if s.kind == skUnset {
+				return 0, m.unsetErr(src)
+			}
+			if s.kind == skBoxed {
+				switch a := s.v.(type) {
+				case mir.IntArray:
+					m.regs[dst] = slot{kind: skInt, i: int64(len(a))}
+					return fall, nil
+				case mir.FloatArray:
+					m.regs[dst] = slot{kind: skInt, i: int64(len(a))}
+					return fall, nil
+				case mir.Bytes:
+					m.regs[dst] = slot{kind: skInt, i: int64(len(a))}
+					return fall, nil
+				case mir.Str:
+					m.regs[dst] = slot{kind: skInt, i: int64(len(a))}
+					return fall, nil
+				}
+			}
+			return 0, fmt.Errorf("len of %s", s.kindOf())
+		}
+
+	case mir.OpGetGlobal:
+		dst := c.slotFor(in.Dst)
+		name := in.Field
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			v, ok := m.env.Globals[name]
+			if !ok {
+				v = mir.Null{}
+			}
+			m.regs[dst].set(v)
+			return fall, nil
+		}
+
+	case mir.OpSetGlobal:
+		src := c.slotFor(in.Src)
+		name := in.Field
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			s := &m.regs[src]
+			if s.kind == skUnset {
+				return 0, m.unsetErr(src)
+			}
+			m.env.Globals[name] = s.box()
+			return fall, nil
+		}
+
+	default:
+		op := in.Op
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			return 0, fmt.Errorf("unknown opcode %d", uint8(op))
+		}
+	}
+}
+
+// lowerBin specializes OpBin per operator: the overwhelmingly common
+// int⊕int case runs unboxed inline; everything else drops to binSlow
+// (numeric promotion) or binBoxed (evalBin) for exact stepping semantics.
+func (c *Code) lowerBin(i, fall int, in *mir.Instr) opFn {
+	dst, a, b := c.slotFor(in.Dst), c.slotFor(in.Src), c.slotFor(in.Src2)
+	bin := in.Bin
+	switch bin {
+	case mir.BinAdd:
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			pa, pb := &m.regs[a], &m.regs[b]
+			if pa.kind == skInt && pb.kind == skInt {
+				m.regs[dst] = slot{kind: skInt, i: pa.i + pb.i}
+				return fall, nil
+			}
+			return m.binSlow(fall, mir.BinAdd, dst, a, b)
+		}
+	case mir.BinSub:
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			pa, pb := &m.regs[a], &m.regs[b]
+			if pa.kind == skInt && pb.kind == skInt {
+				m.regs[dst] = slot{kind: skInt, i: pa.i - pb.i}
+				return fall, nil
+			}
+			return m.binSlow(fall, mir.BinSub, dst, a, b)
+		}
+	case mir.BinMul:
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			pa, pb := &m.regs[a], &m.regs[b]
+			if pa.kind == skInt && pb.kind == skInt {
+				m.regs[dst] = slot{kind: skInt, i: pa.i * pb.i}
+				return fall, nil
+			}
+			return m.binSlow(fall, mir.BinMul, dst, a, b)
+		}
+	case mir.BinDiv:
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			pa, pb := &m.regs[a], &m.regs[b]
+			if pa.kind == skInt && pb.kind == skInt && pb.i != 0 {
+				m.regs[dst] = slot{kind: skInt, i: pa.i / pb.i}
+				return fall, nil
+			}
+			return m.binSlow(fall, mir.BinDiv, dst, a, b)
+		}
+	case mir.BinMod:
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			pa, pb := &m.regs[a], &m.regs[b]
+			if pa.kind == skInt && pb.kind == skInt && pb.i != 0 {
+				m.regs[dst] = slot{kind: skInt, i: pa.i % pb.i}
+				return fall, nil
+			}
+			return m.binBoxed(fall, mir.BinMod, dst, a, b)
+		}
+	case mir.BinLt:
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			pa, pb := &m.regs[a], &m.regs[b]
+			if pa.kind == skInt && pb.kind == skInt {
+				m.regs[dst] = boolSlot(pa.i < pb.i)
+				return fall, nil
+			}
+			return m.binSlow(fall, mir.BinLt, dst, a, b)
+		}
+	case mir.BinLe:
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			pa, pb := &m.regs[a], &m.regs[b]
+			if pa.kind == skInt && pb.kind == skInt {
+				m.regs[dst] = boolSlot(pa.i <= pb.i)
+				return fall, nil
+			}
+			return m.binSlow(fall, mir.BinLe, dst, a, b)
+		}
+	case mir.BinGt:
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			pa, pb := &m.regs[a], &m.regs[b]
+			if pa.kind == skInt && pb.kind == skInt {
+				m.regs[dst] = boolSlot(pa.i > pb.i)
+				return fall, nil
+			}
+			return m.binSlow(fall, mir.BinGt, dst, a, b)
+		}
+	case mir.BinGe:
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			pa, pb := &m.regs[a], &m.regs[b]
+			if pa.kind == skInt && pb.kind == skInt {
+				m.regs[dst] = boolSlot(pa.i >= pb.i)
+				return fall, nil
+			}
+			return m.binSlow(fall, mir.BinGe, dst, a, b)
+		}
+	case mir.BinEq, mir.BinNe:
+		neg := bin == mir.BinNe
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			pa, pb := &m.regs[a], &m.regs[b]
+			if pa.kind != skUnset && pa.kind != skBoxed && pb.kind != skUnset && pb.kind != skBoxed {
+				// Unboxed kinds compare directly; mir.Equal is
+				// kind-strict so differing kinds are simply unequal.
+				eq := false
+				if pa.kind == pb.kind {
+					if pa.kind == skFloat {
+						eq = pa.f == pb.f
+					} else {
+						eq = pa.i == pb.i
+					}
+				}
+				m.regs[dst] = boolSlot(eq != neg)
+				return fall, nil
+			}
+			return m.binBoxed(fall, bin, dst, a, b)
+		}
+	case mir.BinAnd:
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			pa, pb := &m.regs[a], &m.regs[b]
+			if pa.kind == skBool && pb.kind == skBool {
+				m.regs[dst] = boolSlot(pa.i != 0 && pb.i != 0)
+				return fall, nil
+			}
+			return m.binBoxed(fall, mir.BinAnd, dst, a, b)
+		}
+	case mir.BinOr:
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			pa, pb := &m.regs[a], &m.regs[b]
+			if pa.kind == skBool && pb.kind == skBool {
+				m.regs[dst] = boolSlot(pa.i != 0 || pb.i != 0)
+				return fall, nil
+			}
+			return m.binBoxed(fall, mir.BinOr, dst, a, b)
+		}
+	default:
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			return m.binBoxed(fall, bin, dst, a, b)
+		}
+	}
+}
+
+// lowerUn specializes OpUn per operator with unboxed fast paths.
+func (c *Code) lowerUn(i, fall int, in *mir.Instr) opFn {
+	dst, src := c.slotFor(in.Dst), c.slotFor(in.Src)
+	un := in.Un
+	switch un {
+	case mir.UnNeg:
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			s := &m.regs[src]
+			switch s.kind {
+			case skInt:
+				m.regs[dst] = slot{kind: skInt, i: -s.i}
+				return fall, nil
+			case skFloat:
+				m.regs[dst] = slot{kind: skFloat, f: -s.f}
+				return fall, nil
+			}
+			return m.unSlow(fall, mir.UnNeg, dst, src)
+		}
+	case mir.UnNot:
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			s := &m.regs[src]
+			if s.kind == skBool {
+				m.regs[dst] = boolSlot(s.i == 0)
+				return fall, nil
+			}
+			return m.unSlow(fall, mir.UnNot, dst, src)
+		}
+	case mir.UnI2F:
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			s := &m.regs[src]
+			if s.kind == skInt {
+				m.regs[dst] = slot{kind: skFloat, f: float64(s.i)}
+				return fall, nil
+			}
+			return m.unSlow(fall, mir.UnI2F, dst, src)
+		}
+	case mir.UnF2I:
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			s := &m.regs[src]
+			if s.kind == skFloat {
+				m.regs[dst] = slot{kind: skInt, i: f2i(s.f)}
+				return fall, nil
+			}
+			return m.unSlow(fall, mir.UnF2I, dst, src)
+		}
+	default:
+		return func(m *CodeMachine) (int, error) {
+			m.work++
+			m.steps++
+			m.faultPC = i
+			return m.unSlow(fall, un, dst, src)
+		}
+	}
+}

@@ -138,6 +138,24 @@ func compare(op mir.BinKind, a, b mir.Value) (mir.Value, error) {
 	return nil, fmt.Errorf("unknown comparison op %d", uint8(op))
 }
 
+// f2i converts float64 to int64 with Java-style (JLS §5.1.3) saturation:
+// NaN maps to 0, values at or beyond the int64 range clamp to the nearest
+// bound. A plain Go conversion is implementation-defined for these inputs,
+// so the sender and receiver of a split could disagree on the same event;
+// both engines funnel every float→int conversion through this function.
+func f2i(f float64) int64 {
+	switch {
+	case f != f: // NaN
+		return 0
+	case f >= 9223372036854775808.0: // 2^63: +Inf and anything ≥ MaxInt64+1
+		return 9223372036854775807
+	case f <= -9223372036854775808.0: // -2^63: -Inf and anything ≤ MinInt64
+		return -9223372036854775808
+	default:
+		return int64(f)
+	}
+}
+
 func toFloat(v mir.Value) (float64, bool) {
 	switch x := v.(type) {
 	case mir.Int:
@@ -177,7 +195,7 @@ func evalUn(op mir.UnKind, a mir.Value) (mir.Value, error) {
 		if !ok {
 			return nil, fmt.Errorf("f2i of %s", a.Kind())
 		}
-		return mir.Int(x), nil
+		return mir.Int(f2i(float64(x))), nil
 	default:
 		return nil, fmt.Errorf("unknown unary op %d", uint8(op))
 	}

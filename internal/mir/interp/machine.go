@@ -115,6 +115,16 @@ func (m *Machine) Snapshot(names []string) map[string]mir.Value {
 	return out
 }
 
+// SetHook installs (or clears) the edge hook — the method form of writing
+// the Hook field, shared with CodeMachine so callers can drive either
+// engine through one interface.
+func (m *Machine) SetHook(h EdgeHook) { m.Hook = h }
+
+// Release is a no-op: stepping machines are not pooled. It exists so the
+// stepping and compiled machines satisfy the same acquire/run/release
+// contract.
+func (m *Machine) Release() {}
+
 // PC returns the index of the next instruction to execute.
 func (m *Machine) PC() int { return m.pc }
 
@@ -190,7 +200,10 @@ func (m *Machine) exec(in *mir.Instr) (int, mir.Value, error) {
 		}
 		m.regs[in.Dst] = v
 	case mir.OpGoto:
-		t, _ := m.prog.LabelIndex(in.Target)
+		t, ok := m.prog.LabelIndex(in.Target)
+		if !ok {
+			return 0, nil, fmt.Errorf("undefined label %q", in.Target)
+		}
 		return t, nil, nil
 	case mir.OpIf, mir.OpIfNot:
 		c, err := m.get(in.Src)
@@ -205,7 +218,10 @@ func (m *Machine) exec(in *mir.Instr) (int, mir.Value, error) {
 			truth = !truth
 		}
 		if truth {
-			t, _ := m.prog.LabelIndex(in.Target)
+			t, ok := m.prog.LabelIndex(in.Target)
+			if !ok {
+				return 0, nil, fmt.Errorf("undefined label %q", in.Target)
+			}
 			return t, nil, nil
 		}
 	case mir.OpCall:

@@ -208,17 +208,26 @@ func (p *Program) LabelIndex(label string) (int, bool) {
 
 // Successors returns the instruction indices control may flow to from index
 // i. A return instruction has no successors (the Unit Graph adds a virtual
-// exit node separately).
-func (p *Program) Successors(i int) []int {
+// exit node separately). A branch whose label does not resolve — a program
+// that bypassed Validate, or whose label index was never built — is an
+// error: silently treating the miss as index 0 would corrupt every graph
+// built on top (the Unit Graph ConvexCut partitions over).
+func (p *Program) Successors(i int) ([]int, error) {
 	in := &p.Instrs[i]
 	switch in.Op {
 	case OpReturn:
-		return nil
+		return nil, nil
 	case OpGoto:
-		t, _ := p.LabelIndex(in.Target)
-		return []int{t}
+		t, ok := p.LabelIndex(in.Target)
+		if !ok {
+			return nil, fmt.Errorf("mir: program %q instr %d (%s): undefined label %q", p.Name, i, in, in.Target)
+		}
+		return []int{t}, nil
 	case OpIf, OpIfNot:
-		t, _ := p.LabelIndex(in.Target)
+		t, ok := p.LabelIndex(in.Target)
+		if !ok {
+			return nil, fmt.Errorf("mir: program %q instr %d (%s): undefined label %q", p.Name, i, in, in.Target)
+		}
 		succ := []int{}
 		if i+1 < len(p.Instrs) {
 			succ = append(succ, i+1)
@@ -228,12 +237,12 @@ func (p *Program) Successors(i int) []int {
 		} else if len(succ) == 0 {
 			succ = append(succ, t)
 		}
-		return succ
+		return succ, nil
 	default:
 		if i+1 < len(p.Instrs) {
-			return []int{i + 1}
+			return []int{i + 1}, nil
 		}
-		return nil
+		return nil, nil
 	}
 }
 

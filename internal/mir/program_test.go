@@ -134,17 +134,25 @@ func TestSuccessors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := p.Successors(0); !sameInts(got, []int{1}) {
+	succ := func(i int) []int {
+		t.Helper()
+		got, err := p.Successors(i)
+		if err != nil {
+			t.Fatalf("Successors(%d): %v", i, err)
+		}
+		return got
+	}
+	if got := succ(0); !sameInts(got, []int{1}) {
 		t.Errorf("succ(0) = %v", got)
 	}
-	got := p.Successors(1)
+	got := succ(1)
 	if len(got) != 2 || !(contains(got, 2) && contains(got, 4)) {
 		t.Errorf("succ(1) = %v", got)
 	}
-	if got := p.Successors(3); !sameInts(got, []int{4}) {
+	if got := succ(3); !sameInts(got, []int{4}) {
 		t.Errorf("succ(3) = %v", got)
 	}
-	if got := p.Successors(4); len(got) != 0 {
+	if got := succ(4); len(got) != 0 {
 		t.Errorf("succ(return) = %v", got)
 	}
 }
@@ -159,7 +167,11 @@ func TestBranchToNextInstruction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := p.Successors(0); !sameInts(got, []int{1}) {
+	got, err := p.Successors(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameInts(got, []int{1}) {
 		t.Errorf("succ = %v, want [1]", got)
 	}
 }

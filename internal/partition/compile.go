@@ -13,6 +13,7 @@ import (
 	"methodpart/internal/analysis"
 	"methodpart/internal/costmodel"
 	"methodpart/internal/mir"
+	"methodpart/internal/mir/interp"
 )
 
 // RawPSEID is the id of the synthetic split point "before the first
@@ -48,6 +49,14 @@ type Compiled struct {
 	Analysis *analysis.Result
 	// PSEs is the PSE table indexed by ID (index 0 is the raw PSE).
 	PSEs []PSE
+	// Code is the closure-compiled program, lowered once here with a
+	// watch set of exactly the edges the partition hooks act on: the PSE
+	// edges plus the edges into non-exit StopNodes. All other edges run
+	// inside fused superinstructions with no hook dispatch.
+	Code *interp.Code
+	// Engine selects the execution engine for all endpoints built on this
+	// handler; the zero value is EngineCompiled.
+	Engine Engine
 
 	pseByEdge map[analysis.Edge]int32
 }
@@ -61,7 +70,10 @@ type Compiled struct {
 // the synthetic raw PSE, so every event ships unmodulated — correct, just
 // unoptimized.
 func Compile(prog *mir.Program, classes *mir.ClassTable, oracle analysis.NativeOracle, model costmodel.Model) (*Compiled, error) {
-	ug := analysis.BuildUnitGraph(prog)
+	ug, err := analysis.BuildUnitGraph(prog)
+	if err != nil {
+		return nil, fmt.Errorf("partition: compile %s: %w", prog.Name, err)
+	}
 	live := analysis.ComputeLiveness(ug)
 	res, err := analysis.Analyze(ug, oracle, model.StaticCost(prog, classes, live), analysis.Options{})
 	if err != nil {
@@ -94,7 +106,36 @@ func Compile(prog *mir.Program, classes *mir.ClassTable, oracle analysis.NativeO
 		c.PSEs = append(c.PSEs, PSE{ID: id, Edge: e, Vars: vars, Static: res.Cost[e]})
 		c.pseByEdge[e] = id
 	}
+	c.Code, err = interp.Compile(prog, interp.CompileOptions{Watch: c.watchSet()})
+	if err != nil {
+		return nil, fmt.Errorf("partition: compile %s: %w", prog.Name, err)
+	}
 	return c, nil
+}
+
+// watchSet collects the edges the runtime hooks must observe: every PSE
+// edge (split and profile decisions) and every edge into a non-exit
+// StopNode (defensive splits). The set is always non-nil — a nil watch set
+// would make interp.Compile watch every edge.
+func (c *Compiled) watchSet() []interp.Edge {
+	seen := make(map[analysis.Edge]bool)
+	watch := make([]interp.Edge, 0, len(c.pseByEdge))
+	add := func(e analysis.Edge) {
+		if !seen[e] {
+			seen[e] = true
+			watch = append(watch, interp.Edge{From: e.From, To: e.To})
+		}
+	}
+	for e := range c.pseByEdge {
+		add(e)
+	}
+	ug := c.Analysis.UG
+	for _, e := range ug.Edges() {
+		if !ug.IsExit(e.To) && c.Analysis.Stops[e.To] {
+			add(e)
+		}
+	}
+	return watch
 }
 
 // PSEByEdge resolves a UG edge to its PSE id.

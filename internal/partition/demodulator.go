@@ -40,8 +40,12 @@ type Demodulator struct {
 	// modulator side). Defaults to NopProbe.
 	CrossProbe SenderProbe
 
-	profilePlan atomic.Pointer[Plan]
+	profilePlan  atomic.Pointer[Plan]
+	compiledRuns atomic.Int64
 }
+
+// CompiledRuns returns how many messages ran on the compiled engine.
+func (d *Demodulator) CompiledRuns() int64 { return d.compiledRuns.Load() }
 
 // NewDemodulator builds a demodulator executing in the receiver-side
 // environment (which must register the handler's native builtins).
@@ -62,7 +66,7 @@ func (d *Demodulator) ProfilePlan() *Plan { return d.profilePlan.Load() }
 // profileHook returns an edge hook observing profiled PSE crossings, or nil
 // when no profiling is active. baseWork is the sender-side work already
 // spent on the message (so crossing stats are message-cumulative).
-func (d *Demodulator) profileHook(machine *interp.Machine, baseWork int64) interp.EdgeHook {
+func (d *Demodulator) profileHook(machine execMachine, baseWork int64) interp.EdgeHook {
 	plan := d.profilePlan.Load()
 	if plan == nil || len(plan.ProfileIDs()) == 0 {
 		return nil
@@ -95,11 +99,15 @@ func (d *Demodulator) ProcessRaw(msg *wire.Raw) (res *Result, err error) {
 	if msg.Handler != d.c.Prog.Name {
 		return nil, faultf(wire.NackDecode, "partition: raw message for %q handled by %q", msg.Handler, d.c.Prog.Name)
 	}
-	machine, err := interp.NewMachine(d.env, d.c.Prog, []mir.Value{msg.Event})
+	machine, err := d.c.newMachine(d.env, []mir.Value{msg.Event})
 	if err != nil {
 		return nil, classify(wire.NackRestore, err)
 	}
-	machine.Hook = d.profileHook(machine, 0)
+	defer machine.Release()
+	if d.c.Engine == EngineCompiled {
+		d.compiledRuns.Add(1)
+	}
+	machine.SetHook(d.profileHook(machine, 0))
 	out, err := machine.Run()
 	if err != nil {
 		return nil, classify(wire.NackRuntime, err)
@@ -123,11 +131,15 @@ func (d *Demodulator) ProcessContinuation(cont *wire.Continuation) (res *Result,
 	if resume < 0 || resume >= len(d.c.Prog.Instrs) {
 		return nil, faultf(wire.NackRestore, "partition: continuation resume node %d out of range", resume)
 	}
-	machine, err := interp.Restore(d.env, d.c.Prog, resume, cont.Vars)
+	machine, err := d.c.restoreMachine(d.env, resume, cont.Vars)
 	if err != nil {
 		return nil, classify(wire.NackRestore, err)
 	}
-	machine.Hook = d.profileHook(machine, cont.ModWork)
+	defer machine.Release()
+	if d.c.Engine == EngineCompiled {
+		d.compiledRuns.Add(1)
+	}
+	machine.SetHook(d.profileHook(machine, cont.ModWork))
 	out, err := machine.Run()
 	if err != nil {
 		return nil, classify(wire.NackRuntime, err)

@@ -76,9 +76,14 @@ type Modulator struct {
 	// 0 or 1 profiles every message.
 	SampleEvery uint64
 
-	plan atomic.Pointer[Plan]
-	seq  atomic.Uint64
+	plan         atomic.Pointer[Plan]
+	seq          atomic.Uint64
+	compiledRuns atomic.Int64
 }
+
+// CompiledRuns returns how many events ran on the compiled engine (raw
+// pass-throughs execute nothing and are not counted).
+func (m *Modulator) CompiledRuns() int64 { return m.compiledRuns.Load() }
 
 // NewModulator builds a modulator executing in the sender-side environment.
 // The initial plan ships raw events until a better plan is installed.
@@ -124,9 +129,18 @@ var ErrStalePlan = errors.New("stale plan version")
 // A plan whose version the modulator has already passed returns
 // ErrStalePlan (wrapped), so the rejection is visible to the caller instead
 // of silently delaying plan convergence.
+//
+// Version 0 is the pre-negotiation version of the initial raw plan;
+// SetPlan installs version-0 plans unconditionally so local callers can
+// force one. A version-0 plan arriving over the wire is therefore rejected
+// as stale: accepting it would let a replayed (or forged) initial plan
+// roll the endpoint back past its active plan.
 func (m *Modulator) ApplyWirePlan(wp *wire.Plan) error {
 	if wp.Handler != m.c.Prog.Name {
 		return fmt.Errorf("partition: plan for %q applied to %q", wp.Handler, m.c.Prog.Name)
+	}
+	if wp.Version == 0 {
+		return fmt.Errorf("partition: %w: wire plan version 0 never advances past the active plan", ErrStalePlan)
 	}
 	if err := m.c.ValidateSplitSet(wp.Split); err != nil {
 		return err
@@ -163,9 +177,13 @@ func (m *Modulator) Process(event mir.Value) (out *Output, err error) {
 		return &Output{Raw: raw, SplitPSE: RawPSEID, WireBytes: size}, nil
 	}
 
-	machine, err := interp.NewMachine(m.env, m.c.Prog, []mir.Value{event})
+	machine, err := m.c.newMachine(m.env, []mir.Value{event})
 	if err != nil {
 		return nil, classify(wire.NackRestore, err)
+	}
+	defer machine.Release()
+	if m.c.Engine == EngineCompiled {
+		m.compiledRuns.Add(1)
 	}
 	res, err := runSplit(m.c, machine, plan, m.Probe, sampled, 0)
 	if err != nil {

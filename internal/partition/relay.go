@@ -21,10 +21,12 @@ type splitResult struct {
 // runSplit executes a machine until a flagged PSE (or a forced split before
 // a StopNode), profiling flagged PSE crossings. baseWork is the work already
 // spent on the message upstream, so crossing statistics stay
-// message-cumulative across parties.
-func runSplit(c *Compiled, machine *interp.Machine, plan *Plan, probe SenderProbe, sampled bool, baseWork int64) (*splitResult, error) {
+// message-cumulative across parties. It drives either engine: the hook only
+// acts on PSE edges and edges into StopNodes, exactly the edges compiled
+// code watches.
+func runSplit(c *Compiled, machine execMachine, plan *Plan, probe SenderProbe, sampled bool, baseWork int64) (*splitResult, error) {
 	res := &splitResult{splitID: ForcedSplit}
-	machine.Hook = func(e interp.Edge) bool {
+	machine.SetHook(func(e interp.Edge) bool {
 		ae := analysis.Edge{From: e.From, To: e.To}
 		id, isPSE := c.PSEByEdge(ae)
 		if isPSE {
@@ -53,7 +55,7 @@ func runSplit(c *Compiled, machine *interp.Machine, plan *Plan, probe SenderProb
 			return true
 		}
 		return false
-	}
+	})
 	out, err := machine.Run()
 	if err != nil {
 		return nil, err
@@ -75,8 +77,12 @@ type Relay struct {
 	// Probe receives profiling events (message-cumulative work).
 	Probe SenderProbe
 
-	plan atomic.Pointer[Plan]
+	plan         atomic.Pointer[Plan]
+	compiledRuns atomic.Int64
 }
+
+// CompiledRuns returns how many messages ran on the compiled engine.
+func (r *Relay) CompiledRuns() int64 { return r.compiledRuns.Load() }
 
 // NewRelay builds a relay for a compiled handler. Its initial plan is
 // pass-through (raw flag), forwarding messages untouched.
@@ -113,7 +119,7 @@ func (r *Relay) SetPlan(p *Plan) bool {
 func (r *Relay) Process(msg any) (*Output, error) {
 	plan := r.plan.Load()
 	var (
-		machine  *interp.Machine
+		machine  execMachine
 		baseWork int64
 		seq      uint64
 		handler  string
@@ -128,7 +134,7 @@ func (r *Relay) Process(msg any) (*Output, error) {
 			// Pass-through: forward untouched.
 			return &Output{Raw: m, SplitPSE: RawPSEID, WireBytes: wire.SizeOf(m.Event)}, nil
 		}
-		machine, err = interp.NewMachine(r.env, r.c.Prog, []mir.Value{m.Event})
+		machine, err = r.c.newMachine(r.env, []mir.Value{m.Event})
 		if err != nil {
 			return nil, err
 		}
@@ -145,13 +151,17 @@ func (r *Relay) Process(msg any) (*Output, error) {
 			// Pass-through: nothing the relay may run.
 			return &Output{Cont: m, SplitPSE: m.PSEID, ModWork: 0, WireBytes: continuationSize(m)}, nil
 		}
-		machine, err = interp.Restore(r.env, r.c.Prog, resume, m.Vars)
+		machine, err = r.c.restoreMachine(r.env, resume, m.Vars)
 		if err != nil {
 			return nil, err
 		}
 		baseWork, seq, handler = m.ModWork, m.Seq, m.Handler
 	default:
 		return nil, fmt.Errorf("partition: relay cannot process %T", msg)
+	}
+	defer machine.Release()
+	if r.c.Engine == EngineCompiled {
+		r.compiledRuns.Add(1)
 	}
 
 	res, err := runSplit(r.c, machine, plan, r.Probe, true, baseWork)
