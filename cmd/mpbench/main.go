@@ -6,7 +6,7 @@
 //	mpbench -experiment figure7 -seeds 5
 //
 // Experiments: table1, table2, table3, table4, figure7, figure8, ablation,
-// models, richimage, channel, fanout, faults, poison, engine, claims.
+// models, richimage, channel, fanout, faults, poison, loss, engine, claims.
 package main
 
 import (
@@ -29,7 +29,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mpbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "which experiment to run (table1|table2|table3|table4|figure7|figure8|ablation|models|richimage|channel|fanout|faults|poison|engine|claims|all)")
+	experiment := fs.String("experiment", "all", "which experiment to run (table1|table2|table3|table4|figure7|figure8|ablation|models|richimage|channel|fanout|faults|poison|loss|engine|claims|all)")
 	frames := fs.Int("frames", 0, "override frames per run (0 = experiment default)")
 	seeds := fs.Int("seeds", 0, "override number of perturbation seeds (0 = default 5)")
 	asCSV := fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
@@ -210,6 +210,21 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		bench.WritePoison(w, row)
+	}
+	if all || wanted["loss"] {
+		ran = true
+		loCfg := bench.DefaultLossConfig()
+		if *frames > 0 {
+			loCfg.Frames = *frames
+		}
+		if *seeds > 0 {
+			loCfg.Rounds = *seeds
+		}
+		rows, err := bench.LossExperiment(loCfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteLoss(w, rows)
 	}
 	if all || wanted["engine"] {
 		ran = true

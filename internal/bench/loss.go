@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/imaging"
+	"methodpart/internal/jecho"
+	"methodpart/internal/transport"
+)
+
+// LossConfig drives the delivery-guarantee experiment: the same
+// sever-and-resume cycle run once per delivery mode, measuring what each
+// contract actually delivers — and, crucially, what it *admits* to losing.
+type LossConfig struct {
+	// Rounds is the number of injected link cuts per scenario.
+	Rounds int
+	// Frames is the number of events published per phase (warmup and after
+	// every cut).
+	Frames int
+	// FrameSize is the square image edge length.
+	FrameSize int
+	// Seed roots the deterministic fault randomness.
+	Seed int64
+	// AmpleRingBytes and TinyRingBytes are the replay-ring budgets of the
+	// two at-least-once scenarios: one sized so every gap is repairable,
+	// one deliberately undersized so eviction forces counted data loss.
+	AmpleRingBytes int
+	TinyRingBytes  int
+}
+
+// DefaultLossConfig runs each scenario in well under a second.
+func DefaultLossConfig() LossConfig {
+	return LossConfig{
+		Rounds: 2, Frames: 60, FrameSize: 64, Seed: 1,
+		AmpleRingBytes: 8 << 20, TinyRingBytes: 2048,
+	}
+}
+
+// LossRow is one delivery scenario's outcome.
+type LossRow struct {
+	// Mode is the delivery contract under test.
+	Mode string
+	// RingBytes is the replay-ring budget (0 for best-effort: no ring).
+	RingBytes int
+	// Staged is how many events entered the delivery stream (sequence
+	// numbers assigned); for best-effort it is the publish count instead.
+	Staged uint64
+	// Processed is how many events the handler completed (post-dedup).
+	Processed uint64
+	// Replayed is how many frames the publisher re-sent from its ring on
+	// the final session (counters are per-connection).
+	Replayed uint64
+	// DataLoss is how many events were loudly declared unrecoverable.
+	DataLoss uint64
+	// DupsDropped is how many replay duplicates dedup absorbed before the
+	// handler.
+	DupsDropped uint64
+	// Accounted reports the at-least-once identity
+	// staged == processed + dataLoss (vacuously false for best-effort,
+	// which promises no accounting).
+	Accounted bool
+}
+
+// LossExperiment runs the sever/resume cycle once per delivery scenario:
+// best-effort (the baseline contract: whatever dies with the link is
+// silently gone), at-least-once with an ample replay ring (every gap
+// repairable — exact delivery), and at-least-once with a deliberately
+// undersized ring (eviction forces loss, which must surface as counted
+// DataLoss, never silently). The at-least-once rows must satisfy
+// staged == processed + dataLoss exactly.
+func LossExperiment(cfg LossConfig) ([]LossRow, error) {
+	rows := make([]LossRow, 0, 3)
+	for _, sc := range []struct {
+		mode jecho.Reliability
+		ring int
+	}{
+		{jecho.BestEffort, 0},
+		{jecho.AtLeastOnce, cfg.AmpleRingBytes},
+		{jecho.AtLeastOnce, cfg.TinyRingBytes},
+	} {
+		row, err := runLossScenario(cfg, sc.mode, sc.ring)
+		if err != nil {
+			return nil, fmt.Errorf("bench: loss: %s ring=%d: %w", sc.mode, sc.ring, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runLossScenario(cfg LossConfig, mode jecho.Reliability, ring int) (LossRow, error) {
+	flaky := transport.NewFlaky(transport.NewMem(), transport.FaultPlan{
+		Seed:      cfg.Seed,
+		DelayProb: 0.2,
+		MaxDelay:  2 * time.Millisecond,
+	})
+	reg, _ := imaging.Builtins()
+	ringCfg := ring
+	if mode == jecho.BestEffort {
+		ringCfg = -1
+	}
+	pub, err := jecho.NewPublisher(jecho.PublisherConfig{
+		Transport:         flaky,
+		Builtins:          reg,
+		FeedbackEvery:     5,
+		ReplayRingBytes:   ringCfg,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatMisses:   5,
+		WriteTimeout:      time.Second,
+		Logf:              func(string, ...any) {},
+	})
+	if err != nil {
+		return LossRow{}, err
+	}
+	defer pub.Close()
+
+	sreg, _ := imaging.Builtins()
+	sub, err := jecho.Subscribe(jecho.SubscriberConfig{
+		Addr:              pub.Addr(),
+		Transport:         flaky,
+		Name:              "loss",
+		Source:            imaging.HandlerSource(64),
+		Handler:           imaging.HandlerName,
+		CostModel:         costmodel.DataSizeName,
+		Natives:           []string{"displayImage"},
+		Builtins:          sreg,
+		Environment:       costmodel.DefaultEnvironment(),
+		Reliability:       mode,
+		AckEvery:          8,
+		ReconfigEvery:     5,
+		Resubscribe:       true,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatMisses:   5,
+		WriteTimeout:      time.Second,
+		Logf:              func(string, ...any) {},
+	})
+	if err != nil {
+		return LossRow{}, err
+	}
+	defer sub.Close()
+
+	seq := int64(0)
+	published := uint64(0)
+	publish := func(n int) {
+		for i := 0; i < n; i++ {
+			// Publishes into a severed session fail until the fresh one
+			// registers; that is part of the scenario, not an error.
+			if sent, _ := pub.Publish(imaging.NewFrame(cfg.FrameSize, cfg.FrameSize, seq)); sent > 0 {
+				published++
+			}
+			seq++
+			time.Sleep(time.Millisecond)
+		}
+	}
+	session := func() (jecho.SubscriptionInfo, bool) {
+		subs := pub.Subscriptions()
+		if len(subs) != 1 {
+			return jecho.SubscriptionInfo{}, false
+		}
+		return subs[0], true
+	}
+
+	publish(cfg.Frames)
+	for round := 1; round <= cfg.Rounds; round++ {
+		before, ok := session()
+		if !ok {
+			return LossRow{}, fmt.Errorf("no session before round %d", round)
+		}
+		flaky.SeverAll()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if info, ok := session(); ok && info.ID != before.ID {
+				break
+			}
+			if time.Now().After(deadline) {
+				return LossRow{}, fmt.Errorf("round %d: no recovery", round)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		publish(cfg.Frames)
+	}
+
+	// Convergence: at-least-once must account for every staged event;
+	// best-effort only has to still be draining.
+	deadline := time.Now().Add(15 * time.Second)
+	var info jecho.SubscriptionInfo
+	for {
+		var ok bool
+		info, ok = session()
+		if ok {
+			if mode == jecho.BestEffort {
+				break
+			}
+			if info.StagedSeq == sub.Processed()+sub.Metrics().DataLoss {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return LossRow{}, fmt.Errorf("delivery never converged: staged=%d processed=%d loss=%d",
+				info.StagedSeq, sub.Processed(), sub.Metrics().DataLoss)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	m := sub.Metrics()
+	row := LossRow{
+		Mode:        mode.String(),
+		RingBytes:   ring,
+		Staged:      info.StagedSeq,
+		Processed:   sub.Processed(),
+		Replayed:    info.Metrics.Replayed,
+		DataLoss:    m.DataLoss,
+		DupsDropped: m.DuplicatesDropped,
+	}
+	if mode == jecho.BestEffort {
+		row.Staged = published
+	} else {
+		row.Accounted = row.Staged == row.Processed+row.DataLoss
+	}
+	return row, nil
+}
+
+// WriteLoss renders the delivery-guarantee experiment.
+func WriteLoss(w io.Writer, rows []LossRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Mode,
+			fmt.Sprintf("%d", r.RingBytes),
+			fmt.Sprintf("%d", r.Staged),
+			fmt.Sprintf("%d", r.Processed),
+			fmt.Sprintf("%d", r.Replayed),
+			fmt.Sprintf("%d", r.DataLoss),
+			fmt.Sprintf("%d", r.DupsDropped),
+			fmt.Sprintf("%v", r.Accounted),
+		})
+	}
+	writeTable(w, "Delivery guarantees: link cuts under best-effort vs at-least-once (flaky mem transport)",
+		[]string{"mode", "ringBytes", "staged", "processed", "replayed", "dataLoss", "dupsDropped", "accounted"},
+		out)
+}

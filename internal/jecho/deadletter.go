@@ -96,6 +96,28 @@ func (r *deadLetterRing) Snapshot() []DeadLetter {
 	return out
 }
 
+// drain removes and returns every quarantined letter, oldest first,
+// leaving the ring empty (but keeping its capacity). Total is unaffected:
+// it counts letters ever quarantined, and a drained letter still was.
+func (r *deadLetterRing) drain() []DeadLetter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DeadLetter, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) && cap(r.buf) > 0 {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	clear(r.buf)
+	r.buf = r.buf[:0]
+	r.next = 0
+	return out
+}
+
 // Total returns the number of letters ever quarantined (including ones the
 // ring has since overwritten).
 func (r *deadLetterRing) Total() uint64 {

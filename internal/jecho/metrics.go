@@ -89,6 +89,39 @@ type ChannelMetrics struct {
 	// BreakerTrips counts circuit-breaker transitions to open — each one
 	// excluded a PSE from the split set until its cooldown.
 	BreakerTrips uint64
+	// AcksSent counts cumulative delivery acks written (subscriber side),
+	// standalone and heartbeat-piggybacked alike.
+	AcksSent uint64
+	// AcksReceived counts cumulative delivery acks from the peer
+	// (publisher side).
+	AcksReceived uint64
+	// RetransmitRequestsSent counts gap-repair requests pushed upstream
+	// (subscriber side).
+	RetransmitRequestsSent uint64
+	// RetransmitRequestsReceived counts gap-repair requests from peers
+	// (publisher side).
+	RetransmitRequestsReceived uint64
+	// Replayed counts event frames re-enqueued from the replay ring —
+	// retransmissions and reconnect resumes (publisher side).
+	Replayed uint64
+	// RingEvictions counts unacked frames the replay ring evicted to stay
+	// inside its byte budget; each is a potential future DataLoss.
+	RingEvictions uint64
+	// DuplicatesDropped counts sequenced events the subscriber's dedup
+	// absorbed before the handler saw them (replay overshoot, ack races).
+	DuplicatesDropped uint64
+	// DataLoss counts sequenced events declared unrecoverable: the
+	// publisher's ring evicted them before the gap could be repaired
+	// (subscriber counts genuinely-missing events on Lost notices; the
+	// publisher counts the events of the Lost ranges it declares). Loss is
+	// loud and exact — never silent.
+	DataLoss uint64
+	// DeadLettersRedelivered counts quarantined messages successfully
+	// re-demodulated by RedeliverDeadLetters.
+	DeadLettersRedelivered uint64
+	// DeadLettersRequarantined counts redelivery attempts that failed
+	// again and went back to quarantine.
+	DeadLettersRequarantined uint64
 }
 
 // channelMetrics is the live, atomically-updated form behind a
@@ -122,6 +155,16 @@ type channelMetrics struct {
 	nacksRecv         atomic.Uint64
 	deadLettered      atomic.Uint64
 	breakerTrips      atomic.Uint64
+	acksSent          atomic.Uint64
+	acksRecv          atomic.Uint64
+	retransReqSent    atomic.Uint64
+	retransReqRecv    atomic.Uint64
+	replayed          atomic.Uint64
+	ringEvictions     atomic.Uint64
+	duplicatesDropped atomic.Uint64
+	dataLoss          atomic.Uint64
+	dlRedelivered     atomic.Uint64
+	dlRequarantined   atomic.Uint64
 }
 
 // noteDepth records an observed queue depth, keeping the high-water mark.
@@ -186,5 +229,16 @@ func (m *channelMetrics) load() ChannelMetrics {
 		NacksReceived:      m.nacksRecv.Load(),
 		DeadLettered:       m.deadLettered.Load(),
 		BreakerTrips:       m.breakerTrips.Load(),
+
+		AcksSent:                   m.acksSent.Load(),
+		AcksReceived:               m.acksRecv.Load(),
+		RetransmitRequestsSent:     m.retransReqSent.Load(),
+		RetransmitRequestsReceived: m.retransReqRecv.Load(),
+		Replayed:                   m.replayed.Load(),
+		RingEvictions:              m.ringEvictions.Load(),
+		DuplicatesDropped:          m.duplicatesDropped.Load(),
+		DataLoss:                   m.dataLoss.Load(),
+		DeadLettersRedelivered:     m.dlRedelivered.Load(),
+		DeadLettersRequarantined:   m.dlRequarantined.Load(),
 	}
 }

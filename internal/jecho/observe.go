@@ -192,6 +192,39 @@ func tracePlanFlip(tr *obsv.Tracer, channel, sub string, version uint64, split [
 	})
 }
 
+// traceReplay emits the EvReplay for a range of sequenced events re-sent
+// from the replay ring.
+func traceReplay(tr *obsv.Tracer, channel, sub string, from, to uint64) {
+	if !tr.Enabled() {
+		return
+	}
+	tr.Emit(obsv.Event{
+		Kind:    obsv.EvReplay,
+		Channel: channel,
+		Sub:     sub,
+		PSE:     obsv.NoPSE,
+		Value:   int64(to - from + 1),
+		Detail:  fmt.Sprintf("%d..%d", from, to),
+	})
+}
+
+// traceDataLoss emits the EvDataLoss for a range of sequenced events
+// declared unrecoverable — loss is loud on every surface: counter, trace
+// event and log line.
+func traceDataLoss(tr *obsv.Tracer, channel, sub string, from, to uint64) {
+	if !tr.Enabled() {
+		return
+	}
+	tr.Emit(obsv.Event{
+		Kind:    obsv.EvDataLoss,
+		Channel: channel,
+		Sub:     sub,
+		PSE:     obsv.NoPSE,
+		Value:   int64(to - from + 1),
+		Detail:  fmt.Sprintf("%d..%d", from, to),
+	})
+}
+
 // breakerObserver adapts breaker transitions to EvBreaker events. The
 // callback runs under the breaker mutex; Tracer.Emit takes only the tracer
 // mutex, so the lock order is strictly breaker → tracer and cannot cycle.
@@ -240,6 +273,16 @@ var channelCounterDefs = []struct {
 	{"methodpart_channel_nacks_received_total", "Demod-failure reports received from peers.", func(m ChannelMetrics) uint64 { return m.NacksReceived }},
 	{"methodpart_channel_dead_lettered_total", "Messages quarantined in the dead-letter ring.", func(m ChannelMetrics) uint64 { return m.DeadLettered }},
 	{"methodpart_channel_breaker_trips_total", "Circuit-breaker transitions to open.", func(m ChannelMetrics) uint64 { return m.BreakerTrips }},
+	{"methodpart_channel_acks_sent_total", "Cumulative delivery acks written (standalone and heartbeat-piggybacked).", func(m ChannelMetrics) uint64 { return m.AcksSent }},
+	{"methodpart_channel_acks_received_total", "Cumulative delivery acks received from the peer.", func(m ChannelMetrics) uint64 { return m.AcksReceived }},
+	{"methodpart_channel_retransmit_requests_sent_total", "Gap-repair retransmit requests pushed upstream.", func(m ChannelMetrics) uint64 { return m.RetransmitRequestsSent }},
+	{"methodpart_channel_retransmit_requests_received_total", "Gap-repair retransmit requests received from peers.", func(m ChannelMetrics) uint64 { return m.RetransmitRequestsReceived }},
+	{"methodpart_replayed_total", "Event frames re-sent from the replay ring (retransmissions and reconnect resumes).", func(m ChannelMetrics) uint64 { return m.Replayed }},
+	{"methodpart_channel_ring_evictions_total", "Unacked frames evicted from the replay ring to hold its byte budget.", func(m ChannelMetrics) uint64 { return m.RingEvictions }},
+	{"methodpart_channel_duplicates_dropped_total", "Sequenced events absorbed by subscriber-side dedup before the handler.", func(m ChannelMetrics) uint64 { return m.DuplicatesDropped }},
+	{"methodpart_data_loss_total", "Sequenced events declared unrecoverable — loud, exact, never silent.", func(m ChannelMetrics) uint64 { return m.DataLoss }},
+	{"methodpart_channel_dead_letters_redelivered_total", "Quarantined messages successfully re-demodulated by RedeliverDeadLetters.", func(m ChannelMetrics) uint64 { return m.DeadLettersRedelivered }},
+	{"methodpart_channel_dead_letters_requarantined_total", "Redelivery attempts that failed again and returned to quarantine.", func(m ChannelMetrics) uint64 { return m.DeadLettersRequarantined }},
 }
 
 // Per-PSE histogram family names and help strings.
@@ -458,6 +501,20 @@ func (p *Publisher) Collect(emit func(obsv.Sample)) {
 			continue
 		}
 		emitChannelSamples(emit, "publisher", s.channel, s.id, s.metrics.snapshot(), c.hists, s.pipe.batch.hists)
+		if s.rel != nil {
+			if occ := s.rel.occupancy.Snapshot(); occ.Count > 0 {
+				emit(obsv.Sample{
+					Name: "methodpart_replay_ring_bytes", Type: obsv.HistogramType,
+					Help: "Replay-ring occupancy in retained payload bytes, sampled after every staged frame.",
+					Labels: []obsv.Label{
+						{Name: "role", Value: "publisher"},
+						{Name: "channel", Value: s.channel},
+						{Name: "sub", Value: s.id},
+					},
+					Hist: &occ,
+				})
+			}
+		}
 	}
 }
 

@@ -86,11 +86,16 @@ type batchConfig struct {
 // meaningful.
 type sendPipeline struct {
 	conn    transport.Conn
-	queue   chan *wire.Frame
+	queue   chan queuedFrame
 	policy  OverflowPolicy
 	metrics *channelMetrics
 	sup     supervision
 	batch   batchConfig
+	// reliable wraps every outgoing event frame in a SeqEvent envelope
+	// carrying the queued delivery sequence (protocol v5, AtLeastOnce
+	// subscriptions only). Best-effort pipelines never touch the envelope
+	// path.
+	reliable bool
 
 	// Sender-goroutine only: heartbeat sequence plus the reusable buffers
 	// of the batching path. The transports copy on WriteFrame, so the
@@ -99,8 +104,14 @@ type sendPipeline struct {
 	hbSeq    uint64
 	hbBuf    []byte
 	batchBuf []byte
-	frames   []*wire.Frame
+	wrapBuf  []byte
+	frames   []queuedFrame
 	entries  [][]byte
+
+	// ctrl carries small marshalled control frames (Lost notices) that
+	// must reach the peer through the sender goroutine but are neither
+	// events nor feedback.
+	ctrl chan []byte
 
 	stop     chan struct{} // closed by shutdown: unblocks enqueuers + sender
 	done     chan struct{} // closed when the sender goroutine exits
@@ -116,13 +127,21 @@ type sendPipeline struct {
 	failed func(error)
 }
 
+// queuedFrame is one outbound queue slot: the refcounted event frame plus,
+// on reliable pipelines, the delivery sequence its SeqEvent envelope will
+// carry. Best-effort pipelines leave seq zero and never wrap.
+type queuedFrame struct {
+	f   *wire.Frame
+	seq uint64
+}
+
 func newSendPipeline(conn transport.Conn, depth int, policy OverflowPolicy, sup supervision, batch batchConfig, m *channelMetrics, failed func(error)) *sendPipeline {
 	if depth <= 0 {
 		depth = DefaultQueueDepth
 	}
 	return &sendPipeline{
 		conn:    conn,
-		queue:   make(chan *wire.Frame, depth),
+		queue:   make(chan queuedFrame, depth),
 		policy:  policy,
 		sup:     sup,
 		batch:   batch,
@@ -130,6 +149,7 @@ func newSendPipeline(conn transport.Conn, depth int, policy OverflowPolicy, sup 
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 		fbReady: make(chan struct{}, 1),
+		ctrl:    make(chan []byte, 8),
 		failed:  failed,
 	}
 }
@@ -138,28 +158,28 @@ func newSendPipeline(conn transport.Conn, depth int, policy OverflowPolicy, sup 
 // frame reference on every path. A nil return means the frame was queued
 // or dropped by policy; errRetired means the pipeline is gone and the
 // caller should treat the subscription as dead.
-func (p *sendPipeline) enqueue(f *wire.Frame) error {
+func (p *sendPipeline) enqueue(q queuedFrame) error {
 	select {
 	case <-p.stop:
-		f.Release()
+		q.f.Release()
 		return errRetired
 	default:
 	}
 	switch p.policy {
 	case DropNewest:
 		select {
-		case p.queue <- f:
+		case p.queue <- q:
 		default:
 			p.metrics.dropped.Add(1)
-			f.Release()
+			q.f.Release()
 			return nil
 		}
 	case DropOldest:
 		for {
 			select {
-			case p.queue <- f:
+			case p.queue <- q:
 			case <-p.stop:
-				f.Release()
+				q.f.Release()
 				return errRetired
 			default:
 				// Queue full: evict one old frame and retry. The inner
@@ -168,7 +188,7 @@ func (p *sendPipeline) enqueue(f *wire.Frame) error {
 				select {
 				case old := <-p.queue:
 					p.metrics.dropped.Add(1)
-					old.Release()
+					old.f.Release()
 				default:
 				}
 				continue
@@ -177,9 +197,9 @@ func (p *sendPipeline) enqueue(f *wire.Frame) error {
 		}
 	default: // Block
 		select {
-		case p.queue <- f:
+		case p.queue <- q:
 		case <-p.stop:
-			f.Release()
+			q.f.Release()
 			return errRetired
 		}
 	}
@@ -197,13 +217,25 @@ func (p *sendPipeline) enqueue(f *wire.Frame) error {
 		select {
 		case old := <-p.queue:
 			p.metrics.dropped.Add(1)
-			old.Release()
+			old.f.Release()
 		default:
 		}
 		return errRetired
 	default:
 	}
 	return nil
+}
+
+// enqueueControl hands a small marshalled control frame (e.g. a Lost
+// notice) to the sender goroutine. The caller yields ownership of data; it
+// blocks only while the control lane itself is full.
+func (p *sendPipeline) enqueueControl(data []byte) error {
+	select {
+	case p.ctrl <- data:
+		return nil
+	case <-p.stop:
+		return errRetired
+	}
 }
 
 // enqueueFeedback stages a profiling feedback frame, replacing any pending
@@ -254,8 +286,12 @@ func (p *sendPipeline) run() {
 		default:
 		}
 		select {
-		case f := <-p.queue:
-			if !p.sendEvents(f) {
+		case q := <-p.queue:
+			if !p.sendEvents(q) {
+				return
+			}
+		case data := <-p.ctrl:
+			if !p.write(data, true) {
 				return
 			}
 		case <-p.fbReady:
@@ -282,23 +318,35 @@ func (p *sendPipeline) run() {
 func (p *sendPipeline) drainQueue() {
 	for {
 		select {
-		case f := <-p.queue:
+		case q := <-p.queue:
 			p.metrics.dropped.Add(1)
-			f.Release()
+			q.f.Release()
 		default:
 			return
 		}
 	}
 }
 
+// eventBytes resolves the wire bytes of one queued frame: reliable
+// pipelines wrap the shared frame bytes in a SeqEvent envelope built in
+// the recycled wrapBuf (the envelope is per-subscription; the frame bytes
+// stay shared across the class), best-effort ships them as-is.
+func (p *sendPipeline) eventBytes(q queuedFrame) []byte {
+	if !p.reliable {
+		return q.f.Bytes()
+	}
+	p.wrapBuf = wire.AppendSeqEvent(p.wrapBuf[:0], q.seq, q.f.Bytes())
+	return p.wrapBuf
+}
+
 // sendEvents ships the first queued frame and, when batching is on,
 // whatever else the queue holds (plus a BatchDelay linger) up to
 // BatchBytes, as one batch wire frame. A single frame goes out unwrapped,
 // so a v4 peer on a quiet channel never pays the batch header.
-func (p *sendPipeline) sendEvents(first *wire.Frame) bool {
+func (p *sendPipeline) sendEvents(first queuedFrame) bool {
 	if p.batch.Bytes <= 0 {
-		ok := p.write(first.Bytes(), false)
-		first.Release()
+		ok := p.write(p.eventBytes(first), false)
+		first.f.Release()
 		if !ok {
 			p.metrics.dropped.Add(1)
 			return false
@@ -307,14 +355,14 @@ func (p *sendPipeline) sendEvents(first *wire.Frame) bool {
 		return true
 	}
 	p.frames = append(p.frames[:0], first)
-	total := first.Len()
+	total := first.f.Len()
 	// Take what the queue already holds without waiting.
 fill:
 	for total < p.batch.Bytes {
 		select {
-		case f := <-p.queue:
-			p.frames = append(p.frames, f)
-			total += f.Len()
+		case q := <-p.queue:
+			p.frames = append(p.frames, q)
+			total += q.f.Len()
 		default:
 			break fill
 		}
@@ -326,9 +374,9 @@ fill:
 	linger:
 		for total < p.batch.Bytes {
 			select {
-			case f := <-p.queue:
-				p.frames = append(p.frames, f)
-				total += f.Len()
+			case q := <-p.queue:
+				p.frames = append(p.frames, q)
+				total += q.f.Len()
 			case <-timer.C:
 				break linger
 			case <-p.stop:
@@ -342,11 +390,30 @@ fill:
 	n := len(p.frames)
 	var ok bool
 	if n == 1 {
-		ok = p.write(p.frames[0].Bytes(), false)
+		ok = p.write(p.eventBytes(p.frames[0]), false)
 	} else {
 		p.entries = p.entries[:0]
-		for _, f := range p.frames {
-			p.entries = append(p.entries, f.Bytes())
+		if p.reliable {
+			// Batch entries must each carry their own envelope. Build them
+			// contiguously in one pre-sized buffer so the entry subslices
+			// stay valid while AppendBatch copies them out.
+			need := 0
+			for _, q := range p.frames {
+				need += wire.SeqEventOverhead + q.f.Len()
+			}
+			if cap(p.wrapBuf) < need {
+				p.wrapBuf = make([]byte, 0, need)
+			}
+			p.wrapBuf = p.wrapBuf[:0]
+			for _, q := range p.frames {
+				start := len(p.wrapBuf)
+				p.wrapBuf = wire.AppendSeqEvent(p.wrapBuf, q.seq, q.f.Bytes())
+				p.entries = append(p.entries, p.wrapBuf[start:len(p.wrapBuf):len(p.wrapBuf)])
+			}
+		} else {
+			for _, q := range p.frames {
+				p.entries = append(p.entries, q.f.Bytes())
+			}
 		}
 		p.batchBuf = wire.AppendBatch(p.batchBuf[:0], p.entries)
 		ok = p.write(p.batchBuf, false)
@@ -354,9 +421,9 @@ fill:
 	// The transport copied the bytes (or the write failed); either way the
 	// references are consumed here. Clear the scratch so the pooled frames
 	// are not pinned until the next batch.
-	for i, f := range p.frames {
-		f.Release()
-		p.frames[i] = nil
+	for i, q := range p.frames {
+		q.f.Release()
+		p.frames[i] = queuedFrame{}
 	}
 	p.frames = p.frames[:0]
 	if !ok {

@@ -92,7 +92,7 @@ func TestShutdownDrainAccounting(t *testing.T) {
 	// First frame is popped by the sender and blocks in WriteFrame; the
 	// next 8 fill the queue.
 	for i := 0; i < 9; i++ {
-		if err := p.enqueue(wire.NewFrame([]byte{byte(i)})); err != nil {
+		if err := p.enqueue(queuedFrame{f: wire.NewFrame([]byte{byte(i)})}); err != nil {
 			t.Fatalf("enqueue %d: %v", i, err)
 		}
 	}
@@ -129,7 +129,7 @@ func TestDropOldestConcurrentAccounting(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < perPublisher; i++ {
-				if err := p.enqueue(wire.NewFrame([]byte{1, 2, 3})); err != nil {
+				if err := p.enqueue(queuedFrame{f: wire.NewFrame([]byte{1, 2, 3})}); err != nil {
 					t.Errorf("enqueue: %v", err)
 					return
 				}
@@ -170,7 +170,7 @@ func TestConcurrentEnqueueDuringShutdown(t *testing.T) {
 			go func() {
 				defer wg.Done()
 				for i := 0; i < 20; i++ {
-					if err := p.enqueue(wire.NewFrame([]byte{9})); err != nil {
+					if err := p.enqueue(queuedFrame{f: wire.NewFrame([]byte{9})}); err != nil {
 						return // retired mid-loop: expected
 					}
 				}
@@ -194,7 +194,7 @@ func TestBatchCoalescing(t *testing.T) {
 	// sees a backlog.
 	want := [][]byte{{1}, {2, 2}, {3, 3, 3}, {4}, {5}}
 	for _, f := range want {
-		if err := p.enqueue(wire.NewFrame(f)); err != nil {
+		if err := p.enqueue(queuedFrame{f: wire.NewFrame(f)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -240,7 +240,7 @@ func TestBatchCoalescing(t *testing.T) {
 	conn2 := newStubConn(false)
 	m2 := &channelMetrics{}
 	p2 := newSendPipeline(conn2, 16, Block, supervision{}, batchConfig{Bytes: 1 << 16}, m2, nil)
-	if err := p2.enqueue(wire.NewFrame([]byte{7, 7})); err != nil {
+	if err := p2.enqueue(queuedFrame{f: wire.NewFrame([]byte{7, 7})}); err != nil {
 		t.Fatal(err)
 	}
 	go p2.run()
@@ -272,7 +272,7 @@ func TestBatchBytesBudget(t *testing.T) {
 	// 8 ≥ 8 stops the fill), third goes alone.
 	p := newSendPipeline(conn, 16, Block, supervision{}, batchConfig{Bytes: 8}, m, nil)
 	for i := 0; i < 3; i++ {
-		if err := p.enqueue(wire.NewFrame([]byte{byte(i), 0, 0, 0})); err != nil {
+		if err := p.enqueue(queuedFrame{f: wire.NewFrame([]byte{byte(i), 0, 0, 0})}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -55,6 +55,16 @@ type PublisherConfig struct {
 	// BatchBytes (0 = no lingering: batch only what is already queued).
 	// Only meaningful with BatchBytes > 0.
 	BatchDelay time.Duration
+	// ReplayRingBytes bounds the per-subscription replay ring backing
+	// at-least-once delivery (protocol v5): sent frames stay retained
+	// until the subscriber's cumulative ack, up to this many payload
+	// bytes; beyond it the oldest unacked frames are evicted (counted as
+	// RingEvictions, surfacing later as DataLoss if the subscriber needed
+	// them). 0 = DefaultReplayRingBytes; negative disables retention —
+	// events are still sequenced and loss still detected, but nothing can
+	// be replayed. Only subscriptions requesting AtLeastOnce pay any of
+	// this; best-effort subscriptions never touch the ring.
+	ReplayRingBytes int
 	// HeartbeatInterval is the idle-liveness probe period per
 	// subscription (0 = DefaultHeartbeatInterval, <0 disables
 	// heartbeats and silence detection).
@@ -128,6 +138,13 @@ type Publisher struct {
 	// event). modRuns == events while modulationsSaved grows with fan-out.
 	modRuns          atomic.Uint64
 	modulationsSaved atomic.Uint64
+
+	// relMu guards relStates, the resume map of at-least-once delivery
+	// streams keyed by (subscriber, channel, handler). A stream outlives
+	// its subscription: retire detaches it, a resubscribe adopts it, and
+	// the orphan cap bounds how many detached rings a publisher retains.
+	relMu     sync.Mutex
+	relStates map[relKey]*relState
 }
 
 // compiledEntry is one cached handler compilation: the immutable compiled
@@ -173,6 +190,12 @@ type subscription struct {
 	// class is the subscription's current plan-equivalence class. Written
 	// only under classIndex.mu (join/migrate/retire); nil once retired.
 	class atomic.Pointer[planClass]
+
+	// rel is the at-least-once delivery stream (nil on best-effort
+	// subscriptions). It is not part of the classKey: sequencing and the
+	// envelope are applied per subscription at send time, so reliable and
+	// best-effort members still share one modulation and one frame.
+	rel *relState
 
 	retireOnce sync.Once
 }
@@ -225,6 +248,7 @@ func (p *Publisher) Close() error {
 		p.retire(s)
 	}
 	p.wg.Wait()
+	p.closeRelStates()
 	return err
 }
 
@@ -257,6 +281,15 @@ type SubscriptionInfo struct {
 	SplitIDs []int32
 	// QueueLen is the instantaneous outbound queue depth.
 	QueueLen int
+	// Reliable reports the subscription runs at-least-once delivery.
+	Reliable bool
+	// StagedSeq is the highest delivery sequence assigned so far (0 on
+	// best-effort subscriptions): the chaos invariant compares it against
+	// the subscriber's processed + DataLoss counts.
+	StagedSeq uint64
+	// RingFrames/RingBytes are the replay ring's instantaneous occupancy.
+	RingFrames int
+	RingBytes  int
 	// Metrics snapshots the subscription's channel counters.
 	Metrics ChannelMetrics
 }
@@ -273,7 +306,7 @@ func (p *Publisher) Subscriptions() []SubscriptionInfo {
 		plan := c.mod.Plan()
 		split := make([]int32, len(plan.SplitIDs()))
 		copy(split, plan.SplitIDs())
-		out = append(out, SubscriptionInfo{
+		info := SubscriptionInfo{
 			ID:          s.id,
 			Channel:     s.channel,
 			Handler:     s.compiled.Prog.Name,
@@ -281,7 +314,12 @@ func (p *Publisher) Subscriptions() []SubscriptionInfo {
 			SplitIDs:    split,
 			QueueLen:    len(s.pipe.queue),
 			Metrics:     s.metrics.snapshot(),
-		})
+		}
+		if s.rel != nil {
+			info.Reliable = true
+			info.StagedSeq, info.RingFrames, info.RingBytes, _ = s.rel.stats()
+		}
+		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -450,6 +488,10 @@ func (p *Publisher) retire(s *subscription) {
 		x.mu.Unlock()
 		s.pipe.shutdown()
 		_ = s.conn.Close()
+		// Park the delivery stream (ring + sequence counters) for the
+		// resubscribe to adopt — this is what makes reconnects resume
+		// mid-stream instead of starting over.
+		p.detachRelState(s.rel)
 	})
 }
 
@@ -527,11 +569,25 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 		}
 		sub.batched = true
 	}
+	// Reliability negotiation: at-least-once engages only when the peer
+	// both speaks v5 and asked for it. A v4-or-older peer decodes to
+	// Reliability zero, so the downgrade to the classic best-effort path
+	// is transparent — no envelopes, no ring, no acks.
+	reliable := subMsg.Protocol >= wire.ReliableProtocolVersion &&
+		subMsg.Reliability == wire.ReliabilityAtLeastOnce
+	if reliable {
+		sub.rel = p.acquireRelState(relKey{
+			subscriber: subMsg.Subscriber,
+			channel:    subMsg.Channel,
+			handler:    subMsg.Handler,
+		})
+	}
 	sub.pipe = newSendPipeline(conn, p.cfg.QueueDepth, p.cfg.OverflowPolicy, p.sup, batch, metrics,
 		func(err error) {
 			p.cfg.Logf("jecho publisher: sub %s send: %v; retiring", sub.id, err)
 			p.retire(sub)
 		})
+	sub.pipe.reliable = reliable
 
 	// Registration: id assignment, registry insert and the initial class
 	// join are one critical section against Close, so a closing publisher
@@ -561,6 +617,14 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 		sub.pipe.run()
 	}()
 
+	if sub.rel != nil {
+		// Resume: the handshake's last-contiguous seq acts as an ack, and
+		// everything staged beyond it replays (or is declared Lost where
+		// the ring evicted it). New publishes may already be interleaving;
+		// the sequence numbers disambiguate on the subscriber side.
+		p.deliverReplay(sub, sub.rel.resume(subMsg.ResumeSeq))
+	}
+
 	// Serve inbound control messages (plans, heartbeats) until the peer
 	// goes away or falls silent past the heartbeat window.
 	for {
@@ -584,6 +648,18 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 		switch m := msg.(type) {
 		case *wire.Heartbeat:
 			metrics.heartbeatsRecv.Add(1)
+			if m.HasAck {
+				metrics.acksRecv.Add(1)
+				p.handleAck(sub, m.AckSeq)
+			}
+		case *wire.Ack:
+			metrics.acksRecv.Add(1)
+			p.handleAck(sub, m.Seq)
+		case *wire.Retransmit:
+			metrics.retransReqRecv.Add(1)
+			if sub.rel != nil {
+				p.deliverReplay(sub, sub.rel.replayRange(m.From, m.To))
+			}
 		case *wire.Nack:
 			metrics.nacksRecv.Add(1)
 			p.cfg.Tracer.Emit(obsv.Event{
@@ -676,6 +752,58 @@ func (p *Publisher) applyWirePlan(s *subscription, wp *wire.Plan) error {
 		tracePlanFlip(p.cfg.Tracer, s.channel, s.id, plan.Version(), plan.SplitIDs())
 	}
 	return nil
+}
+
+// handleAck applies a cumulative delivery ack: ring entries release, and
+// when the idle-replay heuristic decides the stream's tail went missing
+// (same ack twice, nothing staged since, unacked frames outstanding), the
+// tail replays.
+func (p *Publisher) handleAck(s *subscription, seq uint64) {
+	if s.rel == nil {
+		return
+	}
+	_, rep, replay := s.rel.onAck(seq)
+	if replay {
+		p.deliverReplay(s, rep)
+	}
+}
+
+// deliverReplay ships one replay outcome to the subscriber: the evicted
+// prefix leaves as a Lost notice on the control lane (loss is declared,
+// never silent), the retained frames re-enter the send queue carrying
+// their original sequence numbers — the subscriber's dedup absorbs any
+// overshoot. Replayed frames ship as originally modulated; continuations
+// are self-describing (PSEID, resume node, saved vars), so a plan flip
+// landing mid-replay cannot desynchronise the demodulator.
+func (p *Publisher) deliverReplay(s *subscription, rep replaySet) {
+	if rep.lostTo != 0 {
+		n := rep.lostTo - rep.lostFrom + 1
+		s.metrics.dataLoss.Add(n)
+		traceDataLoss(p.cfg.Tracer, s.channel, s.id, rep.lostFrom, rep.lostTo)
+		p.cfg.Logf("jecho publisher: sub %s: ring evicted seqs %d..%d before repair; declaring %d events lost",
+			s.id, rep.lostFrom, rep.lostTo, n)
+		if data, err := wire.Marshal(&wire.Lost{From: rep.lostFrom, To: rep.lostTo}); err == nil {
+			_ = s.pipe.enqueueControl(data) // retired pipe: the resume on reconnect re-declares
+		}
+	}
+	if len(rep.frames) == 0 {
+		return
+	}
+	traceReplay(p.cfg.Tracer, s.channel, s.id, rep.frames[0].seq, rep.frames[len(rep.frames)-1].seq)
+	retired := false
+	for _, q := range rep.frames {
+		if retired {
+			q.f.Release()
+			continue
+		}
+		if err := s.pipe.enqueue(q); err != nil {
+			// enqueue consumed this frame's reference; drop the rest. The
+			// ring still holds everything for the next resume.
+			retired = true
+			continue
+		}
+		s.metrics.replayed.Add(1)
+	}
 }
 
 // blockedSplit returns the first PSE in the split set whose breaker is
@@ -898,9 +1026,15 @@ func (p *Publisher) publishClass(c *planClass, members []*subscription, event mi
 			if traced {
 				tracePublish(tr, c.key.channel, s.id, planVersion, out, modDur)
 			}
-			if err := s.pipe.enqueue(frame); err != nil {
+			var qerr error
+			if s.rel != nil {
+				qerr = s.rel.stageAndEnqueue(s.pipe, frame, s.metrics)
+			} else {
+				qerr = s.pipe.enqueue(queuedFrame{f: frame})
+			}
+			if qerr != nil {
 				p.retire(s)
-				errs = append(errs, fmt.Errorf("jecho: sub %s: %w", s.id, err))
+				errs = append(errs, fmt.Errorf("jecho: sub %s: %w", s.id, qerr))
 				continue
 			}
 			reached++

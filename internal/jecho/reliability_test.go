@@ -1,0 +1,412 @@
+package jecho
+
+import (
+	"testing"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/imaging"
+	"methodpart/internal/mir/interp"
+	"methodpart/internal/partition"
+	"methodpart/internal/wire"
+)
+
+// relFrame builds a refcounted frame of n bytes for ring tests.
+func relFrame(n int) *wire.Frame {
+	return wire.NewFrame(make([]byte, n))
+}
+
+// releaseReplay drops the caller-owned references a replaySet carries, so
+// leak assertions on the underlying frames stay meaningful.
+func releaseReplay(rep replaySet) {
+	for _, q := range rep.frames {
+		q.f.Release()
+	}
+}
+
+func TestRelStateSequencesAndReleases(t *testing.T) {
+	r := newRelState(1 << 20)
+	var frames []*wire.Frame
+	for i := 0; i < 5; i++ {
+		f := relFrame(100)
+		frames = append(frames, f)
+		seq, evicted := r.stage(f)
+		if want := uint64(i + 1); seq != want {
+			t.Fatalf("stage %d assigned seq %d, want %d", i, seq, want)
+		}
+		if evicted != 0 {
+			t.Fatalf("stage %d evicted %d entries under a huge budget", i, evicted)
+		}
+	}
+	if staged, ringFrames, ringBytes, _ := r.stats(); staged != 5 || ringFrames != 5 || ringBytes != 500 {
+		t.Fatalf("stats after staging = (%d, %d, %d), want (5, 5, 500)", staged, ringFrames, ringBytes)
+	}
+	released, _, replay := r.onAck(3)
+	if released != 3 || replay {
+		t.Fatalf("onAck(3) = released %d replay %v, want 3 false", released, replay)
+	}
+	if _, ringFrames, ringBytes, _ := r.stats(); ringFrames != 2 || ringBytes != 200 {
+		t.Fatalf("ring after ack = (%d frames, %d bytes), want (2, 200)", ringFrames, ringBytes)
+	}
+	// A re-ack of an already-released position must be a no-op.
+	if released, _, _ := r.onAck(2); released != 0 {
+		t.Fatalf("stale ack released %d entries", released)
+	}
+	r.close()
+	for i, f := range frames {
+		if f.Refs() != 1 {
+			t.Errorf("frame %d has %d refs after close, want the caller's 1", i, f.Refs())
+		}
+	}
+}
+
+func TestRelStateCorruptFarAheadAckClamped(t *testing.T) {
+	r := newRelState(1 << 20)
+	for i := 0; i < 4; i++ {
+		r.stage(relFrame(50))
+	}
+	// A corrupt cumulative ack far beyond anything ever staged must release
+	// at most what exists and must not derail the sequence counter.
+	released, _, replay := r.onAck(1 << 60)
+	if released != 4 || replay {
+		t.Fatalf("far-ahead ack = released %d replay %v, want 4 false", released, replay)
+	}
+	if seq, _ := r.stage(relFrame(50)); seq != 5 {
+		t.Fatalf("seq after corrupt ack = %d, want 5", seq)
+	}
+	// Repeating the corrupt ack with everything released must not fire the
+	// idle-replay heuristic on an empty tail.
+	r.onAck(1 << 60)
+	if _, _, replay := r.onAck(1 << 60); replay {
+		t.Fatal("repeated far-ahead ack with nothing unacked fired a replay")
+	}
+}
+
+func TestRelStateIdleReplayHeuristic(t *testing.T) {
+	r := newRelState(1 << 20)
+	for i := 0; i < 5; i++ {
+		r.stage(relFrame(10))
+	}
+	// First ack at 2: records the position, no replay yet.
+	if _, _, replay := r.onAck(2); replay {
+		t.Fatal("first ack fired a replay")
+	}
+	// Same ack again with nothing staged since: the tail 3..5 is stuck on
+	// the subscriber side with no higher seq to reveal the gap — replay it.
+	_, rep, replay := r.onAck(2)
+	if !replay {
+		t.Fatal("repeated idle ack did not fire the tail replay")
+	}
+	if len(rep.frames) != 3 || rep.frames[0].seq != 3 || rep.frames[2].seq != 5 {
+		t.Fatalf("idle replay frames = %+v, want seqs 3..5", rep.frames)
+	}
+	if rep.lostTo != 0 {
+		t.Fatalf("idle replay declared loss %d..%d with an intact ring", rep.lostFrom, rep.lostTo)
+	}
+	releaseReplay(rep)
+	// The heuristic re-arms: the next identical ack only records, the one
+	// after that replays again (a lost replay is retried, not spammed).
+	if _, _, replay := r.onAck(2); replay {
+		t.Fatal("heuristic did not re-arm after firing")
+	}
+	if _, rep, replay := r.onAck(2); !replay {
+		t.Fatal("re-armed heuristic did not fire on the next repeat")
+	} else {
+		releaseReplay(rep)
+	}
+	// Staging between identical acks means the stream is moving: no replay.
+	r.onAck(2)
+	r.stage(relFrame(10))
+	if _, _, replay := r.onAck(2); replay {
+		t.Fatal("replay fired although frames were staged between acks")
+	}
+}
+
+func TestRelStateEvictionDeclaresLostPrefix(t *testing.T) {
+	r := newRelState(250) // holds two 100-byte frames, evicts beyond
+	for i := 0; i < 5; i++ {
+		r.stage(relFrame(100))
+	}
+	if _, ringFrames, _, evictions := r.stats(); ringFrames != 2 || evictions != 3 {
+		t.Fatalf("ring = %d frames %d evictions, want 2 and 3", ringFrames, evictions)
+	}
+	rep := r.replayRange(1, 5)
+	if rep.lostFrom != 1 || rep.lostTo != 3 {
+		t.Fatalf("lost prefix = %d..%d, want 1..3", rep.lostFrom, rep.lostTo)
+	}
+	if len(rep.frames) != 2 || rep.frames[0].seq != 4 || rep.frames[1].seq != 5 {
+		t.Fatalf("replayable tail = %+v, want seqs 4..5", rep.frames)
+	}
+	releaseReplay(rep)
+	r.close()
+}
+
+func TestRelStateOversizedFrameStaysRepairable(t *testing.T) {
+	r := newRelState(64)
+	f := relFrame(1000) // alone over budget: kept anyway until displaced
+	r.stage(f)
+	rep := r.replayRange(1, 1)
+	if rep.lostTo != 0 || len(rep.frames) != 1 {
+		t.Fatalf("oversized frame not repairable: %+v", rep)
+	}
+	releaseReplay(rep)
+	r.stage(relFrame(10)) // displaces the oversized entry
+	if rep := r.replayRange(1, 1); rep.lostFrom != 1 || rep.lostTo != 1 {
+		t.Fatalf("displaced oversized frame not declared lost: %+v", rep)
+	}
+	r.close()
+	if f.Refs() != 1 {
+		t.Fatalf("oversized frame has %d refs after close, want 1", f.Refs())
+	}
+}
+
+func TestRelStateNegativeBudgetSequencesOnly(t *testing.T) {
+	r := newRelState(-1)
+	f := relFrame(100)
+	if seq, _ := r.stage(f); seq != 1 {
+		t.Fatalf("seq = %d, want 1", seq)
+	}
+	if f.Refs() != 1 {
+		t.Fatalf("retention-disabled stage retained the frame (%d refs)", f.Refs())
+	}
+	rep := r.replayRange(1, 1)
+	if rep.lostFrom != 1 || rep.lostTo != 1 || len(rep.frames) != 0 {
+		t.Fatalf("replay with retention disabled = %+v, want all lost", rep)
+	}
+}
+
+func TestRelStateResume(t *testing.T) {
+	r := newRelState(1 << 20)
+	for i := 0; i < 6; i++ {
+		r.stage(relFrame(10))
+	}
+	rep := r.resume(4)
+	if rep.lostTo != 0 {
+		t.Fatalf("resume declared loss %d..%d with an intact ring", rep.lostFrom, rep.lostTo)
+	}
+	if len(rep.frames) != 2 || rep.frames[0].seq != 5 || rep.frames[1].seq != 6 {
+		t.Fatalf("resume replay = %+v, want seqs 5..6", rep.frames)
+	}
+	releaseReplay(rep)
+	// The resume point acts as a cumulative ack.
+	if _, ringFrames, _, _ := r.stats(); ringFrames != 2 {
+		t.Fatalf("ring after resume = %d frames, want 2", ringFrames)
+	}
+	// Fully caught up: nothing to replay, nothing lost.
+	if rep := r.resume(6); len(rep.frames) != 0 || rep.lostTo != 0 {
+		t.Fatalf("caught-up resume = %+v, want empty", rep)
+	}
+	r.close()
+}
+
+func TestRelReceiverAdmitOrderDupsAndGaps(t *testing.T) {
+	r := newRelReceiver(1 << 60) // pacing off: acks tested separately
+	for seq := uint64(1); seq <= 3; seq++ {
+		deliver, _, gapTo, _, _ := r.admit(seq)
+		if !deliver || gapTo != 0 {
+			t.Fatalf("in-order admit(%d) = deliver %v gapTo %d", seq, deliver, gapTo)
+		}
+	}
+	// Jump to 6: gap 4..5 must be requested exactly once.
+	deliver, gapFrom, gapTo, _, _ := r.admit(6)
+	if !deliver || gapFrom != 4 || gapTo != 5 {
+		t.Fatalf("admit(6) = deliver %v gap %d..%d, want true 4..5", deliver, gapFrom, gapTo)
+	}
+	// A further jump requests only the uncovered part.
+	if _, gapFrom, gapTo, _, _ := r.admit(8); gapFrom != 7 || gapTo != 7 {
+		t.Fatalf("admit(8) requested %d..%d, want 7..7", gapFrom, gapTo)
+	}
+	// Duplicates: below contig and in the ahead set both drop, no request.
+	if deliver, _, gapTo, _, _ := r.admit(2); deliver || gapTo != 0 {
+		t.Fatal("admit of an old seq was delivered or re-requested")
+	}
+	if deliver, _, _, _, _ := r.admit(6); deliver {
+		t.Fatal("admit of an ahead duplicate was delivered")
+	}
+	// Filling the gap merges the ahead set into contig.
+	r.admit(4)
+	if deliver, _, _, _, ackSeq := r.admit(5); !deliver || ackSeq != 6 {
+		t.Fatalf("gap fill: deliver %v contig %d, want true 6", deliver, ackSeq)
+	}
+	r.admit(7)
+	if got := r.contiguous(); got != 8 {
+		t.Fatalf("contiguous = %d, want 8", got)
+	}
+}
+
+func TestRelReceiverAckPacing(t *testing.T) {
+	r := newRelReceiver(3)
+	dues := 0
+	for seq := uint64(1); seq <= 9; seq++ {
+		if _, _, _, ackDue, _ := r.admit(seq); ackDue {
+			dues++
+		}
+	}
+	if dues != 3 {
+		t.Fatalf("9 deliveries at AckEvery=3 paced %d acks, want 3", dues)
+	}
+}
+
+func TestRelReceiverLostAdvancesAndCounts(t *testing.T) {
+	r := newRelReceiver(1 << 60)
+	r.admit(1)
+	r.admit(2)
+	r.admit(5) // ahead; 3..4 missing
+	missing, ackSeq := r.lost(3, 6)
+	// 3, 4 and 6 were never received; 5 was already here and must not be
+	// counted as lost.
+	if missing != 3 || ackSeq != 6 {
+		t.Fatalf("lost(3,6) = %d missing ack %d, want 3 and 6", missing, ackSeq)
+	}
+	// A loss notice entirely in the past counts nothing.
+	if missing, _ := r.lost(1, 4); missing != 0 {
+		t.Fatalf("stale loss notice counted %d", missing)
+	}
+	// Delivery resumes cleanly after the advanced position.
+	if deliver, _, gapTo, _, _ := r.admit(7); !deliver || gapTo != 0 {
+		t.Fatalf("admit(7) after loss = deliver %v gapTo %d", deliver, gapTo)
+	}
+}
+
+func TestRelReceiverResetRequests(t *testing.T) {
+	r := newRelReceiver(1 << 60)
+	r.admit(1)
+	r.admit(4) // requests 2..3
+	// Reconnect: the request died with the connection. After reset, a new
+	// out-of-order arrival must re-request the still-open gap — but not the
+	// already-received seq 4 at its edge.
+	r.resetRequests()
+	if _, gapFrom, gapTo, _, _ := r.admit(5); gapFrom != 2 || gapTo != 3 {
+		t.Fatalf("post-reset admit(5) requested %d..%d, want 2..3", gapFrom, gapTo)
+	}
+}
+
+func TestAcquireRelStateResumesAcrossRetire(t *testing.T) {
+	p := &Publisher{cfg: PublisherConfig{ReplayRingBytes: 1 << 20}}
+	key := relKey{subscriber: "s", channel: "c", handler: "h"}
+	st := p.acquireRelState(key)
+	st.stage(relFrame(10))
+
+	// A duplicate live triple must get a fresh stream, not corrupt the
+	// live one — and being unregistered, it is freed on detach.
+	dup := p.acquireRelState(key)
+	if dup == st {
+		t.Fatal("duplicate live subscription adopted the live stream")
+	}
+	if dup.registered {
+		t.Fatal("duplicate stream displaced the registered one")
+	}
+	p.detachRelState(dup)
+
+	// Retire then resubscribe: the same triple adopts the parked state with
+	// its sequence counter intact.
+	p.detachRelState(st)
+	again := p.acquireRelState(key)
+	if again != st {
+		t.Fatal("resubscribe did not adopt the detached stream")
+	}
+	if seq, _ := again.stage(relFrame(10)); seq != 2 {
+		t.Fatalf("adopted stream staged seq %d, want 2", seq)
+	}
+	p.closeRelStates()
+}
+
+func TestDetachRelStateOrphanCap(t *testing.T) {
+	p := &Publisher{cfg: PublisherConfig{ReplayRingBytes: 1 << 20}}
+	var first *relState
+	for i := 0; i <= maxOrphanRelStates; i++ {
+		key := relKey{subscriber: string(rune('a' + i%26)), channel: "c", handler: string(rune('A' + i/26))}
+		st := p.acquireRelState(key)
+		st.stage(relFrame(10))
+		if i == 0 {
+			first = st
+		}
+		p.detachRelState(st)
+	}
+	p.relMu.Lock()
+	n := len(p.relStates)
+	p.relMu.Unlock()
+	if n != maxOrphanRelStates {
+		t.Fatalf("%d orphans parked, cap is %d", n, maxOrphanRelStates)
+	}
+	// The oldest orphan was evicted and its ring released.
+	if len(first.ring) != 0 {
+		t.Fatal("evicted oldest orphan still retains ring frames")
+	}
+	p.closeRelStates()
+}
+
+// newRedeliverSubscriber builds a connection-less Subscriber around a live
+// demodulator — just enough for the dead-letter redelivery path, which is
+// local and never touches the wire.
+func newRedeliverSubscriber(t *testing.T) *Subscriber {
+	t.Helper()
+	reg, _ := imaging.Builtins()
+	subMsg := &wire.Subscribe{
+		Protocol:   wire.ProtocolVersion,
+		Subscriber: "redeliver",
+		Handler:    imaging.HandlerName,
+		Source:     imaging.HandlerSource(64),
+		CostModel:  costmodel.DataSizeName,
+		Natives:    []string{"displayImage"},
+	}
+	compiled, err := compileSubscription(subMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := interp.NewEnv(compiled.Classes, reg)
+	return &Subscriber{
+		cfg:      SubscriberConfig{Logf: func(string, ...any) {}},
+		compiled: compiled,
+		demod:    partition.NewDemodulator(compiled, env),
+		letters:  newDeadLetterRing(8),
+	}
+}
+
+func TestRedeliverDeadLetters(t *testing.T) {
+	s := newRedeliverSubscriber(t)
+
+	// One letter that demodulates cleanly now (quarantined for a since-fixed
+	// transient), one wrapped in a delivery envelope, one poison forever.
+	good, err := wire.Marshal(&wire.Raw{Handler: imaging.HandlerName, Seq: 1, Event: imaging.NewFrame(16, 16, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := wire.Marshal(&wire.Raw{Handler: imaging.HandlerName, Seq: 2, Event: imaging.NewFrame(16, 16, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := wire.AppendSeqEvent(nil, 2, inner)
+	s.quarantine(DeadLetter{Class: wire.NackRuntime, Reason: "transient", Frame: good})
+	s.quarantine(DeadLetter{Class: wire.NackRuntime, Reason: "transient", Frame: wrapped})
+	s.quarantine(DeadLetter{Class: wire.NackDecode, Reason: "garbage", Frame: []byte{0xff, 0xfe, 0xfd}})
+
+	var results int
+	s.cfg.OnResult = func(*partition.Result) { results++ }
+	redelivered, requarantined := s.RedeliverDeadLetters()
+	if redelivered != 2 || requarantined != 1 {
+		t.Fatalf("RedeliverDeadLetters = (%d, %d), want (2, 1)", redelivered, requarantined)
+	}
+	if results != 2 {
+		t.Fatalf("OnResult saw %d redelivered events, want 2", results)
+	}
+	if got := s.Processed(); got != 2 {
+		t.Fatalf("Processed = %d, want 2", got)
+	}
+	m := s.Metrics()
+	if m.DeadLettersRedelivered != 2 || m.DeadLettersRequarantined != 1 {
+		t.Fatalf("metrics = redelivered %d requarantined %d, want 2 and 1", m.DeadLettersRedelivered, m.DeadLettersRequarantined)
+	}
+	// The poison letter is back in quarantine and can be retried again.
+	left := s.DeadLetters()
+	if len(left) != 1 || left[0].Class != wire.NackDecode {
+		t.Fatalf("quarantine after redelivery = %+v, want the one poison letter", left)
+	}
+	if redelivered, requarantined := s.RedeliverDeadLetters(); redelivered != 0 || requarantined != 1 {
+		t.Fatalf("second pass = (%d, %d), want (0, 1)", redelivered, requarantined)
+	}
+	// An empty ring drains to nothing.
+	s.letters.drain()
+	if redelivered, requarantined := s.RedeliverDeadLetters(); redelivered != 0 || requarantined != 0 {
+		t.Fatalf("empty-ring pass = (%d, %d), want zeros", redelivered, requarantined)
+	}
+}

@@ -3,6 +3,7 @@ package jecho
 import (
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,6 +93,18 @@ type SubscriberConfig struct {
 	// DeadLetterSize bounds the quarantine ring for poison messages
 	// (0 = DefaultDeadLetterSize, <0 disables quarantine).
 	DeadLetterSize int
+	// Reliability selects the delivery contract (protocol v5). BestEffort
+	// — the zero value — is the classic fire-and-forget channel.
+	// AtLeastOnce adds per-subscription sequencing, publisher-side replay,
+	// dedup and gap repair: every event arrives at least once (exactly
+	// once at the handler, which sits behind the dedup) or its loss is
+	// explicitly counted as DataLoss. Requires a v5 publisher; an older
+	// one ignores the request and the channel degrades to best-effort.
+	Reliability Reliability
+	// AckEvery paces standalone cumulative acks: one per AckEvery
+	// delivered events (0 = DefaultAckEvery). Idle heartbeats carry the
+	// ack regardless. Only meaningful with AtLeastOnce.
+	AckEvery uint64
 	// Tracer receives split-lifecycle trace events (demodulation, faults,
 	// feedback merges, min-cut runs, plan pushes, breaker transitions,
 	// NACKs, dead-letter quarantines). Nil — the default — disables
@@ -121,6 +134,11 @@ type Subscriber struct {
 	hists    *pseHistograms
 	breaker  *pseBreaker
 	letters  *deadLetterRing
+	// rel is the at-least-once receive state: dedup, gap detection and
+	// ack pacing (nil on best-effort subscriptions). It survives
+	// reconnects — the resubscribe handshake carries its contiguous seq
+	// so the stream resumes instead of restarting.
+	rel *relReceiver
 
 	mu          sync.Mutex
 	conn        transport.Conn
@@ -135,8 +153,20 @@ type Subscriber struct {
 	closing  atomic.Bool
 }
 
-// SubscribeWithRetry dials the publisher with exponential backoff (starting
-// at 50ms, doubling, capped at 2s) until the subscription succeeds or
+// fullJitter draws a uniform delay in [0, d): full-jitter backoff. The
+// *ceiling* doubles deterministically while every waiter sleeps a random
+// fraction of it, so subscribers orphaned by one publisher restart spread
+// their reconnects across the window instead of stampeding in lockstep.
+func fullJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int64N(int64(d)))
+}
+
+// SubscribeWithRetry dials the publisher with full-jitter exponential
+// backoff (ceiling starting at 50ms, doubling, capped at 2s; each wait
+// drawn uniformly below the ceiling) until the subscription succeeds or
 // attempts are exhausted — for deployments where the receiver may come up
 // before its publisher.
 func SubscribeWithRetry(cfg SubscriberConfig, attempts int) (*Subscriber, error) {
@@ -152,7 +182,7 @@ func SubscribeWithRetry(cfg SubscriberConfig, attempts int) (*Subscriber, error)
 		}
 		lastErr = err
 		if i+1 < attempts {
-			time.Sleep(backoff)
+			time.Sleep(fullJitter(backoff))
 			backoff *= 2
 			if backoff > 2*time.Second {
 				backoff = 2 * time.Second
@@ -189,6 +219,9 @@ func Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
 		CostModel:  cfg.CostModel,
 		Natives:    cfg.Natives,
 	}
+	if cfg.Reliability == AtLeastOnce {
+		subMsg.Reliability = wire.ReliabilityAtLeastOnce
+	}
 	compiled, err := compileSubscription(subMsg)
 	if err != nil {
 		return nil, err
@@ -221,6 +254,9 @@ func Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
 		done:        make(chan struct{}),
 		stop:        make(chan struct{}),
 	}
+	if cfg.Reliability == AtLeastOnce {
+		s.rel = newRelReceiver(cfg.AckEvery)
+	}
 	if cfg.Tracer != nil {
 		s.breaker.observeTransitions(breakerObserver(cfg.Tracer, cfg.Channel, func() string { return cfg.Name }))
 	}
@@ -250,6 +286,12 @@ func (s *Subscriber) connect() (transport.Conn, error) {
 	conn, err := s.cfg.Transport.Dial(s.cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("jecho: dial publisher: %w", err)
+	}
+	if s.rel != nil {
+		// The handshake carries the last contiguously received seq so the
+		// publisher resumes the stream (replaying what we missed) instead
+		// of restarting it.
+		s.subMsg.ResumeSeq = s.rel.contiguous()
 	}
 	data, err := wire.Marshal(s.subMsg)
 	if err != nil {
@@ -302,6 +344,58 @@ func (s *Subscriber) Metrics() ChannelMetrics {
 // when quarantine is disabled).
 func (s *Subscriber) DeadLetters() []DeadLetter {
 	return s.letters.Snapshot()
+}
+
+// RedeliverDeadLetters drains the quarantine ring and runs every letter
+// back through the demodulator, as if its frame had just arrived. A letter
+// that now decodes and demodulates cleanly is delivered exactly like a live
+// event — it counts toward Published/Processed and reaches OnResult — and
+// is tallied as redelivered. A letter that fails again is re-quarantined
+// with the fresh error and tallied as requarantined, so it can be retried
+// on a later call. This lets an operator retry poison messages after the
+// cause is fixed — an upgraded handler image, a restored native binding —
+// without restarting the subscription.
+//
+// Redelivery is local: no NACK goes upstream for a repeat failure (the
+// publisher already heard about the original), breakers are untouched, and
+// delivery-sequence bookkeeping is unchanged — a sequenced letter was
+// already admitted by dedup when it first arrived.
+func (s *Subscriber) RedeliverDeadLetters() (redelivered, requarantined int) {
+	for _, dl := range s.letters.drain() {
+		class := wire.NackDecode
+		msg, err := wire.Unmarshal(dl.Frame)
+		if err == nil {
+			// A letter quarantined at the envelope layer holds the wrapped
+			// event; unwrap so the demodulator sees the inner message.
+			if se, ok := msg.(*wire.SeqEvent); ok {
+				msg, err = wire.Unmarshal(se.Payload)
+			}
+		}
+		var res *partition.Result
+		if err == nil {
+			if res, err = s.demod.Process(msg); err != nil {
+				class = partition.FaultClassOf(err)
+			}
+		}
+		if err != nil {
+			dl.Class = class
+			dl.Reason = err.Error()
+			s.quarantine(dl)
+			requarantined++
+			s.metrics.dlRequarantined.Add(1)
+			continue
+		}
+		s.metrics.published.Add(1)
+		s.mu.Lock()
+		s.processed++
+		s.mu.Unlock()
+		if s.cfg.OnResult != nil {
+			s.cfg.OnResult(res)
+		}
+		redelivered++
+		s.metrics.dlRedelivered.Add(1)
+	}
+	return redelivered, requarantined
 }
 
 // Err returns the terminal error (nil on clean close). A close initiated
@@ -393,9 +487,11 @@ func (s *Subscriber) supervise(conn transport.Conn) {
 	}
 }
 
-// resubscribe redials with exponential backoff (50ms doubling, capped at
-// 2s) until a fresh session is connected and resynced, attempts run out, or
-// Close aborts the wait.
+// resubscribe redials with full-jitter exponential backoff (ceiling 50ms
+// doubling, capped at 2s; each wait uniform below the ceiling — a publisher
+// restart must not get a synchronized thundering herd from every orphaned
+// subscriber) until a fresh session is connected and resynced, attempts run
+// out, or Close aborts the wait.
 func (s *Subscriber) resubscribe() (transport.Conn, error) {
 	attempts := s.cfg.ResubscribeAttempts
 	if attempts <= 0 {
@@ -408,7 +504,7 @@ func (s *Subscriber) resubscribe() (transport.Conn, error) {
 			select {
 			case <-s.stop:
 				return nil, fmt.Errorf("jecho: subscriber closed during resubscribe")
-			case <-time.After(backoff):
+			case <-time.After(fullJitter(backoff)):
 			}
 			backoff *= 2
 			if backoff > 2*time.Second {
@@ -438,6 +534,12 @@ func (s *Subscriber) resubscribe() (transport.Conn, error) {
 // again from the static initial plan.
 func (s *Subscriber) resync(conn transport.Conn) error {
 	s.setConn(conn)
+	if s.rel != nil {
+		// Retransmit requests issued on the dead connection died with it;
+		// gaps still open after the publisher's resume replay must be
+		// re-requested on this one.
+		s.rel.resetRequests()
+	}
 	s.mu.Lock()
 	merged := profileunit.Merge(s.senderStats, s.coll.Snapshot())
 	s.mu.Unlock()
@@ -467,8 +569,17 @@ func (s *Subscriber) heartbeatLoop(conn transport.Conn, connDone <-chan struct{}
 			return
 		case <-t.C:
 			seq++
+			hb := &wire.Heartbeat{Seq: seq}
+			if s.rel != nil {
+				// Idle channels still drain the publisher's replay ring:
+				// every heartbeat piggybacks the cumulative ack, and the
+				// publisher's idle-replay heuristic keys off repeated acks
+				// to repair a lost stream tail.
+				hb.HasAck = true
+				hb.AckSeq = s.rel.contiguous()
+			}
 			var err error
-			buf, err = wire.AppendMarshal(buf[:0], &wire.Heartbeat{Seq: seq})
+			buf, err = wire.AppendMarshal(buf[:0], hb)
 			if err != nil {
 				return
 			}
@@ -478,6 +589,9 @@ func (s *Subscriber) heartbeatLoop(conn transport.Conn, connDone <-chan struct{}
 				return
 			}
 			s.metrics.heartbeatsSent.Add(1)
+			if hb.HasAck {
+				s.metrics.acksSent.Add(1)
+			}
 			s.metrics.controlBytes.Add(uint64(len(buf)) + transport.HeaderSize)
 		}
 	}
@@ -520,10 +634,16 @@ func (s *Subscriber) readLoop(conn transport.Conn) error {
 		case *wire.Raw, *wire.Continuation:
 			s.metrics.bytesOnWire.Add(wireBytes)
 			s.handleEvent(m, frame)
+		case *wire.SeqEvent:
+			s.metrics.bytesOnWire.Add(wireBytes)
+			s.handleSeqEvent(m)
 		case *wire.Batch:
 			s.metrics.bytesOnWire.Add(wireBytes)
 			s.metrics.batchesRecv.Add(1)
 			s.handleBatch(m)
+		case *wire.Lost:
+			s.metrics.controlBytes.Add(wireBytes)
+			s.handleLost(m)
 		case *wire.Feedback:
 			s.metrics.controlBytes.Add(wireBytes)
 			s.applyFeedback(m)
@@ -586,6 +706,8 @@ func (s *Subscriber) handleBatch(b *wire.Batch) {
 		switch m := inner.(type) {
 		case *wire.Raw, *wire.Continuation:
 			s.handleEvent(m, entry)
+		case *wire.SeqEvent:
+			s.handleSeqEvent(m)
 		default:
 			// Only event frames ride in batches; a nested batch or a
 			// smuggled control frame is a protocol violation by the peer.
@@ -593,6 +715,112 @@ func (s *Subscriber) handleBatch(b *wire.Batch) {
 			s.cfg.Logf("jecho subscriber: batch entry was %T", m)
 		}
 	}
+}
+
+// handleSeqEvent unwraps one delivery-sequenced event: dedup and gap
+// detection run on the envelope's seq *before* demodulation, so the
+// handler sits strictly behind the dedup (at-least-once on the wire,
+// exactly-once at the handler). Acking is receipt-based — a poison payload
+// is still acked, because redelivering it would just poison again; the
+// dead-letter quarantine owns that failure mode.
+func (s *Subscriber) handleSeqEvent(se *wire.SeqEvent) {
+	if s.rel == nil {
+		// A best-effort subscription must never see envelopes; a publisher
+		// that sends them anyway is violating the negotiated protocol.
+		s.metrics.decodeFailures.Add(1)
+		s.cfg.Logf("jecho subscriber: unexpected seq envelope on best-effort channel")
+		return
+	}
+	deliver, gapFrom, gapTo, ackDue, ackSeq := s.rel.admit(se.Seq)
+	if gapTo != 0 {
+		s.sendRetransmitRequest(gapFrom, gapTo)
+	}
+	if !deliver {
+		// Replay overshoot or ack race: drop before the handler and ack
+		// immediately so the replaying publisher converges.
+		s.metrics.duplicatesDropped.Add(1)
+		s.sendAck(ackSeq)
+		return
+	}
+	inner, err := wire.Unmarshal(se.Payload)
+	if err != nil {
+		s.metrics.decodeFailures.Add(1)
+		s.quarantine(DeadLetter{
+			PSEID:  UnattributedPSE,
+			Class:  wire.NackDecode,
+			Reason: err.Error(),
+			Frame:  se.Payload,
+		})
+		s.cfg.Logf("jecho subscriber: seq %d payload decode: %v", se.Seq, err)
+	} else {
+		switch m := inner.(type) {
+		case *wire.Raw, *wire.Continuation:
+			s.handleEvent(m, se.Payload)
+		default:
+			s.metrics.decodeFailures.Add(1)
+			s.cfg.Logf("jecho subscriber: seq envelope carried %T", m)
+		}
+	}
+	if ackDue {
+		s.sendAck(ackSeq)
+	}
+}
+
+// handleLost processes a Lost notice: the publisher's ring evicted
+// [From, To] before the gap could be repaired. Every event in the range
+// this subscriber never received is counted as DataLoss — loudly, on the
+// counter, the tracer and the log — and the stream advances past it.
+func (s *Subscriber) handleLost(m *wire.Lost) {
+	if s.rel == nil {
+		s.cfg.Logf("jecho subscriber: unexpected loss notice on best-effort channel")
+		return
+	}
+	missing, ackSeq := s.rel.lost(m.From, m.To)
+	if missing > 0 {
+		s.metrics.dataLoss.Add(missing)
+		traceDataLoss(s.cfg.Tracer, s.cfg.Channel, s.cfg.Name, m.From, m.To)
+		s.cfg.Logf("jecho subscriber %s: DATA LOSS: %d events in seq range %d..%d are unrecoverable (replay ring evicted them)",
+			s.cfg.Name, missing, m.From, m.To)
+	}
+	// Ack the advanced position immediately: the publisher is holding (or
+	// re-declaring) this range until it hears we moved past it.
+	s.sendAck(ackSeq)
+}
+
+// sendAck pushes a cumulative delivery ack upstream. Like sendNack it
+// writes directly on the connection (WriteFrame is concurrency-safe) and
+// only logs failures: the teardown a failed write implies is the read
+// loop's to detect.
+func (s *Subscriber) sendAck(seq uint64) {
+	data, err := wire.Marshal(&wire.Ack{Seq: seq})
+	if err != nil {
+		return
+	}
+	conn := s.currentConn()
+	s.sup.armWrite(conn)
+	if err := conn.WriteFrame(data); err != nil {
+		s.cfg.Logf("jecho subscriber: send ack: %v", err)
+		return
+	}
+	s.metrics.acksSent.Add(1)
+	s.metrics.controlBytes.Add(uint64(len(data)) + transport.HeaderSize)
+}
+
+// sendRetransmitRequest asks the publisher to replay [from, to] — the
+// receiver observed a delivery beyond a gap these seqs should have filled.
+func (s *Subscriber) sendRetransmitRequest(from, to uint64) {
+	data, err := wire.Marshal(&wire.Retransmit{From: from, To: to})
+	if err != nil {
+		return
+	}
+	conn := s.currentConn()
+	s.sup.armWrite(conn)
+	if err := conn.WriteFrame(data); err != nil {
+		s.cfg.Logf("jecho subscriber: send retransmit request: %v", err)
+		return
+	}
+	s.metrics.retransReqSent.Add(1)
+	s.metrics.controlBytes.Add(uint64(len(data)) + transport.HeaderSize)
 }
 
 // attribution extracts the sequence number and split PSE from a decoded

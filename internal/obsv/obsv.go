@@ -95,6 +95,14 @@ const (
 	// EvDeadLetter: a poison message was quarantined in the dead-letter
 	// ring (Bytes is the retained frame size, Detail the fault class).
 	EvDeadLetter
+	// EvReplay: the publisher re-sent a range of sequenced events from its
+	// replay ring — a retransmit request, an idle-tail repair or a
+	// reconnect resume (Detail is the "from..to" sequence range).
+	EvReplay
+	// EvDataLoss: a range of sequenced events was declared unrecoverable —
+	// the replay ring evicted them before the gap could be repaired
+	// (Detail is the "from..to" sequence range; Value the event count).
+	EvDataLoss
 )
 
 // String names the kind for dumps and logs.
@@ -128,6 +136,10 @@ func (k EventKind) String() string {
 		return "nack-recv"
 	case EvDeadLetter:
 		return "dead-letter"
+	case EvReplay:
+		return "replay"
+	case EvDataLoss:
+		return "data-loss"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

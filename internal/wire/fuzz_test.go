@@ -29,6 +29,13 @@ func FuzzUnmarshal(f *testing.F) {
 			CostModel: "datasize", Natives: []string{"displayImage"}},
 		&Nack{Handler: "push", Seq: 3, PSEID: 2, Class: NackRestore},
 		&Heartbeat{},
+		&Heartbeat{Seq: 4, HasAck: true, AckSeq: 1 << 40},
+		&Subscribe{Subscriber: "s", Handler: "push", Source: "func push(event) {\n  return\n}",
+			CostModel: "datasize", Natives: []string{"displayImage"},
+			Reliability: ReliabilityAtLeastOnce, ResumeSeq: 12345},
+		&Ack{Seq: 99},
+		&Retransmit{From: 10, To: 20},
+		&Lost{From: 21, To: 21},
 	}
 	rawFrame, err := Marshal(seeds[0])
 	if err != nil {
@@ -39,6 +46,13 @@ func FuzzUnmarshal(f *testing.F) {
 		f.Fatal(err)
 	}
 	seeds = append(seeds, &Batch{Entries: [][]byte{rawFrame, contFrame}})
+	seeds = append(seeds, &SeqEvent{Seq: 6, Payload: rawFrame})
+	// A batch of sequence envelopes — the shape a reliable subscription
+	// actually receives when batching is on.
+	seeds = append(seeds, &Batch{Entries: [][]byte{
+		AppendSeqEvent(nil, 7, rawFrame),
+		AppendSeqEvent(nil, 8, contFrame),
+	}})
 	for _, m := range seeds {
 		data, err := Marshal(m)
 		if err != nil {
@@ -59,6 +73,15 @@ func FuzzUnmarshal(f *testing.F) {
 	corruptObj := []byte{byte(MsgRaw), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
 	corruptObj = append(corruptObj, 9 /* tagObject */, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f)
 	f.Add(corruptObj)
+	// Reliability-frame corruption: a cumulative ack absurdly far ahead of
+	// anything ever sent (the publisher must clamp, not release unsent ring
+	// entries), inverted retransmit/lost ranges, a truncated sequence
+	// envelope header, and an envelope wrapping garbage instead of a frame.
+	f.Add([]byte{byte(MsgAck), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{byte(MsgRetransmit), 9, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{byte(MsgLost), 9, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{byte(MsgSeqEvent), 1, 2, 3})
+	f.Add(AppendSeqEvent(nil, 5, []byte{0xfe, 0xfd}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := Unmarshal(data)
 		if err == nil && msg == nil {

@@ -16,13 +16,17 @@ import (
 // Revision 3 added Nack frames (demodulation-failure reports) plus per-PSE
 // failure counts and the sender's active plan version in Feedback.
 // Revision 4 added Batch frames (multiple event frames coalesced into one
-// wire frame).
-const ProtocolVersion uint32 = 4
+// wire frame). Revision 5 added the opt-in at-least-once delivery layer:
+// SeqEvent envelopes, cumulative Ack frames, Retransmit requests, Lost
+// notices, and the Reliability/ResumeSeq handshake fields (see
+// reliable.go).
+const ProtocolVersion uint32 = 5
 
 // MinProtocolVersion is the oldest peer revision a current endpoint still
-// interoperates with: a publisher speaking revision 4 downgrades to
-// unbatched frames for a revision-3 subscriber, since everything else in
-// revision 4 is additive.
+// interoperates with: a publisher speaking revision 5 downgrades to
+// unbatched frames for a revision-3 subscriber and never sends reliability
+// frames to a revision-4 one, since everything in revisions 4 and 5 is
+// additive.
 const MinProtocolVersion uint32 = 3
 
 // BatchProtocolVersion is the first revision whose subscribers understand
@@ -57,6 +61,19 @@ const (
 	// each entry independently, so per-entry fault containment (NACKs,
 	// dead-lettering) is preserved.
 	MsgBatch
+	// MsgAck is the cumulative delivery acknowledgement (protocol
+	// revision 5): everything up to Ack.Seq arrived, release the replay
+	// ring behind it.
+	MsgAck
+	// MsgRetransmit asks the publisher to replay a sequence range the
+	// subscriber detected as a gap (protocol revision 5).
+	MsgRetransmit
+	// MsgLost declares a sequence range unrecoverable — evicted from the
+	// replay ring before it could be repaired (protocol revision 5).
+	MsgLost
+	// MsgSeqEvent is the per-subscription delivery-sequence envelope
+	// around one event frame (protocol revision 5).
+	MsgSeqEvent
 )
 
 // NackClass classifies why a message failed demodulation, so the sender's
@@ -128,6 +145,16 @@ type Batch struct {
 type Heartbeat struct {
 	// Seq increases per heartbeat sent on one connection.
 	Seq uint64
+	// HasAck marks a subscriber heartbeat carrying a piggybacked
+	// cumulative delivery ack (protocol revision 5): an at-least-once
+	// subscriber restates its last contiguous delivery seq on every idle
+	// heartbeat, so the publisher's replay ring drains — and trailing
+	// gaps get repaired — even when no events flow. Legacy heartbeats
+	// decode with HasAck false.
+	HasAck bool
+	// AckSeq is the piggybacked cumulative ack (meaningful only when
+	// HasAck is set); same semantics as Ack.Seq.
+	AckSeq uint64
 }
 
 // Raw is an unmodulated event message.
@@ -229,6 +256,17 @@ type Subscribe struct {
 	// Natives lists the handler's native (receiver-pinned) functions, so
 	// both ends mark identical StopNodes.
 	Natives []string
+	// Reliability selects the delivery mode (protocol revision 5):
+	// ReliabilityBestEffort (the zero value, and the only behaviour older
+	// revisions have) or ReliabilityAtLeastOnce. Publishers ignore it on
+	// handshakes older than ReliableProtocolVersion.
+	Reliability uint32
+	// ResumeSeq is the subscriber's last contiguously received delivery
+	// sequence number (protocol revision 5, at-least-once only): a
+	// reconnecting subscriber resumes mid-stream — the publisher releases
+	// ring entries up to it and replays what it still retains beyond it.
+	// Zero on a first subscribe.
+	ResumeSeq uint64
 }
 
 // encoderPool recycles Encoders (buffer + reference tables) across Marshal
@@ -339,6 +377,36 @@ func (e *Encoder) encodeMessage(msg any) error {
 	case *Heartbeat:
 		e.w.WriteByte(byte(MsgHeartbeat))
 		e.writeU64(m.Seq)
+		// Revision-5 trailing fields: a flag byte, then the ack when set.
+		// Pre-5 decoders ignored trailing bytes on control frames, so the
+		// extension is transparent to them.
+		if m.HasAck {
+			e.w.WriteByte(1)
+			e.writeU64(m.AckSeq)
+		} else {
+			e.w.WriteByte(0)
+		}
+	case *Ack:
+		e.w.WriteByte(byte(MsgAck))
+		e.writeU64(m.Seq)
+	case *Retransmit:
+		e.w.WriteByte(byte(MsgRetransmit))
+		e.writeU64(m.From)
+		e.writeU64(m.To)
+	case *Lost:
+		e.w.WriteByte(byte(MsgLost))
+		e.writeU64(m.From)
+		e.writeU64(m.To)
+	case *SeqEvent:
+		if len(m.Payload) == 0 {
+			return fmt.Errorf("wire: seq envelope needs a payload")
+		}
+		if m.Seq == 0 {
+			return fmt.Errorf("wire: seq envelope needs a non-zero sequence")
+		}
+		e.w.WriteByte(byte(MsgSeqEvent))
+		e.writeU64(m.Seq)
+		e.w.Write(m.Payload)
 	case *Nack:
 		e.w.WriteByte(byte(MsgNack))
 		e.writeString(m.Handler)
@@ -357,6 +425,10 @@ func (e *Encoder) encodeMessage(msg any) error {
 		for _, n := range m.Natives {
 			e.writeString(n)
 		}
+		// Revision-5 trailing fields; pre-5 decoders stop at the natives
+		// and ignore them.
+		e.writeU32(m.Reliability)
+		e.writeU64(m.ResumeSeq)
 	default:
 		return fmt.Errorf("wire: cannot marshal %T", msg)
 	}
@@ -382,14 +454,18 @@ func AppendBatch(dst []byte, entries [][]byte) []byte {
 
 // Unmarshal decodes a message produced by Marshal. The concrete type of the
 // result is *Raw, *Continuation, *Feedback, *Plan, *Subscribe, *Heartbeat,
-// *Nack or *Batch. Batch entries alias data; they stay valid only as long
-// as the input does.
+// *Nack, *Batch, *Ack, *Retransmit, *Lost or *SeqEvent. Batch entries and
+// SeqEvent payloads alias data; they stay valid only as long as the input
+// does.
 func Unmarshal(data []byte) (any, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("wire: empty message")
 	}
 	if MsgType(data[0]) == MsgBatch {
 		return unmarshalBatch(data[1:])
+	}
+	if MsgType(data[0]) == MsgSeqEvent {
+		return unmarshalSeqEvent(data[1:])
 	}
 	d := NewDecoder(data[1:])
 	switch MsgType(data[0]) {
@@ -538,6 +614,53 @@ func Unmarshal(data []byte) (any, error) {
 		if m.Seq, err = d.readU64(); err != nil {
 			return nil, err
 		}
+		// Revision-5 trailing fields: absent on legacy frames (HasAck
+		// stays false), a flag byte plus the ack otherwise.
+		if d.Remaining() > 0 {
+			flag, err := d.readByte()
+			if err != nil {
+				return nil, err
+			}
+			if flag == 1 {
+				if m.AckSeq, err = d.readU64(); err != nil {
+					return nil, err
+				}
+				m.HasAck = true
+			}
+		}
+		return m, nil
+	case MsgAck:
+		m := &Ack{}
+		var err error
+		if m.Seq, err = d.readU64(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case MsgRetransmit:
+		m := &Retransmit{}
+		var err error
+		if m.From, err = d.readU64(); err != nil {
+			return nil, err
+		}
+		if m.To, err = d.readU64(); err != nil {
+			return nil, err
+		}
+		if m.To < m.From {
+			return nil, fmt.Errorf("wire: retransmit range [%d, %d] is inverted", m.From, m.To)
+		}
+		return m, nil
+	case MsgLost:
+		m := &Lost{}
+		var err error
+		if m.From, err = d.readU64(); err != nil {
+			return nil, err
+		}
+		if m.To, err = d.readU64(); err != nil {
+			return nil, err
+		}
+		if m.To < m.From {
+			return nil, fmt.Errorf("wire: lost range [%d, %d] is inverted", m.From, m.To)
+		}
 		return m, nil
 	case MsgNack:
 		m := &Nack{}
@@ -594,6 +717,16 @@ func Unmarshal(data []byte) (any, error) {
 				return nil, err
 			}
 			m.Natives = append(m.Natives, n)
+		}
+		// Revision-5 trailing fields: absent on legacy handshakes, which
+		// decode as best-effort with no resume point.
+		if d.Remaining() > 0 {
+			if m.Reliability, err = d.readU32(); err != nil {
+				return nil, err
+			}
+			if m.ResumeSeq, err = d.readU64(); err != nil {
+				return nil, err
+			}
 		}
 		return m, nil
 	default:

@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReliableRoundTrips covers the revision-5 control frames.
+func TestReliableRoundTrips(t *testing.T) {
+	inner, err := Marshal(&Nack{Handler: "h", Seq: 1}) // any valid frame works as a payload
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []any{
+		&Ack{Seq: 42},
+		&Retransmit{From: 7, To: 19},
+		&Lost{From: 3, To: 3},
+		&SeqEvent{Seq: 9, Payload: inner},
+	}
+	for _, m := range msgs {
+		data, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal %T: %v", m, err)
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("unmarshal %T: %v", m, err)
+		}
+		switch want := m.(type) {
+		case *Ack:
+			if g := got.(*Ack); *g != *want {
+				t.Fatalf("ack roundtrip: got %+v want %+v", g, want)
+			}
+		case *Retransmit:
+			if g := got.(*Retransmit); *g != *want {
+				t.Fatalf("retransmit roundtrip: got %+v want %+v", g, want)
+			}
+		case *Lost:
+			if g := got.(*Lost); *g != *want {
+				t.Fatalf("lost roundtrip: got %+v want %+v", g, want)
+			}
+		case *SeqEvent:
+			g := got.(*SeqEvent)
+			if g.Seq != want.Seq || !bytes.Equal(g.Payload, want.Payload) {
+				t.Fatalf("seq envelope roundtrip: got %+v want %+v", g, want)
+			}
+		}
+	}
+}
+
+// TestSeqEventAppendFastPath: AppendSeqEvent must produce byte-identical
+// output to Marshal(&SeqEvent{...}) — the pipeline uses the append form.
+func TestSeqEventAppendFastPath(t *testing.T) {
+	payload, err := Marshal(&Heartbeat{Seq: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaMarshal, err := Marshal(&SeqEvent{Seq: 77, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaAppend := AppendSeqEvent(nil, 77, payload)
+	if !bytes.Equal(viaMarshal, viaAppend) {
+		t.Fatalf("AppendSeqEvent diverges from Marshal:\n append: %x\nmarshal: %x", viaAppend, viaMarshal)
+	}
+	m, err := Unmarshal(viaAppend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := m.(*SeqEvent)
+	if se.Seq != 77 || !bytes.Equal(se.Payload, payload) {
+		t.Fatalf("decoded envelope %+v, want seq 77 payload %x", se, payload)
+	}
+}
+
+// TestSeqEventRejectsDegenerate: empty payloads and zero sequences never
+// appear on a healthy channel; both directions must reject them rather
+// than let a zero-seq frame corrupt dedup state.
+func TestSeqEventRejectsDegenerate(t *testing.T) {
+	if _, err := Marshal(&SeqEvent{Seq: 1}); err == nil {
+		t.Fatal("marshal of empty envelope succeeded")
+	}
+	if _, err := Marshal(&SeqEvent{Seq: 0, Payload: []byte{1}}); err == nil {
+		t.Fatal("marshal of zero-seq envelope succeeded")
+	}
+	if _, err := Unmarshal([]byte{byte(MsgSeqEvent), 0, 0, 0, 0, 0, 0, 0, 0, 1}); err == nil {
+		t.Fatal("unmarshal of zero-seq envelope succeeded")
+	}
+	if _, err := Unmarshal(AppendSeqEvent(nil, 1, nil)); err == nil {
+		t.Fatal("unmarshal of empty envelope succeeded")
+	}
+}
+
+// TestRangeFramesRejectInverted: a Retransmit or Lost whose To < From is a
+// corrupt frame, not a request the receiver should guess at.
+func TestRangeFramesRejectInverted(t *testing.T) {
+	for _, m := range []any{&Retransmit{From: 9, To: 3}, &Lost{From: 9, To: 3}} {
+		data, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal %T: %v", m, err)
+		}
+		if _, err := Unmarshal(data); err == nil {
+			t.Fatalf("unmarshal of inverted %T succeeded", m)
+		}
+	}
+}
+
+// TestSubscribeReliabilityRoundTrip covers the revision-5 handshake
+// fields on the current encoding.
+func TestSubscribeReliabilityRoundTrip(t *testing.T) {
+	in := &Subscribe{
+		Protocol: ProtocolVersion, Subscriber: "s", Handler: "h",
+		Source: "src", CostModel: "datasize", Natives: []string{"n"},
+		Reliability: ReliabilityAtLeastOnce, ResumeSeq: 123,
+	}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := got.(*Subscribe)
+	if out.Reliability != ReliabilityAtLeastOnce || out.ResumeSeq != 123 {
+		t.Fatalf("roundtrip lost reliability fields: %+v", out)
+	}
+}
+
+// legacySubscribe hand-encodes a pre-revision-5 Subscribe frame — exactly
+// the bytes a v4 peer would produce, with nothing after the natives.
+func legacySubscribe(m *Subscribe) []byte {
+	e := NewEncoder()
+	e.w.WriteByte(byte(MsgSubscribe))
+	e.writeU32(m.Protocol)
+	e.writeString(m.Subscriber)
+	e.writeString(m.Channel)
+	e.writeString(m.Handler)
+	e.writeString(m.Source)
+	e.writeString(m.CostModel)
+	e.writeU32(uint32(len(m.Natives)))
+	for _, n := range m.Natives {
+		e.writeString(n)
+	}
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// TestSubscribeV4Downgrade: a legacy handshake without the trailing
+// reliability fields decodes to best-effort with no resume point — the v5
+// publisher treats a v4 subscriber exactly as a v4 publisher did.
+func TestSubscribeV4Downgrade(t *testing.T) {
+	data := legacySubscribe(&Subscribe{
+		Protocol: 4, Subscriber: "old", Handler: "h",
+		Source: "src", CostModel: "datasize", Natives: []string{"n"},
+	})
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.(*Subscribe)
+	if m.Subscriber != "old" || len(m.Natives) != 1 {
+		t.Fatalf("legacy subscribe mis-decoded: %+v", m)
+	}
+	if m.Reliability != ReliabilityBestEffort || m.ResumeSeq != 0 {
+		t.Fatalf("legacy subscribe grew reliability fields: %+v", m)
+	}
+}
+
+// TestHeartbeatAckPiggyback covers the revision-5 heartbeat extension and
+// the legacy form (seq only, no flag byte).
+func TestHeartbeatAckPiggyback(t *testing.T) {
+	data, err := Marshal(&Heartbeat{Seq: 3, HasAck: true, AckSeq: 88})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb := got.(*Heartbeat)
+	if !hb.HasAck || hb.AckSeq != 88 || hb.Seq != 3 {
+		t.Fatalf("heartbeat ack roundtrip: %+v", hb)
+	}
+
+	data, err = Marshal(&Heartbeat{Seq: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb := got.(*Heartbeat); hb.HasAck || hb.AckSeq != 0 {
+		t.Fatalf("ackless heartbeat grew an ack: %+v", hb)
+	}
+
+	// Legacy frame: tag + seq, no flag byte at all.
+	legacy := []byte{byte(MsgHeartbeat), 6, 0, 0, 0, 0, 0, 0, 0}
+	got, err = Unmarshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb := got.(*Heartbeat); hb.Seq != 6 || hb.HasAck {
+		t.Fatalf("legacy heartbeat mis-decoded: %+v", hb)
+	}
+}

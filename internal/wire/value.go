@@ -233,6 +233,8 @@ func NewDecoder(data []byte) *Decoder {
 // Remaining returns the number of unread bytes.
 func (d *Decoder) Remaining() int { return d.r.Len() }
 
+func (d *Decoder) readByte() (byte, error) { return d.r.ReadByte() }
+
 func (d *Decoder) readU32() (uint32, error) {
 	var b [4]byte
 	if _, err := io.ReadFull(d.r, b[:]); err != nil {
