@@ -215,6 +215,108 @@ func TestChaosReconnectUndersizedRingCountsLoss(t *testing.T) {
 	waitProcessedAbove(t, sub, processedBefore)
 }
 
+// TestChaosPublisherRestartFreshStreamNoSilentDrop covers the fresh-stream
+// reconnect: the publisher restarts, so the resubscribing at-least-once
+// subscriber — whose dedup state says "I have everything through seq 30" —
+// meets a brand-new stream re-sequenced from 1. The StreamStart epoch
+// handshake must make it reset that state, so the new stream's first 30
+// events are processed instead of being silently dropped as duplicates of
+// the dead stream's numbering, and the break must be counted on
+// StreamResets.
+func TestChaosPublisherRestartFreshStreamNoSilentDrop(t *testing.T) {
+	mem := transport.NewMem()
+	pubCfg := jecho.PublisherConfig{
+		Addr:              "mem:restart",
+		FeedbackEvery:     5,
+		ReplayRingBytes:   8 << 20,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatMisses:   5,
+		WriteTimeout:      time.Second,
+	}
+	pub := chaosPublisher(t, mem, pubCfg)
+	sub := chaosSubscribe(t, mem, pub.Addr(), jecho.SubscriberConfig{
+		Name:              "restart",
+		Reliability:       jecho.AtLeastOnce,
+		AckEvery:          4,
+		ReconfigEvery:     1 << 30, // keep the plan still: this test is about stream identity
+		Resubscribe:       true,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatMisses:   5,
+		WriteTimeout:      time.Second,
+	})
+
+	seq := int64(0)
+	publish := func(p *jecho.Publisher, n int) {
+		for i := 0; i < n; i++ {
+			if _, err := p.Publish(imaging.NewFrame(64, 64, seq)); err != nil {
+				t.Fatal(err)
+			}
+			seq++
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	publish(pub, 30)
+	// Old stream fully drained before the restart: everything the first
+	// publisher staged was processed, nothing lost.
+	if _, _, dataLoss := waitDeliveryAccounted(t, pub, sub); dataLoss != 0 {
+		t.Fatalf("pre-restart phase lost %d events", dataLoss)
+	}
+	if m := sub.Metrics(); m.StreamResets != 0 {
+		t.Fatalf("stream reset counted before any restart: %d", m.StreamResets)
+	}
+	processedBefore := sub.Processed()
+
+	// Restart: the replacement publisher relistens on the same address with
+	// no memory of the old stream — its relState is fresh and re-sequences
+	// from 1 while the subscriber still believes it has everything through
+	// the old stream's contig.
+	if err := pub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pub2 := chaosPublisher(t, mem, pubCfg)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ok := theSession(pub2); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never resubscribed to the restarted publisher")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	publish(pub2, 30)
+	// Every event the fresh stream staged must reach the handler: before
+	// the epoch handshake they were dropped as duplicates of the dead
+	// stream's numbering. The accounting identity runs against the *new*
+	// stream's staged count and this phase's deliveries only.
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		info, ok := theSession(pub2)
+		processed := sub.Processed() - processedBefore
+		dataLoss := sub.Metrics().DataLoss
+		if ok && info.StagedSeq > 0 && info.StagedSeq == processed+dataLoss {
+			if dataLoss != 0 {
+				t.Errorf("fresh stream on an ample ring lost %d events", dataLoss)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fresh stream never converged: staged=%d processed=%d dataLoss=%d (silent duplicate drop?)",
+				info.StagedSeq, processed, dataLoss)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m := sub.Metrics()
+	if m.StreamResets == 0 {
+		t.Error("fresh stream adopted without counting a StreamReset")
+	}
+	if m.DemodFailures != 0 {
+		t.Errorf("restart caused %d demod failures", m.DemodFailures)
+	}
+}
+
 // TestChaosReconnectBestEffortUnchanged pins the opt-in boundary: a
 // best-effort subscription through the same sever/resubscribe cycle uses no
 // reliability machinery at all — no envelopes, no acks, no replay, no ring

@@ -14,11 +14,12 @@ import (
 
 // chaosPublisher starts a publisher with tight supervision timers on the
 // given transport. Logs are discarded: chaos scenarios log from supervision
-// goroutines whose timing the test does not control.
+// goroutines whose timing the test does not control. A caller-set Addr is
+// honoured (restart scenarios relisten on a fixed address); the zero value
+// auto-allocates as usual.
 func chaosPublisher(t *testing.T, tr transport.Transport, cfg jecho.PublisherConfig) *jecho.Publisher {
 	t.Helper()
 	reg, _ := imaging.Builtins()
-	cfg.Addr = ""
 	cfg.Transport = tr
 	cfg.Builtins = reg
 	cfg.Logf = func(string, ...any) {}

@@ -116,6 +116,18 @@ type ChannelMetrics struct {
 	// publisher counts the events of the Lost ranges it declares). Loss is
 	// loud and exact — never silent.
 	DataLoss uint64
+	// AcksClamped counts inbound cumulative acks claiming a seq beyond
+	// anything ever staged (publisher side). Each is a corrupt or
+	// misbehaving peer: the ack is clamped so it cannot release unsent
+	// ring entries, and counted here so the anomaly is visible.
+	AcksClamped uint64
+	// StreamResets counts at-least-once stream restarts the subscriber
+	// observed via a changed StreamStart epoch (publisher restart, orphan
+	// state evicted past its cap): dedup state was discarded so the fresh
+	// stream delivers instead of being dropped as duplicates. The old
+	// stream's undelivered tail is unrecoverable and unquantifiable, so it
+	// is surfaced here rather than fabricated into DataLoss.
+	StreamResets uint64
 	// DeadLettersRedelivered counts quarantined messages successfully
 	// re-demodulated by RedeliverDeadLetters.
 	DeadLettersRedelivered uint64
@@ -163,6 +175,8 @@ type channelMetrics struct {
 	ringEvictions     atomic.Uint64
 	duplicatesDropped atomic.Uint64
 	dataLoss          atomic.Uint64
+	acksClamped       atomic.Uint64
+	streamResets      atomic.Uint64
 	dlRedelivered     atomic.Uint64
 	dlRequarantined   atomic.Uint64
 }
@@ -238,6 +252,8 @@ func (m *channelMetrics) load() ChannelMetrics {
 		RingEvictions:              m.ringEvictions.Load(),
 		DuplicatesDropped:          m.duplicatesDropped.Load(),
 		DataLoss:                   m.dataLoss.Load(),
+		AcksClamped:                m.acksClamped.Load(),
+		StreamResets:               m.streamResets.Load(),
 		DeadLettersRedelivered:     m.dlRedelivered.Load(),
 		DeadLettersRequarantined:   m.dlRequarantined.Load(),
 	}

@@ -225,6 +225,23 @@ func traceDataLoss(tr *obsv.Tracer, channel, sub string, from, to uint64) {
 	})
 }
 
+// traceStreamReset emits the EvStreamReset for a discarded delivery
+// stream: the publisher opened a fresh epoch, so the receiver dropped its
+// old-stream dedup state. The old tail's size is unknowable, so the event
+// carries no count — the reset itself is the loud signal.
+func traceStreamReset(tr *obsv.Tracer, channel, sub string, epoch uint64) {
+	if !tr.Enabled() {
+		return
+	}
+	tr.Emit(obsv.Event{
+		Kind:    obsv.EvStreamReset,
+		Channel: channel,
+		Sub:     sub,
+		PSE:     obsv.NoPSE,
+		Detail:  fmt.Sprintf("epoch=%d", epoch),
+	})
+}
+
 // breakerObserver adapts breaker transitions to EvBreaker events. The
 // callback runs under the breaker mutex; Tracer.Emit takes only the tracer
 // mutex, so the lock order is strictly breaker → tracer and cannot cycle.
@@ -281,6 +298,8 @@ var channelCounterDefs = []struct {
 	{"methodpart_channel_ring_evictions_total", "Unacked frames evicted from the replay ring to hold its byte budget.", func(m ChannelMetrics) uint64 { return m.RingEvictions }},
 	{"methodpart_channel_duplicates_dropped_total", "Sequenced events absorbed by subscriber-side dedup before the handler.", func(m ChannelMetrics) uint64 { return m.DuplicatesDropped }},
 	{"methodpart_data_loss_total", "Sequenced events declared unrecoverable — loud, exact, never silent.", func(m ChannelMetrics) uint64 { return m.DataLoss }},
+	{"methodpart_channel_acks_clamped_total", "Inbound acks claiming a seq beyond anything staged, clamped instead of releasing unsent entries.", func(m ChannelMetrics) uint64 { return m.AcksClamped }},
+	{"methodpart_channel_stream_resets_total", "Delivery-stream restarts observed via a changed StreamStart epoch; dedup state was discarded.", func(m ChannelMetrics) uint64 { return m.StreamResets }},
 	{"methodpart_channel_dead_letters_redelivered_total", "Quarantined messages successfully re-demodulated by RedeliverDeadLetters.", func(m ChannelMetrics) uint64 { return m.DeadLettersRedelivered }},
 	{"methodpart_channel_dead_letters_requarantined_total", "Redelivery attempts that failed again and returned to quarantine.", func(m ChannelMetrics) uint64 { return m.DeadLettersRequarantined }},
 }

@@ -581,6 +581,21 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 			channel:    subMsg.Channel,
 			handler:    subMsg.Handler,
 		})
+		// The StreamStart epoch handshake must be the first frame the
+		// subscriber sees, so it can reset stale dedup state before seq 1
+		// of a fresh stream arrives. The send pipeline is not running yet,
+		// so a direct write cannot interleave with event frames.
+		data, err := wire.Marshal(&wire.StreamStart{Epoch: sub.rel.epoch})
+		if err == nil {
+			p.sup.armWrite(conn)
+			err = conn.WriteFrame(data)
+		}
+		if err != nil {
+			p.cfg.Logf("jecho publisher: stream-start handshake: %v", err)
+			p.detachRelState(sub.rel)
+			_ = conn.Close()
+			return
+		}
 	}
 	sub.pipe = newSendPipeline(conn, p.cfg.QueueDepth, p.cfg.OverflowPolicy, p.sup, batch, metrics,
 		func(err error) {
@@ -595,6 +610,7 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 	p.stateMu.Lock()
 	if p.closed {
 		p.stateMu.Unlock()
+		p.detachRelState(sub.rel)
 		_ = conn.Close()
 		return
 	}
@@ -621,8 +637,10 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 		// Resume: the handshake's last-contiguous seq acts as an ack, and
 		// everything staged beyond it replays (or is declared Lost where
 		// the ring evicted it). New publishes may already be interleaving;
-		// the sequence numbers disambiguate on the subscriber side.
-		p.deliverReplay(sub, sub.rel.resume(subMsg.ResumeSeq))
+		// the sequence numbers disambiguate on the subscriber side. A
+		// resume point from a different epoch is ignored — the state is a
+		// fresh stream and the subscriber resets on its StreamStart.
+		p.deliverReplay(sub, sub.rel.resume(subMsg.ResumeSeq, subMsg.ResumeEpoch))
 	}
 
 	// Serve inbound control messages (plans, heartbeats) until the peer
@@ -756,13 +774,17 @@ func (p *Publisher) applyWirePlan(s *subscription, wp *wire.Plan) error {
 
 // handleAck applies a cumulative delivery ack: ring entries release, and
 // when the idle-replay heuristic decides the stream's tail went missing
-// (same ack twice, nothing staged since, unacked frames outstanding), the
-// tail replays.
+// (repeated identical acks, nothing staged since, unacked frames
+// outstanding, backoff elapsed), the tail replays. An ack beyond anything
+// staged is corrupt; it is clamped and counted.
 func (p *Publisher) handleAck(s *subscription, seq uint64) {
 	if s.rel == nil {
 		return
 	}
-	_, rep, replay := s.rel.onAck(seq)
+	_, clamped, rep, replay := s.rel.onAck(seq)
+	if clamped {
+		s.metrics.acksClamped.Add(1)
+	}
 	if replay {
 		p.deliverReplay(s, rep)
 	}

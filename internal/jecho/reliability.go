@@ -2,6 +2,7 @@ package jecho
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"methodpart/internal/obsv"
@@ -51,9 +52,35 @@ const DefaultAckEvery = 32
 // maxOrphanRelStates caps how many detached reliable-delivery states (ring
 // + sequence counters of subscriptions whose connection died) a publisher
 // retains awaiting resume. Beyond it the oldest orphan is dropped, frames
-// released — a reconnect after that starts a fresh stream and the
-// subscriber accounts the gap as DataLoss.
+// released — a reconnect after that is handed a fresh stream under a new
+// epoch, which the subscriber detects via the StreamStart handshake,
+// resetting its dedup state and counting a StreamReset (the dropped
+// stream's undelivered tail is unrecoverable and its size unknowable, so
+// the break is surfaced as a loud reset rather than a fabricated DataLoss
+// count).
 const maxOrphanRelStates = 64
+
+// streamEpoch generates stream epochs: process-unique via the atomic
+// counter, unique across publisher restarts via the wall-clock base. An
+// epoch identifies one relState's sequence numbering, so a resuming
+// subscriber can tell "same stream, resume at ResumeSeq" from "fresh
+// stream, my resume point is meaningless" — without it, a fresh stream
+// re-sequencing from 1 toward a subscriber whose contig is N would have
+// its first N events silently dropped as duplicates.
+var (
+	streamEpochOnce sync.Once
+	streamEpochBase uint64
+	streamEpochSeq  atomic.Uint64
+)
+
+func nextStreamEpoch() uint64 {
+	streamEpochOnce.Do(func() { streamEpochBase = uint64(time.Now().UnixNano()) })
+	e := streamEpochBase + streamEpochSeq.Add(1)
+	if e == 0 { // 0 is the receiver's "no stream adopted" sentinel
+		e = 1
+	}
+	return e
+}
 
 // relKey identifies a delivery stream across reconnects: the resubscribe
 // handshake carries the same subscriber name, channel and handler, so the
@@ -90,6 +117,10 @@ type replaySet struct {
 type relState struct {
 	budget int // ring byte budget; < 0 disables retention (sequencing only)
 
+	// epoch identifies this state's sequence numbering in the StreamStart
+	// handshake. Immutable after newRelState.
+	epoch uint64
+
 	// enqMu serializes stage+enqueue across concurrently publishing
 	// goroutines so pipeline queue order matches sequence order.
 	enqMu sync.Mutex
@@ -103,10 +134,17 @@ type relState struct {
 	// Idle-replay heuristic: a subscriber missing the *trailing* frames of
 	// a burst never sees a higher seq, so it cannot detect the gap — but it
 	// keeps acking the same contiguous seq (standalone and on heartbeats).
-	// Seeing the same ack twice with nothing staged in between while
-	// unacked frames exist means the tail needs replay.
+	// Repeated identical acks with nothing staged in between while unacked
+	// frames exist mean the tail may need replay. A merely *stalled*
+	// handler (frames queued or in flight, not lost) produces the same
+	// signal, so successive replays for one stalled ack back off
+	// exponentially — the first fires after 2 identical acks, then 4, 8, …
+	// capped at 64 — bounding the duplicated bytes logarithmically instead
+	// of re-sending the whole unacked tail every other heartbeat.
 	lastAck     uint64
 	stagedSince bool
+	ackRepeats  uint64 // identical idle acks since the last reset/replay
+	idleBackoff uint   // doublings applied to the next replay threshold
 
 	// Orphan bookkeeping, guarded by the publisher's relMu. registered
 	// reports the state lives in the publisher's resume map; an
@@ -128,7 +166,8 @@ func newRelState(budget int) *relState {
 		budget = DefaultReplayRingBytes
 	}
 	return &relState{
-		budget: budget, next: 1, headSeq: 1, lastAck: ^uint64(0),
+		budget: budget, epoch: nextStreamEpoch(),
+		next: 1, headSeq: 1, lastAck: ^uint64(0),
 		occupancy: obsv.NewHistogram(obsv.SizeBuckets),
 	}
 }
@@ -186,30 +225,42 @@ func (r *relState) evictFrontLocked() {
 }
 
 // onAck releases ring entries up to the cumulative ack and decides whether
-// the idle-replay heuristic fires. A corrupt ack beyond anything ever
-// staged is clamped — it must not release unsent entries or corrupt the
-// counters (the unclamped value is still reflected in the ackClamped
-// return so callers can count it).
-func (r *relState) onAck(seq uint64) (released int, rep replaySet, replay bool) {
+// the idle-replay heuristic fires. An ack beyond anything ever staged is
+// corrupt: it is clamped so it cannot release unsent entries or corrupt
+// the counters, and reported via the clamped return so callers can count
+// it. Replays for a repeating idle ack back off exponentially (see the
+// field comment): ack progress or fresh staging resets the backoff.
+func (r *relState) onAck(seq uint64) (released int, clamped bool, rep replaySet, replay bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	clamped := seq
-	if clamped > r.next-1 {
-		clamped = r.next - 1
+	ack := seq
+	if ack > r.next-1 {
+		ack = r.next - 1
+		clamped = true
 	}
-	released = r.releaseToLocked(clamped)
-	if clamped == r.lastAck && !r.stagedSince && clamped < r.next-1 {
-		rep = r.buildReplayLocked(clamped+1, r.next-1)
-		replay = true
-		// Re-arm rather than re-fire: the next identical ack records as a
-		// fresh observation and the one after that replays again, so a
-		// lost replay is retried without a replay per heartbeat.
-		r.lastAck = ^uint64(0)
-	} else {
-		r.lastAck = clamped
+	released = r.releaseToLocked(ack)
+	switch {
+	case ack != r.lastAck || ack >= r.next-1:
+		// Progress (or nothing outstanding): record and disarm.
+		r.lastAck = ack
+		r.ackRepeats, r.idleBackoff = 0, 0
+	case r.stagedSince:
+		// New frames went out since the last ack; the subscriber has not
+		// had a chance to ack them yet — not an idle signal.
+		r.ackRepeats = 0
+	default:
+		r.ackRepeats++
+		if r.ackRepeats >= 1<<min(r.idleBackoff, 6) {
+			rep = r.buildReplayLocked(ack+1, r.next-1)
+			replay = true
+			r.ackRepeats = 0
+			if r.idleBackoff < 6 {
+				r.idleBackoff++
+			}
+		}
 	}
 	r.stagedSince = false
-	return released, rep, replay
+	return released, clamped, rep, replay
 }
 
 func (r *relState) releaseToLocked(seq uint64) int {
@@ -223,9 +274,19 @@ func (r *relState) releaseToLocked(seq uint64) int {
 
 // resume builds the replay for a reconnect: everything after the
 // subscriber's last contiguous seq, with the evicted prefix declared Lost.
-func (r *relState) resume(contig uint64) replaySet {
+// A resume point stamped with a different epoch belongs to a dead stream
+// (publisher restart, evicted orphan, duplicate-triple fresh state) and
+// says nothing about *this* stream's numbering — it must neither release
+// ring entries nor suppress replay. The subscriber resets on this stream's
+// StreamStart and re-acks from zero, so a fresh state replays nothing here
+// and a populated foreign state replays via normal gap repair after the
+// reset.
+func (r *relState) resume(contig, epoch uint64) replaySet {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if epoch != r.epoch {
+		return replaySet{}
+	}
 	// The resume point acts as an ack: the subscriber durably has
 	// everything up to it.
 	r.releaseToLocked(contig)
@@ -372,11 +433,24 @@ func (p *Publisher) closeRelStates() {
 // sequence numbers unwrapped from SeqEvent envelopes.
 type relReceiver struct {
 	mu       sync.Mutex
+	epoch    uint64              // adopted stream epoch; 0 = none yet
 	contig   uint64              // every seq <= contig has been received
 	ahead    map[uint64]struct{} // received seqs above a gap
 	reqHigh  uint64              // highest seq already covered by a retransmit request
 	sinceAck uint64
 	ackEvery uint64
+
+	// Gap-retry pacing: reqHigh alone is a monotonic high-water mark, so a
+	// retransmit request whose replay was dropped (ring overflow under
+	// DropOldest, a swallowed write error) would never be re-issued on the
+	// same connection. The heartbeat loop calls retryGap every tick; when
+	// the gap persists with no contig progress across enough consecutive
+	// ticks the whole outstanding range is re-requested, with the
+	// threshold doubling per retry (2, 4, 8, … capped at 64 ticks) so a
+	// genuinely slow replay is not buried under duplicate requests.
+	hbContig   uint64 // contig at the last heartbeat tick
+	gapStalls  uint64 // consecutive ticks with a gap and no progress
+	gapBackoff uint   // doublings applied to the next retry threshold
 }
 
 func newRelReceiver(ackEvery uint64) *relReceiver {
@@ -489,11 +563,93 @@ func (r *relReceiver) contiguous() uint64 {
 	return r.contig
 }
 
-// resetRequests forgets outstanding retransmit requests. Called on
-// reconnect: the old connection's requests died with it, so gaps observed
-// after resuming must be re-requested.
+// resumePoint returns the reconnect handshake's ResumeSeq/ResumeEpoch
+// pair: the last contiguous seq and the epoch of the stream it counts.
+func (r *relReceiver) resumePoint() (seq, epoch uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.contig, r.epoch
+}
+
+// streamStart processes the publisher's StreamStart handshake frame. The
+// first epoch ever seen is adopted silently; the same epoch again (a
+// resumed stream) is a no-op. A *different* epoch means the old stream is
+// dead — its numbering no longer describes anything the publisher will
+// send — so every piece of per-stream state resets before the new
+// stream's seq 1 arrives; otherwise admit would drop the first contig
+// events of the new stream as duplicates of the old one. reset reports
+// that a live stream was discarded, so the caller can count and log it:
+// the old stream's undelivered tail is unrecoverable and its size
+// unknowable from this side.
+func (r *relReceiver) streamStart(epoch uint64) (reset bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if epoch == r.epoch {
+		return false
+	}
+	reset = r.epoch != 0
+	r.epoch = epoch
+	if reset {
+		r.contig = 0
+		r.ahead = make(map[uint64]struct{})
+		r.reqHigh = 0
+		r.sinceAck = 0
+		r.hbContig, r.gapStalls, r.gapBackoff = 0, 0, 0
+	}
+	return reset
+}
+
+// retryGap is the heartbeat-paced re-request of a stuck gap. Each tick it
+// observes whether a gap exists (ahead non-empty) and whether contig moved
+// since the previous tick; after enough stalled ticks (doubling per retry,
+// see the field comment) it returns the full outstanding range to
+// re-request, edge-trimmed against already-received seqs. A zero return
+// means nothing to re-request this tick.
+func (r *relReceiver) retryGap() (from, to uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ahead) == 0 || r.contig > r.hbContig {
+		r.hbContig = r.contig
+		r.gapStalls, r.gapBackoff = 0, 0
+		return 0, 0
+	}
+	r.gapStalls++
+	if r.gapStalls < 2<<min(r.gapBackoff, 5) {
+		return 0, 0
+	}
+	r.gapStalls = 0
+	if r.gapBackoff < 5 {
+		r.gapBackoff++
+	}
+	var high uint64
+	for seq := range r.ahead {
+		if seq > high {
+			high = seq
+		}
+	}
+	// ahead is non-empty and contig+1 is never in it (it would have been
+	// merged), so [contig+1, high-1] is a valid range containing at least
+	// the first missing seq.
+	from, to = r.contig+1, high-1
+	for to >= from {
+		if _, ok := r.ahead[to]; !ok {
+			break
+		}
+		to--
+	}
+	if r.reqHigh < to {
+		r.reqHigh = to
+	}
+	return from, to
+}
+
+// resetRequests forgets outstanding retransmit requests and retry pacing.
+// Called on reconnect: the old connection's requests died with it, so gaps
+// observed after resuming must be re-requested.
 func (r *relReceiver) resetRequests() {
 	r.mu.Lock()
 	r.reqHigh = r.contig
+	r.hbContig = r.contig
+	r.gapStalls, r.gapBackoff = 0, 0
 	r.mu.Unlock()
 }

@@ -40,15 +40,15 @@ func TestRelStateSequencesAndReleases(t *testing.T) {
 	if staged, ringFrames, ringBytes, _ := r.stats(); staged != 5 || ringFrames != 5 || ringBytes != 500 {
 		t.Fatalf("stats after staging = (%d, %d, %d), want (5, 5, 500)", staged, ringFrames, ringBytes)
 	}
-	released, _, replay := r.onAck(3)
-	if released != 3 || replay {
-		t.Fatalf("onAck(3) = released %d replay %v, want 3 false", released, replay)
+	released, clamped, _, replay := r.onAck(3)
+	if released != 3 || clamped || replay {
+		t.Fatalf("onAck(3) = released %d clamped %v replay %v, want 3 false false", released, clamped, replay)
 	}
 	if _, ringFrames, ringBytes, _ := r.stats(); ringFrames != 2 || ringBytes != 200 {
 		t.Fatalf("ring after ack = (%d frames, %d bytes), want (2, 200)", ringFrames, ringBytes)
 	}
 	// A re-ack of an already-released position must be a no-op.
-	if released, _, _ := r.onAck(2); released != 0 {
+	if released, _, _, _ := r.onAck(2); released != 0 {
 		t.Fatalf("stale ack released %d entries", released)
 	}
 	r.close()
@@ -65,10 +65,11 @@ func TestRelStateCorruptFarAheadAckClamped(t *testing.T) {
 		r.stage(relFrame(50))
 	}
 	// A corrupt cumulative ack far beyond anything ever staged must release
-	// at most what exists and must not derail the sequence counter.
-	released, _, replay := r.onAck(1 << 60)
-	if released != 4 || replay {
-		t.Fatalf("far-ahead ack = released %d replay %v, want 4 false", released, replay)
+	// at most what exists, must not derail the sequence counter — and must
+	// report the clamping so the caller can count it.
+	released, clamped, _, replay := r.onAck(1 << 60)
+	if released != 4 || !clamped || replay {
+		t.Fatalf("far-ahead ack = released %d clamped %v replay %v, want 4 true false", released, clamped, replay)
 	}
 	if seq, _ := r.stage(relFrame(50)); seq != 5 {
 		t.Fatalf("seq after corrupt ack = %d, want 5", seq)
@@ -76,8 +77,12 @@ func TestRelStateCorruptFarAheadAckClamped(t *testing.T) {
 	// Repeating the corrupt ack with everything released must not fire the
 	// idle-replay heuristic on an empty tail.
 	r.onAck(1 << 60)
-	if _, _, replay := r.onAck(1 << 60); replay {
+	if _, _, _, replay := r.onAck(1 << 60); replay {
 		t.Fatal("repeated far-ahead ack with nothing unacked fired a replay")
+	}
+	// An in-range ack never reports clamping.
+	if _, clamped, _, _ := r.onAck(5); clamped {
+		t.Fatal("in-range ack reported clamping")
 	}
 }
 
@@ -87,12 +92,12 @@ func TestRelStateIdleReplayHeuristic(t *testing.T) {
 		r.stage(relFrame(10))
 	}
 	// First ack at 2: records the position, no replay yet.
-	if _, _, replay := r.onAck(2); replay {
+	if _, _, _, replay := r.onAck(2); replay {
 		t.Fatal("first ack fired a replay")
 	}
 	// Same ack again with nothing staged since: the tail 3..5 is stuck on
 	// the subscriber side with no higher seq to reveal the gap — replay it.
-	_, rep, replay := r.onAck(2)
+	_, _, rep, replay := r.onAck(2)
 	if !replay {
 		t.Fatal("repeated idle ack did not fire the tail replay")
 	}
@@ -103,22 +108,51 @@ func TestRelStateIdleReplayHeuristic(t *testing.T) {
 		t.Fatalf("idle replay declared loss %d..%d with an intact ring", rep.lostFrom, rep.lostTo)
 	}
 	releaseReplay(rep)
-	// The heuristic re-arms: the next identical ack only records, the one
+	// The backoff doubles: the next identical ack only records, the one
 	// after that replays again (a lost replay is retried, not spammed).
-	if _, _, replay := r.onAck(2); replay {
-		t.Fatal("heuristic did not re-arm after firing")
+	if _, _, _, replay := r.onAck(2); replay {
+		t.Fatal("heuristic did not back off after firing")
 	}
-	if _, rep, replay := r.onAck(2); !replay {
-		t.Fatal("re-armed heuristic did not fire on the next repeat")
+	if _, _, rep, replay := r.onAck(2); !replay {
+		t.Fatal("backed-off heuristic did not fire on the next repeat")
 	} else {
 		releaseReplay(rep)
 	}
 	// Staging between identical acks means the stream is moving: no replay.
 	r.onAck(2)
 	r.stage(relFrame(10))
-	if _, _, replay := r.onAck(2); replay {
+	if _, _, _, replay := r.onAck(2); replay {
 		t.Fatal("replay fired although frames were staged between acks")
 	}
+}
+
+func TestRelStateIdleReplayBackoffDoubles(t *testing.T) {
+	r := newRelState(1 << 20)
+	for i := 0; i < 4; i++ {
+		r.stage(relFrame(10))
+	}
+	r.onAck(1) // record the stalled position
+	// A handler merely stalled (nothing acked, nothing staged) must not be
+	// buried under a full-tail replay every other heartbeat: successive
+	// fires for the same stalled ack follow a doubling schedule.
+	var fires []int
+	for ack := 1; ack <= 15; ack++ {
+		if _, _, rep, replay := r.onAck(1); replay {
+			fires = append(fires, ack)
+			releaseReplay(rep)
+		}
+	}
+	if want := []int{1, 3, 7, 15}; len(fires) != len(want) || fires[0] != 1 || fires[1] != 3 || fires[2] != 7 || fires[3] != 15 {
+		t.Fatalf("idle replays fired at acks %v, want %v", fires, want)
+	}
+	// Ack progress resets the backoff: the very next repeat fires again.
+	r.onAck(2)
+	if _, _, rep, replay := r.onAck(2); !replay {
+		t.Fatal("backoff did not reset after ack progress")
+	} else {
+		releaseReplay(rep)
+	}
+	r.close()
 }
 
 func TestRelStateEvictionDeclaresLostPrefix(t *testing.T) {
@@ -179,7 +213,7 @@ func TestRelStateResume(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		r.stage(relFrame(10))
 	}
-	rep := r.resume(4)
+	rep := r.resume(4, r.epoch)
 	if rep.lostTo != 0 {
 		t.Fatalf("resume declared loss %d..%d with an intact ring", rep.lostFrom, rep.lostTo)
 	}
@@ -192,10 +226,43 @@ func TestRelStateResume(t *testing.T) {
 		t.Fatalf("ring after resume = %d frames, want 2", ringFrames)
 	}
 	// Fully caught up: nothing to replay, nothing lost.
-	if rep := r.resume(6); len(rep.frames) != 0 || rep.lostTo != 0 {
+	if rep := r.resume(6, r.epoch); len(rep.frames) != 0 || rep.lostTo != 0 {
 		t.Fatalf("caught-up resume = %+v, want empty", rep)
 	}
 	r.close()
+}
+
+func TestRelStateResumeForeignEpochIgnored(t *testing.T) {
+	r := newRelState(1 << 20)
+	for i := 0; i < 3; i++ {
+		r.stage(relFrame(10))
+	}
+	// A resume point from a different stream says nothing about this one:
+	// no replay (the subscriber resets on StreamStart and repairs via gap
+	// requests) and — critically — no release: the foreign contig must not
+	// act as an ack against this stream's numbering.
+	rep := r.resume(5, r.epoch+1)
+	if len(rep.frames) != 0 || rep.lostTo != 0 {
+		t.Fatalf("foreign-epoch resume = %+v, want empty", rep)
+	}
+	if _, ringFrames, _, _ := r.stats(); ringFrames != 3 {
+		t.Fatalf("foreign-epoch resume released ring entries (%d left, want 3)", ringFrames)
+	}
+	// The epoch-0 "no stream adopted" sentinel is foreign to every state.
+	if rep := r.resume(2, 0); len(rep.frames) != 0 {
+		t.Fatalf("epoch-0 resume replayed %d frames", len(rep.frames))
+	}
+	r.close()
+}
+
+func TestStreamEpochsDistinctAndNonZero(t *testing.T) {
+	a, b := newRelState(0), newRelState(0)
+	if a.epoch == 0 || b.epoch == 0 {
+		t.Fatalf("zero stream epoch assigned (%d, %d)", a.epoch, b.epoch)
+	}
+	if a.epoch == b.epoch {
+		t.Fatalf("two states share epoch %d", a.epoch)
+	}
 }
 
 func TestRelReceiverAdmitOrderDupsAndGaps(t *testing.T) {
@@ -278,6 +345,87 @@ func TestRelReceiverResetRequests(t *testing.T) {
 	if _, gapFrom, gapTo, _, _ := r.admit(5); gapFrom != 2 || gapTo != 3 {
 		t.Fatalf("post-reset admit(5) requested %d..%d, want 2..3", gapFrom, gapTo)
 	}
+}
+
+func TestRelReceiverStreamStartResets(t *testing.T) {
+	r := newRelReceiver(1 << 60)
+	if r.streamStart(7) {
+		t.Fatal("first epoch adoption reported a reset")
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		r.admit(seq)
+	}
+	r.admit(8) // 6..7 outstanding
+	if r.streamStart(7) {
+		t.Fatal("unchanged epoch reported a reset")
+	}
+	if got := r.contiguous(); got != 5 {
+		t.Fatalf("unchanged epoch disturbed contig (%d, want 5)", got)
+	}
+	// A changed epoch means the old numbering is dead: reset everything so
+	// the new stream's first events are not dropped as duplicates.
+	if !r.streamStart(9) {
+		t.Fatal("changed epoch did not reset the receiver")
+	}
+	if seq, epoch := r.resumePoint(); seq != 0 || epoch != 9 {
+		t.Fatalf("resume point after reset = (%d, %d), want (0, 9)", seq, epoch)
+	}
+	if deliver, _, gapTo, _, _ := r.admit(1); !deliver || gapTo != 0 {
+		t.Fatalf("fresh stream's seq 1 after reset: deliver %v gapTo %d, want true 0", deliver, gapTo)
+	}
+}
+
+func TestRelReceiverRetryGapBacksOff(t *testing.T) {
+	r := newRelReceiver(1 << 60)
+	r.admit(1)
+	r.admit(4) // requests 2..3; pretend the replay was dropped
+	// Tick 1 observes the post-admit progress; the gap must then persist
+	// for 2 stalled ticks before the first re-request.
+	if _, to := r.retryGap(); to != 0 {
+		t.Fatal("progress-observation tick re-requested")
+	}
+	if _, to := r.retryGap(); to != 0 {
+		t.Fatal("first stalled tick re-requested before the threshold")
+	}
+	if from, to := r.retryGap(); from != 2 || to != 3 {
+		t.Fatalf("retry = %d..%d, want 2..3", from, to)
+	}
+	// The threshold doubles: the next retry takes 4 stalled ticks.
+	for i := 0; i < 3; i++ {
+		if _, to := r.retryGap(); to != 0 {
+			t.Fatalf("backoff tick %d re-requested", i+1)
+		}
+	}
+	if from, to := r.retryGap(); from != 2 || to != 3 {
+		t.Fatalf("backed-off retry = %d..%d, want 2..3", from, to)
+	}
+	// Contig progress resets the pacing; a repaired gap stops it entirely.
+	r.admit(2)
+	if _, to := r.retryGap(); to != 0 {
+		t.Fatal("progress tick re-requested")
+	}
+	r.admit(3) // merges 4: ahead drains
+	if _, to := r.retryGap(); to != 0 {
+		t.Fatal("repaired gap re-requested")
+	}
+	if got := r.contiguous(); got != 4 {
+		t.Fatalf("contig after repair = %d, want 4", got)
+	}
+}
+
+func TestHandleAckClampedCounted(t *testing.T) {
+	p := &Publisher{cfg: PublisherConfig{ReplayRingBytes: 1 << 20}}
+	s := &subscription{rel: newRelState(1 << 20), metrics: &channelMetrics{}}
+	s.rel.stage(relFrame(10))
+	p.handleAck(s, 99) // beyond anything staged: clamped and counted
+	if got := s.metrics.acksClamped.Load(); got != 1 {
+		t.Fatalf("acksClamped after corrupt ack = %d, want 1", got)
+	}
+	p.handleAck(s, 1) // in range: not counted
+	if got := s.metrics.acksClamped.Load(); got != 1 {
+		t.Fatalf("acksClamped after valid ack = %d, want 1", got)
+	}
+	s.rel.close()
 }
 
 func TestAcquireRelStateResumesAcrossRetire(t *testing.T) {

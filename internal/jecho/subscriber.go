@@ -288,10 +288,12 @@ func (s *Subscriber) connect() (transport.Conn, error) {
 		return nil, fmt.Errorf("jecho: dial publisher: %w", err)
 	}
 	if s.rel != nil {
-		// The handshake carries the last contiguously received seq so the
-		// publisher resumes the stream (replaying what we missed) instead
-		// of restarting it.
-		s.subMsg.ResumeSeq = s.rel.contiguous()
+		// The handshake carries the last contiguously received seq — and
+		// the epoch of the stream it counts — so the publisher resumes the
+		// stream (replaying what we missed) instead of restarting it, and
+		// knows to ignore the resume point entirely when its state is a
+		// different stream.
+		s.subMsg.ResumeSeq, s.subMsg.ResumeEpoch = s.rel.resumePoint()
 	}
 	data, err := wire.Marshal(s.subMsg)
 	if err != nil {
@@ -593,6 +595,15 @@ func (s *Subscriber) heartbeatLoop(conn transport.Conn, connDone <-chan struct{}
 				s.metrics.acksSent.Add(1)
 			}
 			s.metrics.controlBytes.Add(uint64(len(buf)) + transport.HeaderSize)
+			if s.rel != nil {
+				// Heartbeat-paced gap retry: a retransmit request whose
+				// replay was dropped would otherwise never be re-issued on
+				// this connection (reqHigh is a high-water mark). retryGap
+				// re-arms it after a backoff of stalled ticks.
+				if from, to := s.rel.retryGap(); to != 0 {
+					s.sendRetransmitRequest(from, to)
+				}
+			}
 		}
 	}
 }
@@ -641,6 +652,9 @@ func (s *Subscriber) readLoop(conn transport.Conn) error {
 			s.metrics.bytesOnWire.Add(wireBytes)
 			s.metrics.batchesRecv.Add(1)
 			s.handleBatch(m)
+		case *wire.StreamStart:
+			s.metrics.controlBytes.Add(wireBytes)
+			s.handleStreamStart(m)
 		case *wire.Lost:
 			s.metrics.controlBytes.Add(wireBytes)
 			s.handleLost(m)
@@ -763,6 +777,29 @@ func (s *Subscriber) handleSeqEvent(se *wire.SeqEvent) {
 	}
 	if ackDue {
 		s.sendAck(ackSeq)
+	}
+}
+
+// handleStreamStart processes the publisher's stream-epoch handshake — the
+// first frame of every at-least-once connection. A changed epoch means the
+// stream this receiver was deduplicating is dead (publisher restart,
+// evicted orphan, duplicate-triple fresh state): the dedup state resets so
+// the new stream's events deliver instead of being silently dropped as
+// duplicates of the old numbering. The break is loud — counted on
+// StreamResets, traced, logged — but NOT added to DataLoss: the old
+// stream's undelivered tail is unknowable from this side, and a fabricated
+// count would corrupt the staged == processed + dataLoss identity.
+func (s *Subscriber) handleStreamStart(m *wire.StreamStart) {
+	if s.rel == nil {
+		s.cfg.Logf("jecho subscriber: unexpected stream start on best-effort channel")
+		return
+	}
+	if s.rel.streamStart(m.Epoch) {
+		s.metrics.streamResets.Add(1)
+		traceStreamReset(s.cfg.Tracer, s.cfg.Channel, s.cfg.Name, m.Epoch)
+		s.cfg.Logf("jecho subscriber %s: STREAM RESET: publisher started a fresh delivery stream (epoch %d); "+
+			"the previous stream's undelivered tail is unrecoverable and unquantifiable",
+			s.cfg.Name, m.Epoch)
 	}
 }
 

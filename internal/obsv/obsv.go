@@ -103,6 +103,11 @@ const (
 	// the replay ring evicted them before the gap could be repaired
 	// (Detail is the "from..to" sequence range; Value the event count).
 	EvDataLoss
+	// EvStreamReset: the subscriber observed a new publisher-side stream
+	// epoch and discarded its old-stream dedup state — the old stream's
+	// unreceived tail is unrecoverable and its size unknowable (Detail is
+	// the "old->new" epoch transition).
+	EvStreamReset
 )
 
 // String names the kind for dumps and logs.
@@ -140,6 +145,8 @@ func (k EventKind) String() string {
 		return "replay"
 	case EvDataLoss:
 		return "data-loss"
+	case EvStreamReset:
+		return "stream-reset"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -32,10 +32,11 @@ func FuzzUnmarshal(f *testing.F) {
 		&Heartbeat{Seq: 4, HasAck: true, AckSeq: 1 << 40},
 		&Subscribe{Subscriber: "s", Handler: "push", Source: "func push(event) {\n  return\n}",
 			CostModel: "datasize", Natives: []string{"displayImage"},
-			Reliability: ReliabilityAtLeastOnce, ResumeSeq: 12345},
+			Reliability: ReliabilityAtLeastOnce, ResumeSeq: 12345, ResumeEpoch: 67890},
 		&Ack{Seq: 99},
 		&Retransmit{From: 10, To: 20},
 		&Lost{From: 21, To: 21},
+		&StreamStart{Epoch: 1 << 50},
 	}
 	rawFrame, err := Marshal(seeds[0])
 	if err != nil {
@@ -82,6 +83,10 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add([]byte{byte(MsgLost), 9, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0})
 	f.Add([]byte{byte(MsgSeqEvent), 1, 2, 3})
 	f.Add(AppendSeqEvent(nil, 5, []byte{0xfe, 0xfd}))
+	// Stream-start corruption: a truncated epoch and the forbidden zero
+	// epoch (the receiver-side "no stream adopted" sentinel).
+	f.Add([]byte{byte(MsgStreamStart), 1, 2})
+	f.Add([]byte{byte(MsgStreamStart), 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := Unmarshal(data)
 		if err == nil && msg == nil {

@@ -74,6 +74,10 @@ const (
 	// MsgSeqEvent is the per-subscription delivery-sequence envelope
 	// around one event frame (protocol revision 5).
 	MsgSeqEvent
+	// MsgStreamStart announces the delivery stream's epoch as the first
+	// frame of an at-least-once subscription (protocol revision 5), so a
+	// resuming subscriber can tell a continued stream from a fresh one.
+	MsgStreamStart
 )
 
 // NackClass classifies why a message failed demodulation, so the sender's
@@ -267,6 +271,12 @@ type Subscribe struct {
 	// ring entries up to it and replays what it still retains beyond it.
 	// Zero on a first subscribe.
 	ResumeSeq uint64
+	// ResumeEpoch is the stream epoch ResumeSeq belongs to — the value of
+	// the StreamStart frame that opened the stream the subscriber was
+	// receiving. A publisher whose state carries a different epoch ignores
+	// ResumeSeq (it numbers a dead stream) and the subscriber resets on
+	// the new StreamStart. Zero on a first subscribe.
+	ResumeEpoch uint64
 }
 
 // encoderPool recycles Encoders (buffer + reference tables) across Marshal
@@ -397,6 +407,12 @@ func (e *Encoder) encodeMessage(msg any) error {
 		e.w.WriteByte(byte(MsgLost))
 		e.writeU64(m.From)
 		e.writeU64(m.To)
+	case *StreamStart:
+		if m.Epoch == 0 {
+			return fmt.Errorf("wire: stream start needs a non-zero epoch")
+		}
+		e.w.WriteByte(byte(MsgStreamStart))
+		e.writeU64(m.Epoch)
 	case *SeqEvent:
 		if len(m.Payload) == 0 {
 			return fmt.Errorf("wire: seq envelope needs a payload")
@@ -429,6 +445,7 @@ func (e *Encoder) encodeMessage(msg any) error {
 		// and ignore them.
 		e.writeU32(m.Reliability)
 		e.writeU64(m.ResumeSeq)
+		e.writeU64(m.ResumeEpoch)
 	default:
 		return fmt.Errorf("wire: cannot marshal %T", msg)
 	}
@@ -454,9 +471,9 @@ func AppendBatch(dst []byte, entries [][]byte) []byte {
 
 // Unmarshal decodes a message produced by Marshal. The concrete type of the
 // result is *Raw, *Continuation, *Feedback, *Plan, *Subscribe, *Heartbeat,
-// *Nack, *Batch, *Ack, *Retransmit, *Lost or *SeqEvent. Batch entries and
-// SeqEvent payloads alias data; they stay valid only as long as the input
-// does.
+// *Nack, *Batch, *Ack, *Retransmit, *Lost, *SeqEvent or *StreamStart.
+// Batch entries and SeqEvent payloads alias data; they stay valid only as
+// long as the input does.
 func Unmarshal(data []byte) (any, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("wire: empty message")
@@ -649,6 +666,16 @@ func Unmarshal(data []byte) (any, error) {
 			return nil, fmt.Errorf("wire: retransmit range [%d, %d] is inverted", m.From, m.To)
 		}
 		return m, nil
+	case MsgStreamStart:
+		m := &StreamStart{}
+		var err error
+		if m.Epoch, err = d.readU64(); err != nil {
+			return nil, err
+		}
+		if m.Epoch == 0 {
+			return nil, fmt.Errorf("wire: stream start with zero epoch")
+		}
+		return m, nil
 	case MsgLost:
 		m := &Lost{}
 		var err error
@@ -719,13 +746,20 @@ func Unmarshal(data []byte) (any, error) {
 			m.Natives = append(m.Natives, n)
 		}
 		// Revision-5 trailing fields: absent on legacy handshakes, which
-		// decode as best-effort with no resume point.
+		// decode as best-effort with no resume point. ResumeEpoch is a
+		// later addition with its own guard, so handshakes from earlier
+		// revision-5 builds decode with epoch 0 (no stream adopted).
 		if d.Remaining() > 0 {
 			if m.Reliability, err = d.readU32(); err != nil {
 				return nil, err
 			}
 			if m.ResumeSeq, err = d.readU64(); err != nil {
 				return nil, err
+			}
+			if d.Remaining() > 0 {
+				if m.ResumeEpoch, err = d.readU64(); err != nil {
+					return nil, err
+				}
 			}
 		}
 		return m, nil

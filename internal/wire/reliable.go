@@ -60,6 +60,20 @@ type Lost struct {
 	To uint64
 }
 
+// StreamStart announces the delivery stream's epoch (protocol revision 5):
+// the publisher sends it as the first frame of every at-least-once
+// subscription, before any sequenced event. An epoch identifies one
+// publisher-side sequence numbering; a resuming subscriber whose stored
+// epoch differs knows its resume point belongs to a dead stream (publisher
+// restart, evicted orphan, duplicate-triple fresh state) and must reset its
+// dedup state instead of silently discarding the new stream's events as
+// duplicates.
+type StreamStart struct {
+	// Epoch identifies the stream's sequence numbering. Never 0 on the
+	// wire — 0 is the subscriber-side "no stream adopted yet" sentinel.
+	Epoch uint64
+}
+
 // SeqEvent is the delivery-sequencing envelope (protocol revision 5): one
 // complete event frame (a Marshal of MsgRaw or MsgContinuation — or, as a
 // batch entry, exactly that) stamped with the subscription's monotonic

@@ -16,6 +16,7 @@ func TestReliableRoundTrips(t *testing.T) {
 		&Retransmit{From: 7, To: 19},
 		&Lost{From: 3, To: 3},
 		&SeqEvent{Seq: 9, Payload: inner},
+		&StreamStart{Epoch: 1234567},
 	}
 	for _, m := range msgs {
 		data, err := Marshal(m)
@@ -44,7 +45,22 @@ func TestReliableRoundTrips(t *testing.T) {
 			if g.Seq != want.Seq || !bytes.Equal(g.Payload, want.Payload) {
 				t.Fatalf("seq envelope roundtrip: got %+v want %+v", g, want)
 			}
+		case *StreamStart:
+			if g := got.(*StreamStart); *g != *want {
+				t.Fatalf("stream start roundtrip: got %+v want %+v", g, want)
+			}
 		}
+	}
+}
+
+// TestStreamStartRejectsZeroEpoch: epoch 0 is the receiver-side "no stream
+// adopted" sentinel and must never appear on the wire in either direction.
+func TestStreamStartRejectsZeroEpoch(t *testing.T) {
+	if _, err := Marshal(&StreamStart{}); err == nil {
+		t.Fatal("marshal of zero-epoch stream start succeeded")
+	}
+	if _, err := Unmarshal([]byte{byte(MsgStreamStart), 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("unmarshal of zero-epoch stream start succeeded")
 	}
 }
 
@@ -111,7 +127,7 @@ func TestSubscribeReliabilityRoundTrip(t *testing.T) {
 	in := &Subscribe{
 		Protocol: ProtocolVersion, Subscriber: "s", Handler: "h",
 		Source: "src", CostModel: "datasize", Natives: []string{"n"},
-		Reliability: ReliabilityAtLeastOnce, ResumeSeq: 123,
+		Reliability: ReliabilityAtLeastOnce, ResumeSeq: 123, ResumeEpoch: 456,
 	}
 	data, err := Marshal(in)
 	if err != nil {
@@ -122,8 +138,40 @@ func TestSubscribeReliabilityRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := got.(*Subscribe)
-	if out.Reliability != ReliabilityAtLeastOnce || out.ResumeSeq != 123 {
+	if out.Reliability != ReliabilityAtLeastOnce || out.ResumeSeq != 123 || out.ResumeEpoch != 456 {
 		t.Fatalf("roundtrip lost reliability fields: %+v", out)
+	}
+}
+
+// TestSubscribePreEpochDowngrade: a handshake from an earlier revision-5
+// build — Reliability and ResumeSeq present, no ResumeEpoch — decodes with
+// epoch 0, which every publisher state treats as foreign (fresh stream).
+func TestSubscribePreEpochDowngrade(t *testing.T) {
+	m := &Subscribe{
+		Protocol: ProtocolVersion, Subscriber: "mid", Handler: "h",
+		Source: "src", CostModel: "datasize",
+		Reliability: ReliabilityAtLeastOnce, ResumeSeq: 55,
+	}
+	e := NewEncoder()
+	e.w.WriteByte(byte(MsgSubscribe))
+	e.writeU32(m.Protocol)
+	e.writeString(m.Subscriber)
+	e.writeString(m.Channel)
+	e.writeString(m.Handler)
+	e.writeString(m.Source)
+	e.writeString(m.CostModel)
+	e.writeU32(0) // no natives
+	e.writeU32(m.Reliability)
+	e.writeU64(m.ResumeSeq)
+	data := make([]byte, e.Len())
+	copy(data, e.Bytes())
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := got.(*Subscribe)
+	if out.Reliability != ReliabilityAtLeastOnce || out.ResumeSeq != 55 || out.ResumeEpoch != 0 {
+		t.Fatalf("pre-epoch subscribe mis-decoded: %+v", out)
 	}
 }
 
