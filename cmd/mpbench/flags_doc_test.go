@@ -1,0 +1,80 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestFlagsMatchExperimentsDoc is the docs-drift guard: every flag mpbench
+// registers must have a row in EXPERIMENTS.md's "### mpbench" table, and
+// every documented flag must still exist in the binary. Adding a flag
+// without documenting it (or documenting a flag that was removed) fails CI.
+func TestFlagsMatchExperimentsDoc(t *testing.T) {
+	bf := newBenchFlags()
+	registered := map[string]*flag.Flag{}
+	bf.fs.VisitAll(func(f *flag.Flag) { registered[f.Name] = f })
+
+	documented := docFlagTable(t, "../../EXPERIMENTS.md", "### mpbench")
+	for name := range registered {
+		if _, ok := documented[name]; !ok {
+			t.Errorf("flag -%s is registered by mpbench but missing from EXPERIMENTS.md's mpbench table", name)
+		}
+	}
+	for name := range documented {
+		if _, ok := registered[name]; !ok {
+			t.Errorf("EXPERIMENTS.md documents -%s but mpbench does not register it", name)
+		}
+	}
+
+	// The -experiment row must name every experiment the flag accepts:
+	// the usage string's (a|b|c) list is the source of truth.
+	usage := registered["experiment"].Usage
+	open, close := strings.Index(usage, "("), strings.Index(usage, ")")
+	if open < 0 || close < open {
+		t.Fatalf("-experiment usage has no (a|b|c) list: %q", usage)
+	}
+	row := documented["experiment"]
+	for _, exp := range strings.Split(usage[open+1:close], "|") {
+		if !strings.Contains(row, exp) {
+			t.Errorf("EXPERIMENTS.md's -experiment row does not mention experiment %q", exp)
+		}
+	}
+}
+
+// docFlagTable returns the flag rows (name -> full row text) of the
+// markdown table that follows the given heading.
+func docFlagTable(t *testing.T, path, heading string) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	start := -1
+	for i, l := range lines {
+		if strings.TrimSpace(l) == heading {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		t.Fatalf("%s: heading %q not found", path, heading)
+	}
+	flagRow := regexp.MustCompile("^\\| `-([a-z0-9-]+)` \\|")
+	rows := map[string]string{}
+	for _, l := range lines[start+1:] {
+		if strings.HasPrefix(l, "#") {
+			break
+		}
+		if m := flagRow.FindStringSubmatch(l); m != nil {
+			rows[m[1]] = l
+		}
+	}
+	if len(rows) == 0 {
+		t.Fatalf("%s: no flag rows under %q", path, heading)
+	}
+	return rows
+}

@@ -6,7 +6,8 @@
 //	mpbench -experiment figure7 -seeds 5
 //
 // Experiments: table1, table2, table3, table4, figure7, figure8, ablation,
-// models, richimage, channel, fanout, faults, poison, loss, engine, claims.
+// models, richimage, channel, fanout, faults, poison, loss, engine, pareto,
+// claims.
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"methodpart/internal/bench"
 )
@@ -27,20 +29,49 @@ func main() {
 	}
 }
 
-func run(args []string, w io.Writer) error {
+// benchFlags bundles mpbench's flag set so the EXPERIMENTS.md drift guard
+// (flags_doc_test.go) can enumerate exactly the flags the binary registers.
+type benchFlags struct {
+	fs         *flag.FlagSet
+	experiment *string
+	frames     *int
+	seeds      *int
+	asCSV      *bool
+	plot       *bool
+	batchBytes *int
+	batchDelay *time.Duration
+	subs       *string
+}
+
+// newBenchFlags declares every mpbench flag on a fresh flag set.
+func newBenchFlags() *benchFlags {
 	fs := flag.NewFlagSet("mpbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "which experiment to run (table1|table2|table3|table4|figure7|figure8|ablation|models|richimage|channel|fanout|faults|poison|loss|engine|claims|all)")
-	frames := fs.Int("frames", 0, "override frames per run (0 = experiment default)")
-	seeds := fs.Int("seeds", 0, "override number of perturbation seeds (0 = default 5)")
-	asCSV := fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
-	plot := fs.Bool("plot", false, "also render figure experiments as ASCII charts")
-	batchBytes := fs.Int("batch-bytes", 0, "batched-run coalescing budget in bytes for the channel experiment (0 = 64KiB default)")
-	batchDelay := fs.Duration("batch-delay", 0, "batched-run linger window for the channel experiment (0 = none)")
-	subs := fs.String("subs", "", "comma-separated subscriber counts for the fanout experiment (empty = 16,100,1000,10000)")
-	if err := fs.Parse(args); err != nil {
+	return &benchFlags{
+		fs:         fs,
+		experiment: fs.String("experiment", "all", "which experiment to run (table1|table2|table3|table4|figure7|figure8|ablation|models|richimage|channel|fanout|faults|poison|loss|engine|pareto|claims|all)"),
+		frames:     fs.Int("frames", 0, "override frames per run (0 = experiment default)"),
+		seeds:      fs.Int("seeds", 0, "override number of perturbation seeds (0 = default 5)"),
+		asCSV:      fs.Bool("csv", false, "emit tables as CSV instead of aligned text"),
+		plot:       fs.Bool("plot", false, "also render figure experiments as ASCII charts"),
+		batchBytes: fs.Int("batch-bytes", 0, "batched-run coalescing budget in bytes for the channel experiment (0 = 64KiB default)"),
+		batchDelay: fs.Duration("batch-delay", 0, "batched-run linger window for the channel experiment (0 = none)"),
+		subs:       fs.String("subs", "", "comma-separated subscriber counts for the fanout experiment (empty = 16,100,1000,10000)"),
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	bf := newBenchFlags()
+	if err := bf.fs.Parse(args); err != nil {
 		return err
 	}
-	if *asCSV {
+	experiment := bf.experiment
+	frames := bf.frames
+	seeds := bf.seeds
+	plot := bf.plot
+	batchBytes := bf.batchBytes
+	batchDelay := bf.batchDelay
+	subs := bf.subs
+	if *bf.asCSV {
 		w = bench.CSVWriter{W: w}
 	}
 
@@ -233,6 +264,18 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		bench.WriteEngine(w, rows)
+	}
+	if all || wanted["pareto"] {
+		ran = true
+		paCfg := bench.DefaultParetoConfig()
+		if *frames > 0 {
+			paCfg.Frames = *frames
+		}
+		cmp, err := bench.RunPareto(paCfg)
+		if err != nil {
+			return err
+		}
+		bench.WritePareto(w, cmp)
 	}
 	if all || wanted["claims"] {
 		ran = true

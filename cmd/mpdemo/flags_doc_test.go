@@ -1,0 +1,65 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestFlagsMatchExperimentsDoc is the docs-drift guard: every flag mpdemo
+// registers must have a row in EXPERIMENTS.md's "### mpdemo" table, and
+// every documented flag must still exist in the binary.
+func TestFlagsMatchExperimentsDoc(t *testing.T) {
+	df := newDemoFlags()
+	registered := map[string]*flag.Flag{}
+	df.fs.VisitAll(func(f *flag.Flag) { registered[f.Name] = f })
+
+	documented := docFlagTable(t, "../../EXPERIMENTS.md", "### mpdemo")
+	for name := range registered {
+		if _, ok := documented[name]; !ok {
+			t.Errorf("flag -%s is registered by mpdemo but missing from EXPERIMENTS.md's mpdemo table", name)
+		}
+	}
+	for name := range documented {
+		if _, ok := registered[name]; !ok {
+			t.Errorf("EXPERIMENTS.md documents -%s but mpdemo does not register it", name)
+		}
+	}
+}
+
+// docFlagTable returns the flag rows (name -> full row text) of the
+// markdown table that follows the given heading.
+func docFlagTable(t *testing.T, path, heading string) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	start := -1
+	for i, l := range lines {
+		if strings.TrimSpace(l) == heading {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		t.Fatalf("%s: heading %q not found", path, heading)
+	}
+	flagRow := regexp.MustCompile("^\\| `-([a-z0-9-]+)` \\|")
+	rows := map[string]string{}
+	for _, l := range lines[start+1:] {
+		if strings.HasPrefix(l, "#") {
+			break
+		}
+		if m := flagRow.FindStringSubmatch(l); m != nil {
+			rows[m[1]] = l
+		}
+	}
+	if len(rows) == 0 {
+		t.Fatalf("%s: no flag rows under %q", path, heading)
+	}
+	return rows
+}

@@ -5,6 +5,7 @@
 //	mpdemo -mode both
 //	mpdemo -mode both -queue 8 -overflow drop-oldest
 //	mpdemo -mode both -debug-addr 127.0.0.1:8377 -trace trace.jsonl
+//	mpdemo -mode both -split-policy latency-first
 //	mpdemo -mode publish -addr 127.0.0.1:7000 -frames 50
 //	mpdemo -mode subscribe -addr 127.0.0.1:7000
 //
@@ -31,50 +32,86 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// demoFlags bundles mpdemo's flag set so the EXPERIMENTS.md drift guard
+// (flags_doc_test.go) can enumerate exactly the flags the binary registers.
+type demoFlags struct {
+	fs           *flag.FlagSet
+	mode         *string
+	addr         *string
+	frames       *int
+	display      *int
+	queue        *int
+	overflow     *string
+	heartbeat    *time.Duration
+	batchBytes   *int
+	batchDelay   *time.Duration
+	writeTimeout *time.Duration
+	resubscribe  *bool
+	maxWork      *int64
+	deadletter   *bool
+	splitPolicy  *string
+	debugAddr    *string
+	trace        *string
+}
+
+// newDemoFlags declares every mpdemo flag on a fresh flag set.
+func newDemoFlags() *demoFlags {
 	fs := flag.NewFlagSet("mpdemo", flag.ContinueOnError)
-	mode := fs.String("mode", "both", "both | publish | subscribe")
-	addr := fs.String("addr", "127.0.0.1:0", "publisher listen address (publish/both) or target (subscribe)")
-	frames := fs.Int("frames", 40, "frames to publish")
-	display := fs.Int("display", 160, "subscriber display size")
-	queue := fs.Int("queue", 0, "per-subscription send queue depth (0 = default)")
-	overflow := fs.String("overflow", "block", "send queue overflow policy: block | drop-newest | drop-oldest")
-	heartbeat := fs.Duration("heartbeat", 0, "idle-liveness heartbeat interval (0 = default, negative = disabled)")
-	batchBytes := fs.Int("batch-bytes", 0, "coalesce queued event frames into batch wire frames up to this many payload bytes (0 = batching off)")
-	batchDelay := fs.Duration("batch-delay", 0, "linger this long for more frames after the first of a batch (needs -batch-bytes)")
-	writeTimeout := fs.Duration("write-timeout", 0, "per-frame write deadline (0 = default, negative = disabled)")
-	resubscribe := fs.Bool("resubscribe", false, "subscriber auto-redials and resyncs after connection loss")
-	maxWork := fs.Int64("max-work", 0, "per-message interpreter work budget at the subscriber (>0 enables)")
-	deadletter := fs.Bool("deadletter", false, "print the subscriber's dead-letter quarantine on exit")
-	debugAddr := fs.String("debug-addr", "", "serve /metrics and /debug/split on this address (e.g. 127.0.0.1:8377; empty = off)")
-	trace := fs.String("trace", "", "dump the split-lifecycle trace as JSON lines to this file on exit (\"-\" = stdout; empty = off)")
-	if err := fs.Parse(args); err != nil {
+	return &demoFlags{
+		fs:           fs,
+		mode:         fs.String("mode", "both", "both | publish | subscribe"),
+		addr:         fs.String("addr", "127.0.0.1:0", "publisher listen address (publish/both) or target (subscribe)"),
+		frames:       fs.Int("frames", 40, "frames to publish"),
+		display:      fs.Int("display", 160, "subscriber display size"),
+		queue:        fs.Int("queue", 0, "per-subscription send queue depth (0 = default)"),
+		overflow:     fs.String("overflow", "block", "send queue overflow policy: block | drop-newest | drop-oldest"),
+		heartbeat:    fs.Duration("heartbeat", 0, "idle-liveness heartbeat interval (0 = default, negative = disabled)"),
+		batchBytes:   fs.Int("batch-bytes", 0, "coalesce queued event frames into batch wire frames up to this many payload bytes (0 = batching off)"),
+		batchDelay:   fs.Duration("batch-delay", 0, "linger this long for more frames after the first of a batch (needs -batch-bytes)"),
+		writeTimeout: fs.Duration("write-timeout", 0, "per-frame write deadline (0 = default, negative = disabled)"),
+		resubscribe:  fs.Bool("resubscribe", false, "subscriber auto-redials and resyncs after connection loss"),
+		maxWork:      fs.Int64("max-work", 0, "per-message interpreter work budget at the subscriber (>0 enables)"),
+		deadletter:   fs.Bool("deadletter", false, "print the subscriber's dead-letter quarantine on exit"),
+		splitPolicy:  fs.String("split-policy", "balanced", "subscriber SLO policy picking the split off the Pareto front: balanced | latency-first | cost-first | receiver-weak"),
+		debugAddr:    fs.String("debug-addr", "", "serve /metrics and /debug/split on this address (e.g. 127.0.0.1:8377; empty = off)"),
+		trace:        fs.String("trace", "", "dump the split-lifecycle trace as JSON lines to this file on exit (\"-\" = stdout; empty = off)"),
+	}
+}
+
+func run(args []string) error {
+	df := newDemoFlags()
+	if err := df.fs.Parse(args); err != nil {
 		return err
 	}
-	policy, err := parsePolicy(*overflow)
+	policy, err := parsePolicy(*df.overflow)
+	if err != nil {
+		return err
+	}
+	splitPolicy, err := methodpart.ParseSLOPolicy(*df.splitPolicy)
 	if err != nil {
 		return err
 	}
 	sup := supervisionFlags{
-		heartbeat:    *heartbeat,
-		writeTimeout: *writeTimeout,
-		resubscribe:  *resubscribe,
-		maxWork:      *maxWork,
-		deadletter:   *deadletter,
-		batchBytes:   *batchBytes,
-		batchDelay:   *batchDelay,
+		heartbeat:    *df.heartbeat,
+		writeTimeout: *df.writeTimeout,
+		resubscribe:  *df.resubscribe,
+		maxWork:      *df.maxWork,
+		deadletter:   *df.deadletter,
+		batchBytes:   *df.batchBytes,
+		batchDelay:   *df.batchDelay,
+		splitPolicy:  splitPolicy,
 	}
-	obs := newObservability(*debugAddr, *trace)
+	obs := newObservability(*df.debugAddr, *df.trace)
 	defer obs.finish()
-	switch *mode {
+	switch *df.mode {
 	case "both":
-		return runBoth(*addr, *frames, *display, *queue, policy, sup, obs)
+		return runBoth(*df.addr, *df.frames, *df.display, *df.queue, policy, sup, obs)
 	case "publish":
-		return runPublisher(*addr, *frames, *queue, policy, sup, true, obs)
+		return runPublisher(*df.addr, *df.frames, *df.queue, policy, sup, true, obs)
 	case "subscribe":
-		return runSubscriber(*addr, *display, sup, obs)
+		return runSubscriber(*df.addr, *df.display, sup, obs)
 	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+		return fmt.Errorf("unknown mode %q", *df.mode)
 	}
 }
 
@@ -170,6 +207,7 @@ type supervisionFlags struct {
 	deadletter   bool
 	batchBytes   int
 	batchDelay   time.Duration
+	splitPolicy  methodpart.SLOPolicy
 }
 
 func parsePolicy(name string) (methodpart.OverflowPolicy, error) {
@@ -307,6 +345,7 @@ func subscribe(addr string, display int, sup supervisionFlags, obs *observabilit
 		HeartbeatInterval: sup.heartbeat,
 		WriteTimeout:      sup.writeTimeout,
 		MaxWork:           sup.maxWork,
+		SplitPolicy:       sup.splitPolicy,
 		Tracer:            obs.tracer,
 		OnResult: func(r *methodpart.HandlerResult) {
 			fmt.Printf("  received message (split PSE %d)\n", r.SplitPSE)

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The pareto experiment exists to prove the front genuinely forks: the two
+// policies must choose different cuts and each must measurably win its own
+// objective. This is the acceptance criterion behind
+// `mpbench -experiment pareto`, pinned in CI.
+func TestParetoPoliciesDiverge(t *testing.T) {
+	cfg := DefaultParetoConfig()
+	cfg.Frames = 120
+	cmp, err := RunPareto(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.CutsDiffer {
+		t.Errorf("policies chose the same cut: %v", cmp.Rows)
+	}
+	if !cmp.LatencyWins {
+		t.Errorf("latency-first did not win latency: %+v", cmp.Rows)
+	}
+	if !cmp.CostWins {
+		t.Errorf("cost-first did not win bytes: %+v", cmp.Rows)
+	}
+	for _, r := range cmp.Rows {
+		if r.FrontSize < 2 {
+			t.Errorf("%s: degenerate front of size %d, want a fork", r.Policy, r.FrontSize)
+		}
+	}
+	var sb strings.Builder
+	WritePareto(&sb, cmp)
+	for _, want := range []string{"cuts differ: true", "latency-first wins latency: true", "cost-first wins bytes: true", "balanced"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("WritePareto output missing %q:\n%s", want, sb.String())
+		}
+	}
+}

@@ -72,6 +72,10 @@ type RunConfig struct {
 	RateOnlyTrigger bool
 	// Nominal is the deployment-time environment estimate.
 	Nominal costmodel.Environment
+	// Policy is the SLO policy the reconfiguration unit optimises for
+	// (zero value reconfig.Balanced = the legacy scalar min-cut). Only
+	// meaningful with Adaptive.
+	Policy reconfig.SLOPolicy
 	// Tracer, if set, receives one EvPublish and (for unsuppressed frames)
 	// one EvDemod per frame plus EvMinCut/EvPlanFlip for adaptation steps —
 	// the same schema the live event system emits, so trace consumers work
@@ -106,6 +110,10 @@ type RunResult struct {
 	PlanSwitches int
 	// FinalPlan renders the last active plan.
 	FinalPlan string
+	// Explain is the last plan selection's explanation — the Pareto front
+	// and the point the policy chose — or nil when no adaptive selection
+	// ran.
+	Explain *reconfig.Explanation
 }
 
 type pendingPlan struct {
@@ -122,6 +130,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	mod.Probe = coll
 	demod.Probe = coll
 	runit := reconfig.NewUnit(c, cfg.Nominal)
+	runit.Policy = cfg.Policy
 
 	if cfg.Adaptive {
 		if !cfg.NoReceiverProfiling {
@@ -325,6 +334,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		PlanSwitches: planSwitches,
 		FinalPlan:    mod.Plan().String(),
 		MeanSpanMS:   spans / float64(cfg.Frames),
+		Explain:      runit.LastExplanation(),
 	}
 	if res.TotalMS > 0 {
 		res.FPS = float64(cfg.Frames) / res.TotalMS * 1000

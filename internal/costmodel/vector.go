@@ -1,0 +1,103 @@
+package costmodel
+
+import "methodpart/internal/analysis"
+
+// Vector is the multi-objective cost of splitting at one PSE (or, summed,
+// of one whole cut): the axes the Pareto-front selection in
+// internal/reconfig trades off against each other. All axes are "smaller is
+// better" expectations per published message, weighted by the probability
+// that a message's path crosses the PSE.
+type Vector struct {
+	// Bytes is the expected continuation bytes on the wire.
+	Bytes float64
+	// LatencyMS is the expected end-to-end latency contribution in
+	// milliseconds: sender-side work, link set-up time, transmission time
+	// and receiver-side work under the Environment's speeds.
+	LatencyMS float64
+	// SenderWork is the expected modulator-side work (work units).
+	SenderWork float64
+	// ReceiverWork is the expected demodulator-side work (work units).
+	ReceiverWork float64
+	// FailureRate is the expected modulation/demodulation faults per
+	// message, derived from the breaker/NACK statistics.
+	FailureRate float64
+}
+
+// Add returns the axis-wise sum of two vectors. Cut vectors are the sum of
+// their PSE vectors: each message crosses exactly one cut edge, so the
+// probability-weighted per-PSE expectations add.
+func (v Vector) Add(w Vector) Vector {
+	return Vector{
+		Bytes:        v.Bytes + w.Bytes,
+		LatencyMS:    v.LatencyMS + w.LatencyMS,
+		SenderWork:   v.SenderWork + w.SenderWork,
+		ReceiverWork: v.ReceiverWork + w.ReceiverWork,
+		FailureRate:  v.FailureRate + w.FailureRate,
+	}
+}
+
+// Dominates reports Pareto dominance: v is no worse than w on every axis
+// and strictly better on at least one.
+func (v Vector) Dominates(w Vector) bool {
+	better := false
+	cmp := func(a, b float64) bool {
+		if a > b {
+			return false
+		}
+		if a < b {
+			better = true
+		}
+		return true
+	}
+	if !cmp(v.Bytes, w.Bytes) ||
+		!cmp(v.LatencyMS, w.LatencyMS) ||
+		!cmp(v.SenderWork, w.SenderWork) ||
+		!cmp(v.ReceiverWork, w.ReceiverWork) ||
+		!cmp(v.FailureRate, w.FailureRate) {
+		return false
+	}
+	return better
+}
+
+// PSEVector converts one PSE's profiled statistics into its cost vector
+// under the given environment. The latency term follows eq. 1 of §4.2:
+// modulator work at sender speed, per-message link set-up (α), transmission
+// at link bandwidth, demodulator work at receiver speed — all weighted by
+// the crossing probability, so summing over a cut yields the expected
+// per-message values.
+func PSEVector(st Stat, env Environment) Vector {
+	lat := safeDiv(st.ModWork, env.SenderSpeed) +
+		env.LatencyMS +
+		safeDiv(st.Bytes, env.Bandwidth) +
+		safeDiv(st.DemodWork, env.ReceiverSpeed)
+	var failures float64
+	if st.Count > 0 {
+		failures = float64(st.Failures) / float64(st.Count)
+	}
+	return Vector{
+		Bytes:        st.Prob * st.Bytes,
+		LatencyMS:    st.Prob * lat,
+		SenderWork:   st.Prob * st.ModWork,
+		ReceiverWork: st.Prob * st.DemodWork,
+		FailureRate:  st.Prob * failures,
+	}
+}
+
+// StaticVector estimates a PSE's cost vector before any profile exists,
+// from its static cost descriptor: the deterministic byte lower bound plus
+// a nominal per-variable estimate (mirroring DataSize.StaticCapacity), a
+// crossing probability of 1, and no work/failure information. It keeps
+// initial fronts ordered by the only thing statically known — continuation
+// size — without inventing work figures the analysis cannot see.
+func StaticVector(c analysis.CostDesc, env Environment) Vector {
+	bytes := float64(c.Det) + float64(len(c.Vars))*staticVarEstimate
+	return Vector{
+		Bytes:     bytes,
+		LatencyMS: env.LatencyMS + safeDiv(bytes, env.Bandwidth),
+	}
+}
+
+// staticVarEstimate is the nominal byte contribution of one
+// runtime-determined variable in static vector estimates, matching the
+// static capacity estimate of the data-size model.
+const staticVarEstimate = 256

@@ -88,6 +88,9 @@ func TestMetricsExposition(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE methodpart_channel_published_total counter",
 		"# TYPE methodpart_channel_queue_high_water gauge",
+		"# TYPE methodpart_pareto_front_size gauge",
+		"# TYPE methodpart_policy_flips_total counter",
+		`policy="balanced"`,
 		"# TYPE methodpart_pse_latency_seconds histogram",
 		"# TYPE methodpart_pse_bytes histogram",
 		"# TYPE methodpart_pse_work_units histogram",
@@ -240,5 +243,26 @@ func TestDebugSplitSchema(t *testing.T) {
 	}
 	if subCh.LastMinCut.Version == 0 || len(subCh.LastMinCut.Capacities) == 0 {
 		t.Errorf("min-cut explanation = %+v", subCh.LastMinCut)
+	}
+	// The explanation carries the Pareto front: the policy name, at least
+	// one point, the pinned balanced point, and a coherent chosen mark.
+	mc := subCh.LastMinCut
+	if mc.Policy != "balanced" {
+		t.Errorf("policy = %q, want balanced (the zero value)", mc.Policy)
+	}
+	if len(mc.Front) == 0 {
+		t.Fatalf("min-cut explanation has no front: %+v", mc)
+	}
+	if mc.Chosen < 0 || mc.Chosen >= len(mc.Front) || !mc.Front[mc.Chosen].Chosen {
+		t.Errorf("chosen = %d inconsistent with front %+v", mc.Chosen, mc.Front)
+	}
+	balanced := 0
+	for _, p := range mc.Front {
+		if p.Balanced {
+			balanced++
+		}
+	}
+	if balanced != 1 {
+		t.Errorf("front has %d balanced points, want 1: %+v", balanced, mc.Front)
 	}
 }

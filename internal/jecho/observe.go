@@ -452,14 +452,58 @@ func minCutStatus(u *reconfig.Unit) *obsv.MinCutStatus {
 	for id, c := range ex.Capacities {
 		caps[id] = c
 	}
-	return &obsv.MinCutStatus{
+	ms := &obsv.MinCutStatus{
 		Version:    ex.Version,
 		Cut:        append([]int32(nil), ex.Cut...),
 		CutValue:   ex.CutValue,
 		Tripped:    append([]int32(nil), ex.Tripped...),
 		Capacities: caps,
 		Profiled:   ex.Profiled,
+		Policy:     ex.Policy.String(),
+		Chosen:     ex.Chosen,
 	}
+	for _, fp := range ex.Front {
+		ms.Front = append(ms.Front, obsv.FrontPointStatus{
+			Cut:          append([]int32(nil), fp.Cut...),
+			Bytes:        fp.Vec.Bytes,
+			LatencyMS:    fp.Vec.LatencyMS,
+			SenderWork:   fp.Vec.SenderWork,
+			ReceiverWork: fp.Vec.ReceiverWork,
+			FailureRate:  fp.Vec.FailureRate,
+			CutValue:     fp.CutValue,
+			Balanced:     fp.Balanced,
+			Chosen:       fp.Chosen,
+		})
+	}
+	return ms
+}
+
+// emitParetoSamples renders one reconfiguration unit's Pareto-selection
+// metrics: the size of the last front (gauge; 1 means a degenerate front
+// where every policy collapses to the same plan) and the cumulative count
+// of selections whose chosen cut changed, labelled by the active policy.
+// No-op before the unit's first selection.
+func emitParetoSamples(emit func(obsv.Sample), role, channel, sub string, u *reconfig.Unit) {
+	ex := u.LastExplanation()
+	if ex == nil {
+		return
+	}
+	labels := []obsv.Label{
+		{Name: "role", Value: role},
+		{Name: "channel", Value: channel},
+		{Name: "sub", Value: sub},
+	}
+	emit(obsv.Sample{
+		Name: "methodpart_pareto_front_size", Type: obsv.GaugeType,
+		Help:   "Points on the last plan selection's Pareto front (1 = degenerate: every policy picks the same plan).",
+		Labels: labels, Value: float64(len(ex.Front)),
+	})
+	emit(obsv.Sample{
+		Name: "methodpart_policy_flips_total", Type: obsv.CounterType,
+		Help:   "Plan selections whose chosen cut differed from the previous selection's, by active SLO policy.",
+		Labels: append(append([]obsv.Label(nil), labels...), obsv.Label{Name: "policy", Value: ex.Policy.String()}),
+		Value:  float64(u.PolicyFlips()),
+	})
 }
 
 // Collect implements obsv.Collector over the publisher's live
@@ -520,6 +564,7 @@ func (p *Publisher) Collect(emit func(obsv.Sample)) {
 			continue
 		}
 		emitChannelSamples(emit, "publisher", s.channel, s.id, s.metrics.snapshot(), c.hists, s.pipe.batch.hists)
+		emitParetoSamples(emit, "publisher", s.channel, s.id, s.runit)
 		if s.rel != nil {
 			if occ := s.rel.occupancy.Snapshot(); occ.Count > 0 {
 				emit(obsv.Sample{
@@ -580,6 +625,7 @@ const compiledRunsHelp = "Messages executed on the closure-compiled engine (the 
 // loop, labelled {role="subscriber", channel, sub}.
 func (s *Subscriber) Collect(emit func(obsv.Sample)) {
 	emitChannelSamples(emit, "subscriber", s.cfg.Channel, s.cfg.Name, s.metrics.snapshot(), s.hists, nil)
+	emitParetoSamples(emit, "subscriber", s.cfg.Channel, s.cfg.Name, s.runit)
 	emit(obsv.Sample{
 		Name: "methodpart_compiled_runs_total", Type: obsv.CounterType,
 		Help: compiledRunsHelp,

@@ -89,6 +89,13 @@ type PublisherConfig struct {
 	// half-open probe re-admits it (0 = DefaultBreakerCooldown,
 	// <0 disables).
 	BreakerCooldown time.Duration
+	// SplitPolicy is the SLO policy the per-subscription degrade units use
+	// when a breaker trip forces a local plan re-selection: which Pareto
+	// operating point the replacement plan takes. The zero value
+	// (reconfig.Balanced) keeps the legacy scalar min-cut. Routine,
+	// cost-optimal selection remains the subscriber's job (see
+	// SubscriberConfig.SplitPolicy); this knob only shapes degraded plans.
+	SplitPolicy reconfig.SLOPolicy
 	// Tracer receives split-lifecycle trace events (publish, suppress,
 	// NACKs, breaker transitions, min-cut runs, plan flips). Nil — the
 	// default — disables tracing at zero per-event cost; per-PSE
@@ -558,7 +565,7 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 		// The degrade unit routes around broken PSEs; cost optimality is
 		// the subscriber's reconfiguration unit's job, so a neutral
 		// environment suffices here.
-		runit: reconfig.NewUnit(compiled, costmodel.DefaultEnvironment()),
+		runit: newPolicyUnit(compiled, costmodel.DefaultEnvironment(), p.cfg.SplitPolicy),
 	}
 	var batch batchConfig
 	if p.cfg.BatchBytes > 0 && subMsg.Protocol >= wire.BatchProtocolVersion {

@@ -93,6 +93,12 @@ type SubscriberConfig struct {
 	// DeadLetterSize bounds the quarantine ring for poison messages
 	// (0 = DefaultDeadLetterSize, <0 disables quarantine).
 	DeadLetterSize int
+	// SplitPolicy is the SLO policy this channel's reconfiguration unit
+	// optimises for: which operating point on the Pareto front of
+	// candidate cuts each plan selection takes. The zero value
+	// (reconfig.Balanced) is the legacy scalar min-cut under CostModel, so
+	// existing configurations select exactly the plans they always did.
+	SplitPolicy reconfig.SLOPolicy
 	// Reliability selects the delivery contract (protocol v5). BestEffort
 	// — the zero value — is the classic fire-and-forget channel.
 	// AtLeastOnce adds per-subscription sequencing, publisher-side replay,
@@ -242,7 +248,7 @@ func Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
 		compiled: compiled,
 		demod:    demod,
 		coll:     coll,
-		runit:    reconfig.NewUnit(compiled, cfg.Environment),
+		runit:    newPolicyUnit(compiled, cfg.Environment, cfg.SplitPolicy),
 		trigger: &profileunit.EitherTrigger{Children: []profileunit.Trigger{
 			&profileunit.RateTrigger{EveryMessages: cfg.ReconfigEvery},
 			&profileunit.DiffTrigger{Threshold: cfg.DiffThreshold, MinMessages: 3},
@@ -1008,4 +1014,11 @@ func (s *Subscriber) reconfigureWith(merged map[int32]costmodel.Stat) {
 	if err := s.sendPlan(wirePlan); err != nil {
 		s.cfg.Logf("jecho subscriber: send plan: %v", err)
 	}
+}
+
+// newPolicyUnit builds a reconfiguration unit with its SLO policy set.
+func newPolicyUnit(c *partition.Compiled, env costmodel.Environment, policy reconfig.SLOPolicy) *reconfig.Unit {
+	u := reconfig.NewUnit(c, env)
+	u.Policy = policy
+	return u
 }

@@ -106,4 +106,38 @@ type MinCutStatus struct {
 	// Profiled reports how many PSEs had live statistics (vs. static
 	// estimates).
 	Profiled int `json:"profiled"`
+	// Policy is the SLO policy that picked the operating point
+	// ("balanced", "latency-first", "cost-first", "receiver-weak").
+	Policy string `json:"policy,omitempty"`
+	// Front is the Pareto front the selection chose from: the
+	// non-dominated candidate cuts plus the pinned balanced min-cut point,
+	// sorted by bytes then latency. A front of size 1 is degenerate — the
+	// chosen point sits alone, so every policy collapses to the same plan.
+	Front []FrontPointStatus `json:"front,omitempty"`
+	// Chosen indexes the Front entry the policy selected.
+	Chosen int `json:"chosen,omitempty"`
+}
+
+// FrontPointStatus is one operating point of the Pareto front as surfaced
+// through /debug/split: the candidate cut and its cost vector.
+type FrontPointStatus struct {
+	// Cut is the candidate split set (sorted PSE ids).
+	Cut []int32 `json:"cut"`
+	// Bytes is the expected continuation bytes on the wire per message.
+	Bytes float64 `json:"bytes"`
+	// LatencyMS is the expected end-to-end latency estimate (ms).
+	LatencyMS float64 `json:"latency_ms"`
+	// SenderWork / ReceiverWork are the expected per-message work units on
+	// each side of the cut.
+	SenderWork   float64 `json:"sender_work"`
+	ReceiverWork float64 `json:"receiver_work"`
+	// FailureRate is the expected faults per message at this cut.
+	FailureRate float64 `json:"failure_rate"`
+	// CutValue is the scalar capacity of the cut under the channel's cost
+	// model.
+	CutValue int64 `json:"cut_value"`
+	// Balanced marks the scalar min-cut's (pinned) point.
+	Balanced bool `json:"balanced,omitempty"`
+	// Chosen marks the point the active policy selected.
+	Chosen bool `json:"chosen,omitempty"`
 }

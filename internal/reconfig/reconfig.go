@@ -18,14 +18,32 @@ import (
 // live with the modulator, the demodulator, or a third party (§2.5); it only
 // needs the compiled handler structure and the profiled statistics.
 type Unit struct {
-	c   *partition.Compiled
-	env costmodel.Environment
+	c *partition.Compiled
+	// env is the resource environment, held behind an atomic pointer:
+	// SetEnvironment is commonly called from measurement loops while a
+	// reconfiguration (SelectPlan) runs on the endpoint's goroutine, so
+	// unlike the rest of the Unit it must not rely on caller serialization.
+	env atomic.Pointer[costmodel.Environment]
 	// ProfileAll keeps the profiling flag of every PSE set in emitted
 	// plans; otherwise only the flagged split PSEs are profiled.
 	ProfileAll bool
+	// Policy is the SLO policy that picks the operating point off the
+	// Pareto front. The zero value is Balanced: exactly the scalar
+	// min-cut selection of releases before the front existed.
+	Policy SLOPolicy
+	// MaxCandidates caps the convex-cut enumeration behind the front;
+	// 0 means DefaultMaxCandidates.
+	MaxCandidates int
 
 	version uint64
 	tripped map[int32]bool
+	// lastCut is the previously chosen cut, for flip accounting; like
+	// version/tripped it relies on caller serialization.
+	lastCut []int32
+	hasLast bool
+	// policyFlips counts selections whose chosen cut differed from the
+	// previous selection's. Read concurrently by metrics collectors.
+	policyFlips atomic.Uint64
 
 	// lastExplain is the most recent selection's Explanation. It is the one
 	// piece of Unit state read from other goroutines (debug listeners,
@@ -56,19 +74,36 @@ type Explanation struct {
 	Capacities map[int32]int64
 	// Profiled is how many PSEs had live statistics backing their capacity.
 	Profiled int
+	// Policy is the SLO policy that picked the operating point.
+	Policy SLOPolicy
+	// Front is the Pareto front of candidate cuts (sorted by bytes, then
+	// latency): the non-dominated points plus the pinned balanced
+	// min-cut's point. Front[Chosen] is the point Cut was taken from.
+	Front []FrontPoint
+	// Chosen indexes the front point the policy selected.
+	Chosen int
 }
 
 // NewUnit creates a reconfiguration unit for the handler in the given
 // environment.
 func NewUnit(c *partition.Compiled, env costmodel.Environment) *Unit {
-	return &Unit{c: c, env: env, ProfileAll: true}
+	u := &Unit{c: c, ProfileAll: true}
+	u.env.Store(&env)
+	return u
 }
 
 // SetEnvironment updates the resource environment used to weigh costs.
-func (u *Unit) SetEnvironment(env costmodel.Environment) { u.env = env }
+// Safe to call concurrently with SelectPlan; the update is atomic and a
+// selection in flight keeps the environment it loaded.
+func (u *Unit) SetEnvironment(env costmodel.Environment) { u.env.Store(&env) }
 
-// Environment returns the current environment.
-func (u *Unit) Environment() costmodel.Environment { return u.env }
+// Environment returns the current environment. Safe for concurrent use.
+func (u *Unit) Environment() costmodel.Environment { return *u.env.Load() }
+
+// PolicyFlips returns how many selections chose a different cut than the
+// selection before them. Safe for concurrent use; feeds the
+// methodpart_policy_flips_total metric.
+func (u *Unit) PolicyFlips() uint64 { return u.policyFlips.Load() }
 
 // SetTripped replaces the set of PSEs whose circuit breaker is open. A
 // tripped PSE's edge becomes (effectively) uncuttable, so the min-cut routes
@@ -101,17 +136,39 @@ func (u *Unit) ObserveVersion(v uint64) {
 	}
 }
 
-// SelectPlan computes the minimum-cost valid partitioning for the profiled
+// SelectPlan computes the best valid partitioning for the profiled
 // statistics (stats may be nil or partial; unprofiled PSEs fall back to
-// their static capacity estimate). It returns both the in-memory plan and
-// its wire form.
+// their static estimates). It first runs the scalar max-flow/min-cut under
+// the channel's cost model, then builds the Pareto front of candidate
+// convex cuts and lets the Unit's SLO policy pick the operating point; the
+// Balanced (zero-value) policy takes the scalar min-cut unchanged. It
+// returns both the in-memory plan and its wire form.
 func (u *Unit) SelectPlan(stats map[int32]costmodel.Stat) (*partition.Plan, *wire.Plan, error) {
-	cut, value, err := u.minCut(stats)
+	env := u.Environment()
+	balCut, balValue, err := u.minCut(stats, env)
 	if err != nil {
 		return nil, nil, err
 	}
+	front, balIdx := u.buildFront(stats, env, balCut, balValue)
+	chosen := choosePoint(front, balIdx, u.Policy)
+	cut := front[chosen].Cut
+	if !front[chosen].Balanced {
+		// The enumeration guarantees validity by construction; verify
+		// anyway and fall back to the proven balanced cut rather than
+		// ship a leaking plan if that guarantee is ever broken.
+		if err := u.c.ValidateSplitSet(cut); err != nil {
+			chosen = balIdx
+			cut = balCut
+		}
+	}
+	front[chosen].Chosen = true
+	if u.hasLast && !equalCut(u.lastCut, cut) {
+		u.policyFlips.Add(1)
+	}
+	u.lastCut = append(u.lastCut[:0], cut...)
+	u.hasLast = true
 	u.version++
-	u.lastExplain.Store(u.explain(cut, value, stats))
+	u.lastExplain.Store(u.explain(cut, front[chosen].CutValue, stats, env, front, chosen))
 	var profile []int32
 	if u.ProfileAll {
 		profile = partition.AllProfileIDs(u.c)
@@ -134,15 +191,18 @@ func (u *Unit) SelectPlan(stats map[int32]costmodel.Stat) (*partition.Plan, *wir
 // explain materialises the Explanation for a completed selection. Called
 // after u.version is advanced, so the explanation carries the stamped
 // version.
-func (u *Unit) explain(cut []int32, value int64, stats map[int32]costmodel.Stat) *Explanation {
+func (u *Unit) explain(cut []int32, value int64, stats map[int32]costmodel.Stat, env costmodel.Environment, front []FrontPoint, chosen int) *Explanation {
 	ex := &Explanation{
 		Version:    u.version,
 		Cut:        append([]int32(nil), cut...),
 		CutValue:   value,
 		Capacities: make(map[int32]int64, u.c.NumPSEs()),
+		Policy:     u.Policy,
+		Front:      front,
+		Chosen:     chosen,
 	}
 	for id := int32(0); int(id) < u.c.NumPSEs(); id++ {
-		ex.Capacities[id] = u.capacityFor(id, stats)
+		ex.Capacities[id] = u.capacityFor(id, stats, env)
 		if st, ok := stats[id]; ok && st.Count > 0 {
 			ex.Profiled++
 		}
@@ -171,36 +231,40 @@ func (u *Unit) InitialPlan() (*partition.Plan, *wire.Plan, error) {
 // Capacity returns the min-cut capacity the unit would assign to a PSE
 // under the current statistics (exported for tests and diagnostics).
 func (u *Unit) Capacity(id int32, stats map[int32]costmodel.Stat) int64 {
+	return u.capacity(id, stats, u.Environment())
+}
+
+func (u *Unit) capacity(id int32, stats map[int32]costmodel.Stat, env costmodel.Environment) int64 {
 	pse, ok := u.c.PSE(id)
 	if !ok {
 		return 0
 	}
 	if st, ok := stats[id]; ok && st.Count > 0 {
-		return u.c.Model.Capacity(st, u.env)
+		return u.c.Model.Capacity(st, env)
 	}
 	return u.c.Model.StaticCapacity(pse.Static)
 }
 
-// capacityFor is Capacity with the breaker overlay applied: a tripped PSE's
+// capacityFor is capacity with the breaker overlay applied: a tripped PSE's
 // edge is saturated to infinite capacity so the max-flow never cuts it. The
 // raw PSE is special — it is the degradation floor, so when even raw is
 // tripped it gets InfCapacity−1: still astronomically expensive (any healthy
 // split wins) but keeping the finite-cut invariant that makes "worst case:
 // ship raw" always selectable.
-func (u *Unit) capacityFor(id int32, stats map[int32]costmodel.Stat) int64 {
+func (u *Unit) capacityFor(id int32, stats map[int32]costmodel.Stat, env costmodel.Environment) int64 {
 	if u.tripped[id] {
 		if id == partition.RawPSEID {
 			return graph.InfCapacity - 1
 		}
 		return graph.InfCapacity
 	}
-	return u.Capacity(id, stats)
+	return u.capacity(id, stats, env)
 }
 
 // minCut builds the flow network and extracts the minimal cut restricted to
 // PSE edges. The synthetic raw PSE is the source's only outgoing edge, so a
 // finite cut always exists (worst case: ship raw events).
-func (u *Unit) minCut(stats map[int32]costmodel.Stat) ([]int32, int64, error) {
+func (u *Unit) minCut(stats map[int32]costmodel.Stat, env costmodel.Environment) ([]int32, int64, error) {
 	ug := u.c.Analysis.UG
 	n := ug.Exit + 1
 	source := n
@@ -208,14 +272,14 @@ func (u *Unit) minCut(stats map[int32]costmodel.Stat) ([]int32, int64, error) {
 	fn := graph.NewFlowNetwork(n + 2)
 
 	// Raw PSE: source → start node.
-	if err := fn.AddEdge(source, ug.Start, u.capacityFor(partition.RawPSEID, stats), int(partition.RawPSEID)); err != nil {
+	if err := fn.AddEdge(source, ug.Start, u.capacityFor(partition.RawPSEID, stats, env), int(partition.RawPSEID)); err != nil {
 		return nil, 0, err
 	}
 	// UG edges: PSEs get their profiled/static capacity, everything else
 	// is uncuttable.
 	for _, e := range ug.Edges() {
 		if id, ok := u.c.PSEByEdge(e); ok {
-			if err := fn.AddEdge(e.From, e.To, u.capacityFor(id, stats), int(id)); err != nil {
+			if err := fn.AddEdge(e.From, e.To, u.capacityFor(id, stats, env), int(id)); err != nil {
 				return nil, 0, err
 			}
 			continue

@@ -122,6 +122,15 @@ type (
 	Collector = profileunit.Collector
 	// ReconfigUnit is the Runtime Reconfiguration Unit.
 	ReconfigUnit = reconfig.Unit
+	// SLOPolicy selects the operating point on the Pareto front of
+	// candidate cuts a plan selection takes (the SplitPolicy knob of
+	// PublisherConfig/SubscriberConfig). The zero value, Balanced, is the
+	// legacy scalar min-cut.
+	SLOPolicy = reconfig.SLOPolicy
+	// CostVector is the multi-objective cost of one candidate cut.
+	CostVector = costmodel.Vector
+	// FrontPoint is one operating point on a selection's Pareto front.
+	FrontPoint = reconfig.FrontPoint
 
 	// Publisher hosts an event channel (sender side).
 	Publisher = jecho.Publisher
@@ -210,6 +219,23 @@ func NewMetricsRegistry() *MetricsRegistry { return obsv.NewRegistry() }
 // until Close. Unauthenticated — bind to loopback unless the network is
 // trusted.
 func StartDebug(cfg DebugConfig) (*DebugServer, error) { return obsv.StartDebug(cfg) }
+
+// SLO policies for the SplitPolicy knob. Balanced is the zero value, so a
+// config that never sets the knob keeps the legacy scalar min-cut.
+const (
+	// Balanced takes the scalar min-cut under the channel's cost model.
+	Balanced = reconfig.Balanced
+	// LatencyFirst minimises the end-to-end latency estimate.
+	LatencyFirst = reconfig.LatencyFirst
+	// CostFirst minimises bytes on the wire.
+	CostFirst = reconfig.CostFirst
+	// ReceiverWeak minimises the receiver's energy proxy (radio + CPU).
+	ReceiverWeak = reconfig.ReceiverWeak
+)
+
+// ParseSLOPolicy maps a policy name ("balanced", "latency-first",
+// "cost-first", "receiver-weak"; "" = Balanced) to its SLOPolicy.
+func ParseSLOPolicy(name string) (SLOPolicy, error) { return reconfig.ParseSLOPolicy(name) }
 
 // Overflow policies for PublisherConfig.OverflowPolicy.
 const (
