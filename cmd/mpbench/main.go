@@ -7,7 +7,7 @@
 //
 // Experiments: table1, table2, table3, table4, figure7, figure8, ablation,
 // models, richimage, channel, fanout, faults, poison, loss, engine, pareto,
-// claims.
+// drift, claims.
 package main
 
 import (
@@ -48,7 +48,7 @@ func newBenchFlags() *benchFlags {
 	fs := flag.NewFlagSet("mpbench", flag.ContinueOnError)
 	return &benchFlags{
 		fs:         fs,
-		experiment: fs.String("experiment", "all", "which experiment to run (table1|table2|table3|table4|figure7|figure8|ablation|models|richimage|channel|fanout|faults|poison|loss|engine|pareto|claims|all)"),
+		experiment: fs.String("experiment", "all", "which experiment to run (table1|table2|table3|table4|figure7|figure8|ablation|models|richimage|channel|fanout|faults|poison|loss|engine|pareto|drift|claims|all)"),
 		frames:     fs.Int("frames", 0, "override frames per run (0 = experiment default)"),
 		seeds:      fs.Int("seeds", 0, "override number of perturbation seeds (0 = default 5)"),
 		asCSV:      fs.Bool("csv", false, "emit tables as CSV instead of aligned text"),
@@ -276,6 +276,18 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		bench.WritePareto(w, cmp)
+	}
+	if all || wanted["drift"] {
+		ran = true
+		drCfg := bench.DefaultDriftConfig()
+		if *frames > 0 {
+			drCfg.Image.Frames = *frames
+		}
+		cmp, err := bench.RunDrift(drCfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteDrift(w, cmp)
 	}
 	if all || wanted["claims"] {
 		ran = true

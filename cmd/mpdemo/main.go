@@ -50,6 +50,9 @@ type demoFlags struct {
 	maxWork      *int64
 	deadletter   *bool
 	splitPolicy  *string
+	linkEstimate *time.Duration
+	flipMargin   *float64
+	flipConfirm  *int
 	debugAddr    *string
 	trace        *string
 }
@@ -73,6 +76,9 @@ func newDemoFlags() *demoFlags {
 		maxWork:      fs.Int64("max-work", 0, "per-message interpreter work budget at the subscriber (>0 enables)"),
 		deadletter:   fs.Bool("deadletter", false, "print the subscriber's dead-letter quarantine on exit"),
 		splitPolicy:  fs.String("split-policy", "balanced", "subscriber SLO policy picking the split off the Pareto front: balanced | latency-first | cost-first | receiver-weak"),
+		linkEstimate: fs.Duration("link-estimate-interval", 0, "measure the link from heartbeat echoes and bytes-on-wire, refreshing the cost-model environment this often (0 = off; needs heartbeats)"),
+		flipMargin:   fs.Float64("flip-margin", 0, "flip hysteresis: a challenger cut must beat the incumbent's primary objective by this fraction (e.g. 0.1; 0 = flip eagerly)"),
+		flipConfirm:  fs.Int("flip-confirmations", 0, "flip hysteresis: consecutive margin-beating selections required before a flip (0 = default 3; needs -flip-margin)"),
 		debugAddr:    fs.String("debug-addr", "", "serve /metrics and /debug/split on this address (e.g. 127.0.0.1:8377; empty = off)"),
 		trace:        fs.String("trace", "", "dump the split-lifecycle trace as JSON lines to this file on exit (\"-\" = stdout; empty = off)"),
 	}
@@ -100,6 +106,9 @@ func run(args []string) error {
 		batchBytes:   *df.batchBytes,
 		batchDelay:   *df.batchDelay,
 		splitPolicy:  splitPolicy,
+		linkEstimate: *df.linkEstimate,
+		flipMargin:   *df.flipMargin,
+		flipConfirm:  *df.flipConfirm,
 	}
 	obs := newObservability(*df.debugAddr, *df.trace)
 	defer obs.finish()
@@ -208,6 +217,9 @@ type supervisionFlags struct {
 	batchBytes   int
 	batchDelay   time.Duration
 	splitPolicy  methodpart.SLOPolicy
+	linkEstimate time.Duration
+	flipMargin   float64
+	flipConfirm  int
 }
 
 func parsePolicy(name string) (methodpart.OverflowPolicy, error) {
@@ -226,16 +238,19 @@ func parsePolicy(name string) (methodpart.OverflowPolicy, error) {
 func newPublisher(addr string, queue int, policy methodpart.OverflowPolicy, sup supervisionFlags, obs *observability) (*methodpart.Publisher, error) {
 	reg, _ := imaging.Builtins()
 	pub, err := methodpart.NewPublisher(methodpart.PublisherConfig{
-		Addr:              addr,
-		Builtins:          reg,
-		FeedbackEvery:     2,
-		QueueDepth:        queue,
-		OverflowPolicy:    policy,
-		HeartbeatInterval: sup.heartbeat,
-		WriteTimeout:      sup.writeTimeout,
-		BatchBytes:        sup.batchBytes,
-		BatchDelay:        sup.batchDelay,
-		Tracer:            obs.tracer,
+		Addr:                 addr,
+		Builtins:             reg,
+		FeedbackEvery:        2,
+		QueueDepth:           queue,
+		OverflowPolicy:       policy,
+		HeartbeatInterval:    sup.heartbeat,
+		WriteTimeout:         sup.writeTimeout,
+		BatchBytes:           sup.batchBytes,
+		BatchDelay:           sup.batchDelay,
+		LinkEstimateInterval: sup.linkEstimate,
+		FlipMargin:           sup.flipMargin,
+		FlipConfirmations:    sup.flipConfirm,
+		Tracer:               obs.tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -331,22 +346,25 @@ func printDeadLetters(sub *methodpart.Subscriber) {
 func subscribe(addr string, display int, sup supervisionFlags, obs *observability) (*methodpart.Subscriber, error) {
 	reg, _ := imaging.Builtins()
 	sub, err := methodpart.Subscribe(methodpart.SubscriberConfig{
-		Addr:              addr,
-		Name:              "mpdemo",
-		Source:            imaging.HandlerSource(display),
-		Handler:           imaging.HandlerName,
-		CostModel:         "datasize",
-		Natives:           []string{"displayImage"},
-		Builtins:          reg,
-		Environment:       methodpart.DefaultEnvironment(),
-		ReconfigEvery:     2,
-		DiffThreshold:     0.1,
-		Resubscribe:       sup.resubscribe,
-		HeartbeatInterval: sup.heartbeat,
-		WriteTimeout:      sup.writeTimeout,
-		MaxWork:           sup.maxWork,
-		SplitPolicy:       sup.splitPolicy,
-		Tracer:            obs.tracer,
+		Addr:                 addr,
+		Name:                 "mpdemo",
+		Source:               imaging.HandlerSource(display),
+		Handler:              imaging.HandlerName,
+		CostModel:            "datasize",
+		Natives:              []string{"displayImage"},
+		Builtins:             reg,
+		Environment:          methodpart.DefaultEnvironment(),
+		ReconfigEvery:        2,
+		DiffThreshold:        0.1,
+		Resubscribe:          sup.resubscribe,
+		HeartbeatInterval:    sup.heartbeat,
+		WriteTimeout:         sup.writeTimeout,
+		MaxWork:              sup.maxWork,
+		SplitPolicy:          sup.splitPolicy,
+		LinkEstimateInterval: sup.linkEstimate,
+		FlipMargin:           sup.flipMargin,
+		FlipConfirmations:    sup.flipConfirm,
+		Tracer:               obs.tracer,
 		OnResult: func(r *methodpart.HandlerResult) {
 			fmt.Printf("  received message (split PSE %d)\n", r.SplitPSE)
 		},

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestDriftExperiment is the acceptance test for the measurement loop: on a
+// link that degrades mid-run, the static baseline keeps the stale split,
+// live estimation flips to the degraded link's optimum (and wins latency),
+// and under transient jitter hysteresis suppresses flips without a plan
+// change.
+func TestDriftExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drift experiment is a full three-arm simulation")
+	}
+	cmp, err := RunDrift(DefaultDriftConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteDrift(os.Stderr, cmp)
+
+	static, live, jitter := cmp.Arms[0], cmp.Arms[1], cmp.Arms[2]
+	if !cmp.LiveFlipped {
+		t.Errorf("live arm kept the static arm's cut %v; measurement did not move the split", live.FinalCut)
+	}
+	if !cmp.LiveWinsSpan {
+		t.Errorf("live arm span %.1fms did not beat stale-split span %.1fms", live.MeanSpanMS, static.MeanSpanMS)
+	}
+	if live.KBPerFrame >= static.KBPerFrame {
+		t.Errorf("live arm shipped %.1f KB/frame, want fewer than static %.1f (post-flip cut ships the resized frame)", live.KBPerFrame, static.KBPerFrame)
+	}
+	if !cmp.JitterHeld {
+		t.Errorf("jitter arm: final cut %v (static %v), suppressed %d — want incumbent held with suppressed > 0",
+			jitter.FinalCut, static.FinalCut, jitter.FlipsSuppressed)
+	}
+	if jitter.PlanSwitches > static.PlanSwitches {
+		t.Errorf("jitter arm installed %d plan switches vs static %d; transients leaked into plans", jitter.PlanSwitches, static.PlanSwitches)
+	}
+	if static.FlipsSuppressed != 0 {
+		t.Errorf("static arm suppressed %d flips; no measurement reaches it, so hysteresis should never engage", static.FlipsSuppressed)
+	}
+}

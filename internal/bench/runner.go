@@ -76,6 +76,19 @@ type RunConfig struct {
 	// (zero value reconfig.Balanced = the legacy scalar min-cut). Only
 	// meaningful with Adaptive.
 	Policy reconfig.SLOPolicy
+	// FlipMargin and FlipConfirmations configure the reconfiguration
+	// unit's flip hysteresis (see reconfig.Unit); zero values keep the
+	// legacy flip-eagerly behaviour.
+	FlipMargin        float64
+	FlipConfirmations int
+	// LinkEstimate, if set, is fed every delivered frame (its virtual
+	// timing plus the wire bytes it shipped) and returns the measured
+	// environment the next plan selection prices link costs under — the
+	// bench-side stand-in for the live runtime's heartbeat-echo link
+	// estimator. ok=false means the estimate is still warming and the
+	// static nominal link figures are used. When unset, selections always
+	// price against the nominal link (the static baseline).
+	LinkEstimate func(tm simnet.Timing, bytes int64) (env costmodel.Environment, ok bool)
 	// Tracer, if set, receives one EvPublish and (for unsuppressed frames)
 	// one EvDemod per frame plus EvMinCut/EvPlanFlip for adaptation steps —
 	// the same schema the live event system emits, so trace consumers work
@@ -131,6 +144,8 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	demod.Probe = coll
 	runit := reconfig.NewUnit(c, cfg.Nominal)
 	runit.Policy = cfg.Policy
+	runit.FlipMargin = cfg.FlipMargin
+	runit.FlipConfirmations = cfg.FlipConfirmations
 
 	if cfg.Adaptive {
 		if !cfg.NoReceiverProfiling {
@@ -288,6 +303,12 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			recvSpeed += speedAlpha * (est - recvSpeed)
 		}
 
+		var measuredEnv costmodel.Environment
+		measuredOK := false
+		if cfg.LinkEstimate != nil {
+			measuredEnv, measuredOK = cfg.LinkEstimate(tm, msgBytes)
+		}
+
 		if cfg.Adaptive {
 			snap := coll.Snapshot()
 			if trigger.ShouldReport(snap, coll.Messages()) {
@@ -296,6 +317,10 @@ func Run(cfg RunConfig) (*RunResult, error) {
 				env.ReceiverSpeed = recvSpeed
 				env.Bandwidth = cfg.Link.BytesPerMS
 				env.LatencyMS = cfg.Link.LatencyMS
+				if measuredOK {
+					env.Bandwidth = measuredEnv.Bandwidth
+					env.LatencyMS = measuredEnv.LatencyMS
+				}
 				runit.SetEnvironment(env)
 				plan, _, err := runit.SelectPlan(snap)
 				if err != nil {

@@ -6,6 +6,7 @@ package costmodel
 
 import (
 	"fmt"
+	"math"
 
 	"methodpart/internal/analysis"
 	"methodpart/internal/mir"
@@ -36,6 +37,34 @@ func DefaultEnvironment() Environment {
 		Bandwidth:     1000,
 		LatencyMS:     1,
 	}
+}
+
+// Sanitize replaces degenerate fields with their DefaultEnvironment
+// values, returning a pricing-safe copy. A zero or negative speed or
+// bandwidth would make every division in the latency term degenerate:
+// safeDiv maps them to 0, which prices transfer (or work) as FREE and
+// silently inverts Pareto dominance; a NaN field poisons every dominance
+// comparison outright (NaN compares false both ways, so nothing dominates
+// anything). Such values are reachable from an early or degenerate
+// runtime measurement, so every path that installs an Environment into a
+// reconfiguration unit passes through here.
+func (e Environment) Sanitize() Environment {
+	def := DefaultEnvironment()
+	fix := func(v, fallback float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return fallback
+		}
+		return v
+	}
+	e.SenderSpeed = fix(e.SenderSpeed, def.SenderSpeed)
+	e.ReceiverSpeed = fix(e.ReceiverSpeed, def.ReceiverSpeed)
+	e.Bandwidth = fix(e.Bandwidth, def.Bandwidth)
+	// Zero latency is a legitimate value (in-process links); only NaN,
+	// infinities and negatives are degenerate.
+	if math.IsNaN(e.LatencyMS) || math.IsInf(e.LatencyMS, 0) || e.LatencyMS < 0 {
+		e.LatencyMS = def.LatencyMS
+	}
+	return e
 }
 
 // Stat is the profiled runtime statistics of one PSE, aggregated by the

@@ -1,0 +1,107 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSanitizePerAxisAtZero: each axis at zero (or negative/NaN/Inf) is
+// replaced by its default, one axis at a time, the others untouched.
+func TestSanitizePerAxisAtZero(t *testing.T) {
+	def := DefaultEnvironment()
+	good := Environment{SenderSpeed: 10, ReceiverSpeed: 20, Bandwidth: 30, LatencyMS: 40}
+
+	cases := []struct {
+		name string
+		mut  func(*Environment)
+		want func(Environment) Environment
+	}{
+		{"sender speed zero", func(e *Environment) { e.SenderSpeed = 0 },
+			func(e Environment) Environment { e.SenderSpeed = def.SenderSpeed; return e }},
+		{"receiver speed zero", func(e *Environment) { e.ReceiverSpeed = 0 },
+			func(e Environment) Environment { e.ReceiverSpeed = def.ReceiverSpeed; return e }},
+		{"bandwidth zero", func(e *Environment) { e.Bandwidth = 0 },
+			func(e Environment) Environment { e.Bandwidth = def.Bandwidth; return e }},
+		{"latency negative", func(e *Environment) { e.LatencyMS = -1 },
+			func(e Environment) Environment { e.LatencyMS = def.LatencyMS; return e }},
+		{"sender speed negative", func(e *Environment) { e.SenderSpeed = -5 },
+			func(e Environment) Environment { e.SenderSpeed = def.SenderSpeed; return e }},
+		{"bandwidth NaN", func(e *Environment) { e.Bandwidth = math.NaN() },
+			func(e Environment) Environment { e.Bandwidth = def.Bandwidth; return e }},
+		{"receiver speed +Inf", func(e *Environment) { e.ReceiverSpeed = math.Inf(1) },
+			func(e Environment) Environment { e.ReceiverSpeed = def.ReceiverSpeed; return e }},
+		{"latency NaN", func(e *Environment) { e.LatencyMS = math.NaN() },
+			func(e Environment) Environment { e.LatencyMS = def.LatencyMS; return e }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			env := good
+			tc.mut(&env)
+			got, want := env.Sanitize(), tc.want(good)
+			if got != want {
+				t.Fatalf("Sanitize(%+v) = %+v, want %+v", env, got, want)
+			}
+		})
+	}
+
+	t.Run("valid environment unchanged", func(t *testing.T) {
+		if got := good.Sanitize(); got != good {
+			t.Fatalf("valid environment changed: %+v", got)
+		}
+	})
+	t.Run("zero latency is legitimate", func(t *testing.T) {
+		env := good
+		env.LatencyMS = 0
+		if got := env.Sanitize(); got.LatencyMS != 0 {
+			t.Fatalf("zero latency must survive sanitize: %+v", got)
+		}
+	})
+}
+
+// TestPSEVectorDegenerateEnvironment: pricing under a degenerate
+// environment must never yield Inf/NaN axes or price the wire as free.
+func TestPSEVectorDegenerateEnvironment(t *testing.T) {
+	st := Stat{Count: 10, Bytes: 1000, ModWork: 500, DemodWork: 500, Prob: 1}
+
+	finite := func(t *testing.T, v Vector) {
+		t.Helper()
+		for _, x := range []float64{v.Bytes, v.LatencyMS, v.SenderWork, v.ReceiverWork, v.FailureRate} {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("vector axis not finite: %+v", v)
+			}
+		}
+	}
+
+	envs := []Environment{
+		{},                              // all zero
+		{Bandwidth: math.NaN()},         // NaN bandwidth
+		{SenderSpeed: -1, Bandwidth: 0}, // negatives
+		{LatencyMS: math.Inf(1)},        // infinite latency
+	}
+	for _, env := range envs {
+		v := PSEVector(st, env)
+		finite(t, v)
+		// With default fallbacks the transfer term must be priced, not
+		// free: latency strictly above the pure-work floor.
+		def := DefaultEnvironment()
+		floor := st.ModWork/def.SenderSpeed + st.DemodWork/def.ReceiverSpeed
+		if v.LatencyMS <= floor {
+			t.Fatalf("degenerate env %+v priced transfer as free: lat %v <= work floor %v", env, v.LatencyMS, floor)
+		}
+	}
+}
+
+// TestDominanceNotPoisonedByDegenerateEnv: two cuts priced under a NaN
+// environment must still order — the cheaper-bytes cut dominates when all
+// else is equal.
+func TestDominanceNotPoisonedByDegenerateEnv(t *testing.T) {
+	env := Environment{Bandwidth: math.NaN(), SenderSpeed: 0, ReceiverSpeed: -3, LatencyMS: math.Inf(1)}
+	small := PSEVector(Stat{Count: 1, Bytes: 100, Prob: 1}, env)
+	big := PSEVector(Stat{Count: 1, Bytes: 10_000, Prob: 1}, env)
+	if !small.Dominates(big) {
+		t.Fatalf("small cut must dominate big cut even under degenerate env: small %+v big %+v", small, big)
+	}
+	if big.Dominates(small) {
+		t.Fatal("dominance inverted under degenerate env")
+	}
+}

@@ -66,6 +66,7 @@ func (v Vector) Dominates(w Vector) bool {
 // the crossing probability, so summing over a cut yields the expected
 // per-message values.
 func PSEVector(st Stat, env Environment) Vector {
+	env = env.Sanitize()
 	lat := safeDiv(st.ModWork, env.SenderSpeed) +
 		env.LatencyMS +
 		safeDiv(st.Bytes, env.Bandwidth) +
@@ -90,6 +91,7 @@ func PSEVector(st Stat, env Environment) Vector {
 // initial fronts ordered by the only thing statically known — continuation
 // size — without inventing work figures the analysis cannot see.
 func StaticVector(c analysis.CostDesc, env Environment) Vector {
+	env = env.Sanitize()
 	bytes := float64(c.Det) + float64(len(c.Vars))*staticVarEstimate
 	return Vector{
 		Bytes:     bytes,

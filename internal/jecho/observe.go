@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"methodpart/internal/costmodel"
+	"methodpart/internal/linkest"
 	"methodpart/internal/obsv"
 	"methodpart/internal/partition"
 	"methodpart/internal/reconfig"
@@ -461,6 +462,16 @@ func minCutStatus(u *reconfig.Unit) *obsv.MinCutStatus {
 		Profiled:   ex.Profiled,
 		Policy:     ex.Policy.String(),
 		Chosen:     ex.Chosen,
+		Env: &obsv.EnvStatus{
+			SenderSpeed:   ex.Env.SenderSpeed,
+			ReceiverSpeed: ex.Env.ReceiverSpeed,
+			Bandwidth:     ex.Env.Bandwidth,
+			LatencyMS:     ex.Env.LatencyMS,
+		},
+		Suppressed:      ex.Suppressed,
+		PendingCut:      append([]int32(nil), ex.PendingCut...),
+		PendingStreak:   ex.PendingStreak,
+		FlipsSuppressed: ex.FlipsSuppressed,
 	}
 	for _, fp := range ex.Front {
 		ms.Front = append(ms.Front, obsv.FrontPointStatus{
@@ -498,12 +509,61 @@ func emitParetoSamples(emit func(obsv.Sample), role, channel, sub string, u *rec
 		Help:   "Points on the last plan selection's Pareto front (1 = degenerate: every policy picks the same plan).",
 		Labels: labels, Value: float64(len(ex.Front)),
 	})
+	policyLabels := append(append([]obsv.Label(nil), labels...), obsv.Label{Name: "policy", Value: ex.Policy.String()})
 	emit(obsv.Sample{
 		Name: "methodpart_policy_flips_total", Type: obsv.CounterType,
 		Help:   "Plan selections whose chosen cut differed from the previous selection's, by active SLO policy.",
-		Labels: append(append([]obsv.Label(nil), labels...), obsv.Label{Name: "policy", Value: ex.Policy.String()}),
+		Labels: policyLabels,
 		Value:  float64(u.PolicyFlips()),
 	})
+	emit(obsv.Sample{
+		Name: "methodpart_flips_suppressed_total", Type: obsv.CounterType,
+		Help:   "Plan selections where the policy preferred a different cut but flip hysteresis kept the incumbent.",
+		Labels: policyLabels,
+		Value:  float64(u.FlipsSuppressed()),
+	})
+}
+
+// emitLinkSamples renders one subscription's live link estimate: the
+// smoothed RTT and effective bandwidth feeding the reconfiguration unit.
+// No-op when link estimation is disabled. An estimator whose RTT gauge
+// sits at 0 while heartbeats flow is broken (or the peer cannot echo).
+func emitLinkSamples(emit func(obsv.Sample), role, channel, sub string, link *linkest.Estimator) {
+	if link == nil {
+		return
+	}
+	snap := link.Snapshot()
+	labels := []obsv.Label{
+		{Name: "role", Value: role},
+		{Name: "channel", Value: channel},
+		{Name: "sub", Value: sub},
+	}
+	emit(obsv.Sample{
+		Name: "methodpart_link_rtt_ms", Type: obsv.GaugeType,
+		Help:   "Smoothed round-trip time measured from heartbeat echoes, in milliseconds (0 until the first echo).",
+		Labels: labels, Value: snap.RTTMillis,
+	})
+	emit(obsv.Sample{
+		Name: "methodpart_link_bandwidth_bps", Type: obsv.GaugeType,
+		Help:   "Smoothed effective link bandwidth from bytes-on-wire over wall time, in bytes per second.",
+		Labels: labels, Value: snap.BandwidthBytesPerMS * 1000,
+	})
+}
+
+// linkStatus converts an estimator snapshot for /debug/split (nil when
+// link estimation is disabled).
+func linkStatus(link *linkest.Estimator) *obsv.LinkStatus {
+	if link == nil {
+		return nil
+	}
+	snap := link.Snapshot()
+	return &obsv.LinkStatus{
+		RTTMS:               snap.RTTMillis,
+		BandwidthBytesPerMS: snap.BandwidthBytesPerMS,
+		RTTSamples:          snap.RTTSamples,
+		BandwidthSamples:    snap.BandwidthSamples,
+		Warm:                snap.RTTWarm || snap.BandwidthWarm,
+	}
 }
 
 // Collect implements obsv.Collector over the publisher's live
@@ -565,6 +625,7 @@ func (p *Publisher) Collect(emit func(obsv.Sample)) {
 		}
 		emitChannelSamples(emit, "publisher", s.channel, s.id, s.metrics.snapshot(), c.hists, s.pipe.batch.hists)
 		emitParetoSamples(emit, "publisher", s.channel, s.id, s.runit)
+		emitLinkSamples(emit, "publisher", s.channel, s.id, s.link)
 		if s.rel != nil {
 			if occ := s.rel.occupancy.Snapshot(); occ.Count > 0 {
 				emit(obsv.Sample{
@@ -611,6 +672,7 @@ func (p *Publisher) Status() obsv.EndpointStatus {
 			PSEs:        pseStatusTable(s.compiled, plan, c.coll.Snapshot()),
 			Breakers:    s.breaker.statusBreakers(),
 			LastMinCut:  minCutStatus(s.runit),
+			Link:        linkStatus(s.link),
 		}
 		ep.Channels = append(ep.Channels, cs)
 	}
@@ -626,6 +688,7 @@ const compiledRunsHelp = "Messages executed on the closure-compiled engine (the 
 func (s *Subscriber) Collect(emit func(obsv.Sample)) {
 	emitChannelSamples(emit, "subscriber", s.cfg.Channel, s.cfg.Name, s.metrics.snapshot(), s.hists, nil)
 	emitParetoSamples(emit, "subscriber", s.cfg.Channel, s.cfg.Name, s.runit)
+	emitLinkSamples(emit, "subscriber", s.cfg.Channel, s.cfg.Name, s.link)
 	emit(obsv.Sample{
 		Name: "methodpart_compiled_runs_total", Type: obsv.CounterType,
 		Help: compiledRunsHelp,
@@ -656,6 +719,7 @@ func (s *Subscriber) Status() obsv.EndpointStatus {
 		cs.Split = append([]int32(nil), plan.SplitIDs()...)
 	}
 	cs.LastMinCut = minCutStatus(s.runit)
+	cs.Link = linkStatus(s.link)
 	return obsv.EndpointStatus{
 		Role:     "subscriber",
 		Name:     s.cfg.Name,

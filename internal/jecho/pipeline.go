@@ -125,6 +125,13 @@ type sendPipeline struct {
 	// write error, before the sender exits; the publisher retires the
 	// subscription there.
 	failed func(error)
+
+	// probe, when set, supplies the Seq of each idle heartbeat, minting it
+	// from the subscription's shared probe counter and registering its send
+	// time with the link estimator — so heartbeat echoes resolve RTT
+	// samples and never collide with the echo-reply probes the control
+	// loop mints from the same counter. Nil keeps the private hbSeq.
+	probe func() uint64
 }
 
 // queuedFrame is one outbound queue slot: the refcounted event frame plus,
@@ -442,9 +449,15 @@ fill:
 }
 
 func (p *sendPipeline) writeHeartbeat() bool {
-	p.hbSeq++
+	var seq uint64
+	if p.probe != nil {
+		seq = p.probe()
+	} else {
+		p.hbSeq++
+		seq = p.hbSeq
+	}
 	var err error
-	p.hbBuf, err = wire.AppendMarshal(p.hbBuf[:0], &wire.Heartbeat{Seq: p.hbSeq})
+	p.hbBuf, err = wire.AppendMarshal(p.hbBuf[:0], &wire.Heartbeat{Seq: seq})
 	if err != nil {
 		return true // cannot happen; never kill the sender for it
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"methodpart/internal/costmodel"
+	"methodpart/internal/linkest"
 	"methodpart/internal/mir"
 	"methodpart/internal/mir/interp"
 	"methodpart/internal/obsv"
@@ -96,6 +97,27 @@ type PublisherConfig struct {
 	// cost-optimal selection remains the subscriber's job (see
 	// SubscriberConfig.SplitPolicy); this knob only shapes degraded plans.
 	SplitPolicy reconfig.SLOPolicy
+	// LinkEstimateInterval enables per-subscription link estimation when
+	// > 0: the publisher measures RTT from heartbeat echoes (its idle
+	// heartbeats and echo replies double as probes; v6 subscribers reflect
+	// them) and effective bandwidth from the send path's bytes-on-wire
+	// over wall time, and refreshes the degrade unit's environment at this
+	// period so breaker-forced plan re-selections price against the
+	// measured link. 0 (the default) keeps the neutral environment.
+	LinkEstimateInterval time.Duration
+	// LinkEstimateHalfLife is the estimator's EWMA half-life
+	// (0 = linkest.DefaultHalfLife).
+	LinkEstimateHalfLife time.Duration
+	// LinkWarmupSamples is how many samples each measured axis needs
+	// before it overrides the neutral environment
+	// (0 = linkest.DefaultMinSamples).
+	LinkWarmupSamples int
+	// FlipMargin enables plan-flip hysteresis on the degrade units when
+	// > 0 (see SubscriberConfig.FlipMargin). 0 disables.
+	FlipMargin float64
+	// FlipConfirmations is the hysteresis confirmation count
+	// (0 = reconfig.DefaultFlipConfirmations).
+	FlipConfirmations int
 	// Tracer receives split-lifecycle trace events (publish, suppress,
 	// NACKs, breaker transitions, min-cut runs, plan flips). Nil — the
 	// default — disables tracing at zero per-event cost; per-PSE
@@ -204,7 +226,26 @@ type subscription struct {
 	// best-effort members still share one modulation and one frame.
 	rel *relState
 
+	// link measures this subscription's live RTT/bandwidth (nil when link
+	// estimation is disabled); probeSeq mints probe sequence numbers shared
+	// by the pipeline's idle heartbeats and the control loop's echo
+	// replies, so an echo always resolves the probe it answers.
+	link     *linkest.Estimator
+	probeSeq atomic.Uint64
+	// lastEnvPub paces environment publishes into the degrade unit.
+	// Control-goroutine only.
+	lastEnvPub time.Time
+
 	retireOnce sync.Once
+}
+
+// nextProbe mints the next probe seq and registers its send time with the
+// estimator. Safe from both the control goroutine (echo replies) and the
+// sender goroutine (idle heartbeats).
+func (s *subscription) nextProbe() uint64 {
+	seq := s.probeSeq.Add(1)
+	s.link.Probe(seq)
+	return seq
 }
 
 // NewPublisher starts listening and accepting subscriptions.
@@ -565,7 +606,13 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 		// The degrade unit routes around broken PSEs; cost optimality is
 		// the subscriber's reconfiguration unit's job, so a neutral
 		// environment suffices here.
-		runit: newPolicyUnit(compiled, costmodel.DefaultEnvironment(), p.cfg.SplitPolicy),
+		runit: newPolicyUnit(compiled, costmodel.DefaultEnvironment(), p.cfg.SplitPolicy, p.cfg.FlipMargin, p.cfg.FlipConfirmations),
+	}
+	if p.cfg.LinkEstimateInterval > 0 {
+		sub.link = linkest.New(linkest.Config{
+			HalfLife:   p.cfg.LinkEstimateHalfLife,
+			MinSamples: p.cfg.LinkWarmupSamples,
+		})
 	}
 	var batch batchConfig
 	if p.cfg.BatchBytes > 0 && subMsg.Protocol >= wire.BatchProtocolVersion {
@@ -610,6 +657,11 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 			p.retire(sub)
 		})
 	sub.pipe.reliable = reliable
+	if sub.link != nil && subMsg.Protocol >= wire.EchoProtocolVersion {
+		// Idle heartbeats double as RTT probes: a v6 subscriber echoes
+		// their Seq back through the control loop.
+		sub.pipe.probe = sub.nextProbe
+	}
 
 	// Registration: id assignment, registry insert and the initial class
 	// join are one critical section against Close, so a closing publisher
@@ -677,6 +729,28 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 				metrics.acksRecv.Add(1)
 				p.handleAck(sub, m.AckSeq)
 			}
+			if m.HasEcho && sub.link != nil {
+				sub.link.Echo(m.EchoSeq)
+			}
+			if m.Seq > 0 && sub.proto >= wire.EchoProtocolVersion {
+				// Reflect the subscriber's probe (pre-v6 peers would not
+				// understand the echo flag); when estimating, ride our own
+				// probe on the reply so this side samples RTT too.
+				p.echoHeartbeat(sub, m.Seq)
+			}
+			if sub.link != nil {
+				// Effective bandwidth: the send path's cumulative bytes on
+				// the wire sampled over wall time, paced by the peer's
+				// heartbeats (single control goroutine, so lastEnvPub needs
+				// no lock).
+				sub.link.ObserveBytes(metrics.bytesOnWire.Load() + metrics.controlBytes.Load())
+				if now := time.Now(); now.Sub(sub.lastEnvPub) >= p.cfg.LinkEstimateInterval {
+					sub.lastEnvPub = now
+					if env, measured := sub.link.Environment(costmodel.DefaultEnvironment()); measured {
+						sub.runit.SetEnvironment(env)
+					}
+				}
+			}
 		case *wire.Ack:
 			metrics.acksRecv.Add(1)
 			p.handleAck(sub, m.Seq)
@@ -739,6 +813,26 @@ func (p *Publisher) handleConn(conn transport.Conn) {
 		}
 	}
 	p.retire(sub)
+}
+
+// echoHeartbeat reflects a subscriber heartbeat's Seq back so the peer can
+// close its RTT sample on its own clock. When this side estimates too, the
+// reply doubles as our probe: its Seq (minted from the shared probe
+// counter) gets echoed back by the subscriber in turn. A reply without a
+// probe carries Seq 0, which the peer never echoes — the anti-loop rule.
+func (p *Publisher) echoHeartbeat(s *subscription, seq uint64) {
+	hb := &wire.Heartbeat{HasEcho: true, EchoSeq: seq}
+	if s.link != nil {
+		hb.Seq = s.nextProbe()
+	}
+	data, err := wire.Marshal(hb)
+	if err != nil {
+		return
+	}
+	if err := s.pipe.enqueueControl(data); err != nil {
+		return
+	}
+	s.metrics.heartbeatsSent.Add(1)
 }
 
 // applyWirePlan validates a subscriber-pushed plan and migrates the

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"methodpart/internal/costmodel"
+	"methodpart/internal/linkest"
 	"methodpart/internal/mir/interp"
 	"methodpart/internal/obsv"
 	"methodpart/internal/partition"
@@ -99,6 +100,30 @@ type SubscriberConfig struct {
 	// (reconfig.Balanced) is the legacy scalar min-cut under CostModel, so
 	// existing configurations select exactly the plans they always did.
 	SplitPolicy reconfig.SLOPolicy
+	// LinkEstimateInterval enables live link estimation when > 0: the
+	// subscriber measures RTT from heartbeat echoes (protocol v6) and
+	// effective bandwidth from bytes-on-wire over wall time, and publishes
+	// the measured environment into the reconfiguration unit at this
+	// period, so the Pareto front tracks the real link instead of the
+	// deployment-time Environment. 0 (the default) keeps the configured
+	// Environment authoritative. Requires heartbeats
+	// (HeartbeatInterval >= 0): the probes ride them.
+	LinkEstimateInterval time.Duration
+	// LinkEstimateHalfLife is the estimator's EWMA half-life
+	// (0 = linkest.DefaultHalfLife).
+	LinkEstimateHalfLife time.Duration
+	// LinkWarmupSamples is how many samples each measured axis needs
+	// before it overrides the configured Environment
+	// (0 = linkest.DefaultMinSamples).
+	LinkWarmupSamples int
+	// FlipMargin enables plan-flip hysteresis when > 0: a challenger cut
+	// must beat the incumbent on the policy's primary objective by this
+	// fraction (e.g. 0.1 = 10%) for FlipConfirmations consecutive
+	// selections before the plan flips. 0 disables (legacy behavior).
+	FlipMargin float64
+	// FlipConfirmations is the hysteresis confirmation count
+	// (0 = reconfig.DefaultFlipConfirmations).
+	FlipConfirmations int
 	// Reliability selects the delivery contract (protocol v5). BestEffort
 	// — the zero value — is the classic fire-and-forget channel.
 	// AtLeastOnce adds per-subscription sequencing, publisher-side replay,
@@ -145,6 +170,10 @@ type Subscriber struct {
 	// reconnects — the resubscribe handshake carries its contiguous seq
 	// so the stream resumes instead of restarting.
 	rel *relReceiver
+	// link measures the subscription's live RTT/bandwidth (nil when link
+	// estimation is disabled). Reset on resubscribe: the fresh session may
+	// sit on a different path.
+	link *linkest.Estimator
 
 	mu          sync.Mutex
 	conn        transport.Conn
@@ -248,7 +277,7 @@ func Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
 		compiled: compiled,
 		demod:    demod,
 		coll:     coll,
-		runit:    newPolicyUnit(compiled, cfg.Environment, cfg.SplitPolicy),
+		runit:    newPolicyUnit(compiled, cfg.Environment, cfg.SplitPolicy, cfg.FlipMargin, cfg.FlipConfirmations),
 		trigger: &profileunit.EitherTrigger{Children: []profileunit.Trigger{
 			&profileunit.RateTrigger{EveryMessages: cfg.ReconfigEvery},
 			&profileunit.DiffTrigger{Threshold: cfg.DiffThreshold, MinMessages: 3},
@@ -262,6 +291,12 @@ func Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
 	}
 	if cfg.Reliability == AtLeastOnce {
 		s.rel = newRelReceiver(cfg.AckEvery)
+	}
+	if cfg.LinkEstimateInterval > 0 {
+		s.link = linkest.New(linkest.Config{
+			HalfLife:   cfg.LinkEstimateHalfLife,
+			MinSamples: cfg.LinkWarmupSamples,
+		})
 	}
 	if cfg.Tracer != nil {
 		s.breaker.observeTransitions(breakerObserver(cfg.Tracer, cfg.Channel, func() string { return cfg.Name }))
@@ -542,6 +577,14 @@ func (s *Subscriber) resubscribe() (transport.Conn, error) {
 // again from the static initial plan.
 func (s *Subscriber) resync(conn transport.Conn) error {
 	s.setConn(conn)
+	if s.link != nil {
+		// The fresh session may sit on a different path; pre-disconnect
+		// samples must not keep pricing its plans. Drop the estimator state
+		// and fall back to the configured environment until the new link's
+		// measurements clear the warm-up gate again.
+		s.link.Reset()
+		s.runit.SetEnvironment(s.cfg.Environment)
+	}
 	if s.rel != nil {
 		// Retransmit requests issued on the dead connection died with it;
 		// gaps still open after the publisher's resume replay must be
@@ -569,6 +612,7 @@ func (s *Subscriber) heartbeatLoop(conn transport.Conn, connDone <-chan struct{}
 	defer t.Stop()
 	var seq uint64
 	var buf []byte // reused per tick; the transport copies on write
+	var lastEnvPub time.Time
 	for {
 		select {
 		case <-connDone:
@@ -578,6 +622,11 @@ func (s *Subscriber) heartbeatLoop(conn transport.Conn, connDone <-chan struct{}
 		case <-t.C:
 			seq++
 			hb := &wire.Heartbeat{Seq: seq}
+			if s.link != nil {
+				// The heartbeat doubles as an RTT probe: a v6 publisher
+				// echoes Seq back and the read loop closes the sample.
+				s.link.Probe(seq)
+			}
 			if s.rel != nil {
 				// Idle channels still drain the publisher's replay ring:
 				// every heartbeat piggybacks the cumulative ack, and the
@@ -601,6 +650,20 @@ func (s *Subscriber) heartbeatLoop(conn transport.Conn, connDone <-chan struct{}
 				s.metrics.acksSent.Add(1)
 			}
 			s.metrics.controlBytes.Add(uint64(len(buf)) + transport.HeaderSize)
+			if s.link != nil {
+				// Effective bandwidth: this side's cumulative bytes on the
+				// wire (event + control, both directions are one link)
+				// sampled over wall time by the estimator.
+				s.link.ObserveBytes(s.metrics.bytesOnWire.Load() + s.metrics.controlBytes.Load())
+				if now := time.Now(); now.Sub(lastEnvPub) >= s.cfg.LinkEstimateInterval {
+					lastEnvPub = now
+					if env, measured := s.link.Environment(s.cfg.Environment); measured {
+						// Race-safe by design; the next SelectPlan prices
+						// the front against the measured link.
+						s.runit.SetEnvironment(env)
+					}
+				}
+			}
 			if s.rel != nil {
 				// Heartbeat-paced gap retry: a retransmit request whose
 				// replay was dropped would otherwise never be re-issued on
@@ -670,6 +733,15 @@ func (s *Subscriber) readLoop(conn transport.Conn) error {
 		case *wire.Heartbeat:
 			s.metrics.controlBytes.Add(wireBytes)
 			s.metrics.heartbeatsRecv.Add(1)
+			if m.HasEcho && s.link != nil {
+				s.link.Echo(m.EchoSeq)
+			}
+			if m.Seq > 0 {
+				// Reflect the publisher's probe so it can measure RTT on
+				// its own clock. Pure echoes carry Seq 0, so two endpoints
+				// never echo each other's echoes.
+				s.sendEcho(m.Seq)
+			}
 		default:
 			s.metrics.controlBytes.Add(wireBytes)
 			s.cfg.Logf("jecho subscriber: unexpected %T", msg)
@@ -849,6 +921,24 @@ func (s *Subscriber) sendAck(seq uint64) {
 	s.metrics.controlBytes.Add(uint64(len(data)) + transport.HeaderSize)
 }
 
+// sendEcho reflects a publisher heartbeat's Seq back as a pure echo
+// (Seq 0, so the publisher never echoes it in turn), closing the
+// publisher's RTT sample. Direct connection write like sendAck.
+func (s *Subscriber) sendEcho(seq uint64) {
+	data, err := wire.Marshal(&wire.Heartbeat{HasEcho: true, EchoSeq: seq})
+	if err != nil {
+		return
+	}
+	conn := s.currentConn()
+	s.sup.armWrite(conn)
+	if err := conn.WriteFrame(data); err != nil {
+		s.cfg.Logf("jecho subscriber: send echo: %v", err)
+		return
+	}
+	s.metrics.heartbeatsSent.Add(1)
+	s.metrics.controlBytes.Add(uint64(len(data)) + transport.HeaderSize)
+}
+
 // sendRetransmitRequest asks the publisher to replay [from, to] — the
 // receiver observed a delivery beyond a gap these seqs should have filled.
 func (s *Subscriber) sendRetransmitRequest(from, to uint64) {
@@ -1016,9 +1106,12 @@ func (s *Subscriber) reconfigureWith(merged map[int32]costmodel.Stat) {
 	}
 }
 
-// newPolicyUnit builds a reconfiguration unit with its SLO policy set.
-func newPolicyUnit(c *partition.Compiled, env costmodel.Environment, policy reconfig.SLOPolicy) *reconfig.Unit {
+// newPolicyUnit builds a reconfiguration unit with its SLO policy and flip
+// hysteresis set.
+func newPolicyUnit(c *partition.Compiled, env costmodel.Environment, policy reconfig.SLOPolicy, flipMargin float64, flipConfirmations int) *reconfig.Unit {
 	u := reconfig.NewUnit(c, env)
 	u.Policy = policy
+	u.FlipMargin = flipMargin
+	u.FlipConfirmations = flipConfirmations
 	return u
 }

@@ -1,0 +1,242 @@
+package linkest
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"methodpart/internal/costmodel"
+)
+
+// fakeClock is a manually advanced clock for deterministic EWMA tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestEstimator(c *fakeClock, minSamples int) *Estimator {
+	return New(Config{
+		HalfLife:   time.Second,
+		MinSamples: minSamples,
+		MinBytes:   1,
+		Now:        c.now,
+	})
+}
+
+// TestEWMAMonotoneConvergence is the property test: after a step change in
+// the underlying signal, every subsequent sample moves the estimate
+// strictly toward the new level without ever overshooting it.
+func TestEWMAMonotoneConvergence(t *testing.T) {
+	clk := newFakeClock()
+	est := newTestEstimator(clk, 1)
+
+	// Converge near 10ms first.
+	for i := 0; i < 20; i++ {
+		est.ObserveRTT(10 * time.Millisecond)
+		clk.advance(200 * time.Millisecond)
+	}
+	start := est.Snapshot().RTTMillis
+	if math.Abs(start-10) > 1 {
+		t.Fatalf("estimate did not settle near 10ms: %v", start)
+	}
+
+	// Step the signal to 100ms: the estimate must increase monotonically
+	// and never exceed the new level.
+	prev := start
+	for i := 0; i < 40; i++ {
+		est.ObserveRTT(100 * time.Millisecond)
+		clk.advance(200 * time.Millisecond)
+		cur := est.Snapshot().RTTMillis
+		if cur <= prev {
+			t.Fatalf("sample %d: estimate %v did not move toward 100 (prev %v)", i, cur, prev)
+		}
+		if cur > 100 {
+			t.Fatalf("sample %d: estimate %v overshot the signal level 100", i, cur)
+		}
+		prev = cur
+	}
+	if math.Abs(prev-100) > 5 {
+		t.Fatalf("estimate did not converge to 100ms after 40 half-life-spaced samples: %v", prev)
+	}
+}
+
+// TestEWMAHalfLife pins the time-based alpha: one sample exactly one
+// half-life after the previous closes half the gap.
+func TestEWMAHalfLife(t *testing.T) {
+	clk := newFakeClock()
+	est := newTestEstimator(clk, 1)
+
+	est.ObserveRTT(10 * time.Millisecond) // seeds value = 10
+	clk.advance(time.Second)              // exactly one half-life
+	est.ObserveRTT(20 * time.Millisecond)
+	got := est.Snapshot().RTTMillis
+	if math.Abs(got-15) > 1e-9 {
+		t.Fatalf("one half-life sample should close half the gap: got %v want 15", got)
+	}
+}
+
+// TestWarmupGateHoldsDefaultEnvironment is the gate property: until each
+// axis has MinSamples samples, Environment must return the base value for
+// that axis unchanged.
+func TestWarmupGateHoldsDefaultEnvironment(t *testing.T) {
+	clk := newFakeClock()
+	est := newTestEstimator(clk, 3)
+	base := costmodel.DefaultEnvironment()
+
+	// Two RTT samples: below the gate, base untouched.
+	for i := 0; i < 2; i++ {
+		est.ObserveRTT(50 * time.Millisecond)
+		clk.advance(time.Second)
+	}
+	env, measured := est.Environment(base)
+	if measured || env != base {
+		t.Fatalf("2 samples with gate 3 must not override base: measured=%v env=%+v", measured, env)
+	}
+
+	// Third sample clears the RTT gate only: LatencyMS overridden,
+	// Bandwidth still the base value.
+	est.ObserveRTT(50 * time.Millisecond)
+	env, measured = est.Environment(base)
+	if !measured {
+		t.Fatal("3 samples must clear the gate")
+	}
+	if math.Abs(env.LatencyMS-25) > 1 {
+		t.Fatalf("LatencyMS should be ~RTT/2=25: %v", env.LatencyMS)
+	}
+	if env.Bandwidth != base.Bandwidth {
+		t.Fatalf("bandwidth axis is cold, must keep base %v: got %v", base.Bandwidth, env.Bandwidth)
+	}
+
+	// Bandwidth warms independently: anchor + 3 qualifying intervals.
+	total := uint64(0)
+	est.ObserveBytes(total)
+	for i := 0; i < 3; i++ {
+		clk.advance(time.Second)
+		total += 500_000
+		est.ObserveBytes(total)
+	}
+	env, _ = est.Environment(base)
+	if math.Abs(env.Bandwidth-500) > 50 { // 500_000 B / 1000 ms
+		t.Fatalf("bandwidth should converge near 500 B/ms: %v", env.Bandwidth)
+	}
+}
+
+// TestEchoRoundTrip ties Probe/Echo to an RTT sample on the caller's clock.
+func TestEchoRoundTrip(t *testing.T) {
+	clk := newFakeClock()
+	est := newTestEstimator(clk, 1)
+
+	est.Probe(7)
+	clk.advance(42 * time.Millisecond)
+	est.Echo(7)
+	if got := est.Snapshot().RTTMillis; math.Abs(got-42) > 1e-9 {
+		t.Fatalf("echo RTT sample: got %v want 42", got)
+	}
+
+	// Duplicate and unknown echoes are ignored.
+	est.Echo(7)
+	est.Echo(99)
+	if got := est.Snapshot().RTTSamples; got != 1 {
+		t.Fatalf("duplicate/unknown echoes must not add samples: %d", got)
+	}
+}
+
+// TestProbeTableBounded: a peer that never echoes must not grow the probe
+// table without bound.
+func TestProbeTableBounded(t *testing.T) {
+	clk := newFakeClock()
+	est := newTestEstimator(clk, 1)
+	for seq := uint64(1); seq <= 10_000; seq++ {
+		est.Probe(seq)
+	}
+	est.mu.Lock()
+	n := len(est.probes)
+	est.mu.Unlock()
+	if n > maxProbesInFlight {
+		t.Fatalf("probe table grew to %d entries (cap %d)", n, maxProbesInFlight)
+	}
+	// Recent probes must survive the eviction.
+	clk.advance(10 * time.Millisecond)
+	est.Echo(10_000)
+	if got := est.Snapshot().RTTSamples; got != 1 {
+		t.Fatal("most recent probe should still be in the table")
+	}
+}
+
+// TestIdleIntervalsDoNotDecay: quiet intervals produce no bandwidth sample
+// (the estimate holds rather than trending to zero on an idle link).
+func TestIdleIntervalsDoNotDecay(t *testing.T) {
+	clk := newFakeClock()
+	est := New(Config{HalfLife: time.Second, MinSamples: 1, MinBytes: 1000, Now: clk.now})
+
+	est.ObserveBytes(0)
+	clk.advance(time.Second)
+	est.ObserveBytes(100_000) // 100 B/ms
+	before := est.Snapshot()
+
+	for i := 0; i < 10; i++ {
+		clk.advance(time.Second)
+		est.ObserveBytes(100_000) // nothing moved
+	}
+	after := est.Snapshot()
+	if after.BandwidthBytesPerMS != before.BandwidthBytesPerMS || after.BandwidthSamples != before.BandwidthSamples {
+		t.Fatalf("idle intervals changed the estimate: before %+v after %+v", before, after)
+	}
+}
+
+// TestResetDiscardsState: after Reset the estimator is cold again — no
+// samples, no override, and stale echoes don't resolve.
+func TestResetDiscardsState(t *testing.T) {
+	clk := newFakeClock()
+	est := newTestEstimator(clk, 1)
+
+	est.Probe(1)
+	clk.advance(10 * time.Millisecond)
+	est.Echo(1)
+	est.ObserveBytes(0)
+	clk.advance(time.Second)
+	est.ObserveBytes(1 << 20)
+	if s := est.Snapshot(); !s.RTTWarm || !s.BandwidthWarm {
+		t.Fatalf("setup should warm both axes: %+v", s)
+	}
+
+	est.Probe(2)
+	est.Reset()
+
+	s := est.Snapshot()
+	if s.RTTSamples != 0 || s.BandwidthSamples != 0 || s.RTTWarm || s.BandwidthWarm {
+		t.Fatalf("reset left state behind: %+v", s)
+	}
+	base := costmodel.DefaultEnvironment()
+	if env, measured := est.Environment(base); measured || env != base {
+		t.Fatalf("reset estimator must not override base: %+v", env)
+	}
+	clk.advance(5 * time.Millisecond)
+	est.Echo(2) // pre-reset probe must not resolve
+	if got := est.Snapshot().RTTSamples; got != 0 {
+		t.Fatalf("pre-reset probe resolved after reset: %d samples", got)
+	}
+}
+
+// TestDegenerateSamplesIgnored: NaN/Inf/negative inputs never poison the
+// estimate.
+func TestDegenerateSamplesIgnored(t *testing.T) {
+	clk := newFakeClock()
+	est := newTestEstimator(clk, 1)
+
+	est.ObserveRTT(-time.Second)
+	if got := est.Snapshot().RTTSamples; got != 0 {
+		t.Fatalf("negative RTT produced a sample: %d", got)
+	}
+
+	var w ewma
+	w.observe(math.NaN(), clk.now(), time.Second)
+	w.observe(math.Inf(1), clk.now(), time.Second)
+	w.observe(-1, clk.now(), time.Second)
+	if w.samples != 0 {
+		t.Fatalf("degenerate ewma inputs produced samples: %d", w.samples)
+	}
+}

@@ -49,6 +49,27 @@ type ChannelStatus struct {
 	// LastMinCut explains the most recent plan selection, when one ran on
 	// this endpoint (the publisher only runs one to degrade).
 	LastMinCut *MinCutStatus `json:"last_min_cut,omitempty"`
+	// Link is the live link estimate feeding the reconfiguration unit,
+	// when link estimation is enabled on this endpoint.
+	Link *LinkStatus `json:"link,omitempty"`
+}
+
+// LinkStatus is one subscription's live link estimate: the smoothed
+// measurements and how many samples back each axis. A busy channel whose
+// RTT sample count stays at zero (while heartbeats flow) indicates a
+// broken estimator or a pre-v6 peer that cannot echo.
+type LinkStatus struct {
+	// RTTMS is the smoothed round-trip time in milliseconds (0 until the
+	// first echo).
+	RTTMS float64 `json:"rtt_ms"`
+	// BandwidthBytesPerMS is the smoothed effective bandwidth.
+	BandwidthBytesPerMS float64 `json:"bandwidth_bytes_per_ms"`
+	// RTTSamples / BandwidthSamples count the samples behind each axis.
+	RTTSamples       uint64 `json:"rtt_samples"`
+	BandwidthSamples uint64 `json:"bandwidth_samples"`
+	// Warm reports whether at least one axis has cleared its warm-up gate
+	// and is overriding the configured environment.
+	Warm bool `json:"warm"`
 }
 
 // PSEStatus is one row of the live UG/PSE table: the edge's place in the
@@ -116,6 +137,33 @@ type MinCutStatus struct {
 	Front []FrontPointStatus `json:"front,omitempty"`
 	// Chosen indexes the Front entry the policy selected.
 	Chosen int `json:"chosen,omitempty"`
+	// Env is the environment this selection priced costs under — the
+	// measured environment when link estimation is feeding the unit, the
+	// configured one otherwise.
+	Env *EnvStatus `json:"env,omitempty"`
+	// Suppressed reports that flip hysteresis overrode the policy's
+	// preference and kept the incumbent cut.
+	Suppressed bool `json:"suppressed,omitempty"`
+	// PendingCut is the challenger cut currently building a confirmation
+	// streak (absent when none).
+	PendingCut []int32 `json:"pending_cut,omitempty"`
+	// PendingStreak is how many consecutive selections PendingCut has
+	// beaten the incumbent by the margin.
+	PendingStreak int `json:"pending_streak,omitempty"`
+	// FlipsSuppressed is the unit's cumulative suppressed-flip count.
+	FlipsSuppressed uint64 `json:"flips_suppressed,omitempty"`
+}
+
+// EnvStatus is the costmodel.Environment a selection priced against, as
+// surfaced through /debug/split.
+type EnvStatus struct {
+	// SenderSpeed / ReceiverSpeed are processing rates in work units/ms.
+	SenderSpeed   float64 `json:"sender_speed"`
+	ReceiverSpeed float64 `json:"receiver_speed"`
+	// Bandwidth is the link bandwidth in bytes/ms.
+	Bandwidth float64 `json:"bandwidth"`
+	// LatencyMS is the one-way link latency in milliseconds.
+	LatencyMS float64 `json:"latency_ms"`
 }
 
 // FrontPointStatus is one operating point of the Pareto front as surfaced

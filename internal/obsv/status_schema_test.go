@@ -44,6 +44,23 @@ func TestSplitStatusGoldenJSON(t *testing.T) {
 					},
 				},
 				Chosen: 0,
+				Env: &EnvStatus{
+					SenderSpeed:   1000,
+					ReceiverSpeed: 1000,
+					Bandwidth:     320,
+					LatencyMS:     12.5,
+				},
+				Suppressed:      true,
+				PendingCut:      []int32{0},
+				PendingStreak:   2,
+				FlipsSuppressed: 5,
+			},
+			Link: &LinkStatus{
+				RTTMS:               25,
+				BandwidthBytesPerMS: 320,
+				RTTSamples:          14,
+				BandwidthSamples:    13,
+				Warm:                true,
 			},
 		}},
 	}
@@ -120,7 +137,26 @@ func TestSplitStatusGoldenJSON(t *testing.T) {
             "failure_rate": 0,
             "cut_value": 40068
           }
-        ]
+        ],
+        "env": {
+          "sender_speed": 1000,
+          "receiver_speed": 1000,
+          "bandwidth": 320,
+          "latency_ms": 12.5
+        },
+        "suppressed": true,
+        "pending_cut": [
+          0
+        ],
+        "pending_streak": 2,
+        "flips_suppressed": 5
+      },
+      "link": {
+        "rtt_ms": 25,
+        "bandwidth_bytes_per_ms": 320,
+        "rtt_samples": 14,
+        "bandwidth_samples": 13,
+        "warm": true
       }
     }
   ]
@@ -146,5 +182,11 @@ func TestSplitStatusGoldenJSON(t *testing.T) {
 	}
 	if mc.Policy != "cost-first" {
 		t.Errorf("round trip policy = %q", mc.Policy)
+	}
+	if mc.Env == nil || mc.Env.Bandwidth != 320 || !mc.Suppressed || mc.PendingStreak != 2 || mc.FlipsSuppressed != 5 {
+		t.Errorf("round trip lost hysteresis detail: %+v", mc)
+	}
+	if l := back.Channels[0].Link; l == nil || l.RTTMS != 25 || l.BandwidthSamples != 13 || !l.Warm {
+		t.Errorf("round trip lost link detail: %+v", l)
 	}
 }

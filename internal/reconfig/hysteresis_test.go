@@ -1,0 +1,275 @@
+package reconfig_test
+
+import (
+	"fmt"
+	"testing"
+
+	"methodpart/internal/costmodel"
+	"methodpart/internal/partition"
+	"methodpart/internal/reconfig"
+)
+
+// hystFixture is the slow-sender image fork of TestPoliciesPickDifferentPoints:
+// under LatencyFirst, the pre-resize cut wins on a fast link and the
+// post-resize cut wins once bandwidth collapses — the flip the hysteresis
+// tests exercise.
+type hystFixture struct {
+	c             *partition.Compiled
+	preID, postID int32
+	stats         map[int32]costmodel.Stat
+}
+
+func newHystFixture(t *testing.T) hystFixture {
+	t.Helper()
+	c := compilePush(t, costmodel.NewDataSize())
+	f := hystFixture{
+		c:      c,
+		preID:  pse(t, c, 2, 3),
+		postID: pse(t, c, 4, 5),
+	}
+	f.stats = map[int32]costmodel.Stat{
+		partition.RawPSEID: {Count: 100, Prob: 1, Bytes: 45000, DemodWork: 50000},
+		f.preID:            {Count: 100, Prob: 1, Bytes: 40000, ModWork: 100, DemodWork: 49900},
+		f.postID:           {Count: 100, Prob: 1, Bytes: 10000, ModWork: 45000, DemodWork: 5000},
+		pse(t, c, 1, 7):    {Count: 100, Prob: 0},
+	}
+	return f
+}
+
+func (f hystFixture) env(bandwidth float64) costmodel.Environment {
+	return costmodel.Environment{SenderSpeed: 100, ReceiverSpeed: 1000, Bandwidth: bandwidth, LatencyMS: 1}
+}
+
+func (f hystFixture) newUnit(margin float64, confirmations int) *reconfig.Unit {
+	u := reconfig.NewUnit(f.c, f.env(1000))
+	u.Policy = reconfig.LatencyFirst
+	u.FlipMargin = margin
+	u.FlipConfirmations = confirmations
+	return u
+}
+
+func (f hystFixture) selectCut(t *testing.T, u *reconfig.Unit) []int32 {
+	t.Helper()
+	plan, _, err := u.SelectPlan(f.stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan.SplitIDs()
+}
+
+// TestHysteresisRequiresConsecutiveConfirmations: after the link degrades,
+// the challenger must win K consecutive selections before the plan flips;
+// the suppressed selections keep the incumbent and count as suppressed,
+// not as flips.
+func TestHysteresisRequiresConsecutiveConfirmations(t *testing.T) {
+	f := newHystFixture(t)
+	u := f.newUnit(0.1, 3)
+
+	// Fast link: latency-first picks the pre-resize cut as incumbent.
+	if cut := f.selectCut(t, u); !contains(cut, f.preID) {
+		t.Fatalf("fast link should pick the pre cut, got %v", cut)
+	}
+
+	// Link collapses: the post cut now wins by far more than 10%, but two
+	// selections must still hold the incumbent.
+	u.SetEnvironment(f.env(50))
+	for i := 1; i <= 2; i++ {
+		if cut := f.selectCut(t, u); !contains(cut, f.preID) {
+			t.Fatalf("selection %d after degradation flipped early: %v", i, cut)
+		}
+		ex := u.LastExplanation()
+		if !ex.Suppressed {
+			t.Fatalf("selection %d should be marked suppressed", i)
+		}
+		if ex.PendingStreak != i {
+			t.Fatalf("selection %d: pending streak %d, want %d", i, ex.PendingStreak, i)
+		}
+		if fmt.Sprint(ex.PendingCut) == fmt.Sprint(ex.Cut) {
+			t.Fatalf("pending cut %v should be the challenger, not the selected incumbent", ex.PendingCut)
+		}
+	}
+	if got := u.FlipsSuppressed(); got != 2 {
+		t.Fatalf("FlipsSuppressed = %d, want 2", got)
+	}
+	if got := u.PolicyFlips(); got != 0 {
+		t.Fatalf("suppressed selections counted as flips: %d", got)
+	}
+
+	// Third consecutive win: the flip lands, exactly once.
+	if cut := f.selectCut(t, u); !contains(cut, f.postID) {
+		t.Fatalf("third confirmation should flip to the post cut, got %v", cut)
+	}
+	ex := u.LastExplanation()
+	if ex.Suppressed || ex.PendingStreak != 0 {
+		t.Fatalf("flip selection should clear hysteresis state: %+v", ex)
+	}
+	if got := u.PolicyFlips(); got != 1 {
+		t.Fatalf("PolicyFlips = %d, want exactly 1", got)
+	}
+}
+
+// TestHysteresisTransientJitterNeverFlips: dips shorter than the
+// confirmation window reset the streak when the link recovers, so jitter
+// is suppressed indefinitely.
+func TestHysteresisTransientJitterNeverFlips(t *testing.T) {
+	f := newHystFixture(t)
+	u := f.newUnit(0.1, 3)
+	f.selectCut(t, u) // incumbent: pre
+
+	for dip := 0; dip < 5; dip++ {
+		u.SetEnvironment(f.env(50)) // 2-selection dip < 3 confirmations
+		for i := 0; i < 2; i++ {
+			if cut := f.selectCut(t, u); !contains(cut, f.preID) {
+				t.Fatalf("dip %d: jitter flipped the plan: %v", dip, cut)
+			}
+		}
+		u.SetEnvironment(f.env(1000)) // recovery re-confirms the incumbent
+		if cut := f.selectCut(t, u); !contains(cut, f.preID) {
+			t.Fatalf("dip %d: recovery lost the incumbent: %v", dip, cut)
+		}
+		if ex := u.LastExplanation(); ex.PendingStreak != 0 {
+			t.Fatalf("dip %d: recovery did not reset the streak: %d", dip, ex.PendingStreak)
+		}
+	}
+	if got := u.PolicyFlips(); got != 0 {
+		t.Fatalf("jitter produced %d flips, want 0", got)
+	}
+	if got := u.FlipsSuppressed(); got != 10 {
+		t.Fatalf("FlipsSuppressed = %d, want 10 (2 per dip)", got)
+	}
+}
+
+// TestHysteresisMarginBlocksMarginalWinner: a challenger that is better
+// but by less than the margin never starts a streak and never flips.
+func TestHysteresisMarginBlocksMarginalWinner(t *testing.T) {
+	f := newHystFixture(t)
+	u := f.newUnit(0.1, 3)
+	f.selectCut(t, u) // incumbent: pre
+
+	// At 70 B/ms the post cut is ~4% faster — better, but under the 10%
+	// margin. Verify the premise with a fresh (hysteresis-free) unit.
+	probe := f.newUnit(0, 0)
+	probe.SetEnvironment(f.env(70))
+	if cut := f.selectCut(t, probe); !contains(cut, f.postID) {
+		t.Fatalf("premise broken: fresh unit at 70 B/ms should pick post, got %v", cut)
+	}
+
+	u.SetEnvironment(f.env(70))
+	for i := 0; i < 6; i++ {
+		if cut := f.selectCut(t, u); !contains(cut, f.preID) {
+			t.Fatalf("marginal winner flipped the plan on selection %d: %v", i, cut)
+		}
+		if ex := u.LastExplanation(); ex.PendingStreak != 0 {
+			t.Fatalf("sub-margin challenger built a streak: %d", ex.PendingStreak)
+		}
+	}
+	if got, want := u.FlipsSuppressed(), uint64(6); got != want {
+		t.Fatalf("FlipsSuppressed = %d, want %d", got, want)
+	}
+	if got := u.PolicyFlips(); got != 0 {
+		t.Fatalf("PolicyFlips = %d, want 0", got)
+	}
+}
+
+// TestHysteresisDisabledByDefault: the zero-value FlipMargin preserves the
+// old behavior — the first selection after the environment changes flips.
+func TestHysteresisDisabledByDefault(t *testing.T) {
+	f := newHystFixture(t)
+	u := f.newUnit(0, 0)
+	f.selectCut(t, u)
+	u.SetEnvironment(f.env(50))
+	if cut := f.selectCut(t, u); !contains(cut, f.postID) {
+		t.Fatalf("without hysteresis the flip should be immediate, got %v", cut)
+	}
+	if got := u.PolicyFlips(); got != 1 {
+		t.Fatalf("PolicyFlips = %d, want 1", got)
+	}
+	if got := u.FlipsSuppressed(); got != 0 {
+		t.Fatalf("FlipsSuppressed = %d, want 0", got)
+	}
+}
+
+// TestHysteresisIncumbentLeavesFront: when the incumbent cut is priced off
+// the front (breaker trips its PSE), holding it would keep a non-viable
+// plan — the flip must be immediate despite hysteresis.
+func TestHysteresisIncumbentLeavesFront(t *testing.T) {
+	f := newHystFixture(t)
+	u := f.newUnit(0.1, 3)
+	if cut := f.selectCut(t, u); !contains(cut, f.preID) {
+		t.Fatalf("setup: want pre incumbent, got %v", cut)
+	}
+	u.SetTripped([]int32{f.preID})
+	cut := f.selectCut(t, u)
+	if contains(cut, f.preID) {
+		t.Fatalf("tripped incumbent still selected: %v", cut)
+	}
+	if ex := u.LastExplanation(); ex.Suppressed {
+		t.Fatal("forced flip off a dead incumbent must not read as suppressed")
+	}
+	if got := u.PolicyFlips(); got != 1 {
+		t.Fatalf("PolicyFlips = %d, want 1", got)
+	}
+}
+
+// TestPolicyFlipsCountsOnlyPlanChanges pins the flip-counter semantics the
+// hysteresis accounting depends on: repeated selections of the same cut —
+// whatever happens to front ordering or chosen index — must not count, and
+// each genuine cut change counts exactly once.
+func TestPolicyFlipsCountsOnlyPlanChanges(t *testing.T) {
+	f := newHystFixture(t)
+	u := f.newUnit(0, 0)
+
+	// Identical inputs, many selections: zero flips.
+	for i := 0; i < 5; i++ {
+		f.selectCut(t, u)
+	}
+	if got := u.PolicyFlips(); got != 0 {
+		t.Fatalf("stable selections counted %d flips", got)
+	}
+	// Perturb stats in ways that keep the same winning cut (jitter the
+	// losing cut's bytes): front vectors change, the chosen cut must not.
+	base := f.stats[f.postID]
+	for i := 0; i < 4; i++ {
+		st := base
+		st.Bytes += float64(i * 100)
+		f.stats[f.postID] = st
+		if cut := f.selectCut(t, u); !contains(cut, f.preID) {
+			t.Fatalf("perturbation %d changed the winner: %v", i, cut)
+		}
+	}
+	f.stats[f.postID] = base
+	if got := u.PolicyFlips(); got != 0 {
+		t.Fatalf("same-cut selections under perturbed fronts counted %d flips", got)
+	}
+	// One genuine change: exactly one flip.
+	u.SetEnvironment(f.env(50))
+	f.selectCut(t, u)
+	f.selectCut(t, u)
+	if got := u.PolicyFlips(); got != 1 {
+		t.Fatalf("PolicyFlips = %d, want exactly 1 after one plan change", got)
+	}
+}
+
+// TestSanitizedEnvironmentInstalled: degenerate environments are clamped
+// at the unit's boundary, so a broken measurement can never make every
+// plan look free or poison dominance.
+func TestSanitizedEnvironmentInstalled(t *testing.T) {
+	f := newHystFixture(t)
+	u := reconfig.NewUnit(f.c, costmodel.Environment{LatencyMS: -1})
+	if env := u.Environment(); env != costmodel.DefaultEnvironment() {
+		t.Fatalf("NewUnit did not sanitize: %+v", env)
+	}
+	u.SetEnvironment(costmodel.Environment{SenderSpeed: -1, Bandwidth: 0, LatencyMS: -5})
+	env := u.Environment()
+	if env.SenderSpeed <= 0 || env.Bandwidth <= 0 || env.LatencyMS < 0 {
+		t.Fatalf("SetEnvironment did not sanitize: %+v", env)
+	}
+	if _, _, err := u.SelectPlan(f.stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range u.LastExplanation().Front {
+		if p.Vec.LatencyMS <= 0 {
+			t.Fatalf("front point priced with degenerate env: %+v", p)
+		}
+	}
+}

@@ -334,6 +334,24 @@ func choosePoint(front []FrontPoint, balIdx int, policy SLOPolicy) int {
 	return best
 }
 
+// policyPrimary is the policy's primary objective for one front point —
+// the scalar the flip-hysteresis margin is applied to. It mirrors the
+// first element of choosePoint's key chain so "beats by the margin" and
+// "is preferred" agree on what matters.
+func policyPrimary(p FrontPoint, policy SLOPolicy) float64 {
+	v := p.Vec
+	switch policy {
+	case LatencyFirst:
+		return v.LatencyMS
+	case CostFirst:
+		return v.Bytes
+	case ReceiverWeak:
+		return v.Bytes*250 + v.ReceiverWork*40
+	default:
+		return float64(p.CutValue)
+	}
+}
+
 func lessKeys(a, b []float64) bool {
 	for i := range a {
 		if a[i] != b[i] {

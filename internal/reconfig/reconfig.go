@@ -34,6 +34,17 @@ type Unit struct {
 	// MaxCandidates caps the convex-cut enumeration behind the front;
 	// 0 means DefaultMaxCandidates.
 	MaxCandidates int
+	// FlipMargin enables plan-flip hysteresis when > 0: a non-incumbent
+	// front point must beat the incumbent cut on the policy's primary
+	// objective by this fraction (e.g. 0.1 = 10% better) before a flip is
+	// even considered. The zero value disables hysteresis entirely,
+	// preserving the selection behavior of releases before it existed.
+	FlipMargin float64
+	// FlipConfirmations is how many consecutive selections the same
+	// challenger must keep beating the incumbent by FlipMargin before the
+	// plan actually flips (0 means DefaultFlipConfirmations). Only
+	// consulted when FlipMargin > 0.
+	FlipConfirmations int
 
 	version uint64
 	tripped map[int32]bool
@@ -41,9 +52,19 @@ type Unit struct {
 	// version/tripped it relies on caller serialization.
 	lastCut []int32
 	hasLast bool
+	// pendingCut/pendingStreak is the hysteresis state: the challenger cut
+	// currently beating the incumbent by the margin, and for how many
+	// consecutive selections it has done so. Caller-serialized like lastCut.
+	pendingCut    []int32
+	pendingStreak int
 	// policyFlips counts selections whose chosen cut differed from the
 	// previous selection's. Read concurrently by metrics collectors.
 	policyFlips atomic.Uint64
+	// flipsSuppressed counts selections where the policy preferred a
+	// non-incumbent cut but hysteresis held the incumbent (margin not met,
+	// or confirmation streak still building). Read concurrently by metrics
+	// collectors; feeds methodpart_flips_suppressed_total.
+	flipsSuppressed atomic.Uint64
 
 	// lastExplain is the most recent selection's Explanation. It is the one
 	// piece of Unit state read from other goroutines (debug listeners,
@@ -82,20 +103,45 @@ type Explanation struct {
 	Front []FrontPoint
 	// Chosen indexes the front point the policy selected.
 	Chosen int
+	// Env is the (sanitized) environment the selection priced costs under —
+	// with live link estimation this is the measured environment, so an
+	// operator can see which link the front believed in.
+	Env costmodel.Environment
+	// Suppressed reports that this selection's policy preference was
+	// overridden by flip hysteresis: the policy preferred a different cut
+	// but the incumbent was kept.
+	Suppressed bool
+	// PendingCut/PendingStreak expose the hysteresis state after this
+	// selection: the challenger currently building a confirmation streak
+	// (nil when none).
+	PendingCut []int32
+	// PendingStreak is how many consecutive selections PendingCut has beaten
+	// the incumbent by the margin.
+	PendingStreak int
+	// FlipsSuppressed is the unit's cumulative suppressed-flip count as of
+	// this selection.
+	FlipsSuppressed uint64
 }
 
 // NewUnit creates a reconfiguration unit for the handler in the given
 // environment.
 func NewUnit(c *partition.Compiled, env costmodel.Environment) *Unit {
 	u := &Unit{c: c, ProfileAll: true}
+	env = env.Sanitize()
 	u.env.Store(&env)
 	return u
 }
 
 // SetEnvironment updates the resource environment used to weigh costs.
 // Safe to call concurrently with SelectPlan; the update is atomic and a
-// selection in flight keeps the environment it loaded.
-func (u *Unit) SetEnvironment(env costmodel.Environment) { u.env.Store(&env) }
+// selection in flight keeps the environment it loaded. Degenerate fields
+// (zero, negative, NaN, Inf — possible from an early or broken runtime
+// measurement) are replaced with their defaults so a bad sample can never
+// poison plan pricing.
+func (u *Unit) SetEnvironment(env costmodel.Environment) {
+	env = env.Sanitize()
+	u.env.Store(&env)
+}
 
 // Environment returns the current environment. Safe for concurrent use.
 func (u *Unit) Environment() costmodel.Environment { return *u.env.Load() }
@@ -104,6 +150,11 @@ func (u *Unit) Environment() costmodel.Environment { return *u.env.Load() }
 // selection before them. Safe for concurrent use; feeds the
 // methodpart_policy_flips_total metric.
 func (u *Unit) PolicyFlips() uint64 { return u.policyFlips.Load() }
+
+// FlipsSuppressed returns how many selections preferred a non-incumbent
+// cut but were held to the incumbent by hysteresis. Safe for concurrent
+// use; feeds the methodpart_flips_suppressed_total metric.
+func (u *Unit) FlipsSuppressed() uint64 { return u.flipsSuppressed.Load() }
 
 // SetTripped replaces the set of PSEs whose circuit breaker is open. A
 // tripped PSE's edge becomes (effectively) uncuttable, so the min-cut routes
@@ -161,6 +212,8 @@ func (u *Unit) SelectPlan(stats map[int32]costmodel.Stat) (*partition.Plan, *wir
 			cut = balCut
 		}
 	}
+	chosen, suppressed := u.applyHysteresis(front, chosen)
+	cut = front[chosen].Cut
 	front[chosen].Chosen = true
 	if u.hasLast && !equalCut(u.lastCut, cut) {
 		u.policyFlips.Add(1)
@@ -168,7 +221,7 @@ func (u *Unit) SelectPlan(stats map[int32]costmodel.Stat) (*partition.Plan, *wir
 	u.lastCut = append(u.lastCut[:0], cut...)
 	u.hasLast = true
 	u.version++
-	u.lastExplain.Store(u.explain(cut, front[chosen].CutValue, stats, env, front, chosen))
+	u.lastExplain.Store(u.explain(cut, front[chosen].CutValue, stats, env, front, chosen, suppressed))
 	var profile []int32
 	if u.ProfileAll {
 		profile = partition.AllProfileIDs(u.c)
@@ -188,18 +241,84 @@ func (u *Unit) SelectPlan(stats map[int32]costmodel.Stat) (*partition.Plan, *wir
 	return plan, wp, nil
 }
 
+// DefaultFlipConfirmations is how many consecutive margin-beating
+// selections a challenger needs before the plan flips, when
+// Unit.FlipConfirmations is 0.
+const DefaultFlipConfirmations = 3
+
+// applyHysteresis dampens plan dithering: once a cut is incumbent, a
+// different front point only takes over after beating the incumbent on the
+// policy's primary objective by FlipMargin for FlipConfirmations
+// consecutive selections. It returns the (possibly overridden) front index
+// and whether the policy's preference was suppressed. Disabled (FlipMargin
+// <= 0), on the first selection, and when the incumbent has left the front
+// (e.g. priced out by a tripped breaker — holding a non-viable plan would
+// be worse than any flip), the policy's choice passes through untouched.
+func (u *Unit) applyHysteresis(front []FrontPoint, chosen int) (int, bool) {
+	reset := func() { u.pendingCut, u.pendingStreak = nil, 0 }
+	if u.FlipMargin <= 0 || !u.hasLast {
+		reset()
+		return chosen, false
+	}
+	if equalCut(u.lastCut, front[chosen].Cut) {
+		// Policy re-confirmed the incumbent; any challenger streak dies.
+		reset()
+		return chosen, false
+	}
+	incumbent := -1
+	for i := range front {
+		if equalCut(front[i].Cut, u.lastCut) {
+			incumbent = i
+			break
+		}
+	}
+	if incumbent < 0 {
+		reset()
+		return chosen, false
+	}
+	confirm := u.FlipConfirmations
+	if confirm <= 0 {
+		confirm = DefaultFlipConfirmations
+	}
+	// Margin test on the policy's primary objective: the challenger must be
+	// better by at least the configured fraction, not merely better.
+	beats := policyPrimary(front[chosen], u.Policy) < policyPrimary(front[incumbent], u.Policy)*(1-u.FlipMargin)
+	if !beats {
+		reset()
+		u.flipsSuppressed.Add(1)
+		return incumbent, true
+	}
+	if u.pendingStreak > 0 && equalCut(u.pendingCut, front[chosen].Cut) {
+		u.pendingStreak++
+	} else {
+		u.pendingCut = append(u.pendingCut[:0], front[chosen].Cut...)
+		u.pendingStreak = 1
+	}
+	if u.pendingStreak >= confirm {
+		reset()
+		return chosen, false
+	}
+	u.flipsSuppressed.Add(1)
+	return incumbent, true
+}
+
 // explain materialises the Explanation for a completed selection. Called
 // after u.version is advanced, so the explanation carries the stamped
 // version.
-func (u *Unit) explain(cut []int32, value int64, stats map[int32]costmodel.Stat, env costmodel.Environment, front []FrontPoint, chosen int) *Explanation {
+func (u *Unit) explain(cut []int32, value int64, stats map[int32]costmodel.Stat, env costmodel.Environment, front []FrontPoint, chosen int, suppressed bool) *Explanation {
 	ex := &Explanation{
-		Version:    u.version,
-		Cut:        append([]int32(nil), cut...),
-		CutValue:   value,
-		Capacities: make(map[int32]int64, u.c.NumPSEs()),
-		Policy:     u.Policy,
-		Front:      front,
-		Chosen:     chosen,
+		Version:         u.version,
+		Cut:             append([]int32(nil), cut...),
+		CutValue:        value,
+		Capacities:      make(map[int32]int64, u.c.NumPSEs()),
+		Policy:          u.Policy,
+		Front:           front,
+		Chosen:          chosen,
+		Env:             env,
+		Suppressed:      suppressed,
+		PendingCut:      append([]int32(nil), u.pendingCut...),
+		PendingStreak:   u.pendingStreak,
+		FlipsSuppressed: u.flipsSuppressed.Load(),
 	}
 	for id := int32(0); int(id) < u.c.NumPSEs(); id++ {
 		ex.Capacities[id] = u.capacityFor(id, stats, env)

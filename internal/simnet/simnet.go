@@ -75,20 +75,65 @@ func (h *Host) TimeFor(work int64, start float64) float64 {
 }
 
 // Link models a network link with dedicated bandwidth and fixed latency.
-// Transfers occupy the link for bytes/bandwidth; latency pipelines.
+// Transfers occupy the link for bytes/bandwidth; latency pipelines. An
+// optional Schedule makes the bandwidth piecewise-constant in virtual time
+// (a link that degrades mid-run, or jitters), which is what the drift
+// experiment uses to test measurement-driven reconfiguration.
 type Link struct {
-	// BytesPerMS is the bandwidth.
+	// BytesPerMS is the base bandwidth, in effect before the first
+	// schedule phase (and throughout, when Schedule is empty).
 	BytesPerMS float64
 	// LatencyMS is the one-way propagation delay.
 	LatencyMS float64
+	// Schedule holds bandwidth phases sorted by ascending Start. Each
+	// phase's bandwidth applies from its Start until the next phase.
+	Schedule []BandwidthPhase
 }
 
-// Occupancy returns how long a message of the given size occupies the link.
+// BandwidthPhase is one step of a piecewise-constant bandwidth schedule.
+type BandwidthPhase struct {
+	// Start is the virtual time (ms) the phase takes effect.
+	Start float64
+	// BytesPerMS is the bandwidth from Start until the next phase.
+	BytesPerMS float64
+}
+
+// BandwidthAt returns the bandwidth in effect at virtual time t.
+func (l *Link) BandwidthAt(t float64) float64 {
+	bw := l.BytesPerMS
+	for _, ph := range l.Schedule {
+		if ph.Start > t {
+			break
+		}
+		bw = ph.BytesPerMS
+	}
+	return bw
+}
+
+// Occupancy returns how long a message of the given size occupies the link
+// at the base bandwidth (used for small control messages, whose timing the
+// schedule does not meaningfully move).
 func (l *Link) Occupancy(bytes int64) float64 {
 	if bytes <= 0 || l.BytesPerMS <= 0 {
 		return 0
 	}
 	return float64(bytes) / l.BytesPerMS
+}
+
+// OccupancyAt returns how long a message occupies the link when its
+// transfer starts at virtual time t. The whole transfer is priced at the
+// bandwidth in effect at its start — a phase boundary crossing mid-transfer
+// does not re-rate the remainder, a deliberate simplification that keeps
+// the pipeline recurrence closed-form.
+func (l *Link) OccupancyAt(bytes int64, t float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	bw := l.BandwidthAt(t)
+	if bw <= 0 {
+		return 0
+	}
+	return float64(bytes) / bw
 }
 
 // Pipeline simulates the three-stage sender→link→receiver flow with
@@ -145,7 +190,7 @@ func (p *Pipeline) Deliver(genTime float64, modWork, bytes, demodWork int64) Tim
 
 	if bytes > 0 {
 		start := math.Max(tm.ModDone, p.linkFree)
-		p.linkFree = start + p.Link.Occupancy(bytes)
+		p.linkFree = start + p.Link.OccupancyAt(bytes, start)
 		tm.Arrive = p.linkFree + p.Link.LatencyMS
 	} else {
 		tm.Arrive = tm.ModDone

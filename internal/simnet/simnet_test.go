@@ -138,3 +138,43 @@ func TestPipelineRespectsGenTime(t *testing.T) {
 		t.Errorf("span = %g", tm.Span())
 	}
 }
+
+func TestLinkBandwidthSchedule(t *testing.T) {
+	l := &Link{BytesPerMS: 2000, LatencyMS: 1, Schedule: []BandwidthPhase{
+		{Start: 100, BytesPerMS: 100},
+		{Start: 200, BytesPerMS: 2000},
+	}}
+	cases := []struct{ t, want float64 }{
+		{0, 2000}, {99, 2000}, {100, 100}, {150, 100}, {200, 2000}, {1e6, 2000},
+	}
+	for _, c := range cases {
+		if got := l.BandwidthAt(c.t); got != c.want {
+			t.Errorf("BandwidthAt(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if got := l.OccupancyAt(1000, 150); got != 10 {
+		t.Errorf("OccupancyAt in degraded phase = %g, want 10", got)
+	}
+	if got := l.OccupancyAt(1000, 0); got != 0.5 {
+		t.Errorf("OccupancyAt at base = %g, want 0.5", got)
+	}
+	// The compat path ignores the schedule.
+	if got := l.Occupancy(1000); got != 0.5 {
+		t.Errorf("Occupancy = %g, want base-rate 0.5", got)
+	}
+}
+
+func TestPipelineDeliverUsesScheduledBandwidth(t *testing.T) {
+	mk := func(sched []BandwidthPhase) *Pipeline {
+		return NewPipeline(NewHost("s", 1e9), NewHost("r", 1e9),
+			&Link{BytesPerMS: 1000, LatencyMS: 0, Schedule: sched})
+	}
+	fast := mk(nil).Deliver(0, 0, 10000, 0)
+	slow := mk([]BandwidthPhase{{Start: 0, BytesPerMS: 100}}).Deliver(0, 0, 10000, 0)
+	if math.Abs(fast.Arrive-10) > 1e-6 {
+		t.Errorf("base-rate arrival = %g, want 10", fast.Arrive)
+	}
+	if math.Abs(slow.Arrive-100) > 1e-6 {
+		t.Errorf("degraded arrival = %g, want 100", slow.Arrive)
+	}
+}

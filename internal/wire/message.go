@@ -19,19 +19,27 @@ import (
 // wire frame). Revision 5 added the opt-in at-least-once delivery layer:
 // SeqEvent envelopes, cumulative Ack frames, Retransmit requests, Lost
 // notices, and the Reliability/ResumeSeq handshake fields (see
-// reliable.go).
-const ProtocolVersion uint32 = 5
+// reliable.go). Revision 6 added heartbeat echoes (Heartbeat.HasEcho /
+// EchoSeq): either side reflects the peer's heartbeat Seq back so each
+// endpoint measures round-trip time on its own clock, feeding the link
+// estimator behind live environment refinement.
+const ProtocolVersion uint32 = 6
 
 // MinProtocolVersion is the oldest peer revision a current endpoint still
-// interoperates with: a publisher speaking revision 5 downgrades to
-// unbatched frames for a revision-3 subscriber and never sends reliability
-// frames to a revision-4 one, since everything in revisions 4 and 5 is
-// additive.
+// interoperates with: a publisher speaking revision 6 downgrades to
+// unbatched frames for a revision-3 subscriber, never sends reliability
+// frames to a revision-4 one, and never solicits heartbeat echoes from a
+// revision-5 one, since everything in revisions 4 through 6 is additive.
 const MinProtocolVersion uint32 = 3
 
 // BatchProtocolVersion is the first revision whose subscribers understand
 // Batch frames; senders must not batch toward older peers.
 const BatchProtocolVersion uint32 = 4
+
+// EchoProtocolVersion is the first revision whose peers understand heartbeat
+// echoes; endpoints must not solicit echoes from older peers (they would
+// never answer, leaving the RTT estimator stuck at its default).
+const EchoProtocolVersion uint32 = 6
 
 // MsgType identifies a framed message.
 type MsgType byte
@@ -143,6 +151,13 @@ type Batch struct {
 	Entries [][]byte
 }
 
+// Heartbeat trailing-flag bits: the byte after Seq is a bitmask naming the
+// optional fields that follow, in bit order.
+const (
+	hbFlagAck  byte = 1 << 0 // AckSeq follows (revision 5)
+	hbFlagEcho byte = 1 << 1 // EchoSeq follows (revision 6)
+)
+
 // Heartbeat is the liveness control message (protocol revision 2). Any
 // received frame counts as liveness; heartbeats exist so liveness frames
 // keep flowing when no events, feedback or plans are due.
@@ -159,6 +174,17 @@ type Heartbeat struct {
 	// AckSeq is the piggybacked cumulative ack (meaningful only when
 	// HasAck is set); same semantics as Ack.Seq.
 	AckSeq uint64
+	// HasEcho marks a heartbeat reflecting a peer's probe (protocol
+	// revision 6): EchoSeq repeats the Seq of a heartbeat the peer sent, so
+	// the peer can subtract its recorded send time and obtain one
+	// round-trip sample per heartbeat interval. A pure echo carries Seq 0;
+	// endpoints only echo heartbeats with Seq > 0, so two v6 peers cannot
+	// reflect echoes back and forth forever. Legacy heartbeats decode with
+	// HasEcho false.
+	HasEcho bool
+	// EchoSeq is the reflected probe Seq (meaningful only when HasEcho is
+	// set).
+	EchoSeq uint64
 }
 
 // Raw is an unmodulated event message.
@@ -387,14 +413,25 @@ func (e *Encoder) encodeMessage(msg any) error {
 	case *Heartbeat:
 		e.w.WriteByte(byte(MsgHeartbeat))
 		e.writeU64(m.Seq)
-		// Revision-5 trailing fields: a flag byte, then the ack when set.
-		// Pre-5 decoders ignored trailing bytes on control frames, so the
-		// extension is transparent to them.
+		// Trailing fields: a flag bitmask (revision 5 defined bit 0 as the
+		// piggybacked ack; revision 6 added bit 1 for the echo), then the
+		// flagged fields in bit order. Pre-5 decoders ignored trailing
+		// bytes on control frames and the revision-5 decoder tested the
+		// flag byte for exactly 1, so both extensions are transparent to
+		// older peers.
+		var flag byte
 		if m.HasAck {
-			e.w.WriteByte(1)
+			flag |= hbFlagAck
+		}
+		if m.HasEcho {
+			flag |= hbFlagEcho
+		}
+		e.w.WriteByte(flag)
+		if m.HasAck {
 			e.writeU64(m.AckSeq)
-		} else {
-			e.w.WriteByte(0)
+		}
+		if m.HasEcho {
+			e.writeU64(m.EchoSeq)
 		}
 	case *Ack:
 		e.w.WriteByte(byte(MsgAck))
@@ -631,18 +668,27 @@ func Unmarshal(data []byte) (any, error) {
 		if m.Seq, err = d.readU64(); err != nil {
 			return nil, err
 		}
-		// Revision-5 trailing fields: absent on legacy frames (HasAck
-		// stays false), a flag byte plus the ack otherwise.
+		// Trailing fields: absent on legacy frames (flags stay false),
+		// otherwise a flag bitmask followed by the flagged fields in bit
+		// order (ack, then echo). Unknown bits are tolerated — a future
+		// revision's extra fields simply go unread, like trailing bytes
+		// always have on control frames.
 		if d.Remaining() > 0 {
 			flag, err := d.readByte()
 			if err != nil {
 				return nil, err
 			}
-			if flag == 1 {
+			if flag&hbFlagAck != 0 {
 				if m.AckSeq, err = d.readU64(); err != nil {
 					return nil, err
 				}
 				m.HasAck = true
+			}
+			if flag&hbFlagEcho != 0 {
+				if m.EchoSeq, err = d.readU64(); err != nil {
+					return nil, err
+				}
+				m.HasEcho = true
 			}
 		}
 		return m, nil
